@@ -1,0 +1,117 @@
+// Ablation: why the send buffer needs a real (VMA-style) offset allocator
+// instead of a ring buffer (§IV: "RPCs can be completed out-of-order on
+// the server side: a future request can outlive a past one, making dynamic
+// allocation a better solution than standard ring buffers").
+//
+// Replays the same block-lifetime trace — allocations freed out of order
+// with a configurable skew — against the OffsetAllocator and against a
+// ring buffer that can only reclaim in FIFO order. The ring stalls as soon
+// as one long-lived block pins its head; the offset allocator keeps going.
+#include <cstdio>
+#include <deque>
+#include <random>
+
+#include "common/rng.hpp"
+#include "rdmarpc/offset_allocator.hpp"
+
+namespace {
+
+using namespace dpurpc;
+using rdmarpc::OffsetAllocator;
+
+constexpr uint64_t kCapacity = 1 << 20;
+constexpr uint64_t kBlock = 8192;
+constexpr int kOps = 200000;
+
+/// A ring that frees strictly FIFO: out-of-order completions must wait.
+class RingModel {
+ public:
+  explicit RingModel(uint64_t capacity) : capacity_(capacity) {}
+
+  std::optional<uint64_t> allocate(uint64_t size) {
+    size = align_up(size, kBlockAlign);
+    if (used_ + size > capacity_) return std::nullopt;
+    uint64_t off = head_;
+    head_ = (head_ + size) % capacity_;
+    used_ += size;
+    live_.push_back({off, size, false});
+    return off;
+  }
+
+  // Mark freed; space only reclaims when the FIFO head is freed.
+  void free(uint64_t offset) {
+    for (auto& b : live_) {
+      if (b.offset == offset) {
+        b.freed = true;
+        break;
+      }
+    }
+    while (!live_.empty() && live_.front().freed) {
+      used_ -= live_.front().size;
+      live_.pop_front();
+    }
+  }
+
+ private:
+  struct Block {
+    uint64_t offset, size;
+    bool freed;
+  };
+  uint64_t capacity_, head_ = 0, used_ = 0;
+  std::deque<Block> live_;
+};
+
+/// Trace: allocate blocks; free them with probability-weighted reordering
+/// (higher skew = more out-of-order completion).
+template <typename Alloc>
+std::pair<uint64_t, uint64_t> replay(Alloc& alloc, double skew, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> live;
+  uint64_t ok = 0, stalled = 0;
+  for (int i = 0; i < kOps; ++i) {
+    if (live.size() < 64 && (live.empty() || rng() % 2 == 0)) {
+      auto off = alloc.allocate(kBlock);
+      if (off.has_value()) {
+        live.push_back(*off);
+        ++ok;
+      } else {
+        ++stalled;
+        // Relieve pressure the way the protocol would: wait for (free) the
+        // oldest outstanding block.
+        if (!live.empty()) {
+          alloc.free(live.front());
+          live.erase(live.begin());
+        }
+      }
+    } else if (!live.empty()) {
+      // Free out-of-order with probability `skew`, else FIFO.
+      size_t idx = (rng() % 1000) < skew * 1000 ? rng() % live.size() : 0;
+      alloc.free(live[idx]);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+  }
+  return {ok, stalled};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: offset allocator vs ring buffer under out-of-order "
+              "completion (§IV)\n\n");
+  std::printf("%-8s %-18s %-12s %-18s %-12s\n", "skew", "offset:allocs", "stalls",
+              "ring:allocs", "stalls");
+  for (double skew : {0.0, 0.1, 0.3, 0.5, 0.9}) {
+    OffsetAllocator offset_alloc(kCapacity);
+    RingModel ring(kCapacity);
+    auto [o_ok, o_stall] = replay(offset_alloc, skew, kDefaultSeed);
+    auto [r_ok, r_stall] = replay(ring, skew, kDefaultSeed);
+    std::printf("%-8.1f %-18llu %-12llu %-18llu %-12llu\n", skew,
+                static_cast<unsigned long long>(o_ok),
+                static_cast<unsigned long long>(o_stall),
+                static_cast<unsigned long long>(r_ok),
+                static_cast<unsigned long long>(r_stall));
+  }
+  std::printf("\nThe ring's stall count grows with completion skew (its head pins\n"
+              "reclamation); the offset allocator reuses holes immediately.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: block size sweep (§VI.A: "the optimal minimal block size for
+// the highest throughput is around 8 KiB").
+//
+// Small messages through the full protocol at several block sizes. The
+// tradeoff it exposes: bigger blocks amortize per-RDMA-op cost over more
+// messages (msgs_per_op counter) at the price of batching latency and
+// buffer footprint.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "rdmarpc/client.hpp"
+#include "rdmarpc/connection.hpp"
+#include "rdmarpc/server.hpp"
+
+namespace {
+
+using namespace dpurpc;
+
+constexpr uint16_t kMethod = 1;
+constexpr uint64_t kRequestsPerIter = 4096;
+constexpr uint32_t kConcurrency = 1024;
+
+void BM_DatapathBlockSize(benchmark::State& state) {
+  static bench::BenchEnv env;
+  Bytes wire = bench::make_small_wire(env);
+
+  rdmarpc::ConnectionConfig cfg;
+  cfg.block_size = static_cast<uint32_t>(state.range(0));
+
+  uint64_t total_reqs = 0, total_ops = 0, total_bytes = 0;
+  for (auto _ : state) {
+    simverbs::ProtectionDomain dpu_pd("dpu"), host_pd("host");
+    rdmarpc::Connection dpu_conn(rdmarpc::Role::kClient, &dpu_pd, cfg);
+    rdmarpc::Connection host_conn(rdmarpc::Role::kServer, &host_pd, cfg);
+    if (!rdmarpc::Connection::connect(dpu_conn, host_conn).is_ok()) {
+      state.SkipWithError("connect failed");
+      break;
+    }
+    rdmarpc::RpcClient client(&dpu_conn);
+    rdmarpc::RpcServer server(&host_conn);
+    server.register_handler(kMethod, [](const rdmarpc::RequestView&, Bytes& out) {
+      out.clear();
+      return Status::ok();
+    });
+
+    uint64_t completed = 0, enqueued = 0;
+    while (completed < kRequestsPerIter) {
+      while (enqueued - completed < kConcurrency && enqueued < kRequestsPerIter) {
+        if (!client
+                 .call(kMethod, ByteSpan(wire),
+                       [&](const Status&, const rdmarpc::InMessage&) { ++completed; })
+                 .is_ok()) {
+          break;
+        }
+        ++enqueued;
+      }
+      if (!client.event_loop_once().is_ok()) state.SkipWithError("client loop");
+      if (!server.event_loop_once().is_ok()) state.SkipWithError("server loop");
+    }
+    total_reqs += completed;
+    total_ops += dpu_conn.tx_counters().ops.load();
+    total_bytes += dpu_conn.tx_counters().bytes.load();
+  }
+  state.counters["rps"] =
+      benchmark::Counter(static_cast<double>(total_reqs), benchmark::Counter::kIsRate);
+  state.counters["msgs_per_op"] =
+      static_cast<double>(total_reqs) / static_cast<double>(total_ops ? total_ops : 1);
+  state.counters["wire_bytes_per_msg"] =
+      static_cast<double>(total_bytes) / static_cast<double>(total_reqs ? total_reqs : 1);
+}
+
+BENCHMARK(BM_DatapathBlockSize)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)  // Table I default
+    ->Arg(16384)
+    ->Arg(32768)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Ablation: shared-address-space pointer fixup (§III.B).
+//
+// The paper's mirrored address space makes the deserializer's pointer
+// rebasing vanish (delta = 0). This bench deserializes a pointer-heavy
+// message (nested messages + strings) with delta = 0 and with a nonzero
+// delta, isolating the cost the mirroring design removes.
+#include <benchmark/benchmark.h>
+
+#include "adt/arena_deserializer.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dpurpc;
+
+constexpr std::string_view kPointerHeavySchema = R"(
+syntax = "proto3";
+package p;
+message Leaf { string name = 1; uint64 v = 2; }
+message Tree { repeated Leaf leaves = 1; repeated string labels = 2; Tree child = 3; }
+)";
+
+struct Env {
+  proto::DescriptorPool pool;
+  adt::Adt adt;
+  uint32_t tree_class;
+  Bytes wire;
+
+  Env() {
+    proto::SchemaParser parser(pool);
+    if (!parser.parse_and_link(kPointerHeavySchema).is_ok()) std::abort();
+    adt::DescriptorAdtBuilder builder(arena::StdLibFlavor::kLibstdcpp);
+    tree_class = *builder.add_message(pool.find_message("p.Tree"));
+    adt = std::move(builder).take();
+    adt.set_fingerprint(adt::AbiFingerprint::current(arena::StdLibFlavor::kLibstdcpp));
+
+    // Depth-3 tree, 32 leaves + 8 labels per level: hundreds of pointers.
+    const auto* tree = pool.find_message("p.Tree");
+    const auto* leaf = pool.find_message("p.Leaf");
+    std::mt19937_64 rng(kDefaultSeed);
+    proto::DynamicMessage root(tree);
+    proto::DynamicMessage* level = &root;
+    for (int depth = 0; depth < 3; ++depth) {
+      for (int i = 0; i < 32; ++i) {
+        auto* l = level->add_message(tree->field_by_name("leaves"));
+        l->set_string(leaf->field_by_name("name"), random_ascii(rng, 24));
+        l->set_uint64(leaf->field_by_name("v"), rng());
+      }
+      for (int i = 0; i < 8; ++i) {
+        level->add_string(tree->field_by_name("labels"), random_ascii(rng, 40));
+      }
+      if (depth < 2) level = level->mutable_message(tree->field_by_name("child"));
+    }
+    wire = proto::WireCodec::serialize(root);
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+void BM_DeserializeFixup(benchmark::State& state) {
+  bool with_fixup = state.range(0) != 0;
+  adt::ArenaDeserializer deser(&env().adt);
+  arena::OwningArena arena(1 << 20);
+  // A plausible nonzero delta; the fixup pass cost is delta-independent.
+  arena::AddressTranslator xlate{with_fixup ? 0x10000 : 0};
+  for (auto _ : state) {
+    arena.reset();
+    auto obj = deser.deserialize(env().tree_class, ByteSpan(env().wire), arena, xlate);
+    if (!obj.is_ok()) state.SkipWithError(obj.status().to_string().c_str());
+    benchmark::DoNotOptimize(*obj);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(env().wire.size());
+  state.SetLabel(with_fixup ? "delta!=0 (fixup pass runs)" : "delta==0 (mirrored)");
+}
+
+BENCHMARK(BM_DeserializeFixup)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

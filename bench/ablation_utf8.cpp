@@ -1,0 +1,69 @@
+// Ablation: UTF-8 validation cost (§V: one of the three deserialization
+// cost centers; §VI.C.4 credits validation offload for part of the chars
+// win). Compares: deserializing the x8000 Chars message with validation
+// on vs off, and the SWAR fast path vs the scalar DFA on raw buffers.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "wire/utf8.hpp"
+
+namespace {
+
+using namespace dpurpc;
+
+bench::BenchEnv& env() {
+  static bench::BenchEnv e;
+  return e;
+}
+
+void BM_CharsDeserialize(benchmark::State& state) {
+  bool validate = state.range(1) != 0;
+  auto n = static_cast<size_t>(state.range(0));
+  Bytes wire = bench::make_char_array_wire(env(), n);
+  adt::DeserializeOptions opts;
+  opts.validate_utf8 = validate;
+  adt::ArenaDeserializer deser(&env().adt, opts);
+  arena::OwningArena arena(1 << 21);
+  for (auto _ : state) {
+    arena.reset();
+    auto obj = deser.deserialize(env().chars_class, ByteSpan(wire), arena, {});
+    if (!obj.is_ok()) state.SkipWithError(obj.status().to_string().c_str());
+    benchmark::DoNotOptimize(*obj);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(validate ? "validate_utf8=on" : "validate_utf8=off");
+}
+
+BENCHMARK(BM_CharsDeserialize)
+    ->Args({8000, 1})
+    ->Args({8000, 0})
+    ->Args({65535, 1})
+    ->Args({65535, 0});
+
+void BM_Utf8Swar(benchmark::State& state) {
+  std::mt19937_64 rng(kDefaultSeed);
+  std::string s = random_ascii(rng, static_cast<size_t>(state.range(0)));
+  const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::validate_utf8(p, s.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_Utf8Scalar(benchmark::State& state) {
+  std::mt19937_64 rng(kDefaultSeed);
+  std::string s = random_ascii(rng, static_cast<size_t>(state.range(0)));
+  const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::validate_utf8_scalar(p, s.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+BENCHMARK(BM_Utf8Swar)->Arg(8000)->Arg(65536);
+BENCHMARK(BM_Utf8Scalar)->Arg(8000)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Shared helpers for the benchmark harnesses: the paper's three synthetic
+// messages (§VI.C.1), schema setup, and the DPU scaling hooks.
+#pragma once
+
+#include <random>
+#include <string>
+
+#include "adt/adt.hpp"
+#include "adt/arena_deserializer.hpp"
+#include "common/rng.hpp"
+#include "dpu/dpu_model.hpp"
+#include "proto/dynamic_message.hpp"
+#include "proto/schema_parser.hpp"
+
+namespace dpurpc::bench {
+
+inline constexpr std::string_view kBenchSchema = R"(
+syntax = "proto3";
+package bench;
+message Small { int32 id = 1; bool flag = 2; float score = 3; uint64 stamp = 4; }
+message IntArray { repeated uint32 values = 1; }
+message CharArray { string data = 1; }
+service BenchService {
+  rpc Small_ (Small) returns (Small);
+  rpc Ints (IntArray) returns (Small);
+  rpc Chars (CharArray) returns (Small);
+}
+)";
+
+/// Everything a bench needs: pool, ADT, deserializer.
+struct BenchEnv {
+  proto::DescriptorPool pool;
+  adt::Adt adt;
+  std::unique_ptr<adt::ArenaDeserializer> deserializer;
+  uint32_t small_class = 0, ints_class = 0, chars_class = 0;
+
+  BenchEnv() {
+    proto::SchemaParser parser(pool);
+    auto st = parser.parse_and_link(kBenchSchema);
+    if (!st.is_ok()) std::abort();
+    adt::DescriptorAdtBuilder builder(arena::StdLibFlavor::kLibstdcpp);
+    small_class = *builder.add_message(pool.find_message("bench.Small"));
+    ints_class = *builder.add_message(pool.find_message("bench.IntArray"));
+    chars_class = *builder.add_message(pool.find_message("bench.CharArray"));
+    adt = std::move(builder).take();
+    adt.set_fingerprint(adt::AbiFingerprint::current(arena::StdLibFlavor::kLibstdcpp));
+    deserializer = std::make_unique<adt::ArenaDeserializer>(&adt);
+  }
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+};
+
+/// Paper §VI.B: random u32s, skewed small (1..5-byte varints), MT19937
+/// constant seed.
+inline Bytes make_int_array_wire(const BenchEnv& env, size_t count,
+                                 uint64_t seed = kDefaultSeed) {
+  std::mt19937_64 rng(seed);
+  SkewedVarintDistribution dist;
+  const auto* desc = env.pool.find_message("bench.IntArray");
+  proto::DynamicMessage m(desc);
+  for (size_t i = 0; i < count; ++i) m.add_uint64(desc->field_by_name("values"), dist(rng));
+  return proto::WireCodec::serialize(m);
+}
+
+/// Paper §VI.B: uncompressed chars, 1 byte per element.
+inline Bytes make_char_array_wire(const BenchEnv& env, size_t count,
+                                  uint64_t seed = kDefaultSeed) {
+  std::mt19937_64 rng(seed);
+  const auto* desc = env.pool.find_message("bench.CharArray");
+  proto::DynamicMessage m(desc);
+  m.set_string(desc->field_by_name("data"), random_ascii(rng, count));
+  return proto::WireCodec::serialize(m);
+}
+
+/// Paper §VI.C.1: the ~15-byte Small message of various field types.
+inline Bytes make_small_wire(const BenchEnv& env, uint64_t seed = kDefaultSeed) {
+  std::mt19937_64 rng(seed);
+  const auto* desc = env.pool.find_message("bench.Small");
+  proto::DynamicMessage m(desc);
+  m.set_int64(desc->field_by_name("id"), static_cast<int32_t>(rng() % 100000));
+  m.set_uint64(desc->field_by_name("flag"), 1);
+  m.set_float(desc->field_by_name("score"), 1.5f);
+  m.set_uint64(desc->field_by_name("stamp"), rng() % (1u << 20));
+  return proto::WireCodec::serialize(m);
+}
+
+}  // namespace dpurpc::bench

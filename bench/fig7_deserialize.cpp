@@ -1,0 +1,95 @@
+// Fig. 7: time to deserialize a single message (int array / char array)
+// versus element count, on the CPU and on the (simulated) DPU.
+//
+// CPU series: the custom stack-based arena deserializer, measured directly
+// (google-benchmark manual timing). DPU series: the same measured work
+// scaled by the calibrated per-workload slowdown (DESIGN.md §1) — the
+// paper's own Fig. 7 ratios (1.89× varint, 2.51× chars) are the model's
+// defaults, so the *shape* (DPU above CPU, linear asymptote, noisier at
+// low element counts) is reproduced while absolute numbers reflect this
+// machine.
+//
+// Paper asymptotes for reference: ≈2.75 ns/element (ints, CPU) and
+// ≈42.5 ns/KiB (chars, CPU); DPU takes 1.89× / 2.51× longer.
+#include <benchmark/benchmark.h>
+
+#include "arena/arena.hpp"
+#include "bench_util.hpp"
+#include "common/cpu_timer.hpp"
+
+namespace {
+
+using namespace dpurpc;
+using bench::BenchEnv;
+
+BenchEnv& env() {
+  static BenchEnv e;
+  return e;
+}
+
+void run_deserialize(benchmark::State& state, uint32_t class_index,
+                     const Bytes& wire, dpu::Processor proc,
+                     dpu::WorkloadClass workload, int64_t elements) {
+  arena::OwningArena arena(1 << 21);
+  dpu::CostModel model;
+  for (auto _ : state) {
+    arena.reset();
+    ThreadCpuTimer timer;
+    auto obj = env().deserializer->deserialize(class_index, ByteSpan(wire), arena, {});
+    double cpu_ns = static_cast<double>(timer.elapsed_ns());
+    if (!obj.is_ok()) state.SkipWithError(obj.status().to_string().c_str());
+    benchmark::DoNotOptimize(*obj);
+    state.SetIterationTime(model.scale_ns(proc, workload, cpu_ns) * 1e-9);
+  }
+  state.counters["elements"] = static_cast<double>(elements);
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+  state.counters["ns_per_elem"] = benchmark::Counter(
+      static_cast<double>(elements), benchmark::Counter::kIsIterationInvariantRate |
+                                         benchmark::Counter::kInvert);
+}
+
+void BM_IntArray_CPU(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  Bytes wire = bench::make_int_array_wire(env(), n);
+  run_deserialize(state, env().ints_class, wire, dpu::Processor::kHostCpu,
+                  dpu::WorkloadClass::kVarintDecode, state.range(0));
+}
+
+void BM_IntArray_DPU(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  Bytes wire = bench::make_int_array_wire(env(), n);
+  run_deserialize(state, env().ints_class, wire, dpu::Processor::kDpu,
+                  dpu::WorkloadClass::kVarintDecode, state.range(0));
+}
+
+void BM_CharArray_CPU(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  Bytes wire = bench::make_char_array_wire(env(), n);
+  run_deserialize(state, env().chars_class, wire, dpu::Processor::kHostCpu,
+                  dpu::WorkloadClass::kByteCopy, state.range(0));
+}
+
+void BM_CharArray_DPU(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  Bytes wire = bench::make_char_array_wire(env(), n);
+  run_deserialize(state, env().chars_class, wire, dpu::Processor::kDpu,
+                  dpu::WorkloadClass::kByteCopy, state.range(0));
+}
+
+// The paper shows "a more realistic low count of elements" plus enough
+// range to see the linear asymptote; 512 and 8000 are the Fig. 8 points.
+void fig7_int_args(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}) b->Arg(n);
+}
+void fig7_char_args(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {1, 4, 16, 64, 256, 1024, 4096, 8000, 32768}) b->Arg(n);
+}
+
+BENCHMARK(BM_IntArray_CPU)->Apply(fig7_int_args)->UseManualTime();
+BENCHMARK(BM_IntArray_DPU)->Apply(fig7_int_args)->UseManualTime();
+BENCHMARK(BM_CharArray_CPU)->Apply(fig7_char_args)->UseManualTime();
+BENCHMARK(BM_CharArray_DPU)->Apply(fig7_char_args)->UseManualTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// §VI.C.5 analogue: "almost zero last-level cache misses ... practically
+// all memory writes happen in the pinned memory buffers, with no use of
+// the system allocator in the RPC datapath".
+//
+// We cannot count L3 misses without PMU access, but the paper's stated
+// *cause* is measurable: system-allocator activity in the datapath. This
+// harness interposes global operator new/delete with a counter and reports
+// heap allocations per request during warmup vs steady state for the
+// offloaded datapath. Steady state should approach zero: payload memory
+// comes exclusively from the preallocated pinned buffers (block arenas),
+// and engine bookkeeping reuses pooled storage.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench_util.hpp"
+#include "rdmarpc/client.hpp"
+#include "rdmarpc/connection.hpp"
+#include "rdmarpc/server.hpp"
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<size_t>(align),
+                               dpurpc::align_up(size, static_cast<size_t>(align)));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dpurpc;
+constexpr uint16_t kMethod = 1;
+constexpr uint32_t kConcurrency = 512;
+
+struct Phase {
+  uint64_t requests;
+  uint64_t allocs;
+  uint64_t bytes;
+};
+
+}  // namespace
+
+int main() {
+  static bench::BenchEnv env;
+  Bytes small_wire = bench::make_small_wire(env);
+  Bytes ints_wire = bench::make_int_array_wire(env, 512);
+
+  simverbs::ProtectionDomain dpu_pd("dpu"), host_pd("host");
+  rdmarpc::Connection dpu_conn(rdmarpc::Role::kClient, &dpu_pd, {});
+  rdmarpc::Connection host_conn(rdmarpc::Role::kServer, &host_pd, {});
+  if (!rdmarpc::Connection::connect(dpu_conn, host_conn).is_ok()) return 1;
+  rdmarpc::RpcClient client(&dpu_conn);
+  rdmarpc::RpcServer server(&host_conn);
+  server.register_handler(kMethod, [](const rdmarpc::RequestView&, Bytes& out) {
+    out.clear();
+    return Status::ok();
+  });
+
+  // One-pointer captures keep the std::functions inside their inline
+  // storage: no per-request heap traffic from the harness itself.
+  struct Ctx {
+    bench::BenchEnv* env;
+    const Bytes* wire;
+    uint32_t class_index;
+    uint64_t completed = 0;
+  } ctx{&env, nullptr, 0};
+
+  auto run_phase = [&](const Bytes& wire, uint32_t class_index,
+                       uint64_t count) -> Phase {
+    ctx.wire = &wire;
+    ctx.class_index = class_index;
+    ctx.completed = 0;
+    uint64_t enqueued = 0;
+    uint64_t a0 = g_allocs.load(), b0 = g_alloc_bytes.load();
+    Ctx* c = &ctx;
+    while (ctx.completed < count) {
+      while (enqueued - ctx.completed < kConcurrency && enqueued < count) {
+        Status st = client.call_inplace(
+            kMethod, static_cast<uint16_t>(class_index),
+            static_cast<uint32_t>(wire.size() * 4 + 256),
+            [c](arena::Arena& arena, const arena::AddressTranslator& xlate)
+                -> StatusOr<uint32_t> {
+              auto obj = c->env->deserializer->deserialize(
+                  c->class_index, ByteSpan(*c->wire), arena, xlate);
+              if (!obj.is_ok()) return obj.status();
+              return static_cast<uint32_t>(arena.used());
+            },
+            [c](const Status&, const rdmarpc::InMessage&) { ++c->completed; });
+        if (!st.is_ok()) break;
+        ++enqueued;
+      }
+      if (!client.event_loop_once().is_ok()) std::abort();
+      if (!server.event_loop_once().is_ok()) std::abort();
+    }
+    return {ctx.completed, g_allocs.load() - a0, g_alloc_bytes.load() - b0};
+  };
+
+  std::printf("Steady-state system-allocator activity in the offloaded datapath\n");
+  std::printf("(the paper's §VI.C.5 near-zero-L3-miss cause, measured directly)\n\n");
+  std::printf("%-22s %10s %12s %14s %14s\n", "phase", "requests", "heap allocs",
+              "allocs/request", "heap bytes/req");
+
+  auto report = [](const char* name, const Phase& p) {
+    std::printf("%-22s %10llu %12llu %14.3f %14.1f\n", name,
+                static_cast<unsigned long long>(p.requests),
+                static_cast<unsigned long long>(p.allocs),
+                static_cast<double>(p.allocs) / static_cast<double>(p.requests),
+                static_cast<double>(p.bytes) / static_cast<double>(p.requests));
+  };
+
+  Phase warm_small = run_phase(small_wire, env.small_class, 4000);
+  report("Small warmup", warm_small);
+  Phase steady_small = run_phase(small_wire, env.small_class, 20000);
+  report("Small steady", steady_small);
+  Phase warm_ints = run_phase(ints_wire, env.ints_class, 1000);
+  report("x512 Ints warmup", warm_ints);
+  Phase steady_ints = run_phase(ints_wire, env.ints_class, 5000);
+  report("x512 Ints steady", steady_ints);
+
+  std::printf("\nPayload memory never touches the heap (block arenas only); the\n");
+  std::printf("residual allocs/request above come from engine bookkeeping and\n");
+  std::printf("should be ~0 in steady state.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table I: environment and configuration parameters — the paper's testbed
+// next to this reproduction's substituted environment (DESIGN.md §1).
+#include <sys/utsname.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "dpu/dpu_model.hpp"
+#include "rdmarpc/connection.hpp"
+
+int main() {
+  using dpurpc::dpu::CostModel;
+  using dpurpc::dpu::DeviceSpec;
+  dpurpc::rdmarpc::ConnectionConfig client_cfg;
+  client_cfg.sbuf_size = 3ull << 20;
+  dpurpc::rdmarpc::ConnectionConfig server_cfg;
+  server_cfg.sbuf_size = 16ull << 20;
+
+  utsname uts{};
+  uname(&uts);
+  auto bf3 = DeviceSpec::bluefield3();
+  auto host = DeviceSpec::host_xeon();
+  CostModel cost;
+
+  std::printf("TABLE I: environment and configuration (paper -> this reproduction)\n");
+  std::printf("%-22s %-34s %s\n", "", "Client (paper: BlueField-3)", "Server (paper: PowerEdge R760)");
+  std::printf("%-22s %-34s %s\n", "Hardware", bf3.name.c_str(), host.name.c_str());
+  std::printf("%-22s %-34s %s\n", "CPU (paper)", "Cortex-A78AE x16",
+              "2x Xeon Gold 6430, x64 cores");
+  std::printf("%-22s cores=%-3d (modeled)%15s cores=%-3d (modeled)\n", "Cores",
+              bf3.cores, "", host.cores);
+  std::printf("%-22s varint %.2fx, chars %.2fx, mixed %.2fx (DPU core vs host core)\n",
+              "Slowdown model", cost.varint_factor, cost.bytecopy_factor,
+              cost.mixed_factor);
+  std::printf("%-22s %s %s (%u hardware thread(s) on this machine)\n", "Actual host",
+              uts.sysname, uts.release, std::thread::hardware_concurrency());
+  std::printf("%-22s gcc %s, -O2 (paper: gcc -O3 -flto -march=native)\n", "Compiler",
+              __VERSION__);
+  std::printf("%-22s system allocator (paper: TCMalloc 4.2; datapath itself is "
+              "allocation-free either way)\n", "Allocator");
+  std::printf("\nConfiguration parameters (defaults = Table I values)\n");
+  std::printf("%-22s %-12s %s\n", "", "Client", "Server");
+  std::printf("%-22s %-12d %d\n", "Threads (modeled)", bf3.threads, host.threads);
+  std::printf("%-22s %-12u %u\n", "Credits", client_cfg.credits, server_cfg.credits);
+  std::printf("%-22s %-12u %u\n", "Block size", client_cfg.block_size,
+              server_cfg.block_size);
+  std::printf("%-22s %-12s %s\n", "Concurrency", "1024", "n/a");
+  std::printf("%-22s %-12s %s\n", "Buffer sizes", "3 MiB", "16 MiB");
+  return 0;
+}

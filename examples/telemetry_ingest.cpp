@@ -1,0 +1,189 @@
+// telemetry_ingest: the generated-class zero-copy path, end to end.
+//
+// Unlike quickstart/kv_store (which use the dynamic LayoutView API), this
+// example uses adtc-GENERATED message classes on both sides:
+//   * the "DPU" deserializes wire bytes in place with the shipped ADT,
+//   * the host handler static_casts the in-place object to the real
+//     compiled class (telemetry_Batch) and walks it with ordinary
+//     accessors — including virtual dispatch through the copied vptr.
+// This is exactly the paper's §V.B contract: minimal host code changes,
+// no host-side deserialization, and the DPU never needed the classes
+// compiled in (it works from the received ADT alone).
+//
+//   $ ./telemetry_ingest [num_batches]
+#include <iostream>
+#include <thread>
+
+#include "adt/arena_deserializer.hpp"
+#include "common/cpu_timer.hpp"
+#include "common/rng.hpp"
+#include "rdmarpc/client.hpp"
+#include "rdmarpc/server.hpp"
+#include "telemetry.adt.pb.h"
+#include "telemetry.pb.h"
+
+using namespace dpurpc;
+using dpurpc_gen::telemetry_Batch;
+using dpurpc_gen::telemetry_IngestAck;
+using dpurpc_gen::telemetry_Reading;
+
+constexpr uint16_t kPushMethod = 1;
+
+int main(int argc, char** argv) {
+  const int kBatches = argc > 1 ? std::atoi(argv[1]) : 200;
+  constexpr int kReadingsPerBatch = 64;
+
+  // Host side: register the generated classes' real layouts and ship the
+  // table to the DPU (the one-time transfer).
+  adt::Adt host_adt;
+  auto indices = dpurpc_gen::RegisterAdt_telemetry(host_adt);
+  host_adt.set_fingerprint(adt::AbiFingerprint::current(arena::StdLibFlavor::kLibstdcpp));
+  if (auto st = host_adt.validate(); !st.is_ok()) {
+    std::cerr << st.to_string() << "\n";
+    return 1;
+  }
+  Bytes shipped = host_adt.serialize();
+  auto dpu_adt = adt::Adt::deserialize(ByteSpan(shipped));
+  std::cout << "ADT shipped to DPU: " << shipped.size() << " bytes, "
+            << dpu_adt->class_count() << " classes\n";
+
+  // The host<->DPU link.
+  simverbs::ProtectionDomain dpu_pd("dpu"), host_pd("host");
+  rdmarpc::Connection dpu_conn(rdmarpc::Role::kClient, &dpu_pd, {});
+  rdmarpc::Connection host_conn(rdmarpc::Role::kServer, &host_pd, {});
+  if (auto st = rdmarpc::Connection::connect(dpu_conn, host_conn); !st.is_ok()) {
+    std::cerr << st.to_string() << "\n";
+    return 1;
+  }
+
+  // Host business logic: aggregates readings straight off the in-place
+  // generated object. Zero deserialization on this thread.
+  struct Aggregates {
+    uint64_t batches = 0;
+    uint64_t readings = 0;
+    int64_t value_sum = 0;
+    uint64_t watermark_us = 0;
+    uint64_t errors = 0;
+  } agg;
+  rdmarpc::RpcServer host(&host_conn);
+  host.register_handler(kPushMethod, [&](const rdmarpc::RequestView& req, Bytes& out) {
+    const auto* batch = static_cast<const telemetry_Batch*>(req.object);
+    if (batch == nullptr) return Status(Code::kInvalidArgument, "not in-place");
+    ++agg.batches;
+    for (uint32_t i = 0; i < batch->readings_size(); ++i) {
+      const telemetry_Reading& r = batch->readings(i);
+      ++agg.readings;
+      agg.value_sum += r.value();
+      agg.watermark_us = std::max(agg.watermark_us, r.timestamp_us());
+    }
+    agg.errors += batch->error_codes_size();
+    // Response: serialized normally by the host (not offloaded, §III.A).
+    telemetry_IngestAck ack;
+    ack.set_accepted(batch->readings_size());
+    ack.set_watermark_us(agg.watermark_us);
+    ack.SerializeToBytes(out);
+    return Status::ok();
+  });
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> host_busy_ns{0};
+  std::thread host_thread([&] {
+    ThreadCpuTimer cpu;
+    while (!stop.load()) {
+      auto n = host.event_loop_once();
+      if (!n.is_ok()) break;
+      if (*n == 0) host.wait(1);
+    }
+    host_busy_ns.store(cpu.elapsed_ns());
+  });
+
+  // DPU side: receives serialized batches (here: built and serialized
+  // locally with the generated serializer, standing in for gRPC traffic)
+  // and deserializes them in place with the *received* ADT.
+  adt::ArenaDeserializer deserializer(&*dpu_adt);
+  uint32_t batch_class = dpu_adt->find_class("telemetry.Batch");
+  rdmarpc::RpcClient dpu(&dpu_conn);
+
+  std::mt19937_64 rng(kDefaultSeed);
+  uint64_t acked_readings = 0;
+  WallTimer wall;
+  for (int b = 0; b < kBatches; ++b) {
+    // Craft this batch's wire bytes (what an edge device would send).
+    arena::OwningArena build_arena(1 << 16);
+    telemetry_Batch batch;
+    batch.set_device("edge-" + std::to_string(b % 8));
+    for (int i = 0; i < kReadingsPerBatch; ++i) {
+      auto* r = batch.add_readings(build_arena);
+      r->set_sensor_id(static_cast<uint32_t>(rng() % 1000));
+      r->set_value(static_cast<int64_t>(rng() % 20001) - 10000);
+      r->set_timestamp_us(1'700'000'000'000'000ull + static_cast<uint64_t>(b) * 1000 + i);
+    }
+    if (b % 7 == 0) (void)batch.add_error_codes(static_cast<uint32_t>(rng() % 32), build_arena);
+    Bytes wire;
+    batch.SerializeToBytes(wire);
+
+    // Offload: deserialize into the send block, pointers in host space.
+    Status st = dpu.call_inplace(
+        kPushMethod, static_cast<uint16_t>(batch_class),
+        static_cast<uint32_t>(wire.size() * 4 + 256),
+        [&](arena::Arena& block_arena, const arena::AddressTranslator& xlate)
+            -> StatusOr<uint32_t> {
+          auto obj = deserializer.deserialize(batch_class, ByteSpan(wire),
+                                              block_arena, xlate);
+          if (!obj.is_ok()) return obj.status();
+          return static_cast<uint32_t>(block_arena.used());
+        },
+        [&](const Status& result, const rdmarpc::InMessage& resp) {
+          if (!result.is_ok()) return;
+          // Parse the ack with the generated class via the local ADT.
+          arena::OwningArena ack_arena(512);
+          auto obj = deserializer.deserialize(dpu_adt->find_class("telemetry.IngestAck"),
+                                              resp.payload, ack_arena, {});
+          if (obj.is_ok()) {
+            acked_readings += static_cast<const telemetry_IngestAck*>(*obj)->accepted();
+          }
+        });
+    while (st.code() == Code::kUnavailable || st.code() == Code::kResourceExhausted) {
+      (void)dpu.event_loop_once();
+      st = dpu.call_inplace(kPushMethod, static_cast<uint16_t>(batch_class),
+                            rdmarpc::kMaxPayloadSize,
+                            [&](arena::Arena& a, const arena::AddressTranslator& x)
+                                -> StatusOr<uint32_t> {
+                              auto obj = deserializer.deserialize(batch_class,
+                                                                  ByteSpan(wire), a, x);
+                              if (!obj.is_ok()) return obj.status();
+                              return static_cast<uint32_t>(a.used());
+                            },
+                            nullptr);
+    }
+    if (!st.is_ok()) {
+      std::cerr << "push: " << st.to_string() << "\n";
+      return 1;
+    }
+    // Batch a few pushes per event-loop turn (the §IV batching contract).
+    if (b % 8 == 7) (void)dpu.event_loop_once();
+  }
+  while (dpu.in_flight() > 0 || dpu.enqueued_unflushed() > 0) {
+    auto n = dpu.event_loop_once();
+    if (!n.is_ok()) break;
+    if (*n == 0) dpu_conn.wait(1);
+  }
+  double seconds = wall.elapsed_s();
+
+  stop.store(true);
+  host_conn.interrupt();
+  host_thread.join();
+
+  std::cout << "ingested " << agg.batches << " batches / " << agg.readings
+            << " readings in " << seconds * 1e3 << " ms\n";
+  std::cout << "value sum " << agg.value_sum << ", watermark " << agg.watermark_us
+            << " us, errors " << agg.errors << "\n";
+  std::cout << "client saw acks for " << acked_readings << " readings\n";
+  std::cout << "host busy: " << host_busy_ns.load() / 1e6
+            << " ms CPU (all of it business logic — deserialization ran on the "
+               "DPU)\n";
+  std::cout << "PCIe bytes DPU->host: " << dpu_conn.tx_counters().bytes.load()
+            << ", host->DPU: " << host_conn.tx_counters().bytes.load() << "\n";
+  (void)indices;
+  return agg.readings == static_cast<uint64_t>(kBatches) * kReadingsPerBatch ? 0 : 1;
+}

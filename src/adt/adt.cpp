@@ -1,0 +1,339 @@
+#include <limits>
+#include "adt/adt.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/align.hpp"
+#include "common/endian.hpp"
+
+namespace dpurpc::adt {
+
+const FieldEntry* ClassEntry::field_by_number(uint32_t number) const noexcept {
+  auto it = std::lower_bound(
+      fields.begin(), fields.end(), number,
+      [](const FieldEntry& f, uint32_t n) { return f.number < n; });
+  if (it == fields.end() || it->number != number) return nullptr;
+  return &*it;
+}
+
+AbiFingerprint AbiFingerprint::current(arena::StdLibFlavor flavor) noexcept {
+  AbiFingerprint fp;
+  fp.pointer_size = sizeof(void*);
+  fp.little_endian = std::endian::native == std::endian::little ? 1 : 0;
+  fp.string_flavor = static_cast<uint8_t>(flavor);
+  fp.string_size = flavor == arena::StdLibFlavor::kLibstdcpp ? 32 : 24;
+  fp.ieee754 = std::numeric_limits<double>::is_iec559 ? 1 : 0;
+  return fp;
+}
+
+Status AbiFingerprint::compatible_with(const AbiFingerprint& other) const noexcept {
+  if (pointer_size != other.pointer_size) {
+    return Status(Code::kFailedPrecondition, "pointer size mismatch");
+  }
+  if (little_endian != other.little_endian) {
+    return Status(Code::kFailedPrecondition, "endianness mismatch");
+  }
+  if (string_flavor != other.string_flavor || string_size != other.string_size) {
+    return Status(Code::kFailedPrecondition, "std::string ABI mismatch");
+  }
+  if (ieee754 != other.ieee754) {
+    return Status(Code::kFailedPrecondition, "floating point format mismatch");
+  }
+  return Status::ok();
+}
+
+uint32_t Adt::add_class(ClassEntry entry) {
+  auto index = static_cast<uint32_t>(classes_.size());
+  by_name_.emplace(entry.name, index);
+  classes_.push_back(std::move(entry));
+  return index;
+}
+
+void Adt::replace_class(uint32_t index, ClassEntry entry) {
+  classes_.at(index) = std::move(entry);
+}
+
+uint32_t Adt::find_class(std::string_view name) const noexcept {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? UINT32_MAX : it->second;
+}
+
+Status Adt::validate() const {
+  for (const auto& cls : classes_) {
+    if (cls.default_bytes.size() != cls.size) {
+      return Status(Code::kInternal, "ADT class " + cls.name +
+                                         ": default bytes do not match size");
+    }
+    if (!is_pow2(cls.align) || cls.align > kBlockAlign) {
+      return Status(Code::kInternal, "ADT class " + cls.name + ": bad alignment");
+    }
+    uint32_t prev = 0;
+    for (const auto& f : cls.fields) {
+      if (f.number <= prev) {
+        return Status(Code::kInternal,
+                      "ADT class " + cls.name + ": fields not sorted by number");
+      }
+      prev = f.number;
+      if (f.offset >= cls.size) {
+        return Status(Code::kInternal, "ADT class " + cls.name + ": field offset "
+                                           "outside the instance");
+      }
+      if (f.type == proto::FieldType::kMessage) {
+        if (f.child_class == kNoChild || f.child_class >= classes_.size()) {
+          return Status(Code::kInternal, "ADT class " + cls.name +
+                                             ": dangling child class link");
+        }
+      }
+      if (f.has_bit >= 32) {
+        return Status(Code::kInternal, "ADT class " + cls.name +
+                                           ": has-bit beyond the 32-bit word");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+namespace {
+
+void put_u8(Bytes& out, uint8_t v) { out.push_back(static_cast<std::byte>(v)); }
+void put_u32(Bytes& out, uint32_t v) {
+  uint8_t b[4];
+  store_le(b, v);
+  for (uint8_t x : b) out.push_back(static_cast<std::byte>(x));
+}
+void put_i32(Bytes& out, int32_t v) { put_u32(out, static_cast<uint32_t>(v)); }
+void put_str(Bytes& out, std::string_view s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  const auto* b = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), b, b + s.size());
+}
+
+struct Cursor {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  bool need(size_t n) const { return static_cast<size_t>(end - p) >= n; }
+  StatusOr<uint8_t> u8() {
+    if (!need(1)) return Status(Code::kDataLoss, "truncated ADT");
+    return *p++;
+  }
+  StatusOr<uint32_t> u32() {
+    if (!need(4)) return Status(Code::kDataLoss, "truncated ADT");
+    uint32_t v = load_le<uint32_t>(p);
+    p += 4;
+    return v;
+  }
+  StatusOr<std::string> str() {
+    auto n = u32();
+    if (!n.is_ok()) return n.status();
+    if (!need(*n)) return Status(Code::kDataLoss, "truncated ADT string");
+    std::string s(reinterpret_cast<const char*>(p), *n);
+    p += *n;
+    return s;
+  }
+};
+
+constexpr uint32_t kAdtMagic = 0x31544441;  // "ADT1"
+
+}  // namespace
+
+Bytes Adt::serialize() const {
+  Bytes out;
+  put_u32(out, kAdtMagic);
+  put_u8(out, fingerprint_.pointer_size);
+  put_u8(out, fingerprint_.little_endian);
+  put_u8(out, fingerprint_.string_flavor);
+  put_u8(out, fingerprint_.string_size);
+  put_u8(out, fingerprint_.ieee754);
+  put_u32(out, static_cast<uint32_t>(classes_.size()));
+  for (const auto& cls : classes_) {
+    put_str(out, cls.name);
+    put_u32(out, cls.size);
+    put_u32(out, cls.align);
+    put_u32(out, cls.has_bits_offset);
+    put_u32(out, static_cast<uint32_t>(cls.default_bytes.size()));
+    const auto* b = reinterpret_cast<const std::byte*>(cls.default_bytes.data());
+    out.insert(out.end(), b, b + cls.default_bytes.size());
+    put_u32(out, static_cast<uint32_t>(cls.fields.size()));
+    for (const auto& f : cls.fields) {
+      put_u32(out, f.number);
+      put_u8(out, static_cast<uint8_t>(f.type));
+      put_u8(out, f.repeated ? 1 : 0);
+      put_u32(out, f.offset);
+      put_i32(out, f.has_bit);
+      put_u32(out, f.child_class);
+    }
+  }
+  return out;
+}
+
+StatusOr<Adt> Adt::deserialize(ByteSpan data) {
+  Cursor c{reinterpret_cast<const uint8_t*>(data.data()),
+           reinterpret_cast<const uint8_t*>(data.data()) + data.size()};
+  auto magic = c.u32();
+  if (!magic.is_ok()) return magic.status();
+  if (*magic != kAdtMagic) return Status(Code::kDataLoss, "bad ADT magic");
+
+  Adt adt;
+  AbiFingerprint fp;
+  DPURPC_ASSIGN_OR_RETURN(fp.pointer_size, c.u8());
+  DPURPC_ASSIGN_OR_RETURN(fp.little_endian, c.u8());
+  DPURPC_ASSIGN_OR_RETURN(fp.string_flavor, c.u8());
+  DPURPC_ASSIGN_OR_RETURN(fp.string_size, c.u8());
+  DPURPC_ASSIGN_OR_RETURN(fp.ieee754, c.u8());
+  adt.set_fingerprint(fp);
+
+  auto count = c.u32();
+  if (!count.is_ok()) return count.status();
+  for (uint32_t i = 0; i < *count; ++i) {
+    ClassEntry cls;
+    DPURPC_ASSIGN_OR_RETURN(cls.name, c.str());
+    DPURPC_ASSIGN_OR_RETURN(cls.size, c.u32());
+    DPURPC_ASSIGN_OR_RETURN(cls.align, c.u32());
+    DPURPC_ASSIGN_OR_RETURN(cls.has_bits_offset, c.u32());
+    auto nbytes = c.u32();
+    if (!nbytes.is_ok()) return nbytes.status();
+    if (!c.need(*nbytes)) return Status(Code::kDataLoss, "truncated ADT defaults");
+    cls.default_bytes.assign(c.p, c.p + *nbytes);
+    c.p += *nbytes;
+    auto nfields = c.u32();
+    if (!nfields.is_ok()) return nfields.status();
+    for (uint32_t j = 0; j < *nfields; ++j) {
+      FieldEntry f;
+      DPURPC_ASSIGN_OR_RETURN(f.number, c.u32());
+      auto type = c.u8();
+      if (!type.is_ok()) return type.status();
+      if (*type > static_cast<uint8_t>(proto::FieldType::kEnum)) {
+        return Status(Code::kDataLoss, "bad ADT field type");
+      }
+      f.type = static_cast<proto::FieldType>(*type);
+      auto rep = c.u8();
+      if (!rep.is_ok()) return rep.status();
+      f.repeated = *rep != 0;
+      DPURPC_ASSIGN_OR_RETURN(f.offset, c.u32());
+      auto hb = c.u32();
+      if (!hb.is_ok()) return hb.status();
+      f.has_bit = static_cast<int32_t>(*hb);
+      DPURPC_ASSIGN_OR_RETURN(f.child_class, c.u32());
+      cls.fields.push_back(f);
+    }
+    adt.add_class(std::move(cls));
+  }
+  if (c.p != c.end) return Status(Code::kDataLoss, "trailing bytes after ADT");
+  DPURPC_RETURN_IF_ERROR(adt.validate());
+  return adt;
+}
+
+// ------------------------------------------------- synthesized layouts
+
+uint32_t field_storage_size(proto::FieldType t, bool repeated,
+                            arena::StdLibFlavor flavor) noexcept {
+  if (repeated) return 16;  // RepeatedField / RepeatedPtrField
+  switch (t) {
+    case proto::FieldType::kBool: return 1;
+    case proto::FieldType::kInt32:
+    case proto::FieldType::kUint32:
+    case proto::FieldType::kSint32:
+    case proto::FieldType::kFixed32:
+    case proto::FieldType::kSfixed32:
+    case proto::FieldType::kFloat:
+    case proto::FieldType::kEnum:
+      return 4;
+    case proto::FieldType::kInt64:
+    case proto::FieldType::kUint64:
+    case proto::FieldType::kSint64:
+    case proto::FieldType::kFixed64:
+    case proto::FieldType::kSfixed64:
+    case proto::FieldType::kDouble:
+      return 8;
+    case proto::FieldType::kString:
+    case proto::FieldType::kBytes:
+      return flavor == arena::StdLibFlavor::kLibstdcpp ? 32 : 24;
+    case proto::FieldType::kMessage:
+      return 8;  // pointer to child instance
+  }
+  return 8;
+}
+
+uint32_t field_storage_align(proto::FieldType t, bool repeated,
+                             arena::StdLibFlavor flavor) noexcept {
+  uint32_t size = field_storage_size(t, repeated, flavor);
+  if (t == proto::FieldType::kString || t == proto::FieldType::kBytes || repeated) {
+    return 8;
+  }
+  return size;  // natural alignment for scalars / pointers
+}
+
+StatusOr<uint32_t> DescriptorAdtBuilder::add_message(
+    const proto::MessageDescriptor* message) {
+  return add_message_impl(message, 0);
+}
+
+StatusOr<uint32_t> DescriptorAdtBuilder::add_message_impl(
+    const proto::MessageDescriptor* message, int depth) {
+  if (depth > 64) {
+    return Status(Code::kInvalidArgument,
+                  "message type nesting too deep for ADT construction");
+  }
+  if (auto it = built_.find(message); it != built_.end()) return it->second;
+
+  // Reserve the index first so self-referential types (message R { R next })
+  // link to themselves correctly.
+  ClassEntry placeholder;
+  placeholder.name = message->full_name();
+  uint32_t index = adt_.add_class(std::move(placeholder));
+  built_[message] = index;
+
+  ClassEntry cls;
+  cls.name = message->full_name();
+  // Synthesized layout: 8-byte header word standing in for the vptr of a
+  // generated class, then the 32-bit has-bits word, then fields in
+  // declaration order at natural alignment.
+  uint32_t offset = 8;
+  cls.has_bits_offset = offset;
+  offset += 4;
+  int32_t next_has_bit = 0;
+  uint32_t max_align = 8;
+
+  std::vector<FieldEntry> fields;
+  for (const auto& fptr : message->fields()) {
+    const proto::FieldDescriptor* fd = fptr.get();
+    FieldEntry f;
+    f.number = fd->number();
+    f.type = fd->type();
+    f.repeated = fd->is_repeated();
+    uint32_t fsize = field_storage_size(f.type, f.repeated, flavor_);
+    uint32_t falign = field_storage_align(f.type, f.repeated, flavor_);
+    max_align = std::max(max_align, falign);
+    offset = static_cast<uint32_t>(align_up(offset, falign));
+    f.offset = offset;
+    offset += fsize;
+    if (!f.repeated) {
+      if (next_has_bit >= 32) {
+        return Status(Code::kInvalidArgument,
+                      "more than 32 singular fields in " + message->full_name() +
+                          " (ADT has-bits word is 32 bits)");
+      }
+      f.has_bit = next_has_bit++;
+    }
+    if (fd->type() == proto::FieldType::kMessage) {
+      DPURPC_ASSIGN_OR_RETURN(f.child_class,
+                              add_message_impl(fd->message_type(), depth + 1));
+    }
+    fields.push_back(f);
+  }
+  std::sort(fields.begin(), fields.end(),
+            [](const FieldEntry& a, const FieldEntry& b) { return a.number < b.number; });
+  cls.fields = std::move(fields);
+  cls.align = max_align;
+  cls.size = static_cast<uint32_t>(align_up(offset, max_align));
+  cls.default_bytes.assign(cls.size, 0);  // synthesized default: all zero
+
+  adt_.replace_class(index, std::move(cls));
+  return index;
+}
+
+Adt DescriptorAdtBuilder::take() && { return std::move(adt_); }
+
+}  // namespace dpurpc::adt

@@ -1,0 +1,143 @@
+// The Accelerator Description Table (§V.B of the paper).
+//
+// The ADT carries everything the DPU needs to deserialize any protobuf
+// message straight into a host-ABI C++ object: per-class default instance
+// bytes (which embed the host vptr), per-field offsets and wire types, and
+// child links for nested message types. Metadata is per *class*, never per
+// instance, so it is transmitted exactly once, at application start, and
+// the DPU binary needs no recompilation to support new message types.
+//
+// On the host the table is built by generated .adt.pb.cc code (or by the
+// descriptor-driven builder below); it is then serialized and shipped to
+// the DPU, which reconstructs it with no knowledge of the C++ classes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arena/string_craft.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "proto/descriptor.hpp"
+
+namespace dpurpc::adt {
+
+// The paper's §IV assumption, made explicit: object crafting stores field
+// values in the C++ native representation, and the wire format is
+// little-endian, so the two coincide only on little-endian hosts. (The
+// ABI fingerprint still carries the endianness byte so mismatched peers
+// refuse to pair rather than corrupt objects.)
+static_assert(std::endian::native == std::endian::little,
+              "ADT object crafting requires a little-endian host, like the "
+              "paper's x86-64 host and ARM64 DPU");
+
+inline constexpr uint32_t kNoChild = UINT32_MAX;
+inline constexpr int32_t kNoHasBit = -1;
+
+/// One field of a described class: where it lives and how to decode it.
+struct FieldEntry {
+  uint32_t number = 0;             ///< proto field number
+  proto::FieldType type = proto::FieldType::kInt32;
+  bool repeated = false;
+  uint32_t offset = 0;             ///< byte offset of the storage in the class
+  int32_t has_bit = kNoHasBit;     ///< bit index in the has-bits word, or -1
+  uint32_t child_class = kNoChild; ///< ClassEntry index for message fields
+};
+
+/// One message class: identity, layout, default bytes, fields.
+struct ClassEntry {
+  std::string name;                 ///< fully-qualified proto name
+  uint32_t size = 0;                ///< sizeof(T)
+  uint32_t align = 0;               ///< alignof(T)
+  uint32_t has_bits_offset = 0;     ///< offset of the uint32 has-bits word
+  std::vector<uint8_t> default_bytes;  ///< the default instance, verbatim
+  std::vector<FieldEntry> fields;      ///< sorted by field number
+
+  const FieldEntry* field_by_number(uint32_t number) const noexcept;
+};
+
+/// ABI facts that must agree between the two sides before offloading is
+/// safe (§V.A): pointer width, endianness, std::string layout/size, float
+/// format. Exchanged inside the serialized ADT and validated on receipt.
+struct AbiFingerprint {
+  uint8_t pointer_size = sizeof(void*);
+  uint8_t little_endian = 1;
+  uint8_t string_flavor = 0;  ///< arena::StdLibFlavor
+  uint8_t string_size = 0;    ///< sizeof(std::string) under that flavor
+  uint8_t ieee754 = 1;
+
+  static AbiFingerprint current(arena::StdLibFlavor flavor) noexcept;
+  Status compatible_with(const AbiFingerprint& other) const noexcept;
+};
+
+/// The table itself. Lookup by class index (hot path) or name (setup path).
+class Adt {
+ public:
+  Adt() = default;
+
+  /// Register a class; returns its index.
+  uint32_t add_class(ClassEntry entry);
+
+  /// Replace a previously-added entry in place (builders reserve indices
+  /// for recursive types before their layout is complete). The name must
+  /// stay the same.
+  void replace_class(uint32_t index, ClassEntry entry);
+
+  uint32_t class_count() const noexcept { return static_cast<uint32_t>(classes_.size()); }
+  const ClassEntry& class_at(uint32_t index) const { return classes_.at(index); }
+
+  /// UINT32_MAX when absent.
+  uint32_t find_class(std::string_view name) const noexcept;
+
+  const AbiFingerprint& fingerprint() const noexcept { return fingerprint_; }
+  void set_fingerprint(AbiFingerprint fp) noexcept { fingerprint_ = fp; }
+
+  /// Sanity-check internal consistency (child links in range, defaults
+  /// sized, fields sorted). Run before serializing or after deserializing.
+  Status validate() const;
+
+  /// Wire form for the one-time host→DPU transfer.
+  Bytes serialize() const;
+  static StatusOr<Adt> deserialize(ByteSpan data);
+
+ private:
+  std::vector<ClassEntry> classes_;
+  std::map<std::string, uint32_t, std::less<>> by_name_;
+  AbiFingerprint fingerprint_{};
+};
+
+/// Build an ADT **from descriptors alone** by synthesizing the C++ layout
+/// the adtc generator would emit (vptr word, has-bits word, fields in
+/// declaration order with natural alignment). Generated classes register
+/// their real layouts instead (see adt_registry.hpp); this builder is the
+/// descriptor-driven path used with DynamicLayout objects and in tests.
+class DescriptorAdtBuilder {
+ public:
+  explicit DescriptorAdtBuilder(arena::StdLibFlavor flavor) : flavor_(flavor) {}
+
+  /// Add `message` and, recursively, every message type it references.
+  /// Returns the class index of `message`.
+  StatusOr<uint32_t> add_message(const proto::MessageDescriptor* message);
+
+  Adt take() &&;
+
+ private:
+  StatusOr<uint32_t> add_message_impl(const proto::MessageDescriptor* message,
+                                      int depth);
+  arena::StdLibFlavor flavor_;
+  Adt adt_;
+  std::map<const proto::MessageDescriptor*, uint32_t> built_;
+};
+
+/// Field storage size/alignment for a synthesized layout under `flavor`.
+/// (For real generated classes these come from the compiler instead.)
+uint32_t field_storage_size(proto::FieldType t, bool repeated,
+                            arena::StdLibFlavor flavor) noexcept;
+uint32_t field_storage_align(proto::FieldType t, bool repeated,
+                             arena::StdLibFlavor flavor) noexcept;
+
+}  // namespace dpurpc::adt

@@ -1,0 +1,89 @@
+// Registration interface for *generated* message classes (.adt.pb.cc).
+//
+// The adtc code generator emits one registration function per .proto file;
+// it describes each compiled C++ class with real compiler-provided offsets
+// (taken from a live default instance, which also supplies the default
+// bytes and the vptr). Hand-written message classes (src/msgs) use the same
+// interface, demonstrating exactly what generated code does.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+
+#include "adt/adt.hpp"
+
+namespace dpurpc::adt {
+
+/// Builds one ClassEntry from a live default instance of T.
+template <typename T>
+class ClassBuilder {
+ public:
+  ClassBuilder(std::string name, const T& default_instance)
+      : instance_(&default_instance) {
+    entry_.name = std::move(name);
+    entry_.size = sizeof(T);
+    entry_.align = alignof(T);
+    entry_.default_bytes.resize(sizeof(T));
+    std::memcpy(entry_.default_bytes.data(), &default_instance, sizeof(T));
+  }
+
+  /// Offset of `member` inside the default instance. Works for
+  /// non-standard-layout (polymorphic) classes, unlike offsetof.
+  template <typename M>
+  uint32_t offset_of(const M& member) const noexcept {
+    return static_cast<uint32_t>(reinterpret_cast<const char*>(&member) -
+                                 reinterpret_cast<const char*>(instance_));
+  }
+
+  ClassBuilder& has_bits(const uint32_t& member) {
+    entry_.has_bits_offset = offset_of(member);
+    return *this;
+  }
+
+  template <typename M>
+  ClassBuilder& field(uint32_t number, proto::FieldType type, const M& member,
+                      int32_t has_bit = kNoHasBit, uint32_t child_class = kNoChild) {
+    FieldEntry f;
+    f.number = number;
+    f.type = type;
+    f.repeated = false;
+    f.offset = offset_of(member);
+    f.has_bit = has_bit;
+    f.child_class = child_class;
+    entry_.fields.push_back(f);
+    return *this;
+  }
+
+  template <typename M>
+  ClassBuilder& repeated(uint32_t number, proto::FieldType type, const M& member,
+                         uint32_t child_class = kNoChild) {
+    FieldEntry f;
+    f.number = number;
+    f.type = type;
+    f.repeated = true;
+    f.offset = offset_of(member);
+    f.child_class = child_class;
+    entry_.fields.push_back(f);
+    return *this;
+  }
+
+  /// Finalize and register; returns the class index.
+  uint32_t register_in(Adt& adt) {
+    return adt.add_class(build());
+  }
+
+  /// Finalize without registering (two-phase registration of mutually
+  /// recursive types: reserve indices first, then replace_class).
+  /// Consumes the builder's entry; call once.
+  ClassEntry build() {
+    std::sort(entry_.fields.begin(), entry_.fields.end(),
+              [](const FieldEntry& a, const FieldEntry& b) { return a.number < b.number; });
+    return std::move(entry_);
+  }
+
+ private:
+  ClassEntry entry_;
+  const T* instance_;
+};
+
+}  // namespace dpurpc::adt

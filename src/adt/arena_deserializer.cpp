@@ -1,0 +1,480 @@
+#include "adt/arena_deserializer.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/endian.hpp"
+#include "wire/coded_stream.hpp"
+#include "wire/utf8.hpp"
+#include "wire/varint.hpp"
+
+namespace dpurpc::adt {
+
+namespace {
+
+using proto::FieldType;
+using wire::Reader;
+using wire::WireType;
+
+/// In-memory shape of RepeatedField<T> / RepeatedPtrField<T>. Kept in sync
+/// by the static_asserts in repeated_field.hpp.
+struct RepHeader {
+  void* data;
+  uint32_t size;
+  uint32_t capacity;
+};
+static_assert(sizeof(RepHeader) == 16);
+
+uint32_t scalar_elem_size(FieldType t) noexcept {
+  switch (t) {
+    case FieldType::kBool: return 1;
+    case FieldType::kInt32:
+    case FieldType::kUint32:
+    case FieldType::kSint32:
+    case FieldType::kFixed32:
+    case FieldType::kSfixed32:
+    case FieldType::kFloat:
+    case FieldType::kEnum:
+      return 4;
+    default:
+      return 8;
+  }
+}
+
+void set_has_bit(std::byte* base, const ClassEntry& cls, const FieldEntry& f) noexcept {
+  if (f.has_bit < 0) return;
+  auto* word = reinterpret_cast<uint32_t*>(base + cls.has_bits_offset);
+  *word |= 1u << f.has_bit;
+}
+
+/// Store one decoded scalar (already type-normalized into `v64`) at `dst`.
+void store_scalar(std::byte* dst, FieldType t, uint64_t raw) noexcept {
+  switch (t) {
+    case FieldType::kBool:
+      *reinterpret_cast<uint8_t*>(dst) = raw != 0 ? 1 : 0;
+      break;
+    case FieldType::kInt32:
+    case FieldType::kEnum:
+      dpurpc::store_le(dst, static_cast<uint32_t>(raw));  // two's complement
+      break;
+    case FieldType::kSint32:
+      dpurpc::store_le(dst, static_cast<uint32_t>(wire::zigzag_decode32(
+                                static_cast<uint32_t>(raw))));
+      break;
+    case FieldType::kUint32:
+    case FieldType::kFixed32:
+    case FieldType::kSfixed32:
+    case FieldType::kFloat:
+      dpurpc::store_le(dst, static_cast<uint32_t>(raw));
+      break;
+    case FieldType::kSint64:
+      dpurpc::store_le(dst, static_cast<uint64_t>(wire::zigzag_decode64(raw)));
+      break;
+    default:
+      dpurpc::store_le(dst, raw);
+      break;
+  }
+}
+
+/// Read one element of a packed/unpacked scalar from the wire.
+StatusOr<uint64_t> read_scalar_raw(Reader& r, FieldType t) noexcept {
+  switch (proto::wire_type_for(t)) {
+    case WireType::kVarint: {
+      auto v = r.read_varint();
+      if (!v.is_ok()) return v.status();
+      return *v;
+    }
+    case WireType::kFixed32: {
+      auto v = r.read_fixed32();
+      if (!v.is_ok()) return v.status();
+      return static_cast<uint64_t>(*v);
+    }
+    case WireType::kFixed64:
+      return r.read_fixed64();
+    default:
+      return Status(Code::kInternal, "scalar with length-delimited wire type");
+  }
+}
+
+/// Grow a repeated header's buffer to hold `needed` elements of
+/// `elem_size` bytes. Data pointer stays *local* during parsing.
+Status ensure_capacity(RepHeader& h, uint32_t needed, uint32_t elem_size,
+                       uint32_t elem_align, arena::Arena& arena) {
+  if (needed <= h.capacity) return Status::ok();
+  uint32_t new_cap = h.capacity ? h.capacity : 8;
+  while (new_cap < needed) new_cap *= 2;
+  void* fresh = arena.allocate(static_cast<size_t>(new_cap) * elem_size, elem_align);
+  if (fresh == nullptr) {
+    return Status(Code::kResourceExhausted, "arena full growing repeated field");
+  }
+  if (h.size > 0) std::memcpy(fresh, h.data, static_cast<size_t>(h.size) * elem_size);
+  h.data = fresh;
+  h.capacity = new_cap;
+  return Status::ok();
+}
+
+/// Count elements in a packed payload without decoding values: one scan,
+/// enabling a single exact-size allocation (the deserializer's hot loop
+/// for the paper's x512 Ints workload).
+StatusOr<uint32_t> count_packed_elements(std::string_view payload, FieldType t) {
+  switch (proto::wire_type_for(t)) {
+    case WireType::kFixed32:
+      if (payload.size() % 4 != 0) {
+        return Status(Code::kDataLoss, "packed fixed32 payload not a multiple of 4");
+      }
+      return static_cast<uint32_t>(payload.size() / 4);
+    case WireType::kFixed64:
+      if (payload.size() % 8 != 0) {
+        return Status(Code::kDataLoss, "packed fixed64 payload not a multiple of 8");
+      }
+      return static_cast<uint32_t>(payload.size() / 8);
+    case WireType::kVarint: {
+      uint32_t count = 0;
+      for (unsigned char c : payload) {
+        if ((c & 0x80) == 0) ++count;
+      }
+      if (!payload.empty() &&
+          (static_cast<unsigned char>(payload.back()) & 0x80) != 0) {
+        return Status(Code::kDataLoss, "packed varint payload ends mid-element");
+      }
+      return count;
+    }
+    default:
+      return Status(Code::kInternal, "packed non-scalar");
+  }
+}
+
+}  // namespace
+
+ArenaDeserializer::ArenaDeserializer(const Adt* adt, DeserializeOptions options)
+    : adt_(adt),
+      flavor_(static_cast<arena::StdLibFlavor>(adt->fingerprint().string_flavor)),
+      options_(options) {}
+
+StatusOr<void*> ArenaDeserializer::deserialize(
+    uint32_t class_index, ByteSpan wire, arena::Arena& arena,
+    const arena::AddressTranslator& xlate) const {
+  if (class_index >= adt_->class_count()) {
+    return Status(Code::kNotFound, "unknown ADT class index");
+  }
+  const ClassEntry& cls = adt_->class_at(class_index);
+  auto* base = static_cast<std::byte*>(arena.allocate(cls.size, cls.align));
+  if (base == nullptr) {
+    return Status(Code::kResourceExhausted, "arena full allocating message instance");
+  }
+  // The default-instance copy seeds unset fields *and* the vptr (§V.B).
+  std::memcpy(base, cls.default_bytes.data(), cls.size);
+  DPURPC_RETURN_IF_ERROR(parse_into(cls, base, wire, arena, xlate, 0));
+  if (xlate.delta != 0) fix_pointers(cls, base, xlate);
+  return static_cast<void*>(base);
+}
+
+Status ArenaDeserializer::parse_into(const ClassEntry& cls, std::byte* base,
+                                     ByteSpan wire, arena::Arena& arena,
+                                     const arena::AddressTranslator& xlate,
+                                     int depth) const {
+  if (depth > options_.max_recursion_depth) {
+    return Status(Code::kDataLoss, "message nesting exceeds recursion limit");
+  }
+  Reader r(wire);
+  while (!r.done()) {
+    auto tag = r.read_tag();
+    if (!tag.is_ok()) return tag.status();
+    uint32_t number = wire::tag_field_number(*tag);
+    WireType wt = wire::tag_wire_type(*tag);
+    const FieldEntry* f = cls.field_by_number(number);
+    if (f == nullptr) {
+      DPURPC_RETURN_IF_ERROR(r.skip_value(wt));
+      continue;
+    }
+    std::byte* dst = base + f->offset;
+
+    if (wt == WireType::kLengthDelimited) {
+      auto payload = r.read_length_delimited();
+      if (!payload.is_ok()) return payload.status();
+      switch (f->type) {
+        case FieldType::kString:
+          if (options_.validate_utf8 && !wire::validate_utf8(*payload)) {
+            return Status(Code::kDataLoss, "invalid UTF-8 in string field");
+          }
+          [[fallthrough]];
+        case FieldType::kBytes: {
+          uint32_t slot_size = adt_->fingerprint().string_size;
+          if (f->repeated) {
+            auto& h = *reinterpret_cast<RepHeader*>(dst);
+            DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + 1, sizeof(void*), 8, arena));
+            void* slot = arena.allocate(slot_size, 8);
+            if (slot == nullptr) {
+              return Status(Code::kResourceExhausted, "arena full (string slot)");
+            }
+            DPURPC_RETURN_IF_ERROR(
+                arena::craft_string(slot, *payload, arena, xlate, flavor_));
+            static_cast<void**>(h.data)[h.size++] = slot;  // local; fixed up below
+          } else {
+            DPURPC_RETURN_IF_ERROR(
+                arena::craft_string(dst, *payload, arena, xlate, flavor_));
+            set_has_bit(base, cls, *f);
+          }
+          break;
+        }
+        case FieldType::kMessage: {
+          const ClassEntry& child_cls = adt_->class_at(f->child_class);
+          if (f->repeated) {
+            auto& h = *reinterpret_cast<RepHeader*>(dst);
+            DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + 1, sizeof(void*), 8, arena));
+            auto* child = static_cast<std::byte*>(
+                arena.allocate(child_cls.size, child_cls.align));
+            if (child == nullptr) {
+              return Status(Code::kResourceExhausted, "arena full (child message)");
+            }
+            std::memcpy(child, child_cls.default_bytes.data(), child_cls.size);
+            DPURPC_RETURN_IF_ERROR(parse_into(child_cls, child,
+                                              as_bytes_view(*payload), arena, xlate,
+                                              depth + 1));
+            static_cast<void**>(h.data)[h.size++] = child;  // local; fixed up below
+          } else {
+            // proto3 merge semantics: a repeated occurrence of a singular
+            // message field merges into the existing instance.
+            auto* existing =
+                reinterpret_cast<std::byte*>(dpurpc::load_le<uint64_t>(dst));
+            std::byte* child = existing;
+            if (child == nullptr) {
+              child = static_cast<std::byte*>(
+                  arena.allocate(child_cls.size, child_cls.align));
+              if (child == nullptr) {
+                return Status(Code::kResourceExhausted, "arena full (child message)");
+              }
+              std::memcpy(child, child_cls.default_bytes.data(), child_cls.size);
+            }
+            DPURPC_RETURN_IF_ERROR(parse_into(child_cls, child,
+                                              as_bytes_view(*payload), arena, xlate,
+                                              depth + 1));
+            dpurpc::store_le(dst, reinterpret_cast<uint64_t>(child));  // local
+            set_has_bit(base, cls, *f);
+          }
+          break;
+        }
+        default: {
+          // Packed repeated scalars.
+          if (!f->repeated || !proto::is_packable(f->type)) {
+            return Status(Code::kDataLoss, "length-delimited data for scalar field");
+          }
+          auto count = count_packed_elements(*payload, f->type);
+          if (!count.is_ok()) return count.status();
+          uint32_t elem = scalar_elem_size(f->type);
+          auto& h = *reinterpret_cast<RepHeader*>(dst);
+          DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + *count, elem, elem, arena));
+          auto* out = static_cast<std::byte*>(h.data) +
+                      static_cast<size_t>(h.size) * elem;
+          // Hot loop (the paper's dominant cost for the x512 Ints
+          // workload): raw-pointer decode, no per-element Status
+          // machinery. The pre-scan already proved the payload
+          // well-formed for fixed-width types and varint termination.
+          const auto* pp = reinterpret_cast<const uint8_t*>(payload->data());
+          const auto* pend = pp + payload->size();
+          switch (proto::wire_type_for(f->type)) {
+            case WireType::kFixed32:
+              std::memcpy(out, pp, static_cast<size_t>(*count) * 4);
+              break;
+            case WireType::kFixed64:
+              std::memcpy(out, pp, static_cast<size_t>(*count) * 8);
+              break;
+            default:
+              for (uint32_t i = 0; i < *count; ++i, out += elem) {
+                auto r = wire::decode_varint(pp, pend);
+                if (!r.ok) [[unlikely]] {
+                  return Status(Code::kDataLoss, "malformed packed varint");
+                }
+                store_scalar(out, f->type, r.value);
+                pp = r.next;
+              }
+              break;
+          }
+          h.size += *count;
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Non-length-delimited value.
+    if (wt != proto::wire_type_for(f->type)) {
+      return Status(Code::kDataLoss, "wire type mismatch");
+    }
+    auto raw = read_scalar_raw(r, f->type);
+    if (!raw.is_ok()) return raw.status();
+    if (f->repeated) {
+      uint32_t elem = scalar_elem_size(f->type);
+      auto& h = *reinterpret_cast<RepHeader*>(dst);
+      DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + 1, elem, elem, arena));
+      store_scalar(static_cast<std::byte*>(h.data) +
+                       static_cast<size_t>(h.size) * elem,
+                   f->type, *raw);
+      ++h.size;
+    } else {
+      store_scalar(dst, f->type, *raw);
+      set_has_bit(base, cls, *f);
+    }
+  }
+
+  return Status::ok();
+}
+
+// Pointer fixup: rebase every embedded pointer into the receiver's address
+// space. Runs exactly once, after the whole object tree is parsed (all
+// intermediate pointers are local during parsing, which keeps proto3 merge
+// semantics from translating a child twice). Under the paper's mirrored
+// shared address space (delta == 0) this pass vanishes — the measured
+// benefit of mirroring (see bench/ablation_fixup). Strings were crafted
+// directly with `xlate`, so they need no attention here.
+void ArenaDeserializer::fix_pointers(const ClassEntry& cls, std::byte* base,
+                                     const arena::AddressTranslator& xlate) const {
+  const auto has_bits = dpurpc::load_le<uint32_t>(base + cls.has_bits_offset);
+  for (const FieldEntry& f : cls.fields) {
+    std::byte* dst = base + f.offset;
+    if (f.repeated) {
+      auto& h = *reinterpret_cast<RepHeader*>(dst);
+      if (h.data == nullptr) continue;
+      if (f.type == FieldType::kMessage) {
+        auto** elems = static_cast<void**>(h.data);
+        for (uint32_t i = 0; i < h.size; ++i) {
+          fix_pointers(adt_->class_at(f.child_class),
+                       static_cast<std::byte*>(elems[i]), xlate);
+          elems[i] = xlate.translate(elems[i]);
+        }
+      } else if (f.type == FieldType::kString || f.type == FieldType::kBytes) {
+        auto** elems = static_cast<void**>(h.data);
+        for (uint32_t i = 0; i < h.size; ++i) elems[i] = xlate.translate(elems[i]);
+      }
+      h.data = xlate.translate(h.data);
+    } else if (f.type == FieldType::kMessage && f.has_bit >= 0 &&
+               (has_bits & (1u << f.has_bit)) != 0) {
+      auto* child = reinterpret_cast<std::byte*>(dpurpc::load_le<uint64_t>(dst));
+      if (child != nullptr) {
+        fix_pointers(adt_->class_at(f.child_class), child, xlate);
+        dpurpc::store_le(dst, reinterpret_cast<uint64_t>(xlate.translate(child)));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ LayoutView
+
+bool LayoutView::has(uint32_t field_number) const noexcept {
+  const FieldEntry* f = field(field_number);
+  if (f == nullptr || f->has_bit < 0) return false;
+  auto word = dpurpc::load_le<uint32_t>(base_ + cls_->has_bits_offset);
+  return (word & (1u << f->has_bit)) != 0;
+}
+
+int64_t LayoutView::get_int64(uint32_t n) const noexcept {
+  const FieldEntry* f = field(n);
+  if (scalar_elem_size(f->type) == 4) {
+    return static_cast<int32_t>(dpurpc::load_le<uint32_t>(at(*f)));
+  }
+  return static_cast<int64_t>(dpurpc::load_le<uint64_t>(at(*f)));
+}
+
+uint64_t LayoutView::get_uint64(uint32_t n) const noexcept {
+  const FieldEntry* f = field(n);
+  if (f->type == proto::FieldType::kBool) return *reinterpret_cast<const uint8_t*>(at(*f));
+  if (scalar_elem_size(f->type) == 4) return dpurpc::load_le<uint32_t>(at(*f));
+  return dpurpc::load_le<uint64_t>(at(*f));
+}
+
+double LayoutView::get_double(uint32_t n) const noexcept {
+  double v;
+  std::memcpy(&v, at(*field(n)), 8);
+  return v;
+}
+
+float LayoutView::get_float(uint32_t n) const noexcept {
+  float v;
+  std::memcpy(&v, at(*field(n)), 4);
+  return v;
+}
+
+bool LayoutView::get_bool(uint32_t n) const noexcept {
+  return *reinterpret_cast<const uint8_t*>(at(*field(n))) != 0;
+}
+
+std::string_view LayoutView::get_string(uint32_t n) const noexcept {
+  auto flavor = static_cast<arena::StdLibFlavor>(adt_->fingerprint().string_flavor);
+  auto v = arena::read_crafted_string(at(*field(n)), flavor);
+  return v.is_ok() ? *v : std::string_view{};
+}
+
+LayoutView LayoutView::get_message(uint32_t n) const noexcept {
+  const FieldEntry* f = field(n);
+  const auto* child =
+      reinterpret_cast<const std::byte*>(dpurpc::load_le<uint64_t>(at(*f)));
+  return LayoutView(adt_, f->child_class, child);
+}
+
+uint32_t LayoutView::repeated_size(uint32_t n) const noexcept {
+  const FieldEntry* f = field(n);
+  if (f == nullptr || !f->repeated) return 0;
+  RepHeader h;
+  std::memcpy(&h, at(*f), sizeof(h));
+  return h.size;
+}
+
+namespace {
+RepHeader rep_of(const std::byte* p) noexcept {
+  RepHeader h;
+  std::memcpy(&h, p, sizeof(h));
+  return h;
+}
+}  // namespace
+
+uint64_t LayoutView::repeated_uint64(uint32_t n, uint32_t i) const noexcept {
+  const FieldEntry* f = field(n);
+  RepHeader h = rep_of(at(*f));
+  const auto* data = static_cast<const std::byte*>(h.data);
+  switch (scalar_elem_size(f->type)) {
+    case 1: return reinterpret_cast<const uint8_t*>(data)[i];
+    case 4: return dpurpc::load_le<uint32_t>(data + i * 4);
+    default: return dpurpc::load_le<uint64_t>(data + i * 8);
+  }
+}
+
+int64_t LayoutView::repeated_int64(uint32_t n, uint32_t i) const noexcept {
+  const FieldEntry* f = field(n);
+  RepHeader h = rep_of(at(*f));
+  const auto* data = static_cast<const std::byte*>(h.data);
+  if (scalar_elem_size(f->type) == 4) {
+    return static_cast<int32_t>(dpurpc::load_le<uint32_t>(data + i * 4));
+  }
+  return static_cast<int64_t>(dpurpc::load_le<uint64_t>(data + i * 8));
+}
+
+double LayoutView::repeated_double(uint32_t n, uint32_t i) const noexcept {
+  RepHeader h = rep_of(at(*field(n)));
+  double v;
+  std::memcpy(&v, static_cast<const std::byte*>(h.data) + i * 8, 8);
+  return v;
+}
+
+float LayoutView::repeated_float(uint32_t n, uint32_t i) const noexcept {
+  RepHeader h = rep_of(at(*field(n)));
+  float v;
+  std::memcpy(&v, static_cast<const std::byte*>(h.data) + i * 4, 4);
+  return v;
+}
+
+std::string_view LayoutView::repeated_string(uint32_t n, uint32_t i) const noexcept {
+  RepHeader h = rep_of(at(*field(n)));
+  auto flavor = static_cast<arena::StdLibFlavor>(adt_->fingerprint().string_flavor);
+  const void* slot = static_cast<void* const*>(h.data)[i];
+  auto v = arena::read_crafted_string(slot, flavor);
+  return v.is_ok() ? *v : std::string_view{};
+}
+
+LayoutView LayoutView::repeated_message(uint32_t n, uint32_t i) const noexcept {
+  const FieldEntry* f = field(n);
+  RepHeader h = rep_of(at(*f));
+  const void* child = static_cast<void* const*>(h.data)[i];
+  return LayoutView(adt_, f->child_class, child);
+}
+
+}  // namespace dpurpc::adt

@@ -1,0 +1,98 @@
+// The custom stack-based protobuf deserializer (§V of the paper).
+//
+// Driven entirely by the ADT — no compiled-in message classes — this is
+// what runs on the DPU: it turns wire bytes into a finished C++ object
+// living in one contiguous arena slice, with every embedded pointer already
+// expressed in the *receiver's* (host's) address space. The host then uses
+// the object directly; deserialization cost on the host is zero.
+//
+// Cost centers (per the paper): varint decoding, UTF-8 validation for
+// strings, and recursion for nested messages. UTF-8 validation can be
+// disabled through DeserializeOptions for the ablation benchmark.
+#pragma once
+
+#include "adt/adt.hpp"
+#include "arena/arena.hpp"
+#include "arena/string_craft.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace dpurpc::adt {
+
+struct DeserializeOptions {
+  bool validate_utf8 = true;       ///< proto3 requires it for `string` fields
+  int max_recursion_depth = 100;   ///< hostile nesting guard
+};
+
+class ArenaDeserializer {
+ public:
+  /// `adt` must outlive the deserializer. The string flavor must match the
+  /// receiver's ABI (it ships inside the ADT fingerprint).
+  ArenaDeserializer(const Adt* adt, DeserializeOptions options = {});
+
+  /// Deserialize `wire` as an instance of `class_index` into `arena`.
+  /// Returns the object's *local* address (use `xlate` to compute the
+  /// receiver-space address); all pointers inside the object are already
+  /// receiver-space. On error the arena may hold partial garbage — callers
+  /// recycle the enclosing block, never individual objects.
+  StatusOr<void*> deserialize(uint32_t class_index, ByteSpan wire,
+                              arena::Arena& arena,
+                              const arena::AddressTranslator& xlate) const;
+
+  const Adt& adt() const noexcept { return *adt_; }
+
+ private:
+  Status parse_into(const ClassEntry& cls, std::byte* base, ByteSpan wire,
+                    arena::Arena& arena, const arena::AddressTranslator& xlate,
+                    int depth) const;
+  void fix_pointers(const ClassEntry& cls, std::byte* base,
+                    const arena::AddressTranslator& xlate) const;
+
+  const Adt* adt_;
+  arena::StdLibFlavor flavor_;
+  DeserializeOptions options_;
+};
+
+/// Typed, bounds-checked read access to an object produced by
+/// ArenaDeserializer for a *synthesized* (descriptor-built) layout — the
+/// no-codegen path the host compat layer and examples use. For generated
+/// classes, use the class's own accessors instead.
+class LayoutView {
+ public:
+  LayoutView(const Adt* adt, uint32_t class_index, const void* base) noexcept
+      : adt_(adt), cls_(&adt->class_at(class_index)), base_(static_cast<const std::byte*>(base)) {}
+
+  const ClassEntry& class_entry() const noexcept { return *cls_; }
+
+  /// Presence via the has-bits word (singular fields only).
+  bool has(uint32_t field_number) const noexcept;
+
+  int64_t get_int64(uint32_t field_number) const noexcept;
+  uint64_t get_uint64(uint32_t field_number) const noexcept;
+  double get_double(uint32_t field_number) const noexcept;
+  float get_float(uint32_t field_number) const noexcept;
+  bool get_bool(uint32_t field_number) const noexcept;
+  std::string_view get_string(uint32_t field_number) const noexcept;
+  /// Singular sub-message; valid only when has() is true.
+  LayoutView get_message(uint32_t field_number) const noexcept;
+
+  uint32_t repeated_size(uint32_t field_number) const noexcept;
+  uint64_t repeated_uint64(uint32_t field_number, uint32_t i) const noexcept;
+  int64_t repeated_int64(uint32_t field_number, uint32_t i) const noexcept;
+  double repeated_double(uint32_t field_number, uint32_t i) const noexcept;
+  float repeated_float(uint32_t field_number, uint32_t i) const noexcept;
+  std::string_view repeated_string(uint32_t field_number, uint32_t i) const noexcept;
+  LayoutView repeated_message(uint32_t field_number, uint32_t i) const noexcept;
+
+ private:
+  const FieldEntry* field(uint32_t number) const noexcept {
+    return cls_->field_by_number(number);
+  }
+  const std::byte* at(const FieldEntry& f) const noexcept { return base_ + f.offset; }
+
+  const Adt* adt_;
+  const ClassEntry* cls_;
+  const std::byte* base_;
+};
+
+}  // namespace dpurpc::adt

@@ -1,0 +1,352 @@
+#include "adt/json_format.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace dpurpc::adt {
+
+using proto::DynamicMessage;
+using proto::FieldDescriptor;
+using proto::FieldType;
+using proto::MessageDescriptor;
+
+namespace {
+
+constexpr char kB64[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+void json_escape(std::ostringstream& o, std::string_view s) {
+  o << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': o << "\\\""; break;
+      case '\\': o << "\\\\"; break;
+      case '\n': o << "\\n"; break;
+      case '\r': o << "\\r"; break;
+      case '\t': o << "\\t"; break;
+      case '\b': o << "\\b"; break;
+      case '\f': o << "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          o << buf;
+        } else {
+          o << static_cast<char>(c);
+        }
+    }
+  }
+  o << '"';
+}
+
+void json_double(std::ostringstream& o, double v) {
+  if (std::isnan(v)) {
+    o << "\"NaN\"";
+  } else if (std::isinf(v)) {
+    o << (v > 0 ? "\"Infinity\"" : "\"-Infinity\"");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    o << buf;
+  }
+}
+
+/// Emitter shared by both sources. `Get` supplies the per-field values.
+class Writer {
+ public:
+  Writer(const JsonOptions& options, int indent) : opt_(options), indent_(indent) {}
+
+  void open() { o_ << '{'; }
+  void close() {
+    if (opt_.pretty && count_ > 0) {
+      o_ << '\n';
+      pad(indent_);
+    }
+    o_ << '}';
+  }
+
+  std::ostringstream& key(const std::string& name) {
+    if (count_++ > 0) o_ << ',';
+    if (opt_.pretty) {
+      o_ << '\n';
+      pad(indent_ + 1);
+    }
+    json_escape(o_, name);
+    o_ << (opt_.pretty ? ": " : ":");
+    return o_;
+  }
+
+  std::string str() { return o_.str(); }
+  std::ostringstream& out() { return o_; }
+  const JsonOptions& options() const { return opt_; }
+  int indent() const { return indent_; }
+
+ private:
+  void pad(int n) {
+    for (int i = 0; i < n * 2; ++i) o_ << ' ';
+  }
+  std::ostringstream o_;
+  const JsonOptions& opt_;
+  int indent_;
+  int count_ = 0;
+};
+
+bool is_signed_type(FieldType t) {
+  switch (t) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+    case FieldType::kSint32:
+    case FieldType::kSint64:
+    case FieldType::kSfixed32:
+    case FieldType::kSfixed64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_64bit(FieldType t) {
+  switch (t) {
+    case FieldType::kInt64:
+    case FieldType::kSint64:
+    case FieldType::kSfixed64:
+    case FieldType::kUint64:
+    case FieldType::kFixed64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void emit_int(std::ostringstream& o, FieldType t, int64_t sv, uint64_t uv) {
+  // proto3 JSON: 64-bit integers are strings, 32-bit are numbers.
+  if (is_64bit(t)) {
+    o << '"';
+    if (is_signed_type(t)) {
+      o << sv;
+    } else {
+      o << uv;
+    }
+    o << '"';
+  } else if (is_signed_type(t)) {
+    o << sv;
+  } else {
+    o << uv;
+  }
+}
+
+void emit_enum(std::ostringstream& o, const FieldDescriptor& f, int32_t value) {
+  if (const std::string* name = f.enum_type()->name_of(value)) {
+    json_escape(o, *name);
+  } else {
+    o << value;  // unknown enum value: numeric
+  }
+}
+
+std::string render_dynamic(const DynamicMessage& msg, const JsonOptions& opt, int indent);
+
+void emit_dynamic_value(std::ostringstream& o, const DynamicMessage& msg,
+                        const FieldDescriptor& f, size_t i, bool repeated,
+                        const JsonOptions& opt, int indent) {
+  switch (f.type()) {
+    case FieldType::kDouble:
+      json_double(o, repeated ? msg.get_repeated_double(&f, i) : msg.get_double(&f));
+      break;
+    case FieldType::kFloat:
+      json_double(o, repeated ? msg.get_repeated_float(&f, i) : msg.get_float(&f));
+      break;
+    case FieldType::kBool:
+      o << ((repeated ? msg.get_repeated_uint64(&f, i) : msg.get_uint64(&f)) != 0
+                ? "true"
+                : "false");
+      break;
+    case FieldType::kString:
+      json_escape(o, repeated ? msg.get_repeated_string(&f, i) : msg.get_string(&f));
+      break;
+    case FieldType::kBytes:
+      json_escape(o, base64_encode(repeated ? msg.get_repeated_string(&f, i)
+                                            : msg.get_string(&f)));
+      break;
+    case FieldType::kEnum:
+      emit_enum(o, f,
+                static_cast<int32_t>(repeated ? msg.get_repeated_uint64(&f, i)
+                                              : msg.get_uint64(&f)));
+      break;
+    case FieldType::kMessage: {
+      const DynamicMessage* child =
+          repeated ? msg.get_repeated_message(&f, i) : msg.get_message(&f);
+      o << (child != nullptr ? render_dynamic(*child, opt, indent + 1) : "null");
+      break;
+    }
+    default: {
+      // Signed and unsigned live in different storage; only touch the one
+      // that matches the field type.
+      int64_t sv = 0;
+      uint64_t uv = 0;
+      if (is_signed_type(f.type())) {
+        sv = repeated ? msg.get_repeated_int64(&f, i) : msg.get_int64(&f);
+      } else {
+        uv = repeated ? msg.get_repeated_uint64(&f, i) : msg.get_uint64(&f);
+      }
+      emit_int(o, f.type(), sv, uv);
+      break;
+    }
+  }
+}
+
+std::string render_dynamic(const DynamicMessage& msg, const JsonOptions& opt,
+                           int indent) {
+  Writer w(opt, indent);
+  w.open();
+  for (const auto& fp : msg.descriptor()->fields()) {
+    const FieldDescriptor& f = *fp;
+    if (f.is_repeated()) {
+      size_t n = msg.repeated_size(&f);
+      if (n == 0 && !opt.emit_defaults) continue;
+      auto& o = w.key(f.name());
+      o << '[';
+      for (size_t i = 0; i < n; ++i) {
+        if (i) o << ',';
+        emit_dynamic_value(o, msg, f, i, true, opt, indent);
+      }
+      o << ']';
+      continue;
+    }
+    if (!msg.has(&f) && !opt.emit_defaults) continue;
+    emit_dynamic_value(w.key(f.name()), msg, f, 0, false, opt, indent);
+  }
+  w.close();
+  return w.str();
+}
+
+StatusOr<std::string> render_view(const LayoutView& view,
+                                  const MessageDescriptor& desc,
+                                  const JsonOptions& opt, int indent) {
+  Writer w(opt, indent);
+  w.open();
+  for (const auto& fp : desc.fields()) {
+    const FieldDescriptor& f = *fp;
+    uint32_t num = f.number();
+    const FieldEntry* entry = view.class_entry().field_by_number(num);
+    if (entry == nullptr) {
+      return Status(Code::kInvalidArgument,
+                    "descriptor field missing from ADT class: " + f.name());
+    }
+    if (f.is_repeated()) {
+      uint32_t n = view.repeated_size(num);
+      if (n == 0 && !opt.emit_defaults) continue;
+      auto& o = w.key(f.name());
+      o << '[';
+      for (uint32_t i = 0; i < n; ++i) {
+        if (i) o << ',';
+        switch (f.type()) {
+          case FieldType::kDouble: json_double(o, view.repeated_double(num, i)); break;
+          case FieldType::kFloat: json_double(o, view.repeated_float(num, i)); break;
+          case FieldType::kBool:
+            o << (view.repeated_uint64(num, i) != 0 ? "true" : "false");
+            break;
+          case FieldType::kString: json_escape(o, view.repeated_string(num, i)); break;
+          case FieldType::kBytes:
+            json_escape(o, base64_encode(view.repeated_string(num, i)));
+            break;
+          case FieldType::kEnum:
+            emit_enum(o, f, static_cast<int32_t>(view.repeated_int64(num, i)));
+            break;
+          case FieldType::kMessage: {
+            auto child = render_view(view.repeated_message(num, i), *f.message_type(),
+                                     opt, indent + 1);
+            if (!child.is_ok()) return child.status();
+            o << *child;
+            break;
+          }
+          default:
+            emit_int(o, f.type(), view.repeated_int64(num, i),
+                     view.repeated_uint64(num, i));
+            break;
+        }
+      }
+      o << ']';
+      continue;
+    }
+    bool present = view.has(num);
+    if (f.type() != FieldType::kMessage) {
+      // proto3 presence: value != default.
+      present = present && (f.type() == FieldType::kString ||
+                                    f.type() == FieldType::kBytes
+                                ? !view.get_string(num).empty()
+                                : view.get_uint64(num) != 0 ||
+                                      view.get_double(num) != 0.0);
+    }
+    if (!present && !opt.emit_defaults) continue;
+    auto& o = w.key(f.name());
+    switch (f.type()) {
+      case FieldType::kDouble: json_double(o, view.get_double(num)); break;
+      case FieldType::kFloat: json_double(o, view.get_float(num)); break;
+      case FieldType::kBool: o << (view.get_bool(num) ? "true" : "false"); break;
+      case FieldType::kString: json_escape(o, view.get_string(num)); break;
+      case FieldType::kBytes: json_escape(o, base64_encode(view.get_string(num))); break;
+      case FieldType::kEnum:
+        emit_enum(o, f, static_cast<int32_t>(view.get_int64(num)));
+        break;
+      case FieldType::kMessage: {
+        if (!view.has(num)) {
+          o << "null";
+          break;
+        }
+        auto child = render_view(view.get_message(num), *f.message_type(), opt,
+                                 indent + 1);
+        if (!child.is_ok()) return child.status();
+        o << *child;
+        break;
+      }
+      default:
+        emit_int(o, f.type(), view.get_int64(num), view.get_uint64(num));
+        break;
+    }
+  }
+  w.close();
+  return w.str();
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8) |
+                 static_cast<uint8_t>(data[i + 2]);
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.push_back(kB64[(v >> 6) & 63]);
+    out.push_back(kB64[v & 63]);
+    i += 3;
+  }
+  if (i + 1 == data.size()) {
+    uint32_t v = static_cast<uint8_t>(data[i]) << 16;
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out += "==";
+  } else if (i + 2 == data.size()) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8);
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.push_back(kB64[(v >> 6) & 63]);
+    out += "=";
+  }
+  return out;
+}
+
+std::string to_json(const DynamicMessage& msg, const JsonOptions& options) {
+  return render_dynamic(msg, options, 0);
+}
+
+StatusOr<std::string> to_json(const LayoutView& view,
+                              const MessageDescriptor& descriptor,
+                              const JsonOptions& options) {
+  return render_view(view, descriptor, options, 0);
+}
+
+}  // namespace dpurpc::adt

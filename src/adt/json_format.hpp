@@ -1,0 +1,36 @@
+// JSON rendering of messages (proto3 canonical JSON mapping, subset).
+//
+// Observability support: the paper's microservice operators debug RPCs by
+// inspecting payloads; this renders DynamicMessage — and, through
+// LayoutView, in-place offloaded objects — as JSON. Output follows the
+// proto3 JSON mapping with field names verbatim (an accepted variant of
+// camelCase), 64-bit integers as strings, bytes as base64, enums by name,
+// defaults omitted unless requested.
+#pragma once
+
+#include <string>
+
+#include "adt/arena_deserializer.hpp"
+#include "common/status.hpp"
+#include "proto/dynamic_message.hpp"
+
+namespace dpurpc::adt {
+
+struct JsonOptions {
+  bool pretty = false;        ///< newlines + 2-space indent
+  bool emit_defaults = false; ///< include unset/zero fields
+};
+
+/// Render a DynamicMessage as a JSON object.
+std::string to_json(const proto::DynamicMessage& msg, const JsonOptions& options = {});
+
+/// Render an in-place (ADT-described) object as JSON. The descriptor
+/// supplies field names; it must match the ADT class (same schema).
+StatusOr<std::string> to_json(const LayoutView& view,
+                              const proto::MessageDescriptor& descriptor,
+                              const JsonOptions& options = {});
+
+/// base64 of a byte string (bytes fields).
+std::string base64_encode(std::string_view data);
+
+}  // namespace dpurpc::adt

@@ -1,0 +1,26 @@
+// Base class for generated message types.
+//
+// Generated classes use C++ inheritance the same way protobuf does, so each
+// instance begins with a vptr. The paper's ADT trick (§V.B) depends on
+// this: the DPU memcpy's the *default instance bytes* — which contain the
+// host-side vptr — so a crafted object's virtual dispatch works on the host
+// without the DPU understanding vtables at all.
+#pragma once
+
+#include <string_view>
+
+namespace dpurpc::adt {
+
+class MessageBase {
+ public:
+  virtual ~MessageBase() = default;
+  /// Fully-qualified proto type name ("bench.Small").
+  virtual std::string_view type_name() const noexcept = 0;
+
+ protected:
+  MessageBase() = default;
+  MessageBase(const MessageBase&) = default;
+  MessageBase& operator=(const MessageBase&) = default;
+};
+
+}  // namespace dpurpc::adt

@@ -1,0 +1,123 @@
+// Repeated-field storage for generated message classes.
+//
+// Layouts are fixed {pointer, size, capacity} triples (16 bytes) so the ADT
+// can describe them with a single offset and the DPU-side deserializer can
+// fill them by writing three words. Scalar elements are stored inline;
+// strings and sub-messages are stored as pointer arrays so that growing the
+// array never relocates elements (relocation would break SSO string data
+// pointers and nested-message internal pointers).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "arena/arena.hpp"
+
+namespace dpurpc::adt {
+
+/// Inline scalar array (int32/uint64/float/bool/...). Trivially copyable
+/// elements only. Arena-backed growth; never frees (arena semantics).
+template <typename T>
+class RepeatedField {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  RepeatedField() noexcept = default;
+
+  uint32_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  uint32_t capacity() const noexcept { return capacity_; }
+
+  const T& operator[](uint32_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& operator[](uint32_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  const T* data() const noexcept { return data_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  /// Append, growing from `arena`; returns false on arena exhaustion.
+  [[nodiscard]] bool add(const T& value, arena::Arena& arena) noexcept {
+    if (size_ == capacity_ && !grow(arena, capacity_ ? capacity_ * 2 : 8)) return false;
+    data_[size_++] = value;
+    return true;
+  }
+
+  /// Pre-size for exactly `n` elements (the packed-decode fast path: the
+  /// element count is known after one scan, so a single allocation, no
+  /// growth). Returns the raw element buffer or nullptr on exhaustion.
+  [[nodiscard]] T* resize_uninitialized(uint32_t n, arena::Arena& arena) noexcept {
+    if (n > capacity_ && !grow(arena, n)) return nullptr;
+    size_ = n;
+    return data_;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  bool grow(arena::Arena& arena, uint32_t new_cap) noexcept {
+    T* fresh = arena.allocate_array<T>(new_cap);
+    if (fresh == nullptr) return false;
+    if (size_ > 0) std::memcpy(fresh, data_, sizeof(T) * size_);
+    data_ = fresh;
+    capacity_ = new_cap;
+    return true;
+  }
+
+  T* data_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = 0;
+};
+
+static_assert(sizeof(RepeatedField<uint32_t>) == 16);
+static_assert(sizeof(RepeatedField<double>) == 16);
+
+/// Pointer array for strings and sub-messages. Elements live elsewhere in
+/// the arena and never move once created.
+template <typename T>
+class RepeatedPtrField {
+ public:
+  RepeatedPtrField() noexcept = default;
+
+  uint32_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const T& operator[](uint32_t i) const noexcept {
+    assert(i < size_);
+    return *data_[i];
+  }
+  T* mutable_at(uint32_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  [[nodiscard]] bool add(T* element, arena::Arena& arena) noexcept {
+    if (size_ == capacity_) {
+      uint32_t new_cap = capacity_ ? capacity_ * 2 : 8;
+      T** fresh = arena.allocate_array<T*>(new_cap);
+      if (fresh == nullptr) return false;
+      if (size_ > 0) std::memcpy(fresh, data_, sizeof(T*) * size_);
+      data_ = fresh;
+      capacity_ = new_cap;
+    }
+    data_[size_++] = element;
+    return true;
+  }
+
+  T* const* data() const noexcept { return data_; }
+
+ private:
+  T** data_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = 0;
+};
+
+static_assert(sizeof(RepeatedPtrField<int>) == 16);
+
+}  // namespace dpurpc::adt

@@ -1,0 +1,15 @@
+#include "arena/arena.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace dpurpc::arena {
+
+OwningArena::OwningArena(size_t capacity)
+    : Arena(::operator new(capacity, std::align_val_t(kBlockAlign)), capacity) {}
+
+OwningArena::~OwningArena() {
+  ::operator delete(base(), std::align_val_t(kBlockAlign));
+}
+
+}  // namespace dpurpc::arena

@@ -1,0 +1,171 @@
+#include "arena/string_craft.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace dpurpc::arena {
+
+namespace {
+
+// libc++ (classic layout, little-endian, 64-bit):
+//   long:  { size_t cap (LSB = 1 long flag, cap stored as 2*capacity+1... };
+// In the layout the paper references, the long/short discriminator lives in
+// the first bit of the capacity word. We model:
+//   struct Long  { size_t cap_with_flag; size_t size; char* data; };
+//   struct Short { uint8_t size_with_flag; char sso[23]; };
+// flag bit 0: 1 = long, 0 = short; short size stored as (n << 1).
+struct LibcppLong {
+  size_t cap_with_flag;
+  size_t size;
+  char* data;
+};
+static_assert(sizeof(LibcppLong) == 24);
+constexpr size_t kLibcppSsoCapacity = 22;
+
+// Probe the running process's std::string byte layout with live instances.
+bool probe_libstdcpp() noexcept {
+  if (sizeof(std::string) != 32) return false;
+  // Short string: data pointer must point at the in-object SSO buffer.
+  std::string s_short("abc");
+  LibstdcppStringRep rep{};
+  std::memcpy(&rep, &s_short, sizeof(rep));
+  const char* expect_sso = reinterpret_cast<const char*>(&s_short) +
+                           offsetof(LibstdcppStringRep, sso);
+  if (rep.data != expect_sso || rep.size != 3) return false;
+  if (std::memcmp(rep.sso, "abc\0", 4) != 0) return false;
+  // Long string: data pointer is out-of-line, capacity word is plausible.
+  std::string s_long(64, 'x');
+  std::memcpy(&rep, &s_long, sizeof(rep));
+  if (rep.data != s_long.data() || rep.size != 64) return false;
+  if (rep.capacity < 64) return false;
+  return true;
+}
+
+bool probe_libcpp() noexcept {
+  if (sizeof(std::string) != 24) return false;
+  std::string s_long(64, 'x');
+  LibcppLong rep{};
+  std::memcpy(&rep, &s_long, sizeof(rep));
+  if ((rep.cap_with_flag & 1) != 1) return false;
+  if (rep.size != 64 || rep.data != s_long.data()) return false;
+  std::string s_short("abc");
+  uint8_t first = 0;
+  std::memcpy(&first, &s_short, 1);
+  if ((first & 1) != 0 || (first >> 1) != 3) return false;
+  return true;
+}
+
+}  // namespace
+
+Status verify_string_layout(StdLibFlavor flavor) noexcept {
+  switch (flavor) {
+    case StdLibFlavor::kLibstdcpp:
+      if (probe_libstdcpp()) return Status::ok();
+      return Status(Code::kFailedPrecondition,
+                    "std::string does not match the libstdc++ layout");
+    case StdLibFlavor::kLibcpp:
+      if (probe_libcpp()) return Status::ok();
+      return Status(Code::kFailedPrecondition,
+                    "std::string does not match the libc++ layout");
+  }
+  return Status(Code::kInvalidArgument, "unknown stdlib flavor");
+}
+
+StatusOr<StdLibFlavor> detect_string_layout() noexcept {
+  if (probe_libstdcpp()) return StdLibFlavor::kLibstdcpp;
+  if (probe_libcpp()) return StdLibFlavor::kLibcpp;
+  return Status(Code::kFailedPrecondition,
+                "std::string layout matches neither libstdc++ nor libc++; "
+                "string offloading must be disabled");
+}
+
+namespace {
+
+Status craft_libstdcpp(void* dst, std::string_view content, Arena& arena,
+                       const AddressTranslator& xlate) noexcept {
+  auto* rep = static_cast<LibstdcppStringRep*>(dst);
+  if (content.size() <= kLibstdcppSsoCapacity) {
+    // SSO: characters live inside the instance; the data pointer refers to
+    // the instance's own buffer *in the receiver's address space*.
+    std::memcpy(rep->sso, content.data(), content.size());
+    rep->sso[content.size()] = '\0';
+    rep->size = content.size();
+    rep->data = reinterpret_cast<char*>(
+        xlate.translate_addr(reinterpret_cast<const char*>(dst) +
+                             offsetof(LibstdcppStringRep, sso)));
+    return Status::ok();
+  }
+  // Long form: characters in the arena (same contiguous slice as the
+  // message), NUL-terminated, capacity == size as libstdc++ stores it.
+  char* chars = static_cast<char*>(arena.allocate(content.size() + 1, /*align=*/8));
+  if (chars == nullptr) {
+    return Status(Code::kResourceExhausted, "arena full crafting string payload");
+  }
+  std::memcpy(chars, content.data(), content.size());
+  chars[content.size()] = '\0';
+  rep->data = xlate.translate(chars);
+  rep->size = content.size();
+  rep->capacity = content.size();
+  return Status::ok();
+}
+
+Status craft_libcpp(void* dst, std::string_view content, Arena& arena,
+                    const AddressTranslator& xlate) noexcept {
+  if (content.size() <= kLibcppSsoCapacity) {
+    auto* bytes = static_cast<uint8_t*>(dst);
+    bytes[0] = static_cast<uint8_t>(content.size() << 1);  // flag bit 0 = 0
+    std::memcpy(bytes + 1, content.data(), content.size());
+    bytes[1 + content.size()] = '\0';
+    return Status::ok();
+  }
+  char* chars = static_cast<char*>(arena.allocate(content.size() + 1, /*align=*/8));
+  if (chars == nullptr) {
+    return Status(Code::kResourceExhausted, "arena full crafting string payload");
+  }
+  std::memcpy(chars, content.data(), content.size());
+  chars[content.size()] = '\0';
+  auto* rep = static_cast<LibcppLong*>(dst);
+  rep->cap_with_flag = ((content.size() + 1) << 1) | 1;
+  rep->size = content.size();
+  rep->data = xlate.translate(chars);
+  return Status::ok();
+}
+
+}  // namespace
+
+Status craft_string(void* dst, std::string_view content, Arena& arena,
+                    const AddressTranslator& xlate, StdLibFlavor flavor) noexcept {
+  switch (flavor) {
+    case StdLibFlavor::kLibstdcpp: return craft_libstdcpp(dst, content, arena, xlate);
+    case StdLibFlavor::kLibcpp: return craft_libcpp(dst, content, arena, xlate);
+  }
+  return Status(Code::kInvalidArgument, "unknown stdlib flavor");
+}
+
+StatusOr<std::string_view> read_crafted_string(const void* src,
+                                               StdLibFlavor flavor) noexcept {
+  switch (flavor) {
+    case StdLibFlavor::kLibstdcpp: {
+      LibstdcppStringRep rep{};
+      std::memcpy(&rep, src, sizeof(rep));
+      if (rep.data == nullptr) return Status(Code::kDataLoss, "null string data");
+      return std::string_view(rep.data, rep.size);
+    }
+    case StdLibFlavor::kLibcpp: {
+      uint8_t first = 0;
+      std::memcpy(&first, src, 1);
+      if ((first & 1) == 0) {
+        size_t n = first >> 1;
+        return std::string_view(static_cast<const char*>(src) + 1, n);
+      }
+      LibcppLong rep{};
+      std::memcpy(&rep, src, sizeof(rep));
+      if (rep.data == nullptr) return Status(Code::kDataLoss, "null string data");
+      return std::string_view(rep.data, rep.size);
+    }
+  }
+  return Status(Code::kInvalidArgument, "unknown stdlib flavor");
+}
+
+}  // namespace dpurpc::arena

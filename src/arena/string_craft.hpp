@@ -1,0 +1,85 @@
+// Zero-copy crafting of std::string instances (§V.C of the paper).
+//
+// Protobuf arenas cannot hold std::string payloads because portable code
+// cannot build a std::string that adopts an existing character array. The
+// paper forgoes portability: it writes the raw bytes of a std::string whose
+// internals follow the *receiver's* standard-library ABI, placing character
+// data in the same arena. This module implements that trick for the
+// libstdc++ layout (Fig. 6 of the paper) and the libc++ layout, plus the
+// runtime layout verification that decides whether the trick is safe —
+// which standard library the host runs cannot be deduced remotely and must
+// be transferred explicitly (as a StdLibFlavor value).
+//
+// Crafted strings are arena-owned: their destructor must never run (the
+// data pointer does not come from the string's allocator). Receivers treat
+// them as read-only views, which matches the server-side RPC argument
+// use-case the paper targets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "arena/arena.hpp"
+#include "common/status.hpp"
+
+namespace dpurpc::arena {
+
+/// Which standard library ABI the *receiver* of crafted strings runs.
+enum class StdLibFlavor : uint8_t {
+  kLibstdcpp = 0,  ///< GNU libstdc++ (Fig. 6 layout): {data, size, sso[16]/cap}
+  kLibcpp = 1,     ///< LLVM libc++: SSO flag in the low bit of the cap field
+};
+
+/// Rebases pointers embedded in crafted objects from the sender's (DPU's)
+/// address space into the receiver's (host's). Under the paper's mirrored
+/// shared address space delta == 0 and fixup vanishes; our in-process
+/// simulation uses a constant nonzero delta (RBuf base − SBuf base).
+struct AddressTranslator {
+  ptrdiff_t delta = 0;
+
+  template <typename T>
+  T* translate(T* local) const noexcept {
+    return reinterpret_cast<T*>(reinterpret_cast<intptr_t>(local) + delta);
+  }
+  uintptr_t translate_addr(const void* local) const noexcept {
+    return static_cast<uintptr_t>(reinterpret_cast<intptr_t>(local) + delta);
+  }
+};
+
+/// Byte-level view of the libstdc++ std::string (64-bit, little-endian).
+struct LibstdcppStringRep {
+  char* data;             // _M_p
+  size_t size;            // _M_string_length
+  union {
+    char sso[16];         // _M_local_buf (capacity 15 + NUL)
+    size_t capacity;      // _M_allocated_capacity when long
+  };
+};
+static_assert(sizeof(LibstdcppStringRep) == 32);
+
+inline constexpr size_t kLibstdcppSsoCapacity = 15;
+
+/// Verify at runtime that the *current* process's std::string matches the
+/// assumed layout for `flavor`. This is the host-side self-check run before
+/// advertising a flavor to the DPU: if it fails, crafted strings would be
+/// garbage and offloading must be refused.
+Status verify_string_layout(StdLibFlavor flavor) noexcept;
+
+/// The flavor of the running process, or an error if neither layout matches.
+StatusOr<StdLibFlavor> detect_string_layout() noexcept;
+
+/// Write the bytes of a std::string at `dst` (32 bytes, 8-aligned) holding
+/// `content`. Character data for long strings is allocated from `arena`;
+/// embedded pointers are emitted in the receiver's address space via
+/// `xlate`. Returns RESOURCE_EXHAUSTED if the arena cannot hold the chars.
+Status craft_string(void* dst, std::string_view content, Arena& arena,
+                    const AddressTranslator& xlate, StdLibFlavor flavor) noexcept;
+
+/// Read back a crafted string *as the receiver would*, without invoking any
+/// std::string member on foreign bytes. Used by tests and by the host-side
+/// compat layer's sanity checks.
+StatusOr<std::string_view> read_crafted_string(const void* src, StdLibFlavor flavor) noexcept;
+
+}  // namespace dpurpc::arena

@@ -1,0 +1,42 @@
+// Alignment arithmetic used by the block format and the arena allocators.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace dpurpc {
+
+constexpr bool is_pow2(uint64_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Round `v` up to the next multiple of `align` (align must be a power of 2).
+constexpr uint64_t align_up(uint64_t v, uint64_t align) noexcept {
+  assert(is_pow2(align));
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round `v` down to the previous multiple of `align` (power of 2).
+constexpr uint64_t align_down(uint64_t v, uint64_t align) noexcept {
+  assert(is_pow2(align));
+  return v & ~(align - 1);
+}
+
+constexpr bool is_aligned(uint64_t v, uint64_t align) noexcept {
+  assert(is_pow2(align));
+  return (v & (align - 1)) == 0;
+}
+
+inline bool is_aligned(const void* p, uint64_t align) noexcept {
+  return is_aligned(reinterpret_cast<uintptr_t>(p), align);
+}
+
+/// Payloads inside a block are 8-byte aligned: enough for any reasonable
+/// message field type (the paper excludes long double / SSE vector fields).
+inline constexpr uint64_t kPayloadAlign = 8;
+
+/// Blocks are aligned on 1024 bytes so a 32-bit immediate-data bucket can
+/// address up to 4 TiB of receive buffer.
+inline constexpr uint64_t kBlockAlign = 1024;
+
+}  // namespace dpurpc

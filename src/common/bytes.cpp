@@ -1,0 +1,20 @@
+#include "common/bytes.hpp"
+
+namespace dpurpc {
+
+std::string hex_dump(ByteSpan data, size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  out.reserve(n * 3 + 8);
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(' ');
+    auto b = static_cast<uint8_t>(data[i]);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  if (n < data.size()) out += " ...";
+  return out;
+}
+
+}  // namespace dpurpc

@@ -1,0 +1,33 @@
+// Byte-view helpers shared by the wire, protocol, and test code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpurpc {
+
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+using Bytes = std::vector<std::byte>;
+
+inline ByteSpan as_bytes_view(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+inline std::string_view as_string_view(ByteSpan b) noexcept {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+inline Bytes to_bytes(std::string_view s) {
+  auto v = as_bytes_view(s);
+  return Bytes(v.begin(), v.end());
+}
+
+/// Hex dump ("de ad be ef") for diagnostics and test failure messages.
+std::string hex_dump(ByteSpan data, size_t max_bytes = 64);
+
+}  // namespace dpurpc

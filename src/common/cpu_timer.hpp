@@ -1,0 +1,46 @@
+// Timers for benchmarking and the Fig. 8c host-CPU-usage metric.
+//
+// ThreadCpuTimer measures per-thread CPU time (CLOCK_THREAD_CPUTIME_ID):
+// "cores used by the RPC over RDMA server application" is the sum of busy
+// time over engine threads divided by wall time, which is what the paper
+// reports instead of OS-level utilization on our substituted hardware.
+#pragma once
+
+#include <ctime>
+#include <cstdint>
+
+namespace dpurpc {
+
+inline uint64_t clock_ns(clockid_t id) noexcept {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(now()) {}
+  static uint64_t now() noexcept { return clock_ns(CLOCK_MONOTONIC); }
+  void reset() noexcept { start_ = now(); }
+  uint64_t elapsed_ns() const noexcept { return now() - start_; }
+  double elapsed_s() const noexcept { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  uint64_t start_;
+};
+
+/// CPU time consumed by the calling thread.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+  static uint64_t now() noexcept { return clock_ns(CLOCK_THREAD_CPUTIME_ID); }
+  void reset() noexcept { start_ = now(); }
+  uint64_t elapsed_ns() const noexcept { return now() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace dpurpc

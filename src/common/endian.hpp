@@ -1,0 +1,50 @@
+// Unaligned little-endian loads/stores.
+//
+// The RPC over RDMA wire format is little-endian (the paper assumes LE is
+// dominant); every multi-byte protocol field goes through these helpers so
+// the code is correct on any host and so unaligned access is explicit.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace dpurpc {
+
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "mixed-endian hosts are not supported");
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T> && std::is_integral_v<T>
+inline T byteswap(T v) noexcept {
+  if constexpr (sizeof(T) == 1) {
+    return v;
+  } else if constexpr (sizeof(T) == 2) {
+    return static_cast<T>(__builtin_bswap16(static_cast<uint16_t>(v)));
+  } else if constexpr (sizeof(T) == 4) {
+    return static_cast<T>(__builtin_bswap32(static_cast<uint32_t>(v)));
+  } else {
+    static_assert(sizeof(T) == 8);
+    return static_cast<T>(__builtin_bswap64(static_cast<uint64_t>(v)));
+  }
+}
+
+/// Load a little-endian integer from a possibly unaligned address.
+template <typename T>
+inline T load_le(const void* p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) v = byteswap(v);
+  return v;
+}
+
+/// Store an integer little-endian to a possibly unaligned address.
+template <typename T>
+inline void store_le(void* p, T v) noexcept {
+  if constexpr (std::endian::native == std::endian::big) v = byteswap(v);
+  std::memcpy(p, &v, sizeof(T));
+}
+
+}  // namespace dpurpc

@@ -1,0 +1,49 @@
+// Deterministic randomness for workload generation.
+//
+// The paper's int-array workload uses a Mersenne twister with a constant
+// seed and a *skewed* distribution: integers are more likely to be small so
+// the varint encoding exercises 1..5-byte paths and unaligned accesses.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace dpurpc {
+
+inline constexpr uint64_t kDefaultSeed = 0x5c24'1ab5'd00d'f00dULL;
+
+/// Draw a u32 whose varint-encoded length is skewed toward few bytes:
+/// byte-length L in {1..5} is chosen geometrically (P(L) ∝ 2^-L, renormed),
+/// then a uniform value within that length class.
+class SkewedVarintDistribution {
+ public:
+  uint32_t operator()(std::mt19937_64& rng) const {
+    // Length classes: 1B: [0,2^7), 2B: [2^7,2^14), ..., 5B: [2^28,2^32).
+    static constexpr uint64_t kLo[5] = {0, 1u << 7, 1u << 14, 1u << 21, 1u << 28};
+    static constexpr uint64_t kHi[5] = {1u << 7, 1u << 14, 1u << 21, 1u << 28,
+                                        (1ull << 32)};
+    // Geometric weights 16,8,4,2,1 over lengths 1..5 (sum 31).
+    uint64_t r = rng() % 31;
+    int len = r < 16 ? 0 : r < 24 ? 1 : r < 28 ? 2 : r < 30 ? 3 : 4;
+    uint64_t span = kHi[len] - kLo[len];
+    return static_cast<uint32_t>(kLo[len] + rng() % span);
+  }
+};
+
+/// Uniform printable-ASCII string (valid UTF-8 by construction); the paper's
+/// char-array message is uncompressed 1 byte/element.
+inline std::string random_ascii(std::mt19937_64& rng, size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(' ' + rng() % 95);
+  return s;
+}
+
+/// Random bytes (may be invalid UTF-8); used by fuzz tests, not workloads.
+inline std::string random_bytes(std::mt19937_64& rng, size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng() & 0xff);
+  return s;
+}
+
+}  // namespace dpurpc

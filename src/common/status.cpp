@@ -1,0 +1,32 @@
+#include "common/status.hpp"
+
+namespace dpurpc {
+
+std::string_view code_name(Code c) noexcept {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kOutOfRange: return "OUT_OF_RANGE";
+    case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Code::kDataLoss: return "DATA_LOSS";
+    case Code::kUnimplemented: return "UNIMPLEMENTED";
+    case Code::kInternal: return "INTERNAL";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAborted: return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dpurpc

@@ -1,0 +1,119 @@
+// Status / StatusOr: lightweight error propagation for the dpurpc libraries.
+//
+// The datapath never throws: deserialization of untrusted bytes, protocol
+// decoding, and allocator exhaustion all report failures through Status so
+// that a malformed message cannot unwind through a poller thread.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dpurpc {
+
+/// Error taxonomy shared by every module.
+enum class Code : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kOutOfRange,        ///< value outside representable/configured range
+  kResourceExhausted, ///< allocator/credit/id-pool exhaustion
+  kFailedPrecondition,///< object not in the required state
+  kDataLoss,          ///< wire bytes are malformed or truncated
+  kUnimplemented,     ///< feature intentionally not built (e.g. background RPC)
+  kInternal,          ///< invariant violation; indicates a bug
+  kUnavailable,       ///< transient: peer gone, queue full, retry later
+  kNotFound,          ///< lookup miss (method id, message type, ...)
+  kAborted,           ///< operation cancelled by shutdown
+};
+
+/// Human-readable name of a status code ("OK", "DATA_LOSS", ...).
+std::string_view code_name(Code c) noexcept;
+
+/// A cheap, movable (code, message) pair. OK statuses carry no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(Code::kOk) {}
+  Status(Code code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != Code::kOk && "use Status::ok() for success");
+  }
+
+  static Status ok() noexcept { return Status(); }
+
+  bool is_ok() const noexcept { return code_ == Code::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  Code code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "DATA_LOSS: truncated varint" or "OK".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;  // messages are diagnostics, not identity
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline Status ok_status() noexcept { return Status::ok(); }
+
+/// Value-or-error, in the spirit of absl::StatusOr / std::expected.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.is_ok() && "StatusOr from OK status must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const Status& status() const noexcept { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define DPURPC_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::dpurpc::Status _st = (expr);                     \
+    if (!_st.is_ok()) return _st;                      \
+  } while (0)
+
+/// Assign from a StatusOr or propagate its error.
+#define DPURPC_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto DPURPC_CONCAT_(_sor_, __LINE__) = (expr);       \
+  if (!DPURPC_CONCAT_(_sor_, __LINE__).is_ok())        \
+    return DPURPC_CONCAT_(_sor_, __LINE__).status();   \
+  lhs = std::move(DPURPC_CONCAT_(_sor_, __LINE__)).value()
+
+#define DPURPC_CONCAT_INNER_(a, b) a##b
+#define DPURPC_CONCAT_(a, b) DPURPC_CONCAT_INNER_(a, b)
+
+}  // namespace dpurpc

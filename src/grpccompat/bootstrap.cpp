@@ -1,0 +1,140 @@
+#include "grpccompat/bootstrap.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace dpurpc::grpccompat {
+
+namespace {
+constexpr uint32_t kBootstrapMagic = 0x42535431;  // "BST1"
+constexpr uint32_t kMaxBootstrapBytes = 64u << 20;
+}  // namespace
+
+Bytes BootstrapParams::serialize() const {
+  Bytes out(4 + 4 + 8 + 8);
+  auto* p = reinterpret_cast<uint8_t*>(out.data());
+  store_le<uint32_t>(p, credits);
+  store_le<uint32_t>(p + 4, block_size);
+  store_le<uint64_t>(p + 8, host_rbuf_size);
+  store_le<uint64_t>(p + 16, dpu_rbuf_size);
+  return out;
+}
+
+StatusOr<BootstrapParams> BootstrapParams::deserialize(ByteSpan data) {
+  if (data.size() != 24) return Status(Code::kDataLoss, "bad bootstrap params size");
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  BootstrapParams params;
+  params.credits = load_le<uint32_t>(p);
+  params.block_size = load_le<uint32_t>(p + 4);
+  params.host_rbuf_size = load_le<uint64_t>(p + 8);
+  params.dpu_rbuf_size = load_le<uint64_t>(p + 16);
+  if (params.credits == 0 || !is_pow2(params.block_size) ||
+      params.block_size < kBlockAlign) {
+    return Status(Code::kDataLoss, "implausible bootstrap params");
+  }
+  return params;
+}
+
+StatusOr<std::unique_ptr<BootstrapServer>> BootstrapServer::serve(
+    const OffloadManifest& manifest, BootstrapParams params) {
+  auto listener = xrpc::Listener::create();
+  if (!listener.is_ok()) return listener.status();
+
+  // Wire form: magic | u32 manifest_len | manifest | u32 params_len | params
+  Bytes manifest_bytes = manifest.serialize();
+  Bytes params_bytes = params.serialize();
+  Bytes payload(4 + 4 + manifest_bytes.size() + 4 + params_bytes.size());
+  auto* p = reinterpret_cast<uint8_t*>(payload.data());
+  store_le<uint32_t>(p, kBootstrapMagic);
+  p += 4;
+  store_le<uint32_t>(p, static_cast<uint32_t>(manifest_bytes.size()));
+  p += 4;
+  std::memcpy(p, manifest_bytes.data(), manifest_bytes.size());
+  p += manifest_bytes.size();
+  store_le<uint32_t>(p, static_cast<uint32_t>(params_bytes.size()));
+  p += 4;
+  std::memcpy(p, params_bytes.data(), params_bytes.size());
+
+  return std::unique_ptr<BootstrapServer>(
+      new BootstrapServer(std::move(*listener), std::move(payload)));
+}
+
+BootstrapServer::BootstrapServer(xrpc::Listener listener, Bytes payload)
+    : listener_(std::move(listener)), payload_(std::move(payload)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+BootstrapServer::~BootstrapServer() { stop(); }
+
+void BootstrapServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void BootstrapServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto client = listener_.accept();
+    if (!client.is_ok()) return;  // listener shut down
+    // Length-prefix then the payload; fire-and-forget per fetch.
+    uint8_t len[4];
+    store_le<uint32_t>(len, static_cast<uint32_t>(payload_.size()));
+    if (xrpc::write_all(*client, len, 4).is_ok()) {
+      (void)xrpc::write_all(*client, payload_.data(), payload_.size());
+    }
+  }
+}
+
+StatusOr<FetchedBootstrap> fetch_bootstrap(uint16_t port) {
+  auto fd = xrpc::dial(port);
+  if (!fd.is_ok()) return fd.status();
+  uint8_t len_buf[4];
+  DPURPC_RETURN_IF_ERROR(xrpc::read_all(*fd, len_buf, 4));
+  uint32_t total = load_le<uint32_t>(len_buf);
+  if (total < 12 || total > kMaxBootstrapBytes) {
+    return Status(Code::kDataLoss, "bootstrap length out of range");
+  }
+  Bytes payload(total);
+  DPURPC_RETURN_IF_ERROR(xrpc::read_all(*fd, payload.data(), total));
+
+  const auto* p = reinterpret_cast<const uint8_t*>(payload.data());
+  const auto* end = p + total;
+  if (load_le<uint32_t>(p) != kBootstrapMagic) {
+    return Status(Code::kDataLoss, "bad bootstrap magic");
+  }
+  p += 4;
+  uint32_t mlen = load_le<uint32_t>(p);
+  p += 4;
+  if (static_cast<size_t>(end - p) < mlen + 4) {
+    return Status(Code::kDataLoss, "truncated bootstrap manifest");
+  }
+  auto manifest = OffloadManifest::deserialize(
+      ByteSpan(reinterpret_cast<const std::byte*>(p), mlen));
+  if (!manifest.is_ok()) return manifest.status();
+  p += mlen;
+  uint32_t plen = load_le<uint32_t>(p);
+  p += 4;
+  if (static_cast<size_t>(end - p) != plen) {
+    return Status(Code::kDataLoss, "trailing bootstrap bytes");
+  }
+  auto params = BootstrapParams::deserialize(
+      ByteSpan(reinterpret_cast<const std::byte*>(p), plen));
+  if (!params.is_ok()) return params.status();
+
+  // §V.A gate: refuse to craft objects for an ABI this process cannot
+  // reproduce. (In the paper's cross-ISA deployment this compares the
+  // host's fingerprint against the DPU's knowledge of the host ABI; in
+  // one process the check is exact.)
+  auto flavor = static_cast<arena::StdLibFlavor>(
+      manifest->adt().fingerprint().string_flavor);
+  DPURPC_RETURN_IF_ERROR(manifest->adt().fingerprint().compatible_with(
+      adt::AbiFingerprint::current(flavor)));
+  DPURPC_RETURN_IF_ERROR(arena::verify_string_layout(flavor));
+
+  FetchedBootstrap out{std::move(*manifest), *params};
+  return out;
+}
+
+}  // namespace dpurpc::grpccompat

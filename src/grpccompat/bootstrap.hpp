@@ -1,0 +1,75 @@
+// Offload bootstrap: the one-time host→DPU setup exchange.
+//
+// "The ADT is transmitted from the host to the DPU at the start of the
+// application" (§V.B). In a real deployment this happens out-of-band over
+// TCP before the RDMA session exists; this module is that channel. The
+// host serves a bootstrap endpoint; the DPU fetches the offload manifest
+// (ADT + method table) plus the host's connection parameters, and
+// validates the ABI fingerprint against its own expectations before
+// agreeing to craft objects for it (§V.A binary-compatibility gate).
+#pragma once
+
+#include <memory>
+
+#include "grpccompat/manifest.hpp"
+#include "rdmarpc/connection.hpp"
+#include "xrpc/socket.hpp"
+
+namespace dpurpc::grpccompat {
+
+/// Connection parameters the host advertises (Table I knobs).
+struct BootstrapParams {
+  uint32_t credits = 256;
+  uint32_t block_size = 8192;
+  uint64_t host_rbuf_size = 16ull << 20;  ///< what the DPU's sbuf may mirror
+  uint64_t dpu_rbuf_size = 3ull << 20;    ///< what the host's sbuf may mirror
+
+  Bytes serialize() const;
+  static StatusOr<BootstrapParams> deserialize(ByteSpan data);
+};
+
+/// What the DPU receives.
+struct FetchedBootstrap {
+  OffloadManifest manifest;
+  BootstrapParams params;
+
+  /// Connection config for the DPU (client-role) side per the params.
+  rdmarpc::ConnectionConfig client_config() const {
+    rdmarpc::ConnectionConfig cfg;
+    cfg.credits = params.credits;
+    cfg.block_size = params.block_size;
+    cfg.sbuf_size = params.host_rbuf_size;  // mirrors the host RBuf
+    cfg.rbuf_size = params.dpu_rbuf_size;
+    return cfg;
+  }
+};
+
+/// Host side: serve manifest+params on a loopback TCP port until stopped.
+/// Serves any number of DPU fetches (one per DPU/restart).
+class BootstrapServer {
+ public:
+  static StatusOr<std::unique_ptr<BootstrapServer>> serve(const OffloadManifest& manifest,
+                                                          BootstrapParams params);
+  ~BootstrapServer();
+  BootstrapServer(const BootstrapServer&) = delete;
+  BootstrapServer& operator=(const BootstrapServer&) = delete;
+
+  uint16_t port() const noexcept { return listener_.port(); }
+  void stop();
+
+ private:
+  BootstrapServer(xrpc::Listener listener, Bytes payload);
+  void accept_loop();
+
+  xrpc::Listener listener_;
+  Bytes payload_;  ///< pre-serialized manifest+params
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// DPU side: fetch and validate. Fails with FAILED_PRECONDITION when the
+/// host's ABI fingerprint is incompatible with this process (the §V.A
+/// guard: better to refuse offloading than to craft garbage objects).
+StatusOr<FetchedBootstrap> fetch_bootstrap(uint16_t port);
+
+}  // namespace dpurpc::grpccompat

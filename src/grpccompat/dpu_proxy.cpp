@@ -1,0 +1,153 @@
+#include "grpccompat/dpu_proxy.hpp"
+
+#include <algorithm>
+
+namespace dpurpc::grpccompat {
+
+DpuProxy::DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
+                   adt::DeserializeOptions options)
+    : DpuProxy(std::vector<rdmarpc::Connection*>{conn}, manifest, options) {}
+
+DpuProxy::DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
+                   const OffloadManifest* manifest, adt::DeserializeOptions options)
+    : manifest_(manifest),
+      deserializer_(&manifest->adt(), options),
+      serializer_(&manifest->adt()) {
+  for (auto* conn : conns) lanes_.push_back(std::make_unique<Lane>(conn));
+}
+
+DpuProxy::~DpuProxy() { stop(); }
+
+StatusOr<uint16_t> DpuProxy::start() {
+  auto server = xrpc::Server::start(
+      [this](const std::string& method, Bytes payload, xrpc::Server::Responder respond) {
+        const MethodEntry* entry = manifest_->find_by_name(method);
+        if (entry == nullptr) {
+          respond(Code::kNotFound, {});
+          return;
+        }
+        // Round-robin across poller lanes (§III.C: dedicated poller per
+        // connection); wake the lane if it sleeps on its channel.
+        Lane& lane = *lanes_[next_lane_.fetch_add(1, std::memory_order_relaxed) %
+                            lanes_.size()];
+        if (lane.queue.push({entry, std::move(payload), std::move(respond)})) {
+          lane.conn->interrupt();
+        }  // else: queue closed, proxy shutting down
+      });
+  if (!server.is_ok()) return server.status();
+  xrpc_server_ = std::move(*server);
+  for (auto& lane : lanes_) {
+    lane->thread = std::thread([this, lane = lane.get()] { poller_loop(*lane); });
+  }
+  return xrpc_server_->port();
+}
+
+void DpuProxy::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (xrpc_server_) xrpc_server_->shutdown();
+  for (auto& lane : lanes_) {
+    lane->queue.close();
+    lane->conn->interrupt();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+Status DpuProxy::forward(Lane& lane, PendingCall call) {
+  const MethodEntry* entry = call.method;
+  // Size hint: the deserialized object is usually a small multiple of the
+  // wire size (varints expand, headers/bitfields add a constant).
+  auto hint = static_cast<uint32_t>(
+      std::min<uint64_t>(rdmarpc::kMaxPayloadSize, call.payload.size() * 4 + 256));
+
+  auto respond = std::make_shared<xrpc::Server::Responder>(std::move(call.respond));
+  Bytes payload = std::move(call.payload);
+  auto* stats = &stats_;
+
+  for (int attempt = 0;; ++attempt) {
+    Status st = lane.client.call_inplace(
+        entry->method_id, static_cast<uint16_t>(entry->input_class), hint,
+        // The offload itself: deserialize the protobuf payload straight
+        // into the block arena, pointers already in host space (§V).
+        [&](arena::Arena& arena, const arena::AddressTranslator& xlate)
+            -> StatusOr<uint32_t> {
+          auto obj = deserializer_.deserialize(entry->input_class, ByteSpan(payload),
+                                               arena, xlate);
+          if (!obj.is_ok()) return obj.status();
+          return static_cast<uint32_t>(arena.used());
+        },
+        // Continuation: the copy-path response is already serialized by
+        // the host; an offloaded response (kFlagInPlaceObject) arrives as
+        // an in-place object the DPU serializes here (§III.A extension).
+        [this, respond, stats](const Status& result, const rdmarpc::InMessage& resp) {
+          stats->responses_forwarded.fetch_add(1, std::memory_order_relaxed);
+          if (!result.is_ok()) {
+            (*respond)(result.code(), {});
+            return;
+          }
+          if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
+            Bytes wire;
+            Status st2 = serializer_.serialize(resp.header.aux, resp.payload_addr, wire);
+            (*respond)(st2.is_ok() ? Code::kOk : st2.code(), ByteSpan(wire));
+            return;
+          }
+          (*respond)(Code::kOk, resp.payload);
+        });
+    if (st.is_ok()) {
+      stats_.offloaded_requests.fetch_add(1, std::memory_order_relaxed);
+      lane.forwarded.fetch_add(1, std::memory_order_relaxed);
+      return Status::ok();
+    }
+    if (st.code() == Code::kDataLoss || st.code() == Code::kInvalidArgument) {
+      // Malformed request payload: reject it to the xRPC client; the
+      // datapath stays healthy.
+      stats_.deserialize_failures.fetch_add(1, std::memory_order_relaxed);
+      (*respond)(st.code(), {});
+      return Status::ok();
+    }
+    if (st.code() != Code::kUnavailable && st.code() != Code::kResourceExhausted) {
+      return st;
+    }
+    // Backpressure: drain the event loop and retry.
+    if (attempt > 100000) return st;
+    auto pumped = lane.client.event_loop_once();
+    if (!pumped.is_ok()) return pumped.status();
+    if (*pumped == 0) lane.conn->wait(1);
+  }
+}
+
+void DpuProxy::poller_loop(Lane& lane) {
+  // §IV: "the user is responsible for queueing enough requests to fill a
+  // block before calling the event loop update function" — drain whatever
+  // is queued, then run one loop turn, then block briefly when idle.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    bool did_work = false;
+    while (auto call = lane.queue.try_pop()) {
+      did_work = true;
+      Status st = forward(lane, std::move(*call));
+      if (!st.is_ok()) {
+        // Datapath failure: surface by dropping this lane's loop.
+        stopping_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+    auto pumped = lane.client.event_loop_once();
+    if (!pumped.is_ok()) return;
+    if (*pumped > 0) did_work = true;
+    if (!did_work) {
+      // Blocking wait (poll()-style, §III.C) instead of busy-polling.
+      lane.conn->wait(1);
+      if (lane.queue.size() == 0 && lane.client.in_flight() == 0) {
+        // Fully idle: sleep on the queue; stop() closes it to wake us.
+        auto call = lane.queue.pop();
+        if (!call.has_value()) return;  // queue closed: shutting down
+        Status st = forward(lane, std::move(*call));
+        if (!st.is_ok()) return;
+      }
+    }
+  }
+}
+
+}  // namespace dpurpc::grpccompat

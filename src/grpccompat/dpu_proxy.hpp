@@ -1,0 +1,92 @@
+// The DPU-side proxy: terminates xRPC and offloads deserialization.
+//
+// This is the middle-man of Fig. 1. It runs the xRPC server (so xRPC
+// clients only change the address they dial, §III.A), deserializes each
+// request's protobuf payload *in place* into the RPC over RDMA send block
+// — emitting pointers in the host's address space — and forwards it. The
+// host's business logic replies through the compat layer; the proxy wraps
+// the (possibly still-object, see ObjectSerializer) response back into an
+// xRPC response.
+//
+// Threading (§III.C): "a poller is dedicated to a single connection on
+// the client side" — the proxy runs one poller thread (lane) per RDMA
+// connection, the paper's sixteen-thread DPU configuration at any count.
+// xRPC reader threads enqueue work round-robin across lanes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adt/arena_deserializer.hpp"
+#include "adt/object_codec.hpp"
+#include "common/bounded_queue.hpp"
+#include "grpccompat/manifest.hpp"
+#include "rdmarpc/client.hpp"
+#include "xrpc/server.hpp"
+
+namespace dpurpc::grpccompat {
+
+struct DpuProxyStats {
+  std::atomic<uint64_t> offloaded_requests{0};
+  std::atomic<uint64_t> deserialize_failures{0};
+  std::atomic<uint64_t> responses_forwarded{0};
+};
+
+class DpuProxy {
+ public:
+  /// Single-connection proxy (one poller lane).
+  DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
+           adt::DeserializeOptions options = {});
+
+  /// Multi-connection proxy: one dedicated poller thread per connection
+  /// (§III.C); incoming xRPC calls are distributed round-robin.
+  DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
+           const OffloadManifest* manifest, adt::DeserializeOptions options = {});
+
+  ~DpuProxy();
+
+  /// Start the xRPC server and the poller lanes. Returns the TCP port
+  /// xRPC clients should dial (the "DPU's address").
+  StatusOr<uint16_t> start();
+  void stop();
+
+  const DpuProxyStats& stats() const noexcept { return stats_; }
+  size_t lane_count() const noexcept { return lanes_.size(); }
+  /// Requests forwarded through lane `i` (load-balance introspection).
+  uint64_t lane_requests(size_t i) const {
+    return lanes_.at(i)->forwarded.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingCall {
+    const MethodEntry* method;
+    Bytes payload;
+    xrpc::Server::Responder respond;
+  };
+
+  /// One connection + its dedicated poller (§III.C).
+  struct Lane {
+    explicit Lane(rdmarpc::Connection* c) : conn(c), client(c) {}
+    rdmarpc::Connection* conn;
+    rdmarpc::RpcClient client;
+    BoundedQueue<PendingCall> queue{1024};
+    std::thread thread;
+    std::atomic<uint64_t> forwarded{0};
+  };
+
+  void poller_loop(Lane& lane);
+  Status forward(Lane& lane, PendingCall call);
+
+  const OffloadManifest* manifest_;
+  adt::ArenaDeserializer deserializer_;
+  adt::ObjectSerializer serializer_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<uint64_t> next_lane_{0};
+  std::unique_ptr<xrpc::Server> xrpc_server_;
+  std::atomic<bool> stopping_{false};
+  DpuProxyStats stats_;
+};
+
+}  // namespace dpurpc::grpccompat

@@ -1,0 +1,78 @@
+#include "grpccompat/host_service.hpp"
+
+namespace dpurpc::grpccompat {
+
+HostEngine::HostEngine(rdmarpc::Connection* conn, const OffloadManifest* manifest,
+                       const proto::DescriptorPool* pool)
+    : server_(conn), manifest_(manifest), pool_(pool) {}
+
+Status HostEngine::register_method(std::string_view full_name, Method method) {
+  const MethodEntry* entry = manifest_->find_by_name(full_name);
+  if (entry == nullptr) {
+    return Status(Code::kNotFound,
+                  "method not in offload manifest: " + std::string(full_name));
+  }
+  const proto::MessageDescriptor* out_desc = pool_->find_message(entry->output_type);
+  if (out_desc == nullptr) {
+    return Status(Code::kNotFound, "response type missing from pool: " + entry->output_type);
+  }
+  uint32_t input_class = entry->input_class;
+  const OffloadManifest* manifest = manifest_;
+
+  server_.register_handler(
+      entry->method_id,
+      [method = std::move(method), manifest, input_class, out_desc](
+          const rdmarpc::RequestView& req, Bytes& response_bytes) -> Status {
+        if (req.object == nullptr) {
+          return Status(Code::kInvalidArgument,
+                        "expected an in-place (offloaded) request object");
+        }
+        if (req.class_index != input_class) {
+          return Status(Code::kInvalidArgument, "request class index mismatch");
+        }
+        // Zero host-side deserialization: wrap the bytes that already sit
+        // in the receive buffer.
+        adt::LayoutView request(&manifest->adt(), input_class, req.object);
+        ServerContext ctx;  // null gRPC context (§V.D)
+        proto::DynamicMessage response(out_desc);
+        DPURPC_RETURN_IF_ERROR(method(ctx, request, response));
+        proto::WireCodec::serialize(response, response_bytes);
+        return Status::ok();
+      });
+  return Status::ok();
+}
+
+Status HostEngine::register_method_inplace(std::string_view full_name,
+                                           InPlaceMethod method) {
+  const MethodEntry* entry = manifest_->find_by_name(full_name);
+  if (entry == nullptr) {
+    return Status(Code::kNotFound,
+                  "method not in offload manifest: " + std::string(full_name));
+  }
+  uint32_t input_class = entry->input_class;
+  uint32_t output_class = entry->output_class;
+  const OffloadManifest* manifest = manifest_;
+
+  server_.register_inplace_handler(
+      entry->method_id,
+      [method = std::move(method), manifest, input_class, output_class](
+          const rdmarpc::RequestView& req, arena::Arena& response_arena,
+          const arena::AddressTranslator& xlate, uint32_t* payload_size,
+          uint16_t* class_index) -> Status {
+        if (req.object == nullptr || req.class_index != input_class) {
+          return Status(Code::kInvalidArgument, "bad in-place request");
+        }
+        adt::LayoutView request(&manifest->adt(), input_class, req.object);
+        auto response = adt::LayoutBuilder::create(&manifest->adt(), output_class,
+                                                   &response_arena, xlate);
+        if (!response.is_ok()) return response.status();
+        ServerContext ctx;
+        DPURPC_RETURN_IF_ERROR(method(ctx, request, *response));
+        *payload_size = static_cast<uint32_t>(response_arena.used());
+        *class_index = static_cast<uint16_t>(output_class);
+        return Status::ok();
+      });
+  return Status::ok();
+}
+
+}  // namespace dpurpc::grpccompat

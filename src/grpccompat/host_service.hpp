@@ -1,0 +1,69 @@
+// Host-side compatibility layer (§III.A, §V.D).
+//
+// "A compatibility layer mocks the xRPC server on the host and interprets
+// the RPC over RDMA requests as xRPC requests" — business logic keeps the
+// familiar service-callback shape while requests arrive as ready-built
+// C++ objects with zero deserialization work. Handlers receive a
+// LayoutView over the in-place object (generated-class deployments would
+// static_cast to the real type instead) and fill a DynamicMessage
+// response, which the host serializes normally (response serialization is
+// not offloaded, §III.A). The gRPC context is mocked as a null pointer,
+// exactly as the paper does (§V.D).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "adt/arena_deserializer.hpp"
+#include "adt/object_codec.hpp"
+#include "grpccompat/manifest.hpp"
+#include "proto/dynamic_message.hpp"
+#include "rdmarpc/server.hpp"
+
+namespace dpurpc::grpccompat {
+
+/// Mocked call context (the paper passes a null gRPC context; metadata
+/// could ride in the payload instead).
+struct ServerContext {
+  void* grpc_context = nullptr;
+};
+
+class HostEngine {
+ public:
+  /// `response` starts empty (of the method's output type) and is
+  /// serialized after the handler returns OK.
+  using Method = std::function<Status(const ServerContext&, const adt::LayoutView& request,
+                                      proto::DynamicMessage& response)>;
+
+  /// `pool` must contain the response message types (same pool the
+  /// manifest was built from).
+  HostEngine(rdmarpc::Connection* conn, const OffloadManifest* manifest,
+             const proto::DescriptorPool* pool);
+
+  /// Bind business logic to "pkg.Service/Method". NOT_FOUND if the
+  /// manifest does not know the method.
+  Status register_method(std::string_view full_name, Method method);
+
+  /// Offloaded-response variant (§III.A extension): the handler builds the
+  /// response *object* through a LayoutBuilder; the host never serializes
+  /// it — the DPU does, with the ADT-driven ObjectSerializer.
+  using InPlaceMethod = std::function<Status(const ServerContext&,
+                                             const adt::LayoutView& request,
+                                             adt::LayoutBuilder& response)>;
+  Status register_method_inplace(std::string_view full_name, InPlaceMethod method);
+
+  /// Pump the underlying RPC over RDMA server (§III.D event loop).
+  StatusOr<uint32_t> event_loop_once() { return server_.event_loop_once(); }
+  bool wait(int timeout_ms) { return server_.wait(timeout_ms); }
+
+  uint64_t requests_served() const noexcept { return server_.requests_served(); }
+  rdmarpc::RpcServer& rpc_server() noexcept { return server_; }
+
+ private:
+  rdmarpc::RpcServer server_;
+  const OffloadManifest* manifest_;
+  const proto::DescriptorPool* pool_;
+};
+
+}  // namespace dpurpc::grpccompat

@@ -1,0 +1,142 @@
+#include "grpccompat/manifest.hpp"
+
+#include "common/endian.hpp"
+
+namespace dpurpc::grpccompat {
+
+StatusOr<OffloadManifest> OffloadManifest::build(const proto::DescriptorPool& pool,
+                                                 arena::StdLibFlavor flavor) {
+  // The trick is only sound if this process's std::string really matches
+  // the advertised flavor (§V.C) — verify before advertising.
+  DPURPC_RETURN_IF_ERROR(arena::verify_string_layout(flavor));
+
+  OffloadManifest m;
+  adt::DescriptorAdtBuilder builder(flavor);
+  uint16_t next_id = 1;
+  for (const auto* svc : pool.all_services()) {
+    for (const auto& method : svc->methods()) {
+      MethodEntry e;
+      e.method_id = next_id++;
+      e.full_name = svc->full_name() + "/" + method.name;
+      DPURPC_ASSIGN_OR_RETURN(e.input_class, builder.add_message(method.input_type));
+      DPURPC_ASSIGN_OR_RETURN(e.output_class, builder.add_message(method.output_type));
+      e.input_type = method.input_type->full_name();
+      e.output_type = method.output_type->full_name();
+      m.methods_.push_back(std::move(e));
+    }
+  }
+  m.adt_ = std::move(builder).take();
+  m.adt_.set_fingerprint(adt::AbiFingerprint::current(flavor));
+  DPURPC_RETURN_IF_ERROR(m.adt_.validate());
+  return m;
+}
+
+const MethodEntry* OffloadManifest::find_by_name(std::string_view full_name) const noexcept {
+  for (const auto& e : methods_) {
+    if (e.full_name == full_name) return &e;
+  }
+  return nullptr;
+}
+
+const MethodEntry* OffloadManifest::find_by_id(uint16_t id) const noexcept {
+  for (const auto& e : methods_) {
+    if (e.method_id == id) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+void put_u16(Bytes& out, uint16_t v) {
+  uint8_t b[2];
+  store_le(b, v);
+  out.push_back(static_cast<std::byte>(b[0]));
+  out.push_back(static_cast<std::byte>(b[1]));
+}
+void put_u32(Bytes& out, uint32_t v) {
+  uint8_t b[4];
+  store_le(b, v);
+  for (uint8_t x : b) out.push_back(static_cast<std::byte>(x));
+}
+void put_str(Bytes& out, std::string_view s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  const auto* b = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), b, b + s.size());
+}
+
+struct Cursor {
+  const uint8_t* p;
+  const uint8_t* end;
+  bool need(size_t n) const { return static_cast<size_t>(end - p) >= n; }
+  StatusOr<uint16_t> u16() {
+    if (!need(2)) return Status(Code::kDataLoss, "truncated manifest");
+    uint16_t v = load_le<uint16_t>(p);
+    p += 2;
+    return v;
+  }
+  StatusOr<uint32_t> u32() {
+    if (!need(4)) return Status(Code::kDataLoss, "truncated manifest");
+    uint32_t v = load_le<uint32_t>(p);
+    p += 4;
+    return v;
+  }
+  StatusOr<std::string> str() {
+    auto n = u32();
+    if (!n.is_ok()) return n.status();
+    if (!need(*n)) return Status(Code::kDataLoss, "truncated manifest string");
+    std::string s(reinterpret_cast<const char*>(p), *n);
+    p += *n;
+    return s;
+  }
+};
+}  // namespace
+
+Bytes OffloadManifest::serialize() const {
+  Bytes out;
+  Bytes adt_bytes = adt_.serialize();
+  put_u32(out, static_cast<uint32_t>(adt_bytes.size()));
+  out.insert(out.end(), adt_bytes.begin(), adt_bytes.end());
+  put_u32(out, static_cast<uint32_t>(methods_.size()));
+  for (const auto& e : methods_) {
+    put_u16(out, e.method_id);
+    put_str(out, e.full_name);
+    put_u32(out, e.input_class);
+    put_u32(out, e.output_class);
+    put_str(out, e.input_type);
+    put_str(out, e.output_type);
+  }
+  return out;
+}
+
+StatusOr<OffloadManifest> OffloadManifest::deserialize(ByteSpan data) {
+  Cursor c{reinterpret_cast<const uint8_t*>(data.data()),
+           reinterpret_cast<const uint8_t*>(data.data()) + data.size()};
+  auto adt_len = c.u32();
+  if (!adt_len.is_ok()) return adt_len.status();
+  if (!c.need(*adt_len)) return Status(Code::kDataLoss, "truncated manifest ADT");
+  OffloadManifest m;
+  auto adt = adt::Adt::deserialize(
+      ByteSpan(reinterpret_cast<const std::byte*>(c.p), *adt_len));
+  if (!adt.is_ok()) return adt.status();
+  m.adt_ = std::move(*adt);
+  c.p += *adt_len;
+  auto count = c.u32();
+  if (!count.is_ok()) return count.status();
+  for (uint32_t i = 0; i < *count; ++i) {
+    MethodEntry e;
+    DPURPC_ASSIGN_OR_RETURN(e.method_id, c.u16());
+    DPURPC_ASSIGN_OR_RETURN(e.full_name, c.str());
+    DPURPC_ASSIGN_OR_RETURN(e.input_class, c.u32());
+    DPURPC_ASSIGN_OR_RETURN(e.output_class, c.u32());
+    if (e.input_class >= m.adt_.class_count() ||
+        e.output_class >= m.adt_.class_count()) {
+      return Status(Code::kDataLoss, "manifest method references unknown class");
+    }
+    DPURPC_ASSIGN_OR_RETURN(e.input_type, c.str());
+    DPURPC_ASSIGN_OR_RETURN(e.output_type, c.str());
+    m.methods_.push_back(std::move(e));
+  }
+  if (c.p != c.end) return Status(Code::kDataLoss, "trailing manifest bytes");
+  return m;
+}
+
+}  // namespace dpurpc::grpccompat

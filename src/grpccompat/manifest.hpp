@@ -1,0 +1,54 @@
+// Offload manifest: everything the DPU needs to serve a host's services.
+//
+// Built on the host from the descriptor pool (in the real system, by the
+// generated .adt.pb.cc introspection code, §V.D): the ADT for every request
+// message type plus the method table mapping "pkg.Service/Method" names to
+// compact method ids and request class indices. Serialized and shipped to
+// the DPU once, at application start — the DPU binary is generic and needs
+// no recompilation for new services (§V.B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adt/adt.hpp"
+#include "common/status.hpp"
+#include "proto/descriptor.hpp"
+
+namespace dpurpc::grpccompat {
+
+struct MethodEntry {
+  uint16_t method_id = 0;
+  std::string full_name;      ///< "pkg.Service/Method"
+  uint32_t input_class = 0;   ///< ADT class index of the request type
+  uint32_t output_class = 0;  ///< ADT class index of the response type
+                              ///< (response-serialization offload, §III.A)
+  std::string input_type;     ///< request message full name (diagnostics)
+  std::string output_type;    ///< response message full name
+};
+
+class OffloadManifest {
+ public:
+  /// Host side: build from every service in the pool. Request AND
+  /// response types get ADT entries (recursively) — requests for the
+  /// deserialization offload the paper implements, responses for the
+  /// serialization offload it anticipates (§III.A).
+  static StatusOr<OffloadManifest> build(const proto::DescriptorPool& pool,
+                                         arena::StdLibFlavor flavor);
+
+  const adt::Adt& adt() const noexcept { return adt_; }
+  const std::vector<MethodEntry>& methods() const noexcept { return methods_; }
+
+  const MethodEntry* find_by_name(std::string_view full_name) const noexcept;
+  const MethodEntry* find_by_id(uint16_t id) const noexcept;
+
+  /// One-time host→DPU transfer encoding.
+  Bytes serialize() const;
+  static StatusOr<OffloadManifest> deserialize(ByteSpan data);
+
+ private:
+  adt::Adt adt_;
+  std::vector<MethodEntry> methods_;
+};
+
+}  // namespace dpurpc::grpccompat

@@ -1,0 +1,216 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/cpu_timer.hpp"
+
+namespace dpurpc::metrics {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double v) noexcept {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::bucket_count(size_t i) const noexcept {
+  // Cumulative: observations <= bounds_[i].
+  uint64_t total = 0;
+  for (size_t j = 0; j <= i && j < buckets_.size(); ++j) {
+    total += buckets_[j].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Family::Family(std::string name, std::string help, MetricKind kind,
+               std::vector<double> histogram_bounds)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      kind_(kind),
+      histogram_bounds_(std::move(histogram_bounds)) {}
+
+Family::Child& Family::child_at(const Labels& labels) {
+  std::lock_guard lk(mu_);
+  auto& slot = children_[labels];
+  if (!slot) {
+    slot = std::make_unique<Child>();
+    switch (kind_) {
+      case MetricKind::kCounter: slot->counter = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: slot->gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kHistogram:
+        slot->histogram = std::make_unique<Histogram>(histogram_bounds_);
+        break;
+    }
+  }
+  return *slot;
+}
+
+Counter& Family::counter(const Labels& labels) {
+  assert(kind_ == MetricKind::kCounter);
+  return *child_at(labels).counter;
+}
+
+Gauge& Family::gauge(const Labels& labels) {
+  assert(kind_ == MetricKind::kGauge);
+  return *child_at(labels).gauge;
+}
+
+Histogram& Family::histogram(const Labels& labels) {
+  assert(kind_ == MetricKind::kHistogram);
+  return *child_at(labels).histogram;
+}
+
+const Sample* Snapshot::find(std::string_view name, const Labels& labels) const {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+Family& Registry::family(std::string name, std::string help, MetricKind kind,
+                         std::vector<double> bounds) {
+  std::lock_guard lk(mu_);
+  for (auto& f : families_) {
+    if (f->name() == name) {
+      assert(f->kind() == kind && "metric re-registered with a different kind");
+      return *f;
+    }
+  }
+  families_.push_back(
+      std::make_unique<Family>(std::move(name), std::move(help), kind, std::move(bounds)));
+  return *families_.back();
+}
+
+Family& Registry::counter_family(std::string name, std::string help) {
+  return family(std::move(name), std::move(help), MetricKind::kCounter, {});
+}
+
+Family& Registry::gauge_family(std::string name, std::string help) {
+  return family(std::move(name), std::move(help), MetricKind::kGauge, {});
+}
+
+Family& Registry::histogram_family(std::string name, std::string help,
+                                   std::vector<double> bounds) {
+  return family(std::move(name), std::move(help), MetricKind::kHistogram,
+                std::move(bounds));
+}
+
+Snapshot Registry::scrape() const {
+  Snapshot snap;
+  snap.wall_ns = WallTimer::now();
+  std::lock_guard lk(mu_);
+  for (const auto& f : families_) {
+    f->for_each_child([&](const Labels& labels, const Family::Child& c) {
+      switch (f->kind()) {
+        case MetricKind::kCounter:
+          snap.samples.push_back({f->name(), labels,
+                                  static_cast<double>(c.counter->value())});
+          break;
+        case MetricKind::kGauge:
+          snap.samples.push_back({f->name(), labels, c.gauge->value()});
+          break;
+        case MetricKind::kHistogram: {
+          const auto& h = *c.histogram;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            Labels bl = labels;
+            bl["le"] = std::to_string(h.bounds()[i]);
+            snap.samples.push_back({f->name() + "_bucket", std::move(bl),
+                                    static_cast<double>(h.bucket_count(i))});
+          }
+          Labels inf = labels;
+          inf["le"] = "+Inf";
+          snap.samples.push_back({f->name() + "_bucket", std::move(inf),
+                                  static_cast<double>(h.total_count())});
+          snap.samples.push_back({f->name() + "_sum", labels, h.sum()});
+          snap.samples.push_back({f->name() + "_count", labels,
+                                  static_cast<double>(h.total_count())});
+          break;
+        }
+      }
+    });
+  }
+  return snap;
+}
+
+namespace {
+
+void append_labels(std::ostringstream& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"" << v << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string Registry::expose_text() const {
+  std::ostringstream out;
+  std::lock_guard lk(mu_);
+  for (const auto& f : families_) {
+    out << "# HELP " << f->name() << ' ' << f->help() << '\n';
+    out << "# TYPE " << f->name() << ' '
+        << (f->kind() == MetricKind::kCounter    ? "counter"
+            : f->kind() == MetricKind::kGauge    ? "gauge"
+                                                 : "histogram")
+        << '\n';
+    f->for_each_child([&](const Labels& labels, const Family::Child& c) {
+      switch (f->kind()) {
+        case MetricKind::kCounter:
+          out << f->name();
+          append_labels(out, labels);
+          out << ' ' << c.counter->value() << '\n';
+          break;
+        case MetricKind::kGauge:
+          out << f->name();
+          append_labels(out, labels);
+          out << ' ' << c.gauge->value() << '\n';
+          break;
+        case MetricKind::kHistogram: {
+          const auto& h = *c.histogram;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            Labels bl = labels;
+            bl["le"] = std::to_string(h.bounds()[i]);
+            out << f->name() << "_bucket";
+            append_labels(out, bl);
+            out << ' ' << h.bucket_count(i) << '\n';
+          }
+          Labels inf = labels;
+          inf["le"] = "+Inf";
+          out << f->name() << "_bucket";
+          append_labels(out, inf);
+          out << ' ' << h.total_count() << '\n';
+          out << f->name() << "_sum";
+          append_labels(out, labels);
+          out << ' ' << h.sum() << '\n';
+          out << f->name() << "_count";
+          append_labels(out, labels);
+          out << ' ' << h.total_count() << '\n';
+          break;
+        }
+      }
+    });
+  }
+  return out.str();
+}
+
+Registry& default_registry() {
+  static Registry* r = new Registry();  // leaked intentionally: process lifetime
+  return *r;
+}
+
+}  // namespace dpurpc::metrics

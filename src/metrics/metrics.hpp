@@ -1,0 +1,158 @@
+// A Prometheus-style metrics library.
+//
+// The paper instruments the RPC over RDMA library directly with a
+// Prometheus client (≈5% overhead) and scrapes it from a monitoring
+// process. This module reproduces that pipeline: counters/gauges/histograms
+// with labels, a registry, text exposition, and snapshot scraping from
+// which the monitor computes the instant rate of increase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpurpc::metrics {
+
+/// Sorted label set; identity of a child within a family.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing counter. Relaxed atomics: per-sample precision
+/// is irrelevant, only scrape-to-scrape deltas matter.
+class Counter {
+ public:
+  void inc(uint64_t delta = 1) noexcept { v_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Gauge: a value that can go up and down (e.g. credits available).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(double d) noexcept { add(-d); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative, Prometheus semantics).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Cumulative count for bucket i (counts observations <= bounds_[i]).
+  uint64_t bucket_count(size_t i) const noexcept;
+  uint64_t total_count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;                       // strictly increasing
+  std::vector<std::atomic<uint64_t>> buckets_;       // per-bucket (non-cumulative)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// A named family of metrics, each child distinguished by labels.
+class Family {
+ public:
+  Family(std::string name, std::string help, MetricKind kind,
+         std::vector<double> histogram_bounds = {});
+
+  Counter& counter(const Labels& labels = {});
+  Gauge& gauge(const Labels& labels = {});
+  Histogram& histogram(const Labels& labels = {});
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& help() const noexcept { return help_; }
+  MetricKind kind() const noexcept { return kind_; }
+
+  /// Visit every child under the family lock.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::lock_guard lk(mu_);
+    for (const auto& [labels, child] : children_) fn(labels, *child);
+  }
+
+ private:
+  struct Child {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Child& child_at(const Labels& labels);
+
+  const std::string name_;
+  const std::string help_;
+  const MetricKind kind_;
+  const std::vector<double> histogram_bounds_;
+  mutable std::mutex mu_;
+  std::map<Labels, std::unique_ptr<Child>> children_;
+
+  friend class Registry;
+  template <typename Fn>
+  void for_each_child(Fn&& fn) const {
+    std::lock_guard lk(mu_);
+    for (const auto& [labels, child] : children_) fn(labels, *child);
+  }
+};
+
+/// One flattened sample inside a scrape snapshot.
+struct Sample {
+  std::string name;       ///< family name (plus _bucket/_sum/_count suffixes)
+  Labels labels;
+  double value = 0;
+};
+
+/// Point-in-time scrape of every metric in a registry.
+struct Snapshot {
+  uint64_t wall_ns = 0;   ///< monotonic timestamp of the scrape
+  std::vector<Sample> samples;
+
+  /// Value of a sample, or nullptr if absent.
+  const Sample* find(std::string_view name, const Labels& labels = {}) const;
+};
+
+/// Owns metric families; thread-safe registration and scraping.
+class Registry {
+ public:
+  Family& counter_family(std::string name, std::string help);
+  Family& gauge_family(std::string name, std::string help);
+  Family& histogram_family(std::string name, std::string help,
+                           std::vector<double> bounds);
+
+  /// Scrape all families into a snapshot (the monitoring-server pull).
+  Snapshot scrape() const;
+
+  /// Prometheus text exposition format (for /metrics-style dumps).
+  std::string expose_text() const;
+
+ private:
+  Family& family(std::string name, std::string help, MetricKind kind,
+                 std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+/// Process-wide default registry.
+Registry& default_registry();
+
+}  // namespace dpurpc::metrics

@@ -1,0 +1,32 @@
+#include "metrics/monitor.hpp"
+
+#include <cmath>
+
+namespace dpurpc::metrics {
+
+RateMonitor::RateMonitor(std::string counter_name, Labels labels,
+                         double stability_tolerance)
+    : name_(std::move(counter_name)),
+      labels_(std::move(labels)),
+      tolerance_(stability_tolerance) {}
+
+std::optional<double> RateMonitor::observe(const Snapshot& snap) {
+  const Sample* s = snap.find(name_, labels_);
+  if (s == nullptr) return std::nullopt;
+  std::optional<double> rate;
+  if (prev_value_ && prev_ns_ && snap.wall_ns > *prev_ns_) {
+    double dt = static_cast<double>(snap.wall_ns - *prev_ns_) * 1e-9;
+    rate = (s->value - *prev_value_) / dt;
+    if (last_rate_) {
+      prev_rate_ = last_rate_;
+      double base = std::max(std::abs(*prev_rate_), 1e-12);
+      stable_ = std::abs(*rate - *prev_rate_) / base <= tolerance_;
+    }
+    last_rate_ = rate;
+  }
+  prev_value_ = s->value;
+  prev_ns_ = snap.wall_ns;
+  return rate;
+}
+
+}  // namespace dpurpc::metrics

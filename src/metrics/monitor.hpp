@@ -1,0 +1,48 @@
+// The "monitoring process" half of the paper's measurement methodology.
+//
+// The paper's monitor scrapes the Prometheus metrics, waits until the RPS
+// rate is stable (within 1%, ~20 s), then takes the *instant rate of
+// increase* from the last two data points of each counter. RateMonitor
+// reproduces exactly that computation on Snapshot pairs.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace dpurpc::metrics {
+
+/// Computes per-second rates from consecutive scrapes of a counter and
+/// detects stability per the paper's criterion.
+class RateMonitor {
+ public:
+  /// `stability_tolerance` is the relative rate change under which two
+  /// consecutive rates count as stable (paper: 1% = 0.01).
+  RateMonitor(std::string counter_name, Labels labels = {},
+              double stability_tolerance = 0.01);
+
+  /// Feed the next scrape. Returns the instant rate of increase (per
+  /// second) between this snapshot and the previous one, or nullopt until
+  /// two snapshots have been observed.
+  std::optional<double> observe(const Snapshot& snap);
+
+  /// True once the last two computed rates agree within tolerance.
+  bool stable() const noexcept { return stable_; }
+
+  /// Instant rate from the last two data points (the reported figure).
+  std::optional<double> instant_rate() const noexcept { return last_rate_; }
+
+ private:
+  const std::string name_;
+  const Labels labels_;
+  const double tolerance_;
+  std::optional<double> prev_value_;
+  std::optional<uint64_t> prev_ns_;
+  std::optional<double> last_rate_;
+  std::optional<double> prev_rate_;
+  bool stable_ = false;
+};
+
+}  // namespace dpurpc::metrics

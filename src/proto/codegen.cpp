@@ -1,0 +1,703 @@
+#include "proto/codegen.hpp"
+#include <functional>
+#include <cctype>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "wire/varint.hpp"
+
+namespace dpurpc::proto {
+
+std::string cpp_class_name(const std::string& full_name) {
+  std::string out;
+  out.reserve(full_name.size());
+  for (char c : full_name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+namespace {
+
+/// Scalar C++ storage type for a singular field.
+std::string storage_type(const FieldDescriptor& f) {
+  switch (f.type()) {
+    case FieldType::kDouble: return "double";
+    case FieldType::kFloat: return "float";
+    case FieldType::kInt32:
+    case FieldType::kSint32:
+    case FieldType::kSfixed32:
+      return "int32_t";
+    case FieldType::kInt64:
+    case FieldType::kSint64:
+    case FieldType::kSfixed64:
+      return "int64_t";
+    case FieldType::kUint32:
+    case FieldType::kFixed32:
+      return "uint32_t";
+    case FieldType::kUint64:
+    case FieldType::kFixed64:
+      return "uint64_t";
+    case FieldType::kBool: return "uint8_t";  // 1-byte, like the ADT expects
+    case FieldType::kString:
+    case FieldType::kBytes:
+      return "std::string";
+    case FieldType::kEnum: return "int32_t";
+    case FieldType::kMessage:
+      return cpp_class_name(f.message_type()->full_name()) + "*";
+  }
+  return "void";
+}
+
+/// Accessor-facing type (enum fields expose the generated enum).
+std::string api_type(const FieldDescriptor& f) {
+  if (f.type() == FieldType::kEnum) return cpp_class_name(f.enum_type()->full_name());
+  if (f.type() == FieldType::kBool) return "bool";
+  return storage_type(f);
+}
+
+std::string field_type_enum_name(FieldType t) {
+  std::string out = "::dpurpc::proto::FieldType::k";
+  std::string n(field_type_name(t));
+  n[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(n[0])));
+  // "sint32" -> "Sint32" etc.
+  return out + n;
+}
+
+/// Topologically order messages children-first so inline accessors can
+/// dereference earlier-defined classes; cycles fall back to name order
+/// (their deref accessors are emitted after all definitions anyway).
+std::vector<const MessageDescriptor*> topo_order(const DescriptorPool& pool) {
+  std::vector<const MessageDescriptor*> out;
+  std::set<const MessageDescriptor*> done, visiting;
+  std::function<void(const MessageDescriptor*)> visit =
+      [&](const MessageDescriptor* m) {
+        if (done.count(m) || visiting.count(m)) return;
+        visiting.insert(m);
+        for (const auto& f : m->fields()) {
+          if (f->type() == FieldType::kMessage) visit(f->message_type());
+        }
+        visiting.erase(m);
+        done.insert(m);
+        out.push_back(m);
+      };
+  for (const auto* m : pool.all_messages()) visit(m);
+  return out;
+}
+
+/// has-bit index per singular field (declaration order), or -1.
+std::map<const FieldDescriptor*, int> assign_has_bits(const MessageDescriptor& m) {
+  std::map<const FieldDescriptor*, int> bits;
+  int next = 0;
+  for (const auto& f : m.fields()) {
+    bits[f.get()] = f->is_repeated() ? -1 : next++;
+  }
+  return bits;
+}
+
+// ------------------------------------------------------------- pb.h
+
+void emit_enum(std::ostringstream& o, const EnumDescriptor& e) {
+  std::string name = cpp_class_name(e.full_name());
+  o << "/// proto enum " << e.full_name() << "\n";
+  o << "enum " << name << " : int32_t {\n";
+  for (const auto& [vname, value] : e.values()) {
+    o << "  " << name << "_" << vname << " = " << value << ",\n";
+  }
+  o << "};\n\n";
+}
+
+void emit_class(std::ostringstream& o, const MessageDescriptor& m) {
+  std::string cls = cpp_class_name(m.full_name());
+  auto has_bits = assign_has_bits(m);
+
+  o << "/// Generated from message " << m.full_name() << ".\n";
+  o << "class " << cls << " final : public ::dpurpc::adt::MessageBase {\n";
+  o << " public:\n";
+  o << "  " << cls << "() = default;\n";
+  o << "  std::string_view type_name() const noexcept override { return \""
+    << m.full_name() << "\"; }\n";
+  o << "  static const " << cls << "& default_instance();\n\n";
+
+  for (const auto& fp : m.fields()) {
+    const FieldDescriptor& f = *fp;
+    std::string fname = f.name();
+    if (f.is_repeated()) {
+      if (f.type() == FieldType::kMessage) {
+        std::string child = cpp_class_name(f.message_type()->full_name());
+        o << "  uint32_t " << fname << "_size() const noexcept { return " << fname
+          << "_.size(); }\n";
+        o << "  const " << child << "& " << fname << "(uint32_t i) const noexcept;\n";
+        o << "  " << child << "* add_" << fname
+          << "(::dpurpc::arena::Arena& arena);\n";
+      } else if (f.type() == FieldType::kString || f.type() == FieldType::kBytes) {
+        o << "  uint32_t " << fname << "_size() const noexcept { return " << fname
+          << "_.size(); }\n";
+        o << "  const std::string& " << fname << "(uint32_t i) const noexcept { return "
+          << fname << "_[i]; }\n";
+        o << "  const ::dpurpc::adt::RepeatedPtrField<std::string>& " << fname
+          << "() const noexcept { return " << fname << "_; }\n";
+        o << "  /// Arena-crafted element (chars live in the arena; no dtor runs).\n";
+        o << "  std::string* add_" << fname
+          << "(std::string_view v, ::dpurpc::arena::Arena& arena) {\n"
+          << "    void* slot = arena.allocate(sizeof(std::string), alignof(std::string));\n"
+          << "    if (slot == nullptr) return nullptr;\n"
+          << "    static const auto kFlavor = *::dpurpc::arena::detect_string_layout();\n"
+          << "    if (!::dpurpc::arena::craft_string(slot, v, arena, {}, kFlavor).is_ok()) "
+             "return nullptr;\n"
+          << "    auto* s = static_cast<std::string*>(slot);\n"
+          << "    return " << fname << "_.add(s, arena) ? s : nullptr;\n  }\n";
+      } else {
+        std::string elem = f.type() == FieldType::kBool ? "uint8_t" : api_type(f);
+        if (f.type() == FieldType::kEnum) elem = "int32_t";
+        o << "  uint32_t " << fname << "_size() const noexcept { return " << fname
+          << "_.size(); }\n";
+        o << "  " << elem << ' ' << fname << "(uint32_t i) const noexcept { return "
+          << fname << "_[i]; }\n";
+        o << "  const ::dpurpc::adt::RepeatedField<" << elem << ">& " << fname
+          << "() const noexcept { return " << fname << "_; }\n";
+        o << "  [[nodiscard]] bool add_" << fname << '(' << elem
+          << " v, ::dpurpc::arena::Arena& arena) { return " << fname
+          << "_.add(v, arena); }\n";
+      }
+      o << "\n";
+      continue;
+    }
+    int bit = has_bits.at(&f);
+    std::string mask = "0x" + [&] {
+      std::ostringstream h;
+      h << std::hex << (1u << bit);
+      return h.str();
+    }() + "u";
+    o << "  bool has_" << fname << "() const noexcept { return (has_bits_ & " << mask
+      << ") != 0; }\n";
+    switch (f.type()) {
+      case FieldType::kString:
+      case FieldType::kBytes:
+        o << "  const std::string& " << fname << "() const noexcept { return " << fname
+          << "_; }\n";
+        o << "  void set_" << fname << "(std::string v) { " << fname
+          << "_ = std::move(v); has_bits_ |= " << mask << "; }\n";
+        break;
+      case FieldType::kMessage: {
+        std::string child = cpp_class_name(f.message_type()->full_name());
+        o << "  const " << child << "& " << fname << "() const noexcept;\n";
+        o << "  const " << child << "* " << fname << "_ptr() const noexcept { return "
+          << fname << "_; }\n";
+        o << "  void set_allocated_" << fname << '(' << child << "* m) noexcept { "
+          << fname << "_ = m; has_bits_ |= " << mask << "; }\n";
+        break;
+      }
+      case FieldType::kEnum: {
+        std::string en = api_type(f);
+        o << "  " << en << ' ' << fname << "() const noexcept { return static_cast<"
+          << en << ">(" << fname << "_); }\n";
+        o << "  void set_" << fname << '(' << en << " v) noexcept { " << fname
+          << "_ = static_cast<int32_t>(v); has_bits_ |= " << mask << "; }\n";
+        break;
+      }
+      case FieldType::kBool:
+        o << "  bool " << fname << "() const noexcept { return " << fname
+          << "_ != 0; }\n";
+        o << "  void set_" << fname << "(bool v) noexcept { " << fname
+          << "_ = v ? 1 : 0; has_bits_ |= " << mask << "; }\n";
+        break;
+      default:
+        o << "  " << api_type(f) << ' ' << fname << "() const noexcept { return "
+          << fname << "_; }\n";
+        o << "  void set_" << fname << '(' << api_type(f) << " v) noexcept { " << fname
+          << "_ = v; has_bits_ |= " << mask << "; }\n";
+        break;
+    }
+    o << "\n";
+  }
+
+  o << "  /// Serialized size in proto3 wire format.\n";
+  o << "  size_t ByteSizeLong() const;\n";
+  o << "  /// Append proto3 wire bytes (the client-side serializer).\n";
+  o << "  void SerializeToBytes(::dpurpc::Bytes& out) const;\n\n";
+
+  o << " private:\n";
+  o << "  friend struct AdtPeer;\n";
+  o << "  uint32_t has_bits_ = 0;\n";
+  for (const auto& fp : m.fields()) {
+    const FieldDescriptor& f = *fp;
+    if (f.is_repeated()) {
+      if (f.type() == FieldType::kMessage) {
+        o << "  ::dpurpc::adt::RepeatedPtrField<"
+          << cpp_class_name(f.message_type()->full_name()) << "> " << f.name()
+          << "_;\n";
+      } else if (f.type() == FieldType::kString || f.type() == FieldType::kBytes) {
+        o << "  ::dpurpc::adt::RepeatedPtrField<std::string> " << f.name() << "_;\n";
+      } else {
+        std::string elem = f.type() == FieldType::kBool ? "uint8_t" : api_type(f);
+        if (f.type() == FieldType::kEnum) elem = "int32_t";
+        o << "  ::dpurpc::adt::RepeatedField<" << elem << "> " << f.name() << "_;\n";
+      }
+    } else if (f.type() == FieldType::kMessage) {
+      o << "  " << cpp_class_name(f.message_type()->full_name()) << "* " << f.name()
+        << "_ = nullptr;\n";
+    } else if (f.type() == FieldType::kString || f.type() == FieldType::kBytes) {
+      o << "  std::string " << f.name() << "_;\n";
+    } else {
+      o << "  " << storage_type(f) << ' ' << f.name() << "_ = {};\n";
+    }
+  }
+  o << "};\n\n";
+}
+
+/// Accessors that must see other classes complete (emitted after all
+/// definitions, so mutually recursive types work).
+void emit_deferred_accessors(std::ostringstream& o, const MessageDescriptor& m) {
+  std::string cls = cpp_class_name(m.full_name());
+  for (const auto& fp : m.fields()) {
+    const FieldDescriptor& f = *fp;
+    if (f.type() != FieldType::kMessage) continue;
+    std::string child = cpp_class_name(f.message_type()->full_name());
+    if (f.is_repeated()) {
+      o << "inline const " << child << "& " << cls << "::" << f.name()
+        << "(uint32_t i) const noexcept { return " << f.name() << "_[i]; }\n";
+      o << "inline " << child << "* " << cls << "::add_" << f.name()
+        << "(::dpurpc::arena::Arena& arena) {\n"
+        << "  auto* e = arena.allocate_array<" << child << ">(1);\n"
+        << "  if (e == nullptr) return nullptr;\n"
+        << "  new (e) " << child << "();\n"
+        << "  return " << f.name() << "_.add(e, arena) ? e : nullptr;\n"
+        << "}\n";
+    } else {
+      o << "inline const " << child << "& " << cls << "::" << f.name()
+        << "() const noexcept {\n"
+        << "  return " << f.name() << "_ != nullptr ? *" << f.name() << "_ : " << child
+        << "::default_instance();\n"
+        << "}\n";
+    }
+  }
+}
+
+// ------------------------------------------------------------- pb.cc
+
+/// Expression for the wire (varint-encoder) value of a singular field.
+std::string varint_expr(const FieldDescriptor& f, const std::string& v) {
+  switch (f.type()) {
+    case FieldType::kInt32:
+      return "static_cast<uint64_t>(static_cast<int64_t>(" + v + "))";
+    case FieldType::kInt64: return "static_cast<uint64_t>(" + v + ")";
+    case FieldType::kSint32:
+      return "::dpurpc::wire::zigzag_encode32(" + v + ")";
+    case FieldType::kSint64:
+      return "::dpurpc::wire::zigzag_encode64(" + v + ")";
+    case FieldType::kEnum:
+      return "static_cast<uint64_t>(static_cast<int64_t>(" + v + "))";
+    default: return "static_cast<uint64_t>(" + v + ")";  // uint32/64, bool
+  }
+}
+
+void emit_serializer(std::ostringstream& o, const MessageDescriptor& m) {
+  std::string cls = cpp_class_name(m.full_name());
+
+  // ---- ByteSizeLong ----
+  o << "size_t " << cls << "::ByteSizeLong() const {\n  size_t total = 0;\n";
+  for (const auto& fp : m.fields()) {
+    const FieldDescriptor& f = *fp;
+    uint32_t tag = wire::make_tag(f.number(), wire_type_for(f.type()));
+    size_t tag_size = wire::varint_size(tag);
+    std::string member = f.name() + "_";
+    if (f.is_repeated()) {
+      if (is_packable(f.type())) {
+        uint32_t ptag = wire::make_tag(f.number(), wire::WireType::kLengthDelimited);
+        o << "  if (!" << member << ".empty()) {\n    size_t body = 0;\n";
+        switch (wire_type_for(f.type())) {
+          case wire::WireType::kFixed32:
+            o << "    body = " << member << ".size() * 4;\n";
+            break;
+          case wire::WireType::kFixed64:
+            o << "    body = " << member << ".size() * 8;\n";
+            break;
+          default:
+            o << "    for (uint32_t i = 0; i < " << member << ".size(); ++i) "
+              << "body += ::dpurpc::wire::varint_size("
+              << varint_expr(f, member + "[i]") << ");\n";
+            break;
+        }
+        o << "    total += " << wire::varint_size(ptag)
+          << " + ::dpurpc::wire::varint_size(body) + body;\n  }\n";
+      } else if (f.type() == FieldType::kMessage) {
+        o << "  for (uint32_t i = 0; i < " << member << ".size(); ++i) {\n"
+          << "    size_t body = " << member << "[i].ByteSizeLong();\n"
+          << "    total += " << tag_size
+          << " + ::dpurpc::wire::varint_size(body) + body;\n  }\n";
+      } else {  // repeated string/bytes
+        o << "  for (uint32_t i = 0; i < " << member << ".size(); ++i) {\n"
+          << "    total += " << tag_size << " + ::dpurpc::wire::varint_size("
+          << member << "[i].size()) + " << member << "[i].size();\n  }\n";
+      }
+      continue;
+    }
+    // proto3 implicit presence: emit iff set AND != default.
+    o << "  if (has_" << f.name() << "()";
+    switch (f.type()) {
+      case FieldType::kString:
+      case FieldType::kBytes:
+        o << " && !" << member << ".empty()";
+        break;
+      case FieldType::kMessage: break;
+      case FieldType::kFloat:
+        o << " && " << member << " != 0.0f";
+        break;
+      case FieldType::kDouble:
+        o << " && " << member << " != 0.0";
+        break;
+      default:
+        o << " && " << member << " != 0";
+        break;
+    }
+    o << ") {\n";
+    switch (f.type()) {
+      case FieldType::kFloat:
+      case FieldType::kFixed32:
+      case FieldType::kSfixed32:
+        o << "    total += " << tag_size << " + 4;\n";
+        break;
+      case FieldType::kDouble:
+      case FieldType::kFixed64:
+      case FieldType::kSfixed64:
+        o << "    total += " << tag_size << " + 8;\n";
+        break;
+      case FieldType::kString:
+      case FieldType::kBytes:
+        o << "    total += " << tag_size << " + ::dpurpc::wire::varint_size(" << member
+          << ".size()) + " << member << ".size();\n";
+        break;
+      case FieldType::kMessage:
+        o << "    size_t body = " << member << " != nullptr ? " << member
+          << "->ByteSizeLong() : 0;\n"
+          << "    total += " << tag_size
+          << " + ::dpurpc::wire::varint_size(body) + body;\n";
+        break;
+      default:
+        o << "    total += " << tag_size << " + ::dpurpc::wire::varint_size("
+          << varint_expr(f, member) << ");\n";
+        break;
+    }
+    o << "  }\n";
+  }
+  o << "  return total;\n}\n\n";
+
+  // ---- SerializeToBytes ----
+  o << "void " << cls << "::SerializeToBytes(::dpurpc::Bytes& out) const {\n"
+    << "  ::dpurpc::wire::Writer w(out);\n";
+  for (const auto& fp : m.fields()) {
+    const FieldDescriptor& f = *fp;
+    std::string member = f.name() + "_";
+    uint32_t field_num = f.number();
+    if (f.is_repeated()) {
+      if (is_packable(f.type())) {
+        o << "  if (!" << member << ".empty()) {\n    size_t body = 0;\n";
+        switch (wire_type_for(f.type())) {
+          case wire::WireType::kFixed32:
+            o << "    body = " << member << ".size() * 4;\n";
+            break;
+          case wire::WireType::kFixed64:
+            o << "    body = " << member << ".size() * 8;\n";
+            break;
+          default:
+            o << "    for (uint32_t i = 0; i < " << member << ".size(); ++i) "
+              << "body += ::dpurpc::wire::varint_size("
+              << varint_expr(f, member + "[i]") << ");\n";
+            break;
+        }
+        o << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kLengthDelimited);\n"
+          << "    w.write_varint(body);\n"
+          << "    for (uint32_t i = 0; i < " << member << ".size(); ++i) ";
+        switch (wire_type_for(f.type())) {
+          case wire::WireType::kFixed32:
+            if (f.type() == FieldType::kFloat) {
+              o << "{ uint32_t bits; std::memcpy(&bits, &" << member
+                << "[i], 4); w.write_fixed32(bits); }\n";
+            } else {
+              o << "w.write_fixed32(static_cast<uint32_t>(" << member << "[i]));\n";
+            }
+            break;
+          case wire::WireType::kFixed64:
+            if (f.type() == FieldType::kDouble) {
+              o << "{ uint64_t bits; std::memcpy(&bits, &" << member
+                << "[i], 8); w.write_fixed64(bits); }\n";
+            } else {
+              o << "w.write_fixed64(static_cast<uint64_t>(" << member << "[i]));\n";
+            }
+            break;
+          default:
+            o << "w.write_varint(" << varint_expr(f, member + "[i]") << ");\n";
+            break;
+        }
+        o << "  }\n";
+      } else if (f.type() == FieldType::kMessage) {
+        o << "  for (uint32_t i = 0; i < " << member << ".size(); ++i) {\n"
+          << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kLengthDelimited);\n"
+          << "    w.write_varint(" << member << "[i].ByteSizeLong());\n"
+          << "    " << member << "[i].SerializeToBytes(out);\n  }\n";
+      } else {
+        o << "  for (uint32_t i = 0; i < " << member << ".size(); ++i) {\n"
+          << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kLengthDelimited);\n"
+          << "    w.write_length_delimited(" << member << "[i]);\n  }\n";
+      }
+      continue;
+    }
+    o << "  if (has_" << f.name() << "()";
+    switch (f.type()) {
+      case FieldType::kString:
+      case FieldType::kBytes:
+        o << " && !" << member << ".empty()";
+        break;
+      case FieldType::kMessage: break;
+      case FieldType::kFloat:
+        o << " && " << member << " != 0.0f";
+        break;
+      case FieldType::kDouble:
+        o << " && " << member << " != 0.0";
+        break;
+      default:
+        o << " && " << member << " != 0";
+        break;
+    }
+    o << ") {\n";
+    switch (f.type()) {
+      case FieldType::kFloat:
+        o << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kFixed32);\n"
+          << "    uint32_t bits; std::memcpy(&bits, &" << member
+          << ", 4); w.write_fixed32(bits);\n";
+        break;
+      case FieldType::kDouble:
+        o << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kFixed64);\n"
+          << "    uint64_t bits; std::memcpy(&bits, &" << member
+          << ", 8); w.write_fixed64(bits);\n";
+        break;
+      case FieldType::kFixed32:
+      case FieldType::kSfixed32:
+        o << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kFixed32);\n"
+          << "    w.write_fixed32(static_cast<uint32_t>(" << member << "));\n";
+        break;
+      case FieldType::kFixed64:
+      case FieldType::kSfixed64:
+        o << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kFixed64);\n"
+          << "    w.write_fixed64(static_cast<uint64_t>(" << member << "));\n";
+        break;
+      case FieldType::kString:
+      case FieldType::kBytes:
+        o << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kLengthDelimited);\n"
+          << "    w.write_length_delimited(" << member << ");\n";
+        break;
+      case FieldType::kMessage:
+        o << "    w.write_tag(" << field_num
+          << ", ::dpurpc::wire::WireType::kLengthDelimited);\n"
+          << "    w.write_varint(" << member << " != nullptr ? " << member
+          << "->ByteSizeLong() : 0);\n"
+          << "    if (" << member << " != nullptr) " << member
+          << "->SerializeToBytes(out);\n";
+        break;
+      default:
+        o << "    w.write_tag(" << field_num << ", ::dpurpc::wire::WireType::kVarint);\n"
+          << "    w.write_varint(" << varint_expr(f, member) << ");\n";
+        break;
+    }
+    o << "  }\n";
+  }
+  o << "}\n\n";
+}
+
+// -------------------------------------------------------- adt.pb.cc
+
+void emit_adt_registration(std::ostringstream& o,
+                           const std::vector<const MessageDescriptor*>& messages,
+                           const std::string& base_ident) {
+  o << "struct AdtPeer {\n";
+  o << "  static AdtIndices_" << base_ident
+    << " register_all(::dpurpc::adt::Adt& adt) {\n";
+  o << "    using ::dpurpc::proto::FieldType;\n";
+  o << "    AdtIndices_" << base_ident << " idx;\n";
+  // Phase 1: reserve indices so recursive/mutual references resolve.
+  for (const auto* m : messages) {
+    std::string cls = cpp_class_name(m->full_name());
+    o << "    { ::dpurpc::adt::ClassEntry ph; ph.name = \"" << m->full_name()
+      << "\"; ph.align = 8; ph.default_bytes.resize(0); ph.size = 0; idx." << cls
+      << " = adt.add_class(std::move(ph)); }\n";
+  }
+  // Phase 2: real layouts from live default instances.
+  for (const auto* m : messages) {
+    std::string cls = cpp_class_name(m->full_name());
+    auto has_bits = assign_has_bits(*m);
+    o << "    {\n      const " << cls << "& d = " << cls << "::default_instance();\n";
+    o << "      adt.replace_class(idx." << cls << ",\n          ::dpurpc::adt::ClassBuilder<"
+      << cls << ">(\"" << m->full_name() << "\", d)\n";
+    o << "              .has_bits(d.has_bits_)\n";
+    for (const auto& fp : m->fields()) {
+      const FieldDescriptor& f = *fp;
+      std::string type_name = field_type_enum_name(f.type());
+      if (f.is_repeated()) {
+        o << "              .repeated(" << f.number() << ", " << type_name << ", d."
+          << f.name() << "_";
+        if (f.type() == FieldType::kMessage) {
+          o << ", idx." << cpp_class_name(f.message_type()->full_name());
+        }
+        o << ")\n";
+      } else {
+        o << "              .field(" << f.number() << ", " << type_name << ", d."
+          << f.name() << "_, " << has_bits.at(&f);
+        if (f.type() == FieldType::kMessage) {
+          o << ", idx." << cpp_class_name(f.message_type()->full_name());
+        }
+        o << ")\n";
+      }
+    }
+    o << "              .build());\n    }\n";
+  }
+  o << "    return idx;\n  }\n};\n\n";
+}
+
+}  // namespace
+
+StatusOr<std::vector<GeneratedFile>> CodeGenerator::generate(
+    const DescriptorPool& pool, const std::string& base_name) {
+  auto messages = topo_order(pool);
+  for (const auto* m : messages) {
+    size_t singular = 0;
+    for (const auto& f : m->fields()) {
+      if (!f->is_repeated()) ++singular;
+    }
+    if (singular > 32) {
+      return Status(Code::kInvalidArgument,
+                    m->full_name() + " has more than 32 singular fields (one "
+                                     "has-bits word)");
+    }
+  }
+  std::string base_ident = base_name;
+  for (auto& c : base_ident) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+
+  // --------------------------------------------------------- <base>.pb.h
+  std::ostringstream h;
+  h << "// Generated by adtc. DO NOT EDIT.\n"
+    << "// source pool: " << messages.size() << " message type(s)\n"
+    << "#pragma once\n\n"
+    << "#include <cstdint>\n#include <cstring>\n#include <string>\n#include <string_view>\n\n"
+    << "#include <new>\n\n"
+    << "#include \"adt/message_base.hpp\"\n"
+    << "#include \"adt/repeated_field.hpp\"\n"
+    << "#include \"arena/arena.hpp\"\n"
+    << "#include \"arena/string_craft.hpp\"\n"
+    << "#include \"common/bytes.hpp\"\n\n"
+    << "namespace dpurpc_gen {\n\n";
+  for (const auto* m : messages) {
+    h << "class " << cpp_class_name(m->full_name()) << ";\n";
+  }
+  h << "struct AdtPeer;\n\n";
+  // Enums need to exist before classes that use them.
+  {
+    std::set<std::string> emitted;
+    for (const auto* m : messages) {
+      for (const auto& f : m->fields()) {
+        if (f->type() == FieldType::kEnum &&
+            emitted.insert(f->enum_type()->full_name()).second) {
+          emit_enum(h, *f->enum_type());
+        }
+      }
+    }
+  }
+  for (const auto* m : messages) emit_class(h, *m);
+  for (const auto* m : messages) emit_deferred_accessors(h, *m);
+  h << "\n}  // namespace dpurpc_gen\n";
+
+  // -------------------------------------------------------- <base>.pb.cc
+  std::ostringstream cc;
+  cc << "// Generated by adtc. DO NOT EDIT.\n"
+     << "#include \"" << base_name << ".pb.h\"\n\n"
+     << "#include \"wire/coded_stream.hpp\"\n"
+     << "#include \"wire/varint.hpp\"\n\n"
+     << "namespace dpurpc_gen {\n\n";
+  for (const auto* m : messages) {
+    std::string cls = cpp_class_name(m->full_name());
+    cc << "const " << cls << "& " << cls << "::default_instance() {\n"
+       << "  static const " << cls << "* kDefault = new " << cls << "();\n"
+       << "  return *kDefault;\n}\n\n";
+    emit_serializer(cc, *m);
+  }
+  cc << "}  // namespace dpurpc_gen\n";
+
+  // ---------------------------------------------------- <base>.adt.pb.h
+  std::ostringstream ah;
+  ah << "// Generated by adtc. DO NOT EDIT.\n"
+     << "// Accelerator Description Table registration (paper §V.B) and\n"
+     << "// service introspection (paper §V.D) for " << base_name << ".pb.h.\n"
+     << "#pragma once\n\n"
+     << "#include <array>\n#include <string_view>\n\n"
+     << "#include \"" << base_name << ".pb.h\"\n"
+     << "#include \"adt/adt.hpp\"\n\n"
+     << "namespace dpurpc_gen {\n\n"
+     << "/// ADT class index of every message type in this file.\n"
+     << "struct AdtIndices_" << base_ident << " {\n";
+  for (const auto* m : messages) {
+    ah << "  uint32_t " << cpp_class_name(m->full_name()) << " = UINT32_MAX;\n";
+  }
+  ah << "};\n\n"
+     << "/// Register every class (recursion-safe two-phase); call once on\n"
+     << "/// the host, then ship adt.serialize() to the DPU.\n"
+     << "AdtIndices_" << base_ident << " RegisterAdt_" << base_ident
+     << "(::dpurpc::adt::Adt& adt);\n\n";
+  for (const auto* svc : pool.all_services()) {
+    std::string sname = cpp_class_name(svc->full_name());
+    ah << "/// Introspection for service " << svc->full_name() << ".\n"
+       << "struct " << sname << "_Introspection {\n"
+       << "  static constexpr std::string_view kServiceName = \"" << svc->full_name()
+       << "\";\n"
+       << "  static constexpr uint16_t kMethodCount = " << svc->methods().size()
+       << ";\n"
+       << "  static constexpr std::array<std::string_view, " << svc->methods().size()
+       << "> kMethodNames = {\n";
+    for (const auto& method : svc->methods()) {
+      ah << "      \"" << svc->full_name() << "/" << method.name << "\",\n";
+    }
+    ah << "  };\n"
+       << "  static constexpr std::array<std::string_view, " << svc->methods().size()
+       << "> kInputTypes = {\n";
+    for (const auto& method : svc->methods()) {
+      ah << "      \"" << method.input_type->full_name() << "\",\n";
+    }
+    ah << "  };\n"
+       << "  static constexpr std::array<std::string_view, " << svc->methods().size()
+       << "> kOutputTypes = {\n";
+    for (const auto& method : svc->methods()) {
+      ah << "      \"" << method.output_type->full_name() << "\",\n";
+    }
+    ah << "  };\n};\n\n";
+  }
+  ah << "}  // namespace dpurpc_gen\n";
+
+  // --------------------------------------------------- <base>.adt.pb.cc
+  std::ostringstream ac;
+  ac << "// Generated by adtc. DO NOT EDIT.\n"
+     << "#include \"" << base_name << ".adt.pb.h\"\n\n"
+     << "#include \"adt/adt_registry.hpp\"\n\n"
+     << "namespace dpurpc_gen {\n\n";
+  emit_adt_registration(ac, messages, base_ident);
+  ac << "AdtIndices_" << base_ident << " RegisterAdt_" << base_ident
+     << "(::dpurpc::adt::Adt& adt) {\n  return AdtPeer::register_all(adt);\n}\n\n"
+     << "}  // namespace dpurpc_gen\n";
+
+  std::vector<GeneratedFile> files;
+  files.push_back({base_name + ".pb.h", h.str()});
+  files.push_back({base_name + ".pb.cc", cc.str()});
+  files.push_back({base_name + ".adt.pb.h", ah.str()});
+  files.push_back({base_name + ".adt.pb.cc", ac.str()});
+  return files;
+}
+
+}  // namespace dpurpc::proto

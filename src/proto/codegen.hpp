@@ -1,0 +1,46 @@
+// C++ code generation: the adtc "protoc plugin" (§V.B, §V.D).
+//
+// From a parsed .proto file, emits the equivalents of protobuf's generated
+// sources plus the paper's accelerator tables:
+//
+//   <name>.pb.h / .pb.cc          — message classes (vptr base, has-bits
+//                                   word, fields in declaration order,
+//                                   accessors, wire serializer)
+//   <name>.adt.pb.h / .adt.pb.cc  — ADT registration for every class in
+//                                   the file (two-phase, so recursive
+//                                   types work) and service introspection
+//                                   tables mapping method ids to names
+//
+// "The ADT files are generated when protobuf message definitions are
+// transpiled to C++ files with the protoc compiler ... without any further
+// user intervention."
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "proto/descriptor.hpp"
+
+namespace dpurpc::proto {
+
+struct GeneratedFile {
+  std::string name;     ///< e.g. "bench_messages.pb.h"
+  std::string content;
+};
+
+class CodeGenerator {
+ public:
+  /// `base_name` names the output files ("bench_messages" →
+  /// bench_messages.pb.{h,cc} + bench_messages.adt.pb.{h,cc}).
+  /// Generates code for every message, enum, and service in `pool`.
+  static StatusOr<std::vector<GeneratedFile>> generate(const DescriptorPool& pool,
+                                                       const std::string& base_name);
+};
+
+/// C++ identifier for a fully-qualified proto name ("a.b.Msg" → "a_b_Msg"
+/// inside the dpurpc_gen namespace; nested types flatten the same way).
+std::string cpp_class_name(const std::string& full_name);
+
+}  // namespace dpurpc::proto

@@ -1,0 +1,176 @@
+#include "proto/descriptor.hpp"
+
+namespace dpurpc::proto {
+
+std::string_view field_type_name(FieldType t) noexcept {
+  switch (t) {
+    case FieldType::kDouble: return "double";
+    case FieldType::kFloat: return "float";
+    case FieldType::kInt32: return "int32";
+    case FieldType::kInt64: return "int64";
+    case FieldType::kUint32: return "uint32";
+    case FieldType::kUint64: return "uint64";
+    case FieldType::kSint32: return "sint32";
+    case FieldType::kSint64: return "sint64";
+    case FieldType::kFixed32: return "fixed32";
+    case FieldType::kFixed64: return "fixed64";
+    case FieldType::kSfixed32: return "sfixed32";
+    case FieldType::kSfixed64: return "sfixed64";
+    case FieldType::kBool: return "bool";
+    case FieldType::kString: return "string";
+    case FieldType::kBytes: return "bytes";
+    case FieldType::kMessage: return "message";
+    case FieldType::kEnum: return "enum";
+  }
+  return "?";
+}
+
+wire::WireType wire_type_for(FieldType t) noexcept {
+  switch (t) {
+    case FieldType::kDouble:
+    case FieldType::kFixed64:
+    case FieldType::kSfixed64:
+      return wire::WireType::kFixed64;
+    case FieldType::kFloat:
+    case FieldType::kFixed32:
+    case FieldType::kSfixed32:
+      return wire::WireType::kFixed32;
+    case FieldType::kString:
+    case FieldType::kBytes:
+    case FieldType::kMessage:
+      return wire::WireType::kLengthDelimited;
+    default:
+      return wire::WireType::kVarint;
+  }
+}
+
+bool is_packable(FieldType t) noexcept {
+  switch (t) {
+    case FieldType::kString:
+    case FieldType::kBytes:
+    case FieldType::kMessage:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const MessageDescriptor* DescriptorPool::find_message(std::string_view full_name) const noexcept {
+  auto it = messages_.find(full_name);
+  return it == messages_.end() ? nullptr : it->second.get();
+}
+
+const EnumDescriptor* DescriptorPool::find_enum(std::string_view full_name) const noexcept {
+  auto it = enums_.find(full_name);
+  return it == enums_.end() ? nullptr : it->second.get();
+}
+
+const ServiceDescriptor* DescriptorPool::find_service(std::string_view full_name) const noexcept {
+  auto it = services_.find(full_name);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const MessageDescriptor*> DescriptorPool::all_messages() const {
+  std::vector<const MessageDescriptor*> out;
+  out.reserve(messages_.size());
+  for (const auto& [name, m] : messages_) out.push_back(m.get());
+  return out;
+}
+
+std::vector<const ServiceDescriptor*> DescriptorPool::all_services() const {
+  std::vector<const ServiceDescriptor*> out;
+  out.reserve(services_.size());
+  for (const auto& [name, s] : services_) out.push_back(s.get());
+  return out;
+}
+
+MessageDescriptor* DescriptorPool::add_message(std::string full_name) {
+  auto& slot = messages_[full_name];
+  if (!slot) slot = std::make_unique<MessageDescriptor>(full_name);
+  return slot.get();
+}
+
+EnumDescriptor* DescriptorPool::add_enum(std::string full_name) {
+  auto& slot = enums_[full_name];
+  if (!slot) slot = std::make_unique<EnumDescriptor>(full_name);
+  return slot.get();
+}
+
+ServiceDescriptor* DescriptorPool::add_service(std::string full_name) {
+  auto& slot = services_[full_name];
+  if (!slot) slot = std::make_unique<ServiceDescriptor>(full_name);
+  return slot.get();
+}
+
+namespace {
+
+// Resolve `name` as proto scoping rules do: try the innermost enclosing
+// scope outward. `scope` is the full name of the referencing message (or
+// package). Leading '.' means fully qualified.
+template <typename FindFn>
+auto resolve_scoped(std::string_view name, std::string_view scope, FindFn&& find)
+    -> decltype(find(name)) {
+  if (!name.empty() && name.front() == '.') return find(name.substr(1));
+  std::string s(scope);
+  while (true) {
+    std::string candidate = s.empty() ? std::string(name) : s + "." + std::string(name);
+    if (auto* found = find(candidate)) return found;
+    auto dot = s.rfind('.');
+    if (dot == std::string::npos) {
+      if (s.empty()) return nullptr;
+      s.clear();
+    } else {
+      s.resize(dot);
+    }
+  }
+}
+
+}  // namespace
+
+Status DescriptorPool::link() {
+  for (auto& [mname, msg] : messages_) {
+    // Scope for resolution: the message's enclosing scope.
+    std::string_view scope = mname;
+    msg->by_number_.clear();
+    for (auto& field : msg->fields_) {
+      if (!msg->by_number_.emplace(field->number(), field.get()).second) {
+        return Status(Code::kInvalidArgument,
+                      "duplicate field number in " + mname + ": " + field->name());
+      }
+      if (field->type_ == FieldType::kMessage || field->type_ == FieldType::kEnum) {
+        const MessageDescriptor* mt = resolve_scoped(
+            field->type_name_, scope,
+            [&](std::string_view n) { return find_message(n); });
+        const EnumDescriptor* et = resolve_scoped(
+            field->type_name_, scope,
+            [&](std::string_view n) { return find_enum(n); });
+        if (mt != nullptr) {
+          field->type_ = FieldType::kMessage;
+          field->message_type_ = mt;
+        } else if (et != nullptr) {
+          field->type_ = FieldType::kEnum;
+          field->enum_type_ = et;
+        } else {
+          return Status(Code::kNotFound, "unresolved type '" + field->type_name_ +
+                                             "' in field " + mname + "." + field->name());
+        }
+      }
+    }
+  }
+  for (auto& [sname, svc] : services_) {
+    for (auto& m : svc->methods_) {
+      std::string_view scope = sname;
+      m.input_type = resolve_scoped(m.input_type_name, scope,
+                                    [&](std::string_view n) { return find_message(n); });
+      m.output_type = resolve_scoped(m.output_type_name, scope,
+                                     [&](std::string_view n) { return find_message(n); });
+      if (m.input_type == nullptr || m.output_type == nullptr) {
+        return Status(Code::kNotFound,
+                      "unresolved method type in " + sname + "." + m.name);
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace dpurpc::proto

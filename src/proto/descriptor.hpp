@@ -1,0 +1,222 @@
+// Descriptors: the schema metamodel of our proto3 runtime.
+//
+// A DescriptorPool owns every message/enum/service descriptor parsed from
+// .proto sources (see schema_parser.hpp). Descriptors drive three
+// consumers: the DynamicMessage reflection API, the wire
+// serializer/deserializer, and the ADT builder that flattens them into
+// accelerator tables for the DPU.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "wire/wire_format.hpp"
+
+namespace dpurpc::proto {
+
+class MessageDescriptor;
+class EnumDescriptor;
+class DescriptorPool;
+class SchemaBuilder;
+
+/// proto3 field types (TYPE_GROUP is proto2-only and unsupported).
+enum class FieldType : uint8_t {
+  kDouble, kFloat,
+  kInt32, kInt64, kUint32, kUint64,
+  kSint32, kSint64,
+  kFixed32, kFixed64, kSfixed32, kSfixed64,
+  kBool,
+  kString, kBytes,
+  kMessage, kEnum,
+};
+
+std::string_view field_type_name(FieldType t) noexcept;
+
+/// Wire type a field of this type is encoded with (unpacked form).
+wire::WireType wire_type_for(FieldType t) noexcept;
+
+/// True for numeric/bool/enum types that proto3 packs when repeated.
+bool is_packable(FieldType t) noexcept;
+
+/// One field of a message.
+class FieldDescriptor {
+ public:
+  FieldDescriptor(std::string name, uint32_t number, FieldType type, bool repeated)
+      : name_(std::move(name)), number_(number), type_(type), repeated_(repeated) {}
+
+  const std::string& name() const noexcept { return name_; }
+  uint32_t number() const noexcept { return number_; }
+  FieldType type() const noexcept { return type_; }
+  bool is_repeated() const noexcept { return repeated_; }
+
+  /// For kMessage fields: the referenced message type (set during linking).
+  const MessageDescriptor* message_type() const noexcept { return message_type_; }
+  /// For kEnum fields: the referenced enum type.
+  const EnumDescriptor* enum_type() const noexcept { return enum_type_; }
+
+  /// Unresolved type name as written in the .proto (used by the linker).
+  const std::string& type_name() const noexcept { return type_name_; }
+
+ private:
+  friend class DescriptorPool;
+  friend class SchemaBuilder;
+
+  std::string name_;
+  uint32_t number_;
+  FieldType type_;
+  bool repeated_;
+  std::string type_name_;  // for message/enum fields, pre-link
+  const MessageDescriptor* message_type_ = nullptr;
+  const EnumDescriptor* enum_type_ = nullptr;
+};
+
+/// A named enum with value list (proto3: first value must be 0).
+class EnumDescriptor {
+ public:
+  explicit EnumDescriptor(std::string full_name) : full_name_(std::move(full_name)) {}
+
+  const std::string& full_name() const noexcept { return full_name_; }
+  const std::vector<std::pair<std::string, int32_t>>& values() const noexcept {
+    return values_;
+  }
+  const std::string* name_of(int32_t value) const noexcept {
+    for (const auto& [n, v] : values_) {
+      if (v == value) return &n;
+    }
+    return nullptr;
+  }
+
+ private:
+  friend class SchemaBuilder;
+  std::string full_name_;
+  std::vector<std::pair<std::string, int32_t>> values_;
+};
+
+/// A message type: ordered fields plus index by number and by name.
+class MessageDescriptor {
+ public:
+  explicit MessageDescriptor(std::string full_name) : full_name_(std::move(full_name)) {}
+
+  const std::string& full_name() const noexcept { return full_name_; }
+  const std::vector<std::unique_ptr<FieldDescriptor>>& fields() const noexcept {
+    return fields_;
+  }
+
+  const FieldDescriptor* field_by_number(uint32_t number) const noexcept {
+    auto it = by_number_.find(number);
+    return it == by_number_.end() ? nullptr : it->second;
+  }
+  const FieldDescriptor* field_by_name(std::string_view name) const noexcept {
+    for (const auto& f : fields_) {
+      if (f->name() == name) return f.get();
+    }
+    return nullptr;
+  }
+
+ private:
+  friend class SchemaBuilder;
+  friend class DescriptorPool;
+
+  std::string full_name_;
+  std::vector<std::unique_ptr<FieldDescriptor>> fields_;
+  std::map<uint32_t, const FieldDescriptor*> by_number_;
+};
+
+/// One rpc method of a service (unary only, matching the paper's scope).
+struct MethodDescriptor {
+  std::string name;
+  std::string input_type_name;   // resolved below
+  std::string output_type_name;
+  const MessageDescriptor* input_type = nullptr;
+  const MessageDescriptor* output_type = nullptr;
+};
+
+/// A gRPC-style service.
+class ServiceDescriptor {
+ public:
+  explicit ServiceDescriptor(std::string full_name) : full_name_(std::move(full_name)) {}
+
+  const std::string& full_name() const noexcept { return full_name_; }
+  const std::vector<MethodDescriptor>& methods() const noexcept { return methods_; }
+  const MethodDescriptor* method_by_name(std::string_view name) const noexcept {
+    for (const auto& m : methods_) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  }
+
+ private:
+  friend class SchemaBuilder;
+  friend class DescriptorPool;
+  std::vector<MethodDescriptor> methods_;
+  std::string full_name_;
+};
+
+/// Owns descriptors; types are registered by the parser and linked once all
+/// sources are in.
+class DescriptorPool {
+ public:
+  DescriptorPool() = default;
+  DescriptorPool(const DescriptorPool&) = delete;
+  DescriptorPool& operator=(const DescriptorPool&) = delete;
+
+  const MessageDescriptor* find_message(std::string_view full_name) const noexcept;
+  const EnumDescriptor* find_enum(std::string_view full_name) const noexcept;
+  const ServiceDescriptor* find_service(std::string_view full_name) const noexcept;
+
+  std::vector<const MessageDescriptor*> all_messages() const;
+  std::vector<const ServiceDescriptor*> all_services() const;
+
+  /// Resolve every message/enum field reference and service method type.
+  /// Called by the parser after all files are parsed; may also be called
+  /// again after adding more files.
+  Status link();
+
+ private:
+  friend class SchemaBuilder;
+
+  MessageDescriptor* add_message(std::string full_name);
+  EnumDescriptor* add_enum(std::string full_name);
+  ServiceDescriptor* add_service(std::string full_name);
+
+  std::map<std::string, std::unique_ptr<MessageDescriptor>, std::less<>> messages_;
+  std::map<std::string, std::unique_ptr<EnumDescriptor>, std::less<>> enums_;
+  std::map<std::string, std::unique_ptr<ServiceDescriptor>, std::less<>> services_;
+};
+
+/// Mutation access used by the schema parser (and by tests that build
+/// descriptors programmatically). Keeps descriptor classes immutable to
+/// every other consumer.
+class SchemaBuilder {
+ public:
+  static MessageDescriptor* add_message(DescriptorPool& p, std::string full_name) {
+    return p.add_message(std::move(full_name));
+  }
+  static EnumDescriptor* add_enum(DescriptorPool& p, std::string full_name) {
+    return p.add_enum(std::move(full_name));
+  }
+  static ServiceDescriptor* add_service(DescriptorPool& p, std::string full_name) {
+    return p.add_service(std::move(full_name));
+  }
+  static FieldDescriptor* add_field(MessageDescriptor* m,
+                                    std::unique_ptr<FieldDescriptor> f) {
+    m->fields_.push_back(std::move(f));
+    return m->fields_.back().get();
+  }
+  static void set_type_name(FieldDescriptor* f, std::string type_name) {
+    f->type_name_ = std::move(type_name);
+  }
+  static void add_enum_value(EnumDescriptor* e, std::string name, int32_t value) {
+    e->values_.emplace_back(std::move(name), value);
+  }
+  static void add_method(ServiceDescriptor* s, MethodDescriptor m) {
+    s->methods_.push_back(std::move(m));
+  }
+};
+
+}  // namespace dpurpc::proto

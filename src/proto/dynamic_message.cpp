@@ -1,0 +1,333 @@
+#include "proto/dynamic_message.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace dpurpc::proto {
+
+namespace {
+
+// Text-format string escaping: printable ASCII passes through, the rest
+// becomes C escapes, so debug_string output always parses back.
+std::string text_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DynamicMessage::DynamicMessage(const MessageDescriptor* descriptor)
+    : desc_(descriptor), slots_(descriptor->fields().size()) {}
+
+size_t DynamicMessage::index_of(const FieldDescriptor* f) const {
+  const auto& fields = desc_->fields();
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].get() == f) return i;
+  }
+  assert(false && "field does not belong to this message's descriptor");
+  return 0;
+}
+
+DynamicMessage::Slot& DynamicMessage::slot(const FieldDescriptor* f) {
+  return slots_[index_of(f)];
+}
+const DynamicMessage::Slot& DynamicMessage::slot(const FieldDescriptor* f) const {
+  return slots_[index_of(f)];
+}
+
+void DynamicMessage::set_int64(const FieldDescriptor* f, int64_t v) {
+  auto& s = slot(f);
+  s.i64 = v;
+  s.present = true;
+}
+void DynamicMessage::set_uint64(const FieldDescriptor* f, uint64_t v) {
+  auto& s = slot(f);
+  s.u64 = v;
+  s.present = true;
+}
+void DynamicMessage::set_double(const FieldDescriptor* f, double v) {
+  auto& s = slot(f);
+  s.f64 = v;
+  s.present = true;
+}
+void DynamicMessage::set_float(const FieldDescriptor* f, float v) {
+  auto& s = slot(f);
+  s.f32 = v;
+  s.present = true;
+}
+void DynamicMessage::set_string(const FieldDescriptor* f, std::string v) {
+  auto& s = slot(f);
+  s.str = std::move(v);
+  s.present = true;
+}
+DynamicMessage* DynamicMessage::mutable_message(const FieldDescriptor* f) {
+  auto& s = slot(f);
+  if (!s.msg) s.msg = std::make_unique<DynamicMessage>(f->message_type());
+  s.present = true;
+  return s.msg.get();
+}
+
+void DynamicMessage::add_int64(const FieldDescriptor* f, int64_t v) {
+  slot(f).rep_i64.push_back(v);
+}
+void DynamicMessage::add_uint64(const FieldDescriptor* f, uint64_t v) {
+  slot(f).rep_u64.push_back(v);
+}
+void DynamicMessage::add_double(const FieldDescriptor* f, double v) {
+  slot(f).rep_f64.push_back(v);
+}
+void DynamicMessage::add_float(const FieldDescriptor* f, float v) {
+  slot(f).rep_f32.push_back(v);
+}
+void DynamicMessage::add_string(const FieldDescriptor* f, std::string v) {
+  slot(f).rep_str.push_back(std::move(v));
+}
+DynamicMessage* DynamicMessage::add_message(const FieldDescriptor* f) {
+  auto& s = slot(f);
+  s.rep_msg.push_back(std::make_unique<DynamicMessage>(f->message_type()));
+  return s.rep_msg.back().get();
+}
+
+int64_t DynamicMessage::get_int64(const FieldDescriptor* f) const { return slot(f).i64; }
+uint64_t DynamicMessage::get_uint64(const FieldDescriptor* f) const { return slot(f).u64; }
+double DynamicMessage::get_double(const FieldDescriptor* f) const { return slot(f).f64; }
+float DynamicMessage::get_float(const FieldDescriptor* f) const { return slot(f).f32; }
+const std::string& DynamicMessage::get_string(const FieldDescriptor* f) const {
+  return slot(f).str;
+}
+const DynamicMessage* DynamicMessage::get_message(const FieldDescriptor* f) const {
+  return slot(f).msg.get();
+}
+
+size_t DynamicMessage::repeated_size(const FieldDescriptor* f) const {
+  const auto& s = slot(f);
+  switch (f->type()) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+    case FieldType::kSint32:
+    case FieldType::kSint64:
+    case FieldType::kSfixed32:
+    case FieldType::kSfixed64:
+      return s.rep_i64.size();
+    case FieldType::kUint32:
+    case FieldType::kUint64:
+    case FieldType::kFixed32:
+    case FieldType::kFixed64:
+    case FieldType::kBool:
+    case FieldType::kEnum:
+      return s.rep_u64.size();
+    case FieldType::kDouble: return s.rep_f64.size();
+    case FieldType::kFloat: return s.rep_f32.size();
+    case FieldType::kString:
+    case FieldType::kBytes:
+      return s.rep_str.size();
+    case FieldType::kMessage: return s.rep_msg.size();
+  }
+  return 0;
+}
+
+int64_t DynamicMessage::get_repeated_int64(const FieldDescriptor* f, size_t i) const {
+  return slot(f).rep_i64.at(i);
+}
+uint64_t DynamicMessage::get_repeated_uint64(const FieldDescriptor* f, size_t i) const {
+  return slot(f).rep_u64.at(i);
+}
+double DynamicMessage::get_repeated_double(const FieldDescriptor* f, size_t i) const {
+  return slot(f).rep_f64.at(i);
+}
+float DynamicMessage::get_repeated_float(const FieldDescriptor* f, size_t i) const {
+  return slot(f).rep_f32.at(i);
+}
+const std::string& DynamicMessage::get_repeated_string(const FieldDescriptor* f,
+                                                       size_t i) const {
+  return slot(f).rep_str.at(i);
+}
+const DynamicMessage* DynamicMessage::get_repeated_message(const FieldDescriptor* f,
+                                                           size_t i) const {
+  return slot(f).rep_msg.at(i).get();
+}
+
+bool DynamicMessage::has(const FieldDescriptor* f) const {
+  const auto& s = slot(f);
+  if (f->is_repeated()) return repeated_size(f) > 0;
+  if (!s.present) return false;
+  switch (f->type()) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+    case FieldType::kSint32:
+    case FieldType::kSint64:
+    case FieldType::kSfixed32:
+    case FieldType::kSfixed64:
+      return s.i64 != 0;
+    case FieldType::kUint32:
+    case FieldType::kUint64:
+    case FieldType::kFixed32:
+    case FieldType::kFixed64:
+    case FieldType::kBool:
+    case FieldType::kEnum:
+      return s.u64 != 0;
+    case FieldType::kDouble: return s.f64 != 0;
+    case FieldType::kFloat: return s.f32 != 0;
+    case FieldType::kString:
+    case FieldType::kBytes:
+      return !s.str.empty();
+    case FieldType::kMessage: return s.msg != nullptr;
+  }
+  return false;
+}
+
+void DynamicMessage::clear() {
+  slots_.clear();
+  slots_.resize(desc_->fields().size());
+}
+
+bool DynamicMessage::equals(const DynamicMessage& other) const {
+  if (desc_ != other.desc_) return false;
+  const auto& fields = desc_->fields();
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldDescriptor* f = fields[i].get();
+    if (f->is_repeated()) {
+      size_t n = repeated_size(f);
+      if (n != other.repeated_size(f)) return false;
+      for (size_t j = 0; j < n; ++j) {
+        switch (f->type()) {
+          case FieldType::kDouble:
+            if (get_repeated_double(f, j) != other.get_repeated_double(f, j)) return false;
+            break;
+          case FieldType::kFloat:
+            if (get_repeated_float(f, j) != other.get_repeated_float(f, j)) return false;
+            break;
+          case FieldType::kString:
+          case FieldType::kBytes:
+            if (get_repeated_string(f, j) != other.get_repeated_string(f, j)) return false;
+            break;
+          case FieldType::kMessage:
+            if (!get_repeated_message(f, j)->equals(*other.get_repeated_message(f, j)))
+              return false;
+            break;
+          case FieldType::kInt32:
+          case FieldType::kInt64:
+          case FieldType::kSint32:
+          case FieldType::kSint64:
+          case FieldType::kSfixed32:
+          case FieldType::kSfixed64:
+            if (get_repeated_int64(f, j) != other.get_repeated_int64(f, j)) return false;
+            break;
+          default:
+            if (get_repeated_uint64(f, j) != other.get_repeated_uint64(f, j)) return false;
+            break;
+        }
+      }
+      continue;
+    }
+    if (has(f) != other.has(f)) return false;
+    if (!has(f)) continue;
+    switch (f->type()) {
+      case FieldType::kDouble:
+        if (get_double(f) != other.get_double(f)) return false;
+        break;
+      case FieldType::kFloat:
+        if (get_float(f) != other.get_float(f)) return false;
+        break;
+      case FieldType::kString:
+      case FieldType::kBytes:
+        if (get_string(f) != other.get_string(f)) return false;
+        break;
+      case FieldType::kMessage:
+        if (!get_message(f)->equals(*other.get_message(f))) return false;
+        break;
+      case FieldType::kInt32:
+      case FieldType::kInt64:
+      case FieldType::kSint32:
+      case FieldType::kSint64:
+      case FieldType::kSfixed32:
+      case FieldType::kSfixed64:
+        if (get_int64(f) != other.get_int64(f)) return false;
+        break;
+      default:
+        if (get_uint64(f) != other.get_uint64(f)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string DynamicMessage::debug_string(int indent) const {
+  std::ostringstream out;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  for (const auto& fptr : desc_->fields()) {
+    const FieldDescriptor* f = fptr.get();
+    if (!has(f)) continue;
+    if (f->is_repeated()) {
+      size_t n = repeated_size(f);
+      for (size_t j = 0; j < n; ++j) {
+        out << pad << f->name() << ": ";
+        switch (f->type()) {
+          case FieldType::kDouble: out << get_repeated_double(f, j); break;
+          case FieldType::kFloat: out << get_repeated_float(f, j); break;
+          case FieldType::kString:
+          case FieldType::kBytes:
+            out << '"' << text_escape(get_repeated_string(f, j)) << '"';
+            break;
+          case FieldType::kMessage:
+            out << "{\n" << get_repeated_message(f, j)->debug_string(indent + 1) << pad << '}';
+            break;
+          case FieldType::kInt32:
+          case FieldType::kInt64:
+          case FieldType::kSint32:
+          case FieldType::kSint64:
+          case FieldType::kSfixed32:
+          case FieldType::kSfixed64:
+            out << get_repeated_int64(f, j);
+            break;
+          default: out << get_repeated_uint64(f, j); break;
+        }
+        out << '\n';
+      }
+      continue;
+    }
+    out << pad << f->name() << ": ";
+    switch (f->type()) {
+      case FieldType::kDouble: out << get_double(f); break;
+      case FieldType::kFloat: out << get_float(f); break;
+      case FieldType::kString:
+      case FieldType::kBytes:
+        out << '"' << text_escape(get_string(f)) << '"';
+        break;
+      case FieldType::kMessage:
+        out << "{\n" << get_message(f)->debug_string(indent + 1) << pad << '}';
+        break;
+      case FieldType::kInt32:
+      case FieldType::kInt64:
+      case FieldType::kSint32:
+      case FieldType::kSint64:
+      case FieldType::kSfixed32:
+      case FieldType::kSfixed64:
+        out << get_int64(f);
+        break;
+      default: out << get_uint64(f); break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dpurpc::proto

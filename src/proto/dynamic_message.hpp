@@ -1,0 +1,124 @@
+// DynamicMessage: descriptor-driven reflection objects.
+//
+// This is the runtime's general-purpose message representation — the
+// analogue of google::protobuf::DynamicMessage. It is deliberately *not*
+// the datapath representation (that is the ADT-described generated-class
+// layout); DynamicMessage exists for tools, tests, and the reference
+// serializer/deserializer the custom arena deserializer is validated
+// against. proto3 semantics throughout: scalar presence is implicit
+// (serialized iff != default), messages have explicit presence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "proto/descriptor.hpp"
+
+namespace dpurpc::proto {
+
+class DynamicMessage {
+ public:
+  explicit DynamicMessage(const MessageDescriptor* descriptor);
+
+  const MessageDescriptor* descriptor() const noexcept { return desc_; }
+
+  // ---- singular setters (field must belong to this descriptor) ----
+  void set_int64(const FieldDescriptor* f, int64_t v);     ///< int32/64, sint, sfixed as value
+  void set_uint64(const FieldDescriptor* f, uint64_t v);   ///< uint32/64, fixed, bool, enum
+  void set_double(const FieldDescriptor* f, double v);
+  void set_float(const FieldDescriptor* f, float v);
+  void set_string(const FieldDescriptor* f, std::string v);  ///< string/bytes
+  /// Returns the (created-on-demand) singular sub-message.
+  DynamicMessage* mutable_message(const FieldDescriptor* f);
+
+  // ---- repeated adders ----
+  void add_int64(const FieldDescriptor* f, int64_t v);
+  void add_uint64(const FieldDescriptor* f, uint64_t v);
+  void add_double(const FieldDescriptor* f, double v);
+  void add_float(const FieldDescriptor* f, float v);
+  void add_string(const FieldDescriptor* f, std::string v);
+  DynamicMessage* add_message(const FieldDescriptor* f);
+
+  // ---- getters (proto3 defaults when unset) ----
+  int64_t get_int64(const FieldDescriptor* f) const;
+  uint64_t get_uint64(const FieldDescriptor* f) const;
+  double get_double(const FieldDescriptor* f) const;
+  float get_float(const FieldDescriptor* f) const;
+  const std::string& get_string(const FieldDescriptor* f) const;
+  /// nullptr when the sub-message is unset.
+  const DynamicMessage* get_message(const FieldDescriptor* f) const;
+
+  size_t repeated_size(const FieldDescriptor* f) const;
+  int64_t get_repeated_int64(const FieldDescriptor* f, size_t i) const;
+  uint64_t get_repeated_uint64(const FieldDescriptor* f, size_t i) const;
+  double get_repeated_double(const FieldDescriptor* f, size_t i) const;
+  float get_repeated_float(const FieldDescriptor* f, size_t i) const;
+  const std::string& get_repeated_string(const FieldDescriptor* f, size_t i) const;
+  const DynamicMessage* get_repeated_message(const FieldDescriptor* f, size_t i) const;
+
+  /// proto3 "would serialize" presence: set and != default, or repeated
+  /// non-empty, or sub-message set.
+  bool has(const FieldDescriptor* f) const;
+
+  void clear();
+
+  /// Deep structural equality (order-sensitive for repeated fields).
+  bool equals(const DynamicMessage& other) const;
+
+  /// Multi-line human-readable dump (text-format-like; for diagnostics).
+  std::string debug_string(int indent = 0) const;
+
+ private:
+  friend class WireCodec;
+
+  struct Slot {
+    bool present = false;
+    int64_t i64 = 0;
+    uint64_t u64 = 0;
+    double f64 = 0;
+    float f32 = 0;
+    std::string str;
+    std::unique_ptr<DynamicMessage> msg;
+    std::vector<int64_t> rep_i64;
+    std::vector<uint64_t> rep_u64;
+    std::vector<double> rep_f64;
+    std::vector<float> rep_f32;
+    std::vector<std::string> rep_str;
+    std::vector<std::unique_ptr<DynamicMessage>> rep_msg;
+  };
+
+  Slot& slot(const FieldDescriptor* f);
+  const Slot& slot(const FieldDescriptor* f) const;
+  size_t index_of(const FieldDescriptor* f) const;
+
+  const MessageDescriptor* desc_;
+  std::vector<Slot> slots_;  // parallel to desc_->fields()
+};
+
+/// Reference wire codec for DynamicMessage.
+class WireCodec {
+ public:
+  /// Serialize in field-descriptor order; packable repeated fields are
+  /// packed (proto3 default). Appends to `out`.
+  static void serialize(const DynamicMessage& msg, Bytes& out);
+
+  static Bytes serialize(const DynamicMessage& msg) {
+    Bytes out;
+    serialize(msg, out);
+    return out;
+  }
+
+  /// The standard (allocating) deserializer: the non-offloaded baseline.
+  /// Unknown fields are skipped; strings are UTF-8 validated; repeated
+  /// packable fields accept packed and unpacked encodings.
+  static Status parse(ByteSpan data, DynamicMessage& out, int depth = 0);
+
+  /// Serialized size without serializing (used by block sizing).
+  static size_t byte_size(const DynamicMessage& msg);
+};
+
+}  // namespace dpurpc::proto

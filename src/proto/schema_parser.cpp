@@ -1,0 +1,438 @@
+#include "proto/schema_parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace dpurpc::proto {
+
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEof };
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int line = 0;
+};
+
+/// Hand-written lexer for the .proto token language.
+class Lexer {
+ public:
+  Lexer(std::string_view src, std::string_view file) : src_(src), file_(file) {}
+
+  StatusOr<Token> next() {
+    if (!skip_trivia()) return error("unterminated block comment");
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) {
+      t.kind = TokKind::kEof;
+      return t;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_' || src_[pos_] == '.')) {
+        ++pos_;
+      }
+      t.kind = TokKind::kIdent;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == '+' || src_[pos_] == '-')) {
+        // permissive: validation happens where numbers are consumed
+        if ((src_[pos_] == '+' || src_[pos_] == '-') &&
+            !(src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')) {
+          break;
+        }
+        ++pos_;
+      }
+      t.kind = TokKind::kNumber;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos_;
+      std::string value;
+      while (pos_ < src_.size() && src_[pos_] != quote) {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          ++pos_;
+          switch (src_[pos_]) {
+            case 'n': value.push_back('\n'); break;
+            case 't': value.push_back('\t'); break;
+            case '\\': value.push_back('\\'); break;
+            case '"': value.push_back('"'); break;
+            case '\'': value.push_back('\''); break;
+            default: value.push_back(src_[pos_]); break;
+          }
+        } else {
+          if (src_[pos_] == '\n') return error("newline in string literal");
+          value.push_back(src_[pos_]);
+        }
+        ++pos_;
+      }
+      if (pos_ >= src_.size()) return error("unterminated string literal");
+      ++pos_;
+      t.kind = TokKind::kString;
+      t.text = std::move(value);
+      return t;
+    }
+    t.kind = TokKind::kSymbol;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+  Status error(std::string msg) const {
+    return Status(Code::kInvalidArgument,
+                  std::string(file_) + ":" + std::to_string(line_) + ": " + msg);
+  }
+
+ private:
+  // Returns false on unterminated block comment.
+  bool skip_trivia() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= src_.size()) return false;
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+    return true;
+  }
+
+  std::string_view src_;
+  std::string_view file_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::optional<FieldType> scalar_type_from_name(std::string_view n) {
+  if (n == "double") return FieldType::kDouble;
+  if (n == "float") return FieldType::kFloat;
+  if (n == "int32") return FieldType::kInt32;
+  if (n == "int64") return FieldType::kInt64;
+  if (n == "uint32") return FieldType::kUint32;
+  if (n == "uint64") return FieldType::kUint64;
+  if (n == "sint32") return FieldType::kSint32;
+  if (n == "sint64") return FieldType::kSint64;
+  if (n == "fixed32") return FieldType::kFixed32;
+  if (n == "fixed64") return FieldType::kFixed64;
+  if (n == "sfixed32") return FieldType::kSfixed32;
+  if (n == "sfixed64") return FieldType::kSfixed64;
+  if (n == "bool") return FieldType::kBool;
+  if (n == "string") return FieldType::kString;
+  if (n == "bytes") return FieldType::kBytes;
+  return std::nullopt;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::string_view src, std::string_view file, DescriptorPool& pool)
+      : lexer_(src, file), pool_(pool) {}
+
+  Status run() {
+    DPURPC_RETURN_IF_ERROR(advance());
+    DPURPC_RETURN_IF_ERROR(parse_syntax());
+    while (cur_.kind != TokKind::kEof) {
+      if (is_ident("package")) {
+        DPURPC_RETURN_IF_ERROR(parse_package());
+      } else if (is_ident("import")) {
+        DPURPC_RETURN_IF_ERROR(parse_import());
+      } else if (is_ident("option")) {
+        DPURPC_RETURN_IF_ERROR(skip_option());
+      } else if (is_ident("message")) {
+        DPURPC_RETURN_IF_ERROR(parse_message(package_));
+      } else if (is_ident("enum")) {
+        DPURPC_RETURN_IF_ERROR(parse_enum(package_));
+      } else if (is_ident("service")) {
+        DPURPC_RETURN_IF_ERROR(parse_service());
+      } else if (is_symbol(";")) {
+        DPURPC_RETURN_IF_ERROR(advance());
+      } else {
+        return lexer_.error("unexpected token '" + cur_.text + "' at file scope");
+      }
+    }
+    return Status::ok();
+  }
+
+ private:
+  bool is_ident(std::string_view s) const {
+    return cur_.kind == TokKind::kIdent && cur_.text == s;
+  }
+  bool is_symbol(std::string_view s) const {
+    return cur_.kind == TokKind::kSymbol && cur_.text == s;
+  }
+
+  Status advance() {
+    auto t = lexer_.next();
+    if (!t.is_ok()) return t.status();
+    cur_ = std::move(*t);
+    return Status::ok();
+  }
+
+  Status expect_symbol(std::string_view s) {
+    if (!is_symbol(s)) {
+      return lexer_.error("expected '" + std::string(s) + "', got '" + cur_.text + "'");
+    }
+    return advance();
+  }
+
+  StatusOr<std::string> expect_ident() {
+    if (cur_.kind != TokKind::kIdent) {
+      return lexer_.error("expected identifier, got '" + cur_.text + "'");
+    }
+    std::string name = cur_.text;
+    DPURPC_RETURN_IF_ERROR(advance());
+    return name;
+  }
+
+  StatusOr<int64_t> expect_integer() {
+    if (cur_.kind != TokKind::kNumber) {
+      return lexer_.error("expected number, got '" + cur_.text + "'");
+    }
+    errno = 0;
+    char* endp = nullptr;
+    long long v = std::strtoll(cur_.text.c_str(), &endp, 0);
+    if (errno != 0 || endp == nullptr || *endp != '\0') {
+      return lexer_.error("invalid integer '" + cur_.text + "'");
+    }
+    DPURPC_RETURN_IF_ERROR(advance());
+    return static_cast<int64_t>(v);
+  }
+
+  Status parse_syntax() {
+    if (!is_ident("syntax")) {
+      return lexer_.error("file must begin with: syntax = \"proto3\";");
+    }
+    DPURPC_RETURN_IF_ERROR(advance());
+    DPURPC_RETURN_IF_ERROR(expect_symbol("="));
+    if (cur_.kind != TokKind::kString || cur_.text != "proto3") {
+      return lexer_.error("only proto3 syntax is supported");
+    }
+    DPURPC_RETURN_IF_ERROR(advance());
+    return expect_symbol(";");
+  }
+
+  Status parse_package() {
+    DPURPC_RETURN_IF_ERROR(advance());
+    DPURPC_ASSIGN_OR_RETURN(package_, expect_ident());
+    return expect_symbol(";");
+  }
+
+  Status parse_import() {
+    // Imports are accepted; callers feed all transitively needed files to
+    // the same pool, so there is nothing to load here.
+    DPURPC_RETURN_IF_ERROR(advance());
+    if (is_ident("public") || is_ident("weak")) DPURPC_RETURN_IF_ERROR(advance());
+    if (cur_.kind != TokKind::kString) return lexer_.error("expected import path string");
+    DPURPC_RETURN_IF_ERROR(advance());
+    return expect_symbol(";");
+  }
+
+  // `option` at any scope: skip to the terminating ';'.
+  Status skip_option() {
+    DPURPC_RETURN_IF_ERROR(advance());
+    while (!is_symbol(";")) {
+      if (cur_.kind == TokKind::kEof) return lexer_.error("unterminated option");
+      DPURPC_RETURN_IF_ERROR(advance());
+    }
+    return advance();
+  }
+
+  // `[...]` field options: validated as balanced, content ignored.
+  Status skip_field_options() {
+    if (!is_symbol("[")) return Status::ok();
+    int depth = 0;
+    do {
+      if (cur_.kind == TokKind::kEof) return lexer_.error("unterminated field options");
+      if (is_symbol("[")) ++depth;
+      if (is_symbol("]")) --depth;
+      DPURPC_RETURN_IF_ERROR(advance());
+    } while (depth > 0);
+    return Status::ok();
+  }
+
+  Status parse_reserved() {
+    DPURPC_RETURN_IF_ERROR(advance());
+    while (!is_symbol(";")) {
+      if (cur_.kind == TokKind::kEof) return lexer_.error("unterminated reserved");
+      DPURPC_RETURN_IF_ERROR(advance());
+    }
+    return advance();
+  }
+
+  Status parse_message(const std::string& scope) {
+    DPURPC_RETURN_IF_ERROR(advance());  // consume 'message'
+    DPURPC_ASSIGN_OR_RETURN(std::string name, expect_ident());
+    std::string full = scope.empty() ? name : scope + "." + name;
+    MessageDescriptor* msg = SchemaBuilder::add_message(pool_, full);
+    if (!msg->fields().empty()) {
+      return lexer_.error("message '" + full + "' defined twice");
+    }
+    DPURPC_RETURN_IF_ERROR(expect_symbol("{"));
+    while (!is_symbol("}")) {
+      if (cur_.kind == TokKind::kEof) return lexer_.error("unterminated message " + full);
+      if (is_ident("message")) {
+        DPURPC_RETURN_IF_ERROR(parse_message(full));
+      } else if (is_ident("enum")) {
+        DPURPC_RETURN_IF_ERROR(parse_enum(full));
+      } else if (is_ident("option")) {
+        DPURPC_RETURN_IF_ERROR(skip_option());
+      } else if (is_ident("reserved")) {
+        DPURPC_RETURN_IF_ERROR(parse_reserved());
+      } else if (is_ident("oneof") || is_ident("map") || is_ident("extensions") ||
+                 is_ident("group") || is_ident("extend")) {
+        return lexer_.error("'" + cur_.text + "' is not supported by this runtime");
+      } else if (is_symbol(";")) {
+        DPURPC_RETURN_IF_ERROR(advance());
+      } else {
+        DPURPC_RETURN_IF_ERROR(parse_field(msg, full));
+      }
+    }
+    return advance();  // consume '}'
+  }
+
+  Status parse_field(MessageDescriptor* msg, const std::string& scope) {
+    (void)scope;
+    bool repeated = false;
+    if (is_ident("repeated")) {
+      repeated = true;
+      DPURPC_RETURN_IF_ERROR(advance());
+    } else if (is_ident("optional")) {
+      // proto3 'optional' affects presence semantics we already track via
+      // has-bits; accept and ignore the keyword.
+      DPURPC_RETURN_IF_ERROR(advance());
+    }
+    DPURPC_ASSIGN_OR_RETURN(std::string type_name, expect_ident());
+    DPURPC_ASSIGN_OR_RETURN(std::string field_name, expect_ident());
+    DPURPC_RETURN_IF_ERROR(expect_symbol("="));
+    DPURPC_ASSIGN_OR_RETURN(int64_t number, expect_integer());
+    if (number <= 0 || number > wire::kMaxFieldNumber ||
+        (number >= 19000 && number <= 19999)) {
+      return lexer_.error("invalid field number " + std::to_string(number));
+    }
+    DPURPC_RETURN_IF_ERROR(skip_field_options());
+    DPURPC_RETURN_IF_ERROR(expect_symbol(";"));
+
+    auto scalar = scalar_type_from_name(type_name);
+    auto field = std::make_unique<FieldDescriptor>(
+        field_name, static_cast<uint32_t>(number),
+        scalar.value_or(FieldType::kMessage), repeated);
+    if (!scalar) SchemaBuilder::set_type_name(field.get(), type_name);  // resolved at link
+    SchemaBuilder::add_field(msg, std::move(field));
+    return Status::ok();
+  }
+
+  Status parse_enum(const std::string& scope) {
+    DPURPC_RETURN_IF_ERROR(advance());
+    DPURPC_ASSIGN_OR_RETURN(std::string name, expect_ident());
+    std::string full = scope.empty() ? name : scope + "." + name;
+    EnumDescriptor* en = SchemaBuilder::add_enum(pool_, full);
+    DPURPC_RETURN_IF_ERROR(expect_symbol("{"));
+    bool first = true;
+    while (!is_symbol("}")) {
+      if (cur_.kind == TokKind::kEof) return lexer_.error("unterminated enum " + full);
+      if (is_ident("option")) {
+        DPURPC_RETURN_IF_ERROR(skip_option());
+        continue;
+      }
+      if (is_ident("reserved")) {
+        DPURPC_RETURN_IF_ERROR(parse_reserved());
+        continue;
+      }
+      DPURPC_ASSIGN_OR_RETURN(std::string vname, expect_ident());
+      DPURPC_RETURN_IF_ERROR(expect_symbol("="));
+      DPURPC_ASSIGN_OR_RETURN(int64_t value, expect_integer());
+      DPURPC_RETURN_IF_ERROR(skip_field_options());
+      DPURPC_RETURN_IF_ERROR(expect_symbol(";"));
+      if (first && value != 0) {
+        return lexer_.error("proto3 enum '" + full + "' first value must be 0");
+      }
+      first = false;
+      SchemaBuilder::add_enum_value(en, std::move(vname), static_cast<int32_t>(value));
+    }
+    return advance();
+  }
+
+  Status parse_service() {
+    DPURPC_RETURN_IF_ERROR(advance());
+    DPURPC_ASSIGN_OR_RETURN(std::string name, expect_ident());
+    std::string full = package_.empty() ? name : package_ + "." + name;
+    ServiceDescriptor* svc = SchemaBuilder::add_service(pool_, full);
+    DPURPC_RETURN_IF_ERROR(expect_symbol("{"));
+    while (!is_symbol("}")) {
+      if (cur_.kind == TokKind::kEof) return lexer_.error("unterminated service " + full);
+      if (is_ident("option")) {
+        DPURPC_RETURN_IF_ERROR(skip_option());
+        continue;
+      }
+      if (!is_ident("rpc")) return lexer_.error("expected 'rpc' in service body");
+      DPURPC_RETURN_IF_ERROR(advance());
+      MethodDescriptor method;
+      DPURPC_ASSIGN_OR_RETURN(method.name, expect_ident());
+      DPURPC_RETURN_IF_ERROR(expect_symbol("("));
+      if (is_ident("stream")) return lexer_.error("streaming rpcs are not supported");
+      DPURPC_ASSIGN_OR_RETURN(method.input_type_name, expect_ident());
+      DPURPC_RETURN_IF_ERROR(expect_symbol(")"));
+      if (!is_ident("returns")) return lexer_.error("expected 'returns'");
+      DPURPC_RETURN_IF_ERROR(advance());
+      DPURPC_RETURN_IF_ERROR(expect_symbol("("));
+      if (is_ident("stream")) return lexer_.error("streaming rpcs are not supported");
+      DPURPC_ASSIGN_OR_RETURN(method.output_type_name, expect_ident());
+      DPURPC_RETURN_IF_ERROR(expect_symbol(")"));
+      if (is_symbol("{")) {  // optional options block
+        int depth = 0;
+        do {
+          if (cur_.kind == TokKind::kEof) return lexer_.error("unterminated rpc options");
+          if (is_symbol("{")) ++depth;
+          if (is_symbol("}")) --depth;
+          DPURPC_RETURN_IF_ERROR(advance());
+        } while (depth > 0);
+      } else {
+        DPURPC_RETURN_IF_ERROR(expect_symbol(";"));
+      }
+      SchemaBuilder::add_method(svc, std::move(method));
+    }
+    return advance();
+  }
+
+  Lexer lexer_;
+  DescriptorPool& pool_;
+  Token cur_;
+  std::string package_;
+};
+
+}  // namespace
+
+Status SchemaParser::parse_file(std::string_view source, std::string_view file_name) {
+  Parser parser(source, file_name, pool_);
+  return parser.run();
+}
+
+}  // namespace dpurpc::proto

@@ -1,0 +1,42 @@
+// proto3 schema parser: .proto text → descriptors in a DescriptorPool.
+//
+// Supported grammar (the subset the paper's system needs, matching what
+// protoc accepts for its workloads): syntax declaration, package, message
+// (with arbitrarily nested messages and enums), scalar/string/bytes fields,
+// message and enum fields, `repeated` and the no-op proto3 `optional`,
+// reserved statements, enum declarations, unary `service`/`rpc`
+// definitions, `option` statements (parsed and ignored), and both comment
+// styles. Unsupported (rejected with a clear error): proto2 syntax,
+// `map<,>`, `oneof`, streaming rpcs, groups, extensions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "proto/descriptor.hpp"
+
+namespace dpurpc::proto {
+
+/// Parses .proto sources into a pool. One parser can ingest many files;
+/// call link() (or use parse_and_link) once all files are in.
+class SchemaParser {
+ public:
+  explicit SchemaParser(DescriptorPool& pool) : pool_(pool) {}
+
+  /// Parse a single .proto source. `file_name` is only for error messages.
+  Status parse_file(std::string_view source, std::string_view file_name = "<memory>");
+
+  /// Parse one source and resolve all type references in the pool.
+  Status parse_and_link(std::string_view source,
+                        std::string_view file_name = "<memory>") {
+    DPURPC_RETURN_IF_ERROR(parse_file(source, file_name));
+    return pool_.link();
+  }
+
+ private:
+  DescriptorPool& pool_;
+};
+
+}  // namespace dpurpc::proto

@@ -1,0 +1,314 @@
+#include "proto/text_format.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "wire/utf8.hpp"
+
+namespace dpurpc::proto {
+
+namespace {
+
+/// Character-level cursor with comment/whitespace skipping and line
+/// tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ident() {
+    skip_ws();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Bare token up to whitespace or a delimiter (numbers, true/false).
+  StatusOr<std::string> token() {
+    skip_ws();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == ',' || c == ';' ||
+          c == ']' || c == '}' || c == '#') {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected value");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Quoted string with C escapes; adjacent literals concatenate
+  /// ("ab" "cd" == "abcd"), like protobuf text format.
+  StatusOr<std::string> quoted() {
+    std::string out;
+    bool any = false;
+    while (peek() == '"' || peek() == '\'') {
+      any = true;
+      char quote = text_[pos_++];
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        char c = text_[pos_++];
+        if (c == '\n') return error("newline in string literal");
+        if (c != '\\') {
+          out.push_back(c);
+          continue;
+        }
+        if (pos_ >= text_.size()) return error("dangling escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case '0': out.push_back('\0'); break;
+          case '\\': out.push_back('\\'); break;
+          case '\'': out.push_back('\''); break;
+          case '"': out.push_back('"'); break;
+          case 'x': {
+            int v = 0, digits = 0;
+            while (pos_ < text_.size() && digits < 2 &&
+                   std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              char h = text_[pos_++];
+              v = v * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                                ? h - '0'
+                                : std::tolower(h) - 'a' + 10);
+              ++digits;
+            }
+            if (digits == 0) return error("\\x needs hex digits");
+            out.push_back(static_cast<char>(v));
+            break;
+          }
+          default:
+            return error(std::string("unknown escape \\") + e);
+        }
+      }
+      if (pos_ >= text_.size()) return error("unterminated string literal");
+      ++pos_;  // closing quote
+    }
+    if (!any) return error("expected quoted string");
+    return out;
+  }
+
+  Status error(std::string msg) const {
+    return Status(Code::kInvalidArgument,
+                  "text format line " + std::to_string(line_) + ": " + std::move(msg));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Status parse_message(Cursor& c, DynamicMessage& out, char terminator, int depth);
+
+Status parse_scalar(Cursor& c, DynamicMessage& out, const FieldDescriptor* f,
+                    bool repeated) {
+  switch (f->type()) {
+    case FieldType::kString:
+    case FieldType::kBytes: {
+      auto s = c.quoted();
+      if (!s.is_ok()) return s.status();
+      if (f->type() == FieldType::kString && !wire::validate_utf8(*s)) {
+        return c.error("invalid UTF-8 in string field " + f->name());
+      }
+      repeated ? out.add_string(f, std::move(*s)) : out.set_string(f, std::move(*s));
+      return Status::ok();
+    }
+    case FieldType::kBool: {
+      auto t = c.token();
+      if (!t.is_ok()) return t.status();
+      uint64_t v;
+      if (*t == "true" || *t == "1") {
+        v = 1;
+      } else if (*t == "false" || *t == "0") {
+        v = 0;
+      } else {
+        return c.error("expected true/false for " + f->name());
+      }
+      repeated ? out.add_uint64(f, v) : out.set_uint64(f, v);
+      return Status::ok();
+    }
+    case FieldType::kEnum: {
+      auto t = c.token();
+      if (!t.is_ok()) return t.status();
+      int32_t value = 0;
+      bool found = false;
+      for (const auto& [name, v] : f->enum_type()->values()) {
+        if (name == *t) {
+          value = v;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        errno = 0;
+        char* end = nullptr;
+        long v = std::strtol(t->c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+          return c.error("unknown enum value '" + *t + "' for " + f->name());
+        }
+        value = static_cast<int32_t>(v);
+      }
+      auto v64 = static_cast<uint64_t>(static_cast<uint32_t>(value));
+      repeated ? out.add_uint64(f, v64) : out.set_uint64(f, v64);
+      return Status::ok();
+    }
+    case FieldType::kFloat:
+    case FieldType::kDouble: {
+      auto t = c.token();
+      if (!t.is_ok()) return t.status();
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(t->c_str(), &end);
+      if (errno != 0 || end == nullptr || *end != '\0') {
+        return c.error("bad floating point '" + *t + "' for " + f->name());
+      }
+      if (f->type() == FieldType::kFloat) {
+        auto fv = static_cast<float>(v);
+        repeated ? out.add_float(f, fv) : out.set_float(f, fv);
+      } else {
+        repeated ? out.add_double(f, v) : out.set_double(f, v);
+      }
+      return Status::ok();
+    }
+    default: {  // integers
+      auto t = c.token();
+      if (!t.is_ok()) return t.status();
+      errno = 0;
+      char* end = nullptr;
+      bool is_signed;
+      switch (f->type()) {
+        case FieldType::kInt32:
+        case FieldType::kInt64:
+        case FieldType::kSint32:
+        case FieldType::kSint64:
+        case FieldType::kSfixed32:
+        case FieldType::kSfixed64:
+          is_signed = true;
+          break;
+        default:
+          is_signed = false;
+          break;
+      }
+      if (is_signed) {
+        long long v = std::strtoll(t->c_str(), &end, 0);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+          return c.error("bad integer '" + *t + "' for " + f->name());
+        }
+        repeated ? out.add_int64(f, v) : out.set_int64(f, v);
+      } else {
+        if (!t->empty() && (*t)[0] == '-') {
+          return c.error("negative value for unsigned field " + f->name());
+        }
+        unsigned long long v = std::strtoull(t->c_str(), &end, 0);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+          return c.error("bad integer '" + *t + "' for " + f->name());
+        }
+        repeated ? out.add_uint64(f, v) : out.set_uint64(f, v);
+      }
+      return Status::ok();
+    }
+  }
+}
+
+Status parse_value(Cursor& c, DynamicMessage& out, const FieldDescriptor* f,
+                   int depth) {
+  if (f->type() == FieldType::kMessage) {
+    // `field { ... }` or `field: { ... }` (the ':' was consumed optionally).
+    if (!c.consume('{')) return c.error("expected '{' for message field " + f->name());
+    DynamicMessage* child = f->is_repeated() ? out.add_message(f) : out.mutable_message(f);
+    return parse_message(c, *child, '}', depth + 1);
+  }
+  return parse_scalar(c, out, f, f->is_repeated());
+}
+
+Status parse_field(Cursor& c, DynamicMessage& out, int depth) {
+  auto name = c.ident();
+  if (!name.is_ok()) return name.status();
+  const FieldDescriptor* f = out.descriptor()->field_by_name(*name);
+  if (f == nullptr) {
+    return c.error("no field '" + *name + "' in " + out.descriptor()->full_name());
+  }
+  bool had_colon = c.consume(':');
+  if (f->type() == FieldType::kMessage) {
+    // colon optional before '{'
+    return parse_value(c, out, f, depth);
+  }
+  if (!had_colon) return c.error("expected ':' after " + *name);
+  // `field: [a, b, c]` list syntax for repeated fields.
+  if (f->is_repeated() && c.consume('[')) {
+    if (c.consume(']')) return Status::ok();  // empty list
+    do {
+      DPURPC_RETURN_IF_ERROR(parse_scalar(c, out, f, true));
+    } while (c.consume(','));
+    if (!c.consume(']')) return c.error("expected ']' closing list for " + *name);
+    return Status::ok();
+  }
+  return parse_value(c, out, f, depth);
+}
+
+Status parse_message(Cursor& c, DynamicMessage& out, char terminator, int depth) {
+  if (depth > 100) return c.error("nesting too deep");
+  while (true) {
+    if (terminator != '\0') {
+      if (c.consume(terminator)) return Status::ok();
+      if (c.done()) return c.error("missing closing '}'");
+    } else if (c.done()) {
+      return Status::ok();
+    }
+    DPURPC_RETURN_IF_ERROR(parse_field(c, out, depth));
+    (void)c.consume(',');  // optional separators
+    (void)c.consume(';');
+  }
+}
+
+}  // namespace
+
+Status TextFormat::parse(std::string_view text, DynamicMessage& out) {
+  Cursor c(text);
+  return parse_message(c, out, '\0', 0);
+}
+
+}  // namespace dpurpc::proto

@@ -1,0 +1,29 @@
+// Protobuf text format: parse and print DynamicMessage.
+//
+// The human-readable "field: value" notation protobuf tools exchange.
+// Printing reuses DynamicMessage::debug_string's layout; parsing accepts
+// that same output (round-trip property) plus the usual variations:
+// nested messages with `field { ... }` or `field: { ... }`, repeated
+// fields by repetition or `field: [v1, v2]` lists, enums by name or
+// number, C-style string escapes, and `#` comments.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "proto/dynamic_message.hpp"
+
+namespace dpurpc::proto {
+
+class TextFormat {
+ public:
+  /// Parse `text` into `out` (which supplies the descriptor). Unknown
+  /// field names are an error — text format is schema-checked, unlike the
+  /// wire format's skip-unknowns rule.
+  static Status parse(std::string_view text, DynamicMessage& out);
+
+  /// Pretty-print (same as debug_string; provided for symmetry).
+  static std::string print(const DynamicMessage& msg) { return msg.debug_string(); }
+};
+
+}  // namespace dpurpc::proto

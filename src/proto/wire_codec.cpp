@@ -1,0 +1,366 @@
+// Reference wire codec: DynamicMessage <-> proto3 wire bytes.
+#include <cassert>
+
+#include "proto/dynamic_message.hpp"
+#include "wire/coded_stream.hpp"
+#include "wire/utf8.hpp"
+#include "wire/varint.hpp"
+
+namespace dpurpc::proto {
+
+namespace {
+
+using wire::Reader;
+using wire::WireType;
+using wire::Writer;
+
+// Wire value of a singular numeric slot, normalized to the u64 that the
+// varint/fixed encoder takes.
+uint64_t varint_value_of(const FieldDescriptor* f, const DynamicMessage& m) {
+  switch (f->type()) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+      return static_cast<uint64_t>(m.get_int64(f));  // negatives: 10 bytes, per spec
+    case FieldType::kSint32:
+      return wire::zigzag_encode32(static_cast<int32_t>(m.get_int64(f)));
+    case FieldType::kSint64:
+      return wire::zigzag_encode64(m.get_int64(f));
+    case FieldType::kUint32:
+    case FieldType::kUint64:
+    case FieldType::kBool:
+      return m.get_uint64(f);
+    case FieldType::kEnum:
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(m.get_uint64(f))));
+    default:
+      assert(false);
+      return 0;
+  }
+}
+
+uint64_t repeated_varint_value(const FieldDescriptor* f, const DynamicMessage& m, size_t i) {
+  switch (f->type()) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+      return static_cast<uint64_t>(m.get_repeated_int64(f, i));
+    case FieldType::kSint32:
+      return wire::zigzag_encode32(static_cast<int32_t>(m.get_repeated_int64(f, i)));
+    case FieldType::kSint64:
+      return wire::zigzag_encode64(m.get_repeated_int64(f, i));
+    case FieldType::kEnum:
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(m.get_repeated_uint64(f, i))));
+    default:
+      return m.get_repeated_uint64(f, i);
+  }
+}
+
+size_t packed_payload_size(const FieldDescriptor* f, const DynamicMessage& m) {
+  size_t n = m.repeated_size(f);
+  switch (wire_type_for(f->type())) {
+    case WireType::kFixed32: return n * 4;
+    case WireType::kFixed64: return n * 8;
+    case WireType::kVarint: {
+      size_t total = 0;
+      for (size_t i = 0; i < n; ++i) total += wire::varint_size(repeated_varint_value(f, m, i));
+      return total;
+    }
+    default:
+      assert(false);
+      return 0;
+  }
+}
+
+uint32_t fixed32_bits(float v) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, 4);
+  return bits;
+}
+uint64_t fixed64_bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return bits;
+}
+float float_from_bits(uint32_t b) {
+  float v;
+  std::memcpy(&v, &b, 4);
+  return v;
+}
+double double_from_bits(uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, 8);
+  return v;
+}
+
+void write_packed_element(Writer& w, const FieldDescriptor* f, const DynamicMessage& m,
+                          size_t i) {
+  switch (f->type()) {
+    case FieldType::kFloat: w.write_fixed32(fixed32_bits(m.get_repeated_float(f, i))); break;
+    case FieldType::kDouble: w.write_fixed64(fixed64_bits(m.get_repeated_double(f, i))); break;
+    case FieldType::kFixed32:
+      w.write_fixed32(static_cast<uint32_t>(m.get_repeated_uint64(f, i)));
+      break;
+    case FieldType::kSfixed32:
+      w.write_fixed32(static_cast<uint32_t>(static_cast<int32_t>(m.get_repeated_int64(f, i))));
+      break;
+    case FieldType::kFixed64: w.write_fixed64(m.get_repeated_uint64(f, i)); break;
+    case FieldType::kSfixed64:
+      w.write_fixed64(static_cast<uint64_t>(m.get_repeated_int64(f, i)));
+      break;
+    default: w.write_varint(repeated_varint_value(f, m, i)); break;
+  }
+}
+
+}  // namespace
+
+void WireCodec::serialize(const DynamicMessage& msg, Bytes& out) {
+  Writer w(out);
+  for (const auto& fptr : msg.descriptor()->fields()) {
+    const FieldDescriptor* f = fptr.get();
+    if (f->is_repeated()) {
+      size_t n = msg.repeated_size(f);
+      if (n == 0) continue;
+      if (is_packable(f->type())) {
+        w.write_tag(f->number(), WireType::kLengthDelimited);
+        w.write_varint(packed_payload_size(f, msg));
+        for (size_t i = 0; i < n; ++i) write_packed_element(w, f, msg, i);
+      } else if (f->type() == FieldType::kString || f->type() == FieldType::kBytes) {
+        for (size_t i = 0; i < n; ++i) {
+          w.write_tag(f->number(), WireType::kLengthDelimited);
+          w.write_length_delimited(msg.get_repeated_string(f, i));
+        }
+      } else {  // repeated message
+        for (size_t i = 0; i < n; ++i) {
+          Bytes child;
+          serialize(*msg.get_repeated_message(f, i), child);
+          w.write_tag(f->number(), WireType::kLengthDelimited);
+          w.write_length_delimited(as_string_view(child));
+        }
+      }
+      continue;
+    }
+    if (!msg.has(f)) continue;
+    switch (f->type()) {
+      case FieldType::kFloat:
+        w.write_tag(f->number(), WireType::kFixed32);
+        w.write_fixed32(fixed32_bits(msg.get_float(f)));
+        break;
+      case FieldType::kDouble:
+        w.write_tag(f->number(), WireType::kFixed64);
+        w.write_fixed64(fixed64_bits(msg.get_double(f)));
+        break;
+      case FieldType::kFixed32:
+        w.write_tag(f->number(), WireType::kFixed32);
+        w.write_fixed32(static_cast<uint32_t>(msg.get_uint64(f)));
+        break;
+      case FieldType::kSfixed32:
+        w.write_tag(f->number(), WireType::kFixed32);
+        w.write_fixed32(static_cast<uint32_t>(static_cast<int32_t>(msg.get_int64(f))));
+        break;
+      case FieldType::kFixed64:
+        w.write_tag(f->number(), WireType::kFixed64);
+        w.write_fixed64(msg.get_uint64(f));
+        break;
+      case FieldType::kSfixed64:
+        w.write_tag(f->number(), WireType::kFixed64);
+        w.write_fixed64(static_cast<uint64_t>(msg.get_int64(f)));
+        break;
+      case FieldType::kString:
+      case FieldType::kBytes:
+        w.write_tag(f->number(), WireType::kLengthDelimited);
+        w.write_length_delimited(msg.get_string(f));
+        break;
+      case FieldType::kMessage: {
+        Bytes child;
+        serialize(*msg.get_message(f), child);
+        w.write_tag(f->number(), WireType::kLengthDelimited);
+        w.write_length_delimited(as_string_view(child));
+        break;
+      }
+      default:
+        w.write_tag(f->number(), WireType::kVarint);
+        w.write_varint(varint_value_of(f, msg));
+        break;
+    }
+  }
+}
+
+size_t WireCodec::byte_size(const DynamicMessage& msg) {
+  // Reference implementation favors clarity: serialize into a scratch
+  // buffer. The datapath never calls this; the xRPC client calls it once
+  // per request at most.
+  Bytes scratch;
+  serialize(msg, scratch);
+  return scratch.size();
+}
+
+namespace {
+
+Status parse_scalar_value(Reader& r, const FieldDescriptor* f, WireType wt,
+                          DynamicMessage& out, bool repeated_element, int depth);
+
+Status parse_packed(std::string_view payload, const FieldDescriptor* f,
+                    DynamicMessage& out, int depth) {
+  Reader r(as_bytes_view(payload));
+  while (!r.done()) {
+    DPURPC_RETURN_IF_ERROR(
+        parse_scalar_value(r, f, wire_type_for(f->type()), out, /*repeated=*/true, depth));
+  }
+  return Status::ok();
+}
+
+Status parse_scalar_value(Reader& r, const FieldDescriptor* f, WireType wt,
+                          DynamicMessage& out, bool repeated_element, int depth) {
+  (void)depth;
+  switch (wt) {
+    case WireType::kVarint: {
+      auto v = r.read_varint();
+      if (!v.is_ok()) return v.status();
+      switch (f->type()) {
+        case FieldType::kInt32: {
+          auto val = static_cast<int64_t>(static_cast<int32_t>(*v));
+          repeated_element ? out.add_int64(f, val) : out.set_int64(f, val);
+          break;
+        }
+        case FieldType::kInt64: {
+          auto val = static_cast<int64_t>(*v);
+          repeated_element ? out.add_int64(f, val) : out.set_int64(f, val);
+          break;
+        }
+        case FieldType::kSint32: {
+          int64_t val = wire::zigzag_decode32(static_cast<uint32_t>(*v));
+          repeated_element ? out.add_int64(f, val) : out.set_int64(f, val);
+          break;
+        }
+        case FieldType::kSint64: {
+          int64_t val = wire::zigzag_decode64(*v);
+          repeated_element ? out.add_int64(f, val) : out.set_int64(f, val);
+          break;
+        }
+        case FieldType::kBool: {
+          uint64_t val = *v != 0 ? 1 : 0;
+          repeated_element ? out.add_uint64(f, val) : out.set_uint64(f, val);
+          break;
+        }
+        case FieldType::kUint32: {
+          uint64_t val = static_cast<uint32_t>(*v);
+          repeated_element ? out.add_uint64(f, val) : out.set_uint64(f, val);
+          break;
+        }
+        case FieldType::kEnum: {
+          auto val = static_cast<uint64_t>(static_cast<uint32_t>(*v));
+          repeated_element ? out.add_uint64(f, val) : out.set_uint64(f, val);
+          break;
+        }
+        default:
+          repeated_element ? out.add_uint64(f, *v) : out.set_uint64(f, *v);
+          break;
+      }
+      return Status::ok();
+    }
+    case WireType::kFixed32: {
+      auto v = r.read_fixed32();
+      if (!v.is_ok()) return v.status();
+      switch (f->type()) {
+        case FieldType::kFloat: {
+          float val = float_from_bits(*v);
+          repeated_element ? out.add_float(f, val) : out.set_float(f, val);
+          break;
+        }
+        case FieldType::kSfixed32: {
+          auto val = static_cast<int64_t>(static_cast<int32_t>(*v));
+          repeated_element ? out.add_int64(f, val) : out.set_int64(f, val);
+          break;
+        }
+        default:
+          repeated_element ? out.add_uint64(f, *v) : out.set_uint64(f, *v);
+          break;
+      }
+      return Status::ok();
+    }
+    case WireType::kFixed64: {
+      auto v = r.read_fixed64();
+      if (!v.is_ok()) return v.status();
+      switch (f->type()) {
+        case FieldType::kDouble: {
+          double val = double_from_bits(*v);
+          repeated_element ? out.add_double(f, val) : out.set_double(f, val);
+          break;
+        }
+        case FieldType::kSfixed64: {
+          auto val = static_cast<int64_t>(*v);
+          repeated_element ? out.add_int64(f, val) : out.set_int64(f, val);
+          break;
+        }
+        default:
+          repeated_element ? out.add_uint64(f, *v) : out.set_uint64(f, *v);
+          break;
+      }
+      return Status::ok();
+    }
+    default:
+      return Status(Code::kDataLoss, "scalar field with length-delimited wire type");
+  }
+}
+
+}  // namespace
+
+Status WireCodec::parse(ByteSpan data, DynamicMessage& out, int depth) {
+  if (depth > wire::kMaxRecursionDepth) {
+    return Status(Code::kDataLoss, "message nesting exceeds recursion limit");
+  }
+  Reader r(data);
+  while (!r.done()) {
+    auto tag = r.read_tag();
+    if (!tag.is_ok()) return tag.status();
+    uint32_t number = wire::tag_field_number(*tag);
+    WireType wt = wire::tag_wire_type(*tag);
+    const FieldDescriptor* f = out.descriptor()->field_by_number(number);
+    if (f == nullptr) {
+      DPURPC_RETURN_IF_ERROR(r.skip_value(wt));
+      continue;
+    }
+    if (wt == WireType::kLengthDelimited) {
+      auto payload = r.read_length_delimited();
+      if (!payload.is_ok()) return payload.status();
+      switch (f->type()) {
+        case FieldType::kString:
+          if (!wire::validate_utf8(*payload)) {
+            return Status(Code::kDataLoss, "invalid UTF-8 in string field " + f->name());
+          }
+          [[fallthrough]];
+        case FieldType::kBytes:
+          if (f->is_repeated()) {
+            out.add_string(f, std::string(*payload));
+          } else {
+            out.set_string(f, std::string(*payload));
+          }
+          break;
+        case FieldType::kMessage: {
+          DynamicMessage* child =
+              f->is_repeated() ? out.add_message(f) : out.mutable_message(f);
+          DPURPC_RETURN_IF_ERROR(parse(as_bytes_view(*payload), *child, depth + 1));
+          break;
+        }
+        default:
+          // Packed repeated encoding of a packable scalar.
+          if (!f->is_repeated() || !is_packable(f->type())) {
+            return Status(Code::kDataLoss,
+                          "length-delimited data for scalar field " + f->name());
+          }
+          DPURPC_RETURN_IF_ERROR(parse_packed(*payload, f, out, depth));
+          break;
+      }
+      continue;
+    }
+    // Non-length-delimited: expected wire type must match the field type.
+    if (wt != wire_type_for(f->type())) {
+      return Status(Code::kDataLoss, "wire type mismatch for field " + f->name());
+    }
+    DPURPC_RETURN_IF_ERROR(parse_scalar_value(r, f, wt, out, f->is_repeated(), depth));
+  }
+  return Status::ok();
+}
+
+}  // namespace dpurpc::proto

@@ -1,0 +1,154 @@
+// Block construction and parsing (§IV.A).
+//
+// BlockWriter fills a region allocated from the send buffer: preamble,
+// then header/payload pairs, everything 8-byte aligned so the receiver
+// processes the block zero-copy. Payloads can be *built in place* (the
+// offload path deserializes protobuf objects directly into the block) via
+// a payload arena spanning the rest of the block.
+//
+// BlockReader validates and iterates a received block without copying.
+#pragma once
+
+#include "arena/arena.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "rdmarpc/protocol.hpp"
+
+namespace dpurpc::rdmarpc {
+
+class BlockWriter {
+ public:
+  /// Begin writing a block at `base` with at most `capacity` bytes.
+  BlockWriter(std::byte* base, uint64_t capacity) noexcept
+      : base_(base), capacity_(capacity), cursor_(kPreambleSize) {}
+
+  /// True if a message with `payload_size` bytes still fits.
+  bool can_fit(uint32_t payload_size) const noexcept {
+    return message_count_ < kMaxMessagesPerBlock &&
+           cursor_ + message_slot_size(payload_size) <= capacity_;
+  }
+
+  /// Space available for the next message's payload (after its header).
+  uint64_t payload_capacity() const noexcept {
+    uint64_t after_header = cursor_ + kHeaderSize;
+    return after_header >= capacity_ ? 0 : capacity_ - after_header;
+  }
+
+  /// Start a message: reserves the header slot and returns the payload
+  /// base (8-aligned). Pair with commit_message or abort_message.
+  StatusOr<std::byte*> begin_message() noexcept {
+    if (in_message_) return Status(Code::kFailedPrecondition, "message already open");
+    if (message_count_ >= kMaxMessagesPerBlock) {
+      return Status(Code::kResourceExhausted, "block message count limit");
+    }
+    if (cursor_ + kHeaderSize >= capacity_) {
+      return Status(Code::kResourceExhausted, "block full");
+    }
+    in_message_ = true;
+    header_pos_ = cursor_;
+    return base_ + cursor_ + kHeaderSize;
+  }
+
+  /// Arena over the open message's payload space, for in-place building.
+  arena::Arena payload_arena() noexcept {
+    return arena::Arena(base_ + header_pos_ + kHeaderSize,
+                        capacity_ - header_pos_ - kHeaderSize);
+  }
+
+  /// Finish the open message with its real payload size.
+  Status commit_message(uint32_t payload_size, uint16_t id_or_method,
+                        uint16_t flags = 0, uint16_t aux = 0) noexcept {
+    if (!in_message_) return Status(Code::kFailedPrecondition, "no open message");
+    if (payload_size > kMaxPayloadSize) {
+      return Status(Code::kOutOfRange, "payload exceeds 64 KiB header limit");
+    }
+    uint64_t slot = message_slot_size(payload_size);
+    if (header_pos_ + slot > capacity_) {
+      return Status(Code::kResourceExhausted, "payload overruns block");
+    }
+    MsgHeader h;
+    h.payload_size = static_cast<uint16_t>(payload_size);
+    h.id_or_method = id_or_method;
+    h.flags = flags;
+    h.aux = aux;
+    std::memcpy(base_ + header_pos_, &h, sizeof(h));
+    cursor_ = header_pos_ + slot;
+    ++message_count_;
+    in_message_ = false;
+    return Status::ok();
+  }
+
+  /// Roll back the open message (e.g. in-place build failed).
+  void abort_message() noexcept { in_message_ = false; }
+
+  /// Copy-path convenience: append a serialized payload.
+  Status append(ByteSpan payload, uint16_t id_or_method, uint16_t flags = 0,
+                uint16_t aux = 0) noexcept {
+    auto dst = begin_message();
+    if (!dst.is_ok()) return dst.status();
+    if (payload.size() > payload_capacity() + 0) {
+      abort_message();
+      return Status(Code::kResourceExhausted, "payload does not fit in block");
+    }
+    std::memcpy(*dst, payload.data(), payload.size());
+    return commit_message(static_cast<uint32_t>(payload.size()), id_or_method, flags, aux);
+  }
+
+  /// Write the preamble and return the block's total byte length.
+  uint64_t finalize(uint16_t ack_blocks) noexcept {
+    Preamble p;
+    p.message_count = message_count_;
+    p.ack_blocks = ack_blocks;
+    p.block_bytes = static_cast<uint32_t>(cursor_);
+    p.reserved = 0;
+    std::memcpy(base_, &p, sizeof(p));
+    return cursor_;
+  }
+
+  uint16_t message_count() const noexcept { return message_count_; }
+  uint64_t bytes_used() const noexcept { return cursor_; }
+  bool empty() const noexcept { return message_count_ == 0; }
+  std::byte* base() const noexcept { return base_; }
+
+ private:
+  std::byte* base_;
+  uint64_t capacity_;
+  uint64_t cursor_;
+  uint64_t header_pos_ = 0;
+  uint16_t message_count_ = 0;
+  bool in_message_ = false;
+};
+
+/// Zero-copy view over one received message.
+struct InMessage {
+  MsgHeader header;
+  ByteSpan payload;             ///< borrowed from the receive buffer
+  const std::byte* payload_addr;///< receive-buffer address (in-place objects)
+};
+
+class BlockReader {
+ public:
+  /// Validate the preamble and structural integrity of a block that starts
+  /// at `region.data()`; `region` extends to the end of the receive buffer
+  /// (the preamble's block_bytes says where the block really ends).
+  static StatusOr<BlockReader> parse(ByteSpan region) noexcept;
+
+  const Preamble& preamble() const noexcept { return preamble_; }
+  uint16_t message_count() const noexcept { return preamble_.message_count; }
+  uint64_t block_bytes() const noexcept { return preamble_.block_bytes; }
+
+  /// Next message; kOutOfRange past the last one.
+  StatusOr<InMessage> next() noexcept;
+  bool done() const noexcept { return consumed_ >= preamble_.message_count; }
+
+ private:
+  BlockReader(const std::byte* base, Preamble p) noexcept
+      : base_(base), preamble_(p), cursor_(kPreambleSize) {}
+
+  const std::byte* base_;
+  Preamble preamble_;
+  uint64_t cursor_;
+  uint16_t consumed_ = 0;
+};
+
+}  // namespace dpurpc::rdmarpc

@@ -1,0 +1,47 @@
+// Deterministic request-ID pool (§IV.D of the paper).
+//
+// Request IDs are 2 bytes (up to 2^16 concurrent requests) and are never
+// transmitted with requests. Instead, both sides run the exact same
+// discipline in reliable-connection block order — on sending/receiving a
+// block: first free the IDs of acknowledged requests, then allocate IDs
+// for the block's new requests — so the pools stay synchronized and assign
+// identical IDs without a single wire byte. Determinism requires FIFO
+// recycling: freed IDs go to the back, allocation takes from the front.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace dpurpc::rdmarpc {
+
+class RequestIdPool {
+ public:
+  /// Pool of `count` IDs: 0 .. count-1, initially free in ascending order.
+  explicit RequestIdPool(uint32_t count = 1u << 16) : capacity_(count) {
+    for (uint32_t i = 0; i < count; ++i) free_.push_back(static_cast<uint16_t>(i));
+  }
+
+  /// nullopt when all IDs are in flight (the concurrency ceiling).
+  std::optional<uint16_t> allocate() {
+    if (free_.empty()) return std::nullopt;
+    uint16_t id = free_.front();
+    free_.pop_front();
+    return id;
+  }
+
+  /// FIFO recycle; the caller guarantees `id` was allocated.
+  void release(uint16_t id) { free_.push_back(id); }
+
+  uint32_t in_flight() const noexcept {
+    return capacity_ - static_cast<uint32_t>(free_.size());
+  }
+  uint32_t available() const noexcept { return static_cast<uint32_t>(free_.size()); }
+  uint32_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const uint32_t capacity_;
+  std::deque<uint16_t> free_;
+};
+
+}  // namespace dpurpc::rdmarpc

@@ -1,0 +1,80 @@
+#include "rdmarpc/offset_allocator.hpp"
+
+#include <cassert>
+
+namespace dpurpc::rdmarpc {
+
+OffsetAllocator::OffsetAllocator(uint64_t capacity, uint64_t alignment)
+    : capacity_(align_down(capacity, alignment)), alignment_(alignment) {
+  assert(is_pow2(alignment));
+  size_by_bucket_.assign(capacity_ / alignment_, 0);
+  free_ranges_.reserve(64);
+  if (capacity_ > 0) free_ranges_.push_back({0, capacity_});
+}
+
+std::optional<uint64_t> OffsetAllocator::allocate(uint64_t size) {
+  if (size == 0) return std::nullopt;
+  size = align_up(size, alignment_);
+  // First fit over the offset-sorted free list: biases allocations toward
+  // the buffer start (cache-friendly reuse). The list is flat and
+  // pre-reserved — no heap traffic in the datapath (§VI.C.5).
+  for (size_t i = 0; i < free_ranges_.size(); ++i) {
+    Range& r = free_ranges_[i];
+    if (r.size < size) continue;
+    uint64_t offset = r.offset;
+    if (r.size == size) {
+      free_ranges_.erase(free_ranges_.begin() + static_cast<long>(i));
+    } else {
+      r.offset += size;
+      r.size -= size;
+    }
+    size_by_bucket_[offset / alignment_] = size;
+    used_ += size;
+    ++allocation_count_;
+    return offset;
+  }
+  return std::nullopt;
+}
+
+void OffsetAllocator::free(uint64_t offset) {
+  uint64_t bucket = offset / alignment_;
+  assert(bucket < size_by_bucket_.size());
+  uint64_t size = size_by_bucket_[bucket];
+  assert(size != 0 && "double free or foreign offset");
+  if (size == 0) return;
+  size_by_bucket_[bucket] = 0;
+  used_ -= size;
+  --allocation_count_;
+
+  // Insert into the sorted free list, coalescing with both neighbors.
+  auto it = std::lower_bound(
+      free_ranges_.begin(), free_ranges_.end(), offset,
+      [](const Range& r, uint64_t off) { return r.offset < off; });
+  bool merged_prev = false;
+  if (it != free_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->offset + prev->size == offset) {
+      prev->size += size;
+      merged_prev = true;
+      it = prev;
+    }
+  }
+  if (!merged_prev) {
+    it = free_ranges_.insert(it, {offset, size});
+  }
+  auto next = std::next(it);
+  if (next != free_ranges_.end() && it->offset + it->size == next->offset) {
+    it->size += next->size;
+    free_ranges_.erase(next);
+  }
+}
+
+uint64_t OffsetAllocator::largest_free_range() const noexcept {
+  uint64_t best = 0;
+  for (const auto& r : free_ranges_) {
+    if (r.size > best) best = r.size;
+  }
+  return best;
+}
+
+}  // namespace dpurpc::rdmarpc

@@ -1,0 +1,61 @@
+// Offset-based dynamic allocator for remote-mirrored send buffers.
+//
+// Blocks complete out of order (a future RPC can outlive a past one), so a
+// ring buffer cannot reclaim; the paper uses the Vulkan Memory Allocator
+// because it manages a *virtual* range purely in offsets with bookkeeping
+// stored entirely outside the managed memory — mandatory when the managed
+// memory is really the remote side's receive buffer. This is a from-scratch
+// allocator with the same properties: first-fit over a coalescing,
+// offset-sorted free list, all state external, offsets only. Bookkeeping
+// lives in flat pre-reserved vectors (allocation sizes are indexed by
+// block bucket), so the steady-state datapath performs no heap allocation
+// (§VI.C.5).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/align.hpp"
+
+namespace dpurpc::rdmarpc {
+
+class OffsetAllocator {
+ public:
+  /// Manages [0, capacity). Every returned offset is `alignment`-aligned
+  /// (block alignment: 1024, so offsets fit the immediate-data bucket).
+  OffsetAllocator(uint64_t capacity, uint64_t alignment = kBlockAlign);
+
+  /// First-fit allocation of `size` bytes (rounded up to the alignment).
+  /// nullopt when no free range fits.
+  std::optional<uint64_t> allocate(uint64_t size);
+
+  /// Return a previously allocated range. Coalesces with neighbors.
+  /// `offset` must be exactly as returned by allocate().
+  void free(uint64_t offset);
+
+  uint64_t capacity() const noexcept { return capacity_; }
+  uint64_t used() const noexcept { return used_; }
+  uint64_t free_bytes() const noexcept { return capacity_ - used_; }
+  size_t allocation_count() const noexcept { return allocation_count_; }
+  size_t free_range_count() const noexcept { return free_ranges_.size(); }
+
+  /// Largest single allocation currently possible (fragmentation probe).
+  uint64_t largest_free_range() const noexcept;
+
+ private:
+  struct Range {
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  const uint64_t capacity_;
+  const uint64_t alignment_;
+  uint64_t used_ = 0;
+  size_t allocation_count_ = 0;
+  std::vector<Range> free_ranges_;        // sorted by offset, coalesced
+  std::vector<uint64_t> size_by_bucket_;  // bucket -> allocated size (0 = free)
+};
+
+}  // namespace dpurpc::rdmarpc

@@ -1,0 +1,147 @@
+// Bounds-checked reader/writer over wire bytes (protobuf CodedStream analogue).
+//
+// Reader operates on a borrowed span and never allocates; Writer appends to
+// a caller-provided byte vector. Sub-message recursion depth is capped so a
+// hostile deeply-nested message cannot blow the stack (the paper lists
+// "recursion for deeply nested messages" among the deserialization costs).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/endian.hpp"
+#include "common/status.hpp"
+#include "wire/varint.hpp"
+#include "wire/wire_format.hpp"
+
+namespace dpurpc::wire {
+
+inline constexpr int kMaxRecursionDepth = 100;
+
+/// Sequential reader over a borrowed byte span.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) noexcept
+      : p_(reinterpret_cast<const uint8_t*>(data.data())), end_(p_ + data.size()) {}
+  Reader(const uint8_t* begin, const uint8_t* end) noexcept : p_(begin), end_(end) {}
+
+  bool done() const noexcept { return p_ >= end_; }
+  size_t remaining() const noexcept { return static_cast<size_t>(end_ - p_); }
+  const uint8_t* cursor() const noexcept { return p_; }
+
+  StatusOr<uint64_t> read_varint() noexcept {
+    auto r = decode_varint(p_, end_);
+    if (!r.ok) return Status(Code::kDataLoss, "malformed varint");
+    p_ = r.next;
+    return r.value;
+  }
+
+  StatusOr<uint32_t> read_fixed32() noexcept {
+    if (remaining() < 4) return Status(Code::kDataLoss, "truncated fixed32");
+    uint32_t v = load_le<uint32_t>(p_);
+    p_ += 4;
+    return v;
+  }
+
+  StatusOr<uint64_t> read_fixed64() noexcept {
+    if (remaining() < 8) return Status(Code::kDataLoss, "truncated fixed64");
+    uint64_t v = load_le<uint64_t>(p_);
+    p_ += 8;
+    return v;
+  }
+
+  /// Length-prefixed bytes; the returned view borrows from the input span.
+  StatusOr<std::string_view> read_length_delimited() noexcept {
+    auto len = read_varint();
+    if (!len.is_ok()) return len.status();
+    if (*len > remaining()) return Status(Code::kDataLoss, "truncated length-delimited field");
+    std::string_view out(reinterpret_cast<const char*>(p_), static_cast<size_t>(*len));
+    p_ += *len;
+    return out;
+  }
+
+  /// Next field tag; validates the wire type and nonzero field number.
+  StatusOr<uint32_t> read_tag() noexcept {
+    auto t = read_varint();
+    if (!t.is_ok()) return t.status();
+    if (*t > UINT32_MAX) return Status(Code::kDataLoss, "tag exceeds 32 bits");
+    auto tag = static_cast<uint32_t>(*t);
+    if (tag_field_number(tag) == 0) return Status(Code::kDataLoss, "field number 0");
+    if (!is_valid_wire_type(tag & 0x7)) return Status(Code::kDataLoss, "invalid wire type");
+    return tag;
+  }
+
+  /// Skip a field's value given its wire type (unknown-field handling).
+  Status skip_value(WireType type) noexcept {
+    switch (type) {
+      case WireType::kVarint: {
+        auto v = read_varint();
+        return v.is_ok() ? Status::ok() : v.status();
+      }
+      case WireType::kFixed64: {
+        auto v = read_fixed64();
+        return v.is_ok() ? Status::ok() : v.status();
+      }
+      case WireType::kLengthDelimited: {
+        auto v = read_length_delimited();
+        return v.is_ok() ? Status::ok() : v.status();
+      }
+      case WireType::kFixed32: {
+        auto v = read_fixed32();
+        return v.is_ok() ? Status::ok() : v.status();
+      }
+    }
+    return Status(Code::kInternal, "unreachable wire type");
+  }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+/// Appending writer; the encoding half of the round-trip tests and the
+/// xRPC client's serializer.
+class Writer {
+ public:
+  explicit Writer(Bytes& out) noexcept : out_(out) {}
+
+  void write_varint(uint64_t v) {
+    uint8_t buf[kMaxVarint64Bytes];
+    uint8_t* end = encode_varint(buf, v);
+    append(buf, static_cast<size_t>(end - buf));
+  }
+
+  void write_tag(uint32_t field_number, WireType type) {
+    write_varint(make_tag(field_number, type));
+  }
+
+  void write_fixed32(uint32_t v) {
+    uint8_t buf[4];
+    store_le(buf, v);
+    append(buf, 4);
+  }
+
+  void write_fixed64(uint64_t v) {
+    uint8_t buf[8];
+    store_le(buf, v);
+    append(buf, 8);
+  }
+
+  void write_length_delimited(std::string_view data) {
+    write_varint(data.size());
+    append(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  size_t size() const noexcept { return out_.size(); }
+
+ private:
+  void append(const uint8_t* data, size_t n) {
+    const auto* b = reinterpret_cast<const std::byte*>(data);
+    out_.insert(out_.end(), b, b + n);
+  }
+
+  Bytes& out_;
+};
+
+}  // namespace dpurpc::wire

@@ -1,0 +1,78 @@
+#include "wire/utf8.hpp"
+
+#include <cstring>
+
+namespace dpurpc::wire {
+
+namespace {
+
+// Decode one non-ASCII sequence starting at p (p < end, *p >= 0x80).
+// Returns the byte after the sequence, or nullptr if invalid.
+inline const uint8_t* step_multibyte(const uint8_t* p, const uint8_t* end) noexcept {
+  uint8_t b0 = *p;
+  if (b0 < 0xc2) return nullptr;  // continuation byte or overlong C0/C1 lead
+  if (b0 < 0xe0) {                // 2-byte: U+0080..U+07FF
+    if (end - p < 2) return nullptr;
+    if ((p[1] & 0xc0) != 0x80) return nullptr;
+    return p + 2;
+  }
+  if (b0 < 0xf0) {  // 3-byte: U+0800..U+FFFF minus surrogates
+    if (end - p < 3) return nullptr;
+    uint8_t b1 = p[1];
+    if ((b1 & 0xc0) != 0x80 || (p[2] & 0xc0) != 0x80) return nullptr;
+    if (b0 == 0xe0 && b1 < 0xa0) return nullptr;  // overlong
+    if (b0 == 0xed && b1 >= 0xa0) return nullptr; // UTF-16 surrogate range
+    return p + 3;
+  }
+  if (b0 < 0xf5) {  // 4-byte: U+10000..U+10FFFF
+    if (end - p < 4) return nullptr;
+    uint8_t b1 = p[1];
+    if ((b1 & 0xc0) != 0x80 || (p[2] & 0xc0) != 0x80 || (p[3] & 0xc0) != 0x80) {
+      return nullptr;
+    }
+    if (b0 == 0xf0 && b1 < 0x90) return nullptr;  // overlong
+    if (b0 == 0xf4 && b1 >= 0x90) return nullptr; // > U+10FFFF
+    return p + 4;
+  }
+  return nullptr;  // F5..FF are never valid leads
+}
+
+}  // namespace
+
+bool validate_utf8_scalar(const uint8_t* data, size_t size) noexcept {
+  const uint8_t* p = data;
+  const uint8_t* end = data + size;
+  while (p < end) {
+    if (*p < 0x80) {
+      ++p;
+      continue;
+    }
+    p = step_multibyte(p, end);
+    if (p == nullptr) return false;
+  }
+  return true;
+}
+
+bool validate_utf8(const uint8_t* data, size_t size) noexcept {
+  const uint8_t* p = data;
+  const uint8_t* end = data + size;
+  while (p < end) {
+    // SWAR fast path: consume 8 bytes at a time while all-ASCII.
+    while (end - p >= 8) {
+      uint64_t chunk;
+      std::memcpy(&chunk, p, 8);
+      if (chunk & 0x8080808080808080ull) break;
+      p += 8;
+    }
+    if (p >= end) break;
+    if (*p < 0x80) {
+      ++p;
+      continue;
+    }
+    p = step_multibyte(p, end);
+    if (p == nullptr) return false;
+  }
+  return true;
+}
+
+}  // namespace dpurpc::wire

@@ -1,0 +1,27 @@
+// UTF-8 validation.
+//
+// Proto3 requires `string` fields to be valid UTF-8; the paper names
+// Unicode validation as one of the three deserialization cost centers and
+// notes x86 SIMD makes it much faster on the host than on the DPU. We
+// provide a scalar DFA validator plus a SWAR fast path that skips 8
+// ASCII bytes per iteration (the portable analogue of the SIMD path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dpurpc::wire {
+
+/// Scalar validator: strict RFC 3629 (rejects surrogates, overlongs, >U+10FFFF).
+bool validate_utf8_scalar(const uint8_t* data, size_t size) noexcept;
+
+/// SWAR-accelerated validator: 8-byte ASCII skip, falls back to the scalar
+/// DFA on the first non-ASCII lane. Exact same accept/reject language.
+bool validate_utf8(const uint8_t* data, size_t size) noexcept;
+
+inline bool validate_utf8(std::string_view s) noexcept {
+  return validate_utf8(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+}  // namespace dpurpc::wire

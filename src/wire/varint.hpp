@@ -1,0 +1,87 @@
+// Base-128 varint encode/decode — the protobuf wire primitive.
+//
+// The paper identifies varint decoding as the dominant CPU cost of
+// deserialization (the x512 Ints workload exists to stress it). The decoder
+// here is the unrolled, branch-per-byte form that both protobuf and the
+// paper's custom deserializer use; all entry points are bounds-checked so
+// truncated or overlong input is reported, never read past.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpurpc::wire {
+
+/// Maximum encoded sizes.
+inline constexpr size_t kMaxVarint32Bytes = 5;
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
+/// Number of bytes varint-encoding `v` takes (1..10).
+constexpr size_t varint_size(uint64_t v) noexcept {
+  // bit_width(v|1) in [1,64] -> ceil(bits/7)
+  size_t bits = 64 - static_cast<size_t>(__builtin_clzll(v | 1));
+  return (bits + 6) / 7;
+}
+
+/// Encode `v` at `dst` (caller guarantees kMaxVarint64Bytes available).
+/// Returns one past the last byte written.
+inline uint8_t* encode_varint(uint8_t* dst, uint64_t v) noexcept {
+  while (v >= 0x80) {
+    *dst++ = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *dst++ = static_cast<uint8_t>(v);
+  return dst;
+}
+
+/// Decode result: `ok` false means truncated or overlong (>10 bytes).
+struct VarintResult {
+  uint64_t value = 0;
+  const uint8_t* next = nullptr;
+  bool ok = false;
+};
+
+/// Decode a varint from [p, end). Rejects encodings longer than 10 bytes.
+inline VarintResult decode_varint(const uint8_t* p, const uint8_t* end) noexcept {
+  VarintResult r;
+  uint64_t value = 0;
+  // Fast path: single byte (the paper's skewed distribution makes this the
+  // most common case; ~52% of its random u32s are < 128).
+  if (p < end && *p < 0x80) [[likely]] {
+    r.value = *p;
+    r.next = p + 1;
+    r.ok = true;
+    return r;
+  }
+  int shift = 0;
+  while (p < end && shift < 64) {
+    uint8_t byte = *p++;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject overlong 10-byte encodings whose last byte spills past bit 63.
+      if (shift == 63 && byte > 1) return r;
+      r.value = value;
+      r.next = p;
+      r.ok = true;
+      return r;
+    }
+    shift += 7;
+  }
+  return r;  // truncated or > 10 bytes
+}
+
+/// ZigZag maps signed ints to unsigned so negatives stay short on the wire.
+constexpr uint32_t zigzag_encode32(int32_t v) noexcept {
+  return (static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31);
+}
+constexpr int32_t zigzag_decode32(uint32_t v) noexcept {
+  return static_cast<int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+constexpr uint64_t zigzag_encode64(int64_t v) noexcept {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t zigzag_decode64(uint64_t v) noexcept {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace dpurpc::wire

@@ -1,0 +1,15 @@
+#include "wire/wire_format.hpp"
+
+namespace dpurpc::wire {
+
+std::string_view wire_type_name(WireType t) noexcept {
+  switch (t) {
+    case WireType::kVarint: return "VARINT";
+    case WireType::kFixed64: return "FIXED64";
+    case WireType::kLengthDelimited: return "LENGTH_DELIMITED";
+    case WireType::kFixed32: return "FIXED32";
+  }
+  return "INVALID";
+}
+
+}  // namespace dpurpc::wire

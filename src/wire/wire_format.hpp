@@ -1,0 +1,35 @@
+// Protobuf wire-format tags and types (proto3 subset, no groups).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dpurpc::wire {
+
+/// The four proto3 wire types we support (groups are proto2-only).
+enum class WireType : uint8_t {
+  kVarint = 0,          ///< int32/64, uint32/64, sint (zigzag), bool, enum
+  kFixed64 = 1,         ///< fixed64, sfixed64, double
+  kLengthDelimited = 2, ///< string, bytes, sub-message, packed repeated
+  kFixed32 = 5,         ///< fixed32, sfixed32, float
+};
+
+inline constexpr uint32_t kMaxFieldNumber = (1u << 29) - 1;
+
+constexpr uint32_t make_tag(uint32_t field_number, WireType type) noexcept {
+  return (field_number << 3) | static_cast<uint32_t>(type);
+}
+
+constexpr uint32_t tag_field_number(uint32_t tag) noexcept { return tag >> 3; }
+
+constexpr WireType tag_wire_type(uint32_t tag) noexcept {
+  return static_cast<WireType>(tag & 0x7);
+}
+
+constexpr bool is_valid_wire_type(uint32_t raw) noexcept {
+  return raw == 0 || raw == 1 || raw == 2 || raw == 5;
+}
+
+std::string_view wire_type_name(WireType t) noexcept;
+
+}  // namespace dpurpc::wire

@@ -1,0 +1,101 @@
+#include "xrpc/channel.hpp"
+
+#include <chrono>
+
+namespace dpurpc::xrpc {
+
+StatusOr<std::unique_ptr<Channel>> Channel::connect(uint16_t port) {
+  auto fd = dial(port);
+  if (!fd.is_ok()) return fd.status();
+  return std::unique_ptr<Channel>(new Channel(std::move(*fd)));
+}
+
+Channel::Channel(Fd fd) : fd_(std::move(fd)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+Channel::~Channel() { close(); }
+
+void Channel::close() {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  fd_.shutdown();
+  if (reader_.joinable()) reader_.join();
+  // Fail anything still outstanding.
+  std::map<uint32_t, Callback> orphans;
+  {
+    std::lock_guard lk(mu_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, cb] : orphans) cb(Code::kUnavailable, {});
+}
+
+Status Channel::call_async(std::string_view method, ByteSpan payload, Callback done) {
+  uint32_t id;
+  {
+    std::lock_guard lk(mu_);
+    if (closed_) return Status(Code::kUnavailable, "channel closed");
+    id = next_call_id_++;
+    pending_[id] = std::move(done);
+  }
+  std::lock_guard wl(write_mu_);
+  Status st = write_request(fd_, id, method, payload);
+  if (!st.is_ok()) {
+    std::lock_guard lk(mu_);
+    pending_.erase(id);
+  }
+  return st;
+}
+
+StatusOr<Bytes> Channel::call(std::string_view method, ByteSpan payload,
+                              int timeout_ms) {
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Code code = Code::kOk;
+    Bytes payload;
+  };
+  auto sync = std::make_shared<Sync>();
+  DPURPC_RETURN_IF_ERROR(call_async(method, payload, [sync](Code c, Bytes p) {
+    std::lock_guard lk(sync->mu);
+    sync->code = c;
+    sync->payload = std::move(p);
+    sync->done = true;
+    sync->cv.notify_all();
+  }));
+  std::unique_lock lk(sync->mu);
+  if (!sync->cv.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                         [&] { return sync->done; })) {
+    return Status(Code::kUnavailable, "xrpc call timed out");
+  }
+  if (sync->code != Code::kOk) return Status(sync->code, "remote xrpc error");
+  return std::move(sync->payload);
+}
+
+size_t Channel::outstanding() const {
+  std::lock_guard lk(mu_);
+  return pending_.size();
+}
+
+void Channel::reader_loop() {
+  while (true) {
+    auto frame = read_frame(fd_);
+    if (!frame.is_ok()) return;  // closed
+    if (frame->type != FrameType::kResponse) continue;
+    Callback cb;
+    {
+      std::lock_guard lk(mu_);
+      auto it = pending_.find(frame->response.call_id);
+      if (it == pending_.end()) continue;  // late/duplicate: ignore
+      cb = std::move(it->second);
+      pending_.erase(it);
+    }
+    cb(frame->response.status, std::move(frame->response.payload));
+  }
+}
+
+}  // namespace dpurpc::xrpc

@@ -1,0 +1,55 @@
+// xRPC client channel: one TCP connection multiplexing unary calls.
+//
+// This is the paper's unmodified "xRPC client": when the server is
+// offloaded, the only change the client sees is the address (the DPU's
+// instead of the host's, §III.A).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "xrpc/frame.hpp"
+
+namespace dpurpc::xrpc {
+
+class Channel {
+ public:
+  using Callback = std::function<void(Code, Bytes payload)>;
+
+  /// Connect to 127.0.0.1:port (the xRPC server — host or DPU).
+  static StatusOr<std::unique_ptr<Channel>> connect(uint16_t port);
+
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Fire a unary call; the callback runs on the channel's reader thread.
+  Status call_async(std::string_view method, ByteSpan payload, Callback done);
+
+  /// Synchronous unary call (convenience for examples and tests).
+  StatusOr<Bytes> call(std::string_view method, ByteSpan payload,
+                       int timeout_ms = 5000);
+
+  size_t outstanding() const;
+  void close();
+
+ private:
+  explicit Channel(Fd fd);
+  void reader_loop();
+
+  Fd fd_;
+  std::mutex write_mu_;
+  mutable std::mutex mu_;
+  std::map<uint32_t, Callback> pending_;
+  uint32_t next_call_id_ = 1;
+  std::thread reader_;
+  bool closed_ = false;
+};
+
+}  // namespace dpurpc::xrpc

@@ -1,0 +1,88 @@
+#include "xrpc/frame.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace dpurpc::xrpc {
+
+Status write_request(const Fd& fd, uint32_t call_id, std::string_view method,
+                     ByteSpan payload) {
+  if (method.size() > UINT16_MAX) {
+    return Status(Code::kInvalidArgument, "method name too long");
+  }
+  uint32_t body = static_cast<uint32_t>(1 + 4 + 2 + method.size() + payload.size());
+  Bytes frame(4 + body);
+  auto* p = reinterpret_cast<uint8_t*>(frame.data());
+  store_le<uint32_t>(p, body);
+  p += 4;
+  *p++ = static_cast<uint8_t>(FrameType::kRequest);
+  store_le<uint32_t>(p, call_id);
+  p += 4;
+  store_le<uint16_t>(p, static_cast<uint16_t>(method.size()));
+  p += 2;
+  std::memcpy(p, method.data(), method.size());
+  p += method.size();
+  if (!payload.empty()) std::memcpy(p, payload.data(), payload.size());
+  return write_all(fd, frame.data(), frame.size());
+}
+
+Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payload) {
+  uint32_t body = static_cast<uint32_t>(1 + 4 + 1 + payload.size());
+  Bytes frame(4 + body);
+  auto* p = reinterpret_cast<uint8_t*>(frame.data());
+  store_le<uint32_t>(p, body);
+  p += 4;
+  *p++ = static_cast<uint8_t>(FrameType::kResponse);
+  store_le<uint32_t>(p, call_id);
+  p += 4;
+  *p++ = static_cast<uint8_t>(status);
+  if (!payload.empty()) std::memcpy(p, payload.data(), payload.size());
+  return write_all(fd, frame.data(), frame.size());
+}
+
+StatusOr<AnyFrame> read_frame(const Fd& fd) {
+  uint8_t len_buf[4];
+  DPURPC_RETURN_IF_ERROR(read_all(fd, len_buf, 4));
+  uint32_t body = load_le<uint32_t>(len_buf);
+  if (body < 5 || body > kMaxFrameBody) {
+    return Status(Code::kDataLoss, "xrpc frame length out of range");
+  }
+  Bytes buf(body);
+  DPURPC_RETURN_IF_ERROR(read_all(fd, buf.data(), body));
+  const auto* p = reinterpret_cast<const uint8_t*>(buf.data());
+  const auto* end = p + body;
+
+  AnyFrame out;
+  uint8_t type = *p++;
+  uint32_t call_id = load_le<uint32_t>(p);
+  p += 4;
+  if (type == static_cast<uint8_t>(FrameType::kRequest)) {
+    out.type = FrameType::kRequest;
+    out.request.call_id = call_id;
+    if (end - p < 2) return Status(Code::kDataLoss, "truncated request frame");
+    uint16_t name_len = load_le<uint16_t>(p);
+    p += 2;
+    if (end - p < name_len) return Status(Code::kDataLoss, "truncated method name");
+    out.request.method.assign(reinterpret_cast<const char*>(p), name_len);
+    p += name_len;
+    out.request.payload.assign(reinterpret_cast<const std::byte*>(p),
+                               reinterpret_cast<const std::byte*>(end));
+  } else if (type == static_cast<uint8_t>(FrameType::kResponse)) {
+    out.type = FrameType::kResponse;
+    out.response.call_id = call_id;
+    if (end - p < 1) return Status(Code::kDataLoss, "truncated response frame");
+    uint8_t code = *p++;
+    if (code > static_cast<uint8_t>(Code::kAborted)) {
+      return Status(Code::kDataLoss, "invalid status code");
+    }
+    out.response.status = static_cast<Code>(code);
+    out.response.payload.assign(reinterpret_cast<const std::byte*>(p),
+                                reinterpret_cast<const std::byte*>(end));
+  } else {
+    return Status(Code::kDataLoss, "unknown xrpc frame type");
+  }
+  return out;
+}
+
+}  // namespace dpurpc::xrpc

@@ -1,0 +1,52 @@
+// xRPC wire framing.
+//
+// Unary calls only (the paper's compat layer scope). Every frame:
+//
+//   u32 body_len | u8 type | u32 call_id | body
+//
+// request body:  u16 method_len | method name | payload
+// response body: u8 status code | payload
+//
+// call_id multiplexes concurrent outstanding calls over one TCP
+// connection, like HTTP/2 stream ids under gRPC.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "xrpc/socket.hpp"
+
+namespace dpurpc::xrpc {
+
+enum class FrameType : uint8_t { kRequest = 0, kResponse = 1 };
+
+inline constexpr uint32_t kMaxFrameBody = 16u << 20;
+
+struct RequestFrame {
+  uint32_t call_id = 0;
+  std::string method;  ///< "pkg.Service/Method"
+  Bytes payload;
+};
+
+struct ResponseFrame {
+  uint32_t call_id = 0;
+  Code status = Code::kOk;
+  Bytes payload;
+};
+
+Status write_request(const Fd& fd, uint32_t call_id, std::string_view method,
+                     ByteSpan payload);
+Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payload);
+
+/// Either kind of inbound frame.
+struct AnyFrame {
+  FrameType type = FrameType::kRequest;
+  RequestFrame request;
+  ResponseFrame response;
+};
+
+/// Blocking read of the next frame; kUnavailable on clean close.
+StatusOr<AnyFrame> read_frame(const Fd& fd);
+
+}  // namespace dpurpc::xrpc

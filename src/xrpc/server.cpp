@@ -1,0 +1,70 @@
+#include "xrpc/server.hpp"
+
+namespace dpurpc::xrpc {
+
+StatusOr<std::unique_ptr<Server>> Server::start(Dispatch dispatch) {
+  auto listener = Listener::create();
+  if (!listener.is_ok()) return listener.status();
+  return std::unique_ptr<Server>(new Server(std::move(*listener), std::move(dispatch)));
+}
+
+Server::Server(Listener listener, Dispatch dispatch)
+    : listener_(std::move(listener)), dispatch_(std::move(dispatch)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  listener_.shutdown();
+  {
+    std::lock_guard lk(mu_);
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) conn->fd.shutdown();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto client = listener_.accept();
+    if (!client.is_ok()) break;  // listener shut down
+    auto conn = std::make_shared<ConnState>();
+    conn->fd = std::move(*client);
+    std::lock_guard lk(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<ConnState> conn) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto frame = read_frame(conn->fd);
+    if (!frame.is_ok()) return;  // closed or broken: drop the connection
+    if (frame->type != FrameType::kRequest) return;
+    requests_accepted_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t call_id = frame->request.call_id;
+    // The responder owns a reference to the connection so late async
+    // responses still have a live socket.
+    Responder respond = [conn, call_id](Code status, ByteSpan payload) {
+      std::lock_guard wl(conn->write_mu);
+      (void)write_response(conn->fd, call_id, status, payload);
+    };
+    dispatch_(frame->request.method, std::move(frame->request.payload),
+              std::move(respond));
+  }
+}
+
+}  // namespace dpurpc::xrpc

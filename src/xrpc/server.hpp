@@ -1,0 +1,70 @@
+// xRPC server: accepts TCP connections and dispatches unary calls.
+//
+// In the offloaded deployment this runs ON THE DPU (the proxy terminates
+// gRPC-like traffic there, §III.A: "the DPU acts now as the xRPC server");
+// in the traditional baseline it runs on the host. Responses may be sent
+// asynchronously from any thread — the proxy answers from its RPC over
+// RDMA event loop.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "xrpc/frame.hpp"
+
+namespace dpurpc::xrpc {
+
+class Server {
+ public:
+  /// Completes one call; thread-safe, callable once per request.
+  using Responder = std::function<void(Code, ByteSpan payload)>;
+
+  /// Invoked on the connection's reader thread for every request. The
+  /// handler may respond inline or stash the responder and answer later.
+  using Dispatch =
+      std::function<void(const std::string& method, Bytes payload, Responder respond)>;
+
+  /// Listen on an OS-assigned loopback port and serve until shutdown().
+  static StatusOr<std::unique_ptr<Server>> start(Dispatch dispatch);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  uint16_t port() const noexcept { return listener_.port(); }
+  void shutdown();
+
+  uint64_t requests_accepted() const noexcept {
+    return requests_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Server(Listener listener, Dispatch dispatch);
+  void accept_loop();
+  void connection_loop(std::shared_ptr<struct ConnState> conn);
+
+  Listener listener_;
+  Dispatch dispatch_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::weak_ptr<struct ConnState>> conns_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_accepted_{0};
+};
+
+/// One live TCP connection: the fd plus a write lock so concurrent
+/// responders interleave whole frames.
+struct ConnState {
+  Fd fd;
+  std::mutex write_mu;
+};
+
+}  // namespace dpurpc::xrpc

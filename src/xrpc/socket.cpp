@@ -1,0 +1,104 @@
+#include "xrpc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dpurpc::xrpc {
+
+namespace {
+Status errno_status(const char* what) {
+  return Status(Code::kUnavailable, std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<Listener> Listener::create() {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // OS-assigned
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_status("bind");
+  }
+  if (::listen(fd.get(), 64) != 0) return errno_status("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_status("getsockname");
+  }
+  return Listener(std::move(fd), ntohs(addr.sin_port));
+}
+
+StatusOr<Fd> Listener::accept() {
+  int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) return errno_status("accept");
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Fd(client);
+}
+
+StatusOr<Fd> dial(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_status("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status write_all(const Fd& fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::send(fd.get(), p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    if (n == 0) return Status(Code::kUnavailable, "peer closed during write");
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status read_all(const Fd& fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    ssize_t n = ::recv(fd.get(), p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("recv");
+    }
+    if (n == 0) return Status(Code::kUnavailable, "peer closed connection");
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace dpurpc::xrpc

@@ -1,0 +1,67 @@
+// Minimal RAII TCP sockets (loopback) for the xRPC transport.
+//
+// xRPC plays the role of "the original RPC protocol to offload" (gRPC in
+// the paper): a TCP-based unary-call protocol the DPU terminates on behalf
+// of the host. Loopback TCP is the faithful stand-in for the paper's
+// client→DPU network leg.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace dpurpc::xrpc {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() noexcept = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+  /// Shut down both directions (wakes a blocked reader) without closing.
+  void shutdown() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1 on an OS-assigned port.
+class Listener {
+ public:
+  static StatusOr<Listener> create();
+  uint16_t port() const noexcept { return port_; }
+  /// Blocks; fails after shutdown().
+  StatusOr<Fd> accept();
+  void shutdown() { fd_.shutdown(); }
+
+ private:
+  Listener(Fd fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}
+  Fd fd_;
+  uint16_t port_;
+};
+
+/// Connect to 127.0.0.1:port.
+StatusOr<Fd> dial(uint16_t port);
+
+/// Loop until all of `data` is written / `size` bytes are read.
+Status write_all(const Fd& fd, const void* data, size_t size);
+Status read_all(const Fd& fd, void* data, size_t size);
+
+}  // namespace dpurpc::xrpc

@@ -1,0 +1,197 @@
+// Tests for the bootstrap exchange: the one-time manifest/ADT transfer
+// (§V.B) and the ABI-fingerprint admission gate (§V.A) over a real TCP
+// channel, plus end-to-end use of the fetched configuration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "grpccompat/bootstrap.hpp"
+#include "grpccompat/dpu_proxy.hpp"
+#include "grpccompat/host_service.hpp"
+#include "proto/schema_parser.hpp"
+#include "xrpc/channel.hpp"
+
+namespace dpurpc::grpccompat {
+namespace {
+
+constexpr std::string_view kSchema = R"(
+syntax = "proto3";
+package bs;
+message Ping { uint64 nonce = 1; string tag = 2; }
+message Pong { uint64 nonce = 1; }
+service Pinger { rpc Ping_ (Ping) returns (Pong); }
+)";
+
+OffloadManifest make_manifest(proto::DescriptorPool& pool) {
+  proto::SchemaParser parser(pool);
+  EXPECT_TRUE(parser.parse_and_link(kSchema).is_ok());
+  auto m = OffloadManifest::build(pool, arena::StdLibFlavor::kLibstdcpp);
+  EXPECT_TRUE(m.is_ok());
+  return std::move(*m);
+}
+
+TEST(Bootstrap, ParamsRoundTrip) {
+  BootstrapParams p;
+  p.credits = 128;
+  p.block_size = 16384;
+  p.host_rbuf_size = 8 << 20;
+  p.dpu_rbuf_size = 2 << 20;
+  auto back = BootstrapParams::deserialize(ByteSpan(p.serialize()));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->credits, 128u);
+  EXPECT_EQ(back->block_size, 16384u);
+  EXPECT_EQ(back->host_rbuf_size, 8u << 20);
+  EXPECT_EQ(back->dpu_rbuf_size, 2u << 20);
+}
+
+TEST(Bootstrap, ParamsRejectImplausible) {
+  BootstrapParams p;
+  p.credits = 0;
+  EXPECT_FALSE(BootstrapParams::deserialize(ByteSpan(p.serialize())).is_ok());
+  BootstrapParams q;
+  q.block_size = 1000;  // not a power of two
+  EXPECT_FALSE(BootstrapParams::deserialize(ByteSpan(q.serialize())).is_ok());
+}
+
+TEST(Bootstrap, FetchDeliversManifestAndParams) {
+  proto::DescriptorPool pool;
+  OffloadManifest manifest = make_manifest(pool);
+  BootstrapParams params;
+  params.credits = 64;
+  params.block_size = 4096;
+  auto server = BootstrapServer::serve(manifest, params);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  auto fetched = fetch_bootstrap((*server)->port());
+  ASSERT_TRUE(fetched.is_ok()) << fetched.status().to_string();
+  EXPECT_EQ(fetched->params.credits, 64u);
+  EXPECT_EQ(fetched->manifest.methods().size(), 1u);
+  EXPECT_NE(fetched->manifest.find_by_name("bs.Pinger/Ping_"), nullptr);
+  EXPECT_NE(fetched->manifest.adt().find_class("bs.Ping"), UINT32_MAX);
+
+  auto cfg = fetched->client_config();
+  EXPECT_EQ(cfg.credits, 64u);
+  EXPECT_EQ(cfg.block_size, 4096u);
+  EXPECT_EQ(cfg.sbuf_size, params.host_rbuf_size);
+
+  // Multiple fetches work (several DPUs / restarts).
+  auto again = fetch_bootstrap((*server)->port());
+  EXPECT_TRUE(again.is_ok());
+}
+
+TEST(Bootstrap, FetchFromDeadPortFails) {
+  uint16_t dead;
+  {
+    auto l = xrpc::Listener::create();
+    ASSERT_TRUE(l.is_ok());
+    dead = l->port();
+  }
+  EXPECT_FALSE(fetch_bootstrap(dead).is_ok());
+}
+
+TEST(Bootstrap, IncompatibleFingerprintRejected) {
+  // A host advertising a different std::string ABI must be refused (§V.A):
+  // crafting objects for it would corrupt memory.
+  proto::DescriptorPool pool;
+  OffloadManifest manifest = make_manifest(pool);
+  Bytes wire = manifest.serialize();
+  // The manifest embeds the ADT which embeds the fingerprint; flip the
+  // string_size byte by round-tripping through the Adt API.
+  auto broken = OffloadManifest::deserialize(ByteSpan(wire));
+  ASSERT_TRUE(broken.is_ok());
+  // Rebuild a manifest whose fingerprint says libc++ (24-byte strings):
+  // this process runs libstdc++, so verify_string_layout must fail.
+  // (We cannot mutate OffloadManifest internals; emulate by serving an
+  // ADT-only tamper at the byte level.)
+  // Find the fingerprint inside the serialized manifest: it follows the
+  // inner ADT magic (offset 4 of the ADT, which starts at offset 4).
+  // Layout: [u32 adt_len][ADT: magic u32, ptr u8, endian u8, flavor u8,
+  // string_size u8, ieee u8, ...]
+  Bytes tampered = wire;
+  auto* bytes = reinterpret_cast<uint8_t*>(tampered.data());
+  ASSERT_GE(tampered.size(), 13u);
+  EXPECT_EQ(bytes[4 + 0], 0x41);  // 'A' of ADT1 magic: sanity
+  bytes[4 + 4 + 2] = 1;   // flavor -> kLibcpp
+  bytes[4 + 4 + 3] = 24;  // string_size -> 24
+  auto still_parses = OffloadManifest::deserialize(ByteSpan(tampered));
+  ASSERT_TRUE(still_parses.is_ok());
+
+  auto server = BootstrapServer::serve(*still_parses, {});
+  ASSERT_TRUE(server.is_ok());
+  auto fetched = fetch_bootstrap((*server)->port());
+  ASSERT_FALSE(fetched.is_ok());
+  EXPECT_EQ(fetched.status().code(), Code::kFailedPrecondition);
+}
+
+TEST(Bootstrap, EndToEndDeploymentFromFetchedConfig) {
+  // The full startup story: host serves bootstrap; "DPU process" fetches
+  // manifest + params, builds its connection from them, and serves xRPC.
+  proto::DescriptorPool pool;
+  OffloadManifest host_manifest = make_manifest(pool);
+  BootstrapParams params;
+  params.credits = 32;
+  params.block_size = 4096;
+  params.host_rbuf_size = 1 << 20;
+  params.dpu_rbuf_size = 1 << 20;
+  auto bootstrap = BootstrapServer::serve(host_manifest, params);
+  ASSERT_TRUE(bootstrap.is_ok());
+
+  // --- DPU side startup ---
+  auto fetched = fetch_bootstrap((*bootstrap)->port());
+  ASSERT_TRUE(fetched.is_ok()) << fetched.status().to_string();
+
+  simverbs::ProtectionDomain dpu_pd("dpu"), host_pd("host");
+  rdmarpc::Connection dpu_conn(rdmarpc::Role::kClient, &dpu_pd,
+                               fetched->client_config());
+  rdmarpc::ConnectionConfig host_cfg;
+  host_cfg.credits = params.credits;
+  host_cfg.block_size = params.block_size;
+  host_cfg.sbuf_size = params.dpu_rbuf_size;
+  host_cfg.rbuf_size = params.host_rbuf_size;
+  rdmarpc::Connection host_conn(rdmarpc::Role::kServer, &host_pd, host_cfg);
+  ASSERT_TRUE(rdmarpc::Connection::connect(dpu_conn, host_conn).is_ok());
+
+  HostEngine host(&host_conn, &host_manifest, &pool);
+  ASSERT_TRUE(host.register_method(
+                      "bs.Pinger/Ping_",
+                      [](const ServerContext&, const adt::LayoutView& req,
+                         proto::DynamicMessage& resp) {
+                        resp.set_uint64(resp.descriptor()->field_by_name("nonce"),
+                                        req.get_uint64(1) + 1);
+                        return Status::ok();
+                      })
+                  .is_ok());
+  std::atomic<bool> stop{false};
+  std::thread host_thread([&] {
+    while (!stop.load()) {
+      auto n = host.event_loop_once();
+      if (!n.is_ok()) return;
+      if (*n == 0) host.wait(1);
+    }
+  });
+
+  DpuProxy proxy(&dpu_conn, &fetched->manifest);
+  auto port = proxy.start();
+  ASSERT_TRUE(port.is_ok());
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+
+  const auto* ping_desc = pool.find_message("bs.Ping");
+  proto::DynamicMessage ping(ping_desc);
+  ping.set_uint64(ping_desc->field_by_name("nonce"), 41);
+  ping.set_string(ping_desc->field_by_name("tag"), "bootstrap");
+  Bytes wire = proto::WireCodec::serialize(ping);
+  auto resp = (*chan)->call("bs.Pinger/Ping_", ByteSpan(wire));
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  proto::DynamicMessage pong(pool.find_message("bs.Pong"));
+  ASSERT_TRUE(proto::WireCodec::parse(ByteSpan(*resp), pong).is_ok());
+  EXPECT_EQ(pong.get_uint64(pong.descriptor()->field_by_name("nonce")), 42u);
+
+  proxy.stop();
+  stop.store(true);
+  host_conn.interrupt();
+  host_thread.join();
+}
+
+}  // namespace
+}  // namespace dpurpc::grpccompat

@@ -1,0 +1,159 @@
+// Unit tests for the adtc code generator itself (the generated code's
+// *behaviour* is covered by msgs_test.cpp; here we check the generator's
+// structure, ordering, and error handling).
+#include <gtest/gtest.h>
+
+#include "proto/codegen.hpp"
+#include "proto/schema_parser.hpp"
+
+namespace dpurpc::proto {
+namespace {
+
+StatusOr<std::vector<GeneratedFile>> gen(std::string_view schema,
+                                         const std::string& base = "unit") {
+  auto pool = std::make_unique<DescriptorPool>();
+  SchemaParser parser(*pool);
+  auto st = parser.parse_and_link(schema);
+  if (!st.is_ok()) return st;
+  static std::vector<std::unique_ptr<DescriptorPool>> keep_alive;
+  keep_alive.push_back(std::move(pool));
+  return CodeGenerator::generate(*keep_alive.back(), base);
+}
+
+const GeneratedFile* find(const std::vector<GeneratedFile>& files,
+                          std::string_view name) {
+  for (const auto& f : files) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+TEST(CppClassName, FlattensDots) {
+  EXPECT_EQ(cpp_class_name("a.b.Msg"), "a_b_Msg");
+  EXPECT_EQ(cpp_class_name("Msg"), "Msg");
+  EXPECT_EQ(cpp_class_name("pkg.Outer.Inner"), "pkg_Outer_Inner");
+}
+
+TEST(CodeGenerator, EmitsAllFourFiles) {
+  auto files = gen("syntax = \"proto3\"; message M { int32 x = 1; }");
+  ASSERT_TRUE(files.is_ok()) << files.status().to_string();
+  ASSERT_EQ(files->size(), 4u);
+  EXPECT_NE(find(*files, "unit.pb.h"), nullptr);
+  EXPECT_NE(find(*files, "unit.pb.cc"), nullptr);
+  EXPECT_NE(find(*files, "unit.adt.pb.h"), nullptr);
+  EXPECT_NE(find(*files, "unit.adt.pb.cc"), nullptr);
+}
+
+TEST(CodeGenerator, ClassShape) {
+  auto files = gen(R"(
+syntax = "proto3";
+package g;
+message M {
+  int32 a = 1;
+  string s = 2;
+  repeated uint64 xs = 3;
+  bool flag = 4;
+}
+)");
+  ASSERT_TRUE(files.is_ok());
+  const std::string& h = find(*files, "unit.pb.h")->content;
+  // vptr base, has-bits word, accessors, serializer decls.
+  EXPECT_NE(h.find("class g_M final : public ::dpurpc::adt::MessageBase"),
+            std::string::npos);
+  EXPECT_NE(h.find("uint32_t has_bits_ = 0;"), std::string::npos);
+  EXPECT_NE(h.find("int32_t a() const noexcept"), std::string::npos);
+  EXPECT_NE(h.find("void set_a(int32_t v)"), std::string::npos);
+  EXPECT_NE(h.find("bool has_a() const noexcept"), std::string::npos);
+  EXPECT_NE(h.find("const std::string& s() const noexcept"), std::string::npos);
+  EXPECT_NE(h.find("::dpurpc::adt::RepeatedField<uint64_t> xs_;"), std::string::npos);
+  EXPECT_NE(h.find("size_t ByteSizeLong() const;"), std::string::npos);
+  EXPECT_NE(h.find("friend struct AdtPeer;"), std::string::npos);
+  // bool stored as one byte, exposed as bool.
+  EXPECT_NE(h.find("uint8_t flag_ = {};"), std::string::npos);
+  EXPECT_NE(h.find("bool flag() const noexcept"), std::string::npos);
+}
+
+TEST(CodeGenerator, TopologicalOrderChildrenFirst) {
+  auto files = gen(R"(
+syntax = "proto3";
+message Outer { Inner inner = 1; }
+message Inner { int32 x = 1; }
+)");
+  ASSERT_TRUE(files.is_ok());
+  const std::string& h = find(*files, "unit.pb.h")->content;
+  size_t inner_pos = h.find("class Inner final");
+  size_t outer_pos = h.find("class Outer final");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);  // child defined before its user
+}
+
+TEST(CodeGenerator, RecursiveMessagesUseTwoPhaseRegistration) {
+  auto files = gen("syntax = \"proto3\"; message R { R next = 1; int32 d = 2; }");
+  ASSERT_TRUE(files.is_ok());
+  const std::string& ac = find(*files, "unit.adt.pb.cc")->content;
+  // Phase 1 reserves the index before phase 2 references it.
+  EXPECT_NE(ac.find("idx.R = adt.add_class"), std::string::npos);
+  EXPECT_NE(ac.find("adt.replace_class(idx.R"), std::string::npos);
+  EXPECT_NE(ac.find("idx.R)"), std::string::npos);  // self child link
+}
+
+TEST(CodeGenerator, EnumEmission) {
+  auto files = gen(R"(
+syntax = "proto3";
+package e;
+enum Mode { MODE_OFF = 0; MODE_ON = 1; }
+message M { Mode mode = 1; }
+)");
+  ASSERT_TRUE(files.is_ok());
+  const std::string& h = find(*files, "unit.pb.h")->content;
+  EXPECT_NE(h.find("enum e_Mode : int32_t"), std::string::npos);
+  EXPECT_NE(h.find("e_Mode_MODE_ON = 1,"), std::string::npos);
+  EXPECT_NE(h.find("e_Mode mode() const noexcept"), std::string::npos);
+}
+
+TEST(CodeGenerator, ServiceIntrospectionTables) {
+  auto files = gen(R"(
+syntax = "proto3";
+package s;
+message A { int32 x = 1; }
+service Svc { rpc Do (A) returns (A); rpc Other (A) returns (A); }
+)");
+  ASSERT_TRUE(files.is_ok());
+  const std::string& ah = find(*files, "unit.adt.pb.h")->content;
+  EXPECT_NE(ah.find("struct s_Svc_Introspection"), std::string::npos);
+  EXPECT_NE(ah.find("kMethodCount = 2"), std::string::npos);
+  EXPECT_NE(ah.find("\"s.Svc/Do\""), std::string::npos);
+  EXPECT_NE(ah.find("\"s.Svc/Other\""), std::string::npos);
+}
+
+TEST(CodeGenerator, RejectsTooManySingularFields) {
+  std::string src = "syntax = \"proto3\";\nmessage Wide {\n";
+  for (int i = 1; i <= 33; ++i) {
+    src += "  int32 f" + std::to_string(i) + " = " + std::to_string(i) + ";\n";
+  }
+  src += "}\n";
+  auto files = gen(src);
+  EXPECT_EQ(files.status().code(), Code::kInvalidArgument);
+}
+
+TEST(CodeGenerator, ManyRepeatedFieldsAreFine) {
+  // The 32-field limit applies to singular (has-bit) fields only.
+  std::string src = "syntax = \"proto3\";\nmessage Rep {\n";
+  for (int i = 1; i <= 40; ++i) {
+    src += "  repeated int32 f" + std::to_string(i) + " = " + std::to_string(i) + ";\n";
+  }
+  src += "}\n";
+  EXPECT_TRUE(gen(src).is_ok());
+}
+
+TEST(CodeGenerator, GeneratedSourceIncludesDoNotEditBanner) {
+  auto files = gen("syntax = \"proto3\"; message M { int32 x = 1; }");
+  ASSERT_TRUE(files.is_ok());
+  for (const auto& f : *files) {
+    EXPECT_EQ(f.content.find("// Generated by adtc. DO NOT EDIT."), 0u) << f.name;
+  }
+}
+
+}  // namespace
+}  // namespace dpurpc::proto

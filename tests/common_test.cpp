@@ -1,0 +1,221 @@
+// Unit tests for src/common: status propagation, endian helpers, alignment
+// math, the bounded queue, and the workload RNG distributions.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/align.hpp"
+#include "common/bounded_queue.hpp"
+#include "common/bytes.hpp"
+#include "common/cpu_timer.hpp"
+#include "common/endian.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "wire/varint.hpp"
+
+namespace dpurpc {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s(Code::kDataLoss, "truncated varint");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kDataLoss);
+  EXPECT_EQ(s.to_string(), "DATA_LOSS: truncated varint");
+}
+
+TEST(Status, EqualityIgnoresMessage) {
+  EXPECT_EQ(Status(Code::kDataLoss, "a"), Status(Code::kDataLoss, "b"));
+  EXPECT_FALSE(Status(Code::kDataLoss, "a") == Status(Code::kInternal, "a"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Code::kAborted); ++c) {
+    EXPECT_NE(code_name(static_cast<Code>(c)), "UNKNOWN");
+  }
+}
+
+StatusOr<int> parse_positive(int v) {
+  if (v <= 0) return Status(Code::kInvalidArgument, "not positive");
+  return v;
+}
+
+Status use_it(int v, int* out) {
+  DPURPC_ASSIGN_OR_RETURN(*out, parse_positive(v));
+  return Status::ok();
+}
+
+TEST(StatusOr, ValueAndErrorPaths) {
+  auto good = parse_positive(7);
+  ASSERT_TRUE(good.is_ok());
+  EXPECT_EQ(*good, 7);
+
+  auto bad = parse_positive(-1);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), Code::kInvalidArgument);
+}
+
+TEST(StatusOr, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(use_it(5, &out).is_ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(use_it(-2, &out).code(), Code::kInvalidArgument);
+}
+
+TEST(Endian, RoundTripUnaligned) {
+  alignas(8) uint8_t buf[12] = {};
+  store_le<uint32_t>(buf + 1, 0x12345678u);  // deliberately unaligned
+  EXPECT_EQ(load_le<uint32_t>(buf + 1), 0x12345678u);
+  store_le<uint64_t>(buf + 3, 0xdeadbeefcafebabeull);
+  EXPECT_EQ(load_le<uint64_t>(buf + 3), 0xdeadbeefcafebabeull);
+}
+
+TEST(Endian, LittleEndianByteOrderOnWire) {
+  uint8_t buf[4];
+  store_le<uint32_t>(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Align, UpDownAligned) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_up(1025, 1024), 2048u);
+  EXPECT_EQ(align_down(1023, 1024), 0u);
+  EXPECT_EQ(align_down(1024, 1024), 1024u);
+  EXPECT_TRUE(is_aligned(4096, 1024));
+  EXPECT_FALSE(is_aligned(4097, 1024));
+}
+
+TEST(Align, Pow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+}
+
+TEST(Bytes, HexDump) {
+  Bytes b = to_bytes(std::string_view("\xde\xad\xbe\xef", 4));
+  EXPECT_EQ(hex_dump(b), "de ad be ef");
+  EXPECT_EQ(hex_dump(b, 2), "de ad ...");
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueue, CloseWakesConsumers) {
+  BoundedQueue<int> q(2);
+  std::thread consumer([&] {
+    auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  q.close();
+  consumer.join();
+  EXPECT_FALSE(q.push(1));
+}
+
+TEST(BoundedQueue, DrainsAfterClose) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, ProducerConsumerStress) {
+  BoundedQueue<int> q(8);
+  constexpr int kN = 10'000;
+  long long sum = 0;
+  std::thread consumer([&] {
+    for (int i = 0; i < kN; ++i) {
+      auto v = q.pop();
+      ASSERT_TRUE(v.has_value());
+      sum += *v;
+    }
+  });
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(q.push(i));
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(Rng, SkewedVarintIsDeterministic) {
+  std::mt19937_64 a(kDefaultSeed), b(kDefaultSeed);
+  SkewedVarintDistribution dist;
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(dist(a), dist(b));
+}
+
+TEST(Rng, SkewedVarintFavorsShortEncodings) {
+  // The paper's distribution makes small values (short varints) likelier.
+  std::mt19937_64 rng(kDefaultSeed);
+  SkewedVarintDistribution dist;
+  int len_count[6] = {};
+  for (int i = 0; i < 20'000; ++i) {
+    ++len_count[wire::varint_size(dist(rng))];
+  }
+  EXPECT_GT(len_count[1], len_count[2]);
+  EXPECT_GT(len_count[2], len_count[3]);
+  EXPECT_GT(len_count[3], len_count[4]);
+  EXPECT_GT(len_count[4], len_count[5]);
+  EXPECT_GT(len_count[5], 0);  // all five byte-length classes are exercised
+}
+
+TEST(Rng, RandomAsciiIsPrintable) {
+  std::mt19937_64 rng(kDefaultSeed);
+  std::string s = random_ascii(rng, 4096);
+  for (char c : s) {
+    EXPECT_GE(c, ' ');
+    EXPECT_LE(c, '~');
+  }
+}
+
+TEST(Timers, WallTimerAdvances) {
+  WallTimer t;
+  // Burn a little CPU so both clocks move.
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100'000; ++i) x += i;
+  EXPECT_GT(t.elapsed_ns(), 0u);
+}
+
+TEST(Timers, ThreadCpuTimerCountsOwnWorkOnly) {
+  ThreadCpuTimer cpu;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 1'000'000; ++i) x += i;
+  uint64_t busy = cpu.elapsed_ns();
+  EXPECT_GT(busy, 0u);
+
+  // A sleeping thread accumulates (almost) no CPU time.
+  uint64_t sleeper_busy = 0;
+  std::thread sleeper([&] {
+    ThreadCpuTimer t2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sleeper_busy = t2.elapsed_ns();
+  });
+  sleeper.join();
+  EXPECT_LT(sleeper_busy, 15'000'000u);  // far below the 20ms wall time
+}
+
+}  // namespace
+}  // namespace dpurpc

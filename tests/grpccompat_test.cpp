@@ -1,0 +1,316 @@
+// End-to-end offload tests: xRPC client → DPU proxy (deserialization
+// offload) → RPC over RDMA → host compat layer → business logic → back.
+// This is Fig. 1 of the paper as a running system.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "grpccompat/dpu_proxy.hpp"
+#include "grpccompat/host_service.hpp"
+#include "grpccompat/manifest.hpp"
+#include "proto/schema_parser.hpp"
+#include "xrpc/channel.hpp"
+
+namespace dpurpc::grpccompat {
+namespace {
+
+constexpr std::string_view kSchema = R"(
+syntax = "proto3";
+package kv;
+
+message GetRequest { string key = 1; uint32 shard = 2; }
+message GetResponse { string value = 1; bool found = 2; }
+message PutRequest { string key = 1; string value = 2; }
+message PutResponse { bool created = 1; }
+message StatsRequest { repeated uint32 shard_ids = 1; }
+message StatsResponse { uint64 keys = 1; double load = 2; }
+
+service KvStore {
+  rpc Get (GetRequest) returns (GetResponse);
+  rpc Put (PutRequest) returns (PutResponse);
+  rpc Stats (StatsRequest) returns (StatsResponse);
+}
+)";
+
+// Full deployment harness: host engine thread + DPU proxy + xRPC channel.
+class OffloadFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    proto::SchemaParser parser(pool_);
+    ASSERT_TRUE(parser.parse_and_link(kSchema).is_ok());
+
+    // Host builds the manifest and "ships" it to the DPU (serialize →
+    // deserialize round-trip, like the real one-time transfer).
+    auto built = OffloadManifest::build(pool_, arena::StdLibFlavor::kLibstdcpp);
+    ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+    host_manifest_ = std::make_unique<OffloadManifest>(std::move(*built));
+    Bytes shipped = host_manifest_->serialize();
+    auto received = OffloadManifest::deserialize(ByteSpan(shipped));
+    ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+    dpu_manifest_ = std::make_unique<OffloadManifest>(std::move(*received));
+
+    // RDMA link between DPU (client role) and host (server role).
+    dpu_pd_ = std::make_unique<simverbs::ProtectionDomain>("dpu");
+    host_pd_ = std::make_unique<simverbs::ProtectionDomain>("host");
+    dpu_conn_ = std::make_unique<rdmarpc::Connection>(rdmarpc::Role::kClient,
+                                                      dpu_pd_.get(),
+                                                      rdmarpc::ConnectionConfig{});
+    host_conn_ = std::make_unique<rdmarpc::Connection>(rdmarpc::Role::kServer,
+                                                       host_pd_.get(),
+                                                       rdmarpc::ConnectionConfig{});
+    ASSERT_TRUE(rdmarpc::Connection::connect(*dpu_conn_, *host_conn_).is_ok());
+
+    host_ = std::make_unique<HostEngine>(host_conn_.get(), host_manifest_.get(), &pool_);
+  }
+
+  void start_host_loop() {
+    host_thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        auto n = host_->event_loop_once();
+        if (!n.is_ok()) return;
+        if (*n == 0) host_->wait(1);
+      }
+    });
+  }
+
+  void TearDown() override {
+    if (proxy_) proxy_->stop();
+    stop_.store(true);
+    host_conn_->interrupt();
+    if (host_thread_.joinable()) host_thread_.join();
+  }
+
+  proto::DescriptorPool pool_;
+  std::unique_ptr<OffloadManifest> host_manifest_, dpu_manifest_;
+  std::unique_ptr<simverbs::ProtectionDomain> dpu_pd_, host_pd_;
+  std::unique_ptr<rdmarpc::Connection> dpu_conn_, host_conn_;
+  std::unique_ptr<HostEngine> host_;
+  std::unique_ptr<DpuProxy> proxy_;
+  std::thread host_thread_;
+  std::atomic<bool> stop_{false};
+};
+
+TEST_F(OffloadFixture, ManifestMapsAllMethods) {
+  EXPECT_EQ(host_manifest_->methods().size(), 3u);
+  const auto* get = host_manifest_->find_by_name("kv.KvStore/Get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->input_type, "kv.GetRequest");
+  EXPECT_EQ(get->output_type, "kv.GetResponse");
+  EXPECT_EQ(host_manifest_->find_by_id(get->method_id), get);
+  EXPECT_EQ(host_manifest_->find_by_name("kv.KvStore/Nope"), nullptr);
+  // The shipped manifest agrees.
+  EXPECT_EQ(dpu_manifest_->methods().size(), 3u);
+  EXPECT_NE(dpu_manifest_->adt().find_class("kv.GetRequest"), UINT32_MAX);
+}
+
+TEST_F(OffloadFixture, RegisterUnknownMethodFails) {
+  EXPECT_EQ(host_->register_method("kv.KvStore/Nope", nullptr).code(), Code::kNotFound);
+}
+
+TEST_F(OffloadFixture, FullOffloadPathEndToEnd) {
+  // Business logic on the host: zero deserialization — reads the request
+  // through the in-place object view.
+  std::map<std::string, std::string> store;
+  const auto* get_resp_desc = pool_.find_message("kv.GetResponse");
+  const auto* put_resp_desc = pool_.find_message("kv.PutResponse");
+  ASSERT_TRUE(host_
+                  ->register_method(
+                      "kv.KvStore/Put",
+                      [&store](const ServerContext&, const adt::LayoutView& req,
+                               proto::DynamicMessage& resp) {
+                        std::string key(req.get_string(1));
+                        bool created = store.find(key) == store.end();
+                        store[key] = std::string(req.get_string(2));
+                        resp.set_uint64(resp.descriptor()->field_by_name("created"),
+                                        created ? 1 : 0);
+                        return Status::ok();
+                      })
+                  .is_ok());
+  ASSERT_TRUE(host_
+                  ->register_method(
+                      "kv.KvStore/Get",
+                      [&store](const ServerContext& ctx, const adt::LayoutView& req,
+                               proto::DynamicMessage& resp) {
+                        EXPECT_EQ(ctx.grpc_context, nullptr);  // mocked (§V.D)
+                        auto it = store.find(std::string(req.get_string(1)));
+                        if (it != store.end()) {
+                          resp.set_string(resp.descriptor()->field_by_name("value"),
+                                          it->second);
+                          resp.set_uint64(resp.descriptor()->field_by_name("found"), 1);
+                        }
+                        return Status::ok();
+                      })
+                  .is_ok());
+  (void)get_resp_desc;
+  (void)put_resp_desc;
+  start_host_loop();
+
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), dpu_manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+
+  // The unmodified xRPC client dials the DPU's address (§III.A).
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+
+  // Serialize requests the way any gRPC client would.
+  const auto* put_desc = pool_.find_message("kv.PutRequest");
+  const auto* get_desc = pool_.find_message("kv.GetRequest");
+
+  auto put = [&](const std::string& k, const std::string& v) {
+    proto::DynamicMessage m(put_desc);
+    m.set_string(put_desc->field_by_name("key"), k);
+    m.set_string(put_desc->field_by_name("value"), v);
+    Bytes wire = proto::WireCodec::serialize(m);
+    auto resp = (*chan)->call("kv.KvStore/Put", ByteSpan(wire));
+    ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+    proto::DynamicMessage r(pool_.find_message("kv.PutResponse"));
+    ASSERT_TRUE(proto::WireCodec::parse(ByteSpan(*resp), r).is_ok());
+  };
+  auto get = [&](const std::string& k) -> std::pair<bool, std::string> {
+    proto::DynamicMessage m(get_desc);
+    m.set_string(get_desc->field_by_name("key"), k);
+    Bytes wire = proto::WireCodec::serialize(m);
+    auto resp = (*chan)->call("kv.KvStore/Get", ByteSpan(wire));
+    EXPECT_TRUE(resp.is_ok()) << resp.status().to_string();
+    proto::DynamicMessage r(pool_.find_message("kv.GetResponse"));
+    EXPECT_TRUE(proto::WireCodec::parse(ByteSpan(*resp), r).is_ok());
+    return {r.get_uint64(r.descriptor()->field_by_name("found")) != 0,
+            r.get_string(r.descriptor()->field_by_name("value"))};
+  };
+
+  put("alpha", "first value");
+  put("beta", std::string(500, 'b'));  // beyond SSO, spills to the arena
+  auto [found_a, val_a] = get("alpha");
+  EXPECT_TRUE(found_a);
+  EXPECT_EQ(val_a, "first value");
+  auto [found_b, val_b] = get("beta");
+  EXPECT_TRUE(found_b);
+  EXPECT_EQ(val_b, std::string(500, 'b'));
+  auto [found_c, val_c] = get("gamma");
+  EXPECT_FALSE(found_c);
+  EXPECT_TRUE(val_c.empty());
+
+  EXPECT_EQ(proxy_->stats().offloaded_requests.load(), 5u);
+  EXPECT_EQ(proxy_->stats().responses_forwarded.load(), 5u);
+  EXPECT_EQ(proxy_->stats().deserialize_failures.load(), 0u);
+}
+
+TEST_F(OffloadFixture, RepeatedFieldsThroughTheFullPath) {
+  ASSERT_TRUE(host_
+                  ->register_method(
+                      "kv.KvStore/Stats",
+                      [](const ServerContext&, const adt::LayoutView& req,
+                         proto::DynamicMessage& resp) {
+                        uint64_t sum = 0;
+                        for (uint32_t i = 0; i < req.repeated_size(1); ++i) {
+                          sum += req.repeated_uint64(1, i);
+                        }
+                        resp.set_uint64(resp.descriptor()->field_by_name("keys"), sum);
+                        resp.set_double(resp.descriptor()->field_by_name("load"),
+                                        static_cast<double>(req.repeated_size(1)));
+                        return Status::ok();
+                      })
+                  .is_ok());
+  start_host_loop();
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), dpu_manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok());
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+
+  const auto* desc = pool_.find_message("kv.StatsRequest");
+  proto::DynamicMessage m(desc);
+  uint64_t expect = 0;
+  std::mt19937_64 rng(kDefaultSeed);
+  SkewedVarintDistribution dist;
+  for (int i = 0; i < 512; ++i) {
+    uint32_t v = dist(rng);
+    expect += v;
+    m.add_uint64(desc->field_by_name("shard_ids"), v);
+  }
+  Bytes wire = proto::WireCodec::serialize(m);
+  auto resp = (*chan)->call("kv.KvStore/Stats", ByteSpan(wire));
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  proto::DynamicMessage r(pool_.find_message("kv.StatsResponse"));
+  ASSERT_TRUE(proto::WireCodec::parse(ByteSpan(*resp), r).is_ok());
+  EXPECT_EQ(r.get_uint64(r.descriptor()->field_by_name("keys")), expect);
+  EXPECT_DOUBLE_EQ(r.get_double(r.descriptor()->field_by_name("load")), 512.0);
+}
+
+TEST_F(OffloadFixture, MalformedPayloadRejectedAtTheDpu) {
+  // The DPU (not the host) pays for and rejects malformed requests.
+  start_host_loop();
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), dpu_manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok());
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+
+  Bytes garbage = to_bytes("\x0a\xff\xff\xff\xff not a protobuf");
+  auto resp = (*chan)->call("kv.KvStore/Get", ByteSpan(garbage));
+  EXPECT_FALSE(resp.is_ok());
+  EXPECT_EQ(proxy_->stats().deserialize_failures.load(), 1u);
+  EXPECT_EQ(host_->requests_served(), 0u);  // the host never saw it
+}
+
+TEST_F(OffloadFixture, UnknownXrpcMethodRejectedAtTheDpu) {
+  start_host_loop();
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), dpu_manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok());
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+  auto resp = (*chan)->call("kv.KvStore/DoesNotExist", {});
+  EXPECT_EQ(resp.status().code(), Code::kNotFound);  // rejected by the proxy
+  EXPECT_EQ(host_->requests_served(), 0u);
+}
+
+TEST_F(OffloadFixture, ConcurrentXrpcClientsThroughOneProxy) {
+  // The DPU multiplexes many xRPC connections onto one host link (§III.A).
+  ASSERT_TRUE(host_
+                  ->register_method(
+                      "kv.KvStore/Get",
+                      [](const ServerContext&, const adt::LayoutView& req,
+                         proto::DynamicMessage& resp) {
+                        resp.set_string(resp.descriptor()->field_by_name("value"),
+                                        std::string(req.get_string(1)) + "!");
+                        resp.set_uint64(resp.descriptor()->field_by_name("found"), 1);
+                        return Status::ok();
+                      })
+                  .is_ok());
+  start_host_loop();
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), dpu_manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok());
+
+  constexpr int kClients = 3, kCallsEach = 30;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto chan = xrpc::Channel::connect(*port);
+      ASSERT_TRUE(chan.is_ok());
+      const auto* desc = pool_.find_message("kv.GetRequest");
+      for (int i = 0; i < kCallsEach; ++i) {
+        proto::DynamicMessage m(desc);
+        std::string key = "k" + std::to_string(c) + "-" + std::to_string(i);
+        m.set_string(desc->field_by_name("key"), key);
+        Bytes wire = proto::WireCodec::serialize(m);
+        auto resp = (*chan)->call("kv.KvStore/Get", ByteSpan(wire));
+        ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+        proto::DynamicMessage r(pool_.find_message("kv.GetResponse"));
+        ASSERT_TRUE(proto::WireCodec::parse(ByteSpan(*resp), r).is_ok());
+        EXPECT_EQ(r.get_string(r.descriptor()->field_by_name("value")), key + "!");
+        ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kCallsEach);
+  EXPECT_EQ(host_->requests_served(), static_cast<uint64_t>(kClients * kCallsEach));
+}
+
+}  // namespace
+}  // namespace dpurpc::grpccompat

@@ -1,0 +1,154 @@
+// Tests for the JSON renderer: DynamicMessage source, LayoutView (in-place
+// object) source, escaping, base64, enum names, pretty printing, and
+// agreement between the two sources for the same logical message.
+#include <gtest/gtest.h>
+
+#include "adt/json_format.hpp"
+#include "common/rng.hpp"
+#include "proto/schema_parser.hpp"
+
+namespace dpurpc::adt {
+namespace {
+
+using proto::DynamicMessage;
+
+constexpr std::string_view kSchema = R"(
+syntax = "proto3";
+package js;
+enum Level { LEVEL_UNSET = 0; LEVEL_LOW = 1; LEVEL_HIGH = 2; }
+message Item { string name = 1; int64 big = 2; }
+message Doc {
+  string title = 1;
+  int32 count = 2;
+  uint64 big_count = 3;
+  bool live = 4;
+  double ratio = 5;
+  bytes blob = 6;
+  Level level = 7;
+  Item item = 8;
+  repeated Item items = 9;
+  repeated uint32 ids = 10;
+  repeated string tags = 11;
+}
+)";
+
+class JsonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    proto::SchemaParser parser(pool_);
+    ASSERT_TRUE(parser.parse_and_link(kSchema).is_ok());
+    doc_ = pool_.find_message("js.Doc");
+    item_ = pool_.find_message("js.Item");
+    DescriptorAdtBuilder builder(arena::StdLibFlavor::kLibstdcpp);
+    doc_class_ = *builder.add_message(doc_);
+    adt_ = std::move(builder).take();
+    adt_.set_fingerprint(AbiFingerprint::current(arena::StdLibFlavor::kLibstdcpp));
+  }
+
+  DynamicMessage sample() {
+    DynamicMessage m(doc_);
+    m.set_string(doc_->field_by_name("title"), "a \"quoted\"\n title");
+    m.set_int64(doc_->field_by_name("count"), -42);
+    m.set_uint64(doc_->field_by_name("big_count"), 9007199254740993ull);  // > 2^53
+    m.set_uint64(doc_->field_by_name("live"), 1);
+    m.set_double(doc_->field_by_name("ratio"), 0.5);
+    m.set_string(doc_->field_by_name("blob"), std::string("\x01\x02\xff", 3));
+    m.set_uint64(doc_->field_by_name("level"), 2);
+    auto* item = m.mutable_message(doc_->field_by_name("item"));
+    item->set_string(item_->field_by_name("name"), "nested");
+    item->set_int64(item_->field_by_name("big"), -1);
+    for (int i = 0; i < 3; ++i) m.add_uint64(doc_->field_by_name("ids"), i * 10);
+    m.add_string(doc_->field_by_name("tags"), "x");
+    m.add_string(doc_->field_by_name("tags"), "y");
+    return m;
+  }
+
+  proto::DescriptorPool pool_;
+  const proto::MessageDescriptor* doc_ = nullptr;
+  const proto::MessageDescriptor* item_ = nullptr;
+  Adt adt_;
+  uint32_t doc_class_ = 0;
+};
+
+TEST_F(JsonFixture, RendersAllFieldKinds) {
+  std::string j = to_json(sample());
+  EXPECT_NE(j.find("\"title\":\"a \\\"quoted\\\"\\n title\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\":-42"), std::string::npos);
+  EXPECT_NE(j.find("\"big_count\":\"9007199254740993\""), std::string::npos);  // string
+  EXPECT_NE(j.find("\"live\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"ratio\":0.5"), std::string::npos);
+  EXPECT_NE(j.find("\"blob\":\"AQL/\""), std::string::npos);  // base64
+  EXPECT_NE(j.find("\"level\":\"LEVEL_HIGH\""), std::string::npos);
+  EXPECT_NE(j.find("\"item\":{\"name\":\"nested\",\"big\":\"-1\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"ids\":[0,10,20]"), std::string::npos);
+  EXPECT_NE(j.find("\"tags\":[\"x\",\"y\"]"), std::string::npos);
+}
+
+TEST_F(JsonFixture, OmitsDefaultsByDefault) {
+  DynamicMessage m(doc_);
+  m.set_int64(doc_->field_by_name("count"), 7);
+  std::string j = to_json(m);
+  EXPECT_EQ(j, "{\"count\":7}");
+  JsonOptions opts;
+  opts.emit_defaults = true;
+  std::string full = to_json(m, opts);
+  EXPECT_NE(full.find("\"title\":\"\""), std::string::npos);
+  EXPECT_NE(full.find("\"live\":false"), std::string::npos);
+  EXPECT_NE(full.find("\"ids\":[]"), std::string::npos);
+}
+
+TEST_F(JsonFixture, PrettyPrinting) {
+  DynamicMessage m(doc_);
+  m.set_int64(doc_->field_by_name("count"), 1);
+  m.set_string(doc_->field_by_name("title"), "t");
+  JsonOptions opts;
+  opts.pretty = true;
+  std::string j = to_json(m, opts);
+  EXPECT_EQ(j, "{\n  \"title\": \"t\",\n  \"count\": 1\n}");
+}
+
+TEST_F(JsonFixture, LayoutViewAgreesWithDynamicMessage) {
+  // Serialize the sample, deserialize in place, render both: identical.
+  DynamicMessage m = sample();
+  Bytes wire = proto::WireCodec::serialize(m);
+  arena::OwningArena arena(1 << 16);
+  ArenaDeserializer deser(&adt_);
+  auto obj = deser.deserialize(doc_class_, ByteSpan(wire), arena, {});
+  ASSERT_TRUE(obj.is_ok());
+  LayoutView view(&adt_, doc_class_, *obj);
+  auto from_view = to_json(view, *doc_);
+  ASSERT_TRUE(from_view.is_ok()) << from_view.status().to_string();
+  EXPECT_EQ(*from_view, to_json(m));
+}
+
+TEST_F(JsonFixture, UnsetMessageFieldOmitted) {
+  DynamicMessage m(doc_);
+  std::string j = to_json(m);
+  EXPECT_EQ(j, "{}");
+}
+
+TEST(Base64, KnownVectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(JsonSpecials, NanAndInfinity) {
+  proto::DescriptorPool pool;
+  proto::SchemaParser parser(pool);
+  ASSERT_TRUE(parser.parse_and_link("syntax = \"proto3\"; message F { double d = 1; }")
+                  .is_ok());
+  const auto* desc = pool.find_message("F");
+  DynamicMessage m(desc);
+  m.set_double(desc->field_by_name("d"), std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(to_json(m), "{\"d\":\"NaN\"}");
+  m.set_double(desc->field_by_name("d"), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(to_json(m), "{\"d\":\"-Infinity\"}");
+}
+
+}  // namespace
+}  // namespace dpurpc::adt

@@ -1,0 +1,155 @@
+// Unit tests for the Prometheus-style metrics library and the paper's
+// monitoring methodology (instant rate of increase, 1% stability).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "metrics/metrics.hpp"
+#include "metrics/monitor.hpp"
+
+namespace dpurpc::metrics {
+namespace {
+
+TEST(Counter, IncrementAndRead) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrements) {
+  Counter c;
+  constexpr int kThreads = 4, kPer = 50'000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&] {
+      for (int j = 0; j < kPer; ++j) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPer);
+}
+
+TEST(Gauge, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+}
+
+TEST(Histogram, BucketsAreCumulative) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5);
+  h.observe(50);
+  h.observe(500);
+  EXPECT_EQ(h.bucket_count(0), 1u);   // <= 1
+  EXPECT_EQ(h.bucket_count(1), 2u);   // <= 10
+  EXPECT_EQ(h.bucket_count(2), 3u);   // <= 100
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+}
+
+TEST(Histogram, BoundaryGoesToLowerBucket) {
+  Histogram h({1.0, 10.0});
+  h.observe(1.0);   // le="1" includes 1.0
+  h.observe(10.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+}
+
+TEST(Family, LabelsCreateDistinctChildren) {
+  Registry reg;
+  auto& fam = reg.counter_family("rpc_requests_total", "requests");
+  fam.counter({{"side", "client"}}).inc(3);
+  fam.counter({{"side", "server"}}).inc(5);
+  auto snap = reg.scrape();
+  EXPECT_EQ(snap.find("rpc_requests_total", {{"side", "client"}})->value, 3);
+  EXPECT_EQ(snap.find("rpc_requests_total", {{"side", "server"}})->value, 5);
+}
+
+TEST(Family, SameLabelsSameChild) {
+  Registry reg;
+  auto& fam = reg.counter_family("x", "");
+  auto& a = fam.counter({{"k", "v"}});
+  auto& b = fam.counter({{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, ReRegisteringReturnsSameFamily) {
+  Registry reg;
+  auto& a = reg.counter_family("dup", "first");
+  auto& b = reg.counter_family("dup", "second");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, TextExpositionFormat) {
+  Registry reg;
+  reg.counter_family("reqs_total", "total requests").counter({{"msg", "small"}}).inc(7);
+  reg.gauge_family("credits", "available credits").gauge().set(256);
+  std::string text = reg.expose_text();
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total{msg=\"small\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE credits gauge"), std::string::npos);
+  EXPECT_NE(text.find("credits 256"), std::string::npos);
+}
+
+TEST(Registry, HistogramExposition) {
+  Registry reg;
+  auto& fam = reg.histogram_family("lat", "latency", {1.0, 2.0});
+  fam.histogram().observe(1.5);
+  std::string text = reg.expose_text();
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 1"), std::string::npos);
+}
+
+// Build a snapshot by hand so rate math is exact.
+Snapshot make_snap(uint64_t ns, double value) {
+  Snapshot s;
+  s.wall_ns = ns;
+  s.samples.push_back({"reqs_total", {}, value});
+  return s;
+}
+
+TEST(RateMonitor, InstantRateFromLastTwoPoints) {
+  RateMonitor mon("reqs_total");
+  EXPECT_FALSE(mon.observe(make_snap(0, 0)).has_value());
+  auto r1 = mon.observe(make_snap(1'000'000'000, 100));  // +100 in 1s
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_DOUBLE_EQ(*r1, 100.0);
+  auto r2 = mon.observe(make_snap(3'000'000'000, 500));  // +400 in 2s
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_DOUBLE_EQ(*r2, 200.0);
+  EXPECT_DOUBLE_EQ(*mon.instant_rate(), 200.0);
+}
+
+TEST(RateMonitor, StabilityWithinOnePercent) {
+  RateMonitor mon("reqs_total", {}, 0.01);
+  mon.observe(make_snap(0, 0));
+  mon.observe(make_snap(1'000'000'000, 1000));   // rate 1000
+  EXPECT_FALSE(mon.stable());                    // only one rate so far
+  mon.observe(make_snap(2'000'000'000, 2005));   // rate 1005: +0.5%
+  EXPECT_TRUE(mon.stable());
+  mon.observe(make_snap(3'000'000'000, 3200));   // rate 1195: +19%
+  EXPECT_FALSE(mon.stable());
+}
+
+TEST(RateMonitor, MissingCounterYieldsNoRate) {
+  RateMonitor mon("does_not_exist");
+  Snapshot s;
+  s.wall_ns = 5;
+  EXPECT_FALSE(mon.observe(s).has_value());
+}
+
+TEST(Snapshot, FindHonorsLabels) {
+  Snapshot s;
+  s.samples.push_back({"m", {{"a", "1"}}, 10});
+  EXPECT_NE(s.find("m", {{"a", "1"}}), nullptr);
+  EXPECT_EQ(s.find("m", {{"a", "2"}}), nullptr);
+  EXPECT_EQ(s.find("m"), nullptr);
+}
+
+}  // namespace
+}  // namespace dpurpc::metrics

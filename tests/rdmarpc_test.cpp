@@ -1,0 +1,637 @@
+// Tests for the RPC over RDMA core: offset allocator (with a shadow-model
+// stress test), block format, deterministic ID pool, and full client/server
+// protocol integration including batching, credits, acknowledgment
+// reclamation, in-place payloads, large messages, and error paths.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "rdmarpc/block.hpp"
+#include "rdmarpc/client.hpp"
+#include "rdmarpc/connection.hpp"
+#include "rdmarpc/id_pool.hpp"
+#include "rdmarpc/offset_allocator.hpp"
+#include "rdmarpc/server.hpp"
+
+namespace dpurpc::rdmarpc {
+namespace {
+
+// --------------------------------------------------------- OffsetAllocator
+
+TEST(OffsetAllocator, AllocationsAreAlignedAndDisjoint) {
+  OffsetAllocator a(1 << 20);
+  auto x = a.allocate(100);
+  auto y = a.allocate(5000);
+  ASSERT_TRUE(x && y);
+  EXPECT_TRUE(is_aligned(*x, kBlockAlign));
+  EXPECT_TRUE(is_aligned(*y, kBlockAlign));
+  EXPECT_NE(*x, *y);
+  EXPECT_EQ(a.used(), 1024u + align_up(5000, 1024));
+}
+
+TEST(OffsetAllocator, ExhaustionReturnsNullopt) {
+  OffsetAllocator a(4096);
+  EXPECT_TRUE(a.allocate(4096).has_value());
+  EXPECT_FALSE(a.allocate(1).has_value());
+}
+
+TEST(OffsetAllocator, FreeCoalescesNeighbors) {
+  OffsetAllocator a(8192);
+  auto x = a.allocate(1024);
+  auto y = a.allocate(1024);
+  auto z = a.allocate(1024);
+  ASSERT_TRUE(x && y && z);
+  a.free(*x);
+  a.free(*z);
+  EXPECT_EQ(a.free_range_count(), 2u);  // [x], [z..tail coalesced]
+  a.free(*y);                           // bridges x with z and the tail
+  EXPECT_EQ(a.free_range_count(), 1u);
+  EXPECT_EQ(a.largest_free_range(), 8192u);
+}
+
+TEST(OffsetAllocator, OutOfOrderFreeSupportsOutOfOrderCompletion) {
+  // The reason a ring buffer is insufficient (§IV): later blocks freed
+  // before earlier ones.
+  OffsetAllocator a(1 << 16);
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 8; ++i) offs.push_back(*a.allocate(2048));
+  for (int i : {5, 1, 7, 3}) a.free(offs[i]);
+  // The freed holes are reusable.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(a.allocate(2048).has_value());
+  EXPECT_EQ(a.used(), 8u * 2048);
+}
+
+TEST(OffsetAllocator, ShadowModelStress) {
+  // Property test: allocator agrees with a simple shadow model under a
+  // long random alloc/free schedule.
+  std::mt19937_64 rng(kDefaultSeed);
+  OffsetAllocator a(1 << 20);
+  std::map<uint64_t, uint64_t> shadow;  // offset -> aligned size
+  uint64_t shadow_used = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (shadow.empty() || rng() % 2 == 0) {
+      uint64_t size = 1 + rng() % 8000;
+      auto off = a.allocate(size);
+      if (off.has_value()) {
+        uint64_t aligned = align_up(size, kBlockAlign);
+        // No overlap with any shadow allocation.
+        for (const auto& [o, s] : shadow) {
+          EXPECT_TRUE(*off + aligned <= o || o + s <= *off)
+              << "overlap at step " << step;
+        }
+        shadow[*off] = aligned;
+        shadow_used += aligned;
+      } else {
+        // Only legal if no free range fits.
+        EXPECT_LT(a.largest_free_range(), align_up(size, kBlockAlign));
+      }
+    } else {
+      auto it = shadow.begin();
+      std::advance(it, rng() % shadow.size());
+      shadow_used -= it->second;
+      a.free(it->first);
+      shadow.erase(it);
+    }
+    ASSERT_EQ(a.used(), shadow_used);
+    ASSERT_EQ(a.allocation_count(), shadow.size());
+  }
+  // Free everything: one maximal range remains.
+  while (!shadow.empty()) {
+    a.free(shadow.begin()->first);
+    shadow.erase(shadow.begin());
+  }
+  EXPECT_EQ(a.free_range_count(), 1u);
+  EXPECT_EQ(a.largest_free_range(), a.capacity());
+}
+
+// ------------------------------------------------------------------ block
+
+TEST(Block, WriterReaderRoundTrip) {
+  alignas(1024) std::byte buf[4096];
+  BlockWriter w(buf, sizeof(buf));
+  ASSERT_TRUE(w.append(as_bytes_view("first"), 10).is_ok());
+  ASSERT_TRUE(w.append(as_bytes_view("second payload"), 20, kFlagInPlaceObject, 7).is_ok());
+  ASSERT_TRUE(w.append({}, 30).is_ok());  // empty payload is legal
+  uint64_t len = w.finalize(3);
+  EXPECT_TRUE(is_aligned(len, kPayloadAlign));
+
+  auto r = BlockReader::parse(ByteSpan(buf, sizeof(buf)));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->preamble().ack_blocks, 3);
+  EXPECT_EQ(r->message_count(), 3);
+  auto m1 = r->next();
+  ASSERT_TRUE(m1.is_ok());
+  EXPECT_EQ(as_string_view(m1->payload), "first");
+  EXPECT_EQ(m1->header.id_or_method, 10);
+  auto m2 = r->next();
+  EXPECT_EQ(as_string_view(m2->payload), "second payload");
+  EXPECT_EQ(m2->header.flags, kFlagInPlaceObject);
+  EXPECT_EQ(m2->header.aux, 7);
+  auto m3 = r->next();
+  EXPECT_EQ(m3->payload.size(), 0u);
+  EXPECT_TRUE(r->done());
+  EXPECT_FALSE(r->next().is_ok());
+}
+
+TEST(Block, PayloadsAreEightByteAligned) {
+  alignas(1024) std::byte buf[4096];
+  BlockWriter w(buf, sizeof(buf));
+  ASSERT_TRUE(w.append(as_bytes_view("abc"), 1).is_ok());   // 3 bytes: padded
+  ASSERT_TRUE(w.append(as_bytes_view("defgh"), 2).is_ok());
+  w.finalize(0);
+  auto r = BlockReader::parse(ByteSpan(buf, sizeof(buf)));
+  auto m1 = r->next();
+  auto m2 = r->next();
+  EXPECT_TRUE(is_aligned(m1->payload_addr, kPayloadAlign));
+  EXPECT_TRUE(is_aligned(m2->payload_addr, kPayloadAlign));
+}
+
+TEST(Block, InPlaceBuildViaArena) {
+  alignas(1024) std::byte buf[2048];
+  BlockWriter w(buf, sizeof(buf));
+  auto dst = w.begin_message();
+  ASSERT_TRUE(dst.is_ok());
+  arena::Arena arena = w.payload_arena();
+  auto* obj = static_cast<uint64_t*>(arena.allocate(16));
+  ASSERT_NE(obj, nullptr);
+  obj[0] = 0x1111;
+  obj[1] = 0x2222;
+  ASSERT_TRUE(w.commit_message(static_cast<uint32_t>(arena.used()), 5).is_ok());
+  w.finalize(0);
+
+  auto r = BlockReader::parse(ByteSpan(buf, sizeof(buf)));
+  auto m = r->next();
+  ASSERT_TRUE(m.is_ok());
+  EXPECT_EQ(m->payload.size(), 16u);
+  EXPECT_EQ(load_le<uint64_t>(m->payload_addr), 0x1111u);
+}
+
+TEST(Block, RejectsCorruptPreambleAndOverruns) {
+  alignas(1024) std::byte buf[1024];
+  BlockWriter w(buf, sizeof(buf));
+  ASSERT_TRUE(w.append(as_bytes_view("x"), 1).is_ok());
+  w.finalize(0);
+  {
+    // block_bytes larger than the region
+    std::byte copy[1024];
+    std::memcpy(copy, buf, sizeof(buf));
+    Preamble p;
+    std::memcpy(&p, copy, sizeof(p));
+    p.block_bytes = 4096;
+    std::memcpy(copy, &p, sizeof(p));
+    EXPECT_FALSE(BlockReader::parse(ByteSpan(copy, sizeof(copy))).is_ok());
+  }
+  {
+    // payload_size punching past block_bytes
+    std::byte copy[1024];
+    std::memcpy(copy, buf, sizeof(buf));
+    MsgHeader h;
+    std::memcpy(&h, copy + kPreambleSize, sizeof(h));
+    h.payload_size = 900;
+    std::memcpy(copy + kPreambleSize, &h, sizeof(h));
+    auto r = BlockReader::parse(ByteSpan(copy, sizeof(copy)));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_FALSE(r->next().is_ok());
+  }
+}
+
+TEST(Block, CapacityEnforced) {
+  alignas(1024) std::byte buf[128];
+  BlockWriter w(buf, sizeof(buf));
+  EXPECT_FALSE(w.can_fit(1000));
+  EXPECT_TRUE(w.can_fit(32));
+  std::string big(200, 'x');
+  EXPECT_FALSE(w.append(as_bytes_view(big), 1).is_ok());
+  EXPECT_TRUE(w.append(as_bytes_view("ok"), 1).is_ok());
+}
+
+// ---------------------------------------------------------------- ID pool
+
+TEST(IdPool, DeterministicFifoAcrossMirrors) {
+  // Two pools fed the same alloc/free schedule assign identical IDs.
+  RequestIdPool a(16), b(16);
+  std::mt19937_64 rng(kDefaultSeed);
+  std::vector<uint16_t> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || (rng() % 2 == 0 && a.available() > 0)) {
+      auto ia = a.allocate();
+      auto ib = b.allocate();
+      ASSERT_EQ(ia.has_value(), ib.has_value());
+      if (!ia) continue;
+      ASSERT_EQ(*ia, *ib);
+      live.push_back(*ia);
+    } else {
+      size_t k = rng() % live.size();
+      a.release(live[k]);
+      b.release(live[k]);
+      live.erase(live.begin() + k);
+    }
+  }
+}
+
+TEST(IdPool, ExhaustionAndRecycle) {
+  RequestIdPool p(4);
+  std::set<uint16_t> seen;
+  for (int i = 0; i < 4; ++i) {
+    auto id = p.allocate();
+    ASSERT_TRUE(id.has_value());
+    EXPECT_TRUE(seen.insert(*id).second);  // unique
+  }
+  EXPECT_FALSE(p.allocate().has_value());
+  EXPECT_EQ(p.in_flight(), 4u);
+  p.release(2);
+  auto id = p.allocate();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 2);  // FIFO: the one just released
+}
+
+// ------------------------------------------------------------ integration
+
+struct Fabric {
+  explicit Fabric(ConnectionConfig client_cfg = {}, ConnectionConfig server_cfg = {})
+      : client_pd("dpu"),
+        server_pd("host"),
+        client_conn(Role::kClient, &client_pd, client_cfg),
+        server_conn(Role::kServer, &server_pd, server_cfg),
+        client(&client_conn),
+        server(&server_conn) {
+    auto st = Connection::connect(client_conn, server_conn);
+    EXPECT_TRUE(st.is_ok()) << st.to_string();
+  }
+
+  // Pump both event loops until the client saw `target` responses.
+  Status pump_until(uint64_t target, int max_iters = 10000) {
+    for (int i = 0; i < max_iters; ++i) {
+      auto c = client.event_loop_once();
+      if (!c.is_ok()) return c.status();
+      auto s = server.event_loop_once();
+      if (!s.is_ok()) return s.status();
+      if (client.responses_received() >= target) return Status::ok();
+    }
+    return Status(Code::kInternal, "pump did not converge");
+  }
+
+  simverbs::ProtectionDomain client_pd, server_pd;
+  Connection client_conn, server_conn;
+  RpcClient client;
+  RpcServer server;
+};
+
+constexpr uint16_t kEcho = 1;
+constexpr uint16_t kFail = 2;
+
+void register_echo(RpcServer& server) {
+  server.register_handler(kEcho, [](const RequestView& req, Bytes& out) {
+    out = Bytes(req.payload.begin(), req.payload.end());
+    return Status::ok();
+  });
+}
+
+TEST(Integration, SingleEchoRoundTrip) {
+  Fabric f;
+  register_echo(f.server);
+  std::string got;
+  ASSERT_TRUE(f.client
+                  .call(kEcho, as_bytes_view("hello rdma"),
+                        [&](const Status& st, const InMessage& resp) {
+                          EXPECT_TRUE(st.is_ok());
+                          got = std::string(as_string_view(resp.payload));
+                        })
+                  .is_ok());
+  ASSERT_TRUE(f.pump_until(1).is_ok());
+  EXPECT_EQ(got, "hello rdma");
+  EXPECT_EQ(f.server.requests_served(), 1u);
+}
+
+TEST(Integration, BatchingPacksManyMessagesPerBlock) {
+  Fabric f;
+  register_echo(f.server);
+  constexpr int kN = 200;  // 15-byte messages: many per 8 KiB block
+  int done = 0;
+  for (int i = 0; i < kN; ++i) {
+    std::string payload = "msg-" + std::to_string(i);
+    ASSERT_TRUE(f.client
+                    .call(kEcho, as_bytes_view(payload),
+                          [&done, i](const Status& st, const InMessage& resp) {
+                            EXPECT_TRUE(st.is_ok());
+                            EXPECT_EQ(as_string_view(resp.payload),
+                                      "msg-" + std::to_string(i));
+                            ++done;
+                          })
+                    .is_ok());
+  }
+  ASSERT_TRUE(f.pump_until(kN).is_ok());
+  EXPECT_EQ(done, kN);
+  // Far fewer RDMA ops than messages: batching works.
+  EXPECT_LT(f.client_conn.tx_counters().ops.load(), kN / 4);
+}
+
+TEST(Integration, ResponsesMatchRequestsAcrossManyBatches) {
+  Fabric f;
+  register_echo(f.server);
+  std::mt19937_64 rng(kDefaultSeed);
+  constexpr int kRounds = 50;
+  uint64_t sent = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    int burst = 1 + static_cast<int>(rng() % 60);
+    for (int i = 0; i < burst; ++i) {
+      std::string payload = random_ascii(rng, rng() % 200);
+      ++sent;
+      ASSERT_TRUE(f.client
+                      .call(kEcho, as_bytes_view(payload),
+                            [payload](const Status& st, const InMessage& resp) {
+                              ASSERT_TRUE(st.is_ok());
+                              EXPECT_EQ(as_string_view(resp.payload), payload);
+                            })
+                      .is_ok());
+    }
+    ASSERT_TRUE(f.pump_until(sent).is_ok());
+  }
+  EXPECT_EQ(f.client.responses_received(), sent);
+  EXPECT_EQ(f.client.in_flight(), 0u);
+}
+
+TEST(Integration, LargeMessageGetsItsOwnBlock) {
+  Fabric f;
+  register_echo(f.server);
+  std::mt19937_64 rng(kDefaultSeed);
+  // Bigger than the 8 KiB block size: §IV "the block is composed of a
+  // single message".
+  std::string big = random_ascii(rng, 40000);
+  std::string got;
+  ASSERT_TRUE(f.client
+                  .call(kEcho, as_bytes_view(big),
+                        [&](const Status& st, const InMessage& resp) {
+                          ASSERT_TRUE(st.is_ok());
+                          got = std::string(as_string_view(resp.payload));
+                        })
+                  .is_ok());
+  ASSERT_TRUE(f.pump_until(1).is_ok());
+  EXPECT_EQ(got, big);
+}
+
+TEST(Integration, OversizedPayloadRejectedUpFront) {
+  Fabric f;
+  std::string too_big(kMaxPayloadSize + 1, 'x');
+  EXPECT_EQ(f.client.call(kEcho, as_bytes_view(too_big), nullptr).code(),
+            Code::kOutOfRange);
+}
+
+TEST(Integration, ErrorStatusPropagatesToContinuation) {
+  Fabric f;
+  f.server.register_handler(kFail, [](const RequestView&, Bytes&) {
+    return Status(Code::kInvalidArgument, "bad request");
+  });
+  Status seen;
+  ASSERT_TRUE(f.client
+                  .call(kFail, as_bytes_view("x"),
+                        [&](const Status& st, const InMessage&) { seen = st; })
+                  .is_ok());
+  ASSERT_TRUE(f.pump_until(1).is_ok());
+  EXPECT_EQ(seen.code(), Code::kInvalidArgument);
+}
+
+TEST(Integration, UnknownMethodYieldsNotFound) {
+  Fabric f;
+  Status seen;
+  ASSERT_TRUE(f.client
+                  .call(99, as_bytes_view("x"),
+                        [&](const Status& st, const InMessage&) { seen = st; })
+                  .is_ok());
+  ASSERT_TRUE(f.pump_until(1).is_ok());
+  EXPECT_EQ(seen.code(), Code::kNotFound);
+}
+
+TEST(Integration, InPlacePayloadArrivesAtTranslatedAddress) {
+  Fabric f;
+  // Handler reads the in-place object through the receive-buffer address.
+  f.server.register_handler(kEcho, [](const RequestView& req, Bytes& out) {
+    EXPECT_NE(req.object, nullptr);
+    EXPECT_EQ(req.class_index, 42);
+    uint64_t v = load_le<uint64_t>(req.object);
+    out.resize(8);
+    store_le(out.data(), v * 2);
+    return Status::ok();
+  });
+  uint64_t answer = 0;
+  ASSERT_TRUE(f.client
+                  .call_inplace(
+                      kEcho, /*class_index=*/42, /*payload_hint=*/64,
+                      [&](arena::Arena& arena, const arena::AddressTranslator& xlate)
+                          -> StatusOr<uint32_t> {
+                        auto* p = static_cast<std::byte*>(arena.allocate(8));
+                        if (p == nullptr) {
+                          return Status(Code::kResourceExhausted, "full");
+                        }
+                        store_le<uint64_t>(p, 21);
+                        (void)xlate;  // numeric payload: nothing to rebase
+                        return static_cast<uint32_t>(arena.used());
+                      },
+                      [&](const Status& st, const InMessage& resp) {
+                        ASSERT_TRUE(st.is_ok());
+                        answer = load_le<uint64_t>(resp.payload_addr);
+                      })
+                  .is_ok());
+  ASSERT_TRUE(f.pump_until(1).is_ok());
+  EXPECT_EQ(answer, 42u);
+}
+
+TEST(Integration, CreditsAndBuffersFullyReclaimedAtQuiescence) {
+  ConnectionConfig small_client;
+  small_client.credits = 8;
+  small_client.sbuf_size = 256 * 1024;
+  ConnectionConfig small_server;
+  small_server.credits = 8;
+  small_server.sbuf_size = 256 * 1024;
+  Fabric f(small_client, small_server);
+  register_echo(f.server);
+
+  std::mt19937_64 rng(kDefaultSeed);
+  uint64_t sent = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      std::string payload = random_ascii(rng, 100);
+      ++sent;
+      ASSERT_TRUE(f.client.call(kEcho, as_bytes_view(payload), nullptr).is_ok());
+    }
+    ASSERT_TRUE(f.pump_until(sent).is_ok());
+  }
+  // Drain the final acks (a few idle pump turns).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.client.event_loop_once().is_ok());
+    ASSERT_TRUE(f.server.event_loop_once().is_ok());
+  }
+  // Everything must be back: credits, send buffers, IDs.
+  EXPECT_EQ(f.client_conn.credits_available(), small_client.credits);
+  EXPECT_EQ(f.server_conn.credits_available(), small_server.credits);
+  EXPECT_EQ(f.client_conn.allocator().used(), 0u);
+  EXPECT_EQ(f.server_conn.allocator().used(), 0u);
+  EXPECT_EQ(f.client_conn.sent_blocks_outstanding(), 0u);
+  EXPECT_EQ(f.server_conn.sent_blocks_outstanding(), 0u);
+  EXPECT_EQ(f.client.in_flight(), 0u);
+}
+
+TEST(Integration, SustainedLoadUnderTinyCreditWindow) {
+  // Credits = 2: constant backpressure; the protocol must still complete
+  // everything without RNR events (the credit system's whole point).
+  ConnectionConfig cfg;
+  cfg.credits = 2;
+  cfg.sbuf_size = 64 * 1024;
+  cfg.rbuf_size = 256 * 1024;
+  Fabric f(cfg, cfg);
+  register_echo(f.server);
+
+  uint64_t sent = 0;
+  std::mt19937_64 rng(kDefaultSeed);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      std::string p = random_ascii(rng, 500);
+      // Backpressure can reject the enqueue; pump and retry.
+      for (int attempt = 0;; ++attempt) {
+        Status st = f.client.call(kEcho, as_bytes_view(p), nullptr);
+        if (st.is_ok()) break;
+        ASSERT_TRUE(st.code() == Code::kUnavailable ||
+                    st.code() == Code::kResourceExhausted)
+            << st.to_string();
+        ASSERT_LT(attempt, 1000);
+        ASSERT_TRUE(f.client.event_loop_once().is_ok());
+        ASSERT_TRUE(f.server.event_loop_once().is_ok());
+      }
+      ++sent;
+    }
+    ASSERT_TRUE(f.pump_until(sent).is_ok());
+  }
+  EXPECT_EQ(f.client.responses_received(), sent);
+  EXPECT_EQ(f.client_conn.tx_counters().rnr_events.load(), 0u);
+  EXPECT_EQ(f.server_conn.tx_counters().rnr_events.load(), 0u);
+}
+
+TEST(Integration, ManyConnectionsIndependently) {
+  // §III.B: multiple RDMA connections run concurrently, each independent.
+  constexpr int kConns = 4;
+  std::vector<std::unique_ptr<Fabric>> fabrics;
+  for (int i = 0; i < kConns; ++i) {
+    fabrics.push_back(std::make_unique<Fabric>());
+    register_echo(fabrics.back()->server);
+  }
+  for (int i = 0; i < kConns; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      std::string p = "conn" + std::to_string(i) + "-" + std::to_string(j);
+      ASSERT_TRUE(fabrics[i]
+                      ->client
+                      .call(kEcho, as_bytes_view(p),
+                            [p](const Status& st, const InMessage& resp) {
+                              ASSERT_TRUE(st.is_ok());
+                              EXPECT_EQ(as_string_view(resp.payload), p);
+                            })
+                      .is_ok());
+    }
+  }
+  for (auto& f : fabrics) ASSERT_TRUE(f->pump_until(20).is_ok());
+}
+
+TEST(Integration, BandwidthAccountingSeesBlockOverhead) {
+  // Fig. 8b footnote: headers and alignment are non-negligible for small
+  // messages — bytes on the wire exceed payload bytes.
+  Fabric f;
+  register_echo(f.server);
+  constexpr int kN = 100;
+  constexpr size_t kPayload = 15;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(
+        f.client.call(kEcho, as_bytes_view(std::string(kPayload, 'x')), nullptr)
+            .is_ok());
+  }
+  ASSERT_TRUE(f.pump_until(kN).is_ok());
+  uint64_t wire_bytes = f.client_conn.tx_counters().bytes.load();
+  EXPECT_GT(wire_bytes, kN * kPayload);          // overhead exists
+  EXPECT_LT(wire_bytes, kN * kPayload * 4);      // but is bounded
+}
+
+TEST(Integration, IdSyncSurvivesAutoFlushedBlocks) {
+  // Regression test for the subtle §IV.D hazard: when a block fills and
+  // the transport flushes it *inside* begin_message (not at the engine's
+  // explicit flush), the ID discipline must still run at that true block
+  // boundary — otherwise the server allocates IDs for the first block's
+  // requests while the client hasn't yet, and every later response
+  // dispatches to the wrong continuation.
+  ConnectionConfig cfg;
+  cfg.block_size = 2048;  // small blocks: many auto-flushes
+  Fabric f(cfg, cfg);
+  register_echo(f.server);
+  std::mt19937_64 rng(kDefaultSeed);
+  uint64_t sent = 0;
+  for (int round = 0; round < 20; ++round) {
+    // Bursts large enough that a single burst spans several blocks.
+    for (int i = 0; i < 50; ++i) {
+      std::string payload = "p" + std::to_string(sent) + "-" +
+                            random_ascii(rng, 100 + rng() % 300);
+      ++sent;
+      for (int attempt = 0;; ++attempt) {
+        Status st = f.client.call(
+            kEcho, as_bytes_view(payload),
+            [payload](const Status& rs, const InMessage& resp) {
+              ASSERT_TRUE(rs.is_ok());
+              // The response MUST be the echo of this exact request.
+              EXPECT_EQ(as_string_view(resp.payload), payload);
+            });
+        if (st.is_ok()) break;
+        ASSERT_LT(attempt, 1000);
+        ASSERT_TRUE(f.client.event_loop_once().is_ok());
+        ASSERT_TRUE(f.server.event_loop_once().is_ok());
+      }
+    }
+    // Interleave partial pumping so responses and new requests mix.
+    if (round % 3 == 0) {
+      ASSERT_TRUE(f.client.event_loop_once().is_ok());
+      ASSERT_TRUE(f.server.event_loop_once().is_ok());
+    }
+  }
+  ASSERT_TRUE(f.pump_until(sent).is_ok());
+  EXPECT_EQ(f.client.responses_received(), sent);
+  // Many more blocks than engine-initiated flushes -> auto-flush exercised.
+  EXPECT_GT(f.client_conn.tx_counters().ops.load(), 100u);
+}
+
+TEST(Integration, LatencyHistogramPopulatedWhenInstrumented) {
+  metrics::Registry registry;
+  ConnectionConfig cfg;
+  cfg.registry = &registry;
+  Fabric f(cfg, cfg);
+  register_echo(f.server);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(f.client.call(kEcho, as_bytes_view("x"), nullptr).is_ok());
+  }
+  ASSERT_TRUE(f.pump_until(20).is_ok());
+  auto snap = registry.scrape();
+  const auto* count =
+      snap.find("rdmarpc_request_latency_seconds_count", {{"role", "client"}});
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->value, 20);
+  const auto* sum =
+      snap.find("rdmarpc_request_latency_seconds_sum", {{"role", "client"}});
+  ASSERT_NE(sum, nullptr);
+  EXPECT_GT(sum->value, 0.0);
+}
+
+TEST(Integration, LostBlockStallsButDoesNotCorrupt) {
+  // Fault injection: a silently dropped write models a broken link. The
+  // protocol (built on a reliable connection) cannot recover it, but must
+  // not mis-deliver anything else... the request simply never completes.
+  Fabric f;
+  register_echo(f.server);
+  f.client_conn.queue_pair().faults().drop_next_sends.store(1);
+  bool completed = false;
+  ASSERT_TRUE(f.client
+                  .call(kEcho, as_bytes_view("doomed"),
+                        [&](const Status&, const InMessage&) { completed = true; })
+                  .is_ok());
+  EXPECT_FALSE(f.pump_until(1, /*max_iters=*/50).is_ok());
+  EXPECT_FALSE(completed);
+}
+
+}  // namespace
+}  // namespace dpurpc::rdmarpc

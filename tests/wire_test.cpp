@@ -1,0 +1,283 @@
+// Unit + property tests for the wire primitives: varint, zigzag, tags,
+// coded streams, and UTF-8 validation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/rng.hpp"
+#include "wire/coded_stream.hpp"
+#include "wire/utf8.hpp"
+#include "wire/varint.hpp"
+#include "wire/wire_format.hpp"
+
+namespace dpurpc::wire {
+namespace {
+
+// ---------------------------------------------------------------- varint
+
+TEST(Varint, SizeBoundaries) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size((1ull << 14) - 1), 2u);
+  EXPECT_EQ(varint_size(1ull << 14), 3u);
+  EXPECT_EQ(varint_size((1ull << 28) - 1), 4u);
+  EXPECT_EQ(varint_size(1ull << 28), 5u);
+  EXPECT_EQ(varint_size(UINT64_MAX), 10u);
+}
+
+TEST(Varint, EncodeKnownVectors) {
+  uint8_t buf[10];
+  uint8_t* end = encode_varint(buf, 300);
+  ASSERT_EQ(end - buf, 2);
+  EXPECT_EQ(buf[0], 0xAC);  // protobuf docs example: 300 = AC 02
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Varint, DecodeRejectsTruncated) {
+  uint8_t buf[2] = {0x80, 0x80};  // continuation bits never end
+  auto r = decode_varint(buf, buf + 2);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Varint, DecodeRejectsOverlong) {
+  // 11 bytes of continuation: longer than any valid varint.
+  uint8_t buf[11];
+  for (auto& b : buf) b = 0x80;
+  buf[10] = 0x01;
+  auto r = decode_varint(buf, buf + 11);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Varint, DecodeRejectsOverflowInTenthByte) {
+  // 10-byte encoding whose last byte pushes past 64 bits.
+  uint8_t buf[10];
+  for (int i = 0; i < 9; ++i) buf[i] = 0xFF;
+  buf[9] = 0x02;  // bit 64+ set
+  auto r = decode_varint(buf, buf + 10);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Varint, DecodeMaxU64) {
+  uint8_t buf[10];
+  uint8_t* end = encode_varint(buf, UINT64_MAX);
+  ASSERT_EQ(end - buf, 10);
+  auto r = decode_varint(buf, end);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, UINT64_MAX);
+}
+
+TEST(Varint, EmptyInput) {
+  uint8_t buf[1];
+  EXPECT_FALSE(decode_varint(buf, buf).ok);
+}
+
+// Property: round-trip over every byte-length class and random values.
+class VarintRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintRoundTrip, EncodeDecodeIdentity) {
+  int len = GetParam();
+  std::mt19937_64 rng(dpurpc::kDefaultSeed + len);
+  uint64_t lo = len == 1 ? 0 : 1ull << (7 * (len - 1));
+  uint64_t hi = len == 10 ? UINT64_MAX : (1ull << (7 * len)) - 1;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = lo + rng() % (hi - lo + 1);
+    uint8_t buf[kMaxVarint64Bytes];
+    uint8_t* end = encode_varint(buf, v);
+    ASSERT_EQ(static_cast<size_t>(end - buf), varint_size(v));
+    ASSERT_EQ(varint_size(v), static_cast<size_t>(len));
+    auto r = decode_varint(buf, end);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value, v);
+    EXPECT_EQ(r.next, end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllByteLengths, VarintRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------- zigzag
+
+TEST(ZigZag, KnownVectors) {
+  EXPECT_EQ(zigzag_encode32(0), 0u);
+  EXPECT_EQ(zigzag_encode32(-1), 1u);
+  EXPECT_EQ(zigzag_encode32(1), 2u);
+  EXPECT_EQ(zigzag_encode32(-2), 3u);
+  EXPECT_EQ(zigzag_encode32(INT32_MAX), 0xFFFFFFFEu);
+  EXPECT_EQ(zigzag_encode32(INT32_MIN), 0xFFFFFFFFu);
+}
+
+class ZigZagRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ZigZagRoundTrip, Identity64) {
+  int64_t v = GetParam();
+  EXPECT_EQ(zigzag_decode64(zigzag_encode64(v)), v);
+}
+TEST_P(ZigZagRoundTrip, Identity32) {
+  auto v = static_cast<int32_t>(GetParam());
+  EXPECT_EQ(zigzag_decode32(zigzag_encode32(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extremes, ZigZagRoundTrip,
+                         ::testing::Values(int64_t{0}, int64_t{1}, int64_t{-1},
+                                           int64_t{INT32_MAX}, int64_t{INT32_MIN},
+                                           INT64_MAX, INT64_MIN, int64_t{42},
+                                           int64_t{-123456789}));
+
+// ------------------------------------------------------------------ tags
+
+TEST(Tags, MakeAndSplit) {
+  uint32_t tag = make_tag(5, WireType::kLengthDelimited);
+  EXPECT_EQ(tag, 0x2Au);  // 5<<3 | 2
+  EXPECT_EQ(tag_field_number(tag), 5u);
+  EXPECT_EQ(tag_wire_type(tag), WireType::kLengthDelimited);
+}
+
+TEST(Tags, ValidWireTypes) {
+  EXPECT_TRUE(is_valid_wire_type(0));
+  EXPECT_TRUE(is_valid_wire_type(1));
+  EXPECT_TRUE(is_valid_wire_type(2));
+  EXPECT_TRUE(is_valid_wire_type(5));
+  EXPECT_FALSE(is_valid_wire_type(3));  // group start (unsupported)
+  EXPECT_FALSE(is_valid_wire_type(4));  // group end
+  EXPECT_FALSE(is_valid_wire_type(6));
+  EXPECT_FALSE(is_valid_wire_type(7));
+}
+
+// --------------------------------------------------------- coded streams
+
+TEST(CodedStream, WriterReaderRoundTrip) {
+  dpurpc::Bytes out;
+  Writer w(out);
+  w.write_varint(300);
+  w.write_fixed32(0xAABBCCDD);
+  w.write_fixed64(0x1122334455667788ull);
+  w.write_length_delimited("hello");
+
+  Reader r{dpurpc::ByteSpan(out)};
+  EXPECT_EQ(*r.read_varint(), 300u);
+  EXPECT_EQ(*r.read_fixed32(), 0xAABBCCDDu);
+  EXPECT_EQ(*r.read_fixed64(), 0x1122334455667788ull);
+  EXPECT_EQ(*r.read_length_delimited(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodedStream, TruncatedFixedFails) {
+  uint8_t buf[3] = {1, 2, 3};
+  Reader r(buf, buf + 3);
+  EXPECT_EQ(r.read_fixed32().status().code(), dpurpc::Code::kDataLoss);
+}
+
+TEST(CodedStream, LengthDelimitedOverrunFails) {
+  dpurpc::Bytes out;
+  Writer w(out);
+  w.write_varint(100);  // claims 100 bytes, none follow
+  Reader r{dpurpc::ByteSpan(out)};
+  EXPECT_EQ(r.read_length_delimited().status().code(), dpurpc::Code::kDataLoss);
+}
+
+TEST(CodedStream, ReadTagValidates) {
+  {
+    dpurpc::Bytes out;
+    Writer w(out);
+    w.write_varint(make_tag(0, WireType::kVarint));  // field number 0
+    Reader r{dpurpc::ByteSpan(out)};
+    EXPECT_FALSE(r.read_tag().is_ok());
+  }
+  {
+    dpurpc::Bytes out;
+    Writer w(out);
+    w.write_varint((1 << 3) | 3);  // wire type 3 (group)
+    Reader r{dpurpc::ByteSpan(out)};
+    EXPECT_FALSE(r.read_tag().is_ok());
+  }
+}
+
+TEST(CodedStream, SkipValueAllTypes) {
+  dpurpc::Bytes out;
+  Writer w(out);
+  w.write_varint(12345);
+  w.write_fixed64(1);
+  w.write_length_delimited("abc");
+  w.write_fixed32(2);
+  w.write_varint(99);  // sentinel
+
+  Reader r{dpurpc::ByteSpan(out)};
+  EXPECT_TRUE(r.skip_value(WireType::kVarint).is_ok());
+  EXPECT_TRUE(r.skip_value(WireType::kFixed64).is_ok());
+  EXPECT_TRUE(r.skip_value(WireType::kLengthDelimited).is_ok());
+  EXPECT_TRUE(r.skip_value(WireType::kFixed32).is_ok());
+  EXPECT_EQ(*r.read_varint(), 99u);
+}
+
+// ------------------------------------------------------------------ utf8
+
+TEST(Utf8, AcceptsAscii) {
+  EXPECT_TRUE(validate_utf8("hello, world! 123"));
+  EXPECT_TRUE(validate_utf8(""));
+}
+
+TEST(Utf8, AcceptsMultibyte) {
+  EXPECT_TRUE(validate_utf8("caf\xc3\xa9"));                  // é (2-byte)
+  EXPECT_TRUE(validate_utf8("\xe6\x97\xa5\xe6\x9c\xac"));     // 日本 (3-byte)
+  EXPECT_TRUE(validate_utf8("\xf0\x9f\x98\x80"));             // emoji (4-byte)
+}
+
+TEST(Utf8, RejectsLoneContinuation) { EXPECT_FALSE(validate_utf8("\x80")); }
+
+TEST(Utf8, RejectsOverlong) {
+  EXPECT_FALSE(validate_utf8("\xc0\xaf"));          // overlong '/'
+  EXPECT_FALSE(validate_utf8("\xe0\x80\xaf"));      // overlong 3-byte
+  EXPECT_FALSE(validate_utf8("\xf0\x80\x80\xaf"));  // overlong 4-byte
+}
+
+TEST(Utf8, RejectsSurrogates) {
+  EXPECT_FALSE(validate_utf8("\xed\xa0\x80"));  // U+D800
+  EXPECT_FALSE(validate_utf8("\xed\xbf\xbf"));  // U+DFFF
+  EXPECT_TRUE(validate_utf8("\xed\x9f\xbf"));   // U+D7FF is fine
+}
+
+TEST(Utf8, RejectsAboveMaxCodepoint) {
+  EXPECT_FALSE(validate_utf8("\xf4\x90\x80\x80"));  // U+110000
+  EXPECT_TRUE(validate_utf8("\xf4\x8f\xbf\xbf"));   // U+10FFFF is fine
+}
+
+TEST(Utf8, RejectsTruncatedSequences) {
+  EXPECT_FALSE(validate_utf8("\xc3"));
+  EXPECT_FALSE(validate_utf8("\xe6\x97"));
+  EXPECT_FALSE(validate_utf8("\xf0\x9f\x98"));
+}
+
+TEST(Utf8, RejectsF5AndAboveLeads) {
+  EXPECT_FALSE(validate_utf8("\xf5\x80\x80\x80"));
+  EXPECT_FALSE(validate_utf8("\xff"));
+}
+
+// Property: SWAR validator agrees with the scalar DFA on random inputs,
+// including strings with ASCII runs straddling the 8-byte boundary.
+TEST(Utf8, SwarMatchesScalarOnRandomBytes) {
+  std::mt19937_64 rng(dpurpc::kDefaultSeed);
+  for (int i = 0; i < 3000; ++i) {
+    size_t n = rng() % 64;
+    std::string s = dpurpc::random_bytes(rng, n);
+    const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+    EXPECT_EQ(validate_utf8(p, n), validate_utf8_scalar(p, n)) << dpurpc::hex_dump(dpurpc::as_bytes_view(s));
+  }
+}
+
+TEST(Utf8, SwarMatchesScalarOnValidMixed) {
+  std::mt19937_64 rng(dpurpc::kDefaultSeed);
+  const char* pieces[] = {"a", "bcdefghij", "\xc3\xa9", "\xe6\x97\xa5",
+                          "\xf0\x9f\x98\x80", "0123456789abcdef"};
+  for (int i = 0; i < 2000; ++i) {
+    std::string s;
+    int n_pieces = 1 + static_cast<int>(rng() % 8);
+    for (int j = 0; j < n_pieces; ++j) s += pieces[rng() % std::size(pieces)];
+    EXPECT_TRUE(validate_utf8(s));
+    const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+    EXPECT_TRUE(validate_utf8_scalar(p, s.size()));
+  }
+}
+
+}  // namespace
+}  // namespace dpurpc::wire

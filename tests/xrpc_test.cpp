@@ -1,0 +1,177 @@
+// Tests for the xRPC transport: framing, server/channel behaviour,
+// concurrent outstanding calls, and failure handling.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "xrpc/channel.hpp"
+#include "xrpc/server.hpp"
+
+namespace dpurpc::xrpc {
+namespace {
+
+std::unique_ptr<Server> echo_server() {
+  auto server = Server::start(
+      [](const std::string& method, Bytes payload, Server::Responder respond) {
+        if (method == "test.Echo/Echo") {
+          respond(Code::kOk, ByteSpan(payload));
+        } else if (method == "test.Echo/Fail") {
+          respond(Code::kInvalidArgument, {});
+        } else {
+          respond(Code::kNotFound, {});
+        }
+      });
+  EXPECT_TRUE(server.is_ok()) << server.status().to_string();
+  return std::move(*server);
+}
+
+TEST(Xrpc, SyncEchoRoundTrip) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok()) << chan.status().to_string();
+  auto resp = (*chan)->call("test.Echo/Echo", as_bytes_view("ping"));
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(as_string_view(ByteSpan(*resp)), "ping");
+}
+
+TEST(Xrpc, EmptyPayload) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto resp = (*chan)->call("test.Echo/Echo", {});
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_TRUE(resp->empty());
+}
+
+TEST(Xrpc, LargePayload) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  std::mt19937_64 rng(kDefaultSeed);
+  std::string big = random_bytes(rng, 1 << 20);
+  auto resp = (*chan)->call("test.Echo/Echo", as_bytes_view(big));
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(as_string_view(ByteSpan(*resp)), big);
+}
+
+TEST(Xrpc, ErrorStatusPropagates) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto resp = (*chan)->call("test.Echo/Fail", as_bytes_view("x"));
+  EXPECT_EQ(resp.status().code(), Code::kInvalidArgument);
+}
+
+TEST(Xrpc, UnknownMethodNotFound) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto resp = (*chan)->call("test.Echo/NoSuch", {});
+  EXPECT_EQ(resp.status().code(), Code::kNotFound);
+}
+
+TEST(Xrpc, ManyConcurrentOutstandingCalls) {
+  // Multiplexing by call_id: issue a burst async, answers can interleave.
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  constexpr int kN = 200;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kN; ++i) {
+    std::string payload = "call-" + std::to_string(i);
+    ASSERT_TRUE((*chan)
+                    ->call_async("test.Echo/Echo", as_bytes_view(payload),
+                                 [&, payload](Code c, Bytes p) {
+                                   EXPECT_EQ(c, Code::kOk);
+                                   EXPECT_EQ(as_string_view(ByteSpan(p)), payload);
+                                   std::lock_guard lk(mu);
+                                   ++done;
+                                   cv.notify_all();
+                                 })
+                    .is_ok());
+  }
+  std::unique_lock lk(mu);
+  ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(10), [&] { return done == kN; }));
+  EXPECT_EQ((*chan)->outstanding(), 0u);
+}
+
+TEST(Xrpc, MultipleClientsOneServer) {
+  auto server = echo_server();
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto chan = Channel::connect(server->port());
+      ASSERT_TRUE(chan.is_ok());
+      for (int i = 0; i < 25; ++i) {
+        std::string p = "c" + std::to_string(c) + "-" + std::to_string(i);
+        auto resp = (*chan)->call("test.Echo/Echo", as_bytes_view(p));
+        ASSERT_TRUE(resp.is_ok());
+        EXPECT_EQ(as_string_view(ByteSpan(*resp)), p);
+        ++ok;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * 25);
+  EXPECT_EQ(server->requests_accepted(), static_cast<uint64_t>(kClients * 25));
+}
+
+TEST(Xrpc, ServerShutdownFailsInFlightCalls) {
+  auto server = Server::start(
+      [](const std::string&, Bytes, Server::Responder) { /* never responds */ });
+  ASSERT_TRUE(server.is_ok());
+  auto chan = Channel::connect((*server)->port());
+  ASSERT_TRUE(chan.is_ok());
+  std::atomic<bool> failed{false};
+  ASSERT_TRUE((*chan)
+                  ->call_async("x/Y", {},
+                               [&](Code c, Bytes) {
+                                 EXPECT_NE(c, Code::kOk);
+                                 failed = true;
+                               })
+                  .is_ok());
+  (*server)->shutdown();
+  (*chan)->close();  // channel close fails orphans
+  EXPECT_TRUE(failed.load());
+}
+
+TEST(Xrpc, ConnectToClosedPortFails) {
+  // Grab a port, then close it so nothing listens there.
+  uint16_t dead_port;
+  {
+    auto l = Listener::create();
+    ASSERT_TRUE(l.is_ok());
+    dead_port = l->port();
+  }
+  auto chan = Channel::connect(dead_port);
+  EXPECT_FALSE(chan.is_ok());
+}
+
+TEST(Xrpc, AsyncCallbackRunsOffCallerThread) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> checked{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  ASSERT_TRUE((*chan)
+                  ->call_async("test.Echo/Echo", as_bytes_view("t"),
+                               [&](Code, Bytes) {
+                                 EXPECT_NE(std::this_thread::get_id(), caller);
+                                 checked = true;
+                                 cv.notify_all();
+                               })
+                  .is_ok());
+  std::unique_lock lk(mu);
+  cv.wait_for(lk, std::chrono::seconds(5), [&] { return checked.load(); });
+  EXPECT_TRUE(checked.load());
+}
+
+}  // namespace
+}  // namespace dpurpc::xrpc

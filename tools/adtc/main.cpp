@@ -1,0 +1,91 @@
+// adtc — the "custom protobuf plugin" of the paper (§V.B, §V.D) as a
+// standalone protoc-like compiler.
+//
+//   adtc --out <dir> --base <name> file1.proto [file2.proto ...]
+//
+// Parses the proto3 sources into one descriptor pool and emits
+// <name>.pb.{h,cc} (message classes) and <name>.adt.pb.{h,cc}
+// (Accelerator Description Table registration + service introspection).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "proto/codegen.hpp"
+#include "proto/schema_parser.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: adtc --out <dir> --base <name> <file.proto>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::string base;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--base" && i + 1 < argc) {
+      base = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "adtc: unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+  if (base.empty()) {
+    base = std::filesystem::path(inputs.front()).stem().string();
+  }
+
+  dpurpc::proto::DescriptorPool pool;
+  dpurpc::proto::SchemaParser parser(pool);
+  for (const auto& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "adtc: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+    auto st = parser.parse_file(src.str(), path);
+    if (!st.is_ok()) {
+      std::cerr << "adtc: " << st.to_string() << "\n";
+      return 1;
+    }
+  }
+  {
+    auto st = pool.link();
+    if (!st.is_ok()) {
+      std::cerr << "adtc: " << st.to_string() << "\n";
+      return 1;
+    }
+  }
+
+  auto files = dpurpc::proto::CodeGenerator::generate(pool, base);
+  if (!files.is_ok()) {
+    std::cerr << "adtc: " << files.status().to_string() << "\n";
+    return 1;
+  }
+  std::filesystem::create_directories(out_dir);
+  for (const auto& f : *files) {
+    auto path = std::filesystem::path(out_dir) / f.name;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "adtc: cannot write " << path << "\n";
+      return 1;
+    }
+    out << f.content;
+  }
+  std::cout << "adtc: generated " << files->size() << " files in " << out_dir << "\n";
+  return 0;
+}
