@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_credits.cpp" "bench/CMakeFiles/ablation_credits.dir/ablation_credits.cpp.o" "gcc" "bench/CMakeFiles/ablation_credits.dir/ablation_credits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adt/CMakeFiles/dpurpc_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/dpurpc_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dpurpc_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/arena/CMakeFiles/dpurpc_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dpurpc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/simverbs/CMakeFiles/dpurpc_simverbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpurpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

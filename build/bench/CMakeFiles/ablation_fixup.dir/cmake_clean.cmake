@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fixup.dir/ablation_fixup.cpp.o"
+  "CMakeFiles/ablation_fixup.dir/ablation_fixup.cpp.o.d"
+  "ablation_fixup"
+  "ablation_fixup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

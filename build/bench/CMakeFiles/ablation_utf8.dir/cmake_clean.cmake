@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_utf8.dir/ablation_utf8.cpp.o"
+  "CMakeFiles/ablation_utf8.dir/ablation_utf8.cpp.o.d"
+  "ablation_utf8"
+  "ablation_utf8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_utf8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

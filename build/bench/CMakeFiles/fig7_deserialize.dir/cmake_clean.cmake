@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_deserialize.dir/fig7_deserialize.cpp.o"
+  "CMakeFiles/fig7_deserialize.dir/fig7_deserialize.cpp.o.d"
+  "fig7_deserialize"
+  "fig7_deserialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_deserialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_datapath.dir/fig8_datapath.cpp.o"
+  "CMakeFiles/fig8_datapath.dir/fig8_datapath.cpp.o.d"
+  "fig8_datapath"
+  "fig8_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

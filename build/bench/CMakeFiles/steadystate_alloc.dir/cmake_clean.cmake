@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steadystate_alloc.dir/steadystate_alloc.cpp.o"
+  "CMakeFiles/steadystate_alloc.dir/steadystate_alloc.cpp.o.d"
+  "steadystate_alloc"
+  "steadystate_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steadystate_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

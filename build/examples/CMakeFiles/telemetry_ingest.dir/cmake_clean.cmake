@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_ingest.dir/gen/telemetry.adt.pb.cc.o"
+  "CMakeFiles/telemetry_ingest.dir/gen/telemetry.adt.pb.cc.o.d"
+  "CMakeFiles/telemetry_ingest.dir/gen/telemetry.pb.cc.o"
+  "CMakeFiles/telemetry_ingest.dir/gen/telemetry.pb.cc.o.d"
+  "CMakeFiles/telemetry_ingest.dir/telemetry_ingest.cpp.o"
+  "CMakeFiles/telemetry_ingest.dir/telemetry_ingest.cpp.o.d"
+  "gen/telemetry.adt.pb.cc"
+  "gen/telemetry.adt.pb.h"
+  "gen/telemetry.pb.cc"
+  "gen/telemetry.pb.h"
+  "telemetry_ingest"
+  "telemetry_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("metrics")
+subdirs("wire")
+subdirs("arena")
+subdirs("proto")
+subdirs("adt")
+subdirs("simverbs")
+subdirs("dpu")
+subdirs("rdmarpc")
+subdirs("xrpc")
+subdirs("grpccompat")
+subdirs("msgs")

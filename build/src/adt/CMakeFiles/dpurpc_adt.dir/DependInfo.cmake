@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adt/adt.cpp" "src/adt/CMakeFiles/dpurpc_adt.dir/adt.cpp.o" "gcc" "src/adt/CMakeFiles/dpurpc_adt.dir/adt.cpp.o.d"
+  "/root/repo/src/adt/arena_deserializer.cpp" "src/adt/CMakeFiles/dpurpc_adt.dir/arena_deserializer.cpp.o" "gcc" "src/adt/CMakeFiles/dpurpc_adt.dir/arena_deserializer.cpp.o.d"
+  "/root/repo/src/adt/json_format.cpp" "src/adt/CMakeFiles/dpurpc_adt.dir/json_format.cpp.o" "gcc" "src/adt/CMakeFiles/dpurpc_adt.dir/json_format.cpp.o.d"
+  "/root/repo/src/adt/object_codec.cpp" "src/adt/CMakeFiles/dpurpc_adt.dir/object_codec.cpp.o" "gcc" "src/adt/CMakeFiles/dpurpc_adt.dir/object_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpurpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dpurpc_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/arena/CMakeFiles/dpurpc_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/dpurpc_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

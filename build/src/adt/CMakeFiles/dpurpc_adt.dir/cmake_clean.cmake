@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_adt.dir/adt.cpp.o"
+  "CMakeFiles/dpurpc_adt.dir/adt.cpp.o.d"
+  "CMakeFiles/dpurpc_adt.dir/arena_deserializer.cpp.o"
+  "CMakeFiles/dpurpc_adt.dir/arena_deserializer.cpp.o.d"
+  "CMakeFiles/dpurpc_adt.dir/json_format.cpp.o"
+  "CMakeFiles/dpurpc_adt.dir/json_format.cpp.o.d"
+  "CMakeFiles/dpurpc_adt.dir/object_codec.cpp.o"
+  "CMakeFiles/dpurpc_adt.dir/object_codec.cpp.o.d"
+  "libdpurpc_adt.a"
+  "libdpurpc_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

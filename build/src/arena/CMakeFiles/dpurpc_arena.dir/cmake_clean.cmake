@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_arena.dir/arena.cpp.o"
+  "CMakeFiles/dpurpc_arena.dir/arena.cpp.o.d"
+  "CMakeFiles/dpurpc_arena.dir/string_craft.cpp.o"
+  "CMakeFiles/dpurpc_arena.dir/string_craft.cpp.o.d"
+  "libdpurpc_arena.a"
+  "libdpurpc_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_common.dir/bytes.cpp.o"
+  "CMakeFiles/dpurpc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dpurpc_common.dir/status.cpp.o"
+  "CMakeFiles/dpurpc_common.dir/status.cpp.o.d"
+  "libdpurpc_common.a"
+  "libdpurpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_grpccompat.dir/bootstrap.cpp.o"
+  "CMakeFiles/dpurpc_grpccompat.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/dpurpc_grpccompat.dir/dpu_proxy.cpp.o"
+  "CMakeFiles/dpurpc_grpccompat.dir/dpu_proxy.cpp.o.d"
+  "CMakeFiles/dpurpc_grpccompat.dir/host_service.cpp.o"
+  "CMakeFiles/dpurpc_grpccompat.dir/host_service.cpp.o.d"
+  "CMakeFiles/dpurpc_grpccompat.dir/manifest.cpp.o"
+  "CMakeFiles/dpurpc_grpccompat.dir/manifest.cpp.o.d"
+  "libdpurpc_grpccompat.a"
+  "libdpurpc_grpccompat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_grpccompat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

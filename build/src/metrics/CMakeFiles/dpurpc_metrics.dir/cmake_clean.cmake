@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/dpurpc_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/dpurpc_metrics.dir/monitor.cpp.o"
+  "CMakeFiles/dpurpc_metrics.dir/monitor.cpp.o.d"
+  "libdpurpc_metrics.a"
+  "libdpurpc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

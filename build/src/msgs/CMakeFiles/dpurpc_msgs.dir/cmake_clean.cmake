@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_msgs.dir/gen/bench_messages.adt.pb.cc.o"
+  "CMakeFiles/dpurpc_msgs.dir/gen/bench_messages.adt.pb.cc.o.d"
+  "CMakeFiles/dpurpc_msgs.dir/gen/bench_messages.pb.cc.o"
+  "CMakeFiles/dpurpc_msgs.dir/gen/bench_messages.pb.cc.o.d"
+  "gen/bench_messages.adt.pb.cc"
+  "gen/bench_messages.adt.pb.h"
+  "gen/bench_messages.pb.cc"
+  "gen/bench_messages.pb.h"
+  "libdpurpc_msgs.a"
+  "libdpurpc_msgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_msgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

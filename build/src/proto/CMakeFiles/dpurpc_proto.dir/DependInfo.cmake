@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/codegen.cpp" "src/proto/CMakeFiles/dpurpc_proto.dir/codegen.cpp.o" "gcc" "src/proto/CMakeFiles/dpurpc_proto.dir/codegen.cpp.o.d"
+  "/root/repo/src/proto/descriptor.cpp" "src/proto/CMakeFiles/dpurpc_proto.dir/descriptor.cpp.o" "gcc" "src/proto/CMakeFiles/dpurpc_proto.dir/descriptor.cpp.o.d"
+  "/root/repo/src/proto/dynamic_message.cpp" "src/proto/CMakeFiles/dpurpc_proto.dir/dynamic_message.cpp.o" "gcc" "src/proto/CMakeFiles/dpurpc_proto.dir/dynamic_message.cpp.o.d"
+  "/root/repo/src/proto/schema_parser.cpp" "src/proto/CMakeFiles/dpurpc_proto.dir/schema_parser.cpp.o" "gcc" "src/proto/CMakeFiles/dpurpc_proto.dir/schema_parser.cpp.o.d"
+  "/root/repo/src/proto/text_format.cpp" "src/proto/CMakeFiles/dpurpc_proto.dir/text_format.cpp.o" "gcc" "src/proto/CMakeFiles/dpurpc_proto.dir/text_format.cpp.o.d"
+  "/root/repo/src/proto/wire_codec.cpp" "src/proto/CMakeFiles/dpurpc_proto.dir/wire_codec.cpp.o" "gcc" "src/proto/CMakeFiles/dpurpc_proto.dir/wire_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpurpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/dpurpc_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

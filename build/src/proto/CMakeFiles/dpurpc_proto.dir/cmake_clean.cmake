@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_proto.dir/codegen.cpp.o"
+  "CMakeFiles/dpurpc_proto.dir/codegen.cpp.o.d"
+  "CMakeFiles/dpurpc_proto.dir/descriptor.cpp.o"
+  "CMakeFiles/dpurpc_proto.dir/descriptor.cpp.o.d"
+  "CMakeFiles/dpurpc_proto.dir/dynamic_message.cpp.o"
+  "CMakeFiles/dpurpc_proto.dir/dynamic_message.cpp.o.d"
+  "CMakeFiles/dpurpc_proto.dir/schema_parser.cpp.o"
+  "CMakeFiles/dpurpc_proto.dir/schema_parser.cpp.o.d"
+  "CMakeFiles/dpurpc_proto.dir/text_format.cpp.o"
+  "CMakeFiles/dpurpc_proto.dir/text_format.cpp.o.d"
+  "CMakeFiles/dpurpc_proto.dir/wire_codec.cpp.o"
+  "CMakeFiles/dpurpc_proto.dir/wire_codec.cpp.o.d"
+  "libdpurpc_proto.a"
+  "libdpurpc_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdmarpc/block.cpp" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/block.cpp.o" "gcc" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/block.cpp.o.d"
+  "/root/repo/src/rdmarpc/client.cpp" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/client.cpp.o" "gcc" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/client.cpp.o.d"
+  "/root/repo/src/rdmarpc/connection.cpp" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/connection.cpp.o" "gcc" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/connection.cpp.o.d"
+  "/root/repo/src/rdmarpc/offset_allocator.cpp" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/offset_allocator.cpp.o" "gcc" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/offset_allocator.cpp.o.d"
+  "/root/repo/src/rdmarpc/server.cpp" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/server.cpp.o" "gcc" "src/rdmarpc/CMakeFiles/dpurpc_rdmarpc.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpurpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arena/CMakeFiles/dpurpc_arena.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dpurpc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/simverbs/CMakeFiles/dpurpc_simverbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_rdmarpc.dir/block.cpp.o"
+  "CMakeFiles/dpurpc_rdmarpc.dir/block.cpp.o.d"
+  "CMakeFiles/dpurpc_rdmarpc.dir/client.cpp.o"
+  "CMakeFiles/dpurpc_rdmarpc.dir/client.cpp.o.d"
+  "CMakeFiles/dpurpc_rdmarpc.dir/connection.cpp.o"
+  "CMakeFiles/dpurpc_rdmarpc.dir/connection.cpp.o.d"
+  "CMakeFiles/dpurpc_rdmarpc.dir/offset_allocator.cpp.o"
+  "CMakeFiles/dpurpc_rdmarpc.dir/offset_allocator.cpp.o.d"
+  "CMakeFiles/dpurpc_rdmarpc.dir/server.cpp.o"
+  "CMakeFiles/dpurpc_rdmarpc.dir/server.cpp.o.d"
+  "libdpurpc_rdmarpc.a"
+  "libdpurpc_rdmarpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_rdmarpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpurpc_rdmarpc.
+# This may be replaced when dependencies are built.

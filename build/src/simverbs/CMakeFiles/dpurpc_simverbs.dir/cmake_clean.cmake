@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_simverbs.dir/simverbs.cpp.o"
+  "CMakeFiles/dpurpc_simverbs.dir/simverbs.cpp.o.d"
+  "libdpurpc_simverbs.a"
+  "libdpurpc_simverbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_simverbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

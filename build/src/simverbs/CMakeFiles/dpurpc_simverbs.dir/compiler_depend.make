@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpurpc_simverbs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/utf8.cpp" "src/wire/CMakeFiles/dpurpc_wire.dir/utf8.cpp.o" "gcc" "src/wire/CMakeFiles/dpurpc_wire.dir/utf8.cpp.o.d"
+  "/root/repo/src/wire/wire_format.cpp" "src/wire/CMakeFiles/dpurpc_wire.dir/wire_format.cpp.o" "gcc" "src/wire/CMakeFiles/dpurpc_wire.dir/wire_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpurpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

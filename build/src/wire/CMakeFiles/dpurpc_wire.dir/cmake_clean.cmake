@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_wire.dir/utf8.cpp.o"
+  "CMakeFiles/dpurpc_wire.dir/utf8.cpp.o.d"
+  "CMakeFiles/dpurpc_wire.dir/wire_format.cpp.o"
+  "CMakeFiles/dpurpc_wire.dir/wire_format.cpp.o.d"
+  "libdpurpc_wire.a"
+  "libdpurpc_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xrpc/channel.cpp" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/channel.cpp.o" "gcc" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/channel.cpp.o.d"
+  "/root/repo/src/xrpc/frame.cpp" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/frame.cpp.o" "gcc" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/frame.cpp.o.d"
+  "/root/repo/src/xrpc/server.cpp" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/server.cpp.o" "gcc" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/server.cpp.o.d"
+  "/root/repo/src/xrpc/socket.cpp" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/socket.cpp.o" "gcc" "src/xrpc/CMakeFiles/dpurpc_xrpc.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpurpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpurpc_xrpc.dir/channel.cpp.o"
+  "CMakeFiles/dpurpc_xrpc.dir/channel.cpp.o.d"
+  "CMakeFiles/dpurpc_xrpc.dir/frame.cpp.o"
+  "CMakeFiles/dpurpc_xrpc.dir/frame.cpp.o.d"
+  "CMakeFiles/dpurpc_xrpc.dir/server.cpp.o"
+  "CMakeFiles/dpurpc_xrpc.dir/server.cpp.o.d"
+  "CMakeFiles/dpurpc_xrpc.dir/socket.cpp.o"
+  "CMakeFiles/dpurpc_xrpc.dir/socket.cpp.o.d"
+  "libdpurpc_xrpc.a"
+  "libdpurpc_xrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpurpc_xrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpurpc_xrpc.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_rpc_test.dir/background_rpc_test.cpp.o"
+  "CMakeFiles/background_rpc_test.dir/background_rpc_test.cpp.o.d"
+  "background_rpc_test"
+  "background_rpc_test.pdb"
+  "background_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend_stress_test.dir/endtoend_stress_test.cpp.o"
+  "CMakeFiles/endtoend_stress_test.dir/endtoend_stress_test.cpp.o.d"
+  "endtoend_stress_test"
+  "endtoend_stress_test.pdb"
+  "endtoend_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grpccompat_test.dir/grpccompat_test.cpp.o"
+  "CMakeFiles/grpccompat_test.dir/grpccompat_test.cpp.o.d"
+  "grpccompat_test"
+  "grpccompat_test.pdb"
+  "grpccompat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grpccompat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_format_test.dir/json_format_test.cpp.o"
+  "CMakeFiles/json_format_test.dir/json_format_test.cpp.o.d"
+  "json_format_test"
+  "json_format_test.pdb"
+  "json_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgs_test.dir/msgs_test.cpp.o"
+  "CMakeFiles/msgs_test.dir/msgs_test.cpp.o.d"
+  "msgs_test"
+  "msgs_test.pdb"
+  "msgs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilane_test.dir/multilane_test.cpp.o"
+  "CMakeFiles/multilane_test.dir/multilane_test.cpp.o.d"
+  "multilane_test"
+  "multilane_test.pdb"
+  "multilane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

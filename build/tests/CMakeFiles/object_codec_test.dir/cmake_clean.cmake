@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_codec_test.dir/object_codec_test.cpp.o"
+  "CMakeFiles/object_codec_test.dir/object_codec_test.cpp.o.d"
+  "object_codec_test"
+  "object_codec_test.pdb"
+  "object_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poller_test.dir/poller_test.cpp.o"
+  "CMakeFiles/poller_test.dir/poller_test.cpp.o.d"
+  "poller_test"
+  "poller_test.pdb"
+  "poller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

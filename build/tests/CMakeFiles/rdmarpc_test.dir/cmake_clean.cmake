@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmarpc_test.dir/rdmarpc_test.cpp.o"
+  "CMakeFiles/rdmarpc_test.dir/rdmarpc_test.cpp.o.d"
+  "rdmarpc_test"
+  "rdmarpc_test.pdb"
+  "rdmarpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmarpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

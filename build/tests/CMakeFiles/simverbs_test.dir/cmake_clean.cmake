@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simverbs_test.dir/simverbs_test.cpp.o"
+  "CMakeFiles/simverbs_test.dir/simverbs_test.cpp.o.d"
+  "simverbs_test"
+  "simverbs_test.pdb"
+  "simverbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simverbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrpc_test.dir/xrpc_test.cpp.o"
+  "CMakeFiles/xrpc_test.dir/xrpc_test.cpp.o.d"
+  "xrpc_test"
+  "xrpc_test.pdb"
+  "xrpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

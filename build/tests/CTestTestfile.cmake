@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/arena_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/adt_test[1]_include.cmake")
+include("/root/repo/build/tests/simverbs_test[1]_include.cmake")
+include("/root/repo/build/tests/rdmarpc_test[1]_include.cmake")
+include("/root/repo/build/tests/xrpc_test[1]_include.cmake")
+include("/root/repo/build/tests/grpccompat_test[1]_include.cmake")
+include("/root/repo/build/tests/msgs_test[1]_include.cmake")
+include("/root/repo/build/tests/object_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/background_rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/response_offload_test[1]_include.cmake")
+include("/root/repo/build/tests/poller_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/json_format_test[1]_include.cmake")
+include("/root/repo/build/tests/multilane_test[1]_include.cmake")
+include("/root/repo/build/tests/bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/text_format_test[1]_include.cmake")
+include("/root/repo/build/tests/endtoend_stress_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[EndToEndStress.EverythingAtOnce]=]  /root/repo/build/tests/endtoend_stress_test [==[--gtest_filter=EndToEndStress.EverythingAtOnce]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[EndToEndStress.EverythingAtOnce]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  endtoend_stress_test_TESTS EndToEndStress.EverythingAtOnce)

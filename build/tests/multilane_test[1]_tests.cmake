@@ -1,0 +1,3 @@
+add_test([=[MultiLane.ProxyLanesAndHostPoolServeConcurrently]=]  /root/repo/build/tests/multilane_test [==[--gtest_filter=MultiLane.ProxyLanesAndHostPoolServeConcurrently]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MultiLane.ProxyLanesAndHostPoolServeConcurrently]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  multilane_test_TESTS MultiLane.ProxyLanesAndHostPoolServeConcurrently)

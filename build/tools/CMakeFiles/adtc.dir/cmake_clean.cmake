@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adtc.dir/adtc/main.cpp.o"
+  "CMakeFiles/adtc.dir/adtc/main.cpp.o.d"
+  "adtc"
+  "adtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
