@@ -2,8 +2,14 @@
 // messages (§VI.C.1), schema setup, and the DPU scaling hooks.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
 #include <random>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "adt/adt.hpp"
 #include "adt/arena_deserializer.hpp"
@@ -82,6 +88,34 @@ inline Bytes make_small_wire(const BenchEnv& env, uint64_t seed = kDefaultSeed) 
   m.set_float(desc->field_by_name("score"), 1.5f);
   m.set_uint64(desc->field_by_name("stamp"), rng() % (1u << 20));
   return proto::WireCodec::serialize(m);
+}
+
+/// Shared main() body for google-benchmark harnesses: the standard
+/// --benchmark_* flags plus `--json <path>`, which writes the full result
+/// set in google-benchmark's JSON schema (consumed by the figure scripts)
+/// while keeping the human-readable console output.
+inline int run_benchmark_main(int argc, char** argv) {
+  // Rewrite `--json <path>` into google-benchmark's native output flags so
+  // the library handles reporter wiring (and flag validation) itself.
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace dpurpc::bench

@@ -92,4 +92,6 @@ BENCHMARK(BM_CharArray_DPU)->Apply(fig7_char_args)->UseManualTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpurpc::bench::run_benchmark_main(argc, argv);
+}

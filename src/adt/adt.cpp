@@ -3,11 +3,23 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 
+#include "adt/parse_plan.hpp"
 #include "common/align.hpp"
 #include "common/endian.hpp"
 
 namespace dpurpc::adt {
+
+namespace {
+// One mutex for every Adt's plan cache: contention is setup-only (each
+// deserializer fetches the shared_ptr once in its constructor), and a
+// global keeps Adt copyable/movable.
+std::mutex& plan_cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
 
 const FieldEntry* ClassEntry::field_by_number(uint32_t number) const noexcept {
   auto it = std::lower_bound(
@@ -47,11 +59,21 @@ uint32_t Adt::add_class(ClassEntry entry) {
   auto index = static_cast<uint32_t>(classes_.size());
   by_name_.emplace(entry.name, index);
   classes_.push_back(std::move(entry));
+  std::lock_guard lk(plan_cache_mutex());
+  plans_.reset();
   return index;
 }
 
 void Adt::replace_class(uint32_t index, ClassEntry entry) {
   classes_.at(index) = std::move(entry);
+  std::lock_guard lk(plan_cache_mutex());
+  plans_.reset();
+}
+
+std::shared_ptr<const ParsePlanSet> Adt::parse_plans() const {
+  std::lock_guard lk(plan_cache_mutex());
+  if (!plans_) plans_ = std::make_shared<const ParsePlanSet>(ParsePlanSet::build(*this));
+  return plans_;
 }
 
 uint32_t Adt::find_class(std::string_view name) const noexcept {

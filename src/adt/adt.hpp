@@ -15,6 +15,7 @@
 #include <bit>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "proto/descriptor.hpp"
 
 namespace dpurpc::adt {
+
+class ParsePlanSet;  // parse_plan.hpp
 
 // The paper's §IV assumption, made explicit: object crafting stores field
 // values in the C++ native representation, and the wire format is
@@ -104,10 +107,17 @@ class Adt {
   Bytes serialize() const;
   static StatusOr<Adt> deserialize(ByteSpan data);
 
+  /// Per-class parse plans (see parse_plan.hpp), compiled on first use and
+  /// cached so every deserializer over this table — DPU proxy lanes, host
+  /// compat layer — shares one immutable set. Thread-safe; add_class /
+  /// replace_class invalidate the cache.
+  std::shared_ptr<const ParsePlanSet> parse_plans() const;
+
  private:
   std::vector<ClassEntry> classes_;
   std::map<std::string, uint32_t, std::less<>> by_name_;
   AbiFingerprint fingerprint_{};
+  mutable std::shared_ptr<const ParsePlanSet> plans_;  // guarded by plan mutex
 };
 
 /// Build an ADT **from descriptors alone** by synthesizing the C++ layout

@@ -3,10 +3,13 @@
 #include <bit>
 #include <cstring>
 
+#include "adt/parse_plan.hpp"
 #include "common/endian.hpp"
+#include "metrics/metrics.hpp"
 #include "wire/coded_stream.hpp"
 #include "wire/utf8.hpp"
 #include "wire/varint.hpp"
+#include "wire/varint_batch.hpp"
 
 namespace dpurpc::adt {
 
@@ -144,12 +147,36 @@ StatusOr<uint32_t> count_packed_elements(std::string_view payload, FieldType t) 
   }
 }
 
+/// Process-wide deserializer counters (default metrics registry). Looked
+/// up once; the hot path only pays relaxed atomic adds at flush time.
+struct DeserCounters {
+  metrics::Counter& plan_parses;
+  metrics::Counter& interp_parses;
+  metrics::Counter& plan_fields;
+  metrics::Counter& prediction_hits;
+};
+
+DeserCounters& deser_counters() {
+  static DeserCounters c{
+      metrics::default_counter("dpurpc_deser_plan_parses_total",
+                               "Messages deserialized through a parse plan"),
+      metrics::default_counter("dpurpc_deser_interp_parses_total",
+                               "Messages deserialized through the interpretive path"),
+      metrics::default_counter("dpurpc_deser_plan_fields_total",
+                               "Wire fields dispatched through parse-plan slots"),
+      metrics::default_counter("dpurpc_deser_prediction_hits_total",
+                               "Parse-plan next-tag predictions that hit"),
+  };
+  return c;
+}
+
 }  // namespace
 
 ArenaDeserializer::ArenaDeserializer(const Adt* adt, DeserializeOptions options)
     : adt_(adt),
       flavor_(static_cast<arena::StdLibFlavor>(adt->fingerprint().string_flavor)),
-      options_(options) {}
+      options_(options),
+      plans_(options.use_parse_plan ? adt->parse_plans() : nullptr) {}
 
 StatusOr<void*> ArenaDeserializer::deserialize(
     uint32_t class_index, ByteSpan wire, arena::Arena& arena,
@@ -164,15 +191,362 @@ StatusOr<void*> ArenaDeserializer::deserialize(
   }
   // The default-instance copy seeds unset fields *and* the vptr (§V.B).
   std::memcpy(base, cls.default_bytes.data(), cls.size);
-  DPURPC_RETURN_IF_ERROR(parse_into(cls, base, wire, arena, xlate, 0));
+  PlanParseStats stats;
+  DPURPC_RETURN_IF_ERROR(parse_msg(class_index, base, wire, arena, xlate, 0, stats));
   if (xlate.delta != 0) fix_pointers(cls, base, xlate);
+  DeserCounters& c = deser_counters();
+  if (plans_ != nullptr && plans_->for_class(class_index) != nullptr) {
+    c.plan_parses.inc();
+  } else {
+    c.interp_parses.inc();
+  }
+  if (stats.fields != 0) {
+    c.plan_fields.inc(stats.fields);
+    c.prediction_hits.inc(stats.prediction_hits);
+  }
   return static_cast<void*>(base);
+}
+
+Status ArenaDeserializer::parse_msg(uint32_t class_index, std::byte* base,
+                                    ByteSpan wire, arena::Arena& arena,
+                                    const arena::AddressTranslator& xlate,
+                                    int depth, PlanParseStats& stats) const {
+  const ClassEntry& cls = adt_->class_at(class_index);
+  if (plans_ != nullptr) {
+    if (const ParsePlan* plan = plans_->for_class(class_index)) {
+      return parse_with_plan(cls, *plan, base, wire, arena, xlate, depth, stats);
+    }
+  }
+  return parse_into(cls, base, wire, arena, xlate, depth, stats);
+}
+
+// The plan-driven hot loop: one flat switch on a precompiled opcode per
+// wire field, with the next slot predicted from the encoder's ascending
+// field order. Allocation order is kept byte-for-byte identical to
+// parse_into so both paths produce the same arena image (asserted by
+// parse_plan_test).
+Status ArenaDeserializer::parse_with_plan(const ClassEntry& cls, const ParsePlan& plan,
+                                          std::byte* base, ByteSpan wire,
+                                          arena::Arena& arena,
+                                          const arena::AddressTranslator& xlate,
+                                          int depth, PlanParseStats& stats) const {
+  (void)cls;
+  if (depth > options_.max_recursion_depth) {
+    return Status(Code::kDataLoss, "message nesting exceeds recursion limit");
+  }
+  Reader r(wire);
+  const uint32_t string_slot_size = adt_->fingerprint().string_size;
+  uint32_t predicted = plan.first_tag();
+  const PlanSlot* predicted_slot = plan.slot(predicted);
+  uint64_t fields = 0, hits = 0;
+
+  auto set_has = [&](const PlanSlot* s) {
+    if (s->has_mask != 0) {
+      auto* word = reinterpret_cast<uint32_t*>(base + plan.has_bits_offset());
+      *word |= s->has_mask;
+    }
+  };
+
+  while (!r.done()) {
+    auto tag_or = r.read_tag();
+    if (!tag_or.is_ok()) return tag_or.status();
+    const uint32_t tag = *tag_or;
+    ++fields;
+    const PlanSlot* s;
+    if (tag == predicted && predicted_slot != nullptr) [[likely]] {
+      s = predicted_slot;
+      ++hits;
+    } else {
+      s = plan.slot(tag);
+    }
+    if (s == nullptr || s->op == PlanOp::kSkip) {
+      DPURPC_RETURN_IF_ERROR(r.skip_value(wire::tag_wire_type(tag)));
+      predicted = 0;  // unknown field: no prediction until the next hit
+      predicted_slot = nullptr;
+      continue;
+    }
+    std::byte* dst = base + s->offset;
+
+    switch (s->op) {
+      case PlanOp::kWireMismatch:
+        return Status(Code::kDataLoss, "wire type mismatch");
+      case PlanOp::kScalarLen: {
+        auto payload = r.read_length_delimited();
+        if (!payload.is_ok()) return payload.status();
+        return Status(Code::kDataLoss, "length-delimited data for scalar field");
+      }
+
+      // ---------------------------------------------- singular scalars
+      case PlanOp::kVarint32: {
+        auto v = r.read_varint();
+        if (!v.is_ok()) return v.status();
+        dpurpc::store_le(dst, static_cast<uint32_t>(*v));
+        set_has(s);
+        break;
+      }
+      case PlanOp::kVarint64: {
+        auto v = r.read_varint();
+        if (!v.is_ok()) return v.status();
+        dpurpc::store_le(dst, *v);
+        set_has(s);
+        break;
+      }
+      case PlanOp::kVarintSint32: {
+        auto v = r.read_varint();
+        if (!v.is_ok()) return v.status();
+        dpurpc::store_le(dst, static_cast<uint32_t>(wire::zigzag_decode32(
+                                  static_cast<uint32_t>(*v))));
+        set_has(s);
+        break;
+      }
+      case PlanOp::kVarintSint64: {
+        auto v = r.read_varint();
+        if (!v.is_ok()) return v.status();
+        dpurpc::store_le(dst, static_cast<uint64_t>(wire::zigzag_decode64(*v)));
+        set_has(s);
+        break;
+      }
+      case PlanOp::kVarintBool: {
+        auto v = r.read_varint();
+        if (!v.is_ok()) return v.status();
+        *reinterpret_cast<uint8_t*>(dst) = *v != 0 ? 1 : 0;
+        set_has(s);
+        break;
+      }
+      case PlanOp::kFixed32: {
+        auto v = r.read_fixed32();
+        if (!v.is_ok()) return v.status();
+        dpurpc::store_le(dst, *v);
+        set_has(s);
+        break;
+      }
+      case PlanOp::kFixed64: {
+        auto v = r.read_fixed64();
+        if (!v.is_ok()) return v.status();
+        dpurpc::store_le(dst, *v);
+        set_has(s);
+        break;
+      }
+
+      // ------------------------------- unpacked repeated scalar element
+      case PlanOp::kRepVarint32:
+      case PlanOp::kRepVarint64:
+      case PlanOp::kRepVarintSint32:
+      case PlanOp::kRepVarintSint64:
+      case PlanOp::kRepVarintBool:
+      case PlanOp::kRepFixed32:
+      case PlanOp::kRepFixed64: {
+        uint64_t raw;
+        if (s->op == PlanOp::kRepFixed32) {
+          auto v = r.read_fixed32();
+          if (!v.is_ok()) return v.status();
+          raw = *v;
+        } else if (s->op == PlanOp::kRepFixed64) {
+          auto v = r.read_fixed64();
+          if (!v.is_ok()) return v.status();
+          raw = *v;
+        } else {
+          auto v = r.read_varint();
+          if (!v.is_ok()) return v.status();
+          raw = *v;
+        }
+        const uint32_t elem = s->elem_size;
+        auto& h = *reinterpret_cast<RepHeader*>(dst);
+        DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + 1, elem, elem, arena));
+        std::byte* out = static_cast<std::byte*>(h.data) +
+                         static_cast<size_t>(h.size) * elem;
+        switch (s->op) {
+          case PlanOp::kRepVarintSint32:
+            dpurpc::store_le(out, static_cast<uint32_t>(wire::zigzag_decode32(
+                                      static_cast<uint32_t>(raw))));
+            break;
+          case PlanOp::kRepVarintSint64:
+            dpurpc::store_le(out, static_cast<uint64_t>(wire::zigzag_decode64(raw)));
+            break;
+          case PlanOp::kRepVarintBool:
+            *reinterpret_cast<uint8_t*>(out) = raw != 0 ? 1 : 0;
+            break;
+          default:
+            if (elem == 4) {
+              dpurpc::store_le(out, static_cast<uint32_t>(raw));
+            } else {
+              dpurpc::store_le(out, raw);
+            }
+            break;
+        }
+        ++h.size;
+        break;
+      }
+
+      // ------------------------------------------ packed repeated scalars
+      case PlanOp::kPackedFixed32:
+      case PlanOp::kPackedFixed64: {
+        auto payload = r.read_length_delimited();
+        if (!payload.is_ok()) return payload.status();
+        const uint32_t elem = s->elem_size;
+        if (payload->size() % elem != 0) {
+          return Status(Code::kDataLoss,
+                        elem == 4 ? "packed fixed32 payload not a multiple of 4"
+                                  : "packed fixed64 payload not a multiple of 8");
+        }
+        auto count = static_cast<uint32_t>(payload->size() / elem);
+        auto& h = *reinterpret_cast<RepHeader*>(dst);
+        DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + count, elem, elem, arena));
+        std::memcpy(static_cast<std::byte*>(h.data) +
+                        static_cast<size_t>(h.size) * elem,
+                    payload->data(), payload->size());
+        h.size += count;
+        break;
+      }
+      case PlanOp::kPackedVarint32:
+      case PlanOp::kPackedVarint64:
+      case PlanOp::kPackedSint32:
+      case PlanOp::kPackedSint64:
+      case PlanOp::kPackedBool: {
+        auto payload = r.read_length_delimited();
+        if (!payload.is_ok()) return payload.status();
+        const auto* pp = reinterpret_cast<const uint8_t*>(payload->data());
+        const auto* pend = pp + payload->size();
+        // Terminator scan: exact element count for a single allocation,
+        // and the same mid-element truncation check as the interpretive
+        // path. Values are decoded by the batch decoder below.
+        uint32_t count = wire::count_varint_terminators(pp, pend);
+        if (pp != pend && (pend[-1] & 0x80) != 0) {
+          return Status(Code::kDataLoss, "packed varint payload ends mid-element");
+        }
+        const uint32_t elem = s->elem_size;
+        auto& h = *reinterpret_cast<RepHeader*>(dst);
+        DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + count, elem, elem, arena));
+        std::byte* out = static_cast<std::byte*>(h.data) +
+                         static_cast<size_t>(h.size) * elem;
+        const uint8_t* next = nullptr;
+        switch (s->op) {
+          case PlanOp::kPackedVarint32:
+            next = wire::decode_varint_batch32(pp, pend, count,
+                                               reinterpret_cast<uint32_t*>(out));
+            break;
+          case PlanOp::kPackedVarint64:
+            next = wire::decode_varint_batch64(pp, pend, count,
+                                               reinterpret_cast<uint64_t*>(out));
+            break;
+          case PlanOp::kPackedSint32:
+            next = wire::decode_varint_run(
+                pp, pend, count, reinterpret_cast<uint32_t*>(out), [](uint64_t v) {
+                  return static_cast<uint32_t>(
+                      wire::zigzag_decode32(static_cast<uint32_t>(v)));
+                });
+            break;
+          case PlanOp::kPackedSint64:
+            next = wire::decode_varint_run(
+                pp, pend, count, reinterpret_cast<uint64_t*>(out), [](uint64_t v) {
+                  return static_cast<uint64_t>(wire::zigzag_decode64(v));
+                });
+            break;
+          default:  // kPackedBool
+            next = wire::decode_varint_run(
+                pp, pend, count, reinterpret_cast<uint8_t*>(out),
+                [](uint64_t v) { return static_cast<uint8_t>(v != 0 ? 1 : 0); });
+            break;
+        }
+        if (next == nullptr) [[unlikely]] {
+          return Status(Code::kDataLoss, "malformed packed varint");
+        }
+        h.size += count;
+        break;
+      }
+
+      // ------------------------------------------------ strings / bytes
+      case PlanOp::kString:
+      case PlanOp::kBytes: {
+        auto payload = r.read_length_delimited();
+        if (!payload.is_ok()) return payload.status();
+        if (s->op == PlanOp::kString && options_.validate_utf8 &&
+            !wire::validate_utf8(*payload)) {  // SWAR ASCII fast path inside
+          return Status(Code::kDataLoss, "invalid UTF-8 in string field");
+        }
+        DPURPC_RETURN_IF_ERROR(
+            arena::craft_string(dst, *payload, arena, xlate, flavor_));
+        set_has(s);
+        break;
+      }
+      case PlanOp::kRepString:
+      case PlanOp::kRepBytes: {
+        auto payload = r.read_length_delimited();
+        if (!payload.is_ok()) return payload.status();
+        if (s->op == PlanOp::kRepString && options_.validate_utf8 &&
+            !wire::validate_utf8(*payload)) {
+          return Status(Code::kDataLoss, "invalid UTF-8 in string field");
+        }
+        auto& h = *reinterpret_cast<RepHeader*>(dst);
+        DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + 1, sizeof(void*), 8, arena));
+        void* slot = arena.allocate(string_slot_size, 8);
+        if (slot == nullptr) {
+          return Status(Code::kResourceExhausted, "arena full (string slot)");
+        }
+        DPURPC_RETURN_IF_ERROR(
+            arena::craft_string(slot, *payload, arena, xlate, flavor_));
+        static_cast<void**>(h.data)[h.size++] = slot;  // local; fixed up later
+        break;
+      }
+
+      // ------------------------------------------------------- messages
+      case PlanOp::kMessage: {
+        auto payload = r.read_length_delimited();
+        if (!payload.is_ok()) return payload.status();
+        const ClassEntry& child_cls = adt_->class_at(s->aux);
+        // proto3 merge semantics, as in the interpretive path.
+        auto* existing =
+            reinterpret_cast<std::byte*>(dpurpc::load_le<uint64_t>(dst));
+        std::byte* child = existing;
+        if (child == nullptr) {
+          child = static_cast<std::byte*>(
+              arena.allocate(child_cls.size, child_cls.align));
+          if (child == nullptr) {
+            return Status(Code::kResourceExhausted, "arena full (child message)");
+          }
+          std::memcpy(child, child_cls.default_bytes.data(), child_cls.size);
+        }
+        DPURPC_RETURN_IF_ERROR(parse_msg(s->aux, child, as_bytes_view(*payload),
+                                         arena, xlate, depth + 1, stats));
+        dpurpc::store_le(dst, reinterpret_cast<uint64_t>(child));  // local
+        set_has(s);
+        break;
+      }
+      case PlanOp::kRepMessage: {
+        auto payload = r.read_length_delimited();
+        if (!payload.is_ok()) return payload.status();
+        const ClassEntry& child_cls = adt_->class_at(s->aux);
+        auto& h = *reinterpret_cast<RepHeader*>(dst);
+        DPURPC_RETURN_IF_ERROR(ensure_capacity(h, h.size + 1, sizeof(void*), 8, arena));
+        auto* child = static_cast<std::byte*>(
+            arena.allocate(child_cls.size, child_cls.align));
+        if (child == nullptr) {
+          return Status(Code::kResourceExhausted, "arena full (child message)");
+        }
+        std::memcpy(child, child_cls.default_bytes.data(), child_cls.size);
+        DPURPC_RETURN_IF_ERROR(parse_msg(s->aux, child, as_bytes_view(*payload),
+                                         arena, xlate, depth + 1, stats));
+        static_cast<void**>(h.data)[h.size++] = child;  // local; fixed up later
+        break;
+      }
+
+      case PlanOp::kSkip:
+        break;  // handled above; unreachable
+    }
+
+    predicted = s->next_tag;
+    predicted_slot = plan.slot(predicted);
+  }
+
+  stats.fields += fields;
+  stats.prediction_hits += hits;
+  return Status::ok();
 }
 
 Status ArenaDeserializer::parse_into(const ClassEntry& cls, std::byte* base,
                                      ByteSpan wire, arena::Arena& arena,
                                      const arena::AddressTranslator& xlate,
-                                     int depth) const {
+                                     int depth, PlanParseStats& stats) const {
   if (depth > options_.max_recursion_depth) {
     return Status(Code::kDataLoss, "message nesting exceeds recursion limit");
   }
@@ -228,9 +602,9 @@ Status ArenaDeserializer::parse_into(const ClassEntry& cls, std::byte* base,
               return Status(Code::kResourceExhausted, "arena full (child message)");
             }
             std::memcpy(child, child_cls.default_bytes.data(), child_cls.size);
-            DPURPC_RETURN_IF_ERROR(parse_into(child_cls, child,
-                                              as_bytes_view(*payload), arena, xlate,
-                                              depth + 1));
+            DPURPC_RETURN_IF_ERROR(parse_msg(f->child_class, child,
+                                             as_bytes_view(*payload), arena, xlate,
+                                             depth + 1, stats));
             static_cast<void**>(h.data)[h.size++] = child;  // local; fixed up below
           } else {
             // proto3 merge semantics: a repeated occurrence of a singular
@@ -246,9 +620,9 @@ Status ArenaDeserializer::parse_into(const ClassEntry& cls, std::byte* base,
               }
               std::memcpy(child, child_cls.default_bytes.data(), child_cls.size);
             }
-            DPURPC_RETURN_IF_ERROR(parse_into(child_cls, child,
-                                              as_bytes_view(*payload), arena, xlate,
-                                              depth + 1));
+            DPURPC_RETURN_IF_ERROR(parse_msg(f->child_class, child,
+                                             as_bytes_view(*payload), arena, xlate,
+                                             depth + 1, stats));
             dpurpc::store_le(dst, reinterpret_cast<uint64_t>(child));  // local
             set_has_bit(base, cls, *f);
           }

@@ -19,8 +19,12 @@
 
 namespace dpurpc::adt {
 
+class ParsePlan;  // parse_plan.hpp
+
 struct DeserializeOptions {
   bool validate_utf8 = true;       ///< proto3 requires it for `string` fields
+  bool use_parse_plan = true;      ///< tag-fused parse plans (parse_plan.hpp);
+                                   ///< false = interpretive ablation baseline
   int max_recursion_depth = 100;   ///< hostile nesting guard
 };
 
@@ -42,15 +46,32 @@ class ArenaDeserializer {
   const Adt& adt() const noexcept { return *adt_; }
 
  private:
+  /// Per-message-tree tallies, flushed to metrics counters once per
+  /// deserialize() call (keeps atomics off the per-field hot path).
+  struct PlanParseStats {
+    uint64_t fields = 0;
+    uint64_t prediction_hits = 0;
+  };
+
+  /// Dispatch: plan-driven loop when a plan exists for the class and
+  /// options enabled it, interpretive loop otherwise.
+  Status parse_msg(uint32_t class_index, std::byte* base, ByteSpan wire,
+                   arena::Arena& arena, const arena::AddressTranslator& xlate,
+                   int depth, PlanParseStats& stats) const;
+  Status parse_with_plan(const ClassEntry& cls, const ParsePlan& plan,
+                         std::byte* base, ByteSpan wire, arena::Arena& arena,
+                         const arena::AddressTranslator& xlate, int depth,
+                         PlanParseStats& stats) const;
   Status parse_into(const ClassEntry& cls, std::byte* base, ByteSpan wire,
                     arena::Arena& arena, const arena::AddressTranslator& xlate,
-                    int depth) const;
+                    int depth, PlanParseStats& stats) const;
   void fix_pointers(const ClassEntry& cls, std::byte* base,
                     const arena::AddressTranslator& xlate) const;
 
   const Adt* adt_;
   arena::StdLibFlavor flavor_;
   DeserializeOptions options_;
+  std::shared_ptr<const ParsePlanSet> plans_;  ///< null when plans disabled
 };
 
 /// Typed, bounds-checked read access to an object produced by

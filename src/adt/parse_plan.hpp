@@ -1,0 +1,109 @@
+// Per-class parse plans: the precompiled datapath for the deserializer.
+//
+// The interpretive hot loop pays a binary-search field lookup plus a
+// nested type/wire-type/repeated switch for every field of every message.
+// A ParsePlan flattens all of that, once per class at ADT load time, into
+// a dense table keyed by the full wire *tag* (field number << 3 | wire
+// type): each slot holds a fused opcode (wire shape × storage op), the
+// precomputed destination offset, has-bit mask, auxiliary data (child
+// class / element size), and the predicted next tag. Protobuf encoders
+// emit fields in ascending field-number order, so the steady-state loop
+// is: read tag, hit the predicted slot, dispatch through one flat switch.
+//
+// Plans are built lazily (Adt::parse_plans()), cached by class index, and
+// shared by every deserializer over the same table — the DPU proxy lanes
+// and the host compat layer. Classes with field numbers above
+// kMaxPlanFieldNumber get no plan; the deserializer falls back to the
+// interpretive path for those classes only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adt/adt.hpp"
+
+namespace dpurpc::adt {
+
+/// Fused dispatch opcode: everything the hot loop switched on at runtime
+/// (field type × wire type × repeatedness), resolved at plan-build time.
+enum class PlanOp : uint8_t {
+  kSkip = 0,        ///< unknown field: skip by the tag's wire type
+  kWireMismatch,    ///< known field, non-LEN tag with the wrong wire type
+  kScalarLen,       ///< LEN data for a singular scalar (kDataLoss)
+  // Singular scalars.
+  kVarint32,        ///< int32 / uint32 / enum -> u32 slot
+  kVarint64,        ///< int64 / uint64 -> u64 slot
+  kVarintSint32,    ///< sint32 (zigzag)
+  kVarintSint64,    ///< sint64 (zigzag)
+  kVarintBool,      ///< bool -> 1-byte slot
+  kFixed32,         ///< fixed32 / sfixed32 / float
+  kFixed64,         ///< fixed64 / sfixed64 / double
+  // Unpacked occurrences of repeated scalars (one element appended).
+  kRepVarint32, kRepVarint64, kRepVarintSint32, kRepVarintSint64,
+  kRepVarintBool, kRepFixed32, kRepFixed64,
+  // Packed repeated scalars (LEN payload, batch decode).
+  kPackedVarint32, kPackedVarint64, kPackedSint32, kPackedSint64,
+  kPackedBool, kPackedFixed32, kPackedFixed64,
+  // Length-delimited fields.
+  kString, kBytes, kRepString, kRepBytes,
+  kMessage, kRepMessage,
+};
+
+/// One tag's precompiled parse step.
+struct PlanSlot {
+  PlanOp op = PlanOp::kSkip;
+  uint8_t elem_size = 0;   ///< scalar element size (repeated/packed ops)
+  uint32_t offset = 0;     ///< field storage offset within the instance
+  uint32_t has_mask = 0;   ///< 1 << has_bit, or 0
+  uint32_t aux = 0;        ///< child class index (message ops)
+  uint32_t next_tag = 0;   ///< predicted next wire tag
+};
+
+/// Dense-by-tag parse program for one class.
+class ParsePlan {
+ public:
+  /// Slot for `tag`, or nullptr for tags beyond the table (unknown field).
+  const PlanSlot* slot(uint32_t tag) const noexcept {
+    return tag < slots_.size() ? &slots_[tag] : nullptr;
+  }
+
+  /// Prediction seed: the tag the encoder emits first (lowest field).
+  uint32_t first_tag() const noexcept { return first_tag_; }
+  uint32_t has_bits_offset() const noexcept { return has_bits_offset_; }
+  size_t table_size() const noexcept { return slots_.size(); }
+
+ private:
+  friend class ParsePlanSet;
+  std::vector<PlanSlot> slots_;
+  uint32_t first_tag_ = 0;
+  uint32_t has_bits_offset_ = 0;
+};
+
+/// Field numbers above this get no dense slot; such classes fall back to
+/// the interpretive parser (the table would be 8 slots per field number).
+inline constexpr uint32_t kMaxPlanFieldNumber = 1024;
+
+/// All of one ADT's plans, indexed by class index.
+class ParsePlanSet {
+ public:
+  /// Compile plans for every eligible class of `adt`.
+  static ParsePlanSet build(const Adt& adt);
+
+  /// Plan for a class, or nullptr when the class is interpretive-only.
+  const ParsePlan* for_class(uint32_t class_index) const noexcept {
+    if (class_index >= plans_.size() || !built_[class_index]) return nullptr;
+    return &plans_[class_index];
+  }
+
+  size_t plan_count() const noexcept {
+    size_t n = 0;
+    for (bool b : built_) n += b ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<ParsePlan> plans_;
+  std::vector<bool> built_;
+};
+
+}  // namespace dpurpc::adt

@@ -213,4 +213,8 @@ Registry& default_registry() {
   return *r;
 }
 
+Counter& default_counter(std::string name, std::string help) {
+  return default_registry().counter_family(std::move(name), std::move(help)).counter();
+}
+
 }  // namespace dpurpc::metrics

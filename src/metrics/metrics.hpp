@@ -155,4 +155,8 @@ class Registry {
 /// Process-wide default registry.
 Registry& default_registry();
 
+/// Unlabeled counter in the default registry. Idempotent per name; hot
+/// paths should cache the returned reference (registration takes a lock).
+Counter& default_counter(std::string name, std::string help);
+
 }  // namespace dpurpc::metrics

@@ -55,6 +55,17 @@ bool is_packable(FieldType t) noexcept {
   }
 }
 
+uint32_t canonical_tag(uint32_t number, FieldType t) noexcept {
+  return wire::make_tag(number, wire_type_for(t));
+}
+
+uint32_t emitted_tag(uint32_t number, FieldType t, bool repeated) noexcept {
+  if (repeated && is_packable(t)) {
+    return wire::make_tag(number, wire::WireType::kLengthDelimited);
+  }
+  return canonical_tag(number, t);
+}
+
 const MessageDescriptor* DescriptorPool::find_message(std::string_view full_name) const noexcept {
   auto it = messages_.find(full_name);
   return it == messages_.end() ? nullptr : it->second.get();

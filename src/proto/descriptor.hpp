@@ -43,6 +43,15 @@ wire::WireType wire_type_for(FieldType t) noexcept;
 /// True for numeric/bool/enum types that proto3 packs when repeated.
 bool is_packable(FieldType t) noexcept;
 
+/// Wire tag (field number << 3 | wire type) a field of this type carries in
+/// its unpacked form.
+uint32_t canonical_tag(uint32_t number, FieldType t) noexcept;
+
+/// Wire tag the reference serializer actually emits for the field: packed
+/// repeated scalars go length-delimited, everything else is canonical.
+/// This is the ADT parse-plan compiler's next-field prediction source.
+uint32_t emitted_tag(uint32_t number, FieldType t, bool repeated) noexcept;
+
 /// One field of a message.
 class FieldDescriptor {
  public:

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -190,6 +191,19 @@ TEST(EndToEndStress, EverythingAtOnce) {
   EXPECT_EQ(proxy.stats().deserialize_failures.load(), 0u);
   EXPECT_EQ(dpu_conn.tx_counters().rnr_events.load(), 0u);
   EXPECT_EQ(host_conn.tx_counters().rnr_events.load(), 0u);
+
+  // Reclamation is asynchronous: the final responses' send-completion and
+  // credit-return events still have to drain through both pollers after the
+  // last client call returns. Wait (bounded) for quiescence while both
+  // sides are still polling, then shut down and assert.
+  auto quiescent = [&] {
+    return dpu_conn.allocator().used() == 0 && host_conn.allocator().used() == 0 &&
+           dpu_conn.credits_available() == cfg.credits &&
+           host_conn.credits_available() == cfg.credits;
+  };
+  for (int spin = 0; spin < 5000 && !quiescent(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 
   proxy.stop();
   stop.store(true);

@@ -1,0 +1,406 @@
+// Tests for the parse-plan compiler and the plan-driven deserializer loop.
+//
+// The load-bearing property is *bit-for-bit equivalence*: with
+// use_parse_plan toggled, the deserializer must produce identical arena
+// images (same allocation order, sizes, and contents) and identical error
+// statuses for malformed input — the interpretive path stays as the
+// ablation baseline, so any divergence would poison the comparison.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "adt/adt.hpp"
+#include "adt/arena_deserializer.hpp"
+#include "adt/parse_plan.hpp"
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "proto/dynamic_message.hpp"
+#include "proto/schema_parser.hpp"
+#include "wire/coded_stream.hpp"
+
+namespace dpurpc::adt {
+namespace {
+
+using arena::AddressTranslator;
+using arena::StdLibFlavor;
+using proto::DynamicMessage;
+using proto::WireCodec;
+
+constexpr std::string_view kSchema = R"(
+syntax = "proto3";
+package bench;
+
+message Small {
+  int32 id = 1;
+  bool flag = 2;
+  float score = 3;
+  uint64 stamp = 4;
+}
+message IntArray { repeated uint32 values = 1; }
+message CharArray { string data = 1; }
+message Nested {
+  Small head = 1;
+  repeated Small items = 2;
+  string label = 3;
+  repeated string tags = 4;
+  repeated sint64 deltas = 5;
+  double weight = 6;
+}
+message Recur { Recur next = 1; int32 depth = 2; }
+)";
+
+class ParsePlanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    proto::SchemaParser parser(pool_);
+    auto st = parser.parse_and_link(kSchema);
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+    DescriptorAdtBuilder builder(StdLibFlavor::kLibstdcpp);
+    for (const char* name :
+         {"bench.Small", "bench.IntArray", "bench.CharArray", "bench.Nested",
+          "bench.Recur"}) {
+      auto idx = builder.add_message(pool_.find_message(name));
+      ASSERT_TRUE(idx.is_ok()) << idx.status().to_string();
+    }
+    adt_ = std::move(builder).take();
+    adt_.set_fingerprint(AbiFingerprint::current(StdLibFlavor::kLibstdcpp));
+    ASSERT_TRUE(adt_.validate().is_ok());
+  }
+
+  uint32_t cls(std::string_view name) const {
+    uint32_t i = adt_.find_class(name);
+    EXPECT_NE(i, UINT32_MAX) << name;
+    return i;
+  }
+
+  /// Deserialize `wire` through both paths into poisoned buffers whose
+  /// pointers are rebased to one shared fake receiver base, so equal
+  /// allocation behavior ⇒ byte-identical images.
+  struct PathResult {
+    Status status = Status::ok();
+    size_t used = 0;
+    std::vector<std::byte> image;
+  };
+  PathResult run_path(uint32_t class_index, ByteSpan wire, bool use_plan,
+                      size_t buf_size = 1 << 16) {
+    PathResult out;
+    std::vector<std::byte> buf(buf_size);
+    std::memset(buf.data(), 0xAA, buf.size());
+    arena::Arena arena(buf.data(), buf.size());
+    constexpr uintptr_t kFakeReceiverBase = 0x7f31'0000'0000ull;
+    AddressTranslator xlate{static_cast<ptrdiff_t>(kFakeReceiverBase) -
+                            reinterpret_cast<intptr_t>(buf.data())};
+    DeserializeOptions opts;
+    opts.use_parse_plan = use_plan;
+    ArenaDeserializer deser(&adt_, opts);
+    auto obj = deser.deserialize(class_index, wire, arena, xlate);
+    out.status = obj.is_ok() ? Status::ok() : obj.status();
+    out.used = arena.used();
+    out.image = std::move(buf);
+    return out;
+  }
+
+  void expect_paths_identical(uint32_t class_index, ByteSpan wire,
+                              const char* what) {
+    PathResult plan = run_path(class_index, wire, true);
+    PathResult interp = run_path(class_index, wire, false);
+    EXPECT_EQ(plan.status.is_ok(), interp.status.is_ok()) << what;
+    EXPECT_EQ(plan.status.to_string(), interp.status.to_string()) << what;
+    EXPECT_EQ(plan.used, interp.used) << what;
+    EXPECT_EQ(std::memcmp(plan.image.data(), interp.image.data(),
+                          plan.image.size()),
+              0)
+        << what << ": arena images diverge";
+  }
+
+  Bytes rich_nested_wire() {
+    const auto* nested = pool_.find_message("bench.Nested");
+    const auto* small = pool_.find_message("bench.Small");
+    DynamicMessage m(nested);
+    m.mutable_message(nested->field_by_name("head"))
+        ->set_int64(small->field_by_name("id"), 77);
+    for (int i = 0; i < 5; ++i) {
+      auto* item = m.add_message(nested->field_by_name("items"));
+      item->set_int64(small->field_by_name("id"), i);
+      item->set_uint64(small->field_by_name("flag"), i & 1);
+      m.add_string(nested->field_by_name("tags"),
+                   "tag-" + std::string(40, 'y') + std::to_string(i));
+      m.add_int64(nested->field_by_name("deltas"), (i - 2) * 1'000'000'007ll);
+    }
+    m.set_string(nested->field_by_name("label"), "plan-vs-interp");
+    m.set_double(nested->field_by_name("weight"), 2.75);
+    return WireCodec::serialize(m);
+  }
+
+  proto::DescriptorPool pool_;
+  Adt adt_;
+};
+
+// --------------------------------------------------------- plan building
+
+TEST_F(ParsePlanFixture, PlansCompiledForEveryClass) {
+  auto plans = adt_.parse_plans();
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ(plans->plan_count(), adt_.class_count());
+  const ParsePlan* small = plans->for_class(cls("bench.Small"));
+  ASSERT_NE(small, nullptr);
+  // 4 fields, max number 4: table covers tags [0, 4<<3 | 7].
+  EXPECT_EQ(small->table_size(), ((4u + 1) << 3));
+  // First field (int32 id = 1) seeds the prediction with its varint tag.
+  EXPECT_EQ(small->first_tag(), (1u << 3) | 0u);
+}
+
+TEST_F(ParsePlanFixture, SlotOpsFuseTypeAndWireType) {
+  auto plans = adt_.parse_plans();
+  const ParsePlan* small = plans->for_class(cls("bench.Small"));
+  ASSERT_NE(small, nullptr);
+  // id=1 int32: varint slot decodes, fixed32 slot is a mismatch.
+  EXPECT_EQ(small->slot((1u << 3) | 0u)->op, PlanOp::kVarint32);
+  EXPECT_EQ(small->slot((1u << 3) | 5u)->op, PlanOp::kWireMismatch);
+  // LEN data aimed at a singular scalar is the dedicated error op.
+  EXPECT_EQ(small->slot((1u << 3) | 2u)->op, PlanOp::kScalarLen);
+  // score=3 float: fixed32.
+  EXPECT_EQ(small->slot((3u << 3) | 5u)->op, PlanOp::kFixed32);
+
+  const ParsePlan* ints = plans->for_class(cls("bench.IntArray"));
+  ASSERT_NE(ints, nullptr);
+  // repeated uint32: packed LEN payload plus unpacked varint occurrences.
+  EXPECT_EQ(ints->slot((1u << 3) | 2u)->op, PlanOp::kPackedVarint32);
+  EXPECT_EQ(ints->slot((1u << 3) | 0u)->op, PlanOp::kRepVarint32);
+}
+
+TEST_F(ParsePlanFixture, PredictionFollowsEmittedOrder) {
+  auto plans = adt_.parse_plans();
+  const ParsePlan* small = plans->for_class(cls("bench.Small"));
+  // id(1,varint) -> flag(2,varint) -> score(3,fixed32) -> stamp(4,varint) -> id.
+  EXPECT_EQ(small->slot((1u << 3) | 0u)->next_tag, (2u << 3) | 0u);
+  EXPECT_EQ(small->slot((2u << 3) | 0u)->next_tag, (3u << 3) | 5u);
+  EXPECT_EQ(small->slot((3u << 3) | 5u)->next_tag, (4u << 3) | 0u);
+  EXPECT_EQ(small->slot((4u << 3) | 0u)->next_tag, (1u << 3) | 0u);
+
+  const ParsePlan* nested = plans->for_class(cls("bench.Nested"));
+  // Repeated message/string fields predict their own tag (runs repeat);
+  // packed repeated scalars emit one LEN record, so they predict onward.
+  EXPECT_EQ(nested->slot((2u << 3) | 2u)->next_tag, (2u << 3) | 2u);
+  EXPECT_EQ(nested->slot((4u << 3) | 2u)->next_tag, (4u << 3) | 2u);
+  EXPECT_EQ(nested->slot((5u << 3) | 2u)->next_tag, (6u << 3) | 1u);
+}
+
+TEST_F(ParsePlanFixture, CacheSharedAndInvalidated) {
+  auto a = adt_.parse_plans();
+  auto b = adt_.parse_plans();
+  EXPECT_EQ(a.get(), b.get());  // one compile, shared by all deserializers
+  ClassEntry extra;
+  extra.name = "bench.Extra";
+  extra.size = 16;
+  extra.align = 8;
+  extra.default_bytes.assign(16, 0);
+  adt_.add_class(std::move(extra));
+  auto c = adt_.parse_plans();
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->plan_count(), adt_.class_count());
+}
+
+TEST_F(ParsePlanFixture, HugeFieldNumbersFallBackToInterpreter) {
+  proto::DescriptorPool pool;
+  proto::SchemaParser parser(pool);
+  ASSERT_TRUE(parser
+                  .parse_and_link("syntax = \"proto3\";\n"
+                                  "message Sparse { uint64 v = 2000; }\n")
+                  .is_ok());
+  DescriptorAdtBuilder builder(StdLibFlavor::kLibstdcpp);
+  ASSERT_TRUE(builder.add_message(pool.find_message("Sparse")).is_ok());
+  Adt adt = std::move(builder).take();
+  adt.set_fingerprint(AbiFingerprint::current(StdLibFlavor::kLibstdcpp));
+
+  auto plans = adt.parse_plans();
+  EXPECT_EQ(plans->for_class(0), nullptr);  // no 16k-slot table
+  EXPECT_EQ(plans->plan_count(), 0u);
+
+  // The deserializer still works — through the interpretive path.
+  DynamicMessage m(pool.find_message("Sparse"));
+  m.set_uint64(pool.find_message("Sparse")->field_by_name("v"), 0xabcdefull);
+  Bytes wire = WireCodec::serialize(m);
+  std::vector<std::byte> buf(1 << 12);
+  arena::Arena arena(buf.data(), buf.size());
+  ArenaDeserializer deser(&adt);
+  auto obj = deser.deserialize(0, ByteSpan(wire), arena, {});
+  ASSERT_TRUE(obj.is_ok()) << obj.status().to_string();
+  LayoutView v(&adt, 0, *obj);
+  EXPECT_EQ(v.get_uint64(2000), 0xabcdefull);
+}
+
+// ----------------------------------------- bit-for-bit path equivalence
+
+TEST_F(ParsePlanFixture, IdenticalImagesSmall) {
+  const auto* desc = pool_.find_message("bench.Small");
+  DynamicMessage m(desc);
+  m.set_int64(desc->field_by_name("id"), -42);
+  m.set_uint64(desc->field_by_name("flag"), 1);
+  m.set_float(desc->field_by_name("score"), 3.25f);
+  m.set_uint64(desc->field_by_name("stamp"), 0xdeadbeefull);
+  Bytes wire = WireCodec::serialize(m);
+  expect_paths_identical(cls("bench.Small"), ByteSpan(wire), "Small");
+}
+
+TEST_F(ParsePlanFixture, IdenticalImagesPackedInts) {
+  const auto* desc = pool_.find_message("bench.IntArray");
+  std::mt19937_64 rng(kDefaultSeed);
+  SkewedVarintDistribution dist;
+  DynamicMessage m(desc);
+  for (int i = 0; i < 512; ++i) m.add_uint64(desc->field_by_name("values"), dist(rng));
+  Bytes wire = WireCodec::serialize(m);
+  expect_paths_identical(cls("bench.IntArray"), ByteSpan(wire), "IntArray x512");
+}
+
+TEST_F(ParsePlanFixture, IdenticalImagesLongString) {
+  const auto* desc = pool_.find_message("bench.CharArray");
+  std::mt19937_64 rng(kDefaultSeed);
+  DynamicMessage m(desc);
+  m.set_string(desc->field_by_name("data"), random_ascii(rng, 8000));
+  Bytes wire = WireCodec::serialize(m);
+  expect_paths_identical(cls("bench.CharArray"), ByteSpan(wire), "CharArray x8000");
+}
+
+TEST_F(ParsePlanFixture, IdenticalImagesNestedTree) {
+  Bytes wire = rich_nested_wire();
+  expect_paths_identical(cls("bench.Nested"), ByteSpan(wire), "Nested");
+}
+
+TEST_F(ParsePlanFixture, IdenticalImagesRecursiveChain) {
+  const auto* desc = pool_.find_message("bench.Recur");
+  DynamicMessage m(desc);
+  DynamicMessage* cur = &m;
+  for (int d = 0; d < 40; ++d) {
+    cur->set_int64(desc->field_by_name("depth"), d);
+    cur = cur->mutable_message(desc->field_by_name("next"));
+  }
+  Bytes wire = WireCodec::serialize(m);
+  expect_paths_identical(cls("bench.Recur"), ByteSpan(wire), "Recur x40");
+}
+
+TEST_F(ParsePlanFixture, IdenticalStatusOnTruncations) {
+  Bytes wire = rich_nested_wire();
+  // Every prefix must yield the same ok/error outcome from both paths
+  // (and identical messages when they fail).
+  for (size_t cut = 0; cut <= wire.size(); ++cut) {
+    ByteSpan prefix(wire.data(), cut);
+    PathResult plan = run_path(cls("bench.Nested"), prefix, true);
+    PathResult interp = run_path(cls("bench.Nested"), prefix, false);
+    ASSERT_EQ(plan.status.to_string(), interp.status.to_string())
+        << "prefix len " << cut;
+  }
+}
+
+TEST_F(ParsePlanFixture, IdenticalStatusOnMalformedInput) {
+  struct Case {
+    const char* what;
+    std::vector<uint8_t> wire;
+  };
+  const std::vector<Case> cases = {
+      // fixed32 data on the varint-typed id field.
+      {"wire type mismatch", {(1 << 3) | 5, 1, 2, 3, 4}},
+      // LEN payload aimed at singular scalar id.
+      {"LEN for scalar", {(1 << 3) | 2, 2, 0xFF, 0x01}},
+      // overlong varint (11 continuation bytes).
+      {"overlong varint",
+       {(1 << 3) | 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+        0x80, 0x01}},
+      // group wire types are unsupported.
+      {"group wire type", {(1 << 3) | 3}},
+  };
+  for (const auto& c : cases) {
+    ByteSpan wire(reinterpret_cast<const std::byte*>(c.wire.data()),
+                  c.wire.size());
+    PathResult plan = run_path(cls("bench.Small"), wire, true);
+    PathResult interp = run_path(cls("bench.Small"), wire, false);
+    EXPECT_FALSE(plan.status.is_ok()) << c.what;
+    EXPECT_EQ(plan.status.to_string(), interp.status.to_string()) << c.what;
+  }
+
+  // Packed varint payload ending mid-element, against IntArray.
+  const uint8_t packed_bad[] = {(1 << 3) | 2, 2, 0x80, 0x80};
+  ByteSpan pb(reinterpret_cast<const std::byte*>(packed_bad), sizeof(packed_bad));
+  PathResult plan = run_path(cls("bench.IntArray"), pb, true);
+  PathResult interp = run_path(cls("bench.IntArray"), pb, false);
+  EXPECT_FALSE(plan.status.is_ok());
+  EXPECT_EQ(plan.status.to_string(), interp.status.to_string());
+
+  // Invalid UTF-8 rejected identically by both paths.
+  const uint8_t bad_utf8[] = {(1 << 3) | 2, 2, 0xC0, 0xAF};
+  ByteSpan bu(reinterpret_cast<const std::byte*>(bad_utf8), sizeof(bad_utf8));
+  plan = run_path(cls("bench.CharArray"), bu, true);
+  interp = run_path(cls("bench.CharArray"), bu, false);
+  EXPECT_FALSE(plan.status.is_ok());
+  EXPECT_EQ(plan.status.to_string(), interp.status.to_string());
+}
+
+TEST_F(ParsePlanFixture, IdenticalImagesRandomizedDifferential) {
+  // Random field soup: unknown fields, repeats, merges — both paths must
+  // agree on every byte, every time.
+  const auto* desc = pool_.find_message("bench.Nested");
+  const auto* small = pool_.find_message("bench.Small");
+  std::mt19937_64 rng(kDefaultSeed ^ 0x9e37);
+  for (int round = 0; round < 50; ++round) {
+    DynamicMessage m(desc);
+    if (rng() & 1) {
+      m.mutable_message(desc->field_by_name("head"))
+          ->set_int64(small->field_by_name("id"), static_cast<int64_t>(rng()));
+    }
+    const size_t items = rng() % 6;
+    for (size_t i = 0; i < items; ++i) {
+      m.add_message(desc->field_by_name("items"))
+          ->set_uint64(small->field_by_name("stamp"), rng());
+    }
+    const size_t tags = rng() % 4;
+    for (size_t i = 0; i < tags; ++i) {
+      m.add_string(desc->field_by_name("tags"),
+                   random_ascii(rng, rng() % 120));
+    }
+    const size_t deltas = rng() % 40;
+    for (size_t i = 0; i < deltas; ++i) {
+      m.add_int64(desc->field_by_name("deltas"), static_cast<int64_t>(rng()));
+    }
+    Bytes wire = WireCodec::serialize(m);
+    expect_paths_identical(cls("bench.Nested"), ByteSpan(wire),
+                           ("round " + std::to_string(round)).c_str());
+  }
+}
+
+// -------------------------------------------------- prediction metrics
+
+TEST_F(ParsePlanFixture, PredictionHitsOnInOrderWire) {
+  auto& fields = metrics::default_counter("dpurpc_deser_plan_fields_total", "");
+  auto& hits = metrics::default_counter("dpurpc_deser_prediction_hits_total", "");
+  auto& plan_parses = metrics::default_counter("dpurpc_deser_plan_parses_total", "");
+  const uint64_t f0 = fields.value(), h0 = hits.value(), p0 = plan_parses.value();
+
+  const auto* desc = pool_.find_message("bench.Small");
+  DynamicMessage m(desc);
+  m.set_int64(desc->field_by_name("id"), 1);
+  m.set_uint64(desc->field_by_name("flag"), 1);
+  m.set_float(desc->field_by_name("score"), 1.0f);
+  m.set_uint64(desc->field_by_name("stamp"), 1);
+  Bytes wire = WireCodec::serialize(m);
+  PathResult r = run_path(cls("bench.Small"), ByteSpan(wire), true);
+  ASSERT_TRUE(r.status.is_ok());
+
+  // Encoders emit ascending field order, so all 4 fields are predicted.
+  EXPECT_EQ(plan_parses.value(), p0 + 1);
+  EXPECT_EQ(fields.value(), f0 + 4);
+  EXPECT_EQ(hits.value(), h0 + 4);
+}
+
+TEST_F(ParsePlanFixture, InterpretivePathCountedSeparately) {
+  auto& interp = metrics::default_counter("dpurpc_deser_interp_parses_total", "");
+  const uint64_t i0 = interp.value();
+  Bytes wire;  // empty message is fine
+  PathResult r = run_path(cls("bench.Small"), ByteSpan(wire), false);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(interp.value(), i0 + 1);
+}
+
+}  // namespace
+}  // namespace dpurpc::adt

@@ -8,6 +8,7 @@
 #include "wire/coded_stream.hpp"
 #include "wire/utf8.hpp"
 #include "wire/varint.hpp"
+#include "wire/varint_batch.hpp"
 #include "wire/wire_format.hpp"
 
 namespace dpurpc::wire {
@@ -95,6 +96,135 @@ TEST_P(VarintRoundTrip, EncodeDecodeIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(AllByteLengths, VarintRoundTrip,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Varint, TruncationAtEveryPrefixFails) {
+  // Every strict prefix of a valid encoding must fail cleanly — for every
+  // encoded length class, not just the long ones.
+  for (int len = 1; len <= 10; ++len) {
+    uint64_t v = len == 1 ? 1 : 1ull << (7 * (len - 1));
+    if (len == 10) v = UINT64_MAX;
+    uint8_t buf[kMaxVarint64Bytes];
+    uint8_t* end = encode_varint(buf, v);
+    ASSERT_EQ(end - buf, len);
+    for (int cut = 0; cut < len; ++cut) {
+      EXPECT_FALSE(decode_varint(buf, buf + cut).ok)
+          << "len " << len << " cut " << cut;
+    }
+    auto full = decode_varint(buf, end);
+    ASSERT_TRUE(full.ok);
+    EXPECT_EQ(full.value, v);
+  }
+}
+
+TEST(Varint, TenthByteOverflowBoundary) {
+  // 10th byte may only contribute bit 63: value 0x01 is the last legal
+  // payload; every larger payload overflows uint64.
+  uint8_t buf[10];
+  for (int i = 0; i < 9; ++i) buf[i] = 0xFF;
+  buf[9] = 0x01;
+  auto ok = decode_varint(buf, buf + 10);
+  ASSERT_TRUE(ok.ok);
+  EXPECT_EQ(ok.value, UINT64_MAX);
+  for (uint8_t tenth : {0x02, 0x03, 0x7F}) {
+    buf[9] = tenth;
+    EXPECT_FALSE(decode_varint(buf, buf + 10).ok)
+        << "tenth byte " << int(tenth);
+  }
+}
+
+// -------------------------------------------------------- batch decoding
+
+TEST(VarintBatch, AllOneByteRun) {
+  // The SWAR fast path: 8-byte word probe sees no continuation bits.
+  uint8_t buf[64];
+  for (int i = 0; i < 64; ++i) buf[i] = static_cast<uint8_t>(i);
+  uint64_t out[64];
+  const uint8_t* next = decode_varint_batch64(buf, buf + 64, 64, out);
+  ASSERT_EQ(next, buf + 64);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], static_cast<uint64_t>(i));
+}
+
+TEST(VarintBatch, TwoByteFastPath) {
+  uint8_t buf[2 * 16];
+  uint8_t* p = buf;
+  for (int i = 0; i < 16; ++i) p = encode_varint(p, 128 + i * 100);
+  uint32_t out[16];
+  const uint8_t* next = decode_varint_batch32(buf, p, 16, out);
+  ASSERT_EQ(next, p);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], 128u + i * 100);
+}
+
+TEST(VarintBatch, MalformedRunReturnsNull) {
+  uint8_t buf[4] = {0x80, 0x80, 0x80, 0x80};  // never terminates
+  uint64_t out[1];
+  EXPECT_EQ(decode_varint_batch64(buf, buf + 4, 1, out), nullptr);
+}
+
+TEST(VarintBatch, XformApplied) {
+  uint8_t buf[kMaxVarint64Bytes];
+  uint8_t* end = encode_varint(buf, zigzag_encode64(-123456789));
+  int64_t out[1];
+  const uint8_t* next = decode_varint_run(
+      buf, end, 1, out, [](uint64_t v) { return zigzag_decode64(v); });
+  ASSERT_EQ(next, end);
+  EXPECT_EQ(out[0], -123456789);
+}
+
+TEST(VarintBatch, RandomizedMatchesScalarDecoder) {
+  // Differential test: random mixes of every byte-length class (skewed
+  // toward short encodings, like real workloads) must decode identically
+  // through the batch path and the scalar path.
+  std::mt19937_64 rng(dpurpc::kDefaultSeed ^ 0xba7c);
+  for (int round = 0; round < 200; ++round) {
+    const size_t count = 1 + rng() % 700;
+    std::vector<uint64_t> values(count);
+    std::vector<uint8_t> buf(count * kMaxVarint64Bytes);
+    uint8_t* p = buf.data();
+    for (size_t i = 0; i < count; ++i) {
+      int bits = static_cast<int>(rng() % 64) + 1;
+      values[i] = rng() >> (64 - bits);
+      p = encode_varint(p, values[i]);
+    }
+    std::vector<uint64_t> out(count);
+    const uint8_t* next = decode_varint_batch64(buf.data(), p, count, out.data());
+    ASSERT_EQ(next, p) << "round " << round;
+    ASSERT_EQ(out, values) << "round " << round;
+
+    // And through the 32-bit truncating wrapper.
+    std::vector<uint32_t> out32(count);
+    const uint8_t* next32 =
+        decode_varint_batch32(buf.data(), p, count, out32.data());
+    ASSERT_EQ(next32, p);
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out32[i], static_cast<uint32_t>(values[i])) << i;
+    }
+  }
+}
+
+TEST(VarintBatch, TruncatedTailReturnsNull) {
+  // A run whose final element is cut off mid-varint must fail, never read
+  // past `end`.
+  std::mt19937_64 rng(dpurpc::kDefaultSeed + 77);
+  uint8_t buf[32];
+  uint8_t* p = buf;
+  for (int i = 0; i < 3; ++i) p = encode_varint(p, (1ull << 40) + rng() % 1000);
+  uint64_t out[3];
+  for (const uint8_t* cut = p - 1; cut > buf; --cut) {
+    // Count how many whole varints remain before `cut`; asking for one
+    // more than that must fail.
+    uint32_t whole = 0;
+    const uint8_t* q = buf;
+    while (q < cut) {
+      auto r = decode_varint(q, cut);
+      if (!r.ok) break;
+      q = r.next;
+      ++whole;
+    }
+    if (whole >= 3) continue;
+    EXPECT_EQ(decode_varint_batch64(buf, cut, whole + 1, out), nullptr)
+        << "cut at " << (cut - buf);
+  }
+}
 
 // ---------------------------------------------------------------- zigzag
 

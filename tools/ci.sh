@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verify, twice: a plain RelWithDebInfo pass (the perf-shaped build
+# the benches use) and an address+undefined sanitizer pass over the same
+# test suite. The deserializer works on raw arena bytes and does unaligned
+# word probes, so the sanitized pass is what catches lifetime/OOB slips the
+# plain pass happily runs through.
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local dir="$1"; shift
+  echo "=== configure $dir ($*)" >&2
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_pass "$prefix-plain"
+run_pass "$prefix-asan" -DDPURPC_SANITIZE=address,undefined
+
+echo "ci: both passes green"
