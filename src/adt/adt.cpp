@@ -3,20 +3,23 @@
 
 #include <algorithm>
 #include <bit>
-#include <mutex>
+#include <type_traits>
 
 #include "adt/parse_plan.hpp"
 #include "common/align.hpp"
 #include "common/endian.hpp"
+#include "common/lockdep.hpp"
 
 namespace dpurpc::adt {
 
 namespace {
 // One mutex for every Adt's plan cache: contention is setup-only (each
 // deserializer fetches the shared_ptr once in its constructor), and a
-// global keeps Adt copyable/movable.
-std::mutex& plan_cache_mutex() {
-  static std::mutex m;
+// global keeps Adt copyable/movable. It guards only the cache *slot*
+// (plans_); the ParsePlanSet it points to is immutable after
+// publication — see the contract in parse_plans().
+lockdep::Mutex& plan_cache_mutex() {
+  static lockdep::Mutex m{"adt.Adt.plan_cache"};
   return m;
 }
 }  // namespace
@@ -59,19 +62,36 @@ uint32_t Adt::add_class(ClassEntry entry) {
   auto index = static_cast<uint32_t>(classes_.size());
   by_name_.emplace(entry.name, index);
   classes_.push_back(std::move(entry));
-  std::lock_guard lk(plan_cache_mutex());
+  // Invalidation swaps the cache slot; it never touches the old set, so
+  // deserializers holding the previous shared_ptr keep a valid (stale
+  // but internally consistent) snapshot.
+  lockdep::ScopedLock lk(plan_cache_mutex());
   plans_.reset();
   return index;
 }
 
 void Adt::replace_class(uint32_t index, ClassEntry entry) {
   classes_.at(index) = std::move(entry);
-  std::lock_guard lk(plan_cache_mutex());
+  lockdep::ScopedLock lk(plan_cache_mutex());
   plans_.reset();
 }
 
 std::shared_ptr<const ParsePlanSet> Adt::parse_plans() const {
-  std::lock_guard lk(plan_cache_mutex());
+  // Immutable-after-publication contract: once a ParsePlanSet pointer
+  // leaves this function, NOTHING may write through it — every consumer
+  // (DPU proxy lanes today, the sharded lanes the roadmap plans) reads
+  // it lock-free and concurrently. The cache mutex serializes only the
+  // build-and-publish step. The static_asserts are the compile-time half
+  // of the contract (no non-const access path exists); the lockdep rule
+  // in ArenaDeserializer::deserialize is the runtime half (no lock is
+  // needed, so none may be held).
+  static_assert(std::is_const_v<std::remove_reference_t<decltype(*plans_)>>,
+                "parse plan cache must publish const snapshots");
+  static_assert(
+      std::is_const_v<
+          std::remove_reference_t<decltype(*std::declval<Adt>().parse_plans())>>,
+      "parse_plans() must hand out pointers-to-const only");
+  lockdep::ScopedLock lk(plan_cache_mutex());
   if (!plans_) plans_ = std::make_shared<const ParsePlanSet>(ParsePlanSet::build(*this));
   return plans_;
 }

@@ -109,8 +109,13 @@ class Adt {
 
   /// Per-class parse plans (see parse_plan.hpp), compiled on first use and
   /// cached so every deserializer over this table — DPU proxy lanes, host
-  /// compat layer — shares one immutable set. Thread-safe; add_class /
-  /// replace_class invalidate the cache.
+  /// compat layer — shares one immutable set. The returned set is
+  /// **immutable after publication**: consumers read it lock-free, from
+  /// any number of threads, for as long as they hold the shared_ptr;
+  /// add_class / replace_class invalidate by swapping the cache slot,
+  /// never by mutating a published set. Table *mutation* itself is a
+  /// single-threaded setup-phase activity (builders, bootstrap) — only
+  /// the published plan snapshot is concurrency-safe.
   std::shared_ptr<const ParsePlanSet> parse_plans() const;
 
  private:

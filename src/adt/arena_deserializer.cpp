@@ -5,6 +5,7 @@
 
 #include "adt/parse_plan.hpp"
 #include "common/endian.hpp"
+#include "common/lockdep.hpp"
 #include "metrics/metrics.hpp"
 #include "wire/coded_stream.hpp"
 #include "wire/utf8.hpp"
@@ -181,6 +182,12 @@ ArenaDeserializer::ArenaDeserializer(const Adt* adt, DeserializeOptions options)
 StatusOr<void*> ArenaDeserializer::deserialize(
     uint32_t class_index, ByteSpan wire, arena::Arena& arena,
     const arena::AddressTranslator& xlate) const {
+  // Domain rule (DESIGN.md §3.12): the deserialization hot path is
+  // lock-free — it reads only the immutable ADT/plan snapshot captured
+  // at construction. A caller holding any lock here either stalls every
+  // lane on an unrelated critical section or, worse, implies the plan
+  // data it reads needs that lock. Debug builds enforce the rule.
+  DPURPC_LOCKDEP_ASSERT_NO_LOCKS_HELD("ArenaDeserializer::deserialize");
   if (class_index >= adt_->class_count()) {
     return Status(Code::kNotFound, "unknown ADT class index");
   }

@@ -1,0 +1,253 @@
+#include "common/lockdep.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>  // backtrace_symbols: best-effort site decoding
+#endif
+
+namespace dpurpc::lockdep {
+
+// All checker state lives behind one plain std::mutex (never a
+// lockdep::Mutex — the checker must not check itself). The held stack
+// is thread-local and touched without the global lock; only graph
+// mutation and class interning take it.
+
+struct LockClass {
+  std::string name;
+  uint32_t id = 0;
+};
+
+namespace {
+
+struct Edge {
+  // Evidence for the first time `from` was held while `to` was taken:
+  // the code addresses of both acquisitions, for the violation report.
+  const void* from_site = nullptr;
+  const void* to_site = nullptr;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<LockClass>> classes;
+  std::map<std::string, LockClass*, std::less<>> by_name;
+  // Directed order graph over class ids: edges[a] contains b when some
+  // thread acquired class b while holding class a.
+  std::map<uint32_t, std::map<uint32_t, Edge>> edges;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: checker outlives statics
+  return *r;
+}
+
+std::atomic<ViolationHandler> g_handler{nullptr};
+
+[[noreturn]] void default_handler_abort() {
+  std::fflush(stderr);
+  std::abort();
+}
+
+void report_violation(const std::string& report) {
+  ViolationHandler h = g_handler.load(std::memory_order_acquire);
+  if (h != nullptr) {
+    h(report.c_str());
+    return;  // test handler chose to survive
+  }
+  std::fprintf(stderr, "%s", report.c_str());
+  default_handler_abort();
+}
+
+std::string describe_site(const void* site) {
+  char buf[160];
+  if (site == nullptr) {
+    return "<unknown site>";
+  }
+#if defined(__GLIBC__)
+  void* frame = const_cast<void*>(site);
+  if (char** syms = backtrace_symbols(&frame, 1)) {
+    std::string out = syms[0];
+    std::free(syms);
+    return out;
+  }
+#endif
+  std::snprintf(buf, sizeof(buf), "%p", site);
+  return buf;
+}
+
+struct HeldLock {
+  const LockClass* cls;
+  const void* instance;
+  const void* site;  ///< code address of the acquisition
+};
+
+// The per-thread acquisition stack. A plain vector: depth is tiny (the
+// deepest chain in this codebase is 3) and push/pop dominate.
+thread_local std::vector<HeldLock> t_held;
+
+/// True when `to` can already reach `from` through recorded edges —
+/// i.e. adding from→to would close a cycle. Iterative DFS under mu.
+bool reachable(Registry& reg, uint32_t to, uint32_t from) {
+  std::vector<uint32_t> stack{to};
+  std::set<uint32_t> seen;
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    if (cur == from) return true;
+    if (!seen.insert(cur).second) continue;
+    auto it = reg.edges.find(cur);
+    if (it == reg.edges.end()) continue;
+    for (const auto& [next, edge] : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+/// The existing edge chain to→…→from closing the cycle, for the report.
+void append_cycle_path(Registry& reg, uint32_t to, uint32_t from,
+                       std::string& out) {
+  // Rebuild one witness path via parent-tracking DFS (graph is small).
+  std::map<uint32_t, uint32_t> parent;
+  std::vector<uint32_t> stack{to};
+  std::set<uint32_t> seen{to};
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    if (cur == from) break;
+    auto it = reg.edges.find(cur);
+    if (it == reg.edges.end()) continue;
+    for (const auto& [next, edge] : it->second) {
+      if (seen.insert(next).second) {
+        parent[next] = cur;
+        stack.push_back(next);
+      }
+    }
+  }
+  std::vector<uint32_t> path{from};
+  while (path.back() != to) {
+    auto it = parent.find(path.back());
+    if (it == parent.end()) return;  // raced with reset; skip the path
+    path.push_back(it->second);
+  }
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    const LockClass* c = reg.classes[*it].get();
+    out += "    ";
+    out += c->name;
+    if (it + 1 != path.rend()) {
+      uint32_t a = *it, b = *(it + 1);
+      const Edge& e = reg.edges[a][b];
+      out += "  -> taken before ";
+      out += reg.classes[b]->name;
+      out += "\n      (held at " + describe_site(e.from_site) +
+             ", acquired at " + describe_site(e.to_site) + ")";
+    }
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+const LockClass* intern_lock_class(const char* name) {
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  auto it = reg.by_name.find(name);
+  if (it != reg.by_name.end()) return it->second;
+  auto cls = std::make_unique<LockClass>();
+  cls->name = name;
+  cls->id = static_cast<uint32_t>(reg.classes.size());
+  LockClass* raw = cls.get();
+  reg.classes.push_back(std::move(cls));
+  reg.by_name.emplace(raw->name, raw);
+  return raw;
+}
+
+void on_acquire(const LockClass* cls, const void* instance, const void* site) {
+  // Self-deadlock: re-locking an instance this thread already holds
+  // would block forever on a non-recursive mutex.
+  for (const HeldLock& h : t_held) {
+    if (h.instance == instance) {
+      std::string report;
+      report += "\n=== lockdep: SELF-DEADLOCK ===\n";
+      report += "thread re-acquires lock class '" + cls->name + "'\n";
+      report += "  first acquired at:  " + describe_site(h.site) + "\n";
+      report += "  re-acquired at:     " + describe_site(site) + "\n";
+      report_violation(report);
+      return;  // survivable only under a test handler
+    }
+  }
+
+  Registry& reg = registry();
+  {
+    std::lock_guard lk(reg.mu);
+    for (const HeldLock& h : t_held) {
+      if (h.cls == cls) continue;  // same class, other instance: no edge
+      auto& row = reg.edges[h.cls->id];
+      auto it = row.find(cls->id);
+      if (it != row.end()) continue;  // known-good order, O(log) fast path
+      // New edge h.cls -> cls. If cls already reaches h.cls, this
+      // acquisition inverts an order some other path established.
+      if (reachable(reg, cls->id, h.cls->id)) {
+        std::string report;
+        report += "\n=== lockdep: LOCK ORDER INVERSION ===\n";
+        report += "this thread:  '" + h.cls->name + "' (held, acquired at " +
+                  describe_site(h.site) + ")\n";
+        report += "     then:    '" + cls->name + "' (acquiring at " +
+                  describe_site(site) + ")\n";
+        report += "but the opposite order is already established:\n";
+        append_cycle_path(reg, cls->id, h.cls->id, report);
+        report_violation(report);
+        continue;  // test handler survived: don't record the bad edge
+      }
+      row.emplace(cls->id, Edge{h.site, site});
+    }
+  }
+  t_held.push_back(HeldLock{cls, instance, site});
+}
+
+void on_release(const LockClass* cls, const void* instance) {
+  (void)cls;
+  // Locks are almost always released LIFO, but guard objects stored in
+  // containers can release out of order; scan from the top.
+  for (size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i].instance == instance) {
+      t_held.erase(t_held.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Unlock of a lock we never saw locked: tolerated (instance may have
+  // been acquired before a handler-survived violation).
+}
+
+void assert_no_locks_held(const char* what) {
+  if (t_held.empty()) return;
+  std::string report;
+  report += "\n=== lockdep: DOMAIN RULE VIOLATION ===\n";
+  report += "rule: no lock may be held while entering ";
+  report += what;
+  report += "\nheld locks (innermost last):\n";
+  for (const HeldLock& h : t_held) {
+    report += "  '" + h.cls->name + "' acquired at " + describe_site(h.site) + "\n";
+  }
+  report_violation(report);
+}
+
+size_t held_count() { return t_held.size(); }
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void reset_graph_for_testing() {
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  reg.edges.clear();
+}
+
+}  // namespace dpurpc::lockdep

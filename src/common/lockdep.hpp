@@ -1,0 +1,190 @@
+// lockdep: a from-scratch dynamic lock-order checker (kernel-lockdep
+// style) for debug builds.
+//
+// Every `lockdep::Mutex` belongs to a *lock class*, keyed by the name
+// string passed at construction ("xrpc.Server.mu") — order rules are
+// per class, not per instance, so one run through a code path validates
+// every instance that will ever take the same locks. The runtime keeps,
+// per thread, the stack of currently-held classes with the code address
+// of each acquisition; on every acquire it adds held→acquiring edges to
+// a global class-order graph. The first edge that closes a cycle (an
+// AB/BA inversion, possibly through intermediaries) aborts with the
+// acquisition sites of both ends — the bug is reported the first time
+// the *order* is ever seen, no actual deadlock or thread interleaving
+// required. Re-acquiring a held instance (self-deadlock) and violations
+// of domain rules ("no lock held while deserializing" — the hot path
+// must stay lock-free, DESIGN.md §3.12) are caught the same way.
+//
+// Cost model: everything here exists only when DPURPC_LOCKDEP is
+// defined (the CMake option of the same name; tools/ci.sh turns it on
+// in the sanitized tier-1 pass). Without it, `lockdep::Mutex` is a
+// layout-identical subclass of std::mutex whose extra constructor
+// inlines to nothing and the assertion macros expand to `((void)0)` —
+// zero code, zero data, zero dependencies in release builds
+// (tests/lockdep_test.cpp pins this down with static_asserts).
+// `lockdep::CondVar` is condition_variable_any in both modes (it must
+// accept the wrapper type); every wait site in this codebase is an
+// idle/blocking path, never the datapath, so the extra internal mutex
+// is irrelevant.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace dpurpc::lockdep {
+
+// --- checker runtime -----------------------------------------------------
+// Always declared and always compiled into dpurpc_common (it is a few KB
+// of cold code the linker drops when unreferenced); whether the *call
+// sites* exist is what DPURPC_LOCKDEP controls. This lets a test binary
+// opt its own TUs into the instrumented Mutex regardless of how the rest
+// of the build was configured.
+
+/// Identifies one lock class in the order graph. Interned by name;
+/// stable for process lifetime.
+struct LockClass;
+
+/// Intern (or look up) the class for `name`. Names are compared by
+/// content, so string literals across translation units collapse into
+/// one class.
+const LockClass* intern_lock_class(const char* name);
+
+/// Runtime hooks (called by Mutex; exposed for wrappers over foreign
+/// lock types). `site` is the caller's code address.
+void on_acquire(const LockClass* cls, const void* instance, const void* site);
+void on_release(const LockClass* cls, const void* instance);
+
+/// Domain rule: abort (via the violation handler) if the calling thread
+/// holds any lockdep-tracked lock. `what` names the lock-free region,
+/// e.g. "ArenaDeserializer::deserialize".
+void assert_no_locks_held(const char* what);
+
+/// Locks currently held by the calling thread (diagnostics/tests).
+size_t held_count();
+
+/// Violation sink. The default handler prints the report to stderr and
+/// aborts. Tests install their own to observe the report text instead
+/// of dying. Returns the previous handler. Passing nullptr restores the
+/// default. NOTE: a non-aborting handler lets the offending acquisition
+/// proceed; only tests should do that.
+using ViolationHandler = void (*)(const char* report);
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Drop all recorded edges and classes' order state (NOT the interned
+/// classes). Test isolation only — never call with locks held.
+void reset_graph_for_testing();
+
+#if defined(DPURPC_LOCKDEP)
+
+/// Drop-in std::mutex replacement that reports to the order graph.
+/// Satisfies Lockable, so std::lock_guard / unique_lock / scoped_lock
+/// and lockdep::CondVar (condition_variable_any) all work unchanged.
+class DPURPC_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name) : cls_(intern_lock_class(name)) {}
+  Mutex() : Mutex("anonymous") {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DPURPC_ACQUIRE() {
+    // The acquire hook runs BEFORE blocking on the OS mutex: a would-be
+    // deadlock is reported from the thread that closes the cycle even
+    // if it would have blocked forever here.
+    on_acquire(cls_, this, __builtin_return_address(0));
+    mu_.lock();
+  }
+
+  bool try_lock() DPURPC_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // try_lock can't deadlock, but it still establishes order for
+    // threads that later block; record it like a normal acquisition.
+    on_acquire(cls_, this, __builtin_return_address(0));
+    return true;
+  }
+
+  void unlock() DPURPC_RELEASE() {
+    mu_.unlock();
+    on_release(cls_, this);
+  }
+
+  const LockClass* lock_class() const noexcept { return cls_; }
+
+ private:
+  std::mutex mu_;
+  const LockClass* cls_;
+};
+
+#define DPURPC_LOCKDEP_ASSERT_NO_LOCKS_HELD(what) \
+  ::dpurpc::lockdep::assert_no_locks_held(what)
+
+#else  // !DPURPC_LOCKDEP ------------------------------------------------
+
+/// Release shape: same layout as std::mutex, name constructor inlines
+/// away, the lock/unlock shadows inline to the base-class calls. The
+/// thread-safety annotations stay: clang's static analysis is free.
+class DPURPC_CAPABILITY("mutex") Mutex : public std::mutex {
+ public:
+  explicit Mutex(const char*) noexcept {}
+  Mutex() = default;
+
+  void lock() DPURPC_ACQUIRE() { std::mutex::lock(); }
+  bool try_lock() DPURPC_TRY_ACQUIRE(true) { return std::mutex::try_lock(); }
+  void unlock() DPURPC_RELEASE() { std::mutex::unlock(); }
+};
+
+#define DPURPC_LOCKDEP_ASSERT_NO_LOCKS_HELD(what) ((void)0)
+
+#endif  // DPURPC_LOCKDEP
+
+/// condition_variable_any releases/reacquires through Mutex::unlock()/
+/// lock(), so the lockdep held-stack stays truthful across waits for
+/// free. Used with lockdep::UniqueLock below.
+using CondVar = std::condition_variable_any;
+
+// --- annotated RAII guards ----------------------------------------------
+// clang's -Wthread-safety cannot see through std::lock_guard (libstdc++'s
+// is unannotated), so converted sites use these instead. Same codegen.
+
+/// std::lock_guard equivalent the analysis understands.
+class DPURPC_SCOPED_CAPABILITY ScopedLock {
+ public:
+  explicit ScopedLock(Mutex& mu) DPURPC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~ScopedLock() DPURPC_RELEASE() { mu_.unlock(); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock equivalent: relockable, satisfies BasicLockable so
+/// lockdep::CondVar can wait on it.
+class DPURPC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DPURPC_ACQUIRE(mu) : mu_(&mu), owned_(true) {
+    mu_->lock();
+  }
+  ~UniqueLock() DPURPC_RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() DPURPC_ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+  void unlock() DPURPC_RELEASE() {
+    mu_->unlock();
+    owned_ = false;
+  }
+  bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  Mutex* mu_;
+  bool owned_;
+};
+
+}  // namespace dpurpc::lockdep

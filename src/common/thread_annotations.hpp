@@ -1,0 +1,64 @@
+// Clang thread-safety-analysis annotations (-Wthread-safety).
+//
+// These macros attach the static lock discipline to the code itself:
+// which mutex guards which field (DPURPC_GUARDED_BY), which functions
+// must/must-not be entered with a lock held (DPURPC_REQUIRES /
+// DPURPC_EXCLUDES), and which types are lockable capabilities. Under
+// clang the analysis enforces them at compile time; under GCC (the
+// container toolchain) they expand to nothing and cost nothing. They
+// complement the *dynamic* checkers — TSan and lockdep.hpp — by catching
+// guard omissions that never execute in the test suite.
+//
+// Naming and semantics follow the de-facto standard set used by abseil
+// and the clang documentation, prefixed to avoid collisions.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define DPURPC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DPURPC_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define DPURPC_CAPABILITY(x) DPURPC_THREAD_ANNOTATION_(capability(x))
+
+/// A scoped object that acquires a capability for its lifetime.
+#define DPURPC_SCOPED_CAPABILITY DPURPC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define DPURPC_GUARDED_BY(x) DPURPC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define DPURPC_PT_GUARDED_BY(x) DPURPC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it).
+#define DPURPC_REQUIRES(...) \
+  DPURPC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be entered with the capability held.
+#define DPURPC_EXCLUDES(...) DPURPC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (leaves it held on return).
+#define DPURPC_ACQUIRE(...) \
+  DPURPC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define DPURPC_RELEASE(...) \
+  DPURPC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first arg is the success return value.
+#define DPURPC_TRY_ACQUIRE(...) \
+  DPURPC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares `a` must be acquired before `b` (lock-order edge, statically).
+#define DPURPC_ACQUIRED_BEFORE(...) \
+  DPURPC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DPURPC_ACQUIRED_AFTER(...) \
+  DPURPC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by the capability.
+#define DPURPC_RETURN_CAPABILITY(x) DPURPC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: suppress the analysis inside one function.
+#define DPURPC_NO_THREAD_SAFETY_ANALYSIS \
+  DPURPC_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -40,7 +40,7 @@ Family::Family(std::string name, std::string help, MetricKind kind,
       histogram_bounds_(std::move(histogram_bounds)) {}
 
 Family::Child& Family::child_at(const Labels& labels) {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   auto& slot = children_[labels];
   if (!slot) {
     slot = std::make_unique<Child>();
@@ -79,7 +79,7 @@ const Sample* Snapshot::find(std::string_view name, const Labels& labels) const 
 
 Family& Registry::family(std::string name, std::string help, MetricKind kind,
                          std::vector<double> bounds) {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   for (auto& f : families_) {
     if (f->name() == name) {
       assert(f->kind() == kind && "metric re-registered with a different kind");
@@ -108,7 +108,10 @@ Family& Registry::histogram_family(std::string name, std::string help,
 Snapshot Registry::scrape() const {
   Snapshot snap;
   snap.wall_ns = WallTimer::now();
-  std::lock_guard lk(mu_);
+  // Lock order: Registry.mu -> Family.mu (via for_each_child). The
+  // reverse never happens: no Family method reaches back into the
+  // registry, so the order graph stays acyclic.
+  lockdep::ScopedLock lk(mu_);
   for (const auto& f : families_) {
     f->for_each_child([&](const Labels& labels, const Family::Child& c) {
       switch (f->kind()) {
@@ -160,7 +163,7 @@ void append_labels(std::ostringstream& out, const Labels& labels) {
 
 std::string Registry::expose_text() const {
   std::ostringstream out;
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   for (const auto& f : families_) {
     out << "# HELP " << f->name() << ' ' << f->help() << '\n';
     out << "# TYPE " << f->name() << ' '

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/lockdep.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dpurpc::metrics {
 
@@ -84,10 +86,12 @@ class Family {
   const std::string& help() const noexcept { return help_; }
   MetricKind kind() const noexcept { return kind_; }
 
-  /// Visit every child under the family lock.
+  /// Visit every child under the family lock. `fn` must not register
+  /// metrics (Family/Registry lock order is Registry -> Family; see
+  /// DESIGN.md §3.12).
   template <typename Fn>
-  void for_each(Fn&& fn) const {
-    std::lock_guard lk(mu_);
+  void for_each(Fn&& fn) const DPURPC_EXCLUDES(mu_) {
+    lockdep::ScopedLock lk(mu_);
     for (const auto& [labels, child] : children_) fn(labels, *child);
   }
 
@@ -97,19 +101,23 @@ class Family {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Child& child_at(const Labels& labels);
+  Child& child_at(const Labels& labels) DPURPC_EXCLUDES(mu_);
 
   const std::string name_;
   const std::string help_;
   const MetricKind kind_;
   const std::vector<double> histogram_bounds_;
-  mutable std::mutex mu_;
-  std::map<Labels, std::unique_ptr<Child>> children_;
+  mutable lockdep::Mutex mu_{"metrics.Family.mu"};
+  // The map is guarded; the *pointees* are not — children are immutable
+  // once published (their live state is all atomics) and never removed,
+  // so references handed out by counter()/gauge()/histogram() stay valid
+  // and lock-free for the registry's lifetime.
+  std::map<Labels, std::unique_ptr<Child>> children_ DPURPC_GUARDED_BY(mu_);
 
   friend class Registry;
   template <typename Fn>
-  void for_each_child(Fn&& fn) const {
-    std::lock_guard lk(mu_);
+  void for_each_child(Fn&& fn) const DPURPC_EXCLUDES(mu_) {
+    lockdep::ScopedLock lk(mu_);
     for (const auto& [labels, child] : children_) fn(labels, *child);
   }
 };
@@ -146,10 +154,12 @@ class Registry {
 
  private:
   Family& family(std::string name, std::string help, MetricKind kind,
-                 std::vector<double> bounds);
+                 std::vector<double> bounds) DPURPC_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Family>> families_;
+  mutable lockdep::Mutex mu_{"metrics.Registry.mu"};
+  // Families are append-only and never destroyed before the registry, so
+  // the Family& results of *_family() outlive every caller.
+  std::vector<std::unique_ptr<Family>> families_ DPURPC_GUARDED_BY(mu_);
 };
 
 /// Process-wide default registry.

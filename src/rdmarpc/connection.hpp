@@ -17,6 +17,7 @@
 // guarantees the in-order delivery and flush notifications they rely on.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -147,7 +148,11 @@ class Connection {
   /// block is the response block itself, which is exactly the paper's
   /// "the server implicitly acknowledges by simply sending responses".
   void note_peer_block_processed() noexcept {
-    if (pending_acks_ < UINT16_MAX) ++pending_acks_;
+    uint16_t p = pending_acks_.load(std::memory_order_relaxed);
+    if (p < UINT16_MAX) {
+      pending_acks_.store(static_cast<uint16_t>(p + 1),
+                          std::memory_order_relaxed);
+    }
   }
 
   /// Block on the completion channel (poll() analogue in the paper; busy
@@ -159,9 +164,19 @@ class Connection {
   }
 
   // ---- introspection -------------------------------------------------
+  // A Connection is owned by one engine thread; every mutating call is
+  // owner-thread-only. The getters below are monitor-safe (DESIGN.md
+  // §3.12): credits/acks are relaxed atomics that tests waiting for
+  // quiescence and stats pollers read concurrently. The remaining
+  // introspection (sent_blocks_outstanding(), allocator() free-list
+  // walks, …) stays owner-thread-only.
 
-  uint32_t credits_available() const noexcept { return credits_; }
-  uint32_t pending_acks() const noexcept { return pending_acks_; }
+  uint32_t credits_available() const noexcept {
+    return credits_.load(std::memory_order_relaxed);
+  }
+  uint32_t pending_acks() const noexcept {
+    return pending_acks_.load(std::memory_order_relaxed);
+  }
   size_t sent_blocks_outstanding() const noexcept { return sent_blocks_.size(); }
   const OffsetAllocator& allocator() const noexcept { return sbuf_alloc_; }
   Role role() const noexcept { return role_; }
@@ -209,8 +224,11 @@ class Connection {
   uint64_t next_block_seq_ = 0;
   std::deque<SentBlock> sent_blocks_;
 
-  uint32_t credits_;
-  uint16_t pending_acks_ = 0;  ///< peer blocks processed, not yet piggybacked
+  // Single writer (the owning engine thread); atomic only so monitor
+  // threads can poll the introspection getters without a data race.
+  std::atomic<uint32_t> credits_;
+  ///< peer blocks processed, not yet piggybacked
+  std::atomic<uint16_t> pending_acks_{0};
   std::function<void(uint64_t)> flush_observer_;
   std::vector<simverbs::Completion> recv_scratch_;  ///< reused per poll
   std::vector<simverbs::Completion> send_scratch_;

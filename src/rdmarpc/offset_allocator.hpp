@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -35,10 +36,20 @@ class OffsetAllocator {
   /// `offset` must be exactly as returned by allocate().
   void free(uint64_t offset);
 
+  // Threading (DESIGN.md §3.12): allocate()/free() are owner-thread-only —
+  // the allocator belongs to one engine's event loop and takes no lock.
+  // used()/free_bytes()/allocation_count() are monitor-safe: relaxed
+  // atomic hints that other threads (tests waiting for quiescence, a
+  // stats scraper) may poll concurrently. free_range_count() and
+  // largest_free_range() walk the free list and stay owner-thread-only.
   uint64_t capacity() const noexcept { return capacity_; }
-  uint64_t used() const noexcept { return used_; }
-  uint64_t free_bytes() const noexcept { return capacity_ - used_; }
-  size_t allocation_count() const noexcept { return allocation_count_; }
+  uint64_t used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  uint64_t free_bytes() const noexcept { return capacity_ - used(); }
+  size_t allocation_count() const noexcept {
+    return allocation_count_.load(std::memory_order_relaxed);
+  }
   size_t free_range_count() const noexcept { return free_ranges_.size(); }
 
   /// Largest single allocation currently possible (fragmentation probe).
@@ -52,8 +63,10 @@ class OffsetAllocator {
 
   const uint64_t capacity_;
   const uint64_t alignment_;
-  uint64_t used_ = 0;
-  size_t allocation_count_ = 0;
+  // Single writer (the owning engine thread); relaxed atomics only so
+  // monitor threads can read a coherent value, not for synchronization.
+  std::atomic<uint64_t> used_{0};
+  std::atomic<size_t> allocation_count_{0};
   std::vector<Range> free_ranges_;        // sorted by offset, coalesced
   std::vector<uint64_t> size_by_bucket_;  // bucket -> allocated size (0 = free)
 };

@@ -8,7 +8,7 @@ namespace dpurpc::simverbs {
 // ------------------------------------------------------------- channel
 
 bool CompletionChannel::wait(int timeout_ms) {
-  std::unique_lock lk(mu_);
+  lockdep::UniqueLock lk(mu_);
   bool ok = cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
                          [&] { return events_ > consumed_; });
   if (ok) consumed_ = events_;
@@ -16,13 +16,13 @@ bool CompletionChannel::wait(int timeout_ms) {
 }
 
 void CompletionChannel::interrupt() {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   ++events_;
   cv_.notify_all();
 }
 
 void CompletionChannel::notify() {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   ++events_;
   cv_.notify_all();
 }
@@ -36,7 +36,7 @@ std::vector<Completion> CompletionQueue::poll(size_t max) {
 }
 
 void CompletionQueue::poll_into(std::vector<Completion>& out, size_t max) {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   size_t taken = 0;
   while (!items_.empty() && taken < max) {
     out.push_back(items_.front());
@@ -46,13 +46,13 @@ void CompletionQueue::poll_into(std::vector<Completion>& out, size_t max) {
 }
 
 size_t CompletionQueue::depth() const {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   return items_.size();
 }
 
 void CompletionQueue::push(Completion c) {
   {
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
     if (items_.size() >= capacity_) {
       // Hardware would raise an async error and the connection would
       // collapse into retransmission; we record and drop.
@@ -67,17 +67,17 @@ void CompletionQueue::push(Completion c) {
 // ----------------------------------------------------------------- srq
 
 void SharedReceiveQueue::post(RecvWr wr) {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   items_.push_back(wr);
 }
 
 size_t SharedReceiveQueue::depth() const {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   return items_.size();
 }
 
 bool SharedReceiveQueue::take(RecvWr* out) {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   if (items_.empty()) return false;
   *out = items_.front();
   items_.pop_front();
@@ -87,14 +87,14 @@ bool SharedReceiveQueue::take(RecvWr* out) {
 // ------------------------------------------------------------------ pd
 
 const MemoryRegion* ProtectionDomain::register_memory(void* addr, size_t length) {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   regions_.push_back(std::unique_ptr<MemoryRegion>(
       new MemoryRegion(static_cast<std::byte*>(addr), length, next_key_++)));
   return regions_.back().get();
 }
 
 const MemoryRegion* ProtectionDomain::find_by_rkey(uint32_t rkey) const {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   for (const auto& r : regions_) {
     if (r->rkey() == rkey) return r.get();
   }
@@ -108,8 +108,10 @@ QueuePair::QueuePair(ProtectionDomain* pd, CompletionQueue* send_cq,
     : pd_(pd), send_cq_(send_cq), recv_cq_(recv_cq), srq_(srq) {}
 
 QueuePair::~QueuePair() {
-  // Flush outstanding receives so pollers learn the QP died.
-  std::lock_guard lk(mu_);
+  // Flush outstanding receives so pollers learn the QP died. Holding
+  // mu_ across recv_cq_->push establishes QueuePair.mu ->
+  // CompletionQueue.mu; lockdep holds this as the canonical order.
+  lockdep::ScopedLock lk(mu_);
   for (const auto& wr : recv_queue_) {
     Completion c;
     c.wr_id = wr.wr_id;
@@ -137,13 +139,13 @@ void QueuePair::post_recv(RecvWr wr) {
     srq_->post(wr);
     return;
   }
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   recv_queue_.push_back(wr);
 }
 
 bool QueuePair::take_recv(RecvWr* out) {
   if (srq_ != nullptr) return srq_->take(out);
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   if (recv_queue_.empty()) return false;
   *out = recv_queue_.front();
   recv_queue_.pop_front();
@@ -152,7 +154,7 @@ bool QueuePair::take_recv(RecvWr* out) {
 
 size_t QueuePair::recv_queue_depth() const {
   if (srq_ != nullptr) return srq_->depth();
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   return recv_queue_.size();
 }
 

@@ -23,16 +23,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/lockdep.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dpurpc::simverbs {
 
@@ -115,10 +115,13 @@ class CompletionChannel {
   friend class CompletionQueue;
   void notify();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t events_ = 0;
-  uint64_t consumed_ = 0;
+  // Leaf lock: nothing else is ever acquired under it. CQs call
+  // notify() *after* dropping their own lock, so the CQ->channel edge
+  // never forms and any poller->CQ->channel chain stays acyclic.
+  lockdep::Mutex mu_{"simverbs.CompletionChannel.mu"};
+  lockdep::CondVar cv_;
+  uint64_t events_ DPURPC_GUARDED_BY(mu_) = 0;
+  uint64_t consumed_ DPURPC_GUARDED_BY(mu_) = 0;
 };
 
 /// Bounded completion queue. Overflow is recorded and the completion is
@@ -146,8 +149,8 @@ class CompletionQueue {
 
   const size_t capacity_;
   CompletionChannel* channel_;
-  mutable std::mutex mu_;
-  std::deque<Completion> items_;
+  mutable lockdep::Mutex mu_{"simverbs.CompletionQueue.mu"};
+  std::deque<Completion> items_ DPURPC_GUARDED_BY(mu_);
   std::atomic<uint64_t> overflows_{0};
 };
 
@@ -162,8 +165,8 @@ class SharedReceiveQueue {
  private:
   friend class QueuePair;
   bool take(RecvWr* out);
-  mutable std::mutex mu_;
-  std::deque<RecvWr> items_;
+  mutable lockdep::Mutex mu_{"simverbs.SharedReceiveQueue.mu"};
+  std::deque<RecvWr> items_ DPURPC_GUARDED_BY(mu_);
 };
 
 /// Per-direction transfer accounting: the simulated PCIe counters.
@@ -193,9 +196,9 @@ class ProtectionDomain {
 
  private:
   std::string name_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<MemoryRegion>> regions_;
-  uint32_t next_key_ = 1;
+  mutable lockdep::Mutex mu_{"simverbs.ProtectionDomain.mu"};
+  std::vector<std::unique_ptr<MemoryRegion>> regions_ DPURPC_GUARDED_BY(mu_);
+  uint32_t next_key_ DPURPC_GUARDED_BY(mu_) = 1;
 };
 
 /// A reliable-connection queue pair. Create two and connect() them.
@@ -244,8 +247,12 @@ class QueuePair {
   SharedReceiveQueue* srq_;
   QueuePair* peer_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::deque<RecvWr> recv_queue_;
+  // Order: QueuePair.mu -> CompletionQueue.mu (the destructor flushes
+  // receives into the CQ while holding mu_). The delivery path in
+  // post_write_with_imm touches peer state only through locked peer
+  // methods (take_recv, CQ push) with no lock of its own held.
+  mutable lockdep::Mutex mu_{"simverbs.QueuePair.mu"};
+  std::deque<RecvWr> recv_queue_ DPURPC_GUARDED_BY(mu_);
 
   LinkCounters tx_;  ///< bytes/ops this QP transmitted
   FaultInjection faults_;

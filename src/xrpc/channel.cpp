@@ -18,7 +18,7 @@ Channel::~Channel() { close(); }
 
 void Channel::close() {
   {
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
     if (closed_) return;
     closed_ = true;
   }
@@ -27,7 +27,7 @@ void Channel::close() {
   // Fail anything still outstanding.
   std::map<uint32_t, Callback> orphans;
   {
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
     orphans.swap(pending_);
   }
   for (auto& [id, cb] : orphans) cb(Code::kUnavailable, {});
@@ -36,15 +36,15 @@ void Channel::close() {
 Status Channel::call_async(std::string_view method, ByteSpan payload, Callback done) {
   uint32_t id;
   {
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
     if (closed_) return Status(Code::kUnavailable, "channel closed");
     id = next_call_id_++;
     pending_[id] = std::move(done);
   }
-  std::lock_guard wl(write_mu_);
+  lockdep::ScopedLock wl(write_mu_);
   Status st = write_request(fd_, id, method, payload);
   if (!st.is_ok()) {
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
     pending_.erase(id);
   }
   return st;
@@ -53,21 +53,21 @@ Status Channel::call_async(std::string_view method, ByteSpan payload, Callback d
 StatusOr<Bytes> Channel::call(std::string_view method, ByteSpan payload,
                               int timeout_ms) {
   struct Sync {
-    std::mutex mu;
-    std::condition_variable cv;
+    lockdep::Mutex mu{"xrpc.Channel.call.sync"};
+    lockdep::CondVar cv;
     bool done = false;
     Code code = Code::kOk;
     Bytes payload;
   };
   auto sync = std::make_shared<Sync>();
   DPURPC_RETURN_IF_ERROR(call_async(method, payload, [sync](Code c, Bytes p) {
-    std::lock_guard lk(sync->mu);
+    lockdep::ScopedLock lk(sync->mu);
     sync->code = c;
     sync->payload = std::move(p);
     sync->done = true;
     sync->cv.notify_all();
   }));
-  std::unique_lock lk(sync->mu);
+  lockdep::UniqueLock lk(sync->mu);
   if (!sync->cv.wait_for(lk, std::chrono::milliseconds(timeout_ms),
                          [&] { return sync->done; })) {
     return Status(Code::kUnavailable, "xrpc call timed out");
@@ -77,7 +77,7 @@ StatusOr<Bytes> Channel::call(std::string_view method, ByteSpan payload,
 }
 
 size_t Channel::outstanding() const {
-  std::lock_guard lk(mu_);
+  lockdep::ScopedLock lk(mu_);
   return pending_.size();
 }
 
@@ -88,7 +88,7 @@ void Channel::reader_loop() {
     if (frame->type != FrameType::kResponse) continue;
     Callback cb;
     {
-      std::lock_guard lk(mu_);
+      lockdep::ScopedLock lk(mu_);
       auto it = pending_.find(frame->response.call_id);
       if (it == pending_.end()) continue;  // late/duplicate: ignore
       cb = std::move(it->second);

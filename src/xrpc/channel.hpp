@@ -5,15 +5,15 @@
 // instead of the host's, §III.A).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/bytes.hpp"
+#include "common/lockdep.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "xrpc/frame.hpp"
 
 namespace dpurpc::xrpc {
@@ -44,12 +44,15 @@ class Channel {
   void reader_loop();
 
   Fd fd_;
-  std::mutex write_mu_;
-  mutable std::mutex mu_;
-  std::map<uint32_t, Callback> pending_;
-  uint32_t next_call_id_ = 1;
+  // Lock order: write_mu_ (frame writes) before mu_ (call bookkeeping) —
+  // call_async()'s failure path unregisters the call while still holding
+  // the write lock. Nothing nests them the other way.
+  lockdep::Mutex write_mu_{"xrpc.Channel.write_mu"};
+  mutable lockdep::Mutex mu_{"xrpc.Channel.mu"};
+  std::map<uint32_t, Callback> pending_ DPURPC_GUARDED_BY(mu_);
+  uint32_t next_call_id_ DPURPC_GUARDED_BY(mu_) = 1;
   std::thread reader_;
-  bool closed_ = false;
+  bool closed_ DPURPC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dpurpc::xrpc

@@ -20,15 +20,18 @@ void Server::shutdown() {
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   listener_.shutdown();
   {
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
     for (auto& weak : conns_) {
       if (auto conn = weak.lock()) conn->fd.shutdown();
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // accept_thread_ is joined, so conn_threads_ can no longer grow; swap
+  // it out under mu_ and join outside the lock (a connection thread may
+  // itself need mu_-free progress to observe its dead fd and exit).
   std::vector<std::thread> threads;
   {
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
     threads.swap(conn_threads_);
   }
   for (auto& t : threads) {
@@ -42,7 +45,10 @@ void Server::accept_loop() {
     if (!client.is_ok()) break;  // listener shut down
     auto conn = std::make_shared<ConnState>();
     conn->fd = std::move(*client);
-    std::lock_guard lk(mu_);
+    lockdep::ScopedLock lk(mu_);
+    // Re-check under mu_: shutdown() sets stopping_ before it sweeps
+    // conns_, so either we see it here (drop the connection), or the
+    // sweep sees our registration (and shuts our fd down).
     if (stopping_.load(std::memory_order_relaxed)) break;
     conns_.push_back(conn);
     conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
@@ -59,7 +65,7 @@ void Server::connection_loop(std::shared_ptr<ConnState> conn) {
     // The responder owns a reference to the connection so late async
     // responses still have a live socket.
     Responder respond = [conn, call_id](Code status, ByteSpan payload) {
-      std::lock_guard wl(conn->write_mu);
+      lockdep::ScopedLock wl(conn->write_mu);
       (void)write_response(conn->fd, call_id, status, payload);
     };
     dispatch_(frame->request.method, std::move(frame->request.payload),

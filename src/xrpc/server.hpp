@@ -10,13 +10,14 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/lockdep.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "xrpc/frame.hpp"
 
 namespace dpurpc::xrpc {
@@ -53,9 +54,16 @@ class Server {
   Listener listener_;
   Dispatch dispatch_;
   std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<std::weak_ptr<struct ConnState>> conns_;
+  lockdep::Mutex mu_{"xrpc.Server.mu"};
+  // Shutdown protocol (stop/join ordering): shutdown() publishes
+  // stopping_, closes the listener, then — under mu_ — shuts down every
+  // fd in conns_ so blocked readers fail out. accept_loop() re-checks
+  // stopping_ under the same mu_ before registering a new connection, so
+  // a connection is either registered (and its fd shut down by
+  // shutdown()'s sweep) or never spawned; no thread can be created after
+  // the sweep and escape it. Only then are accept/conn threads joined.
+  std::vector<std::thread> conn_threads_ DPURPC_GUARDED_BY(mu_);
+  std::vector<std::weak_ptr<struct ConnState>> conns_ DPURPC_GUARDED_BY(mu_);
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_accepted_{0};
 };
@@ -64,7 +72,7 @@ class Server {
 /// responders interleave whole frames.
 struct ConnState {
   Fd fd;
-  std::mutex write_mu;
+  lockdep::Mutex write_mu{"xrpc.ConnState.write_mu"};
 };
 
 }  // namespace dpurpc::xrpc

@@ -2,7 +2,9 @@
 // math, the bounded queue, and the workload RNG distributions.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "common/align.hpp"
 #include "common/bounded_queue.hpp"
@@ -159,6 +161,77 @@ TEST(BoundedQueue, ProducerConsumerStress) {
   for (int i = 0; i < kN; ++i) ASSERT_TRUE(q.push(i));
   consumer.join();
   EXPECT_EQ(sum, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(BoundedQueue, MpmcStressWithSizePolling) {
+  // TSan regression shape: many producers and consumers racing against a
+  // size()/closed() poller. Everything observable must stay internally
+  // consistent (every pushed item popped exactly once) and data-race
+  // free — this is the exemplar protocol DESIGN.md §3.12 describes.
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2'000;
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        popped_sum.fetch_add(*v, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread poller([&] {
+    // Hammer the const observers while the queue churns.
+    while (!q.closed()) {
+      (void)q.size();
+    }
+  });
+  long long pushed_sum = 0;
+  {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          ASSERT_TRUE(q.push(p * kPerProducer + i));
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) pushed_sum += p * kPerProducer + i;
+  }
+  // Close wakes the consumers; they drain what remains, then exit.
+  q.close();
+  for (auto& t : threads) t.join();
+  poller.join();
+  EXPECT_EQ(popped_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), pushed_sum);
+}
+
+TEST(BoundedQueue, CloseRacingPushersAndPoppers) {
+  // close() during full-throttle traffic: pushes after close fail, pops
+  // drain the remainder, nobody deadlocks on a missed wakeup.
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> q(4);
+    std::atomic<int> pushed{0}, popped{0};
+    std::thread producer([&] {
+      for (int i = 0; i < 1'000; ++i) {
+        if (!q.push(i)) break;  // queue closed mid-stream
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::thread consumer([&] {
+      while (q.pop().has_value()) popped.fetch_add(1, std::memory_order_relaxed);
+    });
+    q.close();
+    producer.join();
+    consumer.join();
+    EXPECT_LE(popped.load(), pushed.load());
+  }
 }
 
 TEST(Rng, SkewedVarintIsDeterministic) {

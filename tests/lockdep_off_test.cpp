@@ -1,0 +1,73 @@
+// Pins down the compiled-out shape of the lockdep layer.
+//
+// This TU force-undefines DPURPC_LOCKDEP (so it checks the release
+// flavor even in an instrumented build): lockdep::Mutex must then be
+// layout-identical to std::mutex, make no checker calls, and the
+// assertion macro must be a no-op. It is a separate binary from
+// lockdep_test because the two Mutex definitions must never meet in one
+// program (ODR).
+
+#ifdef DPURPC_LOCKDEP
+#undef DPURPC_LOCKDEP
+#endif
+
+#include "common/lockdep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+namespace dpurpc::lockdep {
+namespace {
+
+// The whole point: a lockdep::Mutex member costs exactly a std::mutex.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release lockdep::Mutex must add no state");
+static_assert(alignof(Mutex) == alignof(std::mutex));
+static_assert(std::is_base_of_v<std::mutex, Mutex>,
+              "release lockdep::Mutex must be the std::mutex interface");
+
+TEST(LockdepOff, MutexIsPlainStdMutex) {
+  Mutex mu{"ignored.in.release"};
+  {
+    ScopedLock lk(mu);
+  }
+  {
+    UniqueLock lk(mu);
+    lk.unlock();
+    lk.lock();
+  }
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(LockdepOff, AssertMacroCompilesToNothing) {
+  Mutex mu{"ignored"};
+  ScopedLock lk(mu);
+  // With the checker compiled out this must be inert even while a lock
+  // is held (in instrumented builds it would be a violation).
+  DPURPC_LOCKDEP_ASSERT_NO_LOCKS_HELD("ArenaDeserializer::deserialize");
+  SUCCEED();
+}
+
+TEST(LockdepOff, CondVarWorksWithReleaseMutex) {
+  Mutex mu{"ignored"};
+  CondVar cv;
+  bool flag = false;
+  std::thread t([&] {
+    ScopedLock lk(mu);
+    flag = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lk(mu);
+    cv.wait(lk, [&] { return flag; });
+  }
+  t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dpurpc::lockdep

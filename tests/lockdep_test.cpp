@@ -1,0 +1,212 @@
+// Tests for the from-scratch lock-order checker (common/lockdep.hpp).
+//
+// This translation unit is compiled with DPURPC_LOCKDEP force-defined
+// (see tests/CMakeLists.txt), independent of the build-wide option, so
+// the instrumented Mutex is always under test here. The companion
+// binary lockdep_off_test pins down the compiled-out shape.
+//
+// Violations are observed through a test handler instead of the default
+// abort: the handler records the report and lets the thread continue,
+// which keeps each detection case inspectable (both acquisition sites
+// must appear in the report) without death-test forking.
+
+#include "common/lockdep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dpurpc::lockdep {
+namespace {
+
+std::string& last_report() {
+  static std::string r;
+  return r;
+}
+
+void capture_handler(const char* report) { last_report() = report; }
+
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_graph_for_testing();
+    last_report().clear();
+    prev_ = set_violation_handler(&capture_handler);
+  }
+  void TearDown() override {
+    set_violation_handler(prev_);
+    reset_graph_for_testing();
+  }
+  ViolationHandler prev_ = nullptr;
+};
+
+TEST_F(LockdepTest, CleanNestedOrderPasses) {
+  Mutex a{"test.clean.A"};
+  Mutex b{"test.clean.B"};
+  for (int i = 0; i < 3; ++i) {
+    ScopedLock la(a);
+    ScopedLock lb(b);  // consistently A -> B: no violation, ever
+  }
+  EXPECT_TRUE(last_report().empty());
+  EXPECT_EQ(held_count(), 0u);
+}
+
+TEST_F(LockdepTest, AbBaInversionDetected) {
+  Mutex a{"test.inv.A"};
+  Mutex b{"test.inv.B"};
+  {
+    ScopedLock la(a);
+    ScopedLock lb(b);  // establishes A -> B
+  }
+  ASSERT_TRUE(last_report().empty());
+  {
+    ScopedLock lb(b);
+    ScopedLock la(a);  // B -> A: closes the cycle
+  }
+  const std::string& rep = last_report();
+  ASSERT_FALSE(rep.empty());
+  EXPECT_NE(rep.find("LOCK ORDER INVERSION"), std::string::npos) << rep;
+  // The report must carry both lock classes and both acquisition sites
+  // (the held lock's and the acquiring lock's code addresses).
+  EXPECT_NE(rep.find("test.inv.A"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("test.inv.B"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("held, acquired at"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("acquiring at"), std::string::npos) << rep;
+}
+
+TEST_F(LockdepTest, InversionThroughIntermediaryDetected) {
+  Mutex a{"test.chain.A"};
+  Mutex b{"test.chain.B"};
+  Mutex c{"test.chain.C"};
+  {
+    ScopedLock la(a);
+    ScopedLock lb(b);  // A -> B
+  }
+  {
+    ScopedLock lb(b);
+    ScopedLock lc(c);  // B -> C
+  }
+  ASSERT_TRUE(last_report().empty());
+  {
+    ScopedLock lc(c);
+    ScopedLock la(a);  // C -> A: cycle via A -> B -> C
+  }
+  const std::string& rep = last_report();
+  ASSERT_NE(rep.find("LOCK ORDER INVERSION"), std::string::npos) << rep;
+  // The witness path through the intermediary must be part of the report.
+  EXPECT_NE(rep.find("test.chain.B"), std::string::npos) << rep;
+}
+
+TEST_F(LockdepTest, OrderIsPerClassNotPerInstance) {
+  // Two instances of one class (e.g. two BoundedQueues) impose no order
+  // between themselves...
+  Mutex q1{"test.cls.Queue"};
+  Mutex q2{"test.cls.Queue"};
+  Mutex other{"test.cls.Other"};
+  {
+    ScopedLock l1(q1);
+    ScopedLock lo(other);  // Queue -> Other
+  }
+  {
+    ScopedLock lo(other);
+    ScopedLock l2(q2);  // Other -> Queue on a DIFFERENT instance:
+  }                     // still an inversion — order rules are per class
+  EXPECT_NE(last_report().find("LOCK ORDER INVERSION"), std::string::npos)
+      << last_report();
+}
+
+TEST_F(LockdepTest, SelfDeadlockDetected) {
+  // Driven through the raw hooks: with a surviving test handler, a real
+  // Mutex would proceed into the OS lock and genuinely deadlock — the
+  // hooks exercise the detection without blocking. (Under the default
+  // aborting handler the process dies before reaching the OS mutex.)
+  const LockClass* cls = intern_lock_class("test.self.A");
+  int instance = 0;
+  on_acquire(cls, &instance, reinterpret_cast<void*>(&instance));
+  ASSERT_TRUE(last_report().empty());
+  on_acquire(cls, &instance, reinterpret_cast<void*>(&instance));
+  const std::string& rep = last_report();
+  ASSERT_NE(rep.find("SELF-DEADLOCK"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("test.self.A"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("first acquired at"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("re-acquired at"), std::string::npos) << rep;
+  on_release(cls, &instance);
+  EXPECT_EQ(held_count(), 0u);
+}
+
+TEST_F(LockdepTest, DomainRuleNoLocksHeldFires) {
+  Mutex a{"test.domain.A"};
+  {
+    ScopedLock la(a);
+    // A lock is held entering the "deserialize" region: rule fires.
+    assert_no_locks_held("ArenaDeserializer::deserialize");
+    const std::string& rep = last_report();
+    ASSERT_NE(rep.find("DOMAIN RULE VIOLATION"), std::string::npos) << rep;
+    EXPECT_NE(rep.find("ArenaDeserializer::deserialize"), std::string::npos)
+        << rep;
+    EXPECT_NE(rep.find("test.domain.A"), std::string::npos) << rep;
+  }
+  last_report().clear();
+  // No lock held: clean.
+  assert_no_locks_held("ArenaDeserializer::deserialize");
+  EXPECT_TRUE(last_report().empty());
+}
+
+TEST_F(LockdepTest, CondVarWaitReleasesHeldStack) {
+  Mutex mu{"test.cv.mu"};
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    ScopedLock lk(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lk(mu);
+    cv.wait(lk, [&] { return ready; });
+    // Back from wait: the lock is held again and tracked exactly once.
+    EXPECT_EQ(held_count(), 1u);
+  }
+  waker.join();
+  EXPECT_EQ(held_count(), 0u);
+  EXPECT_TRUE(last_report().empty());
+}
+
+TEST_F(LockdepTest, ConcurrentAcquisitionsAreTracked) {
+  // The checker itself must be thread-safe: many threads hammering the
+  // same clean order must produce no violation and no crash.
+  Mutex outer{"test.mt.outer"};
+  Mutex inner{"test.mt.inner"};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        ScopedLock lo(outer);
+        ScopedLock li(inner);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(last_report().empty());
+}
+
+TEST_F(LockdepTest, TryLockEstablishesOrder) {
+  Mutex a{"test.try.A"};
+  Mutex b{"test.try.B"};
+  {
+    ScopedLock la(a);
+    ASSERT_TRUE(b.try_lock());  // records A -> B like a blocking acquire
+    b.unlock();
+  }
+  {
+    ScopedLock lb(b);
+    ScopedLock la(a);
+  }
+  EXPECT_NE(last_report().find("LOCK ORDER INVERSION"), std::string::npos)
+      << last_report();
+}
+
+}  // namespace
+}  // namespace dpurpc::lockdep

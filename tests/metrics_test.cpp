@@ -2,7 +2,9 @@
 // monitoring methodology (instant rate of increase, 1% stability).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "metrics/metrics.hpp"
 #include "metrics/monitor.hpp"
@@ -141,6 +143,53 @@ TEST(RateMonitor, MissingCounterYieldsNoRate) {
   Snapshot s;
   s.wall_ns = 5;
   EXPECT_FALSE(mon.observe(s).has_value());
+}
+
+TEST(Registry, ConcurrentScrapeDuringIncrements) {
+  // TSan regression shape for the monitoring pipeline: writer threads
+  // bump counters/gauges/histograms (hot path, lock-free atomics) while
+  // a scraper thread snapshots and renders text exposition (cold path,
+  // Registry -> Family lock order) and a third thread keeps registering
+  // new children. Counter monotonicity across scrapes is the observable
+  // invariant.
+  Registry reg;
+  Family& reqs = reg.counter_family("reqs_total", "requests");
+  Family& lat = reg.histogram_family("lat", "latency", {1, 10, 100});
+  Family& gauge = reg.gauge_family("credits", "credits");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      Counter& c = reqs.counter({{"lane", std::to_string(w)}});
+      Histogram& h = lat.histogram();
+      Gauge& g = gauge.gauge();
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.inc();
+        h.observe(static_cast<double>(w) * 7.0);
+        g.add(1.0);
+        g.sub(1.0);
+      }
+    });
+  }
+  std::thread registrar([&] {
+    for (int i = 0; i < 200; ++i) {
+      reqs.counter({{"lane", "extra" + std::to_string(i)}}).inc();
+    }
+  });
+  double last_total = 0;
+  for (int i = 0; i < 200; ++i) {
+    Snapshot snap = reg.scrape();
+    double total = 0;
+    for (const auto& sample : snap.samples) {
+      if (sample.name == "reqs_total") total += sample.value;
+    }
+    EXPECT_GE(total, last_total) << "counter aggregate went backwards";
+    last_total = total;
+    EXPECT_FALSE(reg.expose_text().empty());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  registrar.join();
 }
 
 TEST(Snapshot, FindHonorsLabels) {

@@ -4,8 +4,10 @@
 // reclamation, in-place payloads, large messages, and error paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 #include <set>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "metrics/metrics.hpp"
@@ -105,6 +107,41 @@ TEST(OffsetAllocator, ShadowModelStress) {
   }
   EXPECT_EQ(a.free_range_count(), 1u);
   EXPECT_EQ(a.largest_free_range(), a.capacity());
+}
+
+TEST(OffsetAllocator, MonitorReadsAreRaceFreeDuringChurn) {
+  // Regression for a TSan finding (DESIGN.md §3.12): the end-to-end
+  // quiescence wait polls used() from the main thread while the engine
+  // thread churns allocate()/free(). Those getters are documented as
+  // monitor-safe relaxed hints — this pins the contract under TSan.
+  OffsetAllocator a(1 << 20);
+  std::atomic<bool> stop{false};
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // Each getter samples used_ independently, and the churn thread
+      // moves it between calls — so only per-sample bounds are stable.
+      EXPECT_LE(a.used(), a.capacity());
+      EXPECT_LE(a.free_bytes(), a.capacity());
+      (void)a.allocation_count();
+    }
+  });
+  std::mt19937_64 rng(kDefaultSeed);
+  std::vector<uint64_t> live;
+  for (int step = 0; step < 20000; ++step) {
+    if (live.empty() || rng() % 2 == 0) {
+      auto off = a.allocate(1 + rng() % 4000);
+      if (off.has_value()) live.push_back(*off);
+    } else {
+      size_t i = rng() % live.size();
+      a.free(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+  for (uint64_t off : live) a.free(off);
+  EXPECT_EQ(a.used(), 0u);
 }
 
 // ------------------------------------------------------------------ block

@@ -2,7 +2,9 @@
 // concurrent outstanding calls, and failure handling.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "xrpc/channel.hpp"
@@ -140,6 +142,50 @@ TEST(Xrpc, ServerShutdownFailsInFlightCalls) {
   EXPECT_TRUE(failed.load());
 }
 
+TEST(Xrpc, ShutdownRacesInFlightTraffic) {
+  // TSan regression shape for the server stop/join ordering audit: fire
+  // async traffic from several channels and shut the server down in the
+  // middle of it. Every callback must still run exactly once (with kOk
+  // or kUnavailable), every connection thread must be joined (no leak,
+  // no use-after-free of ConnState), and repeated shutdown() is a no-op.
+  for (int round = 0; round < 10; ++round) {
+    auto server = echo_server();
+    constexpr int kChannels = 3;
+    constexpr int kCallsPerChannel = 40;
+    std::atomic<int> callbacks{0};
+    std::vector<std::unique_ptr<Channel>> channels;
+    for (int c = 0; c < kChannels; ++c) {
+      auto ch = Channel::connect(server->port());
+      ASSERT_TRUE(ch.is_ok());
+      channels.push_back(std::move(*ch));
+    }
+    std::vector<std::thread> callers;
+    for (auto& ch : channels) {
+      callers.emplace_back([&callbacks, &ch] {
+        for (int i = 0; i < kCallsPerChannel; ++i) {
+          Bytes payload = to_bytes(std::string_view("ping"));
+          Status st = ch->call_async("test.Echo/Echo", ByteSpan(payload),
+                                     [&callbacks](Code, Bytes) {
+                                       callbacks.fetch_add(
+                                           1, std::memory_order_relaxed);
+                                     });
+          if (!st.is_ok()) {
+            // Channel already torn down by the shutdown below: the call
+            // was never registered, so no callback is owed.
+            return;
+          }
+        }
+      });
+    }
+    server->shutdown();   // races the callers above
+    server->shutdown();   // idempotent
+    for (auto& t : callers) t.join();
+    // Closing the channels fails any still-pending callbacks.
+    for (auto& ch : channels) ch->close();
+    SUCCEED();
+  }
+}
+
 TEST(Xrpc, ConnectToClosedPortFails) {
   // Grab a port, then close it so nothing listens there.
   uint16_t dead_port;
@@ -164,6 +210,12 @@ TEST(Xrpc, AsyncCallbackRunsOffCallerThread) {
                   ->call_async("test.Echo/Echo", as_bytes_view("t"),
                                [&](Code, Bytes) {
                                  EXPECT_NE(std::this_thread::get_id(), caller);
+                                 // Flag and notify under the mutex: the
+                                 // waiter can then only destroy `cv` after
+                                 // notify_all() has returned (it must
+                                 // reacquire `mu` first). Notifying outside
+                                 // the lock raced with cv's destruction.
+                                 std::lock_guard<std::mutex> l(mu);
                                  checked = true;
                                  cv.notify_all();
                                })

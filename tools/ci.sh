@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 verify, twice: a plain RelWithDebInfo pass (the perf-shaped build
-# the benches use) and an address+undefined sanitizer pass over the same
-# test suite. The deserializer works on raw arena bytes and does unaligned
-# word probes, so the sanitized pass is what catches lifetime/OOB slips the
-# plain pass happily runs through.
+# Tier-1 verify, three times over the same test suite:
+#
+#   1. plain        — RelWithDebInfo, the perf-shaped build the benches use.
+#   2. asan         — address+undefined sanitizers, plus DPURPC_LOCKDEP=ON:
+#                     the deserializer works on raw arena bytes and does
+#                     unaligned word probes, so this pass catches the
+#                     lifetime/OOB slips the plain pass runs through; the
+#                     lockdep checker rides along and fails the pass on the
+#                     first lock-order inversion or domain-rule violation.
+#   3. tsan         — ThreadSanitizer over the whole suite: the DPU proxy
+#                     lanes, xRPC reader threads, simverbs CQ pollers and
+#                     the metrics scraper all interleave in the tests, and
+#                     data races between them are invisible to passes 1–2.
+#                     Benches are excluded here (the BMI2 micro-bench
+#                     kernels measure nothing under TSan's 5-15x slowdown
+#                     and are single-threaded anyway).
+#
+# Also runs tools/lint.sh (clang-tidy over src/) when clang-tidy exists in
+# the environment; see that script for the gating rules.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -21,6 +35,10 @@ run_pass() {
 }
 
 run_pass "$prefix-plain"
-run_pass "$prefix-asan" -DDPURPC_SANITIZE=address,undefined
+run_pass "$prefix-asan" -DDPURPC_SANITIZE=address,undefined -DDPURPC_LOCKDEP=ON
+run_pass "$prefix-tsan" -DDPURPC_SANITIZE=thread -DDPURPC_BUILD_BENCH=OFF
 
-echo "ci: both passes green"
+# Static lint wall: no-op (with a warning) when clang-tidy is absent.
+tools/lint.sh "$prefix-plain"
+
+echo "ci: all three passes green"

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Static lint wall: clang-tidy over src/ with the checks in .clang-tidy
+# (bugprone-*, concurrency-*, performance-*), driven by the
+# compile_commands.json the CMake configure always exports.
+#
+# Exit status is the contract: any finding is a non-zero exit, so CI
+# treats lint findings exactly like test failures. When clang-tidy is not
+# installed (the default container ships GCC only), the script warns and
+# exits 0 — the wall is enforced wherever the tool exists, and never
+# silently: the skip is printed.
+#
+# Usage: tools/lint.sh [build-dir]   (default: build)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint: clang-tidy not found in PATH; skipping (install clang-tidy to enforce)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "lint: $build_dir/compile_commands.json missing — configure first:" >&2
+  echo "  cmake -B $build_dir -S .   (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)" >&2
+  exit 2
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+# Lint only first-party sources: src/ and tools/adtc. Tests and benches
+# are exercised by the three ci.sh passes; generated .pb.cc files are
+# machine-written and out of scope.
+mapfile -t files < <(find src tools/adtc -name '*.cpp' | sort)
+
+echo "lint: clang-tidy over ${#files[@]} files ($build_dir)" >&2
+
+status=0
+# run-clang-tidy parallelizes when available; otherwise loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$build_dir" -j "$jobs" "${files[@]}" || status=$?
+else
+  for f in "${files[@]}"; do
+    clang-tidy -quiet -p "$build_dir" "$f" || status=$?
+  done
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "lint: clang-tidy reported findings (treat as build failure)" >&2
+  exit 1
+fi
+echo "lint: clean" >&2
