@@ -154,7 +154,7 @@ Result run(Mode mode) {
                 if (mode == Mode::kBoth && rs.is_ok()) {
                   // DPU serializes the response object for the client.
                   Bytes out;
-                  (void)ser.serialize(resp.header.aux, resp.payload_addr, out);
+                  (void)ser.serialize(adt::ObjectRef(resp.header.aux, resp.payload_addr), out);
                   volatile size_t sink = out.size();
                   (void)sink;
                 }

@@ -28,7 +28,7 @@ bench::BenchEnv& env() {
 
 void run_path(benchmark::State& state, uint32_t class_index, const Bytes& wire,
               bool use_plan) {
-  adt::DeserializeOptions opts;
+  adt::CodecOptions opts;
   opts.use_parse_plan = use_plan;
   adt::ArenaDeserializer deser(&env().adt, opts);
   arena::OwningArena arena(1 << 21);

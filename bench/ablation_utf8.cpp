@@ -20,7 +20,7 @@ void BM_CharsDeserialize(benchmark::State& state) {
   bool validate = state.range(1) != 0;
   auto n = static_cast<size_t>(state.range(0));
   Bytes wire = bench::make_char_array_wire(env(), n);
-  adt::DeserializeOptions opts;
+  adt::CodecOptions opts;
   opts.validate_utf8 = validate;
   adt::ArenaDeserializer deser(&env().adt, opts);
   arena::OwningArena arena(1 << 21);

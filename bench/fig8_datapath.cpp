@@ -17,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "adt/object_codec.hpp"
 #include "bench_util.hpp"
 #include "common/cpu_timer.hpp"
 #include "rdmarpc/client.hpp"
@@ -69,6 +70,32 @@ double measure_deser_unit_ns(BenchEnv& env, uint32_t class_index, const Bytes& w
     auto obj = env.deserializer->deserialize(class_index, ByteSpan(wire), arena, xlate);
     if (!obj.is_ok()) std::abort();
     volatile const void* sink = *obj;
+    (void)sink;
+  }
+  return static_cast<double>(t.elapsed_ns()) / kIters;
+}
+
+// Offline unit cost of the response path: serializing the in-memory object
+// back to wire form, with the compiled serialize plan on or off (DESIGN.md
+// §3.13). Bulk-measured for the same reason as measure_deser_unit_ns. The
+// Fig. 8 scenarios themselves run empty responses per §VI.C, so this is
+// reported as a separate split rather than folded into the pipeline model.
+double measure_ser_unit_ns(BenchEnv& env, uint32_t class_index, const Bytes& wire,
+                           bool use_plan) {
+  arena::OwningArena arena(1 << 21);
+  auto obj = env.deserializer->deserialize(class_index, ByteSpan(wire), arena, {});
+  if (!obj.is_ok()) std::abort();
+  adt::CodecOptions opts;
+  opts.use_serialize_plan = use_plan;
+  adt::ObjectSerializer ser(&env.adt, opts);
+  adt::ObjectRef ref(class_index, *obj);
+  Bytes out;
+  constexpr int kIters = 3000;
+  ThreadCpuTimer t;
+  for (int i = 0; i < kIters; ++i) {
+    out.clear();  // capacity retained, matching ablation_serplan
+    if (!ser.serialize(ref, out).is_ok()) std::abort();
+    volatile const void* sink = out.data();
     (void)sink;
   }
   return static_cast<double>(t.elapsed_ns()) / kIters;
@@ -263,6 +290,16 @@ int main(int argc, char** argv) {
                 "%.2f   hostCPU(CPU)/hostCPU(DPU) = %.2fx\n",
                 names[i], rps_ratio[i], bw_ratio[i], cpu_ratio[i]);
   }
+  std::printf("\nResponse path (serialize unit cost, object -> wire, single core):\n");
+  for (const auto& w : workloads) {
+    double plan_ns = measure_ser_unit_ns(env, w.class_index, w.wire, /*use_plan=*/true);
+    double interp_ns =
+        measure_ser_unit_ns(env, w.class_index, w.wire, /*use_plan=*/false);
+    std::printf("  %-12s serialize_plan %9.1f ns   interpretive %9.1f ns   "
+                "speedup %.2fx\n",
+                w.name, plan_ns, interp_ns, interp_ns / plan_ns);
+  }
+
   std::printf("\nPaper reference (Fig. 8): DPU matches CPU rps when given 2x threads;\n");
   std::printf("bandwidth penalty largest for Small/Ints (deserialized > serialized),\n");
   std::printf("~1.0x for Chars; host CPU reduced 1.8x (Small), 8.0x (Ints), 1.53x "

@@ -5,7 +5,7 @@
 #include <bit>
 #include <type_traits>
 
-#include "adt/parse_plan.hpp"
+#include "adt/serialize_plan.hpp"
 #include "common/align.hpp"
 #include "common/endian.hpp"
 #include "common/lockdep.hpp"
@@ -14,10 +14,10 @@ namespace dpurpc::adt {
 
 namespace {
 // One mutex for every Adt's plan cache: contention is setup-only (each
-// deserializer fetches the shared_ptr once in its constructor), and a
-// global keeps Adt copyable/movable. It guards only the cache *slot*
-// (plans_); the ParsePlanSet it points to is immutable after
-// publication — see the contract in parse_plans().
+// codec fetches the shared_ptr once in its constructor), and a global
+// keeps Adt copyable/movable. It guards only the cache *slot* (plans_);
+// the PlanSet it points to — parse and serialize plans together — is
+// immutable after publication — see the contract in plans().
 lockdep::Mutex& plan_cache_mutex() {
   static lockdep::Mutex m{"adt.Adt.plan_cache"};
   return m;
@@ -76,24 +76,33 @@ void Adt::replace_class(uint32_t index, ClassEntry entry) {
   plans_.reset();
 }
 
-std::shared_ptr<const ParsePlanSet> Adt::parse_plans() const {
-  // Immutable-after-publication contract: once a ParsePlanSet pointer
-  // leaves this function, NOTHING may write through it — every consumer
-  // (DPU proxy lanes today, the sharded lanes the roadmap plans) reads
-  // it lock-free and concurrently. The cache mutex serializes only the
-  // build-and-publish step. The static_asserts are the compile-time half
-  // of the contract (no non-const access path exists); the lockdep rule
-  // in ArenaDeserializer::deserialize is the runtime half (no lock is
-  // needed, so none may be held).
+std::shared_ptr<const PlanSet> Adt::plans() const {
+  // Immutable-after-publication contract: once a PlanSet pointer leaves
+  // this function, NOTHING may write through it — every consumer (DPU
+  // proxy lanes today, the sharded lanes the roadmap plans) reads it
+  // lock-free and concurrently, for both plan directions. The cache
+  // mutex serializes only the build-and-publish step. The static_asserts
+  // are the compile-time half of the contract (no non-const access path
+  // exists); the lockdep rule in ArenaDeserializer::deserialize is the
+  // runtime half (no lock is needed, so none may be held).
   static_assert(std::is_const_v<std::remove_reference_t<decltype(*plans_)>>,
-                "parse plan cache must publish const snapshots");
+                "plan cache must publish const snapshots");
+  static_assert(
+      std::is_const_v<std::remove_reference_t<decltype(*std::declval<Adt>().plans())>>,
+      "plans() must hand out pointers-to-const only");
   static_assert(
       std::is_const_v<
           std::remove_reference_t<decltype(*std::declval<Adt>().parse_plans())>>,
       "parse_plans() must hand out pointers-to-const only");
   lockdep::ScopedLock lk(plan_cache_mutex());
-  if (!plans_) plans_ = std::make_shared<const ParsePlanSet>(ParsePlanSet::build(*this));
+  if (!plans_) plans_ = std::make_shared<const PlanSet>(PlanSet::build(*this));
   return plans_;
+}
+
+std::shared_ptr<const ParsePlanSet> Adt::parse_plans() const {
+  // Aliasing shared_ptr: points at the parse half, owns the whole bundle.
+  auto all = plans();
+  return {all, &all->parse()};
 }
 
 uint32_t Adt::find_class(std::string_view name) const noexcept {

@@ -28,6 +28,7 @@
 namespace dpurpc::adt {
 
 class ParsePlanSet;  // parse_plan.hpp
+class PlanSet;       // serialize_plan.hpp (bundles parse + serialize plans)
 
 // The paper's §IV assumption, made explicit: object crafting stores field
 // values in the C++ native representation, and the wire format is
@@ -107,22 +108,29 @@ class Adt {
   Bytes serialize() const;
   static StatusOr<Adt> deserialize(ByteSpan data);
 
-  /// Per-class parse plans (see parse_plan.hpp), compiled on first use and
-  /// cached so every deserializer over this table — DPU proxy lanes, host
+  /// Per-class compiled plans — parse plans (parse_plan.hpp) and serialize
+  /// plans (serialize_plan.hpp) bundled in one PlanSet — compiled on first
+  /// use and cached so every codec over this table — DPU proxy lanes, host
   /// compat layer — shares one immutable set. The returned set is
   /// **immutable after publication**: consumers read it lock-free, from
   /// any number of threads, for as long as they hold the shared_ptr;
   /// add_class / replace_class invalidate by swapping the cache slot,
-  /// never by mutating a published set. Table *mutation* itself is a
+  /// never by mutating a published set (one mutex, one invalidation
+  /// point, both plan directions). Table *mutation* itself is a
   /// single-threaded setup-phase activity (builders, bootstrap) — only
   /// the published plan snapshot is concurrency-safe.
+  std::shared_ptr<const PlanSet> plans() const;
+
+  /// Deprecated shim (pre-PlanSet API): the parse half of plans(), aliased
+  /// into the bundled snapshot so its lifetime rules are unchanged. New
+  /// code should call plans()->parse().
   std::shared_ptr<const ParsePlanSet> parse_plans() const;
 
  private:
   std::vector<ClassEntry> classes_;
   std::map<std::string, uint32_t, std::less<>> by_name_;
   AbiFingerprint fingerprint_{};
-  mutable std::shared_ptr<const ParsePlanSet> plans_;  // guarded by plan mutex
+  mutable std::shared_ptr<const PlanSet> plans_;  // guarded by plan mutex
 };
 
 /// Build an ADT **from descriptors alone** by synthesizing the C++ layout

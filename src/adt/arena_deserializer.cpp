@@ -3,7 +3,7 @@
 #include <bit>
 #include <cstring>
 
-#include "adt/parse_plan.hpp"
+#include "adt/serialize_plan.hpp"
 #include "common/endian.hpp"
 #include "common/lockdep.hpp"
 #include "metrics/metrics.hpp"
@@ -173,11 +173,11 @@ DeserCounters& deser_counters() {
 
 }  // namespace
 
-ArenaDeserializer::ArenaDeserializer(const Adt* adt, DeserializeOptions options)
+ArenaDeserializer::ArenaDeserializer(const Adt* adt, CodecOptions options)
     : adt_(adt),
       flavor_(static_cast<arena::StdLibFlavor>(adt->fingerprint().string_flavor)),
       options_(options),
-      plans_(options.use_parse_plan ? adt->parse_plans() : nullptr) {}
+      plans_(options.use_parse_plan ? adt->plans() : nullptr) {}
 
 StatusOr<void*> ArenaDeserializer::deserialize(
     uint32_t class_index, ByteSpan wire, arena::Arena& arena,
@@ -202,7 +202,7 @@ StatusOr<void*> ArenaDeserializer::deserialize(
   DPURPC_RETURN_IF_ERROR(parse_msg(class_index, base, wire, arena, xlate, 0, stats));
   if (xlate.delta != 0) fix_pointers(cls, base, xlate);
   DeserCounters& c = deser_counters();
-  if (plans_ != nullptr && plans_->for_class(class_index) != nullptr) {
+  if (plans_ != nullptr && plans_->parse().for_class(class_index) != nullptr) {
     c.plan_parses.inc();
   } else {
     c.interp_parses.inc();
@@ -220,7 +220,7 @@ Status ArenaDeserializer::parse_msg(uint32_t class_index, std::byte* base,
                                     int depth, PlanParseStats& stats) const {
   const ClassEntry& cls = adt_->class_at(class_index);
   if (plans_ != nullptr) {
-    if (const ParsePlan* plan = plans_->for_class(class_index)) {
+    if (const ParsePlan* plan = plans_->parse().for_class(class_index)) {
       return parse_with_plan(cls, *plan, base, wire, arena, xlate, depth, stats);
     }
   }

@@ -8,10 +8,11 @@
 //
 // Cost centers (per the paper): varint decoding, UTF-8 validation for
 // strings, and recursion for nested messages. UTF-8 validation can be
-// disabled through DeserializeOptions for the ablation benchmark.
+// disabled through CodecOptions for the ablation benchmark.
 #pragma once
 
 #include "adt/adt.hpp"
+#include "adt/codec_options.hpp"
 #include "arena/arena.hpp"
 #include "arena/string_craft.hpp"
 #include "common/bytes.hpp"
@@ -21,18 +22,11 @@ namespace dpurpc::adt {
 
 class ParsePlan;  // parse_plan.hpp
 
-struct DeserializeOptions {
-  bool validate_utf8 = true;       ///< proto3 requires it for `string` fields
-  bool use_parse_plan = true;      ///< tag-fused parse plans (parse_plan.hpp);
-                                   ///< false = interpretive ablation baseline
-  int max_recursion_depth = 100;   ///< hostile nesting guard
-};
-
 class ArenaDeserializer {
  public:
   /// `adt` must outlive the deserializer. The string flavor must match the
   /// receiver's ABI (it ships inside the ADT fingerprint).
-  ArenaDeserializer(const Adt* adt, DeserializeOptions options = {});
+  ArenaDeserializer(const Adt* adt, CodecOptions options = {});
 
   /// Deserialize `wire` as an instance of `class_index` into `arena`.
   /// Returns the object's *local* address (use `xlate` to compute the
@@ -70,8 +64,8 @@ class ArenaDeserializer {
 
   const Adt* adt_;
   arena::StdLibFlavor flavor_;
-  DeserializeOptions options_;
-  std::shared_ptr<const ParsePlanSet> plans_;  ///< null when plans disabled
+  CodecOptions options_;
+  std::shared_ptr<const PlanSet> plans_;  ///< null when parse plans disabled
 };
 
 /// Typed, bounds-checked read access to an object produced by
@@ -81,9 +75,12 @@ class ArenaDeserializer {
 class LayoutView {
  public:
   LayoutView(const Adt* adt, uint32_t class_index, const void* base) noexcept
-      : adt_(adt), cls_(&adt->class_at(class_index)), base_(static_cast<const std::byte*>(base)) {}
+      : adt_(adt), cls_(&adt->class_at(class_index)), class_index_(class_index),
+        base_(static_cast<const std::byte*>(base)) {}
 
   const ClassEntry& class_entry() const noexcept { return *cls_; }
+  uint32_t class_index() const noexcept { return class_index_; }
+  const void* object() const noexcept { return base_; }
 
   /// Presence via the has-bits word (singular fields only).
   bool has(uint32_t field_number) const noexcept;
@@ -113,6 +110,7 @@ class LayoutView {
 
   const Adt* adt_;
   const ClassEntry* cls_;
+  uint32_t class_index_;
   const std::byte* base_;
 };
 

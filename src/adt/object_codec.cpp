@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "adt/serialize_plan.hpp"
 #include "common/endian.hpp"
+#include "metrics/metrics.hpp"
 #include "wire/coded_stream.hpp"
 #include "wire/varint.hpp"
 
@@ -13,7 +15,22 @@ namespace {
 using proto::FieldType;
 using wire::WireType;
 
-constexpr int kMaxDepth = 100;
+/// Process-wide serializer counters (default metrics registry), the
+/// response-path mirror of the dpurpc_deser_* family.
+struct SerCounters {
+  metrics::Counter& plan_serializes;
+  metrics::Counter& interp_serializes;
+};
+
+SerCounters& ser_counters() {
+  static SerCounters c{
+      metrics::default_counter("dpurpc_ser_plan_serializes_total",
+                               "objects serialized through a compiled plan"),
+      metrics::default_counter("dpurpc_ser_interp_serializes_total",
+                               "objects serialized by the interpretive walk"),
+  };
+  return c;
+}
 
 struct RepHeader {
   void* data;
@@ -75,26 +92,39 @@ bool has_bit_set(const ClassEntry& cls, const std::byte* base, const FieldEntry&
 
 }  // namespace
 
-Status ObjectSerializer::serialize(uint32_t class_index, const void* base,
-                                   Bytes& out) const {
-  if (class_index >= adt_->class_count()) {
+Status ObjectSerializer::serialize(ObjectRef ref, Bytes& out) const {
+  if (ref.class_index >= adt_->class_count()) {
     return Status(Code::kNotFound, "unknown ADT class index");
   }
-  return serialize_impl(adt_->class_at(class_index),
-                        static_cast<const std::byte*>(base), out, 0);
+  if (plans_ != nullptr &&
+      plans_->serialize().for_class(ref.class_index) != nullptr) {
+    ser_counters().plan_serializes.inc();
+    return plans_->serialize().serialize(*adt_, ref.class_index, ref.base, flavor_,
+                                         options_.max_recursion_depth, out);
+  }
+  ser_counters().interp_serializes.inc();
+  return serialize_impl(adt_->class_at(ref.class_index),
+                        static_cast<const std::byte*>(ref.base), out, 0);
 }
 
-StatusOr<size_t> ObjectSerializer::byte_size(uint32_t class_index,
-                                             const void* base) const {
-  if (class_index >= adt_->class_count()) {
+StatusOr<size_t> ObjectSerializer::byte_size(ObjectRef ref) const {
+  if (ref.class_index >= adt_->class_count()) {
     return Status(Code::kNotFound, "unknown ADT class index");
   }
-  return size_impl(adt_->class_at(class_index), static_cast<const std::byte*>(base), 0);
+  if (plans_ != nullptr &&
+      plans_->serialize().for_class(ref.class_index) != nullptr) {
+    return plans_->serialize().byte_size(*adt_, ref.class_index, ref.base, flavor_,
+                                         options_.max_recursion_depth);
+  }
+  return size_impl(adt_->class_at(ref.class_index),
+                   static_cast<const std::byte*>(ref.base), 0);
 }
 
 StatusOr<size_t> ObjectSerializer::size_impl(const ClassEntry& cls,
                                              const std::byte* base, int depth) const {
-  if (depth > kMaxDepth) return Status(Code::kInternal, "object nesting too deep");
+  if (depth > options_.max_recursion_depth) {
+    return Status(Code::kInternal, "object nesting too deep");
+  }
   size_t total = 0;
   for (const FieldEntry& f : cls.fields) {
     const std::byte* p = base + f.offset;
@@ -180,7 +210,9 @@ StatusOr<size_t> ObjectSerializer::size_impl(const ClassEntry& cls,
 
 Status ObjectSerializer::serialize_impl(const ClassEntry& cls, const std::byte* base,
                                         Bytes& out, int depth) const {
-  if (depth > kMaxDepth) return Status(Code::kInternal, "object nesting too deep");
+  if (depth > options_.max_recursion_depth) {
+    return Status(Code::kInternal, "object nesting too deep");
+  }
   wire::Writer w(out);
   for (const FieldEntry& f : cls.fields) {
     const std::byte* p = base + f.offset;

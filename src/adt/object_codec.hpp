@@ -16,6 +16,7 @@
 
 #include "adt/adt.hpp"
 #include "adt/arena_deserializer.hpp"
+#include "adt/codec_options.hpp"
 #include "arena/arena.hpp"
 #include "arena/string_craft.hpp"
 #include "common/bytes.hpp"
@@ -23,21 +24,57 @@
 
 namespace dpurpc::adt {
 
+class LayoutBuilder;
+
+/// Typed handle to a serializable object: the class index bound to the
+/// instance base. The serializer entry points take this instead of a raw
+/// (index, pointer) pair, so code coming from a LayoutBuilder or
+/// LayoutView cannot pass a mismatched index — the conversion reads both
+/// halves from the same source.
+struct ObjectRef {
+  uint32_t class_index = 0;
+  const void* base = nullptr;
+
+  constexpr ObjectRef() = default;
+  constexpr ObjectRef(uint32_t ci, const void* b) noexcept
+      : class_index(ci), base(b) {}
+  /// The object under construction in `b` (implicit: the builder *is* the
+  /// object for serialization purposes).
+  ObjectRef(const LayoutBuilder& b) noexcept;  // NOLINT(google-explicit-constructor)
+  ObjectRef(const LayoutView& v) noexcept      // NOLINT(google-explicit-constructor)
+      : class_index(v.class_index()), base(v.object()) {}
+};
+
 class ObjectSerializer {
  public:
-  explicit ObjectSerializer(const Adt* adt)
+  /// `adt` must outlive the serializer. With use_serialize_plan set (the
+  /// default) the constructor captures the ADT's compiled-plan snapshot
+  /// (Adt::plans()) and serialization runs the single-pass planned path;
+  /// otherwise the interpretive field-table walk — the ablation baseline —
+  /// is used. Both produce bit-identical bytes (tests/serialize_plan_test).
+  explicit ObjectSerializer(const Adt* adt, CodecOptions options = {})
       : adt_(adt),
-        flavor_(static_cast<arena::StdLibFlavor>(adt->fingerprint().string_flavor)) {}
+        flavor_(static_cast<arena::StdLibFlavor>(adt->fingerprint().string_flavor)),
+        options_(options),
+        plans_(options.use_serialize_plan ? adt->plans() : nullptr) {}
 
-  /// Serialize the object at `base` (an instance of `class_index` whose
-  /// pointers are valid in this address space) to proto3 wire format,
-  /// appending to `out`. Fields are emitted in field-number order with
-  /// proto3 presence semantics (has-bit set AND value != default), which
-  /// makes the output byte-identical to the reference WireCodec.
-  Status serialize(uint32_t class_index, const void* base, Bytes& out) const;
+  /// Serialize the object `ref` points at (pointers valid in this address
+  /// space) to proto3 wire format, appending to `out`. Fields are emitted
+  /// in field-number order with proto3 presence semantics (has-bit set
+  /// AND value != default), which makes the output byte-identical to the
+  /// reference WireCodec.
+  Status serialize(ObjectRef ref, Bytes& out) const;
 
   /// Serialized size without emitting (block sizing).
-  StatusOr<size_t> byte_size(uint32_t class_index, const void* base) const;
+  StatusOr<size_t> byte_size(ObjectRef ref) const;
+
+  /// Deprecated unchecked entry points (pre-ObjectRef API).
+  Status serialize(uint32_t class_index, const void* base, Bytes& out) const {
+    return serialize(ObjectRef(class_index, base), out);
+  }
+  StatusOr<size_t> byte_size(uint32_t class_index, const void* base) const {
+    return byte_size(ObjectRef(class_index, base));
+  }
 
  private:
   Status serialize_impl(const ClassEntry& cls, const std::byte* base, Bytes& out,
@@ -47,6 +84,8 @@ class ObjectSerializer {
 
   const Adt* adt_;
   arena::StdLibFlavor flavor_;
+  CodecOptions options_;
+  std::shared_ptr<const PlanSet> plans_;  ///< null when serialize plans disabled
 };
 
 /// Write-side access to a synthesized-layout object under construction in
@@ -96,5 +135,8 @@ class LayoutBuilder {
   arena::Arena* arena_;
   arena::AddressTranslator xlate_;
 };
+
+inline ObjectRef::ObjectRef(const LayoutBuilder& b) noexcept
+    : class_index(b.class_index()), base(b.object()) {}
 
 }  // namespace dpurpc::adt

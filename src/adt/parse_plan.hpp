@@ -10,7 +10,8 @@
 // emit fields in ascending field-number order, so the steady-state loop
 // is: read tag, hit the predicted slot, dispatch through one flat switch.
 //
-// Plans are built lazily (Adt::parse_plans()), cached by class index, and
+// Plans are built lazily (Adt::plans(), which bundles them with the
+// serialize plans of serialize_plan.hpp), cached by class index, and
 // shared by every deserializer over the same table — the DPU proxy lanes
 // and the host compat layer. Classes with field numbers above
 // kMaxPlanFieldNumber get no plan; the deserializer falls back to the

@@ -5,14 +5,14 @@
 namespace dpurpc::grpccompat {
 
 DpuProxy::DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
-                   adt::DeserializeOptions options)
+                   adt::CodecOptions options)
     : DpuProxy(std::vector<rdmarpc::Connection*>{conn}, manifest, options) {}
 
 DpuProxy::DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
-                   const OffloadManifest* manifest, adt::DeserializeOptions options)
+                   const OffloadManifest* manifest, adt::CodecOptions options)
     : manifest_(manifest),
       deserializer_(&manifest->adt(), options),
-      serializer_(&manifest->adt()) {
+      serializer_(&manifest->adt(), options) {
   for (auto* conn : conns) lanes_.push_back(std::make_unique<Lane>(conn));
 }
 
@@ -89,7 +89,8 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
           }
           if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
             Bytes wire;
-            Status st2 = serializer_.serialize(resp.header.aux, resp.payload_addr, wire);
+            Status st2 = serializer_.serialize(
+                adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
             (*respond)(st2.is_ok() ? Code::kOk : st2.code(), ByteSpan(wire));
             return;
           }

@@ -38,12 +38,12 @@ class DpuProxy {
  public:
   /// Single-connection proxy (one poller lane).
   DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
-           adt::DeserializeOptions options = {});
+           adt::CodecOptions options = {});
 
   /// Multi-connection proxy: one dedicated poller thread per connection
   /// (§III.C); incoming xRPC calls are distributed round-robin.
   DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
-           const OffloadManifest* manifest, adt::DeserializeOptions options = {});
+           const OffloadManifest* manifest, adt::CodecOptions options = {});
 
   ~DpuProxy();
 

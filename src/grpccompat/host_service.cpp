@@ -2,9 +2,19 @@
 
 namespace dpurpc::grpccompat {
 
+namespace {
+/// Scratch-arena capacity for register_method_object responses; matches
+/// the largest payload the RPC over RDMA layer will carry anyway.
+constexpr size_t kObjectScratchCapacity = 1u << 20;
+}  // namespace
+
 HostEngine::HostEngine(rdmarpc::Connection* conn, const OffloadManifest* manifest,
-                       const proto::DescriptorPool* pool)
-    : server_(conn), manifest_(manifest), pool_(pool) {}
+                       const proto::DescriptorPool* pool, adt::CodecOptions options)
+    : server_(conn),
+      manifest_(manifest),
+      pool_(pool),
+      serializer_(&manifest->adt(), options),
+      scratch_(std::make_unique<arena::OwningArena>(kObjectScratchCapacity)) {}
 
 Status HostEngine::register_method(std::string_view full_name, Method method) {
   const MethodEntry* entry = manifest_->find_by_name(full_name);
@@ -71,6 +81,36 @@ Status HostEngine::register_method_inplace(std::string_view full_name,
         *payload_size = static_cast<uint32_t>(response_arena.used());
         *class_index = static_cast<uint16_t>(output_class);
         return Status::ok();
+      });
+  return Status::ok();
+}
+
+Status HostEngine::register_method_object(std::string_view full_name,
+                                          InPlaceMethod method) {
+  const MethodEntry* entry = manifest_->find_by_name(full_name);
+  if (entry == nullptr) {
+    return Status(Code::kNotFound,
+                  "method not in offload manifest: " + std::string(full_name));
+  }
+  uint32_t input_class = entry->input_class;
+  uint32_t output_class = entry->output_class;
+
+  server_.register_handler(
+      entry->method_id,
+      [this, method = std::move(method), input_class, output_class](
+          const rdmarpc::RequestView& req, Bytes& response_bytes) -> Status {
+        if (req.object == nullptr || req.class_index != input_class) {
+          return Status(Code::kInvalidArgument, "bad in-place request");
+        }
+        adt::LayoutView request(&manifest_->adt(), input_class, req.object);
+        scratch_->reset();
+        auto response = adt::LayoutBuilder::create(&manifest_->adt(), output_class,
+                                                   scratch_.get());
+        if (!response.is_ok()) return response.status();
+        ServerContext ctx;
+        DPURPC_RETURN_IF_ERROR(method(ctx, request, *response));
+        // Host-side planned serialization: the builder *is* the object.
+        return serializer_.serialize(adt::ObjectRef(*response), response_bytes);
       });
   return Status::ok();
 }

@@ -5,10 +5,19 @@
 // familiar service-callback shape while requests arrive as ready-built
 // C++ objects with zero deserialization work. Handlers receive a
 // LayoutView over the in-place object (generated-class deployments would
-// static_cast to the real type instead) and fill a DynamicMessage
-// response, which the host serializes normally (response serialization is
-// not offloaded, §III.A). The gRPC context is mocked as a null pointer,
-// exactly as the paper does (§V.D).
+// static_cast to the real type instead). Responses come in three flavors:
+//
+//   * register_method          — handler fills a DynamicMessage; the host
+//     serializes it with the reference WireCodec (the paper's baseline:
+//     response serialization not offloaded, §III.A).
+//   * register_method_object   — handler builds the response *object* with
+//     a LayoutBuilder; the host serializes it through the compiled
+//     serialize plan (adt/serialize_plan.hpp) and replies with bytes.
+//   * register_method_inplace  — handler builds the response object into
+//     the RDMA send block; the *DPU* serializes it (§III.A extension).
+//
+// The gRPC context is mocked as a null pointer, exactly as the paper does
+// (§V.D).
 #pragma once
 
 #include <functional>
@@ -37,9 +46,10 @@ class HostEngine {
                                       proto::DynamicMessage& response)>;
 
   /// `pool` must contain the response message types (same pool the
-  /// manifest was built from).
+  /// manifest was built from). `options` governs the engine's own codec
+  /// work (today: the plan serializer behind register_method_object).
   HostEngine(rdmarpc::Connection* conn, const OffloadManifest* manifest,
-             const proto::DescriptorPool* pool);
+             const proto::DescriptorPool* pool, adt::CodecOptions options = {});
 
   /// Bind business logic to "pkg.Service/Method". NOT_FOUND if the
   /// manifest does not know the method.
@@ -53,6 +63,13 @@ class HostEngine {
                                              adt::LayoutBuilder& response)>;
   Status register_method_inplace(std::string_view full_name, InPlaceMethod method);
 
+  /// Host-serialized object variant: same handler shape as
+  /// register_method_inplace, but the response object is built into an
+  /// engine-owned scratch arena and serialized *on the host* through the
+  /// compiled serialize plan — the middle rung between the WireCodec
+  /// baseline and full DPU-side response offload.
+  Status register_method_object(std::string_view full_name, InPlaceMethod method);
+
   /// Pump the underlying RPC over RDMA server (§III.D event loop).
   StatusOr<uint32_t> event_loop_once() { return server_.event_loop_once(); }
   bool wait(int timeout_ms) { return server_.wait(timeout_ms); }
@@ -64,6 +81,10 @@ class HostEngine {
   rdmarpc::RpcServer server_;
   const OffloadManifest* manifest_;
   const proto::DescriptorPool* pool_;
+  adt::ObjectSerializer serializer_;
+  /// Scratch for register_method_object responses; handlers run serially
+  /// on the event loop, so one arena (reset per call) serves them all.
+  std::unique_ptr<arena::OwningArena> scratch_;
 };
 
 }  // namespace dpurpc::grpccompat

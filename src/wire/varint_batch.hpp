@@ -29,6 +29,15 @@
 // bounds-checked scalar decoder, so the accepted language is byte-for-byte
 // identical to decode_varint's (wire_test has the randomized differential
 // property).
+//
+// The *encoding* direction (serialize plans, packed payload emission) has
+// the same latency problem in reverse — the write position of element k+1
+// depends on the encoded length of element k — and gets the mirrored fix:
+// each element becomes one 8-byte store (a pdep spread of its 7-bit
+// groups, or the inverse shift-or on portable hardware, plus a
+// precomputed continuation-bit mask) and the cursor advances by the
+// encoded length, so the store itself is never data-dependent. See
+// encode_varint_run / varint_size_run below.
 #pragma once
 
 #include <algorithm>
@@ -280,6 +289,92 @@ inline const uint8_t* decode_varint_batch32(const uint8_t* p, const uint8_t* end
 inline const uint8_t* decode_varint_batch64(const uint8_t* p, const uint8_t* end,
                                             uint32_t count, uint64_t* out) noexcept {
   return decode_varint_run(p, end, count, out, detail::IdentityXform{});
+}
+
+// ------------------------------------------------------- batch encoding
+
+/// Total encoded size of `count` varints: the sizing half of packed
+/// payload emission. A plain branch-free loop (varint_size is a clz) so
+/// element sizes pipeline with no data dependence between iterations.
+inline size_t varint_size_run(const uint64_t* vals, uint32_t count) noexcept {
+  size_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) total += varint_size(vals[i]);
+  return total;
+}
+
+namespace detail {
+
+/// Spread the low 56 bits of `v` into eight 7-bit-per-byte groups — the
+/// exact inverse of the decode compaction in decode_starts_portable.
+inline uint64_t spread7_portable(uint64_t v) noexcept {
+  uint64_t w = (v & 0x000000000fffffffull) | ((v << 4) & 0x0fffffff00000000ull);
+  w = (w & 0x00003fff00003fffull) | ((w << 2) & 0x3fff00003fff0000ull);
+  return (w & 0x007f007f007f007full) | ((w << 1) & 0x7f007f007f007f00ull);
+}
+
+/// Continuation-bit mask for an `len`-byte encoding (1 <= len <= 8):
+/// 0x80 in bytes 0..len-2, terminator byte clear.
+inline uint64_t continuation_mask(uint32_t len) noexcept {
+  return kMsbMask & ((1ull << (8 * (len - 1))) - 1);
+}
+
+#ifdef DPURPC_VARINT_BATCH_X86
+[[gnu::target("bmi,bmi2")]] inline uint8_t* encode_run_bmi2(
+    uint8_t* dst, uint8_t* dst_end, const uint64_t* vals, uint32_t count) noexcept {
+  uint32_t i = 0;
+  for (; i < count && dst + 8 <= dst_end; ++i) {
+    const uint64_t v = vals[i];
+    const auto len = static_cast<uint32_t>(varint_size(v));
+    if (len > 8) {  // >= 2^56: 9-10 byte encoding, exact-size scalar write
+      dst = encode_varint(dst, v);
+      continue;
+    }
+    uint64_t w = _pdep_u64(v, kLow7Mask) | continuation_mask(len);
+    std::memcpy(dst, &w, 8);
+    dst += len;
+  }
+  for (; i < count; ++i) dst = encode_varint(dst, vals[i]);
+  return dst;
+}
+#endif  // DPURPC_VARINT_BATCH_X86
+
+inline uint8_t* encode_run_portable(uint8_t* dst, uint8_t* dst_end,
+                                    const uint64_t* vals, uint32_t count) noexcept {
+  uint32_t i = 0;
+  for (; i < count && dst + 8 <= dst_end; ++i) {
+    const uint64_t v = vals[i];
+    const auto len = static_cast<uint32_t>(varint_size(v));
+    if (len > 8) {
+      dst = encode_varint(dst, v);
+      continue;
+    }
+    uint64_t w = spread7_portable(v) | continuation_mask(len);
+    std::memcpy(dst, &w, 8);
+    dst += len;
+  }
+  for (; i < count; ++i) dst = encode_varint(dst, vals[i]);
+  return dst;
+}
+
+}  // namespace detail
+
+/// Encode `count` varints at `dst`, never writing at or past `dst_end`.
+/// While at least 8 bytes of headroom remain, each element is one
+/// unconditional 8-byte store (spread + continuation mask) with the
+/// cursor advancing by the encoded length; elements needing more than 8
+/// bytes, and the tail once headroom drops below 8, use the scalar
+/// encoder, which writes exactly varint_size(v) bytes. The caller
+/// guarantees dst_end - dst >= varint_size_run(vals, count); output is
+/// byte-identical to per-element encode_varint. Returns one past the
+/// last byte written.
+inline uint8_t* encode_varint_run(uint8_t* dst, uint8_t* dst_end,
+                                  const uint64_t* vals, uint32_t count) noexcept {
+#ifdef DPURPC_VARINT_BATCH_X86
+  if (detail::cpu_has_bmi2()) {
+    return detail::encode_run_bmi2(dst, dst_end, vals, count);
+  }
+#endif
+  return detail::encode_run_portable(dst, dst_end, vals, count);
 }
 
 }  // namespace dpurpc::wire

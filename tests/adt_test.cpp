@@ -452,7 +452,7 @@ TEST_F(AdtFixture, RejectsMalformedInput) {
 }
 
 TEST_F(AdtFixture, Utf8ValidationCanBeDisabled) {
-  DeserializeOptions opts;
+  CodecOptions opts;
   opts.validate_utf8 = false;
   ArenaDeserializer deser(&adt_, opts);
   Bytes wire;

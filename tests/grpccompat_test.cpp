@@ -197,6 +197,62 @@ TEST_F(OffloadFixture, FullOffloadPathEndToEnd) {
   EXPECT_EQ(proxy_->stats().deserialize_failures.load(), 0u);
 }
 
+TEST_F(OffloadFixture, ObjectResponsePathServedByThePlanSerializer) {
+  // register_method_object: the handler builds the response *object* with
+  // a LayoutBuilder and the host serializes it through the compiled plan —
+  // the middle rung between the WireCodec baseline and DPU-side response
+  // offload. An unmodified client must see byte-compatible responses.
+  std::map<std::string, std::string> store;
+  ASSERT_TRUE(host_
+                  ->register_method_object(
+                      "kv.KvStore/Get",
+                      [&store](const ServerContext& ctx, const adt::LayoutView& req,
+                               adt::LayoutBuilder& resp) {
+                        EXPECT_EQ(ctx.grpc_context, nullptr);
+                        auto it = store.find(std::string(req.get_string(1)));
+                        if (it == store.end()) return Status::ok();  // empty resp
+                        DPURPC_RETURN_IF_ERROR(resp.set_string(1, it->second));
+                        return resp.set_bool(2, true);
+                      })
+                  .is_ok());
+  // Unknown method still rejected through this registration flavor.
+  EXPECT_EQ(host_->register_method_object("kv.KvStore/Nope", nullptr).code(),
+            Code::kNotFound);
+  start_host_loop();
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), dpu_manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok());
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+
+  store["alpha"] = "plan-served value";
+  store["big"] = std::string(2000, 'z');  // spills past SSO into the arena
+
+  const auto* get_desc = pool_.find_message("kv.GetRequest");
+  auto get = [&](const std::string& k) -> std::pair<bool, std::string> {
+    proto::DynamicMessage m(get_desc);
+    m.set_string(get_desc->field_by_name("key"), k);
+    Bytes wire = proto::WireCodec::serialize(m);
+    auto resp = (*chan)->call("kv.KvStore/Get", ByteSpan(wire));
+    EXPECT_TRUE(resp.is_ok()) << resp.status().to_string();
+    proto::DynamicMessage r(pool_.find_message("kv.GetResponse"));
+    EXPECT_TRUE(proto::WireCodec::parse(ByteSpan(*resp), r).is_ok());
+    return {r.get_uint64(r.descriptor()->field_by_name("found")) != 0,
+            r.get_string(r.descriptor()->field_by_name("value"))};
+  };
+
+  auto [found_a, val_a] = get("alpha");
+  EXPECT_TRUE(found_a);
+  EXPECT_EQ(val_a, "plan-served value");
+  auto [found_b, val_b] = get("big");
+  EXPECT_TRUE(found_b);
+  EXPECT_EQ(val_b, std::string(2000, 'z'));
+  auto [found_c, val_c] = get("missing");  // handler returns an empty object
+  EXPECT_FALSE(found_c);
+  EXPECT_TRUE(val_c.empty());
+  EXPECT_EQ(host_->requests_served(), 3u);
+}
+
 TEST_F(OffloadFixture, RepeatedFieldsThroughTheFullPath) {
   ASSERT_TRUE(host_
                   ->register_method(

@@ -119,11 +119,11 @@ TEST_F(ObjectCodecFixture, RoundTripIsByteIdentical) {
     ASSERT_TRUE(obj.is_ok()) << obj.status().to_string();
 
     Bytes back;
-    auto st = ser.serialize(node_, *obj, back);
+    auto st = ser.serialize(ObjectRef(node_, *obj), back);
     ASSERT_TRUE(st.is_ok()) << st.to_string();
     ASSERT_EQ(back, wire) << "iteration " << iter;
 
-    auto size = ser.byte_size(node_, *obj);
+    auto size = ser.byte_size(ObjectRef(node_, *obj));
     ASSERT_TRUE(size.is_ok());
     EXPECT_EQ(*size, wire.size());
   }
@@ -136,15 +136,17 @@ TEST_F(ObjectCodecFixture, EmptyObjectSerializesToNothing) {
   ASSERT_TRUE(obj.is_ok());
   ObjectSerializer ser(&adt_);
   Bytes out;
-  ASSERT_TRUE(ser.serialize(node_, *obj, out).is_ok());
+  ASSERT_TRUE(ser.serialize(ObjectRef(node_, *obj), out).is_ok());
   EXPECT_TRUE(out.empty());
-  EXPECT_EQ(*ser.byte_size(node_, *obj), 0u);
+  EXPECT_EQ(*ser.byte_size(ObjectRef(node_, *obj)), 0u);
 }
 
 TEST_F(ObjectCodecFixture, UnknownClassRejected) {
   ObjectSerializer ser(&adt_);
   Bytes out;
   char dummy[64] = {};
+  // Deliberately exercises the deprecated (index, pointer) shims so they
+  // stay compiled; new code passes an ObjectRef.
   EXPECT_EQ(ser.serialize(999, dummy, out).code(), Code::kNotFound);
   EXPECT_FALSE(ser.byte_size(999, dummy).is_ok());
 }
@@ -229,7 +231,8 @@ TEST_F(ObjectCodecFixture, BuiltObjectSerializesLikeDynamicMessage) {
 
   ObjectSerializer ser(&adt_);
   Bytes from_object;
-  ASSERT_TRUE(ser.serialize(node_, b->object(), from_object).is_ok());
+  // ObjectRef converts straight from the builder: no index to mismatch.
+  ASSERT_TRUE(ser.serialize(ObjectRef(*b), from_object).is_ok());
 
   const auto* node_desc = pool_.find_message("oc.Node");
   const auto* leaf_desc = pool_.find_message("oc.Leaf");
@@ -269,7 +272,7 @@ TEST_F(ObjectCodecFixture, BuilderWithTranslationSurvivesBufferCopy) {
       reinterpret_cast<std::byte*>(xlate.translate_addr(b->object()));
   ObjectSerializer ser(&adt_);
   Bytes wire;
-  ASSERT_TRUE(ser.serialize(node_, remote_obj, wire).is_ok());
+  ASSERT_TRUE(ser.serialize(ObjectRef(node_, remote_obj), wire).is_ok());
 
   // Parse back with the reference codec and verify content.
   const auto* node_desc = pool_.find_message("oc.Node");

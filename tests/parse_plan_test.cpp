@@ -14,6 +14,7 @@
 #include "adt/adt.hpp"
 #include "adt/arena_deserializer.hpp"
 #include "adt/parse_plan.hpp"
+#include "adt/serialize_plan.hpp"
 #include "common/rng.hpp"
 #include "metrics/metrics.hpp"
 #include "proto/dynamic_message.hpp"
@@ -92,7 +93,7 @@ class ParsePlanFixture : public ::testing::Test {
     constexpr uintptr_t kFakeReceiverBase = 0x7f31'0000'0000ull;
     AddressTranslator xlate{static_cast<ptrdiff_t>(kFakeReceiverBase) -
                             reinterpret_cast<intptr_t>(buf.data())};
-    DeserializeOptions opts;
+    CodecOptions opts;
     opts.use_parse_plan = use_plan;
     ArenaDeserializer deser(&adt_, opts);
     auto obj = deser.deserialize(class_index, wire, arena, xlate);
@@ -141,10 +142,10 @@ class ParsePlanFixture : public ::testing::Test {
 // --------------------------------------------------------- plan building
 
 TEST_F(ParsePlanFixture, PlansCompiledForEveryClass) {
-  auto plans = adt_.parse_plans();
+  auto plans = adt_.plans();
   ASSERT_NE(plans, nullptr);
-  EXPECT_EQ(plans->plan_count(), adt_.class_count());
-  const ParsePlan* small = plans->for_class(cls("bench.Small"));
+  EXPECT_EQ(plans->parse().plan_count(), adt_.class_count());
+  const ParsePlan* small = plans->parse().for_class(cls("bench.Small"));
   ASSERT_NE(small, nullptr);
   // 4 fields, max number 4: table covers tags [0, 4<<3 | 7].
   EXPECT_EQ(small->table_size(), ((4u + 1) << 3));
@@ -153,8 +154,8 @@ TEST_F(ParsePlanFixture, PlansCompiledForEveryClass) {
 }
 
 TEST_F(ParsePlanFixture, SlotOpsFuseTypeAndWireType) {
-  auto plans = adt_.parse_plans();
-  const ParsePlan* small = plans->for_class(cls("bench.Small"));
+  auto plans = adt_.plans();
+  const ParsePlan* small = plans->parse().for_class(cls("bench.Small"));
   ASSERT_NE(small, nullptr);
   // id=1 int32: varint slot decodes, fixed32 slot is a mismatch.
   EXPECT_EQ(small->slot((1u << 3) | 0u)->op, PlanOp::kVarint32);
@@ -164,7 +165,7 @@ TEST_F(ParsePlanFixture, SlotOpsFuseTypeAndWireType) {
   // score=3 float: fixed32.
   EXPECT_EQ(small->slot((3u << 3) | 5u)->op, PlanOp::kFixed32);
 
-  const ParsePlan* ints = plans->for_class(cls("bench.IntArray"));
+  const ParsePlan* ints = plans->parse().for_class(cls("bench.IntArray"));
   ASSERT_NE(ints, nullptr);
   // repeated uint32: packed LEN payload plus unpacked varint occurrences.
   EXPECT_EQ(ints->slot((1u << 3) | 2u)->op, PlanOp::kPackedVarint32);
@@ -172,15 +173,15 @@ TEST_F(ParsePlanFixture, SlotOpsFuseTypeAndWireType) {
 }
 
 TEST_F(ParsePlanFixture, PredictionFollowsEmittedOrder) {
-  auto plans = adt_.parse_plans();
-  const ParsePlan* small = plans->for_class(cls("bench.Small"));
+  auto plans = adt_.plans();
+  const ParsePlan* small = plans->parse().for_class(cls("bench.Small"));
   // id(1,varint) -> flag(2,varint) -> score(3,fixed32) -> stamp(4,varint) -> id.
   EXPECT_EQ(small->slot((1u << 3) | 0u)->next_tag, (2u << 3) | 0u);
   EXPECT_EQ(small->slot((2u << 3) | 0u)->next_tag, (3u << 3) | 5u);
   EXPECT_EQ(small->slot((3u << 3) | 5u)->next_tag, (4u << 3) | 0u);
   EXPECT_EQ(small->slot((4u << 3) | 0u)->next_tag, (1u << 3) | 0u);
 
-  const ParsePlan* nested = plans->for_class(cls("bench.Nested"));
+  const ParsePlan* nested = plans->parse().for_class(cls("bench.Nested"));
   // Repeated message/string fields predict their own tag (runs repeat);
   // packed repeated scalars emit one LEN record, so they predict onward.
   EXPECT_EQ(nested->slot((2u << 3) | 2u)->next_tag, (2u << 3) | 2u);
@@ -189,18 +190,18 @@ TEST_F(ParsePlanFixture, PredictionFollowsEmittedOrder) {
 }
 
 TEST_F(ParsePlanFixture, CacheSharedAndInvalidated) {
-  auto a = adt_.parse_plans();
-  auto b = adt_.parse_plans();
-  EXPECT_EQ(a.get(), b.get());  // one compile, shared by all deserializers
+  auto a = adt_.plans();
+  auto b = adt_.plans();
+  EXPECT_EQ(a.get(), b.get());  // one compile, shared by all codecs
   ClassEntry extra;
   extra.name = "bench.Extra";
   extra.size = 16;
   extra.align = 8;
   extra.default_bytes.assign(16, 0);
   adt_.add_class(std::move(extra));
-  auto c = adt_.parse_plans();
+  auto c = adt_.plans();
   EXPECT_NE(a.get(), c.get());
-  EXPECT_EQ(c->plan_count(), adt_.class_count());
+  EXPECT_EQ(c->parse().plan_count(), adt_.class_count());
 }
 
 TEST_F(ParsePlanFixture, HugeFieldNumbersFallBackToInterpreter) {
@@ -215,9 +216,9 @@ TEST_F(ParsePlanFixture, HugeFieldNumbersFallBackToInterpreter) {
   Adt adt = std::move(builder).take();
   adt.set_fingerprint(AbiFingerprint::current(StdLibFlavor::kLibstdcpp));
 
-  auto plans = adt.parse_plans();
-  EXPECT_EQ(plans->for_class(0), nullptr);  // no 16k-slot table
-  EXPECT_EQ(plans->plan_count(), 0u);
+  auto plans = adt.plans();
+  EXPECT_EQ(plans->parse().for_class(0), nullptr);  // no 16k-slot table
+  EXPECT_EQ(plans->parse().plan_count(), 0u);
 
   // The deserializer still works — through the interpretive path.
   DynamicMessage m(pool.find_message("Sparse"));

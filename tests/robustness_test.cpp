@@ -144,7 +144,7 @@ TEST(Fuzz, DeserializerSurvivesMutatedValidWire) {
       // with the reference codec (i.e. the object is self-consistent).
       adt::ObjectSerializer ser(&env.adt);
       Bytes back;
-      ASSERT_TRUE(ser.serialize(env.outer, *obj, back).is_ok());
+      ASSERT_TRUE(ser.serialize(adt::ObjectRef(env.outer, *obj), back).is_ok());
       proto::DynamicMessage check(outer);
       EXPECT_TRUE(proto::WireCodec::parse(ByteSpan(back), check).is_ok());
     }

@@ -226,6 +226,75 @@ TEST(VarintBatch, TruncatedTailReturnsNull) {
   }
 }
 
+TEST(VarintBatch, EncodeRunMatchesScalarEncoder) {
+  // Differential test for the emit direction: random mixes of every
+  // byte-length class must produce the exact bytes the scalar encoder
+  // does, through both the BMI2 and the exactly-sized-buffer tail paths.
+  std::mt19937_64 rng(dpurpc::kDefaultSeed ^ 0xe4c0);
+  for (int round = 0; round < 200; ++round) {
+    const size_t count = 1 + rng() % 700;
+    std::vector<uint64_t> values(count);
+    std::vector<uint8_t> expect(count * kMaxVarint64Bytes);
+    uint8_t* ep = expect.data();
+    for (size_t i = 0; i < count; ++i) {
+      int bits = static_cast<int>(rng() % 64) + 1;
+      values[i] = rng() >> (64 - bits);
+      ep = encode_varint(ep, values[i]);
+    }
+    const size_t wire_len = static_cast<size_t>(ep - expect.data());
+    EXPECT_EQ(varint_size_run(values.data(), static_cast<uint32_t>(count)),
+              wire_len);
+
+    // Exactly-sized destination: the encoder must not touch a byte past
+    // the end even when its 8-byte store fast path is in play.
+    std::vector<uint8_t> got(wire_len);
+    uint8_t* gp = encode_varint_run(got.data(), got.data() + wire_len,
+                                    values.data(), static_cast<uint32_t>(count));
+    ASSERT_EQ(gp, got.data() + wire_len) << "round " << round;
+    ASSERT_EQ(std::memcmp(got.data(), expect.data(), wire_len), 0)
+        << "round " << round;
+
+    // Slack destination (the common case inside a larger message body).
+    // Bytes between the returned pointer and dst_end are scratch (the
+    // 8-byte fast path may scribble there; sequential emission overwrites
+    // them), but nothing at or past dst_end may ever be touched.
+    std::vector<uint8_t> slack(wire_len + 32, 0xCD);
+    uint8_t* dst_end = slack.data() + wire_len + 16;
+    gp = encode_varint_run(slack.data(), dst_end, values.data(),
+                           static_cast<uint32_t>(count));
+    ASSERT_EQ(gp, slack.data() + wire_len);
+    ASSERT_EQ(std::memcmp(slack.data(), expect.data(), wire_len), 0);
+    for (size_t i = wire_len + 16; i < slack.size(); ++i) {
+      ASSERT_EQ(slack[i], 0xCD) << "encoder wrote past dst_end at +" << i;
+    }
+  }
+}
+
+TEST(VarintBatch, EncodeRunEdgeValues) {
+  // Every length-class boundary in one run, incl. the 10-byte fallback.
+  const uint64_t edges[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 28) - 1,
+                            1ull << 28,
+                            (1ull << 56) - 1,
+                            1ull << 56,
+                            UINT64_MAX};
+  constexpr uint32_t n = sizeof(edges) / sizeof(edges[0]);
+  uint8_t expect[n * kMaxVarint64Bytes];
+  uint8_t* ep = expect;
+  for (uint64_t v : edges) ep = encode_varint(ep, v);
+  const size_t wire_len = static_cast<size_t>(ep - expect);
+
+  std::vector<uint8_t> got(wire_len);
+  uint8_t* gp = encode_varint_run(got.data(), got.data() + wire_len, edges, n);
+  ASSERT_EQ(gp, got.data() + wire_len);
+  EXPECT_EQ(std::memcmp(got.data(), expect, wire_len), 0);
+}
+
 // ---------------------------------------------------------------- zigzag
 
 TEST(ZigZag, KnownVectors) {
