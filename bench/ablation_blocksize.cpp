@@ -81,4 +81,6 @@ BENCHMARK(BM_DatapathBlockSize)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpurpc::bench::run_benchmark_main(argc, argv);
+}

@@ -80,4 +80,6 @@ BENCHMARK(BM_DatapathCredits)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpurpc::bench::run_benchmark_main(argc, argv);
+}

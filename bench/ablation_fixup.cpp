@@ -80,4 +80,6 @@ BENCHMARK(BM_DeserializeFixup)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpurpc::bench::run_benchmark_main(argc, argv);
+}

@@ -24,7 +24,7 @@ namespace {
 
 using namespace dpurpc;
 
-constexpr uint64_t kRequests = 8000;
+const uint64_t kRequests = bench::smoke_scaled(8000, 400);
 constexpr uint32_t kConcurrency = 512;
 
 constexpr std::string_view kSchema = R"(

@@ -27,7 +27,7 @@ namespace {
 using namespace dpurpc;
 
 constexpr uint16_t kMethod = 1;
-constexpr uint64_t kRequests = 1500;
+const uint64_t kRequests = bench::smoke_scaled(1500, 100);
 constexpr uint64_t kPaceNs = 300'000;  // ~3.3k rps offered load
 
 struct Result {

@@ -66,4 +66,6 @@ BENCHMARK(BM_Utf8Scalar)->Arg(8000)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dpurpc::bench::run_benchmark_main(argc, argv);
+}

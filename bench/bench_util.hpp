@@ -90,10 +90,24 @@ inline Bytes make_small_wire(const BenchEnv& env, uint64_t seed = kDefaultSeed) 
   return proto::WireCodec::serialize(m);
 }
 
+/// True when DPURPC_BENCH_SMOKE is set: CI's bench-smoke lane runs every
+/// harness with tiny iteration counts — just enough to prove the binary
+/// still sets up, measures, and reports without error. Numbers produced
+/// under smoke mode are meaningless.
+inline bool smoke_mode() { return std::getenv("DPURPC_BENCH_SMOKE") != nullptr; }
+
+/// `full` normally, `small` under DPURPC_BENCH_SMOKE.
+inline uint64_t smoke_scaled(uint64_t full, uint64_t small) {
+  return smoke_mode() ? small : full;
+}
+
 /// Shared main() body for google-benchmark harnesses: the standard
 /// --benchmark_* flags plus `--json <path>`, which writes the full result
 /// set in google-benchmark's JSON schema (consumed by the figure scripts)
-/// while keeping the human-readable console output.
+/// while keeping the human-readable console output. Under
+/// DPURPC_BENCH_SMOKE a minimal --benchmark_min_time is injected (unless
+/// the caller passed one) so every registered benchmark runs one short
+/// iteration batch.
 inline int run_benchmark_main(int argc, char** argv) {
   // Rewrite `--json <path>` into google-benchmark's native output flags so
   // the library handles reporter wiring (and flag validation) itself.
@@ -109,6 +123,14 @@ inline int run_benchmark_main(int argc, char** argv) {
   if (!out_flag.empty()) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
+  }
+  static std::string smoke_flag = "--benchmark_min_time=0.01";
+  if (smoke_mode()) {
+    bool has_min_time = false;
+    for (char* a : args) {
+      if (std::string_view(a).rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
+    }
+    if (!has_min_time) args.push_back(smoke_flag.data());
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());

@@ -14,6 +14,7 @@
 // Scenarios, per the paper §VI.C: business logic empty, responses empty,
 // and BOTH scenarios use the custom stack-based deserializer.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -232,8 +233,10 @@ ModeledFigures model(const ScenarioResult& r, dpu::WorkloadClass wclass, bool of
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --quick shrinks request counts (used by CI-style runs).
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  // --quick shrinks request counts (used by CI-style runs); the CI
+  // bench-smoke lane's DPURPC_BENCH_SMOKE env var implies it.
+  bool quick = (argc > 1 && std::string(argv[1]) == "--quick") ||
+               std::getenv("DPURPC_BENCH_SMOKE") != nullptr;
   uint64_t scale = quick ? 4 : 1;
 
   static BenchEnv env;

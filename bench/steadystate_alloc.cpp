@@ -126,13 +126,13 @@ int main() {
                 static_cast<double>(p.bytes) / static_cast<double>(p.requests));
   };
 
-  Phase warm_small = run_phase(small_wire, env.small_class, 4000);
+  Phase warm_small = run_phase(small_wire, env.small_class, bench::smoke_scaled(4000, 200));
   report("Small warmup", warm_small);
-  Phase steady_small = run_phase(small_wire, env.small_class, 20000);
+  Phase steady_small = run_phase(small_wire, env.small_class, bench::smoke_scaled(20000, 500));
   report("Small steady", steady_small);
-  Phase warm_ints = run_phase(ints_wire, env.ints_class, 1000);
+  Phase warm_ints = run_phase(ints_wire, env.ints_class, bench::smoke_scaled(1000, 100));
   report("x512 Ints warmup", warm_ints);
-  Phase steady_ints = run_phase(ints_wire, env.ints_class, 5000);
+  Phase steady_ints = run_phase(ints_wire, env.ints_class, bench::smoke_scaled(5000, 250));
   report("x512 Ints steady", steady_ints);
 
   std::printf("\nPayload memory never touches the heap (block arenas only); the\n");

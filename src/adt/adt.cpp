@@ -9,20 +9,132 @@
 #include "common/align.hpp"
 #include "common/endian.hpp"
 #include "common/lockdep.hpp"
+#include "metrics/metrics.hpp"
 
 namespace dpurpc::adt {
 
 namespace {
-// One mutex for every Adt's plan cache: contention is setup-only (each
-// codec fetches the shared_ptr once in its constructor), and a global
-// keeps Adt copyable/movable. It guards only the cache *slot* (plans_);
-// the PlanSet it points to — parse and serialize plans together — is
-// immutable after publication — see the contract in plans().
+// One mutex for every Adt's plan cache rebuild path. Since the lane
+// sharding PR this is NOT on any read path: plans() serves published
+// snapshots with a lock-free acquire-load, and this mutex serializes only
+// build-and-publish / invalidation (a setup-phase event). A global keeps
+// Adt copyable/movable; it guards only the cache slot (plans_) and the
+// ownership history behind it (plan_history_); the PlanSet the slot points
+// to — parse and serialize plans together — is immutable after
+// publication — see the contract in plans().
 lockdep::Mutex& plan_cache_mutex() {
   static lockdep::Mutex m{"adt.Adt.plan_cache"};
   return m;
 }
+
+// Process-wide mirror of the per-table rebuild counter, for the
+// monitoring pipeline (ISSUE 4: plan-snapshot refresh count).
+metrics::Counter& plan_rebuild_counter() {
+  static metrics::Counter& c = metrics::default_counter(
+      "dpurpc_plan_snapshot_rebuilds_total",
+      "PlanSet compilations published to the lock-free snapshot slot");
+  return c;
+}
 }  // namespace
+
+Adt::Adt(const Adt& other)
+    : classes_(other.classes_),
+      by_name_(other.by_name_),
+      fingerprint_(other.fingerprint_) {
+  lockdep::ScopedLock lk(plan_cache_mutex());
+  // Share the source's *current* snapshot only (it describes an identical
+  // class table); the source keeps its own history.
+  if (const PlanSet* snap = other.plans_.load(std::memory_order_acquire)) {
+    for (const auto& owned : other.plan_history_) {
+      if (owned.get() == snap) {
+        plan_history_.push_back(owned);
+        break;
+      }
+    }
+    plans_.store(snap, std::memory_order_release);
+  }
+  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  plan_mutex_entries_.store(
+      other.plan_mutex_entries_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+Adt& Adt::operator=(const Adt& other) {
+  if (this == &other) return *this;
+  classes_ = other.classes_;
+  by_name_ = other.by_name_;
+  fingerprint_ = other.fingerprint_;
+  lockdep::ScopedLock lk(plan_cache_mutex());
+  // Existing history is retained (readers may still hold pointers into
+  // it); the source's current snapshot is shared on top.
+  const PlanSet* snap = other.plans_.load(std::memory_order_acquire);
+  if (snap != nullptr) {
+    for (const auto& owned : other.plan_history_) {
+      if (owned.get() == snap) {
+        plan_history_.push_back(owned);
+        break;
+      }
+    }
+  }
+  plans_.store(snap, std::memory_order_release);
+  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  plan_mutex_entries_.store(
+      other.plan_mutex_entries_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+// Moves steal the snapshot and its ownership history and leave the source
+// invalidated; the moved-from table is only destroyed or re-assigned by
+// our callers.
+Adt::Adt(Adt&& other) noexcept
+    : classes_(std::move(other.classes_)),
+      by_name_(std::move(other.by_name_)),
+      fingerprint_(other.fingerprint_) {
+  lockdep::ScopedLock lk(plan_cache_mutex());
+  plans_.store(other.plans_.load(std::memory_order_acquire),
+               std::memory_order_relaxed);
+  other.plans_.store(nullptr, std::memory_order_relaxed);
+  plan_history_ = std::move(other.plan_history_);
+  other.plan_history_.clear();
+  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  plan_mutex_entries_.store(
+      other.plan_mutex_entries_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+Adt& Adt::operator=(Adt&& other) noexcept {
+  if (this == &other) return *this;
+  classes_ = std::move(other.classes_);
+  by_name_ = std::move(other.by_name_);
+  fingerprint_ = other.fingerprint_;
+  lockdep::ScopedLock lk(plan_cache_mutex());
+  plans_.store(other.plans_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  other.plans_.store(nullptr, std::memory_order_relaxed);
+  // Keep our own retired snapshots alive (readers may hold pointers into
+  // them) and adopt the source's on top.
+  for (auto& owned : other.plan_history_)
+    plan_history_.push_back(std::move(owned));
+  other.plan_history_.clear();
+  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  plan_mutex_entries_.store(
+      other.plan_mutex_entries_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
 
 const FieldEntry* ClassEntry::field_by_number(uint32_t number) const noexcept {
   auto it = std::lower_bound(
@@ -65,28 +177,40 @@ uint32_t Adt::add_class(ClassEntry entry) {
   // Invalidation swaps the cache slot; it never touches the old set, so
   // deserializers holding the previous shared_ptr keep a valid (stale
   // but internally consistent) snapshot.
-  lockdep::ScopedLock lk(plan_cache_mutex());
-  plans_.reset();
+  invalidate_plans();
   return index;
 }
 
 void Adt::replace_class(uint32_t index, ClassEntry entry) {
   classes_.at(index) = std::move(entry);
+  invalidate_plans();
+}
+
+void Adt::invalidate_plans() const {
   lockdep::ScopedLock lk(plan_cache_mutex());
-  plans_.reset();
+  plans_.store(nullptr, std::memory_order_release);
+}
+
+PlanCacheStats Adt::plan_cache_stats() const noexcept {
+  return {plan_hits_.load(std::memory_order_relaxed),
+          plan_rebuilds_.load(std::memory_order_relaxed),
+          plan_mutex_entries_.load(std::memory_order_relaxed)};
 }
 
 std::shared_ptr<const PlanSet> Adt::plans() const {
   // Immutable-after-publication contract: once a PlanSet pointer leaves
   // this function, NOTHING may write through it — every consumer (DPU
-  // proxy lanes today, the sharded lanes the roadmap plans) reads it
-  // lock-free and concurrently, for both plan directions. The cache
-  // mutex serializes only the build-and-publish step. The static_asserts
-  // are the compile-time half of the contract (no non-const access path
-  // exists); the lockdep rule in ArenaDeserializer::deserialize is the
-  // runtime half (no lock is needed, so none may be held).
-  static_assert(std::is_const_v<std::remove_reference_t<decltype(*plans_)>>,
-                "plan cache must publish const snapshots");
+  // proxy lanes, decode-pool workers, host compat codecs) reads it
+  // lock-free and concurrently, for both plan directions. The
+  // static_asserts are the compile-time half of the contract (no
+  // non-const access path exists — PlanSet additionally pins itself with
+  // deleted assignment, serialize_plan.hpp); the lockdep rule in
+  // ArenaDeserializer::deserialize is the runtime half (no lock is
+  // needed, so none may be held).
+  static_assert(
+      std::is_const_v<std::remove_reference_t<
+          decltype(*plans_.load(std::memory_order_acquire))>>,
+      "plan cache must publish const snapshots");
   static_assert(
       std::is_const_v<std::remove_reference_t<decltype(*std::declval<Adt>().plans())>>,
       "plans() must hand out pointers-to-const only");
@@ -94,9 +218,34 @@ std::shared_ptr<const PlanSet> Adt::plans() const {
       std::is_const_v<
           std::remove_reference_t<decltype(*std::declval<Adt>().parse_plans())>>,
       "parse_plans() must hand out pointers-to-const only");
+
+  // RCU fast path: one acquire-load of a raw pointer, zero locks, zero
+  // shared refcount traffic (the returned shared_ptr is a non-owning
+  // alias — the set it names is retained in plan_history_ until this Adt
+  // dies, so the pointer can never dangle; see the plans_ member doc for
+  // why this beats std::atomic<shared_ptr> here). This is what every codec
+  // constructor (and therefore every decode worker spin-up) hits once a
+  // snapshot exists; the steady-state decode path itself never even gets
+  // here — it reads the pointer captured at construction.
+  if (const PlanSet* snap = plans_.load(std::memory_order_acquire)) {
+    plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    return {std::shared_ptr<const void>(), snap};
+  }
+
+  // Slow path: serialize the rebuild. Double-check under the mutex so N
+  // racing cold readers compile the PlanSet once.
   lockdep::ScopedLock lk(plan_cache_mutex());
-  if (!plans_) plans_ = std::make_shared<const PlanSet>(PlanSet::build(*this));
-  return plans_;
+  plan_mutex_entries_.fetch_add(1, std::memory_order_relaxed);
+  const PlanSet* snap = plans_.load(std::memory_order_relaxed);
+  if (snap == nullptr) {
+    plan_history_.push_back(
+        std::make_shared<const PlanSet>(PlanSet::build(*this)));
+    snap = plan_history_.back().get();
+    plans_.store(snap, std::memory_order_release);
+    plan_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    plan_rebuild_counter().inc();
+  }
+  return {std::shared_ptr<const void>(), snap};
 }
 
 std::shared_ptr<const ParsePlanSet> Adt::parse_plans() const {

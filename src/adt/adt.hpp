@@ -12,6 +12,7 @@
 // the DPU, which reconstructs it with no knowledge of the C++ classes.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
@@ -78,10 +79,27 @@ struct AbiFingerprint {
   Status compatible_with(const AbiFingerprint& other) const noexcept;
 };
 
+/// Observability for the plan-snapshot cache (lane-sharding acceptance:
+/// the steady-state decode path must take the plan mutex exactly zero
+/// times — bench/fig9_scaling asserts it through these numbers).
+struct PlanCacheStats {
+  uint64_t snapshot_hits = 0;   ///< plans() served by the lock-free fast path
+  uint64_t rebuilds = 0;        ///< PlanSet::build runs (cold or invalidated)
+  uint64_t mutex_entries = 0;   ///< times plans() fell through to the mutex
+};
+
 /// The table itself. Lookup by class index (hot path) or name (setup path).
 class Adt {
  public:
   Adt() = default;
+  // The published-snapshot slot is a std::atomic (not copyable); carry the
+  // snapshot pointer and the cache stats across copies/moves by value so a
+  // moved table (DescriptorAdtBuilder::take, StatusOr returns) keeps its
+  // compiled plans and its counters.
+  Adt(const Adt& other);
+  Adt& operator=(const Adt& other);
+  Adt(Adt&& other) noexcept;
+  Adt& operator=(Adt&& other) noexcept;
 
   /// Register a class; returns its index.
   uint32_t add_class(ClassEntry entry);
@@ -110,16 +128,36 @@ class Adt {
 
   /// Per-class compiled plans — parse plans (parse_plan.hpp) and serialize
   /// plans (serialize_plan.hpp) bundled in one PlanSet — compiled on first
-  /// use and cached so every codec over this table — DPU proxy lanes, host
-  /// compat layer — shares one immutable set. The returned set is
-  /// **immutable after publication**: consumers read it lock-free, from
-  /// any number of threads, for as long as they hold the shared_ptr;
+  /// use and cached so every codec over this table — DPU proxy lanes, the
+  /// decode pool's workers, host compat layer — shares one immutable set.
+  /// The returned set is **immutable after publication**: consumers read
+  /// it lock-free, from any number of threads, for as long as this Adt
+  /// lives (every snapshot the table ever published is retained until the
+  /// table is destroyed, so a stale pointer is never a dangling pointer);
   /// add_class / replace_class invalidate by swapping the cache slot,
-  /// never by mutating a published set (one mutex, one invalidation
-  /// point, both plan directions). Table *mutation* itself is a
-  /// single-threaded setup-phase activity (builders, bootstrap) — only
-  /// the published plan snapshot is concurrency-safe.
+  /// never by mutating a published set. RCU-style access (DESIGN.md
+  /// §3.14): the fast path is a single acquire-load of the published raw
+  /// pointer — no mutex and no shared refcount traffic, ever, once a
+  /// snapshot exists — and the plan mutex serializes only the
+  /// build-and-publish step, so N decode workers fetching plans contend on
+  /// nothing. (Deliberately NOT std::atomic<shared_ptr>: libstdc++ 12's
+  /// _Sp_atomic unlocks its embedded spinlock with relaxed ordering on the
+  /// load path, which leaves no happens-before edge TSan can see between a
+  /// reader and the next publisher — and the refcount would bounce a cache
+  /// line between every worker besides.) Table *mutation* itself remains a
+  /// single-threaded setup-phase activity (builders, bootstrap) — only the
+  /// published plan snapshot and its invalidation are concurrency-safe.
   std::shared_ptr<const PlanSet> plans() const;
+
+  /// Drop the published snapshot so the next plans() call rebuilds.
+  /// Readers holding the old pointer keep a valid (stale but internally
+  /// consistent) set for the lifetime of this Adt. Exists for the
+  /// refresh-under-load race test and the fig9 contention probe;
+  /// production invalidation happens through add_class / replace_class.
+  void invalidate_plans() const;
+
+  /// Cache counters (monotonic, relaxed; safe to read concurrently).
+  PlanCacheStats plan_cache_stats() const noexcept;
 
   /// Deprecated shim (pre-PlanSet API): the parse half of plans(), aliased
   /// into the bundled snapshot so its lifetime rules are unchanged. New
@@ -130,7 +168,18 @@ class Adt {
   std::vector<ClassEntry> classes_;
   std::map<std::string, uint32_t, std::less<>> by_name_;
   AbiFingerprint fingerprint_{};
-  mutable std::shared_ptr<const PlanSet> plans_;  // guarded by plan mutex
+  /// The published snapshot (RCU slot). Readers acquire-load the raw
+  /// pointer lock-free; the global plan mutex guards only
+  /// rebuild-and-publish and invalidation, never reads. Ownership lives in
+  /// plan_history_ (same mutex), which retains every snapshot this table
+  /// ever published so a lock-free reader can never observe its set freed;
+  /// the history is bounded by the number of mutations, a setup-phase
+  /// event count.
+  mutable std::atomic<const PlanSet*> plans_{nullptr};
+  mutable std::vector<std::shared_ptr<const PlanSet>> plan_history_;
+  mutable std::atomic<uint64_t> plan_hits_{0};
+  mutable std::atomic<uint64_t> plan_rebuilds_{0};
+  mutable std::atomic<uint64_t> plan_mutex_entries_{0};
 };
 
 /// Build an ADT **from descriptors alone** by synthesizing the C++ layout

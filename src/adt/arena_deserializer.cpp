@@ -739,6 +739,53 @@ void ArenaDeserializer::fix_pointers(const ClassEntry& cls, std::byte* base,
   }
 }
 
+// Slice relocation: the decode-pool variant of fix_pointers. The walk runs
+// over the *copied* slice, whose pointer slots still hold pre-move (old)
+// addresses: each slot in [old_begin, old_end) is rewritten to
+// old + publish_delta, and recursion follows old + move_delta (the child's
+// address inside the copy). Unlike fix_pointers, crafted strings DO need
+// attention here — they were crafted with a zero-delta translator into the
+// scratch slice, so their data pointers (including SSO self-references)
+// moved with it. The range check doubles as the presence test: absent
+// fields keep default-instance bytes whose pointers are null or static.
+void ArenaDeserializer::relocate(uint32_t class_index, std::byte* base,
+                                 const SliceRelocation& r) const {
+  const ClassEntry& cls = adt_->class_at(class_index);
+  for (const FieldEntry& f : cls.fields) {
+    std::byte* dst = base + f.offset;
+    if (f.repeated) {
+      auto& h = *reinterpret_cast<RepHeader*>(dst);
+      if (h.data == nullptr || !r.contains(h.data)) continue;
+      auto* moved = static_cast<std::byte*>(h.data) + r.move_delta;
+      if (f.type == FieldType::kMessage) {
+        auto** elems = reinterpret_cast<std::byte**>(moved);
+        for (uint32_t i = 0; i < h.size; ++i) {
+          std::byte* old_child = elems[i];
+          relocate(f.child_class, old_child + r.move_delta, r);
+          elems[i] = old_child + r.publish_delta;
+        }
+      } else if (f.type == FieldType::kString || f.type == FieldType::kBytes) {
+        auto** elems = reinterpret_cast<std::byte**>(moved);
+        for (uint32_t i = 0; i < h.size; ++i) {
+          std::byte* old_rep = elems[i];
+          arena::relocate_crafted_string(old_rep + r.move_delta, flavor_,
+                                         r.old_begin, r.old_end, r.publish_delta);
+          elems[i] = old_rep + r.publish_delta;
+        }
+      }
+      h.data = static_cast<std::byte*>(h.data) + r.publish_delta;
+    } else if (f.type == FieldType::kString || f.type == FieldType::kBytes) {
+      arena::relocate_crafted_string(dst, flavor_, r.old_begin, r.old_end,
+                                     r.publish_delta);
+    } else if (f.type == FieldType::kMessage) {
+      auto* child = reinterpret_cast<std::byte*>(dpurpc::load_le<uint64_t>(dst));
+      if (child == nullptr || !r.contains(child)) continue;
+      relocate(f.child_class, child + r.move_delta, r);
+      dpurpc::store_le(dst, reinterpret_cast<uint64_t>(child + r.publish_delta));
+    }
+  }
+}
+
 // ------------------------------------------------------------ LayoutView
 
 bool LayoutView::has(uint32_t field_number) const noexcept {

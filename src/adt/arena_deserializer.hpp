@@ -39,6 +39,38 @@ class ArenaDeserializer {
 
   const Adt& adt() const noexcept { return *adt_; }
 
+  /// Describes a moved arena slice for relocate(). The object tree was
+  /// deserialized into [old_begin, old_end) with a zero-delta translator —
+  /// every embedded pointer (child messages, repeated buffers, crafted
+  /// string data, SSO self-references) refers into that range — and the
+  /// whole slice was then memcpy'd `move_delta` bytes away. `publish_delta`
+  /// is what gets *stored* into pointer slots: the move plus the
+  /// receiver-space rebase the connection translator would have applied.
+  /// Pointers outside the range (static default instances copied in via
+  /// default_bytes) are left untouched.
+  struct SliceRelocation {
+    const std::byte* old_begin = nullptr;
+    const std::byte* old_end = nullptr;
+    ptrdiff_t move_delta = 0;     ///< old address → copied address (local)
+    ptrdiff_t publish_delta = 0;  ///< old address → published (receiver) value
+
+    bool contains(const void* p) const noexcept {
+      auto* b = static_cast<const std::byte*>(p);
+      return b >= old_begin && b < old_end;
+    }
+  };
+
+  /// Rebase a deserialized object tree after its slice was copied to a new
+  /// location. `base` is the object's address in the *copied* slice. This
+  /// is the decode-pool handoff primitive: a worker decodes into a private
+  /// scratch arena (zero-delta, fully local), the lane poller memcpys the
+  /// finished slice into the RDMA send block, then calls relocate() to
+  /// make every pointer receiver-space — equivalent, bit for bit, to
+  /// having deserialized straight into the block with the connection
+  /// translator (asserted by tests/decode_pool_test.cpp).
+  void relocate(uint32_t class_index, std::byte* base,
+                const SliceRelocation& r) const;
+
  private:
   /// Per-message-tree tallies, flushed to metrics counters once per
   /// deserialize() call (keeps atomics off the per-field hot path).

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "adt/adt.hpp"
@@ -126,12 +127,30 @@ class PlanSet {
     return ps;
   }
 
+  // Movable exactly once — out of build() and into the shared_ptr the
+  // Adt snapshot slot publishes. No copying, no assignment: a published
+  // set can never be written through, which is what lets every decode
+  // worker read it without a lock (DESIGN.md §3.14).
+  PlanSet(PlanSet&&) noexcept = default;
+  PlanSet(const PlanSet&) = delete;
+  PlanSet& operator=(const PlanSet&) = delete;
+  PlanSet& operator=(PlanSet&&) = delete;
+
   const ParsePlanSet& parse() const noexcept { return parse_; }
   const SerializePlanSet& serialize() const noexcept { return serialize_; }
 
  private:
+  PlanSet() = default;
   ParsePlanSet parse_;
   SerializePlanSet serialize_;
 };
+
+// The compile-time half of the immutable-after-publication contract
+// (Adt::plans() holds the other static_asserts): nothing can reseat or
+// overwrite a PlanSet once it exists.
+static_assert(!std::is_copy_assignable_v<PlanSet> &&
+                  !std::is_move_assignable_v<PlanSet> &&
+                  !std::is_copy_constructible_v<PlanSet>,
+              "PlanSet must stay immutable after publication");
 
 }  // namespace dpurpc::adt

@@ -143,6 +143,30 @@ Status craft_string(void* dst, std::string_view content, Arena& arena,
   return Status(Code::kInvalidArgument, "unknown stdlib flavor");
 }
 
+void relocate_crafted_string(void* rep, StdLibFlavor flavor,
+                             const void* old_begin, const void* old_end,
+                             ptrdiff_t delta) noexcept {
+  auto in_range = [&](const char* p) {
+    return p >= static_cast<const char*>(old_begin) &&
+           p < static_cast<const char*>(old_end);
+  };
+  switch (flavor) {
+    case StdLibFlavor::kLibstdcpp: {
+      auto* r = static_cast<LibstdcppStringRep*>(rep);
+      if (r->data != nullptr && in_range(r->data)) r->data += delta;
+      return;
+    }
+    case StdLibFlavor::kLibcpp: {
+      uint8_t first = 0;
+      std::memcpy(&first, rep, 1);
+      if ((first & 1) == 0) return;  // short form: chars are inline
+      auto* r = static_cast<LibcppLong*>(rep);
+      if (r->data != nullptr && in_range(r->data)) r->data += delta;
+      return;
+    }
+  }
+}
+
 StatusOr<std::string_view> read_crafted_string(const void* src,
                                                StdLibFlavor flavor) noexcept {
   switch (flavor) {

@@ -82,4 +82,18 @@ Status craft_string(void* dst, std::string_view content, Arena& arena,
 /// compat layer's sanity checks.
 StatusOr<std::string_view> read_crafted_string(const void* src, StdLibFlavor flavor) noexcept;
 
+/// Rebase a crafted string after the arena slice holding it was moved.
+/// `rep` points at the string bytes in the *copied* slice; if its data
+/// pointer refers into [old_begin, old_end) — the slice's pre-move address
+/// range — it is shifted by `delta`. Pointers outside the range (e.g. a
+/// default-instance SSO buffer living in static storage) are left alone.
+/// SSO strings need this too: their data pointer refers to the instance's
+/// own buffer, which moved with the slice. libc++ short strings carry no
+/// pointer and are untouched. Used by the decode-pool handoff, where a
+/// worker deserializes into a private scratch arena and the lane poller
+/// later memcpys the finished slice into the RDMA send block.
+void relocate_crafted_string(void* rep, StdLibFlavor flavor,
+                             const void* old_begin, const void* old_end,
+                             ptrdiff_t delta) noexcept;
+
 }  // namespace dpurpc::arena

@@ -1,0 +1,99 @@
+// A bounded, try-only handoff ring for the lane → decode-worker pipeline.
+//
+// Shape: per-lane SPSC in the steady state — the lane poller is the only
+// producer of its submit ring and the lane's *home* worker the only
+// consumer — so the fast path is two cache lines and two acquire/release
+// fences, no mutex, no syscall. Each side additionally passes through a
+// one-word gate (an uncontended atomic exchange) so that a *bounded* set
+// of extra participants can join without corrupting the ring:
+//
+//   - work stealing: an idle worker may pop from a sibling lane's submit
+//     ring (two consumers, serialized by the pop gate);
+//   - completion fan-in: a stolen job's result is pushed into the lane's
+//     completion ring by the thief while the home worker pushes its own
+//     (two producers, serialized by the push gate).
+//
+// A gate miss returns false instead of blocking: callers are pollers and
+// workers with their own retry loops, and the datapath rule is that a
+// slow lane may never stall its siblings (ISSUE: lane sharding). This is
+// deliberately NOT a general MPMC queue — BoundedQueue exists for control
+// paths that want blocking semantics.
+//
+// TSan/lockdep posture: no lockdep::Mutex is involved, so the ring is
+// usable inside the "no lock held entering deserialize" domain rule; the
+// release-store on tail_ (push) / head_ (pop) publishes the slot contents
+// to the acquire-load on the opposite side, and the acq_rel gate exchange
+// orders one gated participant's slot access against the next one's.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/align.hpp"
+
+namespace dpurpc {
+
+template <typename T>
+class HandoffRing {
+ public:
+  /// Capacity is rounded up to a power of two (index masking).
+  explicit HandoffRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  HandoffRing(const HandoffRing&) = delete;
+  HandoffRing& operator=(const HandoffRing&) = delete;
+
+  /// False when the ring is full or another producer holds the push gate.
+  bool try_push(T&& item) {
+    if (push_gate_.exchange(true, std::memory_order_acq_rel)) return false;
+    size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) {
+      push_gate_.store(false, std::memory_order_release);
+      return false;
+    }
+    slots_[t & mask_] = std::move(item);
+    tail_.store(t + 1, std::memory_order_release);
+    push_gate_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty or another consumer holds the pop gate.
+  bool try_pop(T& out) {
+    if (pop_gate_.exchange(true, std::memory_order_acq_rel)) return false;
+    size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) {
+      pop_gate_.store(false, std::memory_order_release);
+      return false;
+    }
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    pop_gate_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous occupancy; a hint only (concurrent pushes/pops race it).
+  size_t approx_size() const noexcept {
+    size_t t = tail_.load(std::memory_order_relaxed);
+    size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+  size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Separate cache lines: the producer index/gate and consumer index/gate
+  // are written by different threads at line rate.
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) std::atomic<bool> push_gate_{false};
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<bool> pop_gate_{false};
+};
+
+}  // namespace dpurpc

@@ -1,0 +1,252 @@
+#include "dpu/decode_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "common/align.hpp"
+#include "common/cpu_timer.hpp"
+
+namespace dpurpc::dpu {
+
+DeviceInfo DeviceInfo::current() noexcept {
+  int cores = DeviceSpec::bluefield3().cores;
+  if (const char* env = std::getenv("DPURPC_DPU_CORES")) {
+    int v = std::atoi(env);
+    if (v > 0 && v <= 1024) cores = v;
+  }
+  return {cores};
+}
+
+ScratchSlice ScratchSlice::allocate(size_t bytes) {
+  // aligned_alloc demands size % alignment == 0.
+  size_t rounded = align_up(std::max<size_t>(bytes, 64), 64);
+  ScratchSlice s;
+  s.data_.reset(static_cast<std::byte*>(std::aligned_alloc(64, rounded)));
+  s.capacity_ = s.data_ ? rounded : 0;
+  return s;
+}
+
+DecodePool::DecodePool(const adt::ArenaDeserializer* deserializer, size_t lanes,
+                       Options options, std::function<void(size_t)> on_complete)
+    : deserializer_(deserializer),
+      options_(options),
+      on_complete_(std::move(on_complete)) {
+  int workers = options_.workers > 0 ? options_.workers : DeviceInfo::current().cores;
+  workers = std::max(1, std::min<int>(workers, static_cast<int>(std::max<size_t>(lanes, 1))));
+  lanes_.reserve(lanes);
+  for (size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<LaneRings>(options_.ring_capacity));
+  }
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) workers_.push_back(std::make_unique<Worker>());
+  handoffs_ = &metrics::default_counter(
+      "dpurpc_decode_handoffs_total",
+      "Decode jobs handed from poller lanes to the decode pool");
+  steals_ = &metrics::default_counter(
+      "dpurpc_decode_steals_total",
+      "Decode jobs an idle worker popped from a foreign lane's ring");
+}
+
+DecodePool::DecodePool(const adt::ArenaDeserializer* deserializer, size_t lanes)
+    : DecodePool(deserializer, lanes, Options{}) {}
+
+DecodePool::~DecodePool() { stop(); }
+
+void DecodePool::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->depth_gauge = &metrics::default_gauge(
+        "dpurpc_decode_worker_queue_depth",
+        "Jobs waiting in a decode worker's home-lane submit rings",
+        {{"worker", std::to_string(w)}});
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
+  }
+}
+
+void DecodePool::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  {
+    lockdep::ScopedLock lk(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+bool DecodePool::submit(size_t lane, DecodeJob& job) {
+  if (lane >= lanes_.size() || stopping_.load(std::memory_order_acquire)) return false;
+  if (!lanes_[lane]->submit.try_push(std::move(job))) return false;
+  handoffs_->inc();
+  // Only pay for the wakeup when someone is (or is about to be) parked;
+  // the steady-state submit path is the ring push plus one relaxed load.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    lockdep::ScopedLock lk(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  return true;
+}
+
+bool DecodePool::try_pop_result(size_t lane, DecodeResult& out) {
+  if (lane >= lanes_.size()) return false;
+  return lanes_[lane]->complete.try_pop(out);
+}
+
+DecodePool::WorkerStats DecodePool::worker_stats(size_t w) const {
+  WorkerStats s;
+  if (w >= workers_.size()) return s;
+  const Worker& wk = *workers_[w];
+  s.jobs = wk.jobs.load(std::memory_order_relaxed);
+  s.steals = wk.steals.load(std::memory_order_relaxed);
+  s.failures = wk.failures.load(std::memory_order_relaxed);
+  s.bytes_decoded = wk.bytes_decoded.load(std::memory_order_relaxed);
+  s.busy_ns = wk.busy_ns.load(std::memory_order_relaxed);
+  s.scaled_busy_ns = wk.scaled_busy_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t DecodePool::total_jobs() const noexcept {
+  uint64_t total = 0;
+  for (const auto& w : workers_) total += w->jobs.load(std::memory_order_relaxed);
+  return total;
+}
+
+size_t DecodePool::lane_queue_depth(size_t lane) const noexcept {
+  return lane < lanes_.size() ? lanes_[lane]->submit.approx_size() : 0;
+}
+
+bool DecodePool::any_pending(size_t w) const noexcept {
+  if (options_.steal) {
+    for (const auto& lane : lanes_) {
+      if (lane->submit.approx_size() > 0) return true;
+    }
+    return false;
+  }
+  for (size_t lane = w; lane < lanes_.size(); lane += workers_.size()) {
+    if (lanes_[lane]->submit.approx_size() > 0) return true;
+  }
+  return false;
+}
+
+void DecodePool::worker_loop(size_t w) {
+  Worker& me = *workers_[w];
+  const size_t nworkers = workers_.size();
+  int idle_rounds = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    bool did = false;
+    // Home lanes first (lane i's home worker is i % N): in the steady
+    // state each submit ring has exactly one consumer — SPSC fast path.
+    size_t depth = 0;
+    for (size_t lane = w; lane < lanes_.size(); lane += nworkers) {
+      did |= run_one(w, lane, /*stolen=*/false);
+      depth += lanes_[lane]->submit.approx_size();
+    }
+    if (me.depth_gauge != nullptr) me.depth_gauge->set(static_cast<double>(depth));
+    // Nothing at home: steal from a sibling's backlog (gated pop; a miss
+    // on the gate just means the home worker got there first).
+    if (!did && options_.steal) {
+      for (size_t lane = 0; lane < lanes_.size() && !did; ++lane) {
+        if (lane % nworkers == w) continue;
+        did = run_one(w, lane, /*stolen=*/true);
+      }
+    }
+    if (did) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park. sleepers_ is raised before the under-lock re-check so a
+    // submitter that pushed after our scan either makes the re-check see
+    // its job or takes the mutex and lands its notify after our wait
+    // began; the 1ms timeout is a belt-and-suspenders backstop.
+    idle_rounds = 0;
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      lockdep::UniqueLock lk(wake_mu_);
+      if (!any_pending(w) && !stopping_.load(std::memory_order_acquire)) {
+        wake_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      }
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+bool DecodePool::run_one(size_t w, size_t lane, bool stolen) {
+  LaneRings& rings = *lanes_[lane];
+  DecodeJob job;
+  if (!rings.submit.try_pop(job)) return false;
+  DecodeResult result = decode(w, std::move(job));
+  if (stolen) {
+    workers_[w]->steals.fetch_add(1, std::memory_order_relaxed);
+    steals_->inc();
+  }
+  // The completion ring is sized like the submit ring and callers bound
+  // per-lane outstanding jobs by that capacity, so this push can only
+  // fail transiently (another producer holding the gate) — spin it in.
+  while (!rings.complete.try_push(std::move(result))) {
+    if (stopping_.load(std::memory_order_acquire)) return true;
+    std::this_thread::yield();
+  }
+  if (on_complete_) on_complete_(lane);
+  return true;
+}
+
+DecodeResult DecodePool::decode(size_t w, DecodeJob&& job) {
+  Worker& me = *workers_[w];
+  const uint64_t t0 = ThreadCpuTimer::now();
+  DecodeResult result;
+  result.cookie = job.cookie;
+  result.worker = static_cast<uint16_t>(w);
+
+  // First attempt sized from the wire (objects inflate: headers, varint
+  // widening, string reps); one retry at the cap on arena exhaustion —
+  // the same policy RpcClient applies to block hints.
+  size_t cap = std::min(options_.max_slice_bytes, job.wire.size() * 8 + 1024);
+  for (;;) {
+    ScratchSlice slice = ScratchSlice::allocate(cap);
+    if (!slice) {
+      result.status = Status(Code::kResourceExhausted, "decode scratch allocation failed");
+      break;
+    }
+    arena::Arena scratch(slice.data(), slice.capacity());
+    // Zero delta: the tree stays fully local to the slice, which is what
+    // lets the consumer relocate it anywhere later.
+    arena::AddressTranslator local{};
+    auto obj = deserializer_->deserialize(job.class_index, ByteSpan(job.wire),
+                                          scratch, local);
+    if (obj.is_ok()) {
+      result.slice = std::move(slice);
+      result.used = static_cast<uint32_t>(scratch.used());
+      result.obj_offset = static_cast<uint32_t>(
+          static_cast<const std::byte*>(*obj) - result.slice.data());
+      break;
+    }
+    if (obj.status().code() == Code::kResourceExhausted &&
+        cap < options_.max_slice_bytes) {
+      cap = options_.max_slice_bytes;
+      continue;
+    }
+    result.status = obj.status();
+    me.failures.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+
+  const uint64_t ns = ThreadCpuTimer::now() - t0;
+  me.jobs.fetch_add(1, std::memory_order_relaxed);
+  me.bytes_decoded.fetch_add(job.wire.size(), std::memory_order_relaxed);
+  me.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  me.scaled_busy_ns.fetch_add(
+      static_cast<uint64_t>(options_.cost_model.scale_ns(
+          Processor::kDpu, options_.workload, static_cast<double>(ns))),
+      std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace dpurpc::dpu

@@ -1,0 +1,199 @@
+// The decode pool: deserialization sharded across the DPU core pool.
+//
+// Before lane sharding, each DpuProxy poller lane decoded its own requests
+// inline, so one connection's decode burst rode on one core and a slow
+// lane stalled everything queued behind it. The paper's device has sixteen
+// ARM cores (Table I); this module puts them to work: a pool of N decode
+// workers (N = dpu::DeviceInfo::cores unless overridden), each with its
+// own private scratch arena and its own stats, fed by per-lane SPSC
+// handoff rings (common/handoff_ring.hpp) so a slow lane cannot stall its
+// siblings. Idle workers steal from foreign lanes through the rings' gated
+// side entrance.
+//
+// The trick that makes decoupling possible at all: a worker cannot know
+// which RDMA send block a request will land in (block placement happens
+// inside RpcClient::call_inplace, on the lane's thread), so it decodes
+// into a private 64-byte-aligned scratch slice with a ZERO-delta address
+// translator — every embedded pointer fully local to the slice — and the
+// lane poller later memcpys the finished slice into the block arena and
+// runs ArenaDeserializer::relocate() to rebase the tree into receiver
+// space. Bit-for-bit equivalent to having deserialized straight into the
+// block (tests/decode_pool_test.cpp proves it against the serialize
+// oracle). See DESIGN.md §3.14.
+//
+// Simulation posture: workers are host threads standing in for DPU cores;
+// each accounts its decode time scaled by the calibrated CostModel factor
+// (Fig. 7), and bench/fig9_scaling sweeps the worker count against those
+// modeled numbers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adt/arena_deserializer.hpp"
+#include "common/bytes.hpp"
+#include "common/handoff_ring.hpp"
+#include "common/lockdep.hpp"
+#include "common/status.hpp"
+#include "dpu/dpu_model.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dpurpc::dpu {
+
+/// A 64-byte-aligned heap slice a worker decodes into. Ownership moves
+/// with the DecodeResult through the completion ring to the lane poller.
+/// The slice base is a multiple of the 8-byte payload alignment every
+/// embedded allocation uses (kPayloadAlign; class/field alignments never
+/// exceed it), so memcpy'ing the slice to any 8-aligned destination — the
+/// block payload base — keeps every interior object correctly aligned.
+class ScratchSlice {
+ public:
+  ScratchSlice() = default;
+  static ScratchSlice allocate(size_t bytes);
+
+  std::byte* data() const noexcept { return data_.get(); }
+  size_t capacity() const noexcept { return capacity_; }
+  explicit operator bool() const noexcept { return data_ != nullptr; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::byte, FreeDeleter> data_;
+  size_t capacity_ = 0;
+};
+
+/// One decode request, handed from a lane poller to the pool. `cookie` is
+/// opaque to the pool (the proxy keys its pending-call map with it).
+struct DecodeJob {
+  uint32_t class_index = 0;
+  uint64_t cookie = 0;
+  Bytes wire;
+};
+
+/// The finished decode. On success `slice` holds the object tree, fully
+/// local (zero-delta): the consumer memcpys [data, data+used) wherever it
+/// likes and calls ArenaDeserializer::relocate() on the copy.
+struct DecodeResult {
+  uint64_t cookie = 0;
+  Status status = Status::ok();
+  ScratchSlice slice;
+  uint32_t used = 0;        ///< bytes of slice occupied by the tree
+  uint32_t obj_offset = 0;  ///< root object's offset within the slice
+  uint16_t worker = 0;      ///< which worker decoded it (stats/tests)
+};
+
+class DecodePool {
+ public:
+  struct Options {
+    /// 0 → size from DeviceInfo::current().cores (BlueField-3: 16,
+    /// DPURPC_DPU_CORES overrides), clamped to the lane count — more
+    /// workers than lanes would only contend on the per-lane rings.
+    int workers = 0;
+    /// Per-lane ring capacity (submit and completion alike). Callers must
+    /// bound per-lane outstanding jobs by this so completion pushes can
+    /// always eventually succeed (the proxy does).
+    size_t ring_capacity = 256;
+    /// Upper bound for one decoded tree; the worker first tries a small
+    /// wire-size-derived slice and retries once at this cap on arena
+    /// exhaustion. Matches rdmarpc::kMaxPayloadSize by default.
+    size_t max_slice_bytes = 64 * 1024;
+    /// Let idle workers pop from foreign lanes' submit rings.
+    bool steal = true;
+    /// Calibrated slowdown applied to modeled (scaled) busy time.
+    WorkloadClass workload = WorkloadClass::kMixedSmall;
+    CostModel cost_model{};
+  };
+
+  /// Monotonic per-worker tallies; readable concurrently at any time.
+  struct WorkerStats {
+    uint64_t jobs = 0;            ///< decodes finished (success + failure)
+    uint64_t steals = 0;          ///< jobs popped from a foreign lane
+    uint64_t failures = 0;        ///< decodes that returned an error
+    uint64_t bytes_decoded = 0;   ///< wire bytes consumed
+    uint64_t busy_ns = 0;         ///< host thread-CPU time spent decoding
+    uint64_t scaled_busy_ns = 0;  ///< busy_ns × CostModel factor (DPU-modeled)
+  };
+
+  /// `deserializer` must outlive the pool. `on_complete(lane)` fires after
+  /// a result lands in `lane`'s completion ring — from a worker thread, so
+  /// it must be cheap and lock-light (the proxy uses Connection::interrupt
+  /// to wake the lane poller).
+  DecodePool(const adt::ArenaDeserializer* deserializer, size_t lanes,
+             Options options, std::function<void(size_t lane)> on_complete = {});
+  /// All-defaults convenience (GCC can't default-arg a nested aggregate
+  /// with member initializers inside its enclosing class).
+  DecodePool(const adt::ArenaDeserializer* deserializer, size_t lanes);
+  ~DecodePool();
+
+  DecodePool(const DecodePool&) = delete;
+  DecodePool& operator=(const DecodePool&) = delete;
+
+  void start();
+  /// Stop and join the workers. Jobs still sitting in submit rings are
+  /// dropped (their cookies never complete) — callers track pending
+  /// cookies and fail them out after stop(), as DpuProxy does.
+  void stop();
+
+  /// Try-only: false when the lane ring is full (or the pool is stopping),
+  /// in which case `job` is left intact so the caller can decode it inline
+  /// or retry after draining completions.
+  bool submit(size_t lane, DecodeJob& job);
+  /// Try-only: false when `lane` has no finished result waiting.
+  bool try_pop_result(size_t lane, DecodeResult& out);
+
+  size_t worker_count() const noexcept { return workers_.size(); }
+  size_t lane_count() const noexcept { return lanes_.size(); }
+  WorkerStats worker_stats(size_t w) const;
+  /// Sum of jobs over all workers (== total submitted minus in-flight).
+  uint64_t total_jobs() const noexcept;
+  /// Jobs waiting in `lane`'s submit ring (approximate).
+  size_t lane_queue_depth(size_t lane) const noexcept;
+
+ private:
+  struct LaneRings {
+    explicit LaneRings(size_t cap) : submit(cap), complete(cap) {}
+    HandoffRing<DecodeJob> submit;
+    HandoffRing<DecodeResult> complete;
+  };
+  /// Stats are written by exactly one worker thread, read by anyone.
+  struct Worker {
+    std::thread thread;
+    alignas(64) std::atomic<uint64_t> jobs{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> bytes_decoded{0};
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> scaled_busy_ns{0};
+    metrics::Gauge* depth_gauge = nullptr;  ///< home-lane backlog
+  };
+
+  void worker_loop(size_t w);
+  bool run_one(size_t w, size_t lane, bool stolen);
+  DecodeResult decode(size_t w, DecodeJob&& job);
+  bool any_pending(size_t w) const noexcept;
+
+  const adt::ArenaDeserializer* deserializer_;
+  Options options_;
+  std::function<void(size_t)> on_complete_;
+  std::vector<std::unique_ptr<LaneRings>> lanes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  metrics::Counter* handoffs_ = nullptr;  ///< lane → pool submissions
+  metrics::Counter* steals_ = nullptr;    ///< cross-lane pops
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  // Worker parking. Never touched on the submit fast path unless a worker
+  // is actually asleep (sleepers_ gate), and never held while decoding —
+  // the "no lock held entering deserialize" lockdep rule stays satisfied
+  // by construction.
+  std::atomic<int> sleepers_{0};
+  lockdep::Mutex wake_mu_{"dpu.DecodePool.wake"};
+  lockdep::CondVar wake_cv_;
+};
+
+}  // namespace dpurpc::dpu

@@ -76,4 +76,14 @@ struct DeviceSpec {
   }
 };
 
+/// What the running "device" actually offers — the knob the decode pool
+/// sizes itself from. In this simulated environment it reports the
+/// BlueField-3 core count; DPURPC_DPU_CORES overrides it (bench sweeps,
+/// CI runners with one host core).
+struct DeviceInfo {
+  int cores = 1;
+
+  static DeviceInfo current() noexcept;
+};
+
 }  // namespace dpurpc::dpu

@@ -1,19 +1,40 @@
 #include "grpccompat/dpu_proxy.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace dpurpc::grpccompat {
+
+namespace {
+// Per-lane cap on decodes out with the pool. Half the pool ring so the
+// completion ring (same capacity) can always absorb every outstanding
+// result even across the ring's power-of-two rounding.
+constexpr size_t kMaxOutstandingDecodes = 128;
+constexpr size_t kDecodeRingCapacity = 256;
+}  // namespace
 
 DpuProxy::DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
                    adt::CodecOptions options)
     : DpuProxy(std::vector<rdmarpc::Connection*>{conn}, manifest, options) {}
 
 DpuProxy::DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
-                   const OffloadManifest* manifest, adt::CodecOptions options)
+                   const OffloadManifest* manifest, adt::CodecOptions options,
+                   int decode_workers)
     : manifest_(manifest),
       deserializer_(&manifest->adt(), options),
       serializer_(&manifest->adt(), options) {
-  for (auto* conn : conns) lanes_.push_back(std::make_unique<Lane>(conn));
+  for (auto* conn : conns) {
+    lanes_.push_back(std::make_unique<Lane>(conn, lanes_.size()));
+  }
+  dpu::DecodePool::Options pool_options;
+  pool_options.workers = decode_workers;
+  pool_options.ring_capacity = kDecodeRingCapacity;
+  pool_options.max_slice_bytes = rdmarpc::kMaxPayloadSize;
+  pool_ = std::make_unique<dpu::DecodePool>(
+      &deserializer_, lanes_.size(), pool_options,
+      // Completion wakeup: runs on the worker thread; interrupt() kicks
+      // the lane poller out of conn->wait().
+      [this](size_t lane) { lanes_[lane]->conn->interrupt(); });
 }
 
 DpuProxy::~DpuProxy() { stop(); }
@@ -36,6 +57,7 @@ StatusOr<uint16_t> DpuProxy::start() {
       });
   if (!server.is_ok()) return server.status();
   xrpc_server_ = std::move(*server);
+  pool_->start();
   for (auto& lane : lanes_) {
     lane->thread = std::thread([this, lane = lane.get()] { poller_loop(*lane); });
   }
@@ -52,6 +74,107 @@ void DpuProxy::stop() {
   }
   for (auto& lane : lanes_) {
     if (lane->thread.joinable()) lane->thread.join();
+  }
+  // After the pollers: workers may be mid-decode until here, and their
+  // completion pushes bail out once the pool's stop flag is up. Results
+  // still in the rings are freed with the pool; their calls were already
+  // failed out by fail_pending on poller exit.
+  pool_->stop();
+}
+
+Status DpuProxy::submit_decode(Lane& lane, PendingCall call) {
+  dpu::DecodeJob job;
+  job.class_index = call.method->input_class;
+  job.cookie = ++lane.next_cookie;
+  job.wire = std::move(call.payload);
+  if (lane.outstanding < kMaxOutstandingDecodes &&
+      pool_->submit(lane.index, job)) {
+    lane.pending.emplace(job.cookie,
+                         PendingDecode{call.method, std::move(call.respond)});
+    ++lane.outstanding;
+    return Status::ok();
+  }
+  // Ring full (or shutting down): spill to the lane thread rather than
+  // block — the old inline path is still bit-identical in output.
+  stats_.inline_decodes.fetch_add(1, std::memory_order_relaxed);
+  call.payload = std::move(job.wire);
+  return forward(lane, std::move(call));
+}
+
+Status DpuProxy::forward_decoded(Lane& lane, dpu::DecodeResult result) {
+  auto it = lane.pending.find(result.cookie);
+  if (it == lane.pending.end()) return Status::ok();  // failed out already
+  PendingDecode pending = std::move(it->second);
+  lane.pending.erase(it);
+  --lane.outstanding;
+
+  if (!result.status.is_ok()) {
+    // Per-request decode failure (malformed payload, oversized message):
+    // reject it to the xRPC client; the datapath stays healthy.
+    stats_.deserialize_failures.fetch_add(1, std::memory_order_relaxed);
+    pending.respond(result.status.code(), {});
+    return Status::ok();
+  }
+
+  const MethodEntry* entry = pending.method;
+  auto respond = std::make_shared<xrpc::Server::Responder>(std::move(pending.respond));
+  auto* stats = &stats_;
+
+  for (int attempt = 0;; ++attempt) {
+    Status st = lane.client.call_inplace(
+        entry->method_id, static_cast<uint16_t>(entry->input_class), result.used,
+        // The sharded offload tail: the tree is already decoded (fully
+        // local to the worker's scratch slice); copy it into the block
+        // payload and rebase every pointer into the host's address space.
+        // Equivalent to having deserialized straight into the block.
+        [&](arena::Arena& arena, const arena::AddressTranslator& xlate)
+            -> StatusOr<uint32_t> {
+          // kPayloadAlign placement = offset 0 of the payload, exactly
+          // where the receiver expects the root object; the 64-aligned
+          // scratch base keeps every interior alignment intact.
+          void* dst = arena.allocate(result.used, kPayloadAlign);
+          if (dst == nullptr) {
+            return Status(Code::kResourceExhausted, "block cannot hold decoded object");
+          }
+          std::memcpy(dst, result.slice.data(), result.used);
+          adt::ArenaDeserializer::SliceRelocation rel;
+          rel.old_begin = result.slice.data();
+          rel.old_end = result.slice.data() + result.used;
+          rel.move_delta = static_cast<std::byte*>(dst) - result.slice.data();
+          rel.publish_delta = rel.move_delta + xlate.delta;
+          deserializer_.relocate(entry->input_class,
+                                 static_cast<std::byte*>(dst) + result.obj_offset,
+                                 rel);
+          return static_cast<uint32_t>(arena.used());
+        },
+        [this, respond, stats](const Status& rpc_result, const rdmarpc::InMessage& resp) {
+          stats->responses_forwarded.fetch_add(1, std::memory_order_relaxed);
+          if (!rpc_result.is_ok()) {
+            (*respond)(rpc_result.code(), {});
+            return;
+          }
+          if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
+            Bytes wire;
+            Status st2 = serializer_.serialize(
+                adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
+            (*respond)(st2.is_ok() ? Code::kOk : st2.code(), ByteSpan(wire));
+            return;
+          }
+          (*respond)(Code::kOk, resp.payload);
+        });
+    if (st.is_ok()) {
+      stats_.offloaded_requests.fetch_add(1, std::memory_order_relaxed);
+      lane.forwarded.fetch_add(1, std::memory_order_relaxed);
+      return Status::ok();
+    }
+    if (st.code() != Code::kUnavailable && st.code() != Code::kResourceExhausted) {
+      return st;
+    }
+    // Backpressure: drain the event loop and retry.
+    if (attempt > 100000) return st;
+    auto pumped = lane.client.event_loop_once();
+    if (!pumped.is_ok()) return pumped.status();
+    if (*pumped == 0) lane.conn->wait(1);
   }
 }
 
@@ -119,36 +242,73 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
   }
 }
 
+void DpuProxy::fail_pending(Lane& lane) {
+  // Discard any results the pool already finished (their slices free with
+  // the ring entries), then fail every call still waiting on a decode.
+  dpu::DecodeResult result;
+  while (pool_->try_pop_result(lane.index, result)) {
+    lane.pending.erase(result.cookie);
+  }
+  for (auto& [cookie, pending] : lane.pending) {
+    pending.respond(Code::kUnavailable, {});
+  }
+  lane.pending.clear();
+  lane.outstanding = 0;
+}
+
 void DpuProxy::poller_loop(Lane& lane) {
   // §IV: "the user is responsible for queueing enough requests to fill a
   // block before calling the event loop update function" — drain whatever
-  // is queued, then run one loop turn, then block briefly when idle.
+  // is queued into the decode pool, ship finished decodes, run one loop
+  // turn, then block briefly when idle.
   while (!stopping_.load(std::memory_order_relaxed)) {
     bool did_work = false;
-    while (auto call = lane.queue.try_pop()) {
+    while (lane.outstanding < kMaxOutstandingDecodes) {
+      auto call = lane.queue.try_pop();
+      if (!call.has_value()) break;
       did_work = true;
-      Status st = forward(lane, std::move(*call));
+      Status st = submit_decode(lane, std::move(*call));
       if (!st.is_ok()) {
         // Datapath failure: surface by dropping this lane's loop.
         stopping_.store(true, std::memory_order_relaxed);
+        fail_pending(lane);
+        return;
+      }
+    }
+    dpu::DecodeResult result;
+    while (pool_->try_pop_result(lane.index, result)) {
+      did_work = true;
+      Status st = forward_decoded(lane, std::move(result));
+      if (!st.is_ok()) {
+        stopping_.store(true, std::memory_order_relaxed);
+        fail_pending(lane);
         return;
       }
     }
     auto pumped = lane.client.event_loop_once();
-    if (!pumped.is_ok()) return;
+    if (!pumped.is_ok()) {
+      fail_pending(lane);
+      return;
+    }
     if (*pumped > 0) did_work = true;
     if (!did_work) {
-      // Blocking wait (poll()-style, §III.C) instead of busy-polling.
+      // Blocking wait (poll()-style, §III.C) instead of busy-polling;
+      // decode completions interrupt() us out of it.
       lane.conn->wait(1);
-      if (lane.queue.size() == 0 && lane.client.in_flight() == 0) {
+      if (lane.queue.size() == 0 && lane.client.in_flight() == 0 &&
+          lane.outstanding == 0) {
         // Fully idle: sleep on the queue; stop() closes it to wake us.
         auto call = lane.queue.pop();
-        if (!call.has_value()) return;  // queue closed: shutting down
-        Status st = forward(lane, std::move(*call));
-        if (!st.is_ok()) return;
+        if (!call.has_value()) break;  // queue closed: shutting down
+        Status st = submit_decode(lane, std::move(*call));
+        if (!st.is_ok()) {
+          fail_pending(lane);
+          return;
+        }
       }
     }
   }
+  fail_pending(lane);
 }
 
 }  // namespace dpurpc::grpccompat

@@ -2,26 +2,34 @@
 //
 // This is the middle-man of Fig. 1. It runs the xRPC server (so xRPC
 // clients only change the address they dial, §III.A), deserializes each
-// request's protobuf payload *in place* into the RPC over RDMA send block
-// — emitting pointers in the host's address space — and forwards it. The
-// host's business logic replies through the compat layer; the proxy wraps
-// the (possibly still-object, see ObjectSerializer) response back into an
+// request's protobuf payload into the RPC over RDMA send block — emitting
+// pointers in the host's address space — and forwards it. The host's
+// business logic replies through the compat layer; the proxy wraps the
+// (possibly still-object, see ObjectSerializer) response back into an
 // xRPC response.
 //
-// Threading (§III.C): "a poller is dedicated to a single connection on
-// the client side" — the proxy runs one poller thread (lane) per RDMA
-// connection, the paper's sixteen-thread DPU configuration at any count.
-// xRPC reader threads enqueue work round-robin across lanes.
+// Threading (§III.C + lane sharding, DESIGN.md §3.14): one poller thread
+// (lane) per RDMA connection owns that connection's RpcClient and event
+// loop; xRPC reader threads enqueue work round-robin across lanes. Decode
+// itself is sharded off the lanes onto a DecodePool sized from the DPU
+// core count: the poller hands the wire bytes to the pool through a
+// per-lane ring, the worker decodes into a private fully-local scratch
+// slice, and the poller memcpys the finished slice into the send block
+// and relocates its pointers into host space. A lane whose decodes are
+// slow therefore queues against the pool, not against its siblings, and
+// idle workers steal the backlog.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "adt/arena_deserializer.hpp"
 #include "adt/object_codec.hpp"
 #include "common/bounded_queue.hpp"
+#include "dpu/decode_pool.hpp"
 #include "grpccompat/manifest.hpp"
 #include "rdmarpc/client.hpp"
 #include "xrpc/server.hpp"
@@ -32,6 +40,9 @@ struct DpuProxyStats {
   std::atomic<uint64_t> offloaded_requests{0};
   std::atomic<uint64_t> deserialize_failures{0};
   std::atomic<uint64_t> responses_forwarded{0};
+  /// Requests decoded on the lane thread because the pool ring was full
+  /// (overload spill; the pre-sharding behavior).
+  std::atomic<uint64_t> inline_decodes{0};
 };
 
 class DpuProxy {
@@ -42,22 +53,32 @@ class DpuProxy {
 
   /// Multi-connection proxy: one dedicated poller thread per connection
   /// (§III.C); incoming xRPC calls are distributed round-robin.
+  /// `decode_workers` sizes the decode pool: 0 → dpu::DeviceInfo cores
+  /// (DPURPC_DPU_CORES overrides), clamped to the lane count.
   DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
-           const OffloadManifest* manifest, adt::CodecOptions options = {});
+           const OffloadManifest* manifest, adt::CodecOptions options = {},
+           int decode_workers = 0);
 
   ~DpuProxy();
 
-  /// Start the xRPC server and the poller lanes. Returns the TCP port
-  /// xRPC clients should dial (the "DPU's address").
+  /// Start the xRPC server, the decode pool, and the poller lanes.
+  /// Returns the TCP port xRPC clients should dial (the "DPU's address").
   StatusOr<uint16_t> start();
   void stop();
 
   const DpuProxyStats& stats() const noexcept { return stats_; }
   size_t lane_count() const noexcept { return lanes_.size(); }
   /// Requests forwarded through lane `i` (load-balance introspection).
-  uint64_t lane_requests(size_t i) const {
-    return lanes_.at(i)->forwarded.load(std::memory_order_relaxed);
+  /// Safe against racing monitor reads at any time: out-of-range lanes
+  /// (including a size observed mid-shutdown) read as zero rather than
+  /// throwing.
+  uint64_t lane_requests(size_t i) const noexcept {
+    return i < lanes_.size()
+               ? lanes_[i]->forwarded.load(std::memory_order_relaxed)
+               : 0;
   }
+  /// The decode pool (per-worker stats; see DecodePool::worker_stats).
+  const dpu::DecodePool& decode_pool() const noexcept { return *pool_; }
 
  private:
   struct PendingCall {
@@ -65,24 +86,46 @@ class DpuProxy {
     Bytes payload;
     xrpc::Server::Responder respond;
   };
+  /// A call whose payload is out with the decode pool; keyed by cookie.
+  struct PendingDecode {
+    const MethodEntry* method;
+    xrpc::Server::Responder respond;
+  };
 
   /// One connection + its dedicated poller (§III.C).
   struct Lane {
-    explicit Lane(rdmarpc::Connection* c) : conn(c), client(c) {}
+    Lane(rdmarpc::Connection* c, size_t i) : conn(c), client(c), index(i) {}
     rdmarpc::Connection* conn;
     rdmarpc::RpcClient client;
+    size_t index;
     BoundedQueue<PendingCall> queue{1024};
     std::thread thread;
     std::atomic<uint64_t> forwarded{0};
+    // Poller-thread-only state (submission and completion both happen on
+    // the lane's poller; the pool only sees opaque cookies).
+    uint64_t next_cookie = 0;
+    size_t outstanding = 0;
+    std::unordered_map<uint64_t, PendingDecode> pending;
   };
 
   void poller_loop(Lane& lane);
+  /// Hand a call's decode to the pool (or decode inline when the ring is
+  /// full). Returns non-ok only on unrecoverable datapath failure.
+  Status submit_decode(Lane& lane, PendingCall call);
+  /// Ship a pool-decoded slice: copy into the send block, relocate its
+  /// pointers to host space, and fire the RPC.
+  Status forward_decoded(Lane& lane, dpu::DecodeResult result);
+  /// Pre-sharding inline path; kept as the overload spill and the
+  /// decode-error short-circuit.
   Status forward(Lane& lane, PendingCall call);
+  /// Fail every call still waiting on a decode (shutdown/teardown).
+  void fail_pending(Lane& lane);
 
   const OffloadManifest* manifest_;
   adt::ArenaDeserializer deserializer_;
   adt::ObjectSerializer serializer_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<dpu::DecodePool> pool_;
   std::atomic<uint64_t> next_lane_{0};
   std::unique_ptr<xrpc::Server> xrpc_server_;
   std::atomic<bool> stopping_{false};

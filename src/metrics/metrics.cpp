@@ -220,4 +220,8 @@ Counter& default_counter(std::string name, std::string help) {
   return default_registry().counter_family(std::move(name), std::move(help)).counter();
 }
 
+Gauge& default_gauge(std::string name, std::string help, const Labels& labels) {
+  return default_registry().gauge_family(std::move(name), std::move(help)).gauge(labels);
+}
+
 }  // namespace dpurpc::metrics

@@ -5,14 +5,17 @@
 // and malformed-input rejection.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <random>
+#include <thread>
 
 #include "adt/adt.hpp"
 #include "adt/adt_registry.hpp"
 #include "adt/arena_deserializer.hpp"
 #include "adt/message_base.hpp"
 #include "adt/repeated_field.hpp"
+#include "adt/serialize_plan.hpp"
 #include "common/rng.hpp"
 #include "proto/dynamic_message.hpp"
 #include "proto/schema_parser.hpp"
@@ -699,6 +702,92 @@ TEST(GeneratedClassPath, ArenaExhaustionInRepeatedField) {
   bool ok = true;
   for (int i = 0; i < 100 && ok; ++i) ok = xs.add(i, arena);
   EXPECT_FALSE(ok);  // must fail cleanly, not overrun
+}
+
+// ------------------------------------------------ plan snapshot (RCU slot)
+
+TEST_F(AdtFixture, PlanSnapshotColdThenHotPath) {
+  const PlanCacheStats cold = adt_.plan_cache_stats();
+  auto first = adt_.plans();
+  ASSERT_NE(first, nullptr);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(adt_.plans().get(), first.get());
+  const PlanCacheStats warm = adt_.plan_cache_stats();
+  EXPECT_EQ(warm.rebuilds - cold.rebuilds, 1u);       // built exactly once
+  EXPECT_EQ(warm.mutex_entries - cold.mutex_entries, 1u);
+  EXPECT_GE(warm.snapshot_hits - cold.snapshot_hits, 100u);
+}
+
+TEST_F(AdtFixture, PlanSnapshotRefreshUnderLoad) {
+  // Readers hammer plans() while the main thread repeatedly invalidates
+  // the snapshot. The RCU slot must hand every reader a fully built,
+  // internally consistent PlanSet (stale is fine; torn is not), keep
+  // every retired snapshot alive for the table's lifetime so a reader's
+  // stale pointer never dangles, and stay TSan-clean. This is the race
+  // the decode pool runs all day.
+  constexpr int kReaders = 4;
+  constexpr int kInvalidations = 300;
+  const uint32_t classes = adt_.class_count();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = adt_.plans();
+        if (snap == nullptr ||
+            snap->parse().for_class(0) == nullptr ||
+            snap->serialize().for_class(0) == nullptr) {
+          torn.store(true);
+          return;
+        }
+        // Touch every class's slot: a half-built set would fault or
+        // return garbage here, and TSan would flag the publish.
+        for (uint32_t c = 0; c < classes; ++c) (void)snap->parse().for_class(c);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  auto held = adt_.plans();  // pin one early snapshot across all rebuilds
+  for (int i = 0; i < kInvalidations; ++i) {
+    adt_.invalidate_plans();
+    ASSERT_NE(adt_.plans(), nullptr);
+  }
+  // On a one-core box the readers may not have been scheduled yet; keep
+  // churning until they have demonstrably raced some rebuilds.
+  while (reads.load(std::memory_order_relaxed) < 50 && !torn.load()) {
+    adt_.invalidate_plans();
+    ASSERT_NE(adt_.plans(), nullptr);
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(torn.load());
+  EXPECT_GT(reads.load(), 0u);
+  // The pinned snapshot is stale but still fully usable.
+  EXPECT_NE(held->parse().for_class(0), nullptr);
+  const PlanCacheStats stats = adt_.plan_cache_stats();
+  EXPECT_GE(stats.rebuilds, static_cast<uint64_t>(kInvalidations));
+  EXPECT_GT(stats.snapshot_hits, 0u);
+}
+
+TEST_F(AdtFixture, MutationInvalidatesPlanSnapshot) {
+  auto before = adt_.plans();
+  ASSERT_NE(before, nullptr);
+  // Structural mutation must drop the snapshot so stale plans can't be
+  // applied to a table they no longer describe.
+  DescriptorAdtBuilder builder(StdLibFlavor::kLibstdcpp);
+  ASSERT_TRUE(builder.add_message(pool_.find_message("bench.Small")).is_ok());
+  Adt extra = std::move(builder).take();
+  adt_.add_class(extra.class_at(0));
+  auto after = adt_.plans();
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_NE(after->parse().for_class(adt_.class_count() - 1), nullptr);
 }
 
 }  // namespace

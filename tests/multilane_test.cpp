@@ -129,5 +129,121 @@ TEST(MultiLane, ProxyLanesAndHostPoolServeConcurrently) {
   host_thread.join();
 }
 
+// Lane sharding (DESIGN.md §3.14): one proxy with MORE connections than
+// decode workers, hammered by concurrent clients, so the per-lane rings
+// multiplex onto a smaller worker pool and stealing kicks in. Verifies
+// the decode ledger balances: every request was decoded exactly once,
+// either by a pool worker or by the lane's inline spill path.
+TEST(MultiLane, DecodePoolShardsAcrossFewerWorkersThanLanes) {
+  constexpr size_t kLanes = 4;
+  constexpr int kWorkers = 2;  // fewer workers than lanes, deliberately
+  constexpr int kClients = 6;
+  constexpr int kCallsEach = 50;
+
+  proto::DescriptorPool pool;
+  proto::SchemaParser parser(pool);
+  ASSERT_TRUE(parser.parse_and_link(kSchema).is_ok());
+  auto manifest = OffloadManifest::build(pool, arena::StdLibFlavor::kLibstdcpp);
+  ASSERT_TRUE(manifest.is_ok());
+
+  auto shared_channel = std::make_unique<simverbs::CompletionChannel>();
+  simverbs::ProtectionDomain host_pd("host");
+  std::vector<std::unique_ptr<simverbs::ProtectionDomain>> dpu_pds;
+  std::vector<std::unique_ptr<rdmarpc::Connection>> dpu_conns, host_conns;
+  std::vector<rdmarpc::Connection*> dpu_ptrs, host_ptrs;
+  rdmarpc::ConnectionConfig host_cfg;
+  host_cfg.shared_channel = shared_channel.get();
+  for (size_t i = 0; i < kLanes; ++i) {
+    dpu_pds.push_back(std::make_unique<simverbs::ProtectionDomain>(
+        "dpu" + std::to_string(i)));
+    dpu_conns.push_back(std::make_unique<rdmarpc::Connection>(
+        rdmarpc::Role::kClient, dpu_pds.back().get(), rdmarpc::ConnectionConfig{}));
+    host_conns.push_back(std::make_unique<rdmarpc::Connection>(
+        rdmarpc::Role::kServer, &host_pd, host_cfg));
+    ASSERT_TRUE(rdmarpc::Connection::connect(*dpu_conns.back(), *host_conns.back())
+                    .is_ok());
+    dpu_ptrs.push_back(dpu_conns.back().get());
+    host_ptrs.push_back(host_conns.back().get());
+  }
+
+  HostEnginePool host(host_ptrs, &*manifest, &pool);
+  ASSERT_TRUE(host.register_method_inplace(
+                      "ml.Worker/Work",
+                      [](const ServerContext&, const adt::LayoutView& req,
+                         adt::LayoutBuilder& resp) {
+                        DPURPC_RETURN_IF_ERROR(
+                            resp.set_string(1, std::string(req.get_string(1))));
+                        return resp.set_uint64(2, req.get_uint64(2) * 2);
+                      })
+                  .is_ok());
+
+  std::atomic<bool> stop{false};
+  std::thread host_thread([&] {
+    while (!stop.load()) {
+      auto n = host.event_loop_once();
+      if (!n.is_ok()) return;
+      if (*n == 0) shared_channel->wait(1);
+    }
+  });
+
+  DpuProxy proxy(dpu_ptrs, &*manifest, {}, kWorkers);
+  EXPECT_EQ(proxy.decode_pool().worker_count(), static_cast<size_t>(kWorkers));
+  EXPECT_EQ(proxy.decode_pool().lane_count(), kLanes);
+  auto port = proxy.start();
+  ASSERT_TRUE(port.is_ok());
+
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto chan = xrpc::Channel::connect(*port);
+      ASSERT_TRUE(chan.is_ok());
+      const auto* req_desc = pool.find_message("ml.Req");
+      const auto* resp_desc = pool.find_message("ml.Resp");
+      for (int i = 0; i < kCallsEach; ++i) {
+        proto::DynamicMessage q(req_desc);
+        std::string key = "w" + std::to_string(c) + "-" + std::to_string(i) +
+                          std::string(static_cast<size_t>(i % 7) * 16, 'p');
+        q.set_string(req_desc->field_by_name("key"), key);
+        q.set_uint64(req_desc->field_by_name("n"), static_cast<uint64_t>(i));
+        Bytes wire = proto::WireCodec::serialize(q);
+        auto resp = (*chan)->call("ml.Worker/Work", ByteSpan(wire));
+        ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+        proto::DynamicMessage r(resp_desc);
+        ASSERT_TRUE(proto::WireCodec::parse(ByteSpan(*resp), r).is_ok());
+        EXPECT_EQ(r.get_string(resp_desc->field_by_name("echoed")), key);
+        ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const auto total = static_cast<uint64_t>(kClients) * kCallsEach;
+  EXPECT_EQ(ok.load(), static_cast<int>(total));
+
+  // The decode ledger balances: per-worker job counters plus the inline
+  // spill path account for every request exactly once.
+  uint64_t pool_jobs = 0;
+  for (size_t w = 0; w < proxy.decode_pool().worker_count(); ++w) {
+    const auto stats = proxy.decode_pool().worker_stats(w);
+    pool_jobs += stats.jobs;
+    EXPECT_EQ(stats.failures, 0u) << "worker " << w;
+  }
+  EXPECT_EQ(pool_jobs, proxy.decode_pool().total_jobs());
+  EXPECT_EQ(pool_jobs + proxy.stats().inline_decodes.load(), total);
+  EXPECT_EQ(proxy.stats().offloaded_requests.load(), total);
+
+  // Bounds-safe introspection: an out-of-range lane reads as zero (the
+  // monitor scrapes this concurrently with shutdown; it must never throw).
+  EXPECT_EQ(proxy.lane_requests(999), 0u);
+  uint64_t lane_total = 0;
+  for (size_t i = 0; i < kLanes; ++i) lane_total += proxy.lane_requests(i);
+  EXPECT_EQ(lane_total, total);
+
+  proxy.stop();
+  stop.store(true);
+  shared_channel->interrupt();
+  host_thread.join();
+}
+
 }  // namespace
 }  // namespace dpurpc::grpccompat

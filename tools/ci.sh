@@ -9,36 +9,112 @@
 #                     lockdep checker rides along and fails the pass on the
 #                     first lock-order inversion or domain-rule violation.
 #   3. tsan         — ThreadSanitizer over the whole suite: the DPU proxy
-#                     lanes, xRPC reader threads, simverbs CQ pollers and
-#                     the metrics scraper all interleave in the tests, and
-#                     data races between them are invisible to passes 1–2.
-#                     Benches are excluded here (the BMI2 micro-bench
-#                     kernels measure nothing under TSan's 5-15x slowdown
-#                     and are single-threaded anyway).
+#                     lanes, decode-pool workers, xRPC reader threads,
+#                     simverbs CQ pollers and the metrics scraper all
+#                     interleave in the tests, and data races between them
+#                     are invisible to passes 1–2. Benches are excluded
+#                     here (the BMI2 micro-bench kernels measure nothing
+#                     under TSan's 5-15x slowdown).
 #
-# Also runs tools/lint.sh (clang-tidy over src/) when clang-tidy exists in
-# the environment; see that script for the gating rules.
+# Extra named passes:
 #
-# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+#   lint            — tools/lint.sh (clang-tidy over src/); a no-op with a
+#                     warning when clang-tidy is absent.
+#   bench-smoke     — builds the plain tree's bench/ binaries and runs each
+#                     one once with DPURPC_BENCH_SMOKE=1 (tiny iteration
+#                     counts): proves every harness still sets up, measures
+#                     and reports without crashing. Numbers are meaningless.
+#
+# Usage: tools/ci.sh [--pass plain|asan|tsan|lint|bench-smoke|all] [build-dir-prefix]
+#   default pass is `all` (plain, asan, tsan, then lint — the pre-existing
+#   behaviour); default prefix is build-ci. A per-pass wall-clock summary
+#   prints at the end either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-prefix="${1:-build-ci}"
+pass="all"
+prefix=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --pass) pass="$2"; shift 2 ;;
+    --pass=*) pass="${1#--pass=}"; shift ;;
+    -h|--help)
+      sed -n '2,31p' "$0"; exit 0 ;;
+    -*)
+      echo "ci: unknown flag $1 (see --help)" >&2; exit 64 ;;
+    *)
+      prefix="$1"; shift ;;
+  esac
+done
+prefix="${prefix:-build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+# ccache makes the matrix affordable on hosted runners; harmless to skip.
+launcher_args=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher_args=(-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+summary=()
+timed() {
+  local name="$1"; shift
+  local t0 t1
+  t0=$(date +%s)
+  "$@"
+  t1=$(date +%s)
+  summary+=("$(printf '%-12s %4ds' "$name" "$((t1 - t0))")")
+}
+
+build_dir() {
+  local dir="$1"; shift
+  echo "=== configure $dir ($*)" >&2
+  cmake -B "$dir" -S . "${launcher_args[@]}" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+}
 
 run_pass() {
   local dir="$1"; shift
-  echo "=== configure $dir ($*)" >&2
-  cmake -B "$dir" -S . "$@" >/dev/null
-  cmake --build "$dir" -j "$jobs"
+  build_dir "$dir" "$@"
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
-run_pass "$prefix-plain"
-run_pass "$prefix-asan" -DDPURPC_SANITIZE=address,undefined -DDPURPC_LOCKDEP=ON
-run_pass "$prefix-tsan" -DDPURPC_SANITIZE=thread -DDPURPC_BUILD_BENCH=OFF
+pass_plain() { run_pass "$prefix-plain"; }
+pass_asan()  { run_pass "$prefix-asan" -DDPURPC_SANITIZE=address,undefined -DDPURPC_LOCKDEP=ON; }
+pass_tsan()  { run_pass "$prefix-tsan" -DDPURPC_SANITIZE=thread -DDPURPC_BUILD_BENCH=OFF; }
+pass_lint()  { tools/lint.sh "$prefix-plain"; }
 
-# Static lint wall: no-op (with a warning) when clang-tidy is absent.
-tools/lint.sh "$prefix-plain"
+pass_bench_smoke() {
+  build_dir "$prefix-plain"
+  local bench failed=0
+  for bench in "$prefix-plain"/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    echo "=== smoke $(basename "$bench")" >&2
+    if ! DPURPC_BENCH_SMOKE=1 "$bench" >/dev/null; then
+      echo "ci: bench smoke FAILED: $(basename "$bench")" >&2
+      failed=1
+    fi
+  done
+  return "$failed"
+}
 
-echo "ci: all three passes green"
+case "$pass" in
+  plain)       timed plain pass_plain ;;
+  asan)        timed asan pass_asan ;;
+  tsan)        timed tsan pass_tsan ;;
+  lint)        timed lint pass_lint ;;
+  bench-smoke) timed bench-smoke pass_bench_smoke ;;
+  all)
+    timed plain pass_plain
+    timed asan pass_asan
+    timed tsan pass_tsan
+    timed lint pass_lint
+    ;;
+  *)
+    echo "ci: unknown pass '$pass' (plain|asan|tsan|lint|bench-smoke|all)" >&2
+    exit 64 ;;
+esac
+
+echo
+echo "ci: pass summary (wall clock)"
+for line in "${summary[@]}"; do echo "  $line"; done
+echo "ci: pass '$pass' green"
