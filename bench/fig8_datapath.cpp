@@ -13,6 +13,7 @@
 //
 // Scenarios, per the paper §VI.C: business logic empty, responses empty,
 // and BOTH scenarios use the custom stack-based deserializer.
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,9 +22,12 @@
 #include "adt/object_codec.hpp"
 #include "bench_util.hpp"
 #include "common/cpu_timer.hpp"
+#include "metrics/metrics.hpp"
 #include "rdmarpc/client.hpp"
 #include "rdmarpc/connection.hpp"
 #include "rdmarpc/server.hpp"
+#include "trace/collector.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -195,6 +199,122 @@ ScenarioResult run_scenario(BenchEnv& env, const Workload& w, bool offload) {
   return res;
 }
 
+// --trace-out: run a dedicated fully-traced pass over the offload datapath
+// and emit the Perfetto/chrome://tracing timeline. Separate from the
+// measured scenarios so tracing overhead never contaminates the Fig. 8
+// numbers. Returns 0, or 2 when the span decomposition fails validation
+// (per-stage durations must sum to ~the root's end-to-end time).
+int run_traced(BenchEnv& env, const Workload& w, const std::string& out_path,
+               bool quick) {
+  trace::TraceConfig tc;
+  tc.mode = trace::Mode::kFull;
+  tc.ring_capacity = 1 << 16;
+  trace::Tracer::instance().configure(tc);
+  trace::TraceCollector::Options copts;
+  copts.tail_keep_every = 1;     // retain every tree: we validate them all
+  copts.max_retained = 1 << 20;
+  copts.orphan_max_age = 1u << 30;
+  trace::TraceCollector collector(copts);  // default registry
+
+  simverbs::ProtectionDomain dpu_pd("dpu"), host_pd("host");
+  rdmarpc::Connection dpu_conn(rdmarpc::Role::kClient, &dpu_pd, {});
+  rdmarpc::Connection host_conn(rdmarpc::Role::kServer, &host_pd, {});
+  if (!rdmarpc::Connection::connect(dpu_conn, host_conn).is_ok()) std::abort();
+  rdmarpc::RpcClient client(&dpu_conn);
+  rdmarpc::RpcServer server(&host_conn);
+  server.register_handler(kMethod, [](const rdmarpc::RequestView&, Bytes& out) {
+    out.clear();
+    return Status::ok();
+  });
+
+  const uint64_t requests = quick ? 2000 : 20000;
+  uint64_t completed = 0, enqueued = 0;
+  while (completed < requests) {
+    while (enqueued - completed < kConcurrency && enqueued < requests) {
+      trace::TraceContext ctx = trace::Tracer::instance().begin_trace();
+      uint64_t t0 = WallTimer::now();
+      Status st = client.call_inplace(
+          kMethod, static_cast<uint16_t>(w.class_index),
+          static_cast<uint32_t>(w.wire.size() * 4 + 256),
+          [&](arena::Arena& arena, const arena::AddressTranslator& xlate)
+              -> StatusOr<uint32_t> {
+            auto obj = env.deserializer->deserialize(w.class_index,
+                                                     ByteSpan(w.wire), arena, xlate);
+            if (!obj.is_ok()) return obj.status();
+            return static_cast<uint32_t>(arena.used());
+          },
+          [&completed, ctx, t0](const Status&, const rdmarpc::InMessage&) {
+            ++completed;
+            trace::Tracer::instance().record_root(ctx, t0, WallTimer::now());
+          },
+          ctx);
+      if (!st.is_ok()) break;  // backpressure: pump the loops
+      ++enqueued;
+    }
+    if (!client.event_loop_once().is_ok()) std::abort();
+    if (!server.event_loop_once().is_ok()) std::abort();
+    // Drain rings while they are warm; a single 64 Ki ring would overflow
+    // over the whole run.
+    collector.collect();
+  }
+  collector.collect();
+  trace::Tracer::instance().configure(trace::TraceConfig{});
+
+  std::string json = collector.export_chrome_json();
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  // Validate the decomposition: per-stage durations must account for the
+  // end-to-end time. The stage spans tile the request's life almost
+  // exactly (each wait span ends at the stamp the next span starts at), so
+  // the mean ratio sits near 1; well under and the instrumentation lost a
+  // stage, well over and spans double-count.
+  double ratio_sum = 0;
+  uint64_t trees = 0, dropped_spans = trace::Tracer::instance().dropped_total();
+  for (const trace::SpanTree& t : collector.retained()) {
+    if (t.duration_ns() == 0) continue;
+    ratio_sum += static_cast<double>(t.stage_sum_ns()) /
+                 static_cast<double>(t.duration_ns());
+    ++trees;
+  }
+  double mean_ratio = trees ? ratio_sum / static_cast<double>(trees) : 0.0;
+  std::printf("\nDatapath trace (%s, %" PRIu64 " requests): %s\n", w.name,
+              completed, out_path.c_str());
+  std::printf("  trees retained %" PRIu64 "   ring drops %" PRIu64
+              "   mean sum(stages)/e2e = %.3f\n",
+              trees, dropped_spans, mean_ratio);
+
+  std::printf("  %-16s %12s %12s %12s\n", "stage", "p50_us", "p95_us", "p99_us");
+  metrics::Snapshot snap = metrics::default_registry().scrape();
+  for (size_t i = 0; i < static_cast<size_t>(trace::Stage::kStageCount); ++i) {
+    auto st = static_cast<trace::Stage>(i);
+    metrics::Labels labels{{"stage", trace::stage_name(st)}};
+    const metrics::Sample* count =
+        snap.find("dpurpc_trace_stage_seconds_count", labels);
+    if (count == nullptr || count->value == 0) continue;
+    const metrics::Sample* p50 = snap.find("dpurpc_trace_stage_seconds_p50", labels);
+    const metrics::Sample* p95 = snap.find("dpurpc_trace_stage_seconds_p95", labels);
+    const metrics::Sample* p99 = snap.find("dpurpc_trace_stage_seconds_p99", labels);
+    std::printf("  %-16s %12.2f %12.2f %12.2f\n", trace::stage_name(st),
+                p50 ? p50->value * 1e6 : 0, p95 ? p95->value * 1e6 : 0,
+                p99 ? p99->value * 1e6 : 0);
+  }
+
+  if (trees == 0 || mean_ratio < 0.5 || mean_ratio > 1.05) {
+    std::fprintf(stderr,
+                 "FAIL: span decomposition out of tolerance "
+                 "(mean ratio %.3f, want [0.5, 1.05])\n",
+                 mean_ratio);
+    return 2;
+  }
+  return 0;
+}
+
 struct ModeledFigures {
   double rps;
   double bandwidth_gbps;
@@ -235,8 +355,18 @@ ModeledFigures model(const ScenarioResult& r, dpu::WorkloadClass wclass, bool of
 int main(int argc, char** argv) {
   // --quick shrinks request counts (used by CI-style runs); the CI
   // bench-smoke lane's DPURPC_BENCH_SMOKE env var implies it.
-  bool quick = (argc > 1 && std::string(argv[1]) == "--quick") ||
-               std::getenv("DPURPC_BENCH_SMOKE") != nullptr;
+  // --trace-out=PATH additionally runs a fully-traced pass and writes the
+  // Chrome trace-event timeline there.
+  bool quick = std::getenv("DPURPC_BENCH_SMOKE") != nullptr;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(strlen("--trace-out="));
+    }
+  }
   uint64_t scale = quick ? 4 : 1;
 
   static BenchEnv env;
@@ -307,5 +437,8 @@ int main(int argc, char** argv) {
   std::printf("bandwidth penalty largest for Small/Ints (deserialized > serialized),\n");
   std::printf("~1.0x for Chars; host CPU reduced 1.8x (Small), 8.0x (Ints), 1.53x "
               "(Chars).\n");
+  if (!trace_out.empty()) {
+    return run_traced(env, workloads[0], trace_out, quick);
+  }
   return 0;
 }

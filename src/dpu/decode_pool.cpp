@@ -200,6 +200,13 @@ bool DecodePool::run_one(size_t w, size_t lane, bool stolen) {
 
 DecodeResult DecodePool::decode(size_t w, DecodeJob&& job) {
   Worker& me = *workers_[w];
+  uint64_t t0_wall = 0;
+  if (trace::enabled() && job.trace.active()) {
+    t0_wall = WallTimer::now();
+    // Submit-to-pickup wait in the lane's handoff ring.
+    trace::Tracer::instance().record(trace::Stage::kDecodeRingWait, job.trace,
+                                     job.submit_ns, t0_wall);
+  }
   const uint64_t t0 = ThreadCpuTimer::now();
   DecodeResult result;
   result.cookie = job.cookie;
@@ -239,6 +246,13 @@ DecodeResult DecodePool::decode(size_t w, DecodeJob&& job) {
   }
 
   const uint64_t ns = ThreadCpuTimer::now() - t0;
+  if (t0_wall != 0) {
+    // Wall time on purpose (the CPU timer above feeds the cost model):
+    // spans must live on the same monotonic axis as every other stage.
+    trace::Tracer::instance().record(trace::Stage::kWorkerDecode, job.trace,
+                                     t0_wall, WallTimer::now(),
+                                     job.wire.size());
+  }
   me.jobs.fetch_add(1, std::memory_order_relaxed);
   me.bytes_decoded.fetch_add(job.wire.size(), std::memory_order_relaxed);
   me.busy_ns.fetch_add(ns, std::memory_order_relaxed);

@@ -41,6 +41,7 @@
 #include "common/status.hpp"
 #include "dpu/dpu_model.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace dpurpc::dpu {
 
@@ -68,11 +69,15 @@ class ScratchSlice {
 };
 
 /// One decode request, handed from a lane poller to the pool. `cookie` is
-/// opaque to the pool (the proxy keys its pending-call map with it).
+/// opaque to the pool (the proxy keys its pending-call map with it). An
+/// active `trace` makes the worker record ring-wait and decode spans
+/// (`submit_ns` marks the handoff instant the wait starts at).
 struct DecodeJob {
   uint32_t class_index = 0;
   uint64_t cookie = 0;
   Bytes wire;
+  trace::TraceContext trace;
+  uint64_t submit_ns = 0;
 };
 
 /// The finished decode. On success `slice` holds the object tree, fully

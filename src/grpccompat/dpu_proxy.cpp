@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/cpu_timer.hpp"
+#include "metrics/metrics.hpp"
+
 namespace dpurpc::grpccompat {
 
 namespace {
@@ -41,7 +44,9 @@ DpuProxy::~DpuProxy() { stop(); }
 
 StatusOr<uint16_t> DpuProxy::start() {
   auto server = xrpc::Server::start(
-      [this](const std::string& method, Bytes payload, xrpc::Server::Responder respond) {
+      [this](const std::string& method, Bytes payload, trace::TraceContext tctx,
+             xrpc::Server::Responder respond) {
+        uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
         const MethodEntry* entry = manifest_->find_by_name(method);
         if (entry == nullptr) {
           respond(Code::kNotFound, {});
@@ -51,10 +56,19 @@ StatusOr<uint16_t> DpuProxy::start() {
         // connection); wake the lane if it sleeps on its channel.
         Lane& lane = *lanes_[next_lane_.fetch_add(1, std::memory_order_relaxed) %
                             lanes_.size()];
-        if (lane.queue.push({entry, std::move(payload), std::move(respond)})) {
+        uint64_t enqueue_ns = tctx.active() ? WallTimer::now() : 0;
+        if (lane.queue.push(
+                {entry, std::move(payload), std::move(respond), tctx, enqueue_ns})) {
           lane.conn->interrupt();
         }  // else: queue closed, proxy shutting down
-      });
+        if (tctx.active()) {
+          // Method lookup + lane selection + queue push, on the xRPC
+          // reader thread. The lane-queue-wait span picks up at enqueue_ns.
+          trace::Tracer::instance().record(trace::Stage::kProxyDispatch, tctx,
+                                           t0, WallTimer::now());
+        }
+      },
+      &metrics::default_registry());
   if (!server.is_ok()) return server.status();
   xrpc_server_ = std::move(*server);
   pool_->start();
@@ -83,14 +97,24 @@ void DpuProxy::stop() {
 }
 
 Status DpuProxy::submit_decode(Lane& lane, PendingCall call) {
+  if (call.trace.active()) {
+    uint64_t now = WallTimer::now();
+    // Time spent queued behind this lane's other calls.
+    trace::Tracer::instance().record(trace::Stage::kLaneQueueWait, call.trace,
+                                     call.enqueue_ns, now);
+    call.enqueue_ns = now;  // decode-ring wait starts where the queue ended
+  }
   dpu::DecodeJob job;
   job.class_index = call.method->input_class;
   job.cookie = ++lane.next_cookie;
   job.wire = std::move(call.payload);
+  job.trace = call.trace;
+  job.submit_ns = call.enqueue_ns;
   if (lane.outstanding < kMaxOutstandingDecodes &&
       pool_->submit(lane.index, job)) {
-    lane.pending.emplace(job.cookie,
-                         PendingDecode{call.method, std::move(call.respond)});
+    lane.pending.emplace(
+        job.cookie,
+        PendingDecode{call.method, std::move(call.respond), call.trace});
     ++lane.outstanding;
     return Status::ok();
   }
@@ -119,6 +143,7 @@ Status DpuProxy::forward_decoded(Lane& lane, dpu::DecodeResult result) {
   const MethodEntry* entry = pending.method;
   auto respond = std::make_shared<xrpc::Server::Responder>(std::move(pending.respond));
   auto* stats = &stats_;
+  trace::TraceContext tctx = pending.trace;
 
   for (int attempt = 0;; ++attempt) {
     Status st = lane.client.call_inplace(
@@ -147,21 +172,28 @@ Status DpuProxy::forward_decoded(Lane& lane, dpu::DecodeResult result) {
                                  rel);
           return static_cast<uint32_t>(arena.used());
         },
-        [this, respond, stats](const Status& rpc_result, const rdmarpc::InMessage& resp) {
+        [this, respond, stats, tctx](const Status& rpc_result,
+                                     const rdmarpc::InMessage& resp) {
+          uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
           stats->responses_forwarded.fetch_add(1, std::memory_order_relaxed);
           if (!rpc_result.is_ok()) {
             (*respond)(rpc_result.code(), {});
-            return;
-          }
-          if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
+          } else if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
             Bytes wire;
             Status st2 = serializer_.serialize(
                 adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
             (*respond)(st2.is_ok() ? Code::kOk : st2.code(), ByteSpan(wire));
-            return;
+          } else {
+            (*respond)(Code::kOk, resp.payload);
           }
-          (*respond)(Code::kOk, resp.payload);
-        });
+          if (tctx.active()) {
+            // Response serialization + the xRPC response write, error
+            // paths included — the trace must see failures too.
+            trace::Tracer::instance().record(trace::Stage::kComplete, tctx, t0,
+                                             WallTimer::now());
+          }
+        },
+        tctx);
     if (st.is_ok()) {
       stats_.offloaded_requests.fetch_add(1, std::memory_order_relaxed);
       lane.forwarded.fetch_add(1, std::memory_order_relaxed);
@@ -188,6 +220,7 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
   auto respond = std::make_shared<xrpc::Server::Responder>(std::move(call.respond));
   Bytes payload = std::move(call.payload);
   auto* stats = &stats_;
+  trace::TraceContext tctx = call.trace;
 
   for (int attempt = 0;; ++attempt) {
     Status st = lane.client.call_inplace(
@@ -204,21 +237,26 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
         // Continuation: the copy-path response is already serialized by
         // the host; an offloaded response (kFlagInPlaceObject) arrives as
         // an in-place object the DPU serializes here (§III.A extension).
-        [this, respond, stats](const Status& result, const rdmarpc::InMessage& resp) {
+        [this, respond, stats, tctx](const Status& result,
+                                     const rdmarpc::InMessage& resp) {
+          uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
           stats->responses_forwarded.fetch_add(1, std::memory_order_relaxed);
           if (!result.is_ok()) {
             (*respond)(result.code(), {});
-            return;
-          }
-          if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
+          } else if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
             Bytes wire;
             Status st2 = serializer_.serialize(
                 adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
             (*respond)(st2.is_ok() ? Code::kOk : st2.code(), ByteSpan(wire));
-            return;
+          } else {
+            (*respond)(Code::kOk, resp.payload);
           }
-          (*respond)(Code::kOk, resp.payload);
-        });
+          if (tctx.active()) {
+            trace::Tracer::instance().record(trace::Stage::kComplete, tctx, t0,
+                                             WallTimer::now());
+          }
+        },
+        tctx);
     if (st.is_ok()) {
       stats_.offloaded_requests.fetch_add(1, std::memory_order_relaxed);
       lane.forwarded.fetch_add(1, std::memory_order_relaxed);

@@ -32,6 +32,7 @@
 #include "dpu/decode_pool.hpp"
 #include "grpccompat/manifest.hpp"
 #include "rdmarpc/client.hpp"
+#include "trace/trace.hpp"
 #include "xrpc/server.hpp"
 
 namespace dpurpc::grpccompat {
@@ -85,11 +86,16 @@ class DpuProxy {
     const MethodEntry* method;
     Bytes payload;
     xrpc::Server::Responder respond;
+    /// Propagated request trace (inactive when the call is untraced) and
+    /// the stamp it entered the lane queue — the lane-queue-wait span.
+    trace::TraceContext trace;
+    uint64_t enqueue_ns = 0;
   };
   /// A call whose payload is out with the decode pool; keyed by cookie.
   struct PendingDecode {
     const MethodEntry* method;
     xrpc::Server::Responder respond;
+    trace::TraceContext trace;
   };
 
   /// One connection + its dedicated poller (§III.C).

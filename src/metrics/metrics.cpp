@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <sstream>
 
 #include "common/cpu_timer.hpp"
@@ -30,6 +31,31 @@ uint64_t Histogram::bucket_count(size_t i) const noexcept {
     total += buckets_[j].load(std::memory_order_relaxed);
   }
   return total;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0 || bounds_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    cum += b;
+    if (cum < rank) continue;
+    if (i == bounds_.size()) {
+      // Overflow bucket has no upper bound; clamp to the largest finite
+      // bound (what histogram_quantile does for +Inf).
+      return bounds_.back();
+    }
+    double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    double hi = bounds_[i];
+    double frac = static_cast<double>(rank - (cum - b)) / static_cast<double>(b);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.back();  // unreachable unless counts tore mid-walk
 }
 
 Family::Family(std::string name, std::string help, MetricKind kind,
@@ -105,15 +131,24 @@ Family& Registry::histogram_family(std::string name, std::string help,
                 std::move(bounds));
 }
 
+namespace {
+
+// The derived-quantile suffixes every histogram exposes alongside its raw
+// buckets; estimated via Histogram::quantile (see its interpolation note).
+constexpr struct { const char* suffix; double q; } kQuantiles[] = {
+    {"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+
+}  // namespace
+
 Snapshot Registry::scrape() const {
   Snapshot snap;
-  snap.wall_ns = WallTimer::now();
-  // Lock order: Registry.mu -> Family.mu (via for_each_child). The
-  // reverse never happens: no Family method reaches back into the
-  // registry, so the order graph stays acyclic.
+  snap.mono_ns = WallTimer::now();
+  // Lock order: Registry.mu -> Family.mu (via for_each). The reverse
+  // never happens: no Family method reaches back into the registry, so
+  // the order graph stays acyclic.
   lockdep::ScopedLock lk(mu_);
   for (const auto& f : families_) {
-    f->for_each_child([&](const Labels& labels, const Family::Child& c) {
+    f->for_each([&](const Labels& labels, const Family::Child& c) {
       switch (f->kind()) {
         case MetricKind::kCounter:
           snap.samples.push_back({f->name(), labels,
@@ -137,6 +172,9 @@ Snapshot Registry::scrape() const {
           snap.samples.push_back({f->name() + "_sum", labels, h.sum()});
           snap.samples.push_back({f->name() + "_count", labels,
                                   static_cast<double>(h.total_count())});
+          for (const auto& [suffix, q] : kQuantiles) {
+            snap.samples.push_back({f->name() + suffix, labels, h.quantile(q)});
+          }
           break;
         }
       }
@@ -171,7 +209,7 @@ std::string Registry::expose_text() const {
             : f->kind() == MetricKind::kGauge    ? "gauge"
                                                  : "histogram")
         << '\n';
-    f->for_each_child([&](const Labels& labels, const Family::Child& c) {
+    f->for_each([&](const Labels& labels, const Family::Child& c) {
       switch (f->kind()) {
         case MetricKind::kCounter:
           out << f->name();
@@ -203,6 +241,11 @@ std::string Registry::expose_text() const {
           out << f->name() << "_count";
           append_labels(out, labels);
           out << ' ' << h.total_count() << '\n';
+          for (const auto& [suffix, q] : kQuantiles) {
+            out << f->name() << suffix;
+            append_labels(out, labels);
+            out << ' ' << h.quantile(q) << '\n';
+          }
           break;
         }
       }

@@ -63,6 +63,14 @@ class Histogram {
   uint64_t total_count() const noexcept { return count_.load(std::memory_order_relaxed); }
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
 
+  /// Estimate the q-quantile (q in [0,1]) by linear interpolation within
+  /// the bucket holding the rank-⌈q·n⌉ observation (Prometheus
+  /// histogram_quantile semantics: the first bucket interpolates from 0,
+  /// the overflow bucket clamps to the highest finite bound). Returns 0
+  /// on an empty histogram. Concurrent observe() calls can tear the
+  /// per-bucket counts slightly — fine for monitoring.
+  double quantile(double q) const noexcept;
+
  private:
   std::vector<double> bounds_;                       // strictly increasing
   std::vector<std::atomic<uint64_t>> buckets_;       // per-bucket (non-cumulative)
@@ -114,12 +122,8 @@ class Family {
   // and lock-free for the registry's lifetime.
   std::map<Labels, std::unique_ptr<Child>> children_ DPURPC_GUARDED_BY(mu_);
 
+  // Registry's scrape/expose visitors name the private Child type.
   friend class Registry;
-  template <typename Fn>
-  void for_each_child(Fn&& fn) const DPURPC_EXCLUDES(mu_) {
-    lockdep::ScopedLock lk(mu_);
-    for (const auto& [labels, child] : children_) fn(labels, *child);
-  }
 };
 
 /// One flattened sample inside a scrape snapshot.
@@ -131,7 +135,9 @@ struct Sample {
 
 /// Point-in-time scrape of every metric in a registry.
 struct Snapshot {
-  uint64_t wall_ns = 0;   ///< monotonic timestamp of the scrape
+  /// CLOCK_MONOTONIC timestamp of the scrape (WallTimer::now). Not wall
+  /// clock: only deltas between snapshots are meaningful.
+  uint64_t mono_ns = 0;
   std::vector<Sample> samples;
 
   /// Value of a sample, or nullptr if absent.

@@ -14,8 +14,8 @@ std::optional<double> RateMonitor::observe(const Snapshot& snap) {
   const Sample* s = snap.find(name_, labels_);
   if (s == nullptr) return std::nullopt;
   std::optional<double> rate;
-  if (prev_value_ && prev_ns_ && snap.wall_ns > *prev_ns_) {
-    double dt = static_cast<double>(snap.wall_ns - *prev_ns_) * 1e-9;
+  if (prev_value_ && prev_ns_ && snap.mono_ns > *prev_ns_) {
+    double dt = static_cast<double>(snap.mono_ns - *prev_ns_) * 1e-9;
     rate = (s->value - *prev_value_) / dt;
     if (last_rate_) {
       prev_rate_ = last_rate_;
@@ -25,8 +25,19 @@ std::optional<double> RateMonitor::observe(const Snapshot& snap) {
     last_rate_ = rate;
   }
   prev_value_ = s->value;
-  prev_ns_ = snap.wall_ns;
+  prev_ns_ = snap.mono_ns;
   return rate;
+}
+
+std::optional<Quantiles> quantiles(const Snapshot& snap,
+                                   std::string_view family,
+                                   const Labels& labels) {
+  std::string base(family);
+  const Sample* p50 = snap.find(base + "_p50", labels);
+  const Sample* p95 = snap.find(base + "_p95", labels);
+  const Sample* p99 = snap.find(base + "_p99", labels);
+  if (p50 == nullptr || p95 == nullptr || p99 == nullptr) return std::nullopt;
+  return Quantiles{p50->value, p95->value, p99->value};
 }
 
 }  // namespace dpurpc::metrics

@@ -45,4 +45,20 @@ class RateMonitor {
   bool stable_ = false;
 };
 
+/// Latency quantile readout for one histogram child, the monitor-side
+/// complement of RateMonitor: the registry derives _p50/_p95/_p99 samples
+/// at scrape time (Histogram::quantile), this collects them back into one
+/// struct for reporting.
+struct Quantiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Quantiles of `family` (histogram family name, no suffix) under
+/// `labels`, or nullopt if the snapshot lacks them.
+std::optional<Quantiles> quantiles(const Snapshot& snap,
+                                   std::string_view family,
+                                   const Labels& labels = {});
+
 }  // namespace dpurpc::metrics

@@ -32,6 +32,17 @@ StatusOr<InMessage> BlockReader::next() noexcept {
   }
   m.payload_addr = base_ + payload_start;
   m.payload = ByteSpan(m.payload_addr, m.header.payload_size);
+  if (m.header.flags & kFlagTraced) {
+    if (m.header.payload_size < kWireTraceSize) {
+      return Status(Code::kDataLoss, "traced message shorter than its prefix");
+    }
+    // Peel the WireTrace prefix so payload_addr points at the real payload
+    // (the in-place object root, for offloaded messages). Slot advance
+    // below still uses the full on-wire payload_size.
+    std::memcpy(&m.trace, m.payload_addr, kWireTraceSize);
+    m.payload_addr += kWireTraceSize;
+    m.payload = ByteSpan(m.payload_addr, m.header.payload_size - kWireTraceSize);
+  }
   cursor_ = cursor_ + message_slot_size(m.header.payload_size);
   ++consumed_;
   return m;

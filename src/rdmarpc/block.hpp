@@ -9,8 +9,11 @@
 // BlockReader validates and iterates a received block without copying.
 #pragma once
 
+#include <vector>
+
 #include "arena/arena.hpp"
 #include "common/bytes.hpp"
+#include "common/cpu_timer.hpp"
 #include "common/status.hpp"
 #include "rdmarpc/protocol.hpp"
 
@@ -72,6 +75,12 @@ class BlockWriter {
     h.flags = flags;
     h.aux = aux;
     std::memcpy(base_ + header_pos_, &h, sizeof(h));
+    if (flags & kFlagTraced) {
+      // Remember where the WireTrace prefix sits; finalize() stamps its
+      // send_ns field so every traced message in the block shares the
+      // flush instant (kFlushWait ends exactly where the wire span starts).
+      traced_payloads_.push_back(header_pos_ + kHeaderSize);
+    }
     cursor_ = header_pos_ + slot;
     ++message_count_;
     in_message_ = false;
@@ -94,7 +103,9 @@ class BlockWriter {
     return commit_message(static_cast<uint32_t>(payload.size()), id_or_method, flags, aux);
   }
 
-  /// Write the preamble and return the block's total byte length.
+  /// Write the preamble and return the block's total byte length. Also
+  /// stamps send_ns into every traced message's WireTrace prefix (one
+  /// WallTimer read per block, not per message).
   uint64_t finalize(uint16_t ack_blocks) noexcept {
     Preamble p;
     p.message_count = message_count_;
@@ -102,8 +113,18 @@ class BlockWriter {
     p.block_bytes = static_cast<uint32_t>(cursor_);
     p.reserved = 0;
     std::memcpy(base_, &p, sizeof(p));
+    if (!traced_payloads_.empty()) {
+      trace_stamp_ns_ = WallTimer::now();
+      for (uint64_t off : traced_payloads_) {
+        std::memcpy(base_ + off + offsetof(WireTrace, send_ns),
+                    &trace_stamp_ns_, sizeof(trace_stamp_ns_));
+      }
+    }
     return cursor_;
   }
+
+  /// The send_ns written by finalize(); 0 if no message was traced.
+  uint64_t trace_stamp_ns() const noexcept { return trace_stamp_ns_; }
 
   uint16_t message_count() const noexcept { return message_count_; }
   uint64_t bytes_used() const noexcept { return cursor_; }
@@ -117,13 +138,18 @@ class BlockWriter {
   uint64_t header_pos_ = 0;
   uint16_t message_count_ = 0;
   bool in_message_ = false;
+  std::vector<uint64_t> traced_payloads_;  ///< block offsets of WireTrace prefixes
+  uint64_t trace_stamp_ns_ = 0;
 };
 
-/// Zero-copy view over one received message.
+/// Zero-copy view over one received message. For kFlagTraced messages the
+/// WireTrace prefix has been peeled off: `trace` holds it and
+/// payload/payload_addr point past it (at the in-place object root).
 struct InMessage {
   MsgHeader header;
   ByteSpan payload;             ///< borrowed from the receive buffer
   const std::byte* payload_addr;///< receive-buffer address (in-place objects)
+  WireTrace trace{0, 0, 0};     ///< zero trace_id when untraced
 };
 
 class BlockReader {

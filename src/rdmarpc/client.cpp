@@ -1,5 +1,6 @@
 #include "rdmarpc/client.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/cpu_timer.hpp"
@@ -29,11 +30,23 @@ RpcClient::RpcClient(Connection* conn)
     for (uint16_t id : ids_to_release_) id_pool_.release(id);
     ids_to_release_.clear();
     if (seq == UINT64_MAX) return;  // pure ack carries the counter only
+    // Traced requests end their flush-wait span at the exact send_ns the
+    // transport stamped into the block (contiguous with the wire span).
+    uint64_t flush_ns = 0;
+    if (trace::enabled()) {
+      flush_ns = conn_->last_flush_ns();
+      if (flush_ns == 0) flush_ns = WallTimer::now();
+    }
     for (auto& pending : open_block_requests_) {
       auto id = id_pool_.allocate();
       // call()/call_inplace() reserve capacity up front, so this holds.
       assert(id.has_value() && "ID pool exhausted after capacity check");
-      in_flight_[*id] = std::move(pending);
+      if (trace::enabled() && pending.trace.active()) {
+        trace::Tracer::instance().record(trace::Stage::kFlushWait,
+                                         pending.trace, pending.commit_ns,
+                                         flush_ns);
+      }
+      in_flight_[*id] = std::move(pending.done);
       in_flight_valid_[*id] = true;
       ++in_flight_count_;
       if (latency_hist_ != nullptr) sent_at_ns_[*id] = WallTimer::now();
@@ -42,35 +55,80 @@ RpcClient::RpcClient(Connection* conn)
   });
 }
 
-Status RpcClient::call(uint16_t method_id, ByteSpan payload, Continuation done) {
+Status RpcClient::call(uint16_t method_id, ByteSpan payload, Continuation done,
+                       trace::TraceContext tctx) {
   if (id_pool_.available() <= open_block_requests_.size()) {
     return Status(Code::kResourceExhausted, "request ID pool exhausted");
   }
-  auto dst = conn_->begin_message(static_cast<uint32_t>(payload.size()));
+  if (!trace::enabled() ||
+      payload.size() + kWireTraceSize > kMaxPayloadSize) {
+    // Near the 64 KiB header limit the prefix would push a previously
+    // valid payload over it; drop the trace rather than fail the call.
+    tctx = {};
+  }
+  uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
+  uint32_t extra = tctx.active() ? kWireTraceSize : 0;
+  auto dst = conn_->begin_message(static_cast<uint32_t>(payload.size()) + extra);
   if (!dst.is_ok()) return dst.status();
-  std::memcpy(*dst, payload.data(), payload.size());
+  if (extra != 0) {
+    WireTrace wt{tctx.trace_id, tctx.parent_span_id, 0};  // stamped at flush
+    std::memcpy(*dst, &wt, sizeof(wt));
+  }
+  std::memcpy(*dst + extra, payload.data(), payload.size());
   DPURPC_RETURN_IF_ERROR(
-      conn_->commit_message(static_cast<uint32_t>(payload.size()), method_id));
-  open_block_requests_.push_back(std::move(done));
+      conn_->commit_message(static_cast<uint32_t>(payload.size()) + extra,
+                            method_id, extra != 0 ? kFlagTraced : uint16_t{0}));
+  uint64_t commit_ns = 0;
+  if (tctx.active()) {
+    commit_ns = WallTimer::now();
+    trace::Tracer::instance().record(trace::Stage::kBlockBuild, tctx, t0,
+                                     commit_ns, payload.size());
+  }
+  open_block_requests_.push_back({std::move(done), tctx, commit_ns});
   return Status::ok();
 }
 
 Status RpcClient::call_inplace(uint16_t method_id, uint16_t class_index,
                                uint32_t payload_hint, const InPlaceBuilder& builder,
-                               Continuation done) {
+                               Continuation done, trace::TraceContext tctx) {
   if (id_pool_.available() <= open_block_requests_.size()) {
     return Status(Code::kResourceExhausted, "request ID pool exhausted");
   }
-  uint32_t hint = payload_hint;
+  if (!trace::enabled()) tctx = {};
+  uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
+  uint32_t extra = tctx.active() ? kWireTraceSize : 0;
+  uint32_t hint = std::min(payload_hint + extra, kMaxPayloadSize);
   for (int attempt = 0; attempt < 2; ++attempt) {
     auto dst = conn_->begin_message(hint);
     if (!dst.is_ok()) return dst.status();
     arena::Arena arena = conn_->payload_arena();
+    if (extra != 0) {
+      // The prefix is the first allocation from the payload arena, so the
+      // builder's arena.used() return covers it and the object root lands
+      // right after it — exactly where the receiver's stripped
+      // payload_addr points. kWireTraceSize keeps kPayloadAlign.
+      void* prefix = arena.allocate(kWireTraceSize, kPayloadAlign);
+      if (prefix == nullptr) {
+        conn_->abort_message();
+        hint = kMaxPayloadSize;
+        continue;
+      }
+      WireTrace wt{tctx.trace_id, tctx.parent_span_id, 0};
+      std::memcpy(prefix, &wt, sizeof(wt));
+    }
     auto size = builder(arena, conn_->translator());
     if (size.is_ok()) {
+      uint16_t flags = kFlagInPlaceObject;
+      if (extra != 0) flags |= kFlagTraced;
       DPURPC_RETURN_IF_ERROR(conn_->commit_message(*size, method_id,
-                                                   kFlagInPlaceObject, class_index));
-      open_block_requests_.push_back(std::move(done));
+                                                   flags, class_index));
+      uint64_t commit_ns = 0;
+      if (tctx.active()) {
+        commit_ns = WallTimer::now();
+        trace::Tracer::instance().record(trace::Stage::kBlockBuild, tctx, t0,
+                                         commit_ns, *size);
+      }
+      open_block_requests_.push_back({std::move(done), tctx, commit_ns});
       return Status::ok();
     }
     conn_->abort_message();
@@ -110,6 +168,15 @@ Status RpcClient::process_response_block(const Connection::ReceivedBlock& rb) {
     Status result = Status::ok();
     if ((msg->header.flags & kFlagErrorStatus) != 0) {
       result = Status(static_cast<Code>(msg->header.aux), "remote error");
+    }
+    if (trace::enabled() && msg->trace.trace_id != 0) {
+      // The response wire carries the context back, so the outbound span
+      // needs no per-ID client state: wire + poll wait, from the server's
+      // flush stamp to this read.
+      trace::TraceContext tctx{msg->trace.trace_id, msg->trace.parent_span_id};
+      trace::Tracer::instance().record(trace::Stage::kRdmaOutbound, tctx,
+                                       msg->trace.send_ns, WallTimer::now(),
+                                       msg->payload.size());
     }
     if (latency_hist_ != nullptr) {
       latency_hist_->observe(static_cast<double>(WallTimer::now() - sent_at_ns_[id]) *

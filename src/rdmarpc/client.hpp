@@ -18,6 +18,7 @@
 #include "metrics/metrics.hpp"
 #include "rdmarpc/connection.hpp"
 #include "rdmarpc/id_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace dpurpc::rdmarpc {
 
@@ -35,15 +36,20 @@ class RpcClient {
   explicit RpcClient(Connection* conn);
 
   /// Enqueue a copy-path request. kUnavailable = backpressure (no credit /
-  /// send buffer full): run the event loop and retry.
-  Status call(uint16_t method_id, ByteSpan payload, Continuation done);
+  /// send buffer full): run the event loop and retry. An active `tctx`
+  /// prefixes the payload with a WireTrace (kFlagTraced) and records the
+  /// block-build/flush-wait spans; the engine never *starts* traces — the
+  /// caller owns sampling (xrpc channel or bench driver).
+  Status call(uint16_t method_id, ByteSpan payload, Continuation done,
+              trace::TraceContext tctx = trace::TraceContext());
 
   /// Enqueue an in-place request (the offload path). `payload_hint` sizes
   /// the block-space reservation; on arena exhaustion the builder is
   /// retried once in a fresh maximum-size block.
   Status call_inplace(uint16_t method_id, uint16_t class_index,
                       uint32_t payload_hint, const InPlaceBuilder& builder,
-                      Continuation done);
+                      Continuation done,
+                      trace::TraceContext tctx = trace::TraceContext());
 
   /// One turn of the event loop (§III.D: called continuously by the
   /// owner's thread): flush batched requests, poll for response blocks,
@@ -62,9 +68,19 @@ class RpcClient {
   Status flush_open_block();
   Status process_response_block(const Connection::ReceivedBlock& rb);
 
+  /// A request committed to the open block, awaiting flush. The trace
+  /// context (inactive when untraced) times the flush wait; the response
+  /// direction needs no client-side state — the server echoes the wire
+  /// trace back on the response message.
+  struct PendingRequest {
+    Continuation done;
+    trace::TraceContext trace;
+    uint64_t commit_ns = 0;
+  };
+
   Connection* conn_;
   RequestIdPool id_pool_;
-  std::vector<Continuation> open_block_requests_;  ///< awaiting flush
+  std::vector<PendingRequest> open_block_requests_;  ///< awaiting flush
   /// id -> continuation, directly indexed by the 16-bit request ID (the
   /// deterministic pool makes this a dense array — no per-request
   /// allocation in the datapath, which §VI.C.5 depends on).

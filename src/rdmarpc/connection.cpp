@@ -119,6 +119,9 @@ StatusOr<bool> Connection::flush() {
   uint16_t msg_count = writer_->message_count();
   uint64_t length =
       writer_->finalize(pending_acks_.load(std::memory_order_relaxed));
+  // Flush observers end wait-stage spans exactly at the instant stamped
+  // into the block's WireTrace prefixes (zero when nothing was traced).
+  last_flush_ns_ = writer_->trace_stamp_ns();
 
   // A send failure here is fatal by design: the credit system makes RNR
   // unreachable, so any error is an invariant violation engines abort on.

@@ -110,6 +110,13 @@ class Connection {
     flush_observer_ = std::move(observer);
   }
 
+  /// send_ns stamped into the just-flushed block's traced messages
+  /// (BlockWriter::finalize); 0 if the last flush carried no traced
+  /// message. Valid inside a flush observer — it is the boundary between
+  /// the flush-wait span and the wire span of every traced message in
+  /// that block.
+  uint64_t last_flush_ns() const noexcept { return last_flush_ns_; }
+
   // ---- receiver side ------------------------------------------------
 
   /// A received, validated block. The buffer region stays valid until the
@@ -230,6 +237,7 @@ class Connection {
   ///< peer blocks processed, not yet piggybacked
   std::atomic<uint16_t> pending_acks_{0};
   std::function<void(uint64_t)> flush_observer_;
+  uint64_t last_flush_ns_ = 0;  ///< owner-thread-only, see last_flush_ns()
   std::vector<simverbs::Completion> recv_scratch_;  ///< reused per poll
   std::vector<simverbs::Completion> send_scratch_;
 

@@ -60,6 +60,23 @@ static_assert(sizeof(MsgHeader) == 8);
 
 inline constexpr uint16_t kFlagInPlaceObject = 1u << 0;
 inline constexpr uint16_t kFlagErrorStatus = 1u << 1;
+/// Payload starts with a WireTrace prefix (stripped by BlockReader::next).
+inline constexpr uint16_t kFlagTraced = 1u << 2;
+
+/// Per-message trace prefix (DESIGN.md §3.15): the first kWireTraceSize
+/// payload bytes of a kFlagTraced message. 24 bytes, 8-aligned like every
+/// payload, so stripping it keeps the remaining payload kPayloadAlign'd —
+/// in-place objects land with their root at the post-prefix address.
+/// `send_ns` is stamped by BlockWriter::finalize (the flush instant) so
+/// the receiver can attribute wire+poll time without clock handshakes
+/// (both ends share CLOCK_MONOTONIC in this single-process harness).
+struct WireTrace {
+  uint64_t trace_id;
+  uint64_t parent_span_id;
+  uint64_t send_ns;
+};
+static_assert(sizeof(WireTrace) == 24);
+inline constexpr uint32_t kWireTraceSize = sizeof(WireTrace);
 
 inline constexpr uint32_t kPreambleSize = sizeof(Preamble);
 inline constexpr uint32_t kHeaderSize = sizeof(MsgHeader);

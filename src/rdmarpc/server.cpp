@@ -1,5 +1,7 @@
 #include "rdmarpc/server.hpp"
 
+#include "common/cpu_timer.hpp"
+
 namespace dpurpc::rdmarpc {
 
 RpcServer::~RpcServer() {
@@ -34,7 +36,15 @@ void RpcServer::background_worker() {
     BackgroundResult result;
     result.request_id = task->request.request_id;
     result.tracker = std::move(task->tracker);
+    result.trace = task->request.trace;
+    uint64_t t0 = result.trace.active() ? WallTimer::now() : 0;
     result.status = (*task->handler)(task->request, result.payload);
+    if (result.trace.active()) {
+      // Recorded on the worker thread: the span lands in this thread's
+      // ring and reassembles into the same tree by trace id.
+      trace::Tracer::instance().record(trace::Stage::kHostDispatch,
+                                       result.trace, t0, WallTimer::now());
+    }
     background_served_.fetch_add(1, std::memory_order_relaxed);
     if (!result_queue_->push(std::move(result))) return;  // shutting down
     // Wake the poller if it is blocked on the completion channel.
@@ -49,6 +59,15 @@ RpcServer::RpcServer(Connection* conn) : conn_(conn) {
   // release order exactly (§IV.D).
   conn_->set_flush_observer([this](uint64_t seq) {
     if (seq == UINT64_MAX) return;  // pure ack: no block, no ID-list entry
+    if (trace::enabled() && !open_block_traced_.empty()) {
+      uint64_t flush_ns = conn_->last_flush_ns();
+      if (flush_ns == 0) flush_ns = WallTimer::now();
+      for (const OpenTraced& ot : open_block_traced_) {
+        trace::Tracer::instance().record(trace::Stage::kRespFlushWait,
+                                         ot.trace, ot.commit_ns, flush_ns);
+      }
+      open_block_traced_.clear();
+    }
     response_block_ids_.push_back(std::move(open_block_ids_));
     if (!id_list_pool_.empty()) {
       open_block_ids_ = std::move(id_list_pool_.back());
@@ -80,6 +99,8 @@ Status RpcServer::pump_for_space() {
 
 Status RpcServer::write_response_inplace(uint16_t request_id, const RequestView& req,
                                          const InPlaceHandler& handler) {
+  trace::TraceContext tctx = trace::enabled() ? req.trace : trace::TraceContext();
+  uint32_t extra = tctx.active() ? kWireTraceSize : 0;
   uint32_t hint = 512;
   for (int attempt = 0; attempt < 1000; ++attempt) {
     auto dst = conn_->begin_message(hint);
@@ -92,13 +113,35 @@ Status RpcServer::write_response_inplace(uint16_t request_id, const RequestView&
       continue;
     }
     arena::Arena arena = conn_->payload_arena();
+    if (extra != 0) {
+      // Prefix first so the handler's arena.used() covers it and the
+      // response object root lands at the client's stripped payload_addr.
+      void* prefix = arena.allocate(kWireTraceSize, kPayloadAlign);
+      if (prefix == nullptr) {
+        conn_->abort_message();
+        if (hint < kMaxPayloadSize) {
+          hint = kMaxPayloadSize;
+          continue;
+        }
+        return write_response(request_id,
+                              Status(Code::kResourceExhausted, "no arena space"),
+                              {}, tctx);
+      }
+      WireTrace wt{tctx.trace_id, tctx.parent_span_id, 0};
+      std::memcpy(prefix, &wt, sizeof(wt));
+    }
     uint32_t payload_size = 0;
     uint16_t class_index = 0;
     Status result = handler(req, arena, conn_->translator(), &payload_size, &class_index);
     if (result.is_ok()) {
+      uint16_t flags = kFlagInPlaceObject;
+      if (extra != 0) flags |= kFlagTraced;
       DPURPC_RETURN_IF_ERROR(conn_->commit_message(payload_size, request_id,
-                                                   kFlagInPlaceObject, class_index));
+                                                   flags, class_index));
       open_block_ids_.push_back(request_id);
+      if (tctx.active()) {
+        open_block_traced_.push_back({tctx, WallTimer::now()});
+      }
       return Status::ok();
     }
     conn_->abort_message();
@@ -107,13 +150,13 @@ Status RpcServer::write_response_inplace(uint16_t request_id, const RequestView&
       continue;
     }
     // Handler error: fall back to an error response.
-    return write_response(request_id, result, {});
+    return write_response(request_id, result, {}, tctx);
   }
   return Status(Code::kUnavailable, "client never acknowledged response blocks");
 }
 
 Status RpcServer::write_response(uint16_t request_id, const Status& handler_status,
-                                 ByteSpan payload) {
+                                 ByteSpan payload, trace::TraceContext tctx) {
   uint16_t flags = 0;
   uint16_t aux = 0;
   if (!handler_status.is_ok()) {
@@ -121,16 +164,33 @@ Status RpcServer::write_response(uint16_t request_id, const Status& handler_stat
     aux = static_cast<uint16_t>(handler_status.code());
     payload = {};
   }
+  if (!trace::enabled() ||
+      payload.size() + kWireTraceSize > kMaxPayloadSize) {
+    tctx = {};  // prefix would not fit; drop the trace, not the response
+  }
+  uint32_t extra = tctx.active() ? kWireTraceSize : 0;
+  if (extra != 0) flags |= kFlagTraced;
   // Backpressure: out of credits means the client has not acknowledged
   // earlier response blocks yet; wait for its next block (which carries
   // the counter) and queue any new request blocks for later processing.
   for (int attempt = 0; attempt < 1000; ++attempt) {
-    auto dst = conn_->begin_message(static_cast<uint32_t>(payload.size()));
+    auto dst = conn_->begin_message(static_cast<uint32_t>(payload.size()) + extra);
     if (dst.is_ok()) {
-      if (!payload.empty()) std::memcpy(*dst, payload.data(), payload.size());
+      if (extra != 0) {
+        // Echo the request's context; send_ns stamped at flush. Error
+        // responses keep the prefix too — the trace must see failures.
+        WireTrace wt{tctx.trace_id, tctx.parent_span_id, 0};
+        std::memcpy(*dst, &wt, sizeof(wt));
+      }
+      if (!payload.empty()) {
+        std::memcpy(*dst + extra, payload.data(), payload.size());
+      }
       DPURPC_RETURN_IF_ERROR(conn_->commit_message(
-          static_cast<uint32_t>(payload.size()), request_id, flags, aux));
+          static_cast<uint32_t>(payload.size()) + extra, request_id, flags, aux));
       open_block_ids_.push_back(request_id);
+      if (tctx.active()) {
+        open_block_traced_.push_back({tctx, WallTimer::now()});
+      }
       return Status::ok();
     }
     if (dst.status().code() != Code::kUnavailable &&
@@ -181,6 +241,15 @@ Status RpcServer::process_request_block(const Connection::ReceivedBlock& rb) {
       req.object = msg->payload_addr;
       req.class_index = msg->header.aux;
     }
+    uint64_t recv_ns = 0;
+    if (trace::enabled() && msg->trace.trace_id != 0) {
+      req.trace = {msg->trace.trace_id, msg->trace.parent_span_id};
+      recv_ns = WallTimer::now();
+      // Wire + host poll/backlog wait, from the client's flush stamp.
+      trace::Tracer::instance().record(trace::Stage::kRdmaInbound, req.trace,
+                                       msg->trace.send_ns, recv_ns,
+                                       msg->payload.size());
+    }
 
     if (auto bg = background_handlers_.find(req.method_id);
         bg != background_handlers_.end()) {
@@ -193,7 +262,19 @@ Status RpcServer::process_request_block(const Connection::ReceivedBlock& rb) {
         --tracker->outstanding;
         response_scratch_.clear();
         Status result = bg->second(req, response_scratch_);
-        DPURPC_RETURN_IF_ERROR(write_response(*id, result, ByteSpan(response_scratch_)));
+        uint64_t handled_ns = 0;
+        if (req.trace.active()) {
+          handled_ns = WallTimer::now();
+          trace::Tracer::instance().record(trace::Stage::kHostDispatch,
+                                           req.trace, recv_ns, handled_ns);
+        }
+        DPURPC_RETURN_IF_ERROR(
+            write_response(*id, result, ByteSpan(response_scratch_), req.trace));
+        if (req.trace.active()) {
+          trace::Tracer::instance().record(trace::Stage::kHostSerialize,
+                                           req.trace, handled_ns,
+                                           WallTimer::now());
+        }
         ++requests_served_;
       }
       continue;
@@ -202,7 +283,13 @@ Status RpcServer::process_request_block(const Connection::ReceivedBlock& rb) {
     if (auto ip = inplace_handlers_.find(req.method_id);
         ip != inplace_handlers_.end()) {
       // Offloaded-response path: the handler builds the object in place.
+      // Dispatch and serialize are one fused act here (the handler *is*
+      // the serializer), recorded as host dispatch.
       DPURPC_RETURN_IF_ERROR(write_response_inplace(*id, req, ip->second));
+      if (req.trace.active()) {
+        trace::Tracer::instance().record(trace::Stage::kHostDispatch,
+                                         req.trace, recv_ns, WallTimer::now());
+      }
       ++requests_served_;
       continue;
     }
@@ -214,7 +301,18 @@ Status RpcServer::process_request_block(const Connection::ReceivedBlock& rb) {
     } else {
       result = handler->second(req, response_scratch_);  // foreground (§III.D)
     }
-    DPURPC_RETURN_IF_ERROR(write_response(*id, result, ByteSpan(response_scratch_)));
+    uint64_t handled_ns = 0;
+    if (req.trace.active()) {
+      handled_ns = WallTimer::now();
+      trace::Tracer::instance().record(trace::Stage::kHostDispatch, req.trace,
+                                       recv_ns, handled_ns);
+    }
+    DPURPC_RETURN_IF_ERROR(
+        write_response(*id, result, ByteSpan(response_scratch_), req.trace));
+    if (req.trace.active()) {
+      trace::Tracer::instance().record(trace::Stage::kHostSerialize, req.trace,
+                                       handled_ns, WallTimer::now());
+    }
     ++requests_served_;
   }
   tracker->iterated = true;
@@ -237,7 +335,8 @@ Status RpcServer::drain_background_results() {
   if (!result_queue_) return Status::ok();
   while (auto result = result_queue_->try_pop()) {
     DPURPC_RETURN_IF_ERROR(
-        write_response(result->request_id, result->status, ByteSpan(result->payload)));
+        write_response(result->request_id, result->status,
+                       ByteSpan(result->payload), result->trace));
     ++requests_served_;
     --result->tracker->outstanding;
   }

@@ -27,6 +27,7 @@
 #include "common/bounded_queue.hpp"
 #include "rdmarpc/connection.hpp"
 #include "rdmarpc/id_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace dpurpc::rdmarpc {
 
@@ -41,6 +42,10 @@ struct RequestView {
   const void* object = nullptr;
   /// Offload path: ADT class index of the object.
   uint16_t class_index = 0;
+  /// Trace context carried by the request's WireTrace prefix (inactive
+  /// when untraced). The response echoes it so the client can attribute
+  /// the return wire span without per-ID state.
+  trace::TraceContext trace;
 };
 
 class RpcServer {
@@ -114,11 +119,19 @@ class RpcServer {
     Status status;
     Bytes payload;
     std::shared_ptr<BlockTracker> tracker;
+    trace::TraceContext trace;
+  };
+  /// A traced response committed to the open block; its resp-flush-wait
+  /// span ends at the block's flush stamp.
+  struct OpenTraced {
+    trace::TraceContext trace;
+    uint64_t commit_ns;
   };
 
   Status process_request_block(const Connection::ReceivedBlock& rb);
   Status write_response(uint16_t request_id, const Status& handler_status,
-                        ByteSpan payload);
+                        ByteSpan payload,
+                        trace::TraceContext tctx = trace::TraceContext());
   Status write_response_inplace(uint16_t request_id, const RequestView& req,
                                 const InPlaceHandler& handler);
   Status pump_for_space();
@@ -136,6 +149,7 @@ class RpcServer {
   std::deque<std::vector<uint16_t>> response_block_ids_;
   std::vector<std::vector<uint16_t>> id_list_pool_;
   std::vector<uint16_t> open_block_ids_;  ///< ids answered in the open block
+  std::vector<OpenTraced> open_block_traced_;  ///< traced responses awaiting flush
   std::deque<Connection::ReceivedBlock> backlog_;  ///< blocks awaiting processing
   std::vector<Connection::ReceivedBlock> poll_scratch_;
   uint64_t requests_served_ = 0;

@@ -3,6 +3,9 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/cpu_timer.hpp"
+#include "trace/trace.hpp"
+
 namespace dpurpc::simverbs {
 
 // ------------------------------------------------------------- channel
@@ -163,6 +166,9 @@ void QueuePair::deliver_completion(Completion c, bool to_recv_cq) {
 }
 
 Status QueuePair::post_write_with_imm(const SendWr& wr) {
+  // Block transfers are per-block, not per-request, so they trace as
+  // global events on a side track rather than joining any span tree.
+  uint64_t trace_t0 = trace::enabled() ? WallTimer::now() : 0;
   if (peer_ == nullptr) {
     return Status(Code::kFailedPrecondition, "queue pair not connected");
   }
@@ -215,6 +221,11 @@ Status QueuePair::post_write_with_imm(const SendWr& wr) {
   sc.byte_len = wr.length;
   sc.qp = this;
   deliver_completion(sc, /*to_recv_cq=*/false);
+  if (trace_t0 != 0) {
+    trace::Tracer::instance().record_global(trace::Stage::kSimverbsWrite,
+                                            trace_t0, WallTimer::now(),
+                                            wr.length);
+  }
   return Status::ok();
 }
 

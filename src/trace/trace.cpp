@@ -1,0 +1,187 @@
+#include "trace/trace.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dpurpc::trace {
+
+const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kRequest: return "request";
+    case Stage::kClientSerialize: return "client_serialize";
+    case Stage::kXrpcInbound: return "xrpc_inbound";
+    case Stage::kProxyDispatch: return "proxy_dispatch";
+    case Stage::kLaneQueueWait: return "lane_queue_wait";
+    case Stage::kDecodeRingWait: return "decode_ring_wait";
+    case Stage::kWorkerDecode: return "worker_decode";
+    case Stage::kBlockBuild: return "block_build";
+    case Stage::kFlushWait: return "flush_wait";
+    case Stage::kRdmaInbound: return "rdma_inbound";
+    case Stage::kHostDispatch: return "host_dispatch";
+    case Stage::kHostSerialize: return "host_serialize";
+    case Stage::kRespFlushWait: return "resp_flush_wait";
+    case Stage::kRdmaOutbound: return "rdma_outbound";
+    case Stage::kComplete: return "complete";
+    case Stage::kXrpcOutbound: return "xrpc_outbound";
+    case Stage::kSimverbsWrite: return "simverbs_write";
+    case Stage::kStageCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t round_up_pow2(size_t n) noexcept {
+  size_t p = 64;  // floor: a ring smaller than this is all drop counter
+  while (p < n && p < (size_t{1} << 30)) p <<= 1;
+  return p;
+}
+
+Mode mode_from_env() noexcept {
+  const char* env = std::getenv("DPURPC_TRACE_FORCE");
+  if (env == nullptr) return Mode::kOff;
+  if (std::strcmp(env, "full") == 0 || std::strcmp(env, "1") == 0) {
+    return Mode::kFull;
+  }
+  if (std::strcmp(env, "sampled") == 0) return Mode::kSampled;
+  return Mode::kOff;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // leaked intentionally: process lifetime
+  return *t;
+}
+
+Tracer::Tracer() {
+  // CI lanes force tracing over the whole test suite without every test
+  // opting in (tools/ci.sh trace pass); explicit configure() overrides.
+  Mode forced = mode_from_env();
+  if (forced != Mode::kOff) {
+    lockdep::ScopedLock lk(mu_);
+    config_.mode = forced;
+    detail::g_mode.store(static_cast<uint8_t>(forced), std::memory_order_relaxed);
+  }
+}
+
+void Tracer::configure(const TraceConfig& config) {
+  lockdep::ScopedLock lk(mu_);
+  config_ = config;
+  if (config_.head_sample_every == 0) config_.head_sample_every = 1;
+  detail::g_mode.store(static_cast<uint8_t>(config_.mode),
+                       std::memory_order_relaxed);
+}
+
+TraceConfig Tracer::config() const {
+  lockdep::ScopedLock lk(mu_);
+  return config_;
+}
+
+SpanRing& Tracer::ring() {
+  // One ring per thread, created on the thread's first record and kept for
+  // the process lifetime (a ring may outlive its thread: the collector
+  // still drains what the dead thread left behind). The thread_local
+  // caches the lookup so the steady-state cost is a pointer read.
+  thread_local SpanRing* mine = nullptr;
+  if (mine == nullptr) {
+    lockdep::ScopedLock lk(mu_);
+    auto tid = static_cast<uint32_t>(rings_.size());
+    rings_.push_back(std::make_unique<SpanRing>(
+        round_up_pow2(config_.ring_capacity), tid));
+    mine = rings_.back().get();
+  }
+  return *mine;
+}
+
+TraceContext Tracer::begin_trace() {
+  auto mode = static_cast<Mode>(detail::g_mode.load(std::memory_order_relaxed));
+  if (mode == Mode::kOff) return {};
+  if (mode == Mode::kSampled) {
+    // Deterministic 1-in-N head sampling; the counter is shared across
+    // threads so the global rate is exact.
+    uint32_t every;
+    {
+      lockdep::ScopedLock lk(mu_);
+      every = config_.head_sample_every;
+    }
+    if (head_counter_.fetch_add(1, std::memory_order_relaxed) % every != 0) {
+      return {};
+    }
+  }
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  ctx.parent_span_id = next_span_id();
+  return ctx;
+}
+
+void Tracer::record(Stage stage, const TraceContext& ctx, uint64_t start_ns,
+                    uint64_t end_ns, uint64_t arg) {
+  if (!ctx.active()) return;
+  SpanRecord r;
+  r.trace_id = ctx.trace_id;
+  r.span_id = next_span_id();
+  r.parent_span_id = ctx.parent_span_id;
+  r.start_ns = start_ns;
+  r.end_ns = end_ns;
+  r.arg = arg;
+  r.stage = static_cast<uint8_t>(stage);
+  SpanRing& rg = ring();
+  r.tid = rg.tid();
+  rg.try_push(r);
+}
+
+void Tracer::record_root(const TraceContext& ctx, uint64_t start_ns,
+                         uint64_t end_ns, uint64_t arg) {
+  if (!ctx.active()) return;
+  SpanRecord r;
+  r.trace_id = ctx.trace_id;
+  r.span_id = ctx.parent_span_id;  // the id every stage span parents to
+  r.parent_span_id = 0;
+  r.start_ns = start_ns;
+  r.end_ns = end_ns;
+  r.arg = arg;
+  r.stage = static_cast<uint8_t>(Stage::kRequest);
+  SpanRing& rg = ring();
+  r.tid = rg.tid();
+  rg.try_push(r);
+}
+
+void Tracer::record_global(Stage stage, uint64_t start_ns, uint64_t end_ns,
+                           uint64_t arg) {
+  SpanRecord r;
+  r.trace_id = 0;  // the collector routes trace-less records to a side track
+  r.span_id = next_span_id();
+  r.parent_span_id = 0;
+  r.start_ns = start_ns;
+  r.end_ns = end_ns;
+  r.arg = arg;
+  r.stage = static_cast<uint8_t>(stage);
+  SpanRing& rg = ring();
+  r.tid = rg.tid();
+  rg.try_push(r);
+}
+
+size_t Tracer::drain_into(std::vector<SpanRecord>& out) {
+  // The lock both guards the ring vector and serializes consumers: each
+  // ring is SPSC, so "at most one drainer at a time" is part of the
+  // protocol, not an optimization.
+  lockdep::ScopedLock lk(mu_);
+  size_t n = 0;
+  for (auto& r : rings_) n += r->drain(out);
+  return n;
+}
+
+uint64_t Tracer::dropped_total() const {
+  lockdep::ScopedLock lk(mu_);
+  uint64_t total = 0;
+  for (const auto& r : rings_) total += r->dropped();
+  return total;
+}
+
+size_t Tracer::ring_count() const {
+  lockdep::ScopedLock lk(mu_);
+  return rings_.size();
+}
+
+}  // namespace dpurpc::trace

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/cpu_timer.hpp"
+
 namespace dpurpc::xrpc {
 
 StatusOr<std::unique_ptr<Channel>> Channel::connect(uint16_t port) {
@@ -24,25 +26,46 @@ void Channel::close() {
   }
   fd_.shutdown();
   if (reader_.joinable()) reader_.join();
-  // Fail anything still outstanding.
-  std::map<uint32_t, Callback> orphans;
+  // Fail anything still outstanding. Orphaned traces never get a root
+  // span; the collector ages them out as orphans.
+  std::map<uint32_t, PendingCall> orphans;
   {
     lockdep::ScopedLock lk(mu_);
     orphans.swap(pending_);
   }
-  for (auto& [id, cb] : orphans) cb(Code::kUnavailable, {});
+  for (auto& [id, call] : orphans) call.cb(Code::kUnavailable, {});
 }
 
 Status Channel::call_async(std::string_view method, ByteSpan payload, Callback done) {
+  // Trace entry point: allocate (or head-sample away) the request's
+  // context before any work happens, so the root span covers everything.
+  trace::TraceContext tctx;
+  uint64_t start_ns = 0;
+  if (trace::enabled()) {
+    tctx = trace::Tracer::instance().begin_trace();
+    if (tctx.active()) start_ns = WallTimer::now();
+  }
   uint32_t id;
   {
     lockdep::ScopedLock lk(mu_);
     if (closed_) return Status(Code::kUnavailable, "channel closed");
     id = next_call_id_++;
-    pending_[id] = std::move(done);
+    pending_[id] = PendingCall{std::move(done), tctx, start_ns};
   }
   lockdep::ScopedLock wl(write_mu_);
-  Status st = write_request(fd_, id, method, payload);
+  Status st;
+  if (tctx.active()) {
+    FrameTrace ft{tctx.trace_id, tctx.parent_span_id, WallTimer::now()};
+    st = write_request(fd_, id, method, payload, &ft);
+    if (st.is_ok()) {
+      // Request build + socket write, up to the stamp the server's
+      // inbound span starts at.
+      trace::Tracer::instance().record(trace::Stage::kClientSerialize, tctx,
+                                       start_ns, ft.send_ns, payload.size());
+    }
+  } else {
+    st = write_request(fd_, id, method, payload);
+  }
   if (!st.is_ok()) {
     lockdep::ScopedLock lk(mu_);
     pending_.erase(id);
@@ -86,15 +109,29 @@ void Channel::reader_loop() {
     auto frame = read_frame(fd_);
     if (!frame.is_ok()) return;  // closed
     if (frame->type != FrameType::kResponse) continue;
-    Callback cb;
+    PendingCall call;
     {
       lockdep::ScopedLock lk(mu_);
       auto it = pending_.find(frame->response.call_id);
       if (it == pending_.end()) continue;  // late/duplicate: ignore
-      cb = std::move(it->second);
+      call = std::move(it->second);
       pending_.erase(it);
     }
-    cb(frame->response.status, std::move(frame->response.payload));
+    if (trace::enabled() && call.trace.active() &&
+        frame->response.trace.active()) {
+      // Server wire + this reader's wakeup, from the server's send stamp.
+      trace::Tracer::instance().record(trace::Stage::kXrpcOutbound, call.trace,
+                                       frame->response.trace.send_ns,
+                                       WallTimer::now(),
+                                       frame->response.payload.size());
+    }
+    size_t resp_bytes = frame->response.payload.size();
+    call.cb(frame->response.status, std::move(frame->response.payload));
+    if (trace::enabled() && call.trace.active()) {
+      // Root span: entry-point-observed end-to-end time, callback included.
+      trace::Tracer::instance().record_root(call.trace, call.start_ns,
+                                            WallTimer::now(), resp_bytes);
+    }
   }
 }
 

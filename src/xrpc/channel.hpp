@@ -14,6 +14,7 @@
 #include "common/lockdep.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
+#include "trace/trace.hpp"
 #include "xrpc/frame.hpp"
 
 namespace dpurpc::xrpc {
@@ -30,6 +31,10 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Fire a unary call; the callback runs on the channel's reader thread.
+  /// The channel is the datapath's trace entry point: when tracing is on,
+  /// each call asks the Tracer for a (possibly head-sampled) context,
+  /// ships it in the frame header, and records the root span when the
+  /// response callback returns.
   Status call_async(std::string_view method, ByteSpan payload, Callback done);
 
   /// Synchronous unary call (convenience for examples and tests).
@@ -47,9 +52,15 @@ class Channel {
   // Lock order: write_mu_ (frame writes) before mu_ (call bookkeeping) —
   // call_async()'s failure path unregisters the call while still holding
   // the write lock. Nothing nests them the other way.
+  struct PendingCall {
+    Callback cb;
+    trace::TraceContext trace;
+    uint64_t start_ns = 0;
+  };
+
   lockdep::Mutex write_mu_{"xrpc.Channel.write_mu"};
   mutable lockdep::Mutex mu_{"xrpc.Channel.mu"};
-  std::map<uint32_t, Callback> pending_ DPURPC_GUARDED_BY(mu_);
+  std::map<uint32_t, PendingCall> pending_ DPURPC_GUARDED_BY(mu_);
   uint32_t next_call_id_ DPURPC_GUARDED_BY(mu_) = 1;
   std::thread reader_;
   bool closed_ DPURPC_GUARDED_BY(mu_) = false;

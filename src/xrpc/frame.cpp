@@ -6,19 +6,35 @@
 
 namespace dpurpc::xrpc {
 
+namespace {
+
+uint8_t* put_trace(uint8_t* p, const FrameTrace& t) {
+  store_le<uint64_t>(p, t.trace_id);
+  store_le<uint64_t>(p + 8, t.span_id);
+  store_le<uint64_t>(p + 16, t.send_ns);
+  return p + kFrameTraceSize;
+}
+
+}  // namespace
+
 Status write_request(const Fd& fd, uint32_t call_id, std::string_view method,
-                     ByteSpan payload) {
+                     ByteSpan payload, const FrameTrace* trace) {
   if (method.size() > UINT16_MAX) {
     return Status(Code::kInvalidArgument, "method name too long");
   }
-  uint32_t body = static_cast<uint32_t>(1 + 4 + 2 + method.size() + payload.size());
+  bool traced = trace != nullptr && trace->active();
+  uint32_t extra = traced ? kFrameTraceSize : 0;
+  uint32_t body =
+      static_cast<uint32_t>(1 + 4 + extra + 2 + method.size() + payload.size());
   Bytes frame(4 + body);
   auto* p = reinterpret_cast<uint8_t*>(frame.data());
   store_le<uint32_t>(p, body);
   p += 4;
-  *p++ = static_cast<uint8_t>(FrameType::kRequest);
+  *p++ = static_cast<uint8_t>(FrameType::kRequest) |
+         (traced ? kFrameTracedBit : 0);
   store_le<uint32_t>(p, call_id);
   p += 4;
+  if (traced) p = put_trace(p, *trace);
   store_le<uint16_t>(p, static_cast<uint16_t>(method.size()));
   p += 2;
   std::memcpy(p, method.data(), method.size());
@@ -27,15 +43,20 @@ Status write_request(const Fd& fd, uint32_t call_id, std::string_view method,
   return write_all(fd, frame.data(), frame.size());
 }
 
-Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payload) {
-  uint32_t body = static_cast<uint32_t>(1 + 4 + 1 + payload.size());
+Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payload,
+                      const FrameTrace* trace) {
+  bool traced = trace != nullptr && trace->active();
+  uint32_t extra = traced ? kFrameTraceSize : 0;
+  uint32_t body = static_cast<uint32_t>(1 + 4 + extra + 1 + payload.size());
   Bytes frame(4 + body);
   auto* p = reinterpret_cast<uint8_t*>(frame.data());
   store_le<uint32_t>(p, body);
   p += 4;
-  *p++ = static_cast<uint8_t>(FrameType::kResponse);
+  *p++ = static_cast<uint8_t>(FrameType::kResponse) |
+         (traced ? kFrameTracedBit : 0);
   store_le<uint32_t>(p, call_id);
   p += 4;
+  if (traced) p = put_trace(p, *trace);
   *p++ = static_cast<uint8_t>(status);
   if (!payload.empty()) std::memcpy(p, payload.data(), payload.size());
   return write_all(fd, frame.data(), frame.size());
@@ -54,12 +75,25 @@ StatusOr<AnyFrame> read_frame(const Fd& fd) {
   const auto* end = p + body;
 
   AnyFrame out;
-  uint8_t type = *p++;
+  uint8_t raw_type = *p++;
+  bool traced = (raw_type & kFrameTracedBit) != 0;
+  uint8_t type = raw_type & static_cast<uint8_t>(~kFrameTracedBit);
   uint32_t call_id = load_le<uint32_t>(p);
   p += 4;
+  FrameTrace trace;
+  if (traced) {
+    if (end - p < static_cast<ptrdiff_t>(kFrameTraceSize)) {
+      return Status(Code::kDataLoss, "truncated frame trace");
+    }
+    trace.trace_id = load_le<uint64_t>(p);
+    trace.span_id = load_le<uint64_t>(p + 8);
+    trace.send_ns = load_le<uint64_t>(p + 16);
+    p += kFrameTraceSize;
+  }
   if (type == static_cast<uint8_t>(FrameType::kRequest)) {
     out.type = FrameType::kRequest;
     out.request.call_id = call_id;
+    out.request.trace = trace;
     if (end - p < 2) return Status(Code::kDataLoss, "truncated request frame");
     uint16_t name_len = load_le<uint16_t>(p);
     p += 2;
@@ -71,6 +105,7 @@ StatusOr<AnyFrame> read_frame(const Fd& fd) {
   } else if (type == static_cast<uint8_t>(FrameType::kResponse)) {
     out.type = FrameType::kResponse;
     out.response.call_id = call_id;
+    out.response.trace = trace;
     if (end - p < 1) return Status(Code::kDataLoss, "truncated response frame");
     uint8_t code = *p++;
     if (code > static_cast<uint8_t>(Code::kAborted)) {

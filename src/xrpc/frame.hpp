@@ -2,13 +2,17 @@
 //
 // Unary calls only (the paper's compat layer scope). Every frame:
 //
-//   u32 body_len | u8 type | u32 call_id | body
+//   u32 body_len | u8 type | u32 call_id | [trace] | body
 //
 // request body:  u16 method_len | method name | payload
 // response body: u8 status code | payload
 //
 // call_id multiplexes concurrent outstanding calls over one TCP
 // connection, like HTTP/2 stream ids under gRPC.
+//
+// Tracing rides in the type byte's high bit (kFrameTracedBit): when set,
+// a 24-byte FrameTrace follows the call_id. Untraced frames are
+// byte-identical to the pre-tracing protocol.
 #pragma once
 
 #include <string>
@@ -21,23 +25,40 @@ namespace dpurpc::xrpc {
 
 enum class FrameType : uint8_t { kRequest = 0, kResponse = 1 };
 
+/// High bit of the type byte: frame carries a FrameTrace after call_id.
+inline constexpr uint8_t kFrameTracedBit = 0x80;
+
 inline constexpr uint32_t kMaxFrameBody = 16u << 20;
+
+/// Trace context carried across the xRPC hop (the gRPC-metadata analogue
+/// of rdmarpc's WireTrace): identity plus the sender's serialize-finish
+/// instant, so the receiver can attribute wire + reader-dispatch time.
+struct FrameTrace {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t send_ns = 0;
+  bool active() const noexcept { return trace_id != 0; }
+};
+inline constexpr uint32_t kFrameTraceSize = 24;
 
 struct RequestFrame {
   uint32_t call_id = 0;
   std::string method;  ///< "pkg.Service/Method"
   Bytes payload;
+  FrameTrace trace;
 };
 
 struct ResponseFrame {
   uint32_t call_id = 0;
   Code status = Code::kOk;
   Bytes payload;
+  FrameTrace trace;
 };
 
 Status write_request(const Fd& fd, uint32_t call_id, std::string_view method,
-                     ByteSpan payload);
-Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payload);
+                     ByteSpan payload, const FrameTrace* trace = nullptr);
+Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payload,
+                      const FrameTrace* trace = nullptr);
 
 /// Either kind of inbound frame.
 struct AnyFrame {

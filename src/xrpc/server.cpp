@@ -1,15 +1,21 @@
 #include "xrpc/server.hpp"
 
+#include "common/cpu_timer.hpp"
+
 namespace dpurpc::xrpc {
 
-StatusOr<std::unique_ptr<Server>> Server::start(Dispatch dispatch) {
+StatusOr<std::unique_ptr<Server>> Server::start(Dispatch dispatch,
+                                                metrics::Registry* metrics) {
   auto listener = Listener::create();
   if (!listener.is_ok()) return listener.status();
-  return std::unique_ptr<Server>(new Server(std::move(*listener), std::move(dispatch)));
+  return std::unique_ptr<Server>(
+      new Server(std::move(*listener), std::move(dispatch), metrics));
 }
 
-Server::Server(Listener listener, Dispatch dispatch)
-    : listener_(std::move(listener)), dispatch_(std::move(dispatch)) {
+Server::Server(Listener listener, Dispatch dispatch, metrics::Registry* metrics)
+    : listener_(std::move(listener)),
+      dispatch_(std::move(dispatch)),
+      metrics_(metrics) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -62,13 +68,36 @@ void Server::connection_loop(std::shared_ptr<ConnState> conn) {
     if (frame->type != FrameType::kRequest) return;
     requests_accepted_.fetch_add(1, std::memory_order_relaxed);
     uint32_t call_id = frame->request.call_id;
+    trace::TraceContext tctx;
+    if (trace::enabled() && frame->request.trace.active()) {
+      tctx = {frame->request.trace.trace_id, frame->request.trace.span_id};
+      // TCP wire + this reader's dispatch, from the client's send stamp.
+      trace::Tracer::instance().record(trace::Stage::kXrpcInbound, tctx,
+                                       frame->request.trace.send_ns,
+                                       WallTimer::now(),
+                                       frame->request.payload.size());
+    }
     // The responder owns a reference to the connection so late async
-    // responses still have a live socket.
-    Responder respond = [conn, call_id](Code status, ByteSpan payload) {
+    // responses still have a live socket. It echoes the trace context so
+    // the client can attribute the response wire span.
+    Responder respond = [conn, call_id, tctx](Code status, ByteSpan payload) {
       lockdep::ScopedLock wl(conn->write_mu);
-      (void)write_response(conn->fd, call_id, status, payload);
+      if (tctx.active()) {
+        FrameTrace ft{tctx.trace_id, tctx.parent_span_id, WallTimer::now()};
+        (void)write_response(conn->fd, call_id, status, payload, &ft);
+      } else {
+        (void)write_response(conn->fd, call_id, status, payload);
+      }
     };
-    dispatch_(frame->request.method, std::move(frame->request.payload),
+    if (metrics_ != nullptr && frame->request.method == kMetricsMethod) {
+      // Built-in scrape endpoint: answer inline, never reaches dispatch.
+      std::string text = metrics_->expose_text();
+      respond(Code::kOk,
+              ByteSpan(reinterpret_cast<const std::byte*>(text.data()),
+                       text.size()));
+      continue;
+    }
+    dispatch_(frame->request.method, std::move(frame->request.payload), tctx,
               std::move(respond));
   }
 }

@@ -18,9 +18,16 @@
 #include "common/lockdep.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
+#include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
 #include "xrpc/frame.hpp"
 
 namespace dpurpc::xrpc {
+
+/// Method name the server answers itself with Registry::expose_text()
+/// when started with a metrics registry — the paper's monitoring-process
+/// scrape, served over the real transport instead of in-process calls.
+inline constexpr std::string_view kMetricsMethod = "dpurpc.Metrics/Scrape";
 
 class Server {
  public:
@@ -29,11 +36,18 @@ class Server {
 
   /// Invoked on the connection's reader thread for every request. The
   /// handler may respond inline or stash the responder and answer later.
-  using Dispatch =
-      std::function<void(const std::string& method, Bytes payload, Responder respond)>;
+  /// `trace` is the request's propagated context (inactive when the
+  /// client did not trace this call); pass it through to downstream
+  /// engines so their spans join the same tree.
+  using Dispatch = std::function<void(const std::string& method, Bytes payload,
+                                      trace::TraceContext trace,
+                                      Responder respond)>;
 
   /// Listen on an OS-assigned loopback port and serve until shutdown().
-  static StatusOr<std::unique_ptr<Server>> start(Dispatch dispatch);
+  /// A non-null `metrics` enables the built-in kMetricsMethod handler
+  /// (answered before dispatch ever sees the call).
+  static StatusOr<std::unique_ptr<Server>> start(
+      Dispatch dispatch, metrics::Registry* metrics = nullptr);
 
   ~Server();
   Server(const Server&) = delete;
@@ -47,12 +61,13 @@ class Server {
   }
 
  private:
-  Server(Listener listener, Dispatch dispatch);
+  Server(Listener listener, Dispatch dispatch, metrics::Registry* metrics);
   void accept_loop();
   void connection_loop(std::shared_ptr<struct ConnState> conn);
 
   Listener listener_;
   Dispatch dispatch_;
+  metrics::Registry* metrics_;
   std::thread accept_thread_;
   lockdep::Mutex mu_{"xrpc.Server.mu"};
   // Shutdown protocol (stop/join ordering): shutdown() publishes

@@ -107,10 +107,88 @@ TEST(Registry, HistogramExposition) {
   EXPECT_NE(text.find("lat_count 1"), std::string::npos);
 }
 
+// ------------------------------------------------------- quantiles
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileUniformDistribution) {
+  // 100 observations spread one per unit over (0, 100] with bounds every
+  // 10: rank r lands in bucket ⌈r/10⌉ and interpolates linearly, so the
+  // estimate equals the observation's own value.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileFirstBucketInterpolatesFromZero) {
+  // All mass in the first bucket (le=8): rank n/2 of n → halfway, 4.0.
+  Histogram h({8.0, 16.0});
+  for (int i = 0; i < 10; ++i) h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+}
+
+TEST(Histogram, QuantileOverflowClampsToHighestBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(100.0);
+  h.observe(200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, QuantileSkewedDistribution) {
+  // 90 fast + 10 slow: p50 inside the fast bucket, p99 in the slow one.
+  Histogram h({1.0, 100.0});
+  for (int i = 0; i < 90; ++i) h.observe(0.5);
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  // rank 50 of 90 in (0,1]: 50/90 of the way up.
+  EXPECT_NEAR(h.quantile(0.50), 50.0 / 90.0, 1e-12);
+  // rank 99: the 9th of 10 observations in (1,100].
+  EXPECT_NEAR(h.quantile(0.99), 1.0 + 99.0 * (9.0 / 10.0), 1e-12);
+}
+
+TEST(Registry, QuantilesInScrapeAndExposition) {
+  Registry reg;
+  auto& fam = reg.histogram_family("lat_seconds", "latency", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) fam.histogram().observe(i < 50 ? 0.5 : 3.0);
+  Snapshot snap = reg.scrape();
+  const Sample* p50 = snap.find("lat_seconds_p50");
+  const Sample* p95 = snap.find("lat_seconds_p95");
+  const Sample* p99 = snap.find("lat_seconds_p99");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p95, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_DOUBLE_EQ(p50->value, 1.0);        // rank 50 tops out the (0,1] bucket
+  EXPECT_GT(p95->value, 2.0);               // inside the (2,4] bucket
+  EXPECT_LE(p99->value, 4.0);
+  std::string text = reg.expose_text();
+  EXPECT_NE(text.find("lat_seconds_p50 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_p95"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_p99"), std::string::npos);
+}
+
+TEST(RateMonitor, QuantilesFromSnapshot) {
+  Registry reg;
+  auto& fam = reg.histogram_family("lat_seconds", "latency",
+                                   {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) fam.histogram().observe(i);
+  Snapshot snap = reg.scrape();
+  auto q = quantiles(snap, "lat_seconds");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->p50, 50.0);
+  EXPECT_DOUBLE_EQ(q->p95, 95.0);
+  EXPECT_DOUBLE_EQ(q->p99, 99.0);
+  EXPECT_FALSE(quantiles(snap, "absent_family").has_value());
+}
+
 // Build a snapshot by hand so rate math is exact.
 Snapshot make_snap(uint64_t ns, double value) {
   Snapshot s;
-  s.wall_ns = ns;
+  s.mono_ns = ns;
   s.samples.push_back({"reqs_total", {}, value});
   return s;
 }
@@ -141,7 +219,7 @@ TEST(RateMonitor, StabilityWithinOnePercent) {
 TEST(RateMonitor, MissingCounterYieldsNoRate) {
   RateMonitor mon("does_not_exist");
   Snapshot s;
-  s.wall_ns = 5;
+  s.mono_ns = 5;
   EXPECT_FALSE(mon.observe(s).has_value());
 }
 

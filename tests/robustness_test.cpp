@@ -205,7 +205,7 @@ TEST(Fuzz, ManifestDeserializeSurvivesCorruption) {
 
 TEST(Fuzz, XrpcServerSurvivesGarbageBytes) {
   auto server = xrpc::Server::start(
-      [](const std::string&, Bytes payload, xrpc::Server::Responder respond) {
+      [](const std::string&, Bytes payload, trace::TraceContext, xrpc::Server::Responder respond) {
         respond(Code::kOk, ByteSpan(payload));
       });
   ASSERT_TRUE(server.is_ok());
@@ -235,7 +235,7 @@ TEST(Fuzz, XrpcServerSurvivesGarbageBytes) {
 
 TEST(Fuzz, XrpcRejectsOversizeFrameDeclaration) {
   auto server = xrpc::Server::start(
-      [](const std::string&, Bytes, xrpc::Server::Responder respond) {
+      [](const std::string&, Bytes, trace::TraceContext, xrpc::Server::Responder respond) {
         respond(Code::kOk, {});
       });
   ASSERT_TRUE(server.is_ok());

@@ -1,0 +1,197 @@
+// End-to-end trace propagation over the full offload datapath: xRPC
+// client → DPU proxy (pool decode) → RPC over RDMA → host → back. Every
+// datapath stage must record exactly one span into the request's tree.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <iterator>
+#include <map>
+#include <thread>
+
+#include "grpccompat/dpu_proxy.hpp"
+#include "grpccompat/host_service.hpp"
+#include "grpccompat/manifest.hpp"
+#include "proto/schema_parser.hpp"
+#include "trace/collector.hpp"
+#include "trace/trace.hpp"
+#include "xrpc/channel.hpp"
+
+namespace dpurpc::grpccompat {
+namespace {
+
+constexpr std::string_view kSchema = R"(
+syntax = "proto3";
+package kv;
+
+message PutRequest { string key = 1; string value = 2; }
+message PutResponse { bool created = 1; }
+
+service KvStore {
+  rpc Put (PutRequest) returns (PutResponse);
+}
+)";
+
+class TraceE2eFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    proto::SchemaParser parser(pool_);
+    ASSERT_TRUE(parser.parse_and_link(kSchema).is_ok());
+    auto built = OffloadManifest::build(pool_, arena::StdLibFlavor::kLibstdcpp);
+    ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+    manifest_ = std::make_unique<OffloadManifest>(std::move(*built));
+
+    dpu_pd_ = std::make_unique<simverbs::ProtectionDomain>("dpu");
+    host_pd_ = std::make_unique<simverbs::ProtectionDomain>("host");
+    dpu_conn_ = std::make_unique<rdmarpc::Connection>(
+        rdmarpc::Role::kClient, dpu_pd_.get(), rdmarpc::ConnectionConfig{});
+    host_conn_ = std::make_unique<rdmarpc::Connection>(
+        rdmarpc::Role::kServer, host_pd_.get(), rdmarpc::ConnectionConfig{});
+    ASSERT_TRUE(rdmarpc::Connection::connect(*dpu_conn_, *host_conn_).is_ok());
+    host_ = std::make_unique<HostEngine>(host_conn_.get(), manifest_.get(),
+                                         &pool_);
+  }
+
+  void start_host_loop() {
+    host_thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        auto n = host_->event_loop_once();
+        if (!n.is_ok()) return;
+        if (*n == 0) host_->wait(1);
+      }
+    });
+  }
+
+  void TearDown() override {
+    if (proxy_) proxy_->stop();
+    stop_.store(true);
+    host_conn_->interrupt();
+    if (host_thread_.joinable()) host_thread_.join();
+    trace::Tracer::instance().configure(trace::TraceConfig{});
+  }
+
+  proto::DescriptorPool pool_;
+  std::unique_ptr<OffloadManifest> manifest_;
+  std::unique_ptr<simverbs::ProtectionDomain> dpu_pd_, host_pd_;
+  std::unique_ptr<rdmarpc::Connection> dpu_conn_, host_conn_;
+  std::unique_ptr<HostEngine> host_;
+  std::unique_ptr<DpuProxy> proxy_;
+  std::thread host_thread_;
+  std::atomic<bool> stop_{false};
+};
+
+TEST_F(TraceE2eFixture, EveryStageRecordsExactlyOnce) {
+#if !DPURPC_TRACE_ENABLED
+  GTEST_SKIP() << "tracing compiled out (DPURPC_TRACE=OFF)";
+#endif
+  // Full tracing; drain anything a previous test binary run left behind.
+  {
+    std::vector<trace::SpanRecord> junk;
+    trace::Tracer::instance().drain_into(junk);
+  }
+  trace::TraceConfig config;
+  config.mode = trace::Mode::kFull;
+  trace::Tracer::instance().configure(config);
+
+  metrics::Registry reg;
+  trace::TraceCollector::Options copts;
+  copts.registry = &reg;
+  copts.tail_keep_every = 1;     // retain every tree: we inspect them all
+  copts.orphan_max_age = 10000;  // never age out mid-test
+  trace::TraceCollector collector(copts);
+
+  std::map<std::string, std::string> store;
+  ASSERT_TRUE(host_
+                  ->register_method(
+                      "kv.KvStore/Put",
+                      [&store](const ServerContext&, const adt::LayoutView& req,
+                               proto::DynamicMessage& resp) {
+                        store[std::string(req.get_string(1))] =
+                            std::string(req.get_string(2));
+                        resp.set_uint64(resp.descriptor()->field_by_name("created"),
+                                        1);
+                        return Status::ok();
+                      })
+                  .is_ok());
+  start_host_loop();
+
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+
+  constexpr int kCalls = 8;
+  const auto* put_desc = pool_.find_message("kv.PutRequest");
+  for (int i = 0; i < kCalls; ++i) {
+    proto::DynamicMessage m(put_desc);
+    m.set_string(put_desc->field_by_name("key"), "k" + std::to_string(i));
+    m.set_string(put_desc->field_by_name("value"), "v" + std::to_string(i));
+    Bytes wire = proto::WireCodec::serialize(m);
+    auto resp = (*chan)->call("kv.KvStore/Put", ByteSpan(wire));
+    ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  }
+
+  // The root span lands on the channel reader thread *after* the callback
+  // that completed the sync call, so keep collecting until all trees close.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (collector.traces_completed() < kCalls &&
+         std::chrono::steady_clock::now() < deadline) {
+    collector.collect();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(collector.traces_completed(), static_cast<uint64_t>(kCalls));
+  ASSERT_EQ(collector.retained().size(), static_cast<size_t>(kCalls));
+
+  // The stages a pool-decoded offloaded request passes through, in Fig. 1
+  // order. Each must appear exactly once per tree.
+  const trace::Stage expected[] = {
+      trace::Stage::kRequest,        trace::Stage::kClientSerialize,
+      trace::Stage::kXrpcInbound,    trace::Stage::kProxyDispatch,
+      trace::Stage::kLaneQueueWait,  trace::Stage::kDecodeRingWait,
+      trace::Stage::kWorkerDecode,   trace::Stage::kBlockBuild,
+      trace::Stage::kFlushWait,      trace::Stage::kRdmaInbound,
+      trace::Stage::kHostDispatch,   trace::Stage::kHostSerialize,
+      trace::Stage::kRespFlushWait,  trace::Stage::kRdmaOutbound,
+      trace::Stage::kComplete,       trace::Stage::kXrpcOutbound,
+  };
+  for (const trace::SpanTree& tree : collector.retained()) {
+    std::map<trace::Stage, int> counts;
+    for (const trace::Span& s : tree.spans) counts[s.stage] += 1;
+    for (trace::Stage st : expected) {
+      EXPECT_EQ(counts[st], 1) << "stage " << trace::stage_name(st)
+                               << " in trace " << tree.trace_id;
+    }
+    EXPECT_EQ(tree.spans.size(), std::size(expected))
+        << "unexpected extra spans in trace " << tree.trace_id;
+
+    // Tree shape: one root, every stage span parented to it, and no span
+    // longer than the end-to-end time plus scheduling slack.
+    const trace::Span* root = tree.root();
+    ASSERT_NE(root, nullptr);
+    EXPECT_GT(root->duration_ns(), 0u);
+    for (const trace::Span& s : tree.spans) {
+      if (&s == root) continue;
+      EXPECT_EQ(s.parent_span_id, root->span_id);
+      EXPECT_LE(s.start_ns, s.end_ns);
+    }
+  }
+
+  // Per-stage histograms populated for every expected stage.
+  metrics::Snapshot snap = reg.scrape();
+  for (trace::Stage st : expected) {
+    const metrics::Sample* count = snap.find(
+        "dpurpc_trace_stage_seconds_count", {{"stage", trace::stage_name(st)}});
+    ASSERT_NE(count, nullptr) << trace::stage_name(st);
+    EXPECT_EQ(count->value, static_cast<double>(kCalls))
+        << trace::stage_name(st);
+  }
+
+  // The exporter produces an openable timeline for what we retained.
+  std::string json = collector.export_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker_decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpurpc::grpccompat

@@ -15,7 +15,7 @@ namespace {
 
 std::unique_ptr<Server> echo_server() {
   auto server = Server::start(
-      [](const std::string& method, Bytes payload, Server::Responder respond) {
+      [](const std::string& method, Bytes payload, trace::TraceContext, Server::Responder respond) {
         if (method == "test.Echo/Echo") {
           respond(Code::kOk, ByteSpan(payload));
         } else if (method == "test.Echo/Fail") {
@@ -125,7 +125,7 @@ TEST(Xrpc, MultipleClientsOneServer) {
 
 TEST(Xrpc, ServerShutdownFailsInFlightCalls) {
   auto server = Server::start(
-      [](const std::string&, Bytes, Server::Responder) { /* never responds */ });
+      [](const std::string&, Bytes, trace::TraceContext, Server::Responder) { /* never responds */ });
   ASSERT_TRUE(server.is_ok());
   auto chan = Channel::connect((*server)->port());
   ASSERT_TRUE(chan.is_ok());
@@ -223,6 +223,43 @@ TEST(Xrpc, AsyncCallbackRunsOffCallerThread) {
   std::unique_lock lk(mu);
   cv.wait_for(lk, std::chrono::seconds(5), [&] { return checked.load(); });
   EXPECT_TRUE(checked.load());
+}
+
+// The paper's monitoring pull, over the real transport: a server started
+// with a registry answers kMetricsMethod itself with the text exposition.
+TEST(Xrpc, MetricsScrapeEndpoint) {
+  metrics::Registry reg;
+  reg.counter_family("xrpc_scrape_demo_total", "scrape test counter")
+      .counter()
+      .inc(3);
+  reg.histogram_family("xrpc_scrape_demo_seconds", "scrape test histogram",
+                       {0.001, 0.01, 0.1})
+      .histogram()
+      .observe(0.005);
+  auto server = Server::start(
+      [](const std::string&, Bytes, trace::TraceContext,
+         Server::Responder respond) { respond(Code::kNotFound, {}); },
+      &reg);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  auto chan = Channel::connect((*server)->port());
+  ASSERT_TRUE(chan.is_ok()) << chan.status().to_string();
+  auto resp = (*chan)->call(std::string(kMetricsMethod), {});
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  std::string text(as_string_view(ByteSpan(*resp)));
+  EXPECT_NE(text.find("xrpc_scrape_demo_total 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("xrpc_scrape_demo_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("xrpc_scrape_demo_seconds_p95"), std::string::npos);
+  // The built-in endpoint never reaches the dispatch (which would have
+  // answered kNotFound).
+}
+
+// Without a registry, the scrape method is just another dispatched call.
+TEST(Xrpc, MetricsScrapeAbsentWithoutRegistry) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto resp = (*chan)->call(std::string(kMetricsMethod), {});
+  EXPECT_FALSE(resp.is_ok());  // echo_server dispatch answers kNotFound
 }
 
 }  // namespace

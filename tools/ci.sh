@@ -18,17 +18,24 @@
 #
 # Extra named passes:
 #
-#   lint            — tools/lint.sh (clang-tidy over src/); a no-op with a
-#                     warning when clang-tidy is absent.
+#   lint            — tools/lint.sh (clang-tidy over src/, including
+#                     src/trace/); a no-op with a warning when clang-tidy
+#                     is absent.
+#   trace           — re-runs the plain tree's whole test suite with
+#                     DPURPC_TRACE_FORCE=full: every request in every test
+#                     records spans into the rings, so the instrumentation
+#                     sites are exercised under load even by tests that
+#                     never configure the tracer themselves.
 #   bench-smoke     — builds the plain tree's bench/ binaries and runs each
 #                     one once with DPURPC_BENCH_SMOKE=1 (tiny iteration
 #                     counts): proves every harness still sets up, measures
-#                     and reports without crashing. Numbers are meaningless.
+#                     and reports without crashing (ablation_trace rides in
+#                     via the glob). Numbers are meaningless.
 #
-# Usage: tools/ci.sh [--pass plain|asan|tsan|lint|bench-smoke|all] [build-dir-prefix]
-#   default pass is `all` (plain, asan, tsan, then lint — the pre-existing
-#   behaviour); default prefix is build-ci. A per-pass wall-clock summary
-#   prints at the end either way.
+# Usage: tools/ci.sh [--pass plain|asan|tsan|lint|trace|bench-smoke|all] [build-dir-prefix]
+#   default pass is `all` (plain, asan, tsan, trace, then lint); default
+#   prefix is build-ci. A per-pass wall-clock summary prints at the end
+#   either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,6 +90,14 @@ pass_asan()  { run_pass "$prefix-asan" -DDPURPC_SANITIZE=address,undefined -DDPU
 pass_tsan()  { run_pass "$prefix-tsan" -DDPURPC_SANITIZE=thread -DDPURPC_BUILD_BENCH=OFF; }
 pass_lint()  { tools/lint.sh "$prefix-plain"; }
 
+# Reuses the plain tree (same binaries, new env): DPURPC_TRACE_FORCE=full
+# flips the runtime gate open in every test process, so all the span
+# record sites run hot for the whole suite.
+pass_trace() {
+  build_dir "$prefix-plain"
+  DPURPC_TRACE_FORCE=full ctest --test-dir "$prefix-plain" --output-on-failure -j "$jobs"
+}
+
 pass_bench_smoke() {
   build_dir "$prefix-plain"
   local bench failed=0
@@ -102,15 +117,17 @@ case "$pass" in
   asan)        timed asan pass_asan ;;
   tsan)        timed tsan pass_tsan ;;
   lint)        timed lint pass_lint ;;
+  trace)       timed trace pass_trace ;;
   bench-smoke) timed bench-smoke pass_bench_smoke ;;
   all)
     timed plain pass_plain
     timed asan pass_asan
     timed tsan pass_tsan
+    timed trace pass_trace
     timed lint pass_lint
     ;;
   *)
-    echo "ci: unknown pass '$pass' (plain|asan|tsan|lint|bench-smoke|all)" >&2
+    echo "ci: unknown pass '$pass' (plain|asan|tsan|lint|trace|bench-smoke|all)" >&2
     exit 64 ;;
 esac
 
