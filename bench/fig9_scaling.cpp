@@ -2,7 +2,7 @@
 //
 // The paper's device offers sixteen ARM cores (Table I); lane sharding
 // (DESIGN.md §3.14) lets any number of them chew one proxy's decode
-// backlog. This harness sweeps the DecodePool worker count 1 → 16 over a
+// backlog. This harness sweeps the CodecPool worker count 1 → 16 over a
 // fixed 16-lane workload (every count divides the lane count, so home
 // assignment stays balanced) and reports:
 //
@@ -29,7 +29,7 @@
 
 #include "bench_util.hpp"
 #include "common/cpu_timer.hpp"
-#include "dpu/decode_pool.hpp"
+#include "dpu/codec_pool.hpp"
 
 namespace {
 
@@ -59,10 +59,11 @@ SweepResult run_sweep(const bench::BenchEnv& env, int workers, uint64_t jobs) {
       {env.chars_class, bench::make_char_array_wire(env, 2048)},
   };
 
-  dpu::DecodePool::Options options;
+  dpu::CodecPool::Options options;
   options.workers = workers;
   options.ring_capacity = 256;
-  dpu::DecodePool pool(env.deserializer.get(), kLanes, options);
+  // Decode-direction sweep: no serializer needed.
+  dpu::CodecPool pool(env.deserializer.get(), nullptr, kLanes, options);
   pool.start();
 
   // Warm every worker's first touch of the plan snapshot (codec
@@ -76,7 +77,7 @@ SweepResult run_sweep(const bench::BenchEnv& env, int workers, uint64_t jobs) {
     for (size_t lane = 0; lane < kLanes; ++lane) {
       while (submitted < jobs && outstanding[lane] < kMaxOutstandingPerLane) {
         const Shape& s = shapes[submitted % 3];
-        dpu::DecodeJob job;
+        dpu::CodecJob job;
         job.class_index = s.class_index;
         job.cookie = submitted;
         job.wire = s.wire;
@@ -84,7 +85,7 @@ SweepResult run_sweep(const bench::BenchEnv& env, int workers, uint64_t jobs) {
         ++submitted;
         ++outstanding[lane];
       }
-      dpu::DecodeResult result;
+      dpu::CodecResult result;
       while (pool.try_pop_result(lane, result)) {
         ++completed;
         --outstanding[lane];

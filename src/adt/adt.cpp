@@ -200,7 +200,7 @@ PlanCacheStats Adt::plan_cache_stats() const noexcept {
 std::shared_ptr<const PlanSet> Adt::plans() const {
   // Immutable-after-publication contract: once a PlanSet pointer leaves
   // this function, NOTHING may write through it — every consumer (DPU
-  // proxy lanes, decode-pool workers, host compat codecs) reads it
+  // proxy lanes, codec-pool workers, host compat codecs) reads it
   // lock-free and concurrently, for both plan directions. The
   // static_asserts are the compile-time half of the contract (no
   // non-const access path exists — PlanSet additionally pins itself with
@@ -214,10 +214,6 @@ std::shared_ptr<const PlanSet> Adt::plans() const {
   static_assert(
       std::is_const_v<std::remove_reference_t<decltype(*std::declval<Adt>().plans())>>,
       "plans() must hand out pointers-to-const only");
-  static_assert(
-      std::is_const_v<
-          std::remove_reference_t<decltype(*std::declval<Adt>().parse_plans())>>,
-      "parse_plans() must hand out pointers-to-const only");
 
   // RCU fast path: one acquire-load of a raw pointer, zero locks, zero
   // shared refcount traffic (the returned shared_ptr is a non-owning
@@ -246,12 +242,6 @@ std::shared_ptr<const PlanSet> Adt::plans() const {
     plan_rebuild_counter().inc();
   }
   return {std::shared_ptr<const void>(), snap};
-}
-
-std::shared_ptr<const ParsePlanSet> Adt::parse_plans() const {
-  // Aliasing shared_ptr: points at the parse half, owns the whole bundle.
-  auto all = plans();
-  return {all, &all->parse()};
 }
 
 uint32_t Adt::find_class(std::string_view name) const noexcept {

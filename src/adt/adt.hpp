@@ -129,7 +129,7 @@ class Adt {
   /// Per-class compiled plans — parse plans (parse_plan.hpp) and serialize
   /// plans (serialize_plan.hpp) bundled in one PlanSet — compiled on first
   /// use and cached so every codec over this table — DPU proxy lanes, the
-  /// decode pool's workers, host compat layer — shares one immutable set.
+  /// codec pool's workers, host compat layer — shares one immutable set.
   /// The returned set is **immutable after publication**: consumers read
   /// it lock-free, from any number of threads, for as long as this Adt
   /// lives (every snapshot the table ever published is retained until the
@@ -158,11 +158,6 @@ class Adt {
 
   /// Cache counters (monotonic, relaxed; safe to read concurrently).
   PlanCacheStats plan_cache_stats() const noexcept;
-
-  /// Deprecated shim (pre-PlanSet API): the parse half of plans(), aliased
-  /// into the bundled snapshot so its lifetime rules are unchanged. New
-  /// code should call plans()->parse().
-  std::shared_ptr<const ParsePlanSet> parse_plans() const;
 
  private:
   std::vector<ClassEntry> classes_;

@@ -739,7 +739,7 @@ void ArenaDeserializer::fix_pointers(const ClassEntry& cls, std::byte* base,
   }
 }
 
-// Slice relocation: the decode-pool variant of fix_pointers. The walk runs
+// Slice relocation: the codec-pool variant of fix_pointers. The walk runs
 // over the *copied* slice, whose pointer slots still hold pre-move (old)
 // addresses: each slot in [old_begin, old_end) is rewritten to
 // old + publish_delta, and recursion follows old + move_delta (the child's

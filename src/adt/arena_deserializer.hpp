@@ -62,12 +62,13 @@ class ArenaDeserializer {
 
   /// Rebase a deserialized object tree after its slice was copied to a new
   /// location. `base` is the object's address in the *copied* slice. This
-  /// is the decode-pool handoff primitive: a worker decodes into a private
-  /// scratch arena (zero-delta, fully local), the lane poller memcpys the
-  /// finished slice into the RDMA send block, then calls relocate() to
-  /// make every pointer receiver-space — equivalent, bit for bit, to
+  /// is the codec-pool handoff primitive, in both directions: a decode
+  /// worker's private slice (zero-delta, fully local) is memcpy'd into
+  /// the RDMA send block and relocated into receiver space, and a
+  /// response object is copied out of its receive block into an encode
+  /// job's slice and relocated fully local — equivalent, bit for bit, to
   /// having deserialized straight into the block with the connection
-  /// translator (asserted by tests/decode_pool_test.cpp).
+  /// translator (asserted by tests/codec_pool_test.cpp).
   void relocate(uint32_t class_index, std::byte* base,
                 const SliceRelocation& r) const;
 

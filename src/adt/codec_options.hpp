@@ -20,8 +20,4 @@ struct CodecOptions {
   int max_recursion_depth = 100;    ///< hostile nesting guard, both directions
 };
 
-/// Deprecated pre-unification name (the struct once carried only the
-/// deserializer's knobs). New code should say CodecOptions.
-using DeserializeOptions = CodecOptions;
-
 }  // namespace dpurpc::adt

@@ -68,14 +68,6 @@ class ObjectSerializer {
   /// Serialized size without emitting (block sizing).
   StatusOr<size_t> byte_size(ObjectRef ref) const;
 
-  /// Deprecated unchecked entry points (pre-ObjectRef API).
-  Status serialize(uint32_t class_index, const void* base, Bytes& out) const {
-    return serialize(ObjectRef(class_index, base), out);
-  }
-  StatusOr<size_t> byte_size(uint32_t class_index, const void* base) const {
-    return byte_size(ObjectRef(class_index, base));
-  }
-
  private:
   Status serialize_impl(const ClassEntry& cls, const std::byte* base, Bytes& out,
                         int depth) const;

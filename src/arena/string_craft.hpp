@@ -89,7 +89,7 @@ StatusOr<std::string_view> read_crafted_string(const void* src, StdLibFlavor fla
 /// default-instance SSO buffer living in static storage) are left alone.
 /// SSO strings need this too: their data pointer refers to the instance's
 /// own buffer, which moved with the slice. libc++ short strings carry no
-/// pointer and are untouched. Used by the decode-pool handoff, where a
+/// pointer and are untouched. Used by the codec-pool handoff, where a
 /// worker deserializes into a private scratch arena and the lane poller
 /// later memcpys the finished slice into the RDMA send block.
 void relocate_crafted_string(void* rep, StdLibFlavor flavor,

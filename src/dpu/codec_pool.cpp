@@ -1,4 +1,4 @@
-#include "dpu/decode_pool.hpp"
+#include "dpu/codec_pool.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -28,9 +28,11 @@ ScratchSlice ScratchSlice::allocate(size_t bytes) {
   return s;
 }
 
-DecodePool::DecodePool(const adt::ArenaDeserializer* deserializer, size_t lanes,
-                       Options options, std::function<void(size_t)> on_complete)
+CodecPool::CodecPool(const adt::ArenaDeserializer* deserializer,
+                     const adt::ObjectSerializer* serializer, size_t lanes,
+                     Options options, std::function<void(size_t)> on_complete)
     : deserializer_(deserializer),
+      serializer_(serializer),
       options_(options),
       on_complete_(std::move(on_complete)) {
   int workers = options_.workers > 0 ? options_.workers : DeviceInfo::current().cores;
@@ -43,30 +45,34 @@ DecodePool::DecodePool(const adt::ArenaDeserializer* deserializer, size_t lanes,
   for (int w = 0; w < workers; ++w) workers_.push_back(std::make_unique<Worker>());
   handoffs_ = &metrics::default_counter(
       "dpurpc_decode_handoffs_total",
-      "Decode jobs handed from poller lanes to the decode pool");
+      "Decode jobs handed from poller lanes to the codec pool");
+  encode_handoffs_ = &metrics::default_counter(
+      "dpurpc_encode_handoffs_total",
+      "Encode jobs handed from poller lanes to the codec pool");
   steals_ = &metrics::default_counter(
       "dpurpc_decode_steals_total",
-      "Decode jobs an idle worker popped from a foreign lane's ring");
+      "Codec jobs an idle worker popped from a foreign lane's ring");
 }
 
-DecodePool::DecodePool(const adt::ArenaDeserializer* deserializer, size_t lanes)
-    : DecodePool(deserializer, lanes, Options{}) {}
+CodecPool::CodecPool(const adt::ArenaDeserializer* deserializer,
+                     const adt::ObjectSerializer* serializer, size_t lanes)
+    : CodecPool(deserializer, serializer, lanes, Options{}) {}
 
-DecodePool::~DecodePool() { stop(); }
+CodecPool::~CodecPool() { stop(); }
 
-void DecodePool::start() {
+void CodecPool::start() {
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) return;
   for (size_t w = 0; w < workers_.size(); ++w) {
     workers_[w]->depth_gauge = &metrics::default_gauge(
         "dpurpc_decode_worker_queue_depth",
-        "Jobs waiting in a decode worker's home-lane submit rings",
+        "Jobs waiting in a codec worker's home-lane submit rings",
         {{"worker", std::to_string(w)}});
     workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
   }
 }
 
-void DecodePool::stop() {
+void CodecPool::stop() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   {
@@ -78,12 +84,14 @@ void DecodePool::stop() {
   }
 }
 
-bool DecodePool::submit(size_t lane, DecodeJob& job) {
+bool CodecPool::submit(size_t lane, CodecJob& job) {
   if (lane >= lanes_.size() || stopping_.load(std::memory_order_acquire)) return false;
+  if (job.kind == JobKind::kEncode && serializer_ == nullptr) return false;
+  const JobKind kind = job.kind;
   if (!lanes_[lane]->submit.try_push(std::move(job))) return false;
-  handoffs_->inc();
+  (kind == JobKind::kEncode ? encode_handoffs_ : handoffs_)->inc();
   // Only pay for the wakeup when someone is (or is about to be) parked;
-  // the steady-state submit path is the ring push plus one relaxed load.
+  // the steady-state submit path is the ring push plus one seq_cst load.
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     lockdep::ScopedLock lk(wake_mu_);
     wake_cv_.notify_all();
@@ -91,35 +99,37 @@ bool DecodePool::submit(size_t lane, DecodeJob& job) {
   return true;
 }
 
-bool DecodePool::try_pop_result(size_t lane, DecodeResult& out) {
+bool CodecPool::try_pop_result(size_t lane, CodecResult& out) {
   if (lane >= lanes_.size()) return false;
   return lanes_[lane]->complete.try_pop(out);
 }
 
-DecodePool::WorkerStats DecodePool::worker_stats(size_t w) const {
+CodecPool::WorkerStats CodecPool::worker_stats(size_t w) const {
   WorkerStats s;
   if (w >= workers_.size()) return s;
   const Worker& wk = *workers_[w];
   s.jobs = wk.jobs.load(std::memory_order_relaxed);
+  s.encodes = wk.encodes.load(std::memory_order_relaxed);
   s.steals = wk.steals.load(std::memory_order_relaxed);
   s.failures = wk.failures.load(std::memory_order_relaxed);
   s.bytes_decoded = wk.bytes_decoded.load(std::memory_order_relaxed);
+  s.bytes_encoded = wk.bytes_encoded.load(std::memory_order_relaxed);
   s.busy_ns = wk.busy_ns.load(std::memory_order_relaxed);
   s.scaled_busy_ns = wk.scaled_busy_ns.load(std::memory_order_relaxed);
   return s;
 }
 
-uint64_t DecodePool::total_jobs() const noexcept {
+uint64_t CodecPool::total_jobs() const noexcept {
   uint64_t total = 0;
   for (const auto& w : workers_) total += w->jobs.load(std::memory_order_relaxed);
   return total;
 }
 
-size_t DecodePool::lane_queue_depth(size_t lane) const noexcept {
+size_t CodecPool::lane_queue_depth(size_t lane) const noexcept {
   return lane < lanes_.size() ? lanes_[lane]->submit.approx_size() : 0;
 }
 
-bool DecodePool::any_pending(size_t w) const noexcept {
+bool CodecPool::any_pending(size_t w) const noexcept {
   if (options_.steal) {
     for (const auto& lane : lanes_) {
       if (lane->submit.approx_size() > 0) return true;
@@ -132,7 +142,7 @@ bool DecodePool::any_pending(size_t w) const noexcept {
   return false;
 }
 
-void DecodePool::worker_loop(size_t w) {
+void CodecPool::worker_loop(size_t w) {
   Worker& me = *workers_[w];
   const size_t nworkers = workers_.size();
   int idle_rounds = 0;
@@ -162,10 +172,10 @@ void DecodePool::worker_loop(size_t w) {
       std::this_thread::yield();
       continue;
     }
-    // Park. sleepers_ is raised before the under-lock re-check so a
+    // Park. sleepers_ is raised before the under-lock re-check, so a
     // submitter that pushed after our scan either makes the re-check see
-    // its job or takes the mutex and lands its notify after our wait
-    // began; the 1ms timeout is a belt-and-suspenders backstop.
+    // its job or observes sleepers_ > 0 and lands its notify after our
+    // wait began; the 1ms timeout is a belt-and-suspenders backstop.
     idle_rounds = 0;
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
@@ -178,18 +188,20 @@ void DecodePool::worker_loop(size_t w) {
   }
 }
 
-bool DecodePool::run_one(size_t w, size_t lane, bool stolen) {
+bool CodecPool::run_one(size_t w, size_t lane, bool stolen) {
   LaneRings& rings = *lanes_[lane];
-  DecodeJob job;
+  CodecJob job;
   if (!rings.submit.try_pop(job)) return false;
-  DecodeResult result = decode(w, std::move(job));
+  CodecResult result = job.kind == JobKind::kEncode ? encode(w, std::move(job))
+                                                    : decode(w, std::move(job));
   if (stolen) {
     workers_[w]->steals.fetch_add(1, std::memory_order_relaxed);
     steals_->inc();
   }
   // The completion ring is sized like the submit ring and callers bound
-  // per-lane outstanding jobs by that capacity, so this push can only
-  // fail transiently (another producer holding the gate) — spin it in.
+  // per-lane outstanding jobs — both kinds combined — by that capacity,
+  // so this push can only fail transiently (another worker holding the
+  // gate): spin it in.
   while (!rings.complete.try_push(std::move(result))) {
     if (stopping_.load(std::memory_order_acquire)) return true;
     std::this_thread::yield();
@@ -198,7 +210,7 @@ bool DecodePool::run_one(size_t w, size_t lane, bool stolen) {
   return true;
 }
 
-DecodeResult DecodePool::decode(size_t w, DecodeJob&& job) {
+CodecResult CodecPool::decode(size_t w, CodecJob&& job) {
   Worker& me = *workers_[w];
   uint64_t t0_wall = 0;
   if (trace::enabled() && job.trace.active()) {
@@ -208,18 +220,19 @@ DecodeResult DecodePool::decode(size_t w, DecodeJob&& job) {
                                      job.submit_ns, t0_wall);
   }
   const uint64_t t0 = ThreadCpuTimer::now();
-  DecodeResult result;
+  CodecResult result;
+  result.kind = JobKind::kDecode;
   result.cookie = job.cookie;
   result.worker = static_cast<uint16_t>(w);
 
   // First attempt sized from the wire (objects inflate: headers, varint
-  // widening, string reps); one retry at the cap on arena exhaustion —
-  // the same policy RpcClient applies to block hints.
+  // widening, string reps); one retry at the cap on arena exhaustion.
   size_t cap = std::min(options_.max_slice_bytes, job.wire.size() * 8 + 1024);
   for (;;) {
     ScratchSlice slice = ScratchSlice::allocate(cap);
     if (!slice) {
       result.status = Status(Code::kResourceExhausted, "decode scratch allocation failed");
+      me.failures.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     arena::Arena scratch(slice.data(), slice.capacity());
@@ -259,6 +272,65 @@ DecodeResult DecodePool::decode(size_t w, DecodeJob&& job) {
   me.scaled_busy_ns.fetch_add(
       static_cast<uint64_t>(options_.cost_model.scale_ns(
           Processor::kDpu, options_.workload, static_cast<double>(ns))),
+      std::memory_order_relaxed);
+  return result;
+}
+
+CodecResult CodecPool::encode(size_t w, CodecJob&& job) {
+  Worker& me = *workers_[w];
+  uint64_t t0_wall = 0;
+  if (trace::enabled() && job.trace.active()) {
+    t0_wall = WallTimer::now();
+    // Submit-to-pickup wait in the lane's handoff ring. The submit stamp
+    // is taken before the poller copies the response object out of the
+    // receive block, so this span also absorbs that copy+relocate — the
+    // timeline keeps tiling with no gap after rdma_outbound.
+    trace::Tracer::instance().record(trace::Stage::kEncodeRingWait, job.trace,
+                                     job.submit_ns, t0_wall);
+  }
+  const uint64_t t0 = ThreadCpuTimer::now();
+  CodecResult result;
+  result.kind = JobKind::kEncode;
+  result.cookie = job.cookie;
+  result.worker = static_cast<uint16_t>(w);
+
+  if (serializer_ == nullptr) {
+    result.status = Status(Code::kFailedPrecondition, "pool has no serializer");
+    me.failures.fetch_add(1, std::memory_order_relaxed);
+  } else if (!job.object || job.obj_offset >= job.object.capacity()) {
+    result.status = Status(Code::kInvalidArgument, "encode job carries no object");
+    me.failures.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Size walk + emit fused in one serialize() call (the compiled plan
+    // caches body sizes from the size pass for the emit pass, DESIGN.md
+    // §3.13), into the per-worker scratch whose capacity persists.
+    Bytes& scratch = me.encode_scratch;
+    scratch.clear();
+    adt::ObjectRef ref(job.class_index, job.object.data() + job.obj_offset);
+    Status st = serializer_->serialize(ref, scratch);
+    if (st.is_ok()) {
+      // Exactly-sized handoff copy: the consumer owns bytes it can keep
+      // past this worker's next job; the scratch keeps its capacity.
+      result.wire.assign(scratch.begin(), scratch.end());
+    } else {
+      result.status = st;
+      me.failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const uint64_t ns = ThreadCpuTimer::now() - t0;
+  if (t0_wall != 0) {
+    trace::Tracer::instance().record(trace::Stage::kWorkerEncode, job.trace,
+                                     t0_wall, WallTimer::now(),
+                                     result.wire.size());
+  }
+  me.jobs.fetch_add(1, std::memory_order_relaxed);
+  me.encodes.fetch_add(1, std::memory_order_relaxed);
+  me.bytes_encoded.fetch_add(result.wire.size(), std::memory_order_relaxed);
+  me.busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  me.scaled_busy_ns.fetch_add(
+      static_cast<uint64_t>(options_.cost_model.scale_ns(
+          Processor::kDpu, options_.encode_workload, static_cast<double>(ns))),
       std::memory_order_relaxed);
   return result;
 }

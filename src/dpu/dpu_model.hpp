@@ -76,7 +76,7 @@ struct DeviceSpec {
   }
 };
 
-/// What the running "device" actually offers — the knob the decode pool
+/// What the running "device" actually offers — the knob the codec pool
 /// sizes itself from. In this simulated environment it reports the
 /// BlueField-3 core count; DPURPC_DPU_CORES overrides it (bench sweeps,
 /// CI runners with one host core).

@@ -9,11 +9,12 @@
 namespace dpurpc::grpccompat {
 
 namespace {
-// Per-lane cap on decodes out with the pool. Half the pool ring so the
-// completion ring (same capacity) can always absorb every outstanding
-// result even across the ring's power-of-two rounding.
-constexpr size_t kMaxOutstandingDecodes = 128;
-constexpr size_t kDecodeRingCapacity = 256;
+// Per-lane cap on jobs out with the pool, decode and encode combined.
+// Half the pool ring so the completion ring (same capacity) can always
+// absorb every outstanding result even across the ring's power-of-two
+// rounding.
+constexpr size_t kMaxOutstandingJobs = 128;
+constexpr size_t kCodecRingCapacity = 256;
 }  // namespace
 
 DpuProxy::DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
@@ -22,19 +23,19 @@ DpuProxy::DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
 
 DpuProxy::DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
                    const OffloadManifest* manifest, adt::CodecOptions options,
-                   int decode_workers)
+                   int codec_workers)
     : manifest_(manifest),
       deserializer_(&manifest->adt(), options),
       serializer_(&manifest->adt(), options) {
   for (auto* conn : conns) {
     lanes_.push_back(std::make_unique<Lane>(conn, lanes_.size()));
   }
-  dpu::DecodePool::Options pool_options;
-  pool_options.workers = decode_workers;
-  pool_options.ring_capacity = kDecodeRingCapacity;
+  dpu::CodecPool::Options pool_options;
+  pool_options.workers = codec_workers;
+  pool_options.ring_capacity = kCodecRingCapacity;
   pool_options.max_slice_bytes = rdmarpc::kMaxPayloadSize;
-  pool_ = std::make_unique<dpu::DecodePool>(
-      &deserializer_, lanes_.size(), pool_options,
+  pool_ = std::make_unique<dpu::CodecPool>(
+      &deserializer_, &serializer_, lanes_.size(), pool_options,
       // Completion wakeup: runs on the worker thread; interrupt() kicks
       // the lane poller out of conn->wait().
       [this](size_t lane) { lanes_[lane]->conn->interrupt(); });
@@ -89,7 +90,7 @@ void DpuProxy::stop() {
   for (auto& lane : lanes_) {
     if (lane->thread.joinable()) lane->thread.join();
   }
-  // After the pollers: workers may be mid-decode until here, and their
+  // After the pollers: workers may be mid-job until here, and their
   // completion pushes bail out once the pool's stop flag is up. Results
   // still in the rings are freed with the pool; their calls were already
   // failed out by fail_pending on poller exit.
@@ -104,14 +105,14 @@ Status DpuProxy::submit_decode(Lane& lane, PendingCall call) {
                                      call.enqueue_ns, now);
     call.enqueue_ns = now;  // decode-ring wait starts where the queue ended
   }
-  dpu::DecodeJob job;
+  dpu::CodecJob job;
+  job.kind = dpu::JobKind::kDecode;
   job.class_index = call.method->input_class;
   job.cookie = ++lane.next_cookie;
   job.wire = std::move(call.payload);
   job.trace = call.trace;
   job.submit_ns = call.enqueue_ns;
-  if (lane.outstanding < kMaxOutstandingDecodes &&
-      pool_->submit(lane.index, job)) {
+  if (lane.outstanding < kMaxOutstandingJobs && pool_->submit(lane.index, job)) {
     lane.pending.emplace(
         job.cookie,
         PendingDecode{call.method, std::move(call.respond), call.trace});
@@ -125,7 +126,110 @@ Status DpuProxy::submit_decode(Lane& lane, PendingCall call) {
   return forward(lane, std::move(call));
 }
 
-Status DpuProxy::forward_decoded(Lane& lane, dpu::DecodeResult result) {
+void DpuProxy::complete_response(
+    Lane& lane, const std::shared_ptr<xrpc::Server::Responder>& respond,
+    const trace::TraceContext& tctx, const Status& result,
+    const rdmarpc::InMessage& resp) {
+  uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
+  stats_.responses_forwarded.fetch_add(1, std::memory_order_relaxed);
+  // kComplete is recorded BEFORE the responder writes the reply socket:
+  // the instant the client sees the response it records the root span and
+  // the collector may finalize the tree, so every server-side span must
+  // already be in its thread's ring by then. The write itself is covered
+  // client-side by kXrpcOutbound (which starts at the responder's send
+  // stamp).
+  auto complete_span = [&] {
+    if (tctx.active()) {
+      trace::Tracer::instance().record(trace::Stage::kComplete, tctx, t0,
+                                       WallTimer::now());
+    }
+  };
+  if (!result.is_ok()) {
+    complete_span();
+    (*respond)(result.code(), {});
+  } else if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
+    // Offloaded response: the host handed back an object, not bytes.
+    // Serialize it on the codec pool; the receive block is acked the
+    // moment this continuation returns, so the object is copied out into
+    // an owned slice first (inside submit_encode). kComplete for this
+    // reply is recorded by finish_encoded; t0 doubles as the encode
+    // ring-wait start so the copy-out is accounted, not hidden.
+    if (submit_encode(lane, respond, tctx, resp, t0)) return;
+    // Budget/ring full: serialize on the lane thread — the pre-offload
+    // behavior, bit-identical bytes.
+    stats_.inline_serializes.fetch_add(1, std::memory_order_relaxed);
+    Bytes wire;
+    Status st = serializer_.serialize(
+        adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
+    complete_span();
+    (*respond)(st.is_ok() ? Code::kOk : st.code(), ByteSpan(wire));
+  } else {
+    complete_span();
+    (*respond)(Code::kOk, resp.payload);
+  }
+}
+
+bool DpuProxy::submit_encode(
+    Lane& lane, const std::shared_ptr<xrpc::Server::Responder>& respond,
+    const trace::TraceContext& tctx, const rdmarpc::InMessage& resp,
+    uint64_t submit_ns) {
+  if (lane.outstanding >= kMaxOutstandingJobs) return false;
+  const size_t bytes = resp.payload.size();
+  dpu::ScratchSlice slice = dpu::ScratchSlice::allocate(bytes);
+  if (!slice) return false;
+  // The response tree occupies [payload_addr, payload_addr + size) with
+  // its root at offset 0 (rdmarpc's in-place commit guarantees it), and
+  // its pointers are receiver-local. Copy + rebase with publish delta ==
+  // move delta makes the copy fully local to the slice — serializable
+  // from any thread, any time.
+  std::memcpy(slice.data(), resp.payload_addr, bytes);
+  adt::ArenaDeserializer::SliceRelocation rel;
+  rel.old_begin = resp.payload_addr;
+  rel.old_end = resp.payload_addr + bytes;
+  rel.move_delta = slice.data() - resp.payload_addr;
+  rel.publish_delta = rel.move_delta;
+  deserializer_.relocate(resp.header.aux, slice.data(), rel);
+
+  dpu::CodecJob job;
+  job.kind = dpu::JobKind::kEncode;
+  job.class_index = resp.header.aux;
+  job.cookie = ++lane.next_cookie;
+  job.object = std::move(slice);
+  job.object_used = static_cast<uint32_t>(bytes);
+  job.obj_offset = 0;
+  job.trace = tctx;
+  job.submit_ns = submit_ns;
+  if (!pool_->submit(lane.index, job)) return false;
+  lane.pending_encodes.emplace(job.cookie, PendingEncode{respond, tctx});
+  ++lane.outstanding;
+  return true;
+}
+
+void DpuProxy::finish_encoded(Lane& lane, dpu::CodecResult result) {
+  uint64_t t0 = WallTimer::now();
+  auto it = lane.pending_encodes.find(result.cookie);
+  if (it == lane.pending_encodes.end()) return;  // failed out already
+  PendingEncode pending = std::move(it->second);
+  lane.pending_encodes.erase(it);
+  --lane.outstanding;
+
+  if (pending.trace.active()) {
+    // Completion-ring pop + pending-map retirement for a pool-serialized
+    // reply. Recorded before the responder write for the same reason as
+    // complete_response: once the client observes the reply, the tree may
+    // finalize.
+    trace::Tracer::instance().record(trace::Stage::kComplete, pending.trace,
+                                     t0, WallTimer::now());
+  }
+  if (result.status.is_ok()) {
+    stats_.offloaded_responses.fetch_add(1, std::memory_order_relaxed);
+    (*pending.respond)(Code::kOk, ByteSpan(result.wire));
+  } else {
+    (*pending.respond)(result.status.code(), {});
+  }
+}
+
+Status DpuProxy::forward_decoded(Lane& lane, dpu::CodecResult result) {
   auto it = lane.pending.find(result.cookie);
   if (it == lane.pending.end()) return Status::ok();  // failed out already
   PendingDecode pending = std::move(it->second);
@@ -142,7 +246,6 @@ Status DpuProxy::forward_decoded(Lane& lane, dpu::DecodeResult result) {
 
   const MethodEntry* entry = pending.method;
   auto respond = std::make_shared<xrpc::Server::Responder>(std::move(pending.respond));
-  auto* stats = &stats_;
   trace::TraceContext tctx = pending.trace;
 
   for (int attempt = 0;; ++attempt) {
@@ -172,26 +275,9 @@ Status DpuProxy::forward_decoded(Lane& lane, dpu::DecodeResult result) {
                                  rel);
           return static_cast<uint32_t>(arena.used());
         },
-        [this, respond, stats, tctx](const Status& rpc_result,
-                                     const rdmarpc::InMessage& resp) {
-          uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
-          stats->responses_forwarded.fetch_add(1, std::memory_order_relaxed);
-          if (!rpc_result.is_ok()) {
-            (*respond)(rpc_result.code(), {});
-          } else if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
-            Bytes wire;
-            Status st2 = serializer_.serialize(
-                adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
-            (*respond)(st2.is_ok() ? Code::kOk : st2.code(), ByteSpan(wire));
-          } else {
-            (*respond)(Code::kOk, resp.payload);
-          }
-          if (tctx.active()) {
-            // Response serialization + the xRPC response write, error
-            // paths included — the trace must see failures too.
-            trace::Tracer::instance().record(trace::Stage::kComplete, tctx, t0,
-                                             WallTimer::now());
-          }
+        [this, lane = &lane, respond, tctx](const Status& rpc_result,
+                                            const rdmarpc::InMessage& resp) {
+          complete_response(*lane, respond, tctx, rpc_result, resp);
         },
         tctx);
     if (st.is_ok()) {
@@ -219,7 +305,6 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
 
   auto respond = std::make_shared<xrpc::Server::Responder>(std::move(call.respond));
   Bytes payload = std::move(call.payload);
-  auto* stats = &stats_;
   trace::TraceContext tctx = call.trace;
 
   for (int attempt = 0;; ++attempt) {
@@ -236,25 +321,10 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
         },
         // Continuation: the copy-path response is already serialized by
         // the host; an offloaded response (kFlagInPlaceObject) arrives as
-        // an in-place object the DPU serializes here (§III.A extension).
-        [this, respond, stats, tctx](const Status& result,
-                                     const rdmarpc::InMessage& resp) {
-          uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
-          stats->responses_forwarded.fetch_add(1, std::memory_order_relaxed);
-          if (!result.is_ok()) {
-            (*respond)(result.code(), {});
-          } else if ((resp.header.flags & rdmarpc::kFlagInPlaceObject) != 0) {
-            Bytes wire;
-            Status st2 = serializer_.serialize(
-                adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
-            (*respond)(st2.is_ok() ? Code::kOk : st2.code(), ByteSpan(wire));
-          } else {
-            (*respond)(Code::kOk, resp.payload);
-          }
-          if (tctx.active()) {
-            trace::Tracer::instance().record(trace::Stage::kComplete, tctx, t0,
-                                             WallTimer::now());
-          }
+        // an in-place object the codec pool serializes (§III.A extension).
+        [this, lane = &lane, respond, tctx](const Status& rpc_result,
+                                            const rdmarpc::InMessage& resp) {
+          complete_response(*lane, respond, tctx, rpc_result, resp);
         },
         tctx);
     if (st.is_ok()) {
@@ -281,27 +351,32 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
 }
 
 void DpuProxy::fail_pending(Lane& lane) {
-  // Discard any results the pool already finished (their slices free with
-  // the ring entries), then fail every call still waiting on a decode.
-  dpu::DecodeResult result;
+  // Discard any results the pool already finished (their slices/bytes free
+  // with the ring entries), then fail every call still waiting on a job.
+  dpu::CodecResult result;
   while (pool_->try_pop_result(lane.index, result)) {
     lane.pending.erase(result.cookie);
+    lane.pending_encodes.erase(result.cookie);
   }
   for (auto& [cookie, pending] : lane.pending) {
     pending.respond(Code::kUnavailable, {});
   }
   lane.pending.clear();
+  for (auto& [cookie, pending] : lane.pending_encodes) {
+    (*pending.respond)(Code::kUnavailable, {});
+  }
+  lane.pending_encodes.clear();
   lane.outstanding = 0;
 }
 
 void DpuProxy::poller_loop(Lane& lane) {
   // §IV: "the user is responsible for queueing enough requests to fill a
   // block before calling the event loop update function" — drain whatever
-  // is queued into the decode pool, ship finished decodes, run one loop
-  // turn, then block briefly when idle.
+  // is queued into the codec pool, ship finished jobs, run one loop turn,
+  // then block briefly when idle.
   while (!stopping_.load(std::memory_order_relaxed)) {
     bool did_work = false;
-    while (lane.outstanding < kMaxOutstandingDecodes) {
+    while (lane.outstanding < kMaxOutstandingJobs) {
       auto call = lane.queue.try_pop();
       if (!call.has_value()) break;
       did_work = true;
@@ -313,9 +388,13 @@ void DpuProxy::poller_loop(Lane& lane) {
         return;
       }
     }
-    dpu::DecodeResult result;
+    dpu::CodecResult result;
     while (pool_->try_pop_result(lane.index, result)) {
       did_work = true;
+      if (result.kind == dpu::JobKind::kEncode) {
+        finish_encoded(lane, std::move(result));
+        continue;
+      }
       Status st = forward_decoded(lane, std::move(result));
       if (!st.is_ok()) {
         stopping_.store(true, std::memory_order_relaxed);
@@ -331,7 +410,7 @@ void DpuProxy::poller_loop(Lane& lane) {
     if (*pumped > 0) did_work = true;
     if (!did_work) {
       // Blocking wait (poll()-style, §III.C) instead of busy-polling;
-      // decode completions interrupt() us out of it.
+      // codec completions interrupt() us out of it.
       lane.conn->wait(1);
       if (lane.queue.size() == 0 && lane.client.in_flight() == 0 &&
           lane.outstanding == 0) {

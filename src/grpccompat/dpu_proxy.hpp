@@ -1,21 +1,28 @@
-// The DPU-side proxy: terminates xRPC and offloads deserialization.
+// The DPU-side proxy: terminates xRPC and offloads the codec, both ways.
 //
 // This is the middle-man of Fig. 1. It runs the xRPC server (so xRPC
 // clients only change the address they dial, §III.A), deserializes each
 // request's protobuf payload into the RPC over RDMA send block — emitting
 // pointers in the host's address space — and forwards it. The host's
-// business logic replies through the compat layer; the proxy wraps the
-// (possibly still-object, see ObjectSerializer) response back into an
-// xRPC response.
+// business logic replies either with serialized bytes (carried through
+// unchanged) or with an in-place response *object* (kFlagInPlaceObject),
+// which the proxy serializes on the DPU so the host pays zero codec cost
+// in either direction.
 //
-// Threading (§III.C + lane sharding, DESIGN.md §3.14): one poller thread
-// (lane) per RDMA connection owns that connection's RpcClient and event
-// loop; xRPC reader threads enqueue work round-robin across lanes. Decode
-// itself is sharded off the lanes onto a DecodePool sized from the DPU
-// core count: the poller hands the wire bytes to the pool through a
-// per-lane ring, the worker decodes into a private fully-local scratch
-// slice, and the poller memcpys the finished slice into the send block
-// and relocates its pointers into host space. A lane whose decodes are
+// Threading (§III.C + lane sharding, DESIGN.md §3.14/§3.16): one poller
+// thread (lane) per RDMA connection owns that connection's RpcClient and
+// event loop; xRPC reader threads enqueue work round-robin across lanes.
+// The codec itself is sharded off the lanes onto a full-duplex CodecPool
+// sized from the DPU core count. Request direction: the poller hands the
+// wire bytes to the pool through a per-lane ring, the worker decodes into
+// a private fully-local scratch slice, and the poller memcpys the
+// finished slice into the send block and relocates its pointers into host
+// space. Response direction: when the host answers with an in-place
+// object, the poller copies the object out of the receive block into a
+// fully-local slice (the block is acked as soon as the continuation
+// returns), hands it to the pool as an encode descriptor, and a worker
+// runs the compiled serialize plan; the poller then only has to hand the
+// finished wire bytes to the xRPC responder. A lane whose codec work is
 // slow therefore queues against the pool, not against its siblings, and
 // idle workers steal the backlog.
 #pragma once
@@ -29,7 +36,7 @@
 #include "adt/arena_deserializer.hpp"
 #include "adt/object_codec.hpp"
 #include "common/bounded_queue.hpp"
-#include "dpu/decode_pool.hpp"
+#include "dpu/codec_pool.hpp"
 #include "grpccompat/manifest.hpp"
 #include "rdmarpc/client.hpp"
 #include "trace/trace.hpp"
@@ -44,6 +51,11 @@ struct DpuProxyStats {
   /// Requests decoded on the lane thread because the pool ring was full
   /// (overload spill; the pre-sharding behavior).
   std::atomic<uint64_t> inline_decodes{0};
+  /// In-place object responses serialized by the codec pool.
+  std::atomic<uint64_t> offloaded_responses{0};
+  /// In-place object responses serialized on the lane thread because the
+  /// pool ring (or the per-lane outstanding budget) was full.
+  std::atomic<uint64_t> inline_serializes{0};
 };
 
 class DpuProxy {
@@ -54,15 +66,15 @@ class DpuProxy {
 
   /// Multi-connection proxy: one dedicated poller thread per connection
   /// (§III.C); incoming xRPC calls are distributed round-robin.
-  /// `decode_workers` sizes the decode pool: 0 → dpu::DeviceInfo cores
+  /// `codec_workers` sizes the codec pool: 0 → dpu::DeviceInfo cores
   /// (DPURPC_DPU_CORES overrides), clamped to the lane count.
   DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
            const OffloadManifest* manifest, adt::CodecOptions options = {},
-           int decode_workers = 0);
+           int codec_workers = 0);
 
   ~DpuProxy();
 
-  /// Start the xRPC server, the decode pool, and the poller lanes.
+  /// Start the xRPC server, the codec pool, and the poller lanes.
   /// Returns the TCP port xRPC clients should dial (the "DPU's address").
   StatusOr<uint16_t> start();
   void stop();
@@ -78,8 +90,8 @@ class DpuProxy {
                ? lanes_[i]->forwarded.load(std::memory_order_relaxed)
                : 0;
   }
-  /// The decode pool (per-worker stats; see DecodePool::worker_stats).
-  const dpu::DecodePool& decode_pool() const noexcept { return *pool_; }
+  /// The codec pool (per-worker stats; see CodecPool::worker_stats).
+  const dpu::CodecPool& codec_pool() const noexcept { return *pool_; }
 
  private:
   struct PendingCall {
@@ -91,10 +103,18 @@ class DpuProxy {
     trace::TraceContext trace;
     uint64_t enqueue_ns = 0;
   };
-  /// A call whose payload is out with the decode pool; keyed by cookie.
+  /// A call whose payload is out with the codec pool's decode direction;
+  /// keyed by cookie.
   struct PendingDecode {
     const MethodEntry* method;
     xrpc::Server::Responder respond;
+    trace::TraceContext trace;
+  };
+  /// A reply whose object is out with the codec pool's encode direction;
+  /// keyed by cookie (the cookie space is shared with decodes but the
+  /// maps are separate, so no collision is possible).
+  struct PendingEncode {
+    std::shared_ptr<xrpc::Server::Responder> respond;
     trace::TraceContext trace;
   };
 
@@ -108,10 +128,13 @@ class DpuProxy {
     std::thread thread;
     std::atomic<uint64_t> forwarded{0};
     // Poller-thread-only state (submission and completion both happen on
-    // the lane's poller; the pool only sees opaque cookies).
+    // the lane's poller; the pool only sees opaque cookies). `outstanding`
+    // counts both kinds together — the budget that keeps the shared
+    // completion ring drainable.
     uint64_t next_cookie = 0;
     size_t outstanding = 0;
     std::unordered_map<uint64_t, PendingDecode> pending;
+    std::unordered_map<uint64_t, PendingEncode> pending_encodes;
   };
 
   void poller_loop(Lane& lane);
@@ -120,18 +143,34 @@ class DpuProxy {
   Status submit_decode(Lane& lane, PendingCall call);
   /// Ship a pool-decoded slice: copy into the send block, relocate its
   /// pointers to host space, and fire the RPC.
-  Status forward_decoded(Lane& lane, dpu::DecodeResult result);
+  Status forward_decoded(Lane& lane, dpu::CodecResult result);
   /// Pre-sharding inline path; kept as the overload spill and the
   /// decode-error short-circuit.
   Status forward(Lane& lane, PendingCall call);
-  /// Fail every call still waiting on a decode (shutdown/teardown).
+  /// Shared RPC continuation tail: error → error reply; in-place object →
+  /// encode offload (inline-serialize spill); bytes → pass through.
+  void complete_response(Lane& lane,
+                         const std::shared_ptr<xrpc::Server::Responder>& respond,
+                         const trace::TraceContext& tctx, const Status& result,
+                         const rdmarpc::InMessage& resp);
+  /// Copy an in-place response object out of the receive block into a
+  /// fully-local slice and hand it to the pool as an encode job. False
+  /// when the job could not be submitted (budget/ring full, copy failed):
+  /// the caller serializes inline.
+  bool submit_encode(Lane& lane,
+                     const std::shared_ptr<xrpc::Server::Responder>& respond,
+                     const trace::TraceContext& tctx,
+                     const rdmarpc::InMessage& resp, uint64_t submit_ns);
+  /// Deliver a pool-serialized reply to its xRPC responder.
+  void finish_encoded(Lane& lane, dpu::CodecResult result);
+  /// Fail every call still waiting on a pool job (shutdown/teardown).
   void fail_pending(Lane& lane);
 
   const OffloadManifest* manifest_;
   adt::ArenaDeserializer deserializer_;
   adt::ObjectSerializer serializer_;
   std::vector<std::unique_ptr<Lane>> lanes_;
-  std::unique_ptr<dpu::DecodePool> pool_;
+  std::unique_ptr<dpu::CodecPool> pool_;
   std::atomic<uint64_t> next_lane_{0};
   std::unique_ptr<xrpc::Server> xrpc_server_;
   std::atomic<bool> stopping_{false};

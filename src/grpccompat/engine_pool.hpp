@@ -21,9 +21,12 @@ class HostEnginePool {
   /// constructed with `poller().shared_channel()` so one thread can sleep
   /// on all of them; use several ServerPollers to shard across threads.
   HostEnginePool(const std::vector<rdmarpc::Connection*>& connections,
-                 const OffloadManifest* manifest, const proto::DescriptorPool* pool) {
+                 const OffloadManifest* manifest, const proto::DescriptorPool* pool,
+                 adt::CodecOptions options = {},
+                 bool offload_object_responses = true) {
     for (auto* conn : connections) {
-      engines_.push_back(std::make_unique<HostEngine>(conn, manifest, pool));
+      engines_.push_back(std::make_unique<HostEngine>(
+          conn, manifest, pool, options, offload_object_responses));
       poller_.add(&engines_.back()->rpc_server());
     }
   }
@@ -41,6 +44,14 @@ class HostEnginePool {
                                  HostEngine::InPlaceMethod method) {
     for (auto& e : engines_) {
       DPURPC_RETURN_IF_ERROR(e->register_method_inplace(full_name, method));
+    }
+    return Status::ok();
+  }
+
+  Status register_method_object(std::string_view full_name,
+                                HostEngine::InPlaceMethod method) {
+    for (auto& e : engines_) {
+      DPURPC_RETURN_IF_ERROR(e->register_method_object(full_name, method));
     }
     return Status::ok();
   }

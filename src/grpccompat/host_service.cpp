@@ -1,20 +1,33 @@
 #include "grpccompat/host_service.hpp"
 
+#include <cstring>
+
 namespace dpurpc::grpccompat {
 
 namespace {
 /// Scratch-arena capacity for register_method_object responses; matches
 /// the largest payload the RPC over RDMA layer will carry anyway.
 constexpr size_t kObjectScratchCapacity = 1u << 20;
+
+/// Per-thread build scratch: object handlers may run under any thread
+/// that pumps an engine's event loop (bench pools drive several engines
+/// concurrently), so the scratch must be per invocation thread, not per
+/// engine. Reset by each handler before use; capacity persists.
+arena::OwningArena& object_scratch() {
+  static thread_local arena::OwningArena scratch(kObjectScratchCapacity);
+  return scratch;
+}
 }  // namespace
 
 HostEngine::HostEngine(rdmarpc::Connection* conn, const OffloadManifest* manifest,
-                       const proto::DescriptorPool* pool, adt::CodecOptions options)
+                       const proto::DescriptorPool* pool, adt::CodecOptions options,
+                       bool offload_object_responses)
     : server_(conn),
       manifest_(manifest),
       pool_(pool),
       serializer_(&manifest->adt(), options),
-      scratch_(std::make_unique<arena::OwningArena>(kObjectScratchCapacity)) {}
+      deserializer_(&manifest->adt(), options),
+      offload_object_responses_(offload_object_responses) {}
 
 Status HostEngine::register_method(std::string_view full_name, Method method) {
   const MethodEntry* entry = manifest_->find_by_name(full_name);
@@ -95,22 +108,73 @@ Status HostEngine::register_method_object(std::string_view full_name,
   uint32_t input_class = entry->input_class;
   uint32_t output_class = entry->output_class;
 
-  server_.register_handler(
+  if (!offload_object_responses_) {
+    // Host-serialize baseline: build in per-thread scratch, run the
+    // compiled serialize plan here, reply with bytes.
+    server_.register_handler(
+        entry->method_id,
+        [this, method = std::move(method), input_class, output_class](
+            const rdmarpc::RequestView& req, Bytes& response_bytes) -> Status {
+          if (req.object == nullptr || req.class_index != input_class) {
+            return Status(Code::kInvalidArgument, "bad in-place request");
+          }
+          adt::LayoutView request(&manifest_->adt(), input_class, req.object);
+          arena::OwningArena& scratch = object_scratch();
+          scratch.reset();
+          auto response = adt::LayoutBuilder::create(&manifest_->adt(),
+                                                     output_class, &scratch);
+          if (!response.is_ok()) return response.status();
+          ServerContext ctx;
+          DPURPC_RETURN_IF_ERROR(method(ctx, request, *response));
+          // Host-side planned serialization: the builder *is* the object.
+          return serializer_.serialize(adt::ObjectRef(*response), response_bytes);
+        });
+    return Status::ok();
+  }
+
+  // Offloaded (default): the handler builds into per-thread scratch with
+  // local pointers; the engine then copies the finished tree into the
+  // send block, rebasing every pointer into the peer's address space, and
+  // the DPU's codec pool serializes it. The host touches no wire bytes.
+  server_.register_inplace_handler(
       entry->method_id,
       [this, method = std::move(method), input_class, output_class](
-          const rdmarpc::RequestView& req, Bytes& response_bytes) -> Status {
+          const rdmarpc::RequestView& req, arena::Arena& response_arena,
+          const arena::AddressTranslator& xlate, uint32_t* payload_size,
+          uint16_t* class_index) -> Status {
         if (req.object == nullptr || req.class_index != input_class) {
           return Status(Code::kInvalidArgument, "bad in-place request");
         }
         adt::LayoutView request(&manifest_->adt(), input_class, req.object);
-        scratch_->reset();
-        auto response = adt::LayoutBuilder::create(&manifest_->adt(), output_class,
-                                                   scratch_.get());
+        arena::OwningArena& scratch = object_scratch();
+        scratch.reset();
+        auto response = adt::LayoutBuilder::create(&manifest_->adt(),
+                                                   output_class, &scratch);
         if (!response.is_ok()) return response.status();
         ServerContext ctx;
         DPURPC_RETURN_IF_ERROR(method(ctx, request, *response));
-        // Host-side planned serialization: the builder *is* the object.
-        return serializer_.serialize(adt::ObjectRef(*response), response_bytes);
+        if (static_cast<std::byte*>(response->object()) != scratch.base()) {
+          // The receiver resolves the root at payload offset 0; the
+          // builder's instance is the arena's first allocation, so this
+          // can only fire if that invariant ever breaks.
+          return Status(Code::kInternal, "response root not at scratch base");
+        }
+        const size_t used = scratch.used();
+        void* dst = response_arena.allocate(used, kPayloadAlign);
+        if (dst == nullptr) {
+          return Status(Code::kResourceExhausted,
+                        "send block cannot hold response object");
+        }
+        std::memcpy(dst, scratch.base(), used);
+        adt::ArenaDeserializer::SliceRelocation rel;
+        rel.old_begin = scratch.base();
+        rel.old_end = scratch.base() + used;
+        rel.move_delta = static_cast<std::byte*>(dst) - scratch.base();
+        rel.publish_delta = rel.move_delta + xlate.delta;
+        deserializer_.relocate(output_class, static_cast<std::byte*>(dst), rel);
+        *payload_size = static_cast<uint32_t>(response_arena.used());
+        *class_index = static_cast<uint16_t>(output_class);
+        return Status::ok();
       });
   return Status::ok();
 }

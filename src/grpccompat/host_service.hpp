@@ -11,10 +11,14 @@
 //     serializes it with the reference WireCodec (the paper's baseline:
 //     response serialization not offloaded, §III.A).
 //   * register_method_object   — handler builds the response *object* with
-//     a LayoutBuilder; the host serializes it through the compiled
-//     serialize plan (adt/serialize_plan.hpp) and replies with bytes.
-//   * register_method_inplace  — handler builds the response object into
-//     the RDMA send block; the *DPU* serializes it (§III.A extension).
+//     a LayoutBuilder in per-thread scratch; by default the object is
+//     copied into the RDMA send block and the *DPU* serializes it (host
+//     codec cost ≈ 0 in both directions). With offloading disabled the
+//     host serializes through the compiled plan instead — the middle rung
+//     fig10_roundtrip measures against.
+//   * register_method_inplace  — handler builds the response object
+//     directly into the RDMA send block; the DPU serializes it (§III.A
+//     extension).
 //
 // The gRPC context is mocked as a null pointer, exactly as the paper does
 // (§V.D).
@@ -47,9 +51,14 @@ class HostEngine {
 
   /// `pool` must contain the response message types (same pool the
   /// manifest was built from). `options` governs the engine's own codec
-  /// work (today: the plan serializer behind register_method_object).
+  /// work (the plan serializer and the relocation walk behind
+  /// register_method_object). `offload_object_responses` picks that
+  /// method's response path: true (default) ships the object to the DPU
+  /// for serialization; false serializes on the host — the comparison
+  /// baseline for fig10_roundtrip and the codec-parity tests.
   HostEngine(rdmarpc::Connection* conn, const OffloadManifest* manifest,
-             const proto::DescriptorPool* pool, adt::CodecOptions options = {});
+             const proto::DescriptorPool* pool, adt::CodecOptions options = {},
+             bool offload_object_responses = true);
 
   /// Bind business logic to "pkg.Service/Method". NOT_FOUND if the
   /// manifest does not know the method.
@@ -63,11 +72,13 @@ class HostEngine {
                                              adt::LayoutBuilder& response)>;
   Status register_method_inplace(std::string_view full_name, InPlaceMethod method);
 
-  /// Host-serialized object variant: same handler shape as
-  /// register_method_inplace, but the response object is built into an
-  /// engine-owned scratch arena and serialized *on the host* through the
-  /// compiled serialize plan — the middle rung between the WireCodec
-  /// baseline and full DPU-side response offload.
+  /// Typed-object variant: same handler shape as register_method_inplace,
+  /// but the response object is built into per-thread scratch first —
+  /// handlers never see block-arena backpressure, and the engine is safe
+  /// to drive from multiple threads or engines. The finished object is
+  /// then either copied+relocated into the send block for DPU-side
+  /// serialization (default) or serialized on the host through the
+  /// compiled plan (offload_object_responses = false).
   Status register_method_object(std::string_view full_name, InPlaceMethod method);
 
   /// Pump the underlying RPC over RDMA server (§III.D event loop).
@@ -82,9 +93,9 @@ class HostEngine {
   const OffloadManifest* manifest_;
   const proto::DescriptorPool* pool_;
   adt::ObjectSerializer serializer_;
-  /// Scratch for register_method_object responses; handlers run serially
-  /// on the event loop, so one arena (reset per call) serves them all.
-  std::unique_ptr<arena::OwningArena> scratch_;
+  /// Relocation walks for register_method_object's copy-into-block path.
+  adt::ArenaDeserializer deserializer_;
+  bool offload_object_responses_;
 };
 
 }  // namespace dpurpc::grpccompat

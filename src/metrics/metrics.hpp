@@ -175,7 +175,7 @@ Registry& default_registry();
 /// paths should cache the returned reference (registration takes a lock).
 Counter& default_counter(std::string name, std::string help);
 
-/// Gauge in the default registry, optionally labeled (the decode pool
+/// Gauge in the default registry, optionally labeled (the codec pool
 /// registers one child per worker). Same idempotence/caching rules as
 /// default_counter.
 Gauge& default_gauge(std::string name, std::string help, const Labels& labels = {});

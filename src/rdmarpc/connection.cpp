@@ -77,8 +77,18 @@ StatusOr<std::byte*> Connection::begin_message(uint32_t payload_hint) {
     return Status(Code::kOutOfRange, "payload exceeds protocol limit");
   }
   if (writer_.has_value() && !writer_->can_fit(payload_hint)) {
-    auto flushed = flush();
-    if (!flushed.is_ok()) return flushed.status();
+    if (writer_->empty()) {
+      // flush() has nothing to send for an empty writer, so it would leave
+      // the undersized block in place and the hint would be ignored —
+      // a message larger than the open block could then never be started
+      // (the in-place response path retries with a bigger hint after the
+      // handler's arena runs dry). Replace the block instead.
+      sbuf_alloc_.free(open_block_offset_);
+      writer_.reset();
+    } else {
+      auto flushed = flush();
+      if (!flushed.is_ok()) return flushed.status();
+    }
   }
   if (!writer_.has_value()) {
     // A message larger than the configured block size gets a block of its

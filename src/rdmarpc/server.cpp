@@ -146,7 +146,11 @@ Status RpcServer::write_response_inplace(uint16_t request_id, const RequestView&
     }
     conn_->abort_message();
     if (result.code() == Code::kResourceExhausted && hint < kMaxPayloadSize) {
-      hint = kMaxPayloadSize;  // retry once in a maximum-size block
+      // The handler's arena ran dry: retry in a bigger block. Doubling
+      // (instead of jumping straight to kMaxPayloadSize) keeps oversize
+      // single-message blocks right-sized — a 64 KiB block per response
+      // would exhaust the send buffer under a burst of large replies.
+      hint = std::min(std::max(hint * 2, 4096u), kMaxPayloadSize);
       continue;
     }
     // Handler error: fall back to an error response.

@@ -21,6 +21,8 @@ const char* stage_name(Stage s) noexcept {
     case Stage::kHostSerialize: return "host_serialize";
     case Stage::kRespFlushWait: return "resp_flush_wait";
     case Stage::kRdmaOutbound: return "rdma_outbound";
+    case Stage::kEncodeRingWait: return "encode_ring_wait";
+    case Stage::kWorkerEncode: return "worker_encode";
     case Stage::kComplete: return "complete";
     case Stage::kXrpcOutbound: return "xrpc_outbound";
     case Stage::kSimverbsWrite: return "simverbs_write";

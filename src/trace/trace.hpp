@@ -4,7 +4,8 @@
 // point (the xRPC channel, or a bench driving RpcClient directly) and
 // propagated through every hop of Fig. 1 — the xRPC frame header, the
 // rdmarpc per-message trace prefix (protocol.hpp kFlagTraced), and the
-// DecodePool handoff descriptor — so each stage records one fixed-size
+// CodecPool handoff descriptors (both directions) — so each stage records
+// one fixed-size
 // SpanRecord into its thread's lock-free SPSC ring. The TraceCollector
 // (collector.hpp) drains the rings off the hot path.
 //
@@ -53,7 +54,9 @@ enum class Stage : uint8_t {
   kHostSerialize,     ///< host response serialize + block write
   kRespFlushWait,     ///< response committed, waiting for the response flush
   kRdmaOutbound,      ///< simverbs transfer + client poll wait (response dir)
-  kComplete,          ///< proxy continuation: response serialize + xrpc reply
+  kEncodeRingWait,    ///< response copy-out + waiting in the encode submit ring
+  kWorkerEncode,      ///< encode worker: object tree → wire bytes
+  kComplete,          ///< proxy continuation: finished reply → xrpc responder
   kXrpcOutbound,      ///< xrpc wire (DPU → client)
   kSimverbsWrite,     ///< global (per-block, not per-trace) link transfer
   kStageCount

@@ -134,7 +134,7 @@ TEST(MultiLane, ProxyLanesAndHostPoolServeConcurrently) {
 // multiplex onto a smaller worker pool and stealing kicks in. Verifies
 // the decode ledger balances: every request was decoded exactly once,
 // either by a pool worker or by the lane's inline spill path.
-TEST(MultiLane, DecodePoolShardsAcrossFewerWorkersThanLanes) {
+TEST(MultiLane, CodecPoolShardsAcrossFewerWorkersThanLanes) {
   constexpr size_t kLanes = 4;
   constexpr int kWorkers = 2;  // fewer workers than lanes, deliberately
   constexpr int kClients = 6;
@@ -187,8 +187,8 @@ TEST(MultiLane, DecodePoolShardsAcrossFewerWorkersThanLanes) {
   });
 
   DpuProxy proxy(dpu_ptrs, &*manifest, {}, kWorkers);
-  EXPECT_EQ(proxy.decode_pool().worker_count(), static_cast<size_t>(kWorkers));
-  EXPECT_EQ(proxy.decode_pool().lane_count(), kLanes);
+  EXPECT_EQ(proxy.codec_pool().worker_count(), static_cast<size_t>(kWorkers));
+  EXPECT_EQ(proxy.codec_pool().lane_count(), kLanes);
   auto port = proxy.start();
   ASSERT_TRUE(port.is_ok());
 
@@ -220,16 +220,21 @@ TEST(MultiLane, DecodePoolShardsAcrossFewerWorkersThanLanes) {
   const auto total = static_cast<uint64_t>(kClients) * kCallsEach;
   EXPECT_EQ(ok.load(), static_cast<int>(total));
 
-  // The decode ledger balances: per-worker job counters plus the inline
-  // spill path account for every request exactly once.
-  uint64_t pool_jobs = 0;
-  for (size_t w = 0; w < proxy.decode_pool().worker_count(); ++w) {
-    const auto stats = proxy.decode_pool().worker_stats(w);
+  // The codec ledger balances, both directions: per-worker job counters
+  // plus the inline spill paths account for every request decode and
+  // every in-place reply serialize exactly once.
+  uint64_t pool_jobs = 0, pool_encodes = 0;
+  for (size_t w = 0; w < proxy.codec_pool().worker_count(); ++w) {
+    const auto stats = proxy.codec_pool().worker_stats(w);
     pool_jobs += stats.jobs;
+    pool_encodes += stats.encodes;
     EXPECT_EQ(stats.failures, 0u) << "worker " << w;
   }
-  EXPECT_EQ(pool_jobs, proxy.decode_pool().total_jobs());
-  EXPECT_EQ(pool_jobs + proxy.stats().inline_decodes.load(), total);
+  EXPECT_EQ(pool_jobs, proxy.codec_pool().total_jobs());
+  const uint64_t pool_decodes = pool_jobs - pool_encodes;
+  EXPECT_EQ(pool_decodes + proxy.stats().inline_decodes.load(), total);
+  EXPECT_EQ(pool_encodes + proxy.stats().inline_serializes.load(), total);
+  EXPECT_EQ(pool_encodes, proxy.stats().offloaded_responses.load());
   EXPECT_EQ(proxy.stats().offloaded_requests.load(), total);
 
   // Bounds-safe introspection: an out-of-range lane reads as zero (the

@@ -145,10 +145,8 @@ TEST_F(ObjectCodecFixture, UnknownClassRejected) {
   ObjectSerializer ser(&adt_);
   Bytes out;
   char dummy[64] = {};
-  // Deliberately exercises the deprecated (index, pointer) shims so they
-  // stay compiled; new code passes an ObjectRef.
-  EXPECT_EQ(ser.serialize(999, dummy, out).code(), Code::kNotFound);
-  EXPECT_FALSE(ser.byte_size(999, dummy).is_ok());
+  EXPECT_EQ(ser.serialize(ObjectRef(999, dummy), out).code(), Code::kNotFound);
+  EXPECT_FALSE(ser.byte_size(ObjectRef(999, dummy)).is_ok());
 }
 
 // ------------------------------------------------------- LayoutBuilder

@@ -476,6 +476,45 @@ TEST(Integration, InPlacePayloadArrivesAtTranslatedAddress) {
   EXPECT_EQ(answer, 42u);
 }
 
+TEST(Integration, OversizedInPlaceResponseGetsItsOwnBlock) {
+  // The in-place response path starts with a small block hint; a handler
+  // whose object exceeds the 8 KiB block must be retried in progressively
+  // larger blocks (not silently re-handed the same undersized arena —
+  // regression test for the empty-writer begin_message path).
+  Fabric f;
+  constexpr uint32_t kObjectBytes = 20000;
+  f.server.register_inplace_handler(
+      kEcho, [](const RequestView&, arena::Arena& arena,
+                const arena::AddressTranslator&, uint32_t* payload_size,
+                uint16_t* class_index) -> Status {
+        auto* p = static_cast<std::byte*>(arena.allocate(kObjectBytes));
+        if (p == nullptr) return Status(Code::kResourceExhausted, "full");
+        for (uint32_t i = 0; i < kObjectBytes; ++i) {
+          p[i] = static_cast<std::byte>(i * 7);
+        }
+        *payload_size = static_cast<uint32_t>(arena.used());
+        *class_index = 9;
+        return Status::ok();
+      });
+  bool checked = false;
+  ASSERT_TRUE(f.client
+                  .call(kEcho, as_bytes_view("x"),
+                        [&](const Status& st, const InMessage& resp) {
+                          ASSERT_TRUE(st.is_ok());
+                          ASSERT_EQ(resp.header.flags, kFlagInPlaceObject);
+                          EXPECT_EQ(resp.header.aux, 9);
+                          ASSERT_GE(resp.header.payload_size, kObjectBytes);
+                          for (uint32_t i = 0; i < kObjectBytes; ++i) {
+                            ASSERT_EQ(resp.payload_addr[i],
+                                      static_cast<std::byte>(i * 7));
+                          }
+                          checked = true;
+                        })
+                  .is_ok());
+  ASSERT_TRUE(f.pump_until(1).is_ok());
+  EXPECT_TRUE(checked);
+}
+
 TEST(Integration, CreditsAndBuffersFullyReclaimedAtQuiescence) {
   ConnectionConfig small_client;
   small_client.credits = 8;

@@ -277,15 +277,6 @@ TEST_F(SerializePlanFixture, PlanSetBundlesBothDirectionsInOneCache) {
   EXPECT_EQ(c->serialize().plan_count(), adt_.class_count());
 }
 
-TEST_F(SerializePlanFixture, DeprecatedParsePlansShimAliasesTheBundle) {
-  auto all = adt_.plans();
-  auto shim = adt_.parse_plans();
-  // The shim is an aliasing pointer into the bundled snapshot: same parse
-  // half, same ownership (holding the shim keeps the bundle alive).
-  EXPECT_EQ(shim.get(), &all->parse());
-  EXPECT_EQ(shim.use_count(), all.use_count());
-}
-
 // ----------------------------------------- bit-for-bit path equivalence
 
 TEST_F(SerializePlanFixture, DifferentialBenchShapes) {

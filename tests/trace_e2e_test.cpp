@@ -193,5 +193,118 @@ TEST_F(TraceE2eFixture, EveryStageRecordsExactlyOnce) {
   EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
 }
 
+// The response-offload variant: handlers built with register_method_object
+// reply with an in-place *object* that the codec pool serializes on the
+// DPU. The host-serialize span disappears and the two response-side pool
+// stages appear — each exactly once per reply.
+TEST_F(TraceE2eFixture, OffloadedReplyStagesRecordExactlyOnce) {
+#if !DPURPC_TRACE_ENABLED
+  GTEST_SKIP() << "tracing compiled out (DPURPC_TRACE=OFF)";
+#endif
+  {
+    std::vector<trace::SpanRecord> junk;
+    trace::Tracer::instance().drain_into(junk);
+  }
+  trace::TraceConfig config;
+  config.mode = trace::Mode::kFull;
+  trace::Tracer::instance().configure(config);
+
+  metrics::Registry reg;
+  trace::TraceCollector::Options copts;
+  copts.registry = &reg;
+  copts.tail_keep_every = 1;
+  copts.orphan_max_age = 10000;
+  trace::TraceCollector collector(copts);
+
+  ASSERT_TRUE(host_
+                  ->register_method_object(
+                      "kv.KvStore/Put",
+                      [](const ServerContext&, const adt::LayoutView&,
+                         adt::LayoutBuilder& resp) {
+                        return resp.set_uint64(1, 1);
+                      })
+                  .is_ok());
+  start_host_loop();
+
+  proxy_ = std::make_unique<DpuProxy>(dpu_conn_.get(), manifest_.get());
+  auto port = proxy_->start();
+  ASSERT_TRUE(port.is_ok()) << port.status().to_string();
+  auto chan = xrpc::Channel::connect(*port);
+  ASSERT_TRUE(chan.is_ok());
+
+  constexpr int kCalls = 8;
+  const auto* put_desc = pool_.find_message("kv.PutRequest");
+  for (int i = 0; i < kCalls; ++i) {
+    proto::DynamicMessage m(put_desc);
+    m.set_string(put_desc->field_by_name("key"), "k" + std::to_string(i));
+    m.set_string(put_desc->field_by_name("value"), "v" + std::to_string(i));
+    Bytes wire = proto::WireCodec::serialize(m);
+    auto resp = (*chan)->call("kv.KvStore/Put", ByteSpan(wire));
+    ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  }
+  // Nothing spilled: every reply actually rode the pool's encode direction.
+  ASSERT_EQ(proxy_->stats().offloaded_responses.load(),
+            static_cast<uint64_t>(kCalls));
+  ASSERT_EQ(proxy_->stats().inline_serializes.load(), 0u);
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (collector.traces_completed() < kCalls &&
+         std::chrono::steady_clock::now() < deadline) {
+    collector.collect();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(collector.traces_completed(), static_cast<uint64_t>(kCalls));
+  ASSERT_EQ(collector.retained().size(), static_cast<size_t>(kCalls));
+
+  // The offloaded-reply stage set: the copy path's 16 stages, minus the
+  // host serialize (the host never serializes), plus the encode ring wait
+  // and the pool serialize span.
+  const trace::Stage expected[] = {
+      trace::Stage::kRequest,        trace::Stage::kClientSerialize,
+      trace::Stage::kXrpcInbound,    trace::Stage::kProxyDispatch,
+      trace::Stage::kLaneQueueWait,  trace::Stage::kDecodeRingWait,
+      trace::Stage::kWorkerDecode,   trace::Stage::kBlockBuild,
+      trace::Stage::kFlushWait,      trace::Stage::kRdmaInbound,
+      trace::Stage::kHostDispatch,   trace::Stage::kRespFlushWait,
+      trace::Stage::kRdmaOutbound,   trace::Stage::kEncodeRingWait,
+      trace::Stage::kWorkerEncode,   trace::Stage::kComplete,
+      trace::Stage::kXrpcOutbound,
+  };
+  for (const trace::SpanTree& tree : collector.retained()) {
+    std::map<trace::Stage, int> counts;
+    for (const trace::Span& s : tree.spans) counts[s.stage] += 1;
+    for (trace::Stage st : expected) {
+      EXPECT_EQ(counts[st], 1) << "stage " << trace::stage_name(st)
+                               << " in trace " << tree.trace_id;
+    }
+    EXPECT_EQ(counts[trace::Stage::kHostSerialize], 0)
+        << "offloaded reply must not record a host serialize span";
+    EXPECT_EQ(tree.spans.size(), std::size(expected))
+        << "unexpected extra spans in trace " << tree.trace_id;
+    const trace::Span* root = tree.root();
+    ASSERT_NE(root, nullptr);
+    for (const trace::Span& s : tree.spans) {
+      if (&s == root) continue;
+      EXPECT_EQ(s.parent_span_id, root->span_id);
+      EXPECT_LE(s.start_ns, s.end_ns);
+    }
+  }
+
+  metrics::Snapshot snap = reg.scrape();
+  for (trace::Stage st : expected) {
+    const metrics::Sample* count = snap.find(
+        "dpurpc_trace_stage_seconds_count", {{"stage", trace::stage_name(st)}});
+    ASSERT_NE(count, nullptr) << trace::stage_name(st);
+    EXPECT_EQ(count->value, static_cast<double>(kCalls))
+        << trace::stage_name(st);
+  }
+
+  // Perfetto/Chrome timelines still tile: the response-side spans export
+  // under their wire names.
+  std::string json = collector.export_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"worker_encode\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"encode_ring_wait\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dpurpc::grpccompat

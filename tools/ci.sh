@@ -30,7 +30,10 @@
 #                     one once with DPURPC_BENCH_SMOKE=1 (tiny iteration
 #                     counts): proves every harness still sets up, measures
 #                     and reports without crashing (ablation_trace rides in
-#                     via the glob). Numbers are meaningless.
+#                     via the glob). Numbers are meaningless. The figure
+#                     harnesses (fig8/fig9/fig10) additionally run with
+#                     --json; their outputs are combined into
+#                     <prefix>-plain/BENCH_6.json for the workflow artifact.
 #
 # Usage: tools/ci.sh [--pass plain|asan|tsan|lint|trace|bench-smoke|all] [build-dir-prefix]
 #   default pass is `all` (plain, asan, tsan, trace, then lint); default
@@ -100,15 +103,45 @@ pass_trace() {
 
 pass_bench_smoke() {
   build_dir "$prefix-plain"
-  local bench failed=0
+  local bench name failed=0
+  local json_dir="$prefix-plain/bench-json"
+  mkdir -p "$json_dir"
   for bench in "$prefix-plain"/bench/*; do
     [ -f "$bench" ] && [ -x "$bench" ] || continue
-    echo "=== smoke $(basename "$bench")" >&2
-    if ! DPURPC_BENCH_SMOKE=1 "$bench" >/dev/null; then
-      echo "ci: bench smoke FAILED: $(basename "$bench")" >&2
+    name="$(basename "$bench")"
+    echo "=== smoke $name" >&2
+    # The figure harnesses emit machine-readable results; collect them
+    # into BENCH_6.json below (archived as a workflow artifact).
+    local extra=()
+    case "$name" in
+      fig8_datapath|fig9_scaling|fig10_roundtrip)
+        extra=(--json "$json_dir/$name.json") ;;
+    esac
+    if ! DPURPC_BENCH_SMOKE=1 "$bench" "${extra[@]}" >/dev/null; then
+      echo "ci: bench smoke FAILED: $name" >&2
       failed=1
     fi
   done
+  # One combined document: {"fig8_datapath": {...}, "fig9_scaling": {...},
+  # "fig10_roundtrip": {...}} — smoke-mode numbers, shape checks only.
+  local out="$prefix-plain/BENCH_6.json" first=1
+  {
+    echo "{"
+    for name in fig8_datapath fig9_scaling fig10_roundtrip; do
+      [ -s "$json_dir/$name.json" ] || continue
+      [ "$first" -eq 1 ] || echo ","
+      first=0
+      printf '"%s": ' "$name"
+      cat "$json_dir/$name.json"
+    done
+    echo "}"
+  } > "$out"
+  if [ "$first" -eq 1 ]; then
+    echo "ci: no bench JSON collected for $out" >&2
+    failed=1
+  else
+    echo "ci: bench results collected in $out" >&2
+  fi
   return "$failed"
 }
 
