@@ -8,7 +8,9 @@
 #include "adt/serialize_plan.hpp"
 #include "common/align.hpp"
 #include "common/endian.hpp"
+#include "common/hot_path.hpp"
 #include "common/lockdep.hpp"
+#include "common/relaxed.hpp"
 #include "metrics/metrics.hpp"
 
 namespace dpurpc::adt {
@@ -53,13 +55,9 @@ Adt::Adt(const Adt& other)
     }
     plans_.store(snap, std::memory_order_release);
   }
-  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-  plan_mutex_entries_.store(
-      other.plan_mutex_entries_.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
+  relaxed::store(plan_hits_, relaxed::load(other.plan_hits_));
+  relaxed::store(plan_rebuilds_, relaxed::load(other.plan_rebuilds_));
+  relaxed::store(plan_mutex_entries_, relaxed::load(other.plan_mutex_entries_));
 }
 
 Adt& Adt::operator=(const Adt& other) {
@@ -80,13 +78,9 @@ Adt& Adt::operator=(const Adt& other) {
     }
   }
   plans_.store(snap, std::memory_order_release);
-  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-  plan_mutex_entries_.store(
-      other.plan_mutex_entries_.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
+  relaxed::store(plan_hits_, relaxed::load(other.plan_hits_));
+  relaxed::store(plan_rebuilds_, relaxed::load(other.plan_rebuilds_));
+  relaxed::store(plan_mutex_entries_, relaxed::load(other.plan_mutex_entries_));
   return *this;
 }
 
@@ -98,18 +92,19 @@ Adt::Adt(Adt&& other) noexcept
       by_name_(std::move(other.by_name_)),
       fingerprint_(other.fingerprint_) {
   lockdep::ScopedLock lk(plan_cache_mutex());
-  plans_.store(other.plans_.load(std::memory_order_acquire),
-               std::memory_order_relaxed);
-  other.plans_.store(nullptr, std::memory_order_relaxed);
+  // Slot handoff under the plan_cache mutex: the mutex publishes, so the
+  // stores need no ordering of their own.
+  plans_.store(
+      other.plans_.load(std::memory_order_acquire),
+      std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): mutex-published slot handoff
+  other.plans_.store(
+      nullptr,
+      std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): mutex-published slot handoff
   plan_history_ = std::move(other.plan_history_);
   other.plan_history_.clear();
-  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-  plan_mutex_entries_.store(
-      other.plan_mutex_entries_.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
+  relaxed::store(plan_hits_, relaxed::load(other.plan_hits_));
+  relaxed::store(plan_rebuilds_, relaxed::load(other.plan_rebuilds_));
+  relaxed::store(plan_mutex_entries_, relaxed::load(other.plan_mutex_entries_));
 }
 
 Adt& Adt::operator=(Adt&& other) noexcept {
@@ -120,19 +115,17 @@ Adt& Adt::operator=(Adt&& other) noexcept {
   lockdep::ScopedLock lk(plan_cache_mutex());
   plans_.store(other.plans_.load(std::memory_order_acquire),
                std::memory_order_release);
-  other.plans_.store(nullptr, std::memory_order_relaxed);
-  // Keep our own retired snapshots alive (readers may hold pointers into
-  // them) and adopt the source's on top.
+  other.plans_.store(
+      nullptr,
+      std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): mutex-published slot handoff
+  // Keep our own retired snapshots alive (readers may still hold pointers
+  // into them) and adopt the source's on top.
   for (auto& owned : other.plan_history_)
     plan_history_.push_back(std::move(owned));
   other.plan_history_.clear();
-  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  plan_rebuilds_.store(other.plan_rebuilds_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-  plan_mutex_entries_.store(
-      other.plan_mutex_entries_.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
+  relaxed::store(plan_hits_, relaxed::load(other.plan_hits_));
+  relaxed::store(plan_rebuilds_, relaxed::load(other.plan_rebuilds_));
+  relaxed::store(plan_mutex_entries_, relaxed::load(other.plan_mutex_entries_));
   return *this;
 }
 
@@ -192,12 +185,11 @@ void Adt::invalidate_plans() const {
 }
 
 PlanCacheStats Adt::plan_cache_stats() const noexcept {
-  return {plan_hits_.load(std::memory_order_relaxed),
-          plan_rebuilds_.load(std::memory_order_relaxed),
-          plan_mutex_entries_.load(std::memory_order_relaxed)};
+  return {relaxed::load(plan_hits_), relaxed::load(plan_rebuilds_),
+          relaxed::load(plan_mutex_entries_)};
 }
 
-std::shared_ptr<const PlanSet> Adt::plans() const {
+DPURPC_HOT_PATH std::shared_ptr<const PlanSet> Adt::plans() const {
   // Immutable-after-publication contract: once a PlanSet pointer leaves
   // this function, NOTHING may write through it — every consumer (DPU
   // proxy lanes, codec-pool workers, host compat codecs) reads it
@@ -224,21 +216,28 @@ std::shared_ptr<const PlanSet> Adt::plans() const {
   // snapshot exists; the steady-state decode path itself never even gets
   // here — it reads the pointer captured at construction.
   if (const PlanSet* snap = plans_.load(std::memory_order_acquire)) {
-    plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(plan_hits_, 1);
     return {std::shared_ptr<const void>(), snap};
   }
 
-  // Slow path: serialize the rebuild. Double-check under the mutex so N
-  // racing cold readers compile the PlanSet once.
+  // dpulint: allow(hot-path): cold spill — no snapshot published yet, so
+  // this caller pays the one-time mutex-serialized PlanSet compile.
+  return rebuild_plans();
+}
+
+std::shared_ptr<const PlanSet> Adt::rebuild_plans() const {
+  // Serialize the rebuild. Double-check under the mutex so N racing cold
+  // readers compile the PlanSet once.
   lockdep::ScopedLock lk(plan_cache_mutex());
-  plan_mutex_entries_.fetch_add(1, std::memory_order_relaxed);
-  const PlanSet* snap = plans_.load(std::memory_order_relaxed);
+  relaxed::add(plan_mutex_entries_, 1);
+  const PlanSet* snap = plans_.load(
+      std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): double-check under plan_cache mutex
   if (snap == nullptr) {
     plan_history_.push_back(
         std::make_shared<const PlanSet>(PlanSet::build(*this)));
     snap = plan_history_.back().get();
     plans_.store(snap, std::memory_order_release);
-    plan_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(plan_rebuilds_, 1);
     plan_rebuild_counter().inc();
   }
   return {std::shared_ptr<const void>(), snap};

@@ -160,6 +160,12 @@ class Adt {
   PlanCacheStats plan_cache_stats() const noexcept;
 
  private:
+  /// Slow half of plans(): serialize the rebuild under the plan mutex and
+  /// publish the fresh snapshot. Split out so the lock-free fast path can
+  /// carry DPURPC_HOT_PATH and this — the documented cold spill — is the
+  /// single waived call site.
+  std::shared_ptr<const PlanSet> rebuild_plans() const;
+
   std::vector<ClassEntry> classes_;
   std::map<std::string, uint32_t, std::less<>> by_name_;
   AbiFingerprint fingerprint_{};

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/hot_path.hpp"
 
 namespace dpurpc {
 
@@ -49,9 +50,10 @@ class HandoffRing {
   HandoffRing& operator=(const HandoffRing&) = delete;
 
   /// False when the ring is full or another producer holds the push gate.
-  bool try_push(T&& item) {
+  DPURPC_HOT_PATH bool try_push(T&& item) {
     if (push_gate_.exchange(true, std::memory_order_acq_rel)) return false;
-    size_t t = tail_.load(std::memory_order_relaxed);
+    size_t t = tail_.load(
+        std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): producer-side self cursor; the acq_rel gate exchange ordered it
     if (t - head_.load(std::memory_order_acquire) > mask_) {
       push_gate_.store(false, std::memory_order_release);
       return false;
@@ -63,9 +65,10 @@ class HandoffRing {
   }
 
   /// False when the ring is empty or another consumer holds the pop gate.
-  bool try_pop(T& out) {
+  DPURPC_HOT_PATH bool try_pop(T& out) {
     if (pop_gate_.exchange(true, std::memory_order_acq_rel)) return false;
-    size_t h = head_.load(std::memory_order_relaxed);
+    size_t h = head_.load(
+        std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): consumer-side self cursor; the acq_rel gate exchange ordered it
     if (h == tail_.load(std::memory_order_acquire)) {
       pop_gate_.store(false, std::memory_order_release);
       return false;
@@ -78,8 +81,10 @@ class HandoffRing {
 
   /// Instantaneous occupancy; a hint only (concurrent pushes/pops race it).
   size_t approx_size() const noexcept {
-    size_t t = tail_.load(std::memory_order_relaxed);
-    size_t h = head_.load(std::memory_order_relaxed);
+    size_t t = tail_.load(
+        std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): occupancy hint, both cursors may tear
+    size_t h = head_.load(
+        std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): occupancy hint, both cursors may tear
     return t >= h ? t - h : 0;
   }
 

@@ -1,0 +1,24 @@
+// DPURPC_HOT_PATH: marks a function as part of the request datapath's
+// fast path — the code the offload wins live or die on.
+//
+// The marker does two things:
+//   1. It is the root-set annotation for `tools/dpulint`'s hot-path rule
+//      (DESIGN.md §3.17): a marked function must not transitively reach
+//      `new`/malloc-family allocation, lockdep::Mutex acquisition, condvar
+//      waits, or blocking syscalls. Documented cold spills (ring-full
+//      inline decode, condvar parking off the submit path) carry per-site
+//      `// dpulint: allow(hot-path): ...` waivers.
+//   2. On GNU-compatible compilers it expands to __attribute__((hot)) so
+//      the optimizer biases layout and inlining toward these functions.
+//
+// Annotate the *entry points* the invariant protects (worker loops, ring
+// push/pop, span record, plan-snapshot acquire, block finalize) — dpulint
+// walks the transitive first-party call graph from there, so helpers do
+// not need their own markers.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DPURPC_HOT_PATH __attribute__((hot))
+#else
+#define DPURPC_HOT_PATH
+#endif

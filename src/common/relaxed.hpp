@@ -1,0 +1,44 @@
+// dpurpc::relaxed — the approved home for std::memory_order_relaxed.
+//
+// Relaxed atomics are correct in exactly one situation in this codebase:
+// monitor/stats values where torn ordering is harmless because no other
+// memory depends on the observed value (counters scraped by metrics,
+// quiescence polls, debug ledgers). PR 4's libstdc++ `_Sp_atomic` incident
+// is the canonical counterexample — a relaxed op quietly participating in
+// a release/acquire protocol it isn't part of.
+//
+// `tools/dpulint`'s relaxed-atomic rule (DESIGN.md §3.17) therefore bans
+// raw memory_order_relaxed outside this header and src/metrics/. A stats
+// counter bumps through these wrappers; an *algorithmic* relaxed op (SPSC
+// self-cursor loads, RCU slot internals) stays spelled out at the use site
+// with a `// dpulint: allow(relaxed-atomic): ...` waiver naming the
+// protocol it belongs to — precisely so a reviewer can audit it.
+#pragma once
+
+#include <atomic>
+
+namespace dpurpc::relaxed {
+
+template <typename T>
+inline T load(const std::atomic<T>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+template <typename T, typename U>
+inline void store(std::atomic<T>& a, U v) {
+  a.store(static_cast<T>(v), std::memory_order_relaxed);
+}
+
+/// Returns the previous value, like fetch_add.
+template <typename T, typename U>
+inline T add(std::atomic<T>& a, U delta) {
+  return a.fetch_add(static_cast<T>(delta), std::memory_order_relaxed);
+}
+
+/// Returns the previous value, like fetch_sub.
+template <typename T, typename U>
+inline T sub(std::atomic<T>& a, U delta) {
+  return a.fetch_sub(static_cast<T>(delta), std::memory_order_relaxed);
+}
+
+}  // namespace dpurpc::relaxed

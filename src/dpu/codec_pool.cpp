@@ -7,6 +7,8 @@
 
 #include "common/align.hpp"
 #include "common/cpu_timer.hpp"
+#include "common/hot_path.hpp"
+#include "common/relaxed.hpp"
 
 namespace dpurpc::dpu {
 
@@ -23,6 +25,8 @@ ScratchSlice ScratchSlice::allocate(size_t bytes) {
   // aligned_alloc demands size % alignment == 0.
   size_t rounded = align_up(std::max<size_t>(bytes, 64), 64);
   ScratchSlice s;
+  // dpulint: allow(hot-path): the one designed allocation on the worker
+  // path — per-job decode scratch, sized from the wire and capped.
   s.data_.reset(static_cast<std::byte*>(std::aligned_alloc(64, rounded)));
   s.capacity_ = s.data_ ? rounded : 0;
   return s;
@@ -84,7 +88,7 @@ void CodecPool::stop() {
   }
 }
 
-bool CodecPool::submit(size_t lane, CodecJob& job) {
+DPURPC_HOT_PATH bool CodecPool::submit(size_t lane, CodecJob& job) {
   if (lane >= lanes_.size() || stopping_.load(std::memory_order_acquire)) return false;
   if (job.kind == JobKind::kEncode && serializer_ == nullptr) return false;
   const JobKind kind = job.kind;
@@ -93,13 +97,15 @@ bool CodecPool::submit(size_t lane, CodecJob& job) {
   // Only pay for the wakeup when someone is (or is about to be) parked;
   // the steady-state submit path is the ring push plus one seq_cst load.
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // dpulint: allow(hot-path): cold spill — wakeup lock taken only when a
+    // worker is parked; the steady-state branch is the seq_cst load above.
     lockdep::ScopedLock lk(wake_mu_);
     wake_cv_.notify_all();
   }
   return true;
 }
 
-bool CodecPool::try_pop_result(size_t lane, CodecResult& out) {
+DPURPC_HOT_PATH bool CodecPool::try_pop_result(size_t lane, CodecResult& out) {
   if (lane >= lanes_.size()) return false;
   return lanes_[lane]->complete.try_pop(out);
 }
@@ -108,20 +114,20 @@ CodecPool::WorkerStats CodecPool::worker_stats(size_t w) const {
   WorkerStats s;
   if (w >= workers_.size()) return s;
   const Worker& wk = *workers_[w];
-  s.jobs = wk.jobs.load(std::memory_order_relaxed);
-  s.encodes = wk.encodes.load(std::memory_order_relaxed);
-  s.steals = wk.steals.load(std::memory_order_relaxed);
-  s.failures = wk.failures.load(std::memory_order_relaxed);
-  s.bytes_decoded = wk.bytes_decoded.load(std::memory_order_relaxed);
-  s.bytes_encoded = wk.bytes_encoded.load(std::memory_order_relaxed);
-  s.busy_ns = wk.busy_ns.load(std::memory_order_relaxed);
-  s.scaled_busy_ns = wk.scaled_busy_ns.load(std::memory_order_relaxed);
+  s.jobs = relaxed::load(wk.jobs);
+  s.encodes = relaxed::load(wk.encodes);
+  s.steals = relaxed::load(wk.steals);
+  s.failures = relaxed::load(wk.failures);
+  s.bytes_decoded = relaxed::load(wk.bytes_decoded);
+  s.bytes_encoded = relaxed::load(wk.bytes_encoded);
+  s.busy_ns = relaxed::load(wk.busy_ns);
+  s.scaled_busy_ns = relaxed::load(wk.scaled_busy_ns);
   return s;
 }
 
 uint64_t CodecPool::total_jobs() const noexcept {
   uint64_t total = 0;
-  for (const auto& w : workers_) total += w->jobs.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) total += relaxed::load(w->jobs);
   return total;
 }
 
@@ -142,7 +148,7 @@ bool CodecPool::any_pending(size_t w) const noexcept {
   return false;
 }
 
-void CodecPool::worker_loop(size_t w) {
+DPURPC_HOT_PATH void CodecPool::worker_loop(size_t w) {
   Worker& me = *workers_[w];
   const size_t nworkers = workers_.size();
   int idle_rounds = 0;
@@ -179,8 +185,12 @@ void CodecPool::worker_loop(size_t w) {
     idle_rounds = 0;
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
+      // dpulint: allow(hot-path): cold spill — condvar parking after 64
+      // idle rounds, off the submit path (DESIGN.md §3.14).
       lockdep::UniqueLock lk(wake_mu_);
       if (!any_pending(w) && !stopping_.load(std::memory_order_acquire)) {
+        // dpulint: allow(hot-path): parked-worker wait; bounded by the 1ms
+        // backstop timeout.
         wake_cv_.wait_for(lk, std::chrono::milliseconds(1));
       }
     }
@@ -195,7 +205,7 @@ bool CodecPool::run_one(size_t w, size_t lane, bool stolen) {
   CodecResult result = job.kind == JobKind::kEncode ? encode(w, std::move(job))
                                                     : decode(w, std::move(job));
   if (stolen) {
-    workers_[w]->steals.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(workers_[w]->steals, 1);
     steals_->inc();
   }
   // The completion ring is sized like the submit ring and callers bound
@@ -232,13 +242,16 @@ CodecResult CodecPool::decode(size_t w, CodecJob&& job) {
     ScratchSlice slice = ScratchSlice::allocate(cap);
     if (!slice) {
       result.status = Status(Code::kResourceExhausted, "decode scratch allocation failed");
-      me.failures.fetch_add(1, std::memory_order_relaxed);
+      relaxed::add(me.failures, 1);
       break;
     }
     arena::Arena scratch(slice.data(), slice.capacity());
     // Zero delta: the tree stays fully local to the slice, which is what
     // lets the consumer relocate it anywhere later.
     arena::AddressTranslator local{};
+    // dpulint: allow(hot-path): plan-driven decode builds the tree inside
+    // the preallocated slice arena; kResourceExhausted spills retry, they
+    // never malloc.
     auto obj = deserializer_->deserialize(job.class_index, ByteSpan(job.wire),
                                           scratch, local);
     if (obj.is_ok()) {
@@ -254,7 +267,7 @@ CodecResult CodecPool::decode(size_t w, CodecJob&& job) {
       continue;
     }
     result.status = obj.status();
-    me.failures.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(me.failures, 1);
     break;
   }
 
@@ -266,13 +279,12 @@ CodecResult CodecPool::decode(size_t w, CodecJob&& job) {
                                      t0_wall, WallTimer::now(),
                                      job.wire.size());
   }
-  me.jobs.fetch_add(1, std::memory_order_relaxed);
-  me.bytes_decoded.fetch_add(job.wire.size(), std::memory_order_relaxed);
-  me.busy_ns.fetch_add(ns, std::memory_order_relaxed);
-  me.scaled_busy_ns.fetch_add(
-      static_cast<uint64_t>(options_.cost_model.scale_ns(
-          Processor::kDpu, options_.workload, static_cast<double>(ns))),
-      std::memory_order_relaxed);
+  relaxed::add(me.jobs, 1);
+  relaxed::add(me.bytes_decoded, job.wire.size());
+  relaxed::add(me.busy_ns, ns);
+  relaxed::add(me.scaled_busy_ns,
+               static_cast<uint64_t>(options_.cost_model.scale_ns(
+                   Processor::kDpu, options_.workload, static_cast<double>(ns))));
   return result;
 }
 
@@ -296,10 +308,10 @@ CodecResult CodecPool::encode(size_t w, CodecJob&& job) {
 
   if (serializer_ == nullptr) {
     result.status = Status(Code::kFailedPrecondition, "pool has no serializer");
-    me.failures.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(me.failures, 1);
   } else if (!job.object || job.obj_offset >= job.object.capacity()) {
     result.status = Status(Code::kInvalidArgument, "encode job carries no object");
-    me.failures.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(me.failures, 1);
   } else {
     // Size walk + emit fused in one serialize() call (the compiled plan
     // caches body sizes from the size pass for the emit pass, DESIGN.md
@@ -307,14 +319,18 @@ CodecResult CodecPool::encode(size_t w, CodecJob&& job) {
     Bytes& scratch = me.encode_scratch;
     scratch.clear();
     adt::ObjectRef ref(job.class_index, job.object.data() + job.obj_offset);
+    // dpulint: allow(hot-path): plan-driven emit appends into the
+    // per-worker scratch, whose capacity persists across jobs.
     Status st = serializer_->serialize(ref, scratch);
     if (st.is_ok()) {
       // Exactly-sized handoff copy: the consumer owns bytes it can keep
       // past this worker's next job; the scratch keeps its capacity.
+      // dpulint: allow(hot-path): exactly-sized handoff copy — the
+      // consumer owns these bytes past this worker's next job.
       result.wire.assign(scratch.begin(), scratch.end());
     } else {
       result.status = st;
-      me.failures.fetch_add(1, std::memory_order_relaxed);
+      relaxed::add(me.failures, 1);
     }
   }
 
@@ -324,14 +340,13 @@ CodecResult CodecPool::encode(size_t w, CodecJob&& job) {
                                      t0_wall, WallTimer::now(),
                                      result.wire.size());
   }
-  me.jobs.fetch_add(1, std::memory_order_relaxed);
-  me.encodes.fetch_add(1, std::memory_order_relaxed);
-  me.bytes_encoded.fetch_add(result.wire.size(), std::memory_order_relaxed);
-  me.busy_ns.fetch_add(ns, std::memory_order_relaxed);
-  me.scaled_busy_ns.fetch_add(
-      static_cast<uint64_t>(options_.cost_model.scale_ns(
-          Processor::kDpu, options_.encode_workload, static_cast<double>(ns))),
-      std::memory_order_relaxed);
+  relaxed::add(me.jobs, 1);
+  relaxed::add(me.encodes, 1);
+  relaxed::add(me.bytes_encoded, result.wire.size());
+  relaxed::add(me.busy_ns, ns);
+  relaxed::add(me.scaled_busy_ns,
+               static_cast<uint64_t>(options_.cost_model.scale_ns(
+                   Processor::kDpu, options_.encode_workload, static_cast<double>(ns))));
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/endian.hpp"
+#include "common/relaxed.hpp"
 
 namespace dpurpc::grpccompat {
 
@@ -75,7 +76,7 @@ void BootstrapServer::stop() {
 }
 
 void BootstrapServer::accept_loop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (!relaxed::load(stopping_)) {
     auto client = listener_.accept();
     if (!client.is_ok()) return;  // listener shut down
     // Length-prefix then the payload; fire-and-forget per fetch.

@@ -50,13 +50,15 @@ StatusOr<uint16_t> DpuProxy::start() {
         uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
         const MethodEntry* entry = manifest_->find_by_name(method);
         if (entry == nullptr) {
+          // dpulint: allow(trace-pairing): unknown method — rejected before
+          // any stage span exists, so there is no kComplete to record.
           respond(Code::kNotFound, {});
           return;
         }
         // Round-robin across poller lanes (§III.C: dedicated poller per
         // connection); wake the lane if it sleeps on its channel.
-        Lane& lane = *lanes_[next_lane_.fetch_add(1, std::memory_order_relaxed) %
-                            lanes_.size()];
+        Lane& lane =
+            *lanes_[relaxed::add(next_lane_, 1) % lanes_.size()];
         uint64_t enqueue_ns = tctx.active() ? WallTimer::now() : 0;
         if (lane.queue.push(
                 {entry, std::move(payload), std::move(respond), tctx, enqueue_ns})) {
@@ -121,7 +123,7 @@ Status DpuProxy::submit_decode(Lane& lane, PendingCall call) {
   }
   // Ring full (or shutting down): spill to the lane thread rather than
   // block — the old inline path is still bit-identical in output.
-  stats_.inline_decodes.fetch_add(1, std::memory_order_relaxed);
+  relaxed::add(stats_.inline_decodes, 1);
   call.payload = std::move(job.wire);
   return forward(lane, std::move(call));
 }
@@ -131,7 +133,7 @@ void DpuProxy::complete_response(
     const trace::TraceContext& tctx, const Status& result,
     const rdmarpc::InMessage& resp) {
   uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
-  stats_.responses_forwarded.fetch_add(1, std::memory_order_relaxed);
+  relaxed::add(stats_.responses_forwarded, 1);
   // kComplete is recorded BEFORE the responder writes the reply socket:
   // the instant the client sees the response it records the root span and
   // the collector may finalize the tree, so every server-side span must
@@ -157,7 +159,7 @@ void DpuProxy::complete_response(
     if (submit_encode(lane, respond, tctx, resp, t0)) return;
     // Budget/ring full: serialize on the lane thread — the pre-offload
     // behavior, bit-identical bytes.
-    stats_.inline_serializes.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(stats_.inline_serializes, 1);
     Bytes wire;
     Status st = serializer_.serialize(
         adt::ObjectRef(resp.header.aux, resp.payload_addr), wire);
@@ -222,7 +224,7 @@ void DpuProxy::finish_encoded(Lane& lane, dpu::CodecResult result) {
                                      t0, WallTimer::now());
   }
   if (result.status.is_ok()) {
-    stats_.offloaded_responses.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(stats_.offloaded_responses, 1);
     (*pending.respond)(Code::kOk, ByteSpan(result.wire));
   } else {
     (*pending.respond)(result.status.code(), {});
@@ -239,7 +241,9 @@ Status DpuProxy::forward_decoded(Lane& lane, dpu::CodecResult result) {
   if (!result.status.is_ok()) {
     // Per-request decode failure (malformed payload, oversized message):
     // reject it to the xRPC client; the datapath stays healthy.
-    stats_.deserialize_failures.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(stats_.deserialize_failures, 1);
+    // dpulint: allow(trace-pairing): decode-failure reject — the request
+    // never completed a datapath traversal, so no kComplete span exists.
     pending.respond(result.status.code(), {});
     return Status::ok();
   }
@@ -281,8 +285,8 @@ Status DpuProxy::forward_decoded(Lane& lane, dpu::CodecResult result) {
         },
         tctx);
     if (st.is_ok()) {
-      stats_.offloaded_requests.fetch_add(1, std::memory_order_relaxed);
-      lane.forwarded.fetch_add(1, std::memory_order_relaxed);
+      relaxed::add(stats_.offloaded_requests, 1);
+      relaxed::add(lane.forwarded, 1);
       return Status::ok();
     }
     if (st.code() != Code::kUnavailable && st.code() != Code::kResourceExhausted) {
@@ -328,14 +332,16 @@ Status DpuProxy::forward(Lane& lane, PendingCall call) {
         },
         tctx);
     if (st.is_ok()) {
-      stats_.offloaded_requests.fetch_add(1, std::memory_order_relaxed);
-      lane.forwarded.fetch_add(1, std::memory_order_relaxed);
+      relaxed::add(stats_.offloaded_requests, 1);
+      relaxed::add(lane.forwarded, 1);
       return Status::ok();
     }
     if (st.code() == Code::kDataLoss || st.code() == Code::kInvalidArgument) {
       // Malformed request payload: reject it to the xRPC client; the
       // datapath stays healthy.
-      stats_.deserialize_failures.fetch_add(1, std::memory_order_relaxed);
+      relaxed::add(stats_.deserialize_failures, 1);
+      // dpulint: allow(trace-pairing): malformed-payload reject on the
+      // forward path — the request never completed, no kComplete span.
       (*respond)(st.code(), {});
       return Status::ok();
     }
@@ -359,6 +365,8 @@ void DpuProxy::fail_pending(Lane& lane) {
     lane.pending_encodes.erase(result.cookie);
   }
   for (auto& [cookie, pending] : lane.pending) {
+    // dpulint: allow(trace-pairing): shutdown path — pending calls are
+    // failed wholesale; their traces are abandoned, not completed.
     pending.respond(Code::kUnavailable, {});
   }
   lane.pending.clear();
@@ -374,7 +382,7 @@ void DpuProxy::poller_loop(Lane& lane) {
   // block before calling the event loop update function" — drain whatever
   // is queued into the codec pool, ship finished jobs, run one loop turn,
   // then block briefly when idle.
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (!relaxed::load(stopping_)) {
     bool did_work = false;
     while (lane.outstanding < kMaxOutstandingJobs) {
       auto call = lane.queue.try_pop();
@@ -383,7 +391,7 @@ void DpuProxy::poller_loop(Lane& lane) {
       Status st = submit_decode(lane, std::move(*call));
       if (!st.is_ok()) {
         // Datapath failure: surface by dropping this lane's loop.
-        stopping_.store(true, std::memory_order_relaxed);
+        relaxed::store(stopping_, true);
         fail_pending(lane);
         return;
       }
@@ -397,7 +405,7 @@ void DpuProxy::poller_loop(Lane& lane) {
       }
       Status st = forward_decoded(lane, std::move(result));
       if (!st.is_ok()) {
-        stopping_.store(true, std::memory_order_relaxed);
+        relaxed::store(stopping_, true);
         fail_pending(lane);
         return;
       }

@@ -36,6 +36,7 @@
 #include "adt/arena_deserializer.hpp"
 #include "adt/object_codec.hpp"
 #include "common/bounded_queue.hpp"
+#include "common/relaxed.hpp"
 #include "dpu/codec_pool.hpp"
 #include "grpccompat/manifest.hpp"
 #include "rdmarpc/client.hpp"
@@ -86,9 +87,7 @@ class DpuProxy {
   /// (including a size observed mid-shutdown) read as zero rather than
   /// throwing.
   uint64_t lane_requests(size_t i) const noexcept {
-    return i < lanes_.size()
-               ? lanes_[i]->forwarded.load(std::memory_order_relaxed)
-               : 0;
+    return i < lanes_.size() ? relaxed::load(lanes_[i]->forwarded) : 0;
   }
   /// The codec pool (per-worker stats; see CodecPool::worker_stats).
   const dpu::CodecPool& codec_pool() const noexcept { return *pool_; }

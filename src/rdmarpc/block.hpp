@@ -14,6 +14,7 @@
 #include "arena/arena.hpp"
 #include "common/bytes.hpp"
 #include "common/cpu_timer.hpp"
+#include "common/hot_path.hpp"
 #include "common/status.hpp"
 #include "rdmarpc/protocol.hpp"
 
@@ -106,7 +107,7 @@ class BlockWriter {
   /// Write the preamble and return the block's total byte length. Also
   /// stamps send_ns into every traced message's WireTrace prefix (one
   /// WallTimer read per block, not per message).
-  uint64_t finalize(uint16_t ack_blocks) noexcept {
+  DPURPC_HOT_PATH uint64_t finalize(uint16_t ack_blocks) noexcept {
     Preamble p;
     p.message_count = message_count_;
     p.ack_blocks = ack_blocks;

@@ -46,7 +46,7 @@ Connection::Connection(Role role, simverbs::ProtectionDomain* pd, ConnectionConf
                           ->gauge_family("rdmarpc_credits_available",
                                          "send credits currently available")
                           .gauge(labels);
-    credits_gauge_->set(credits_.load(std::memory_order_relaxed));
+    credits_gauge_->set(relaxed::load(credits_));
   }
 }
 
@@ -122,13 +122,13 @@ Status Connection::append(ByteSpan payload, uint16_t id_or_method, uint16_t flag
 
 StatusOr<bool> Connection::flush() {
   if (!writer_.has_value() || writer_->empty()) return false;
-  if (credits_.load(std::memory_order_relaxed) == 0) {
+  if (relaxed::load(credits_) == 0) {
     return Status(Code::kUnavailable, "no send credits: poll for acknowledgments");
   }
   uint64_t offset = open_block_offset_;
   uint16_t msg_count = writer_->message_count();
   uint64_t length =
-      writer_->finalize(pending_acks_.load(std::memory_order_relaxed));
+      writer_->finalize(relaxed::load(pending_acks_));
   // Flush observers end wait-stage spans exactly at the instant stamped
   // into the block's WireTrace prefixes (zero when nothing was traced).
   last_flush_ns_ = writer_->trace_stamp_ns();
@@ -138,12 +138,12 @@ StatusOr<bool> Connection::flush() {
   // State is only advanced after the send succeeds.
   DPURPC_RETURN_IF_ERROR(send_block(offset, length));
   writer_.reset();
-  pending_acks_.store(0, std::memory_order_relaxed);
+  relaxed::store(pending_acks_, 0);
   uint64_t seq = next_block_seq_++;
   sent_blocks_.push_back({seq, offset, false});
-  credits_.fetch_sub(1, std::memory_order_relaxed);
+  relaxed::sub(credits_, 1);
   if (credits_gauge_ != nullptr) {
-    credits_gauge_->set(credits_.load(std::memory_order_relaxed));
+    credits_gauge_->set(relaxed::load(credits_));
   }
   if (blocks_sent_ != nullptr) blocks_sent_->inc();
   if (messages_sent_ != nullptr) messages_sent_->inc(msg_count);
@@ -163,13 +163,12 @@ Status Connection::send_block(uint64_t offset, uint64_t length) {
 }
 
 StatusOr<bool> Connection::send_pure_ack() {
-  if (pending_acks_.load(std::memory_order_relaxed) == 0) return false;
-  uint32_t imm =
-      kPureAckImmFlag | pending_acks_.load(std::memory_order_relaxed);
+  if (relaxed::load(pending_acks_) == 0) return false;
+  uint32_t imm = kPureAckImmFlag | relaxed::load(pending_acks_);
   // Clear only after the send succeeds: losing the counter would leak the
   // peer's buffers even on a (theoretically) recoverable transport error.
   DPURPC_RETURN_IF_ERROR(qp_->post_send_imm(/*wr_id=*/0, imm));
-  pending_acks_.store(0, std::memory_order_relaxed);
+  relaxed::store(pending_acks_, 0);
   if (flush_observer_) flush_observer_(UINT64_MAX);  // ID release, no alloc
   return true;
 }
@@ -196,10 +195,10 @@ void Connection::release_acked_prefix() {
   while (!sent_blocks_.empty() && sent_blocks_.front().acked) {
     sbuf_alloc_.free(sent_blocks_.front().offset);
     sent_blocks_.pop_front();
-    credits_.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(credits_, 1);
   }
   if (credits_gauge_ != nullptr) {
-    credits_gauge_->set(credits_.load(std::memory_order_relaxed));
+    credits_gauge_->set(relaxed::load(credits_));
   }
 }
 

@@ -26,6 +26,7 @@
 
 #include "arena/string_craft.hpp"
 #include "common/bytes.hpp"
+#include "common/relaxed.hpp"
 #include "common/status.hpp"
 #include "metrics/metrics.hpp"
 #include "rdmarpc/block.hpp"
@@ -155,10 +156,9 @@ class Connection {
   /// block is the response block itself, which is exactly the paper's
   /// "the server implicitly acknowledges by simply sending responses".
   void note_peer_block_processed() noexcept {
-    uint16_t p = pending_acks_.load(std::memory_order_relaxed);
+    uint16_t p = relaxed::load(pending_acks_);
     if (p < UINT16_MAX) {
-      pending_acks_.store(static_cast<uint16_t>(p + 1),
-                          std::memory_order_relaxed);
+      relaxed::store(pending_acks_, static_cast<uint16_t>(p + 1));
     }
   }
 
@@ -179,10 +179,10 @@ class Connection {
   // walks, …) stays owner-thread-only.
 
   uint32_t credits_available() const noexcept {
-    return credits_.load(std::memory_order_relaxed);
+    return relaxed::load(credits_);
   }
   uint32_t pending_acks() const noexcept {
-    return pending_acks_.load(std::memory_order_relaxed);
+    return relaxed::load(pending_acks_);
   }
   size_t sent_blocks_outstanding() const noexcept { return sent_blocks_.size(); }
   const OffsetAllocator& allocator() const noexcept { return sbuf_alloc_; }

@@ -29,8 +29,8 @@ std::optional<uint64_t> OffsetAllocator::allocate(uint64_t size) {
       r.size -= size;
     }
     size_by_bucket_[offset / alignment_] = size;
-    used_.fetch_add(size, std::memory_order_relaxed);
-    allocation_count_.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(used_, size);
+    relaxed::add(allocation_count_, 1);
     return offset;
   }
   return std::nullopt;
@@ -43,8 +43,8 @@ void OffsetAllocator::free(uint64_t offset) {
   assert(size != 0 && "double free or foreign offset");
   if (size == 0) return;
   size_by_bucket_[bucket] = 0;
-  used_.fetch_sub(size, std::memory_order_relaxed);
-  allocation_count_.fetch_sub(1, std::memory_order_relaxed);
+  relaxed::sub(used_, size);
+  relaxed::sub(allocation_count_, 1);
 
   // Insert into the sorted free list, coalescing with both neighbors.
   auto it = std::lower_bound(

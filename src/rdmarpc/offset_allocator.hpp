@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/relaxed.hpp"
 #include "common/align.hpp"
 
 namespace dpurpc::rdmarpc {
@@ -44,11 +45,11 @@ class OffsetAllocator {
   // largest_free_range() walk the free list and stay owner-thread-only.
   uint64_t capacity() const noexcept { return capacity_; }
   uint64_t used() const noexcept {
-    return used_.load(std::memory_order_relaxed);
+    return relaxed::load(used_);
   }
   uint64_t free_bytes() const noexcept { return capacity_ - used(); }
   size_t allocation_count() const noexcept {
-    return allocation_count_.load(std::memory_order_relaxed);
+    return relaxed::load(allocation_count_);
   }
   size_t free_range_count() const noexcept { return free_ranges_.size(); }
 

@@ -45,7 +45,7 @@ void RpcServer::background_worker() {
       trace::Tracer::instance().record(trace::Stage::kHostDispatch,
                                        result.trace, t0, WallTimer::now());
     }
-    background_served_.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(background_served_, 1);
     if (!result_queue_->push(std::move(result))) return;  // shutting down
     // Wake the poller if it is blocked on the completion channel.
     conn_->interrupt();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "common/relaxed.hpp"
 #include "rdmarpc/connection.hpp"
 #include "rdmarpc/id_pool.hpp"
 #include "trace/trace.hpp"
@@ -96,7 +97,7 @@ class RpcServer {
 
   uint64_t requests_served() const noexcept { return requests_served_; }
   uint64_t background_served() const noexcept {
-    return background_served_.load(std::memory_order_relaxed);
+    return relaxed::load(background_served_);
   }
   Connection& connection() noexcept { return *conn_; }
 

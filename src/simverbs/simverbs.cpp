@@ -59,7 +59,7 @@ void CompletionQueue::push(Completion c) {
     if (items_.size() >= capacity_) {
       // Hardware would raise an async error and the connection would
       // collapse into retransmission; we record and drop.
-      overflows_.fetch_add(1, std::memory_order_relaxed);
+      relaxed::add(overflows_, 1);
       return;
     }
     items_.push_back(c);
@@ -172,8 +172,8 @@ Status QueuePair::post_write_with_imm(const SendWr& wr) {
   if (peer_ == nullptr) {
     return Status(Code::kFailedPrecondition, "queue pair not connected");
   }
-  if (faults_.drop_next_sends.load(std::memory_order_relaxed) > 0) {
-    faults_.drop_next_sends.fetch_sub(1, std::memory_order_relaxed);
+  if (relaxed::load(faults_.drop_next_sends) > 0) {
+    relaxed::sub(faults_.drop_next_sends, 1);
     return Status::ok();  // silently lost; tests use this to kill liveness
   }
 
@@ -196,15 +196,15 @@ Status QueuePair::post_write_with_imm(const SendWr& wr) {
   // one, hardware enters receiver-not-ready retry; we surface it.
   RecvWr consumed;
   if (!peer_->take_recv(&consumed)) {
-    tx_.rnr_events.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(tx_.rnr_events, 1);
     return Status(Code::kUnavailable,
                   "receiver not ready: no receive work request posted");
   }
 
   // The DMA: bytes land in the peer's registered region, in order.
   std::memcpy(dst->addr() + wr.remote_offset, wr.local_addr, wr.length);
-  tx_.bytes.fetch_add(wr.length, std::memory_order_relaxed);
-  tx_.ops.fetch_add(1, std::memory_order_relaxed);
+  relaxed::add(tx_.bytes, wr.length);
+  relaxed::add(tx_.ops, 1);
 
   Completion rc;
   rc.wr_id = consumed.wr_id;
@@ -235,11 +235,11 @@ Status QueuePair::post_send_imm(uint64_t wr_id, uint32_t imm_data) {
   }
   RecvWr consumed;
   if (!peer_->take_recv(&consumed)) {
-    tx_.rnr_events.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(tx_.rnr_events, 1);
     return Status(Code::kUnavailable,
                   "receiver not ready: no receive work request posted");
   }
-  tx_.ops.fetch_add(1, std::memory_order_relaxed);
+  relaxed::add(tx_.ops, 1);
 
   Completion rc;
   rc.wr_id = consumed.wr_id;

@@ -31,6 +31,7 @@
 
 #include "common/bytes.hpp"
 #include "common/lockdep.hpp"
+#include "common/relaxed.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -140,7 +141,7 @@ class CompletionQueue {
 
   size_t depth() const;
   uint64_t overflow_count() const noexcept {
-    return overflows_.load(std::memory_order_relaxed);
+    return relaxed::load(overflows_);
   }
 
  private:

@@ -52,7 +52,9 @@ Mode mode_from_env() noexcept {
 }  // namespace
 
 Tracer& Tracer::instance() {
-  static Tracer* t = new Tracer();  // leaked intentionally: process lifetime
+  // dpulint: allow(hot-path): leaked singleton, constructed exactly once
+  // for the process lifetime (same posture as metrics::default_registry).
+  static Tracer* t = new Tracer();
   return *t;
 }
 
@@ -63,7 +65,7 @@ Tracer::Tracer() {
   if (forced != Mode::kOff) {
     lockdep::ScopedLock lk(mu_);
     config_.mode = forced;
-    detail::g_mode.store(static_cast<uint8_t>(forced), std::memory_order_relaxed);
+    relaxed::store(detail::g_mode, static_cast<uint8_t>(forced));
   }
 }
 
@@ -71,8 +73,7 @@ void Tracer::configure(const TraceConfig& config) {
   lockdep::ScopedLock lk(mu_);
   config_ = config;
   if (config_.head_sample_every == 0) config_.head_sample_every = 1;
-  detail::g_mode.store(static_cast<uint8_t>(config_.mode),
-                       std::memory_order_relaxed);
+  relaxed::store(detail::g_mode, static_cast<uint8_t>(config_.mode));
 }
 
 TraceConfig Tracer::config() const {
@@ -97,7 +98,7 @@ SpanRing& Tracer::ring() {
 }
 
 TraceContext Tracer::begin_trace() {
-  auto mode = static_cast<Mode>(detail::g_mode.load(std::memory_order_relaxed));
+  auto mode = static_cast<Mode>(relaxed::load(detail::g_mode));
   if (mode == Mode::kOff) return {};
   if (mode == Mode::kSampled) {
     // Deterministic 1-in-N head sampling; the counter is shared across
@@ -107,17 +108,17 @@ TraceContext Tracer::begin_trace() {
       lockdep::ScopedLock lk(mu_);
       every = config_.head_sample_every;
     }
-    if (head_counter_.fetch_add(1, std::memory_order_relaxed) % every != 0) {
+    if (relaxed::add(head_counter_, 1) % every != 0) {
       return {};
     }
   }
   TraceContext ctx;
-  ctx.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  ctx.trace_id = relaxed::add(next_trace_id_, 1);
   ctx.parent_span_id = next_span_id();
   return ctx;
 }
 
-void Tracer::record(Stage stage, const TraceContext& ctx, uint64_t start_ns,
+DPURPC_HOT_PATH void Tracer::record(Stage stage, const TraceContext& ctx, uint64_t start_ns,
                     uint64_t end_ns, uint64_t arg) {
   if (!ctx.active()) return;
   SpanRecord r;
@@ -128,12 +129,15 @@ void Tracer::record(Stage stage, const TraceContext& ctx, uint64_t start_ns,
   r.end_ns = end_ns;
   r.arg = arg;
   r.stage = static_cast<uint8_t>(stage);
+  // dpulint: allow(hot-path): cold spill — a thread's first record
+  // creates its ring under the registry lock; steady state is a
+  // thread_local pointer read.
   SpanRing& rg = ring();
   r.tid = rg.tid();
   rg.try_push(r);
 }
 
-void Tracer::record_root(const TraceContext& ctx, uint64_t start_ns,
+DPURPC_HOT_PATH void Tracer::record_root(const TraceContext& ctx, uint64_t start_ns,
                          uint64_t end_ns, uint64_t arg) {
   if (!ctx.active()) return;
   SpanRecord r;
@@ -144,12 +148,15 @@ void Tracer::record_root(const TraceContext& ctx, uint64_t start_ns,
   r.end_ns = end_ns;
   r.arg = arg;
   r.stage = static_cast<uint8_t>(Stage::kRequest);
+  // dpulint: allow(hot-path): cold spill — a thread's first record
+  // creates its ring under the registry lock; steady state is a
+  // thread_local pointer read.
   SpanRing& rg = ring();
   r.tid = rg.tid();
   rg.try_push(r);
 }
 
-void Tracer::record_global(Stage stage, uint64_t start_ns, uint64_t end_ns,
+DPURPC_HOT_PATH void Tracer::record_global(Stage stage, uint64_t start_ns, uint64_t end_ns,
                            uint64_t arg) {
   SpanRecord r;
   r.trace_id = 0;  // the collector routes trace-less records to a side track
@@ -159,6 +166,9 @@ void Tracer::record_global(Stage stage, uint64_t start_ns, uint64_t end_ns,
   r.end_ns = end_ns;
   r.arg = arg;
   r.stage = static_cast<uint8_t>(stage);
+  // dpulint: allow(hot-path): cold spill — a thread's first record
+  // creates its ring under the registry lock; steady state is a
+  // thread_local pointer read.
   SpanRing& rg = ring();
   r.tid = rg.tid();
   rg.try_push(r);

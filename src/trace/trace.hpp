@@ -28,7 +28,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/hot_path.hpp"
 #include "common/lockdep.hpp"
+#include "common/relaxed.hpp"
 #include "common/thread_annotations.hpp"
 
 #ifndef DPURPC_TRACE_ENABLED
@@ -100,10 +102,11 @@ class SpanRing {
   uint32_t tid() const noexcept { return tid_; }
 
   /// Writer-thread only.
-  bool try_push(const SpanRecord& r) noexcept {
-    uint64_t h = head_.load(std::memory_order_relaxed);
+  DPURPC_HOT_PATH bool try_push(const SpanRecord& r) noexcept {
+    uint64_t h = head_.load(
+        std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): writer-side self cursor of the SPSC ring
     if (h - tail_.load(std::memory_order_acquire) > mask_) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      relaxed::add(dropped_, 1);
       return false;
     }
     slots_[h & mask_] = r;
@@ -114,16 +117,16 @@ class SpanRing {
 
   /// Consumer side (hold the Tracer registry lock: one consumer at a time).
   size_t drain(std::vector<SpanRecord>& out) {
-    uint64_t t = tail_.load(std::memory_order_relaxed);
+    uint64_t t = tail_.load(
+        std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): consumer-side self cursor of the SPSC ring
+
     uint64_t h = head_.load(std::memory_order_acquire);
     for (uint64_t i = t; i != h; ++i) out.push_back(slots_[i & mask_]);
     tail_.store(h, std::memory_order_release);
     return static_cast<size_t>(h - t);
   }
 
-  uint64_t dropped() const noexcept {
-    return dropped_.load(std::memory_order_relaxed);
-  }
+  uint64_t dropped() const noexcept { return relaxed::load(dropped_); }
 
  private:
   std::vector<SpanRecord> slots_;
@@ -156,7 +159,9 @@ inline std::atomic<uint8_t> g_mode{0};
 }  // namespace detail
 
 #if DPURPC_TRACE_ENABLED
-inline bool enabled() noexcept {
+DPURPC_HOT_PATH inline bool enabled() noexcept {
+  // dpulint: allow(relaxed-atomic): run-time gate — a stale read only
+  // delays the mode flip by one request, nothing orders against it.
   return detail::g_mode.load(std::memory_order_relaxed) !=
          static_cast<uint8_t>(Mode::kOff);
 }
@@ -181,9 +186,7 @@ class Tracer {
   /// or not sampled this time.
   TraceContext begin_trace();
 
-  uint64_t next_span_id() noexcept {
-    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
-  }
+  uint64_t next_span_id() noexcept { return relaxed::add(next_span_id_, 1); }
 
   /// Record one stage span under `ctx`'s root. No-op on inactive contexts.
   void record(Stage stage, const TraceContext& ctx, uint64_t start_ns,

@@ -47,6 +47,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "common/hot_path.hpp"
 #include "wire/varint.hpp"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -280,13 +281,13 @@ inline const uint8_t* decode_varint_run(const uint8_t* p, const uint8_t* end,
 }
 
 /// Truncating u32 batch (int32/uint32/enum storage — two's complement).
-inline const uint8_t* decode_varint_batch32(const uint8_t* p, const uint8_t* end,
+DPURPC_HOT_PATH inline const uint8_t* decode_varint_batch32(const uint8_t* p, const uint8_t* end,
                                             uint32_t count, uint32_t* out) noexcept {
   return decode_varint_run(p, end, count, out, detail::TruncXform{});
 }
 
 /// Full-width u64 batch (int64/uint64 storage).
-inline const uint8_t* decode_varint_batch64(const uint8_t* p, const uint8_t* end,
+DPURPC_HOT_PATH inline const uint8_t* decode_varint_batch64(const uint8_t* p, const uint8_t* end,
                                             uint32_t count, uint64_t* out) noexcept {
   return decode_varint_run(p, end, count, out, detail::IdentityXform{});
 }
@@ -296,7 +297,7 @@ inline const uint8_t* decode_varint_batch64(const uint8_t* p, const uint8_t* end
 /// Total encoded size of `count` varints: the sizing half of packed
 /// payload emission. A plain branch-free loop (varint_size is a clz) so
 /// element sizes pipeline with no data dependence between iterations.
-inline size_t varint_size_run(const uint64_t* vals, uint32_t count) noexcept {
+DPURPC_HOT_PATH inline size_t varint_size_run(const uint64_t* vals, uint32_t count) noexcept {
   size_t total = 0;
   for (uint32_t i = 0; i < count; ++i) total += varint_size(vals[i]);
   return total;
@@ -367,7 +368,7 @@ inline uint8_t* encode_run_portable(uint8_t* dst, uint8_t* dst_end,
 /// guarantees dst_end - dst >= varint_size_run(vals, count); output is
 /// byte-identical to per-element encode_varint. Returns one past the
 /// last byte written.
-inline uint8_t* encode_varint_run(uint8_t* dst, uint8_t* dst_end,
+DPURPC_HOT_PATH inline uint8_t* encode_varint_run(uint8_t* dst, uint8_t* dst_end,
                                   const uint64_t* vals, uint32_t count) noexcept {
 #ifdef DPURPC_VARINT_BATCH_X86
   if (detail::cpu_has_bmi2()) {

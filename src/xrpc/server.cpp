@@ -46,7 +46,7 @@ void Server::shutdown() {
 }
 
 void Server::accept_loop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (!relaxed::load(stopping_)) {
     auto client = listener_.accept();
     if (!client.is_ok()) break;  // listener shut down
     auto conn = std::make_shared<ConnState>();
@@ -55,18 +55,18 @@ void Server::accept_loop() {
     // Re-check under mu_: shutdown() sets stopping_ before it sweeps
     // conns_, so either we see it here (drop the connection), or the
     // sweep sees our registration (and shuts our fd down).
-    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (relaxed::load(stopping_)) break;
     conns_.push_back(conn);
     conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
   }
 }
 
 void Server::connection_loop(std::shared_ptr<ConnState> conn) {
-  while (!stopping_.load(std::memory_order_relaxed)) {
+  while (!relaxed::load(stopping_)) {
     auto frame = read_frame(conn->fd);
     if (!frame.is_ok()) return;  // closed or broken: drop the connection
     if (frame->type != FrameType::kRequest) return;
-    requests_accepted_.fetch_add(1, std::memory_order_relaxed);
+    relaxed::add(requests_accepted_, 1);
     uint32_t call_id = frame->request.call_id;
     trace::TraceContext tctx;
     if (trace::enabled() && frame->request.trace.active()) {

@@ -16,6 +16,7 @@
 
 #include "common/bytes.hpp"
 #include "common/lockdep.hpp"
+#include "common/relaxed.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 #include "metrics/metrics.hpp"
@@ -57,7 +58,7 @@ class Server {
   void shutdown();
 
   uint64_t requests_accepted() const noexcept {
-    return requests_accepted_.load(std::memory_order_relaxed);
+    return relaxed::load(requests_accepted_);
   }
 
  private:

@@ -18,9 +18,11 @@
 #
 # Extra named passes:
 #
-#   lint            — tools/lint.sh (clang-tidy over src/, including
-#                     src/trace/); a no-op with a warning when clang-tidy
-#                     is absent.
+#   lint            — tools/lint.sh: dpulint (the project-specific
+#                     invariant checker, tools/dpulint — always enforced,
+#                     built from this tree) plus clang-tidy over src/
+#                     (skipped with a warning when clang-tidy is absent,
+#                     hard failure under CI=true).
 #   trace           — re-runs the plain tree's whole test suite with
 #                     DPURPC_TRACE_FORCE=full: every request in every test
 #                     records spans into the rings, so the instrumentation
@@ -91,7 +93,15 @@ run_pass() {
 pass_plain() { run_pass "$prefix-plain"; }
 pass_asan()  { run_pass "$prefix-asan" -DDPURPC_SANITIZE=address,undefined -DDPURPC_LOCKDEP=ON; }
 pass_tsan()  { run_pass "$prefix-tsan" -DDPURPC_SANITIZE=thread -DDPURPC_BUILD_BENCH=OFF; }
-pass_lint()  { tools/lint.sh "$prefix-plain"; }
+pass_lint() {
+  # lint.sh needs a configured tree (compile_commands.json) and builds
+  # the dpulint target itself; configure here so `--pass lint` works
+  # standalone without paying for a full build.
+  if [ ! -f "$prefix-plain/compile_commands.json" ]; then
+    cmake -B "$prefix-plain" -S . "${launcher_args[@]}" >/dev/null
+  fi
+  tools/lint.sh "$prefix-plain"
+}
 
 # Reuses the plain tree (same binaries, new env): DPURPC_TRACE_FORCE=full
 # flips the runtime gate open in every test process, so all the span

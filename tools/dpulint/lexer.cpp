@@ -1,0 +1,259 @@
+// Tokenizer for dpulint: C++-shaped, comment- and preprocessor-stripping,
+// waiver-collecting. See dpulint.hpp for the big picture.
+#include "dpulint.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dpulint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Parse a `dpulint: allow(rule[,rule]): reason` body out of a comment.
+/// Returns true when the comment is a dpulint directive at all (so the
+/// caller records it, well-formed or not).
+bool parse_waiver(const std::string& comment, int line, Waiver* out) {
+  size_t at = comment.find("dpulint:");
+  if (at == std::string::npos) return false;
+  out->comment_line = line;
+  out->malformed = true;  // until proven otherwise
+  size_t p = at + 8;
+  while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+  if (comment.compare(p, 5, "allow") != 0) return true;
+  p += 5;
+  while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+  if (p >= comment.size() || comment[p] != '(') return true;
+  size_t close = comment.find(')', ++p);
+  if (close == std::string::npos) return true;
+  std::string rules = comment.substr(p, close - p);
+  std::istringstream rs(rules);
+  std::string rule;
+  while (std::getline(rs, rule, ',')) {
+    size_t a = rule.find_first_not_of(" \t");
+    size_t b = rule.find_last_not_of(" \t");
+    if (a == std::string::npos) continue;
+    out->rules.push_back(rule.substr(a, b - a + 1));
+  }
+  if (out->rules.empty()) return true;
+  // Reason: everything after the ')' minus leading separators (':', '-',
+  // em-dash, spaces). Must be non-empty — an unexplained waiver is noise
+  // the next reader cannot audit.
+  size_t r = close + 1;
+  while (r < comment.size() &&
+         (std::isspace(static_cast<unsigned char>(comment[r])) || comment[r] == ':' ||
+          comment[r] == '-' ||
+          (static_cast<unsigned char>(comment[r]) >= 0x80))) {
+    ++r;  // the >=0x80 arm eats em-dash bytes
+  }
+  std::string reason = comment.substr(r);
+  while (!reason.empty() && std::isspace(static_cast<unsigned char>(reason.back()))) {
+    reason.pop_back();
+  }
+  if (reason.empty()) return true;
+  out->reason = reason;
+  out->malformed = false;
+  return true;
+}
+
+}  // namespace
+
+bool SourceFile::line_waived(int line, const std::string& rule) const {
+  auto it = waivers_by_line.find(line);
+  if (it == waivers_by_line.end()) return false;
+  for (const Waiver* w : it->second) {
+    if (w->malformed) continue;
+    for (const auto& r : w->rules) {
+      if (r == rule || r == "all") return true;
+    }
+  }
+  return false;
+}
+
+SourceFile lex_file(const std::string& path, const std::string& text) {
+  SourceFile f;
+  f.path = path;
+  size_t i = 0;
+  const size_t n = text.size();
+  int line = 1;
+  // Lines that held a token before a given column — used to decide whether
+  // a waiver comment is trailing (covers its own line) or standalone
+  // (covers the next code line).
+  std::set<int> token_lines;
+
+  auto advance_line = [&](char c) {
+    if (c == '\n') ++line;
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') { ++line; ++i; continue; }
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+
+    // Preprocessor line (with backslash continuations). Only when '#'
+    // begins the logical line content.
+    if (c == '#') {
+      size_t ls = text.rfind('\n', i == 0 ? 0 : i - 1);
+      size_t first = (ls == std::string::npos) ? 0 : ls + 1;
+      bool only_ws = true;
+      for (size_t k = first; k < i; ++k) {
+        if (!std::isspace(static_cast<unsigned char>(text[k]))) { only_ws = false; break; }
+      }
+      if (only_ws) {
+        while (i < n) {
+          if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+            i += 2; ++line; continue;
+          }
+          if (text[i] == '\n') break;
+          ++i;
+        }
+        continue;
+      }
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      size_t start = i;
+      while (i < n && text[i] != '\n') ++i;
+      std::string body = text.substr(start, i - start);
+      Waiver w;
+      if (parse_waiver(body, line, &w)) {
+        w.effective_line = token_lines.count(line) ? line : -1;  // -1: next code line
+        f.waivers.push_back(w);
+      }
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t start = i;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        advance_line(text[i]);
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      std::string body = text.substr(start, i - start);
+      Waiver w;
+      if (parse_waiver(body, start_line, &w)) {
+        w.effective_line = token_lines.count(start_line) ? start_line : -1;
+        f.waivers.push_back(w);
+      }
+      continue;
+    }
+
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t d0 = i + 2;
+      size_t dp = text.find('(', d0);
+      if (dp != std::string::npos) {
+        std::string delim = ")";
+        delim.append(text, d0, dp - d0);
+        delim += '"';
+        size_t endp = text.find(delim, dp + 1);
+        size_t stop = (endp == std::string::npos) ? n : endp + delim.size();
+        for (size_t k = i; k < stop; ++k) advance_line(text[k]);
+        f.toks.push_back({Token::Kind::kString, "<raw>", line});
+        token_lines.insert(line);
+        i = stop;
+        continue;
+      }
+    }
+    // String literal (payload kept: lock-class names live in these).
+    if (c == '"') {
+      size_t start = ++i;
+      std::string val;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) { val += text[i]; val += text[i + 1]; i += 2; continue; }
+        advance_line(text[i]);
+        val += text[i++];
+      }
+      if (i < n) ++i;
+      f.toks.push_back({Token::Kind::kString, val, line});
+      token_lines.insert(line);
+      (void)start;
+      continue;
+    }
+    // Char literal (but not a digit separator 1'000).
+    if (c == '\'' &&
+        !(i > 0 && std::isdigit(static_cast<unsigned char>(text[i - 1])))) {
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\' && i + 1 < n) { i += 2; continue; }
+        advance_line(text[i]);
+        ++i;
+      }
+      if (i < n) ++i;
+      f.toks.push_back({Token::Kind::kCharLit, "", line});
+      token_lines.insert(line);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      size_t start = i;
+      while (i < n && ident_char(text[i])) ++i;
+      f.toks.push_back({Token::Kind::kIdent, text.substr(start, i - start), line});
+      token_lines.insert(line);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (ident_char(text[i]) || text[i] == '.' ||
+                       (text[i] == '\'' && i + 1 < n && ident_char(text[i + 1])) ||
+                       ((text[i] == '+' || text[i] == '-') && i > start &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                         text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+        ++i;
+      }
+      f.toks.push_back({Token::Kind::kNumber, text.substr(start, i - start), line});
+      token_lines.insert(line);
+      continue;
+    }
+    // Multi-char punctuation we care about: '::' and '->' (kept whole so
+    // qualifier walking is trivial); everything else single char.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      f.toks.push_back({Token::Kind::kPunct, "::", line});
+      token_lines.insert(line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      f.toks.push_back({Token::Kind::kPunct, "->", line});
+      token_lines.insert(line);
+      i += 2;
+      continue;
+    }
+    f.toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    token_lines.insert(line);
+    ++i;
+  }
+
+  // Resolve standalone waivers to the next code line.
+  for (auto& w : f.waivers) {
+    if (w.effective_line == -1) {
+      int next = 0;
+      for (const auto& t : f.toks) {
+        if (t.line > w.comment_line) { next = t.line; break; }
+      }
+      w.effective_line = next == 0 ? w.comment_line : next;
+    }
+  }
+  for (const auto& w : f.waivers) {
+    f.waivers_by_line[w.effective_line].push_back(&w);
+  }
+  return f;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace dpulint

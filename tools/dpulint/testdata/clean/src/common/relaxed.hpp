@@ -1,0 +1,13 @@
+// Whitelisted home for raw memory_order_relaxed (mirrors the real
+// src/common/relaxed.hpp — the suffix match is what matters here).
+#pragma once
+#include <atomic>
+
+namespace fix::relaxed {
+
+template <typename T>
+T load(const std::atomic<T>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+}  // namespace fix::relaxed

@@ -1,0 +1,16 @@
+// Fixture responder file: record-before-respond pairing done right —
+// kComplete is recorded before the responder fires (§3.15).
+#include "trace/trace.hpp"
+
+namespace fix {
+
+struct Responder {
+  void operator()(int code);
+};
+
+void finish(Responder& respond, trace::TraceContext& ctx) {
+  trace::record(trace::Stage::kComplete, ctx, 2, 3, 0);
+  respond(0);
+}
+
+}  // namespace fix

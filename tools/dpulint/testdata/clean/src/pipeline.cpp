@@ -1,0 +1,41 @@
+// The clean fixture's datapath: a hot root with an allocation-free
+// callee, a waived cold spill, a waived relaxed read, one registered
+// lock class, and record sites for the non-responder stages.
+#include <atomic>
+#include <vector>
+
+#include "common/relaxed.hpp"
+#include "trace/trace.hpp"
+
+namespace fix {
+
+struct Widget {
+  lockdep::Mutex mu_{"fix.Widget.mu"};
+};
+
+static int scale(int v) { return v * 2; }
+
+DPURPC_HOT_PATH int fast_sum(const int* p, int n) {
+  int s = 0;
+  for (int i = 0; i < n; ++i) s += scale(p[i]);
+  return s;
+}
+
+DPURPC_HOT_PATH void fast_note(std::vector<int>& log, int v) {
+  if (v < 0) {
+    // dpulint: allow(hot-path): fixture cold spill — error accounting
+    // grows the log outside the steady state.
+    log.push_back(v);
+  }
+}
+
+unsigned long peek(const std::atomic<unsigned long>& a) {
+  return a.load(std::memory_order_relaxed);  // dpulint: allow(relaxed-atomic): SPSC self-cursor, fixture form
+}
+
+void instrument(trace::TraceContext& ctx) {
+  trace::record_root(ctx, 0, 1, 0);
+  trace::record(trace::Stage::kDecode, ctx, 1, 2, 0);
+}
+
+}  // namespace fix

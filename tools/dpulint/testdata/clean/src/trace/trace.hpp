@@ -1,0 +1,24 @@
+// Fixture trace library: the Stage enum the trace-stage rule audits.
+// This file is in the policy's stage_site_exclude list, so mentions here
+// do not count as record sites.
+#pragma once
+
+namespace trace {
+
+enum class Stage : unsigned char {
+  kRequest,
+  kDecode,
+  kComplete,
+  kStageCount,
+};
+
+struct TraceContext {
+  unsigned long trace_id = 0;
+};
+
+void record(Stage stage, const TraceContext& ctx, unsigned long start,
+            unsigned long end, unsigned long arg);
+void record_root(const TraceContext& ctx, unsigned long start,
+                 unsigned long end, unsigned long arg);
+
+}  // namespace trace

@@ -1,0 +1,11 @@
+// Deliberate hot-path violation: the hot root reaches push_back
+// (allocation-prone container growth) through a helper, with no waiver.
+#include <vector>
+
+namespace fix {
+
+void helper(std::vector<int>& v) { v.push_back(1); }
+
+DPURPC_HOT_PATH void fast(std::vector<int>& v) { helper(v); }
+
+}  // namespace fix

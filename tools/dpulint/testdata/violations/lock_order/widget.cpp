@@ -1,0 +1,9 @@
+// Deliberate lock-order drift: this class is registered in code but the
+// fixture design doc lists a different one (fix.Other.mu) instead.
+namespace fix {
+
+struct Widget {
+  lockdep::Mutex mu_{"fix.Widget.mu"};
+};
+
+}  // namespace fix

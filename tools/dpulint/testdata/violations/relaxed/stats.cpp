@@ -1,0 +1,11 @@
+// Deliberate relaxed-atomic violation: a raw memory_order_relaxed use
+// outside the approved wrappers, with no waiver naming its protocol.
+#include <atomic>
+
+namespace fix {
+
+unsigned long sample(const std::atomic<unsigned long>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// Deliberate trace-pairing violation: the responder fires without a
+// kComplete mention anywhere before it (record-before-respond, §3.15).
+#include "trace/trace.hpp"
+
+namespace fix {
+
+struct Responder {
+  void operator()(int code);
+};
+
+void reject(Responder& respond) { respond(-1); }
+
+}  // namespace fix

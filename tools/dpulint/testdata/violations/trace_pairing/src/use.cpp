@@ -1,0 +1,12 @@
+// Keeps the trace-stage rule satisfied so the pairing finding is the
+// only one in this fixture.
+#include "trace/trace.hpp"
+
+namespace fix {
+
+void instrument(trace::TraceContext& ctx) {
+  trace::record_root(ctx, 0, 1, 0);
+  trace::record(trace::Stage::kComplete, ctx, 1, 2, 0);
+}
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+// Fixture trace library with a stage nobody records (kDecode).
+#pragma once
+
+namespace trace {
+
+enum class Stage : unsigned char {
+  kRequest,
+  kDecode,
+  kComplete,
+  kStageCount,
+};
+
+struct TraceContext {
+  unsigned long trace_id = 0;
+};
+
+void record(Stage stage, const TraceContext& ctx, unsigned long start,
+            unsigned long end, unsigned long arg);
+void record_root(const TraceContext& ctx, unsigned long start,
+                 unsigned long end, unsigned long arg);
+
+}  // namespace trace

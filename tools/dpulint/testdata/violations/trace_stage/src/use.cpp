@@ -1,0 +1,11 @@
+// Records kRequest (via record_root) and kComplete — but never kDecode.
+#include "trace/trace.hpp"
+
+namespace fix {
+
+void instrument(trace::TraceContext& ctx) {
+  trace::record_root(ctx, 0, 1, 0);
+  trace::record(trace::Stage::kComplete, ctx, 1, 2, 0);
+}
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// Deliberate waiver-syntax violation: a waiver with no reason. An
+// undocumented exemption is itself a finding.
+namespace fix {
+
+// dpulint: allow(hot-path)
+int x() { return 0; }
+
+}  // namespace fix
