@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   // --- host: the store ---
   std::map<std::string, std::string> store;  // single poller thread: no lock
   grpccompat::HostEngine host(&host_conn, &*manifest, &pool);
-  (void)host.register_method(
+  (void)host.register_unary(
       "kv.KvStore/Put",
       [&store](const grpccompat::ServerContext&, const adt::LayoutView& req,
                proto::DynamicMessage& resp) {
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
         resp.set_uint64(resp.descriptor()->field_by_name("created"), created ? 1 : 0);
         return Status::ok();
       });
-  (void)host.register_method(
+  (void)host.register_unary(
       "kv.KvStore/Get",
       [&store](const grpccompat::ServerContext&, const adt::LayoutView& req,
                proto::DynamicMessage& resp) {
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
         }
         return Status::ok();
       });
-  (void)host.register_method(
+  (void)host.register_unary(
       "kv.KvStore/Scan",
       [&store](const grpccompat::ServerContext&, const adt::LayoutView& req,
                proto::DynamicMessage& resp) {

@@ -62,7 +62,7 @@ int main() {
   // 4. Host business logic: reads the request through the in-place object
   //    — no deserialization happens on this side.
   grpccompat::HostEngine host(&host_conn, &*manifest, &pool);
-  auto st = host.register_method(
+  auto st = host.register_unary(
       "demo.Greeter/SayHello",
       [](const grpccompat::ServerContext&, const adt::LayoutView& req,
          proto::DynamicMessage& reply) {

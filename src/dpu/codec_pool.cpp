@@ -222,22 +222,35 @@ bool CodecPool::run_one(size_t w, size_t lane, bool stolen) {
 
 CodecResult CodecPool::decode(size_t w, CodecJob&& job) {
   Worker& me = *workers_[w];
+  const bool chunk = job.kind == JobKind::kDecodeChunk;
   uint64_t t0_wall = 0;
-  if (trace::enabled() && job.trace.active()) {
+  if (trace::enabled() && (chunk || job.trace.active())) {
     t0_wall = WallTimer::now();
-    // Submit-to-pickup wait in the lane's handoff ring.
-    trace::Tracer::instance().record(trace::Stage::kDecodeRingWait, job.trace,
-                                     job.submit_ns, t0_wall);
+    // Submit-to-pickup wait in the lane's handoff ring. Chunk jobs skip
+    // the per-trace span: many chunks share one stream trace, and
+    // per-chunk spans there would break the tiling invariant — their
+    // decode time lands on the kWorkerDecodeChunk global track below.
+    if (!chunk && job.trace.active()) {
+      trace::Tracer::instance().record(trace::Stage::kDecodeRingWait,
+                                       job.trace, job.submit_ns, t0_wall);
+    }
   }
   const uint64_t t0 = ThreadCpuTimer::now();
   CodecResult result;
-  result.kind = JobKind::kDecode;
+  result.kind = job.kind;
   result.cookie = job.cookie;
   result.worker = static_cast<uint16_t>(w);
 
+  // Chunk jobs decode the bytes after the prefix hole; the hole itself
+  // travels with the buffer so the lane can forward it un-copied.
+  const size_t wire_off = std::min<size_t>(job.wire_offset, job.wire.size());
+  const ByteSpan wire_view(job.wire.data() + wire_off,
+                           job.wire.size() - wire_off);
+  const size_t wire_bytes = wire_view.size();
+
   // First attempt sized from the wire (objects inflate: headers, varint
   // widening, string reps); one retry at the cap on arena exhaustion.
-  size_t cap = std::min(options_.max_slice_bytes, job.wire.size() * 8 + 1024);
+  size_t cap = std::min(options_.max_slice_bytes, wire_bytes * 8 + 1024);
   for (;;) {
     ScratchSlice slice = ScratchSlice::allocate(cap);
     if (!slice) {
@@ -252,7 +265,7 @@ CodecResult CodecPool::decode(size_t w, CodecJob&& job) {
     // dpulint: allow(hot-path): plan-driven decode builds the tree inside
     // the preallocated slice arena; kResourceExhausted spills retry, they
     // never malloc.
-    auto obj = deserializer_->deserialize(job.class_index, ByteSpan(job.wire),
+    auto obj = deserializer_->deserialize(job.class_index, wire_view,
                                           scratch, local);
     if (obj.is_ok()) {
       result.slice = std::move(slice);
@@ -271,16 +284,25 @@ CodecResult CodecPool::decode(size_t w, CodecJob&& job) {
     break;
   }
 
+  // Echo the input buffer back so a streaming lane forwards the same
+  // bytes (prefix hole intact) without a copy.
+  if (chunk) result.wire = std::move(job.wire);
+
   const uint64_t ns = ThreadCpuTimer::now() - t0;
   if (t0_wall != 0) {
     // Wall time on purpose (the CPU timer above feeds the cost model):
     // spans must live on the same monotonic axis as every other stage.
-    trace::Tracer::instance().record(trace::Stage::kWorkerDecode, job.trace,
-                                     t0_wall, WallTimer::now(),
-                                     job.wire.size());
+    if (chunk) {
+      trace::Tracer::instance().record_global(trace::Stage::kWorkerDecodeChunk,
+                                              t0_wall, WallTimer::now(),
+                                              wire_bytes);
+    } else {
+      trace::Tracer::instance().record(trace::Stage::kWorkerDecode, job.trace,
+                                       t0_wall, WallTimer::now(), wire_bytes);
+    }
   }
   relaxed::add(me.jobs, 1);
-  relaxed::add(me.bytes_decoded, job.wire.size());
+  relaxed::add(me.bytes_decoded, wire_bytes);
   relaxed::add(me.busy_ns, ns);
   relaxed::add(me.scaled_busy_ns,
                static_cast<uint64_t>(options_.cost_model.scale_ns(

@@ -90,6 +90,12 @@ class ScratchSlice {
 enum class JobKind : uint8_t {
   kDecode,  ///< wire bytes → fully-local object tree (request direction)
   kEncode,  ///< fully-local object tree → wire bytes (response direction)
+  /// One chunk of a streamed request: wire bytes at `wire_offset` hold
+  /// whole repeated-message records (the proxy's boundary scan guarantees
+  /// it), decoded like kDecode but with the input buffer echoed back in
+  /// `CodecResult::wire` so the lane can forward the same bytes without a
+  /// copy. Decode time lands on the kWorkerDecodeChunk global track.
+  kDecodeChunk,
 };
 
 /// One codec request, handed from a lane poller to the pool. `cookie` is
@@ -108,6 +114,10 @@ struct CodecJob {
   uint32_t class_index = 0;
   uint64_t cookie = 0;
   Bytes wire;                ///< decode input
+  /// Decode starts at this byte of `wire` (kDecodeChunk: the proxy keeps
+  /// a prefix hole at the front of each chunk buffer for the host-side
+  /// stream header, so the same buffer forwards without a re-copy).
+  uint32_t wire_offset = 0;
   ScratchSlice object;       ///< encode input: fully-local object tree
   uint32_t object_used = 0;  ///< encode: bytes of `object` occupied
   uint32_t obj_offset = 0;   ///< encode: root object's offset within the slice
@@ -127,7 +137,9 @@ struct CodecResult {
   ScratchSlice slice;
   uint32_t used = 0;        ///< decode: bytes of slice occupied by the tree
   uint32_t obj_offset = 0;  ///< decode: root object's offset within the slice
-  Bytes wire;               ///< encode: serialized response bytes
+  /// Encode: serialized response bytes. kDecodeChunk: the job's input
+  /// buffer echoed back (prefix hole intact) for zero-copy forwarding.
+  Bytes wire;
   uint16_t worker = 0;      ///< which worker ran it (stats/tests)
 };
 

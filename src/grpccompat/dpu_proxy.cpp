@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "arena/arena.hpp"
 #include "common/cpu_timer.hpp"
+#include "common/hot_path.hpp"
 #include "metrics/metrics.hpp"
 
 namespace dpurpc::grpccompat {
@@ -15,6 +17,81 @@ namespace {
 // rounding.
 constexpr size_t kMaxOutstandingJobs = 128;
 constexpr size_t kCodecRingCapacity = 256;
+// Slice cap for the pool: unary payloads are bounded by the block size,
+// but stream pieces (piece_target-sized, 8x decode inflation) need more
+// headroom. Slices are sized from the wire first and only grow to the
+// cap on arena exhaustion, so the larger cap costs nothing on the unary
+// path.
+constexpr size_t kPoolSliceCap = 4u << 20;
+
+/// One protobuf varint at the front of [p, p+n). Returns its byte
+/// length; 0 when the buffer ends mid-varint (caller decides between
+/// "need more bytes" and "malformed" from how much it already has).
+size_t read_varint(const std::byte* p, size_t n, uint64_t* out) {
+  uint64_t v = 0;
+  size_t limit = std::min<size_t>(n, 10);
+  for (size_t i = 0; i < limit; ++i) {
+    uint8_t b = static_cast<uint8_t>(p[i]);
+    v |= static_cast<uint64_t>(b & 0x7f) << (7 * i);
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+constexpr size_t kMalformedRecord = SIZE_MAX;
+
+/// Length of the complete top-level protobuf record at the front of
+/// `data`: 0 = incomplete (need more bytes), kMalformedRecord = the
+/// bytes can never parse. Repeated *message* fields are consecutive
+/// such records, which is what makes the stream splittable here —
+/// concatenation of record subsets is protobuf merge semantics.
+size_t record_length(ByteSpan data) {
+  uint64_t tag = 0;
+  size_t tag_len = read_varint(data.data(), data.size(), &tag);
+  if (tag_len == 0) return data.size() >= 10 ? kMalformedRecord : 0;
+  if ((tag >> 3) == 0) return kMalformedRecord;  // field number 0
+  switch (tag & 7u) {
+    case 0: {  // varint
+      uint64_t v = 0;
+      size_t n = read_varint(data.data() + tag_len, data.size() - tag_len, &v);
+      if (n == 0) {
+        return data.size() - tag_len >= 10 ? kMalformedRecord : 0;
+      }
+      return tag_len + n;
+    }
+    case 1:  // fixed64
+      return data.size() < tag_len + 8 ? 0 : tag_len + 8;
+    case 2: {  // length-delimited
+      uint64_t len = 0;
+      size_t n = read_varint(data.data() + tag_len, data.size() - tag_len, &len);
+      if (n == 0) {
+        return data.size() - tag_len >= 10 ? kMalformedRecord : 0;
+      }
+      if (len > (1u << 31)) return kMalformedRecord;
+      uint64_t total = tag_len + n + len;
+      return total > data.size() ? 0 : static_cast<size_t>(total);
+    }
+    case 5:  // fixed32
+      return data.size() < tag_len + 4 ? 0 : tag_len + 4;
+    default:  // wire types 3/4 (groups): unsupported
+      return kMalformedRecord;
+  }
+}
+
+/// Monotone max on a relaxed stats cell (pollers race across lanes).
+void note_peak(std::atomic<uint64_t>& cell, uint64_t value) {
+  // dpulint: allow(relaxed-atomic): monitor-only monotone max — the cell is
+  // a stats high-water mark read by tests/benches after quiescence; no data
+  // is published through it, so relaxed CAS is the whole protocol.
+  uint64_t seen = cell.load(std::memory_order_relaxed);
+  while (value > seen &&
+         // dpulint: allow(relaxed-atomic): same monitor-only max protocol.
+         !cell.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
 
 DpuProxy::DpuProxy(rdmarpc::Connection* conn, const OffloadManifest* manifest,
@@ -33,7 +110,8 @@ DpuProxy::DpuProxy(const std::vector<rdmarpc::Connection*>& conns,
   dpu::CodecPool::Options pool_options;
   pool_options.workers = codec_workers;
   pool_options.ring_capacity = kCodecRingCapacity;
-  pool_options.max_slice_bytes = rdmarpc::kMaxPayloadSize;
+  pool_options.max_slice_bytes =
+      std::max<size_t>(rdmarpc::kMaxPayloadSize, kPoolSliceCap);
   pool_ = std::make_unique<dpu::CodecPool>(
       &deserializer_, &serializer_, lanes_.size(), pool_options,
       // Completion wakeup: runs on the worker thread; interrupt() kicks
@@ -45,32 +123,7 @@ DpuProxy::~DpuProxy() { stop(); }
 
 StatusOr<uint16_t> DpuProxy::start() {
   auto server = xrpc::Server::start(
-      [this](const std::string& method, Bytes payload, trace::TraceContext tctx,
-             xrpc::Server::Responder respond) {
-        uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
-        const MethodEntry* entry = manifest_->find_by_name(method);
-        if (entry == nullptr) {
-          // dpulint: allow(trace-pairing): unknown method — rejected before
-          // any stage span exists, so there is no kComplete to record.
-          respond(Code::kNotFound, {});
-          return;
-        }
-        // Round-robin across poller lanes (§III.C: dedicated poller per
-        // connection); wake the lane if it sleeps on its channel.
-        Lane& lane =
-            *lanes_[relaxed::add(next_lane_, 1) % lanes_.size()];
-        uint64_t enqueue_ns = tctx.active() ? WallTimer::now() : 0;
-        if (lane.queue.push(
-                {entry, std::move(payload), std::move(respond), tctx, enqueue_ns})) {
-          lane.conn->interrupt();
-        }  // else: queue closed, proxy shutting down
-        if (tctx.active()) {
-          // Method lookup + lane selection + queue push, on the xRPC
-          // reader thread. The lane-queue-wait span picks up at enqueue_ns.
-          trace::Tracer::instance().record(trace::Stage::kProxyDispatch, tctx,
-                                           t0, WallTimer::now());
-        }
-      },
+      xrpc::CallHandler([this](xrpc::CallContext ctx) { handle_call(std::move(ctx)); }),
       &metrics::default_registry());
   if (!server.is_ok()) return server.status();
   xrpc_server_ = std::move(*server);
@@ -97,6 +150,415 @@ void DpuProxy::stop() {
   // still in the rings are freed with the pool; their calls were already
   // failed out by fail_pending on poller exit.
   pool_->stop();
+}
+
+void DpuProxy::handle_call(xrpc::CallContext ctx) {
+  uint64_t t0 = ctx.trace.active() ? WallTimer::now() : 0;
+  const MethodEntry* entry = manifest_->find_by_name(ctx.method);
+  if (entry == nullptr) {
+    // dpulint: allow(trace-pairing): unknown method — rejected before
+    // any stage span exists, so there is no kComplete to record.
+    ctx.respond(Code::kNotFound, {});
+    return;
+  }
+  // Round-robin across poller lanes (§III.C: dedicated poller per
+  // connection); wake the lane if it sleeps on its channel.
+  Lane* lane = lanes_[relaxed::add(next_lane_, 1) % lanes_.size()].get();
+  uint64_t enqueue_ns = ctx.trace.active() ? WallTimer::now() : 0;
+  if (ctx.is_stream()) {
+    // A stream pins its lane: every event for it must reach the same
+    // poller, in arrival order — which the per-lane FIFO queue gives us
+    // for free (the open is pushed below, before this reader thread can
+    // see any chunk frame for the call).
+    const uint32_t sid =
+        static_cast<uint32_t>(relaxed::add(next_stream_id_, 1)) + 1;
+    const bool traced = ctx.trace.active();
+    ctx.stream->on_chunk([lane, sid](Bytes chunk) {
+      PendingCall ev;
+      ev.kind = PendingCall::Kind::kStreamChunk;
+      ev.stream_id = sid;
+      ev.payload = std::move(chunk);
+      if (lane->queue.push(std::move(ev))) lane->conn->interrupt();
+    });
+    ctx.stream->on_end([lane, sid, traced] {
+      PendingCall ev;
+      ev.kind = PendingCall::Kind::kStreamEnd;
+      ev.stream_id = sid;
+      // End-frame arrival stamp: the kStreamTransfer/kStreamDrainWait
+      // boundary.
+      ev.enqueue_ns = traced ? WallTimer::now() : 0;
+      if (lane->queue.push(std::move(ev))) lane->conn->interrupt();
+    });
+    ctx.stream->on_abort([lane, sid](Code code) {
+      PendingCall ev;
+      ev.kind = PendingCall::Kind::kStreamAbort;
+      ev.stream_id = sid;
+      ev.abort_code = code;
+      if (lane->queue.push(std::move(ev))) lane->conn->interrupt();
+    });
+    PendingCall open;
+    open.kind = PendingCall::Kind::kStreamOpen;
+    open.method = entry;
+    open.respond = std::move(ctx.respond);
+    open.stream = std::move(ctx.stream);
+    open.stream_id = sid;
+    open.trace = ctx.trace;
+    open.enqueue_ns = enqueue_ns;
+    if (lane->queue.push(std::move(open))) lane->conn->interrupt();
+  } else {
+    PendingCall call;
+    call.method = entry;
+    call.payload = std::move(ctx.payload);
+    call.respond = std::move(ctx.respond);
+    call.trace = ctx.trace;
+    call.enqueue_ns = enqueue_ns;
+    if (lane->queue.push(std::move(call))) lane->conn->interrupt();
+  }  // queue closed → proxy shutting down; the drop is deliberate
+  if (ctx.trace.active()) {
+    // Method lookup + lane selection + queue push, on the xRPC reader
+    // thread. The lane-queue-wait span picks up at enqueue_ns.
+    trace::Tracer::instance().record(trace::Stage::kProxyDispatch, ctx.trace,
+                                     t0, WallTimer::now());
+  }
+}
+
+Status DpuProxy::dispatch_event(Lane& lane, PendingCall event) {
+  switch (event.kind) {
+    case PendingCall::Kind::kCall:
+      return submit_decode(lane, std::move(event));
+    case PendingCall::Kind::kStreamOpen:
+      open_stream(lane, std::move(event));
+      return Status::ok();
+    case PendingCall::Kind::kStreamChunk:
+      stream_chunk(lane, std::move(event));
+      return Status::ok();
+    case PendingCall::Kind::kStreamEnd:
+      stream_end(lane, std::move(event));
+      return Status::ok();
+    case PendingCall::Kind::kStreamAbort:
+      relaxed::add(stats_.stream_aborts, 1);
+      stream_abort(lane, event.stream_id);
+      return Status::ok();
+  }
+  return Status::ok();
+}
+
+void DpuProxy::open_stream(Lane& lane, PendingCall event) {
+  auto ps = std::make_unique<ProxyStream>();
+  ps->method = event.method;
+  ps->stream = std::move(event.stream);
+  ps->respond =
+      std::make_shared<xrpc::Server::Responder>(std::move(event.respond));
+  ps->trace = event.trace;
+  ps->open_ns = event.enqueue_ns;
+  xrpc::ServerStream* stream = ps->stream.get();
+  lane.streams.emplace(event.stream_id, std::move(ps));
+  // Open the credit window: the client may ship up to the whole budget
+  // before the first host ack re-grants — the proxy-side bound on held
+  // bytes falls straight out of this being the only unearned credit.
+  (void)stream->grant(static_cast<uint32_t>(
+      std::min<size_t>(stream_options_.per_stream_budget, UINT32_MAX)));
+}
+
+void DpuProxy::stream_chunk(Lane& lane, PendingCall event) {
+  auto it = lane.streams.find(event.stream_id);
+  if (it == lane.streams.end()) return;  // failed/aborted: drop quietly
+  ProxyStream& ps = *it->second;
+  ps.held_bytes += event.payload.size();
+  ps.total_bytes += event.payload.size();
+  note_peak(stats_.stream_peak_bytes, ps.held_bytes);
+  ps.carry.insert(ps.carry.end(), event.payload.begin(), event.payload.end());
+  event.payload = Bytes();
+  Status st = scan_and_submit(lane, event.stream_id);
+  if (!st.is_ok()) {
+    fail_stream(lane, event.stream_id, st);
+    return;
+  }
+  forward_ready(lane, event.stream_id);
+}
+
+void DpuProxy::stream_end(Lane& lane, PendingCall event) {
+  auto it = lane.streams.find(event.stream_id);
+  if (it == lane.streams.end()) return;
+  ProxyStream& ps = *it->second;
+  ps.ended = true;
+  ps.end_ns = event.enqueue_ns;
+  if (ps.trace.active()) {
+    // Client-paced transfer: open event → end-frame arrival. Chunk wire
+    // time, credit stalls, and pool decode overlap all live in here;
+    // per-piece decode cost shows on the kWorkerDecodeChunk global track.
+    trace::Tracer::instance().record(trace::Stage::kStreamTransfer, ps.trace,
+                                     ps.open_ns, ps.end_ns, ps.total_bytes);
+  }
+  Status st = scan_and_submit(lane, event.stream_id);
+  if (!st.is_ok()) {
+    fail_stream(lane, event.stream_id, st);
+    return;
+  }
+  forward_ready(lane, event.stream_id);
+  maybe_finish_stream(lane, event.stream_id);
+}
+
+void DpuProxy::stream_abort(Lane& lane, uint32_t stream_id) {
+  // Client aborted (or its connection died): no response owed. Dropping
+  // the entry frees carry/ready; chunk jobs still out with the pool are
+  // dropped when their cookies pop in chunk_decoded.
+  lane.streams.erase(stream_id);
+}
+
+DPURPC_HOT_PATH Status DpuProxy::scan_and_submit(Lane& lane, uint32_t stream_id) {
+  auto it = lane.streams.find(stream_id);
+  if (it == lane.streams.end()) return Status::ok();
+  ProxyStream& ps = *it->second;
+  size_t pos = 0;
+  size_t piece_start = 0;
+  // Cut [piece_start, pos) at record boundaries into ~piece_target
+  // pieces; a trailing partial record stays in carry for the next chunk.
+  while (pos < ps.carry.size()) {
+    size_t rl = record_length(ByteSpan(ps.carry).subspan(pos));
+    if (rl == kMalformedRecord) {
+      return Status(Code::kInvalidArgument, "malformed stream chunk");
+    }
+    if (rl == 0) {
+      // Incomplete record. If it can never fit under the piece cap, no
+      // amount of further chunks will make it decodable.
+      if (ps.carry.size() - pos > stream_options_.max_decoded_chunk) {
+        return Status(Code::kResourceExhausted,
+                      "stream record exceeds max_decoded_chunk");
+      }
+      break;
+    }
+    if (rl > stream_options_.max_decoded_chunk) {
+      return Status(Code::kResourceExhausted,
+                    "stream record exceeds max_decoded_chunk");
+    }
+    pos += rl;
+    if (pos - piece_start < stream_options_.piece_target &&
+        !(ps.ended && pos == ps.carry.size())) {
+      continue;
+    }
+    // Emit [piece_start, pos) with the prefix hole up front — the same
+    // buffer goes pool → ready → host without another copy.
+    const size_t piece_bytes = pos - piece_start;
+    // dpulint: allow(hot-path): the one designed allocation per piece —
+    // the prefix-holed buffer that travels pool → ready → host without
+    // another copy.
+    Bytes buf(kStreamPrefixSize + piece_bytes);
+    std::memcpy(buf.data() + kStreamPrefixSize, ps.carry.data() + piece_start,
+                piece_bytes);
+    piece_start = pos;
+    const uint32_t seq = ps.next_piece_seq++;
+    dpu::CodecJob job;
+    job.kind = dpu::JobKind::kDecodeChunk;
+    job.class_index = ps.method->input_class;
+    job.cookie = ++lane.next_cookie;
+    job.wire = std::move(buf);
+    job.wire_offset = kStreamPrefixSize;
+    if (lane.outstanding < kMaxOutstandingJobs &&
+        pool_->submit(lane.index, job)) {
+      lane.pending_chunks.emplace(job.cookie, std::make_pair(stream_id, seq));
+      ++lane.outstanding;
+      ++ps.decodes_in_pool;
+      continue;
+    }
+    // Ring/budget full: validate-decode on the lane thread (overload
+    // spill) and stage the piece as ready directly.
+    relaxed::add(stats_.inline_decodes, 1);
+    Bytes piece = std::move(job.wire);
+    ByteSpan view(piece.data() + kStreamPrefixSize, piece_bytes);
+    // dpulint: allow(hot-path): overload spill — ring/budget full, so the
+    // lane thread validate-decodes inline (arena + deserializer allocate);
+    // counted in inline_decodes, same posture as the pool's spill decode.
+    arena::OwningArena scratch(piece_bytes * 8 + 1024);
+    arena::AddressTranslator local{};
+    // dpulint: allow(hot-path): same overload spill as above.
+    auto obj = deserializer_.deserialize(ps.method->input_class, view, scratch,
+                                         local);
+    if (!obj.is_ok()) return obj.status();
+    relaxed::add(stats_.stream_chunks, 1);
+    ps.ready.emplace(seq, std::move(piece));
+  }
+  ps.carry.erase(ps.carry.begin(),
+                 ps.carry.begin() + static_cast<ptrdiff_t>(piece_start));
+  if (ps.ended && !ps.carry.empty()) {
+    return Status(Code::kInvalidArgument, "stream ended mid-record");
+  }
+  return Status::ok();
+}
+
+void DpuProxy::chunk_decoded(Lane& lane, dpu::CodecResult result) {
+  auto cit = lane.pending_chunks.find(result.cookie);
+  if (cit == lane.pending_chunks.end()) return;
+  auto [stream_id, seq] = cit->second;
+  lane.pending_chunks.erase(cit);
+  --lane.outstanding;
+  auto sit = lane.streams.find(stream_id);
+  if (sit == lane.streams.end()) return;  // stream died: buffers free here
+  ProxyStream& ps = *sit->second;
+  --ps.decodes_in_pool;
+  if (!result.status.is_ok()) {
+    relaxed::add(stats_.deserialize_failures, 1);
+    fail_stream(lane, stream_id, result.status);
+    return;
+  }
+  relaxed::add(stats_.stream_chunks, 1);
+  // The decoded tree (result.slice) was the DPU's work product; what the
+  // host needs is the validated wire piece, echoed back in result.wire
+  // with its prefix hole intact. The slice frees right here.
+  ps.ready.emplace(seq, std::move(result.wire));
+  forward_ready(lane, stream_id);
+  maybe_finish_stream(lane, stream_id);
+}
+
+void DpuProxy::forward_ready(Lane& lane, uint32_t stream_id) {
+  // call_fragmented pumps the event loop while blocked, so continuations
+  // (host acks, even failures that erase this very stream) can run inside
+  // each iteration — always re-find the stream, never cache a reference
+  // across a call.
+  for (;;) {
+    auto sit = lane.streams.find(stream_id);
+    if (sit == lane.streams.end()) return;
+    ProxyStream& ps = *sit->second;
+    auto rit = ps.ready.find(ps.next_forward_seq);
+    if (rit == ps.ready.end()) return;
+    Bytes piece = std::move(rit->second);
+    ps.ready.erase(rit);
+    const uint32_t seq = ps.next_forward_seq++;
+    const uint64_t payload_bytes = piece.size() - kStreamPrefixSize;
+    write_stream_prefix(piece.data(), StreamPrefix{stream_id, seq, 0, 0});
+    // Counted before the call: the host's ack can arrive inside
+    // call_fragmented's internal event-loop pump.
+    ++ps.rpcs_in_flight;
+    const uint64_t fwd_t0 = trace::enabled() ? WallTimer::now() : 0;
+    Status st;
+    for (int attempt = 0;; ++attempt) {
+      st = lane.client.call_fragmented(
+          ps.method->method_id, ByteSpan(piece),
+          [this, lane = &lane, stream_id, payload_bytes, fwd_t0](
+              const Status& rpc_result, const rdmarpc::InMessage&) {
+            if (fwd_t0 != 0) {
+              // Per-piece forward RPCs share one stream trace, so the span
+              // goes on the global track (like kWorkerDecodeChunk) — a
+              // per-trace span per piece would break the tiling invariant.
+              trace::Tracer::instance().record_global(
+                  trace::Stage::kStreamChunkForward, fwd_t0, WallTimer::now(),
+                  payload_bytes);
+            }
+            stream_chunk_acked(*lane, stream_id, payload_bytes, rpc_result);
+          });
+      if (st.is_ok()) break;
+      if (st.code() != Code::kUnavailable &&
+          st.code() != Code::kResourceExhausted) {
+        break;
+      }
+      if (attempt > 100000) break;
+      // Backpressure from the RDMA credit system: drain and retry.
+      auto pumped = lane.client.event_loop_once();
+      if (!pumped.is_ok()) {
+        st = pumped.status();
+        break;
+      }
+      if (*pumped == 0) lane.conn->wait(1);
+      if (lane.streams.find(stream_id) == lane.streams.end()) return;
+    }
+    if (!st.is_ok()) {
+      auto again = lane.streams.find(stream_id);
+      if (again != lane.streams.end()) --again->second->rpcs_in_flight;
+      fail_stream(lane, stream_id, st);
+      return;
+    }
+    relaxed::add(stats_.stream_bytes, payload_bytes);
+    relaxed::add(lane.forwarded, 1);
+  }
+}
+
+void DpuProxy::stream_chunk_acked(Lane& lane, uint32_t stream_id,
+                                  uint64_t payload_bytes,
+                                  const Status& rpc_result) {
+  auto it = lane.streams.find(stream_id);
+  if (it == lane.streams.end()) return;
+  ProxyStream& ps = *it->second;
+  --ps.rpcs_in_flight;
+  if (!rpc_result.is_ok()) {
+    fail_stream(lane, stream_id, rpc_result);
+    return;
+  }
+  // The host consumed the piece: release its budget and hand the freed
+  // window back to the client — the grant that keeps the sender moving.
+  ps.held_bytes -= std::min<uint64_t>(ps.held_bytes, payload_bytes);
+  (void)ps.stream->grant(static_cast<uint32_t>(
+      std::min<uint64_t>(payload_bytes, UINT32_MAX)));
+  maybe_finish_stream(lane, stream_id);
+}
+
+void DpuProxy::maybe_finish_stream(Lane& lane, uint32_t stream_id) {
+  auto it = lane.streams.find(stream_id);
+  if (it == lane.streams.end()) return;
+  ProxyStream& ps = *it->second;
+  if (!ps.ended || ps.end_sent || !ps.carry.empty() || !ps.ready.empty() ||
+      ps.decodes_in_pool != 0 || ps.rpcs_in_flight != 0) {
+    return;
+  }
+  ps.end_sent = true;
+  if (ps.trace.active()) {
+    // End frame → last piece acked by the host: the pool/RDMA drain tail
+    // that keeps running after the client stopped sending.
+    trace::Tracer::instance().record(trace::Stage::kStreamDrainWait, ps.trace,
+                                     ps.end_ns, WallTimer::now(),
+                                     ps.total_bytes);
+  }
+  // End marker: a bare prefix whose response is the stream's final xRPC
+  // response. It rides the normal unary continuation tail, so offloaded
+  // object responses and kComplete pairing come along unchanged.
+  Bytes marker(kStreamPrefixSize);
+  write_stream_prefix(marker.data(), StreamPrefix{stream_id, ps.next_piece_seq,
+                                                  kStreamPrefixEnd, 0});
+  auto respond = ps.respond;
+  trace::TraceContext tctx = ps.trace;
+  uint16_t method_id = ps.method->method_id;
+  ++ps.rpcs_in_flight;  // keeps the entry pinned until the continuation
+  Status st;
+  for (int attempt = 0;; ++attempt) {
+    st = lane.client.call_fragmented(
+        method_id, ByteSpan(marker),
+        [this, lane = &lane, stream_id, respond, tctx](
+            const Status& rpc_result, const rdmarpc::InMessage& resp) {
+          lane->streams.erase(stream_id);
+          complete_response(*lane, respond, tctx, rpc_result, resp);
+        },
+        tctx);
+    if (st.is_ok()) break;
+    if (st.code() != Code::kUnavailable &&
+        st.code() != Code::kResourceExhausted) {
+      break;
+    }
+    if (attempt > 100000) break;
+    auto pumped = lane.client.event_loop_once();
+    if (!pumped.is_ok()) {
+      st = pumped.status();
+      break;
+    }
+    if (*pumped == 0) lane.conn->wait(1);
+    if (lane.streams.find(stream_id) == lane.streams.end()) return;
+  }
+  if (!st.is_ok()) {
+    lane.streams.erase(stream_id);
+    relaxed::add(stats_.stream_aborts, 1);
+    // dpulint: allow(trace-pairing): end-marker send failure — the stream
+    // never completed a datapath traversal, so no kComplete span exists.
+    (*respond)(st.code(), {});
+  }
+}
+
+void DpuProxy::fail_stream(Lane& lane, uint32_t stream_id, const Status& why) {
+  auto it = lane.streams.find(stream_id);
+  if (it == lane.streams.end()) return;
+  auto respond = it->second->respond;
+  lane.streams.erase(it);
+  relaxed::add(stats_.stream_aborts, 1);
+  // dpulint: allow(trace-pairing): failed stream — dropped before
+  // completing a datapath traversal, so no kComplete span exists.
+  (*respond)(why.code() == Code::kOk ? Code::kInternal : why.code(), {});
 }
 
 Status DpuProxy::submit_decode(Lane& lane, PendingCall call) {
@@ -363,7 +825,15 @@ void DpuProxy::fail_pending(Lane& lane) {
   while (pool_->try_pop_result(lane.index, result)) {
     lane.pending.erase(result.cookie);
     lane.pending_encodes.erase(result.cookie);
+    lane.pending_chunks.erase(result.cookie);
   }
+  for (auto& [sid, ps] : lane.streams) {
+    // dpulint: allow(trace-pairing): shutdown path — live streams are
+    // failed wholesale; their traces are abandoned, not completed.
+    (*ps->respond)(Code::kUnavailable, {});
+  }
+  lane.streams.clear();
+  lane.pending_chunks.clear();
   for (auto& [cookie, pending] : lane.pending) {
     // dpulint: allow(trace-pairing): shutdown path — pending calls are
     // failed wholesale; their traces are abandoned, not completed.
@@ -388,7 +858,7 @@ void DpuProxy::poller_loop(Lane& lane) {
       auto call = lane.queue.try_pop();
       if (!call.has_value()) break;
       did_work = true;
-      Status st = submit_decode(lane, std::move(*call));
+      Status st = dispatch_event(lane, std::move(*call));
       if (!st.is_ok()) {
         // Datapath failure: surface by dropping this lane's loop.
         relaxed::store(stopping_, true);
@@ -401,6 +871,10 @@ void DpuProxy::poller_loop(Lane& lane) {
       did_work = true;
       if (result.kind == dpu::JobKind::kEncode) {
         finish_encoded(lane, std::move(result));
+        continue;
+      }
+      if (result.kind == dpu::JobKind::kDecodeChunk) {
+        chunk_decoded(lane, std::move(result));
         continue;
       }
       Status st = forward_decoded(lane, std::move(result));
@@ -425,7 +899,7 @@ void DpuProxy::poller_loop(Lane& lane) {
         // Fully idle: sleep on the queue; stop() closes it to wake us.
         auto call = lane.queue.pop();
         if (!call.has_value()) break;  // queue closed: shutting down
-        Status st = submit_decode(lane, std::move(*call));
+        Status st = dispatch_event(lane, std::move(*call));
         if (!st.is_ok()) {
           fail_pending(lane);
           return;

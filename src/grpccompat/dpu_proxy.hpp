@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -39,6 +40,7 @@
 #include "common/relaxed.hpp"
 #include "dpu/codec_pool.hpp"
 #include "grpccompat/manifest.hpp"
+#include "grpccompat/stream_wire.hpp"
 #include "rdmarpc/client.hpp"
 #include "trace/trace.hpp"
 #include "xrpc/server.hpp"
@@ -57,6 +59,31 @@ struct DpuProxyStats {
   /// In-place object responses serialized on the lane thread because the
   /// pool ring (or the per-lane outstanding budget) was full.
   std::atomic<uint64_t> inline_serializes{0};
+  /// Streaming: chunk pieces decoded on the pool, payload bytes shipped
+  /// through streams, and the high-water mark of bytes any single stream
+  /// held inside the proxy (carry + pieces awaiting host ack) — the
+  /// bounded-memory invariant fig11_shuffle asserts against the budget.
+  std::atomic<uint64_t> stream_chunks{0};
+  std::atomic<uint64_t> stream_bytes{0};
+  std::atomic<uint64_t> stream_peak_bytes{0};
+  /// Streams dropped before completion: client aborts, connection loss,
+  /// malformed chunks, decode failures.
+  std::atomic<uint64_t> stream_aborts{0};
+};
+
+/// Per-stream resource policy (set_stream_options, before start()).
+struct StreamOptions {
+  /// Byte-credit window granted to the client at open; the proxy never
+  /// holds more than this per stream — further credit is granted only as
+  /// the host acks forwarded chunks (the backpressure chain's middle
+  /// link: xRPC credit → this budget → RDMA block credits).
+  size_t per_stream_budget = 1u << 20;
+  /// Decoded-piece size target: the boundary scan cuts the stream into
+  /// whole-record pieces of roughly this many bytes per kDecodeChunk job.
+  size_t piece_target = 160u << 10;
+  /// Hard cap on one piece (a single wire record larger than this aborts
+  /// the stream — it could never decode within the pool's slice cap).
+  size_t max_decoded_chunk = 2u << 20;
 };
 
 class DpuProxy {
@@ -80,6 +107,14 @@ class DpuProxy {
   StatusOr<uint16_t> start();
   void stop();
 
+  /// Override the per-stream resource policy. Call before start().
+  void set_stream_options(const StreamOptions& options) {
+    stream_options_ = options;
+  }
+  const StreamOptions& stream_options() const noexcept {
+    return stream_options_;
+  }
+
   const DpuProxyStats& stats() const noexcept { return stats_; }
   size_t lane_count() const noexcept { return lanes_.size(); }
   /// Requests forwarded through lane `i` (load-balance introspection).
@@ -93,10 +128,24 @@ class DpuProxy {
   const dpu::CodecPool& codec_pool() const noexcept { return *pool_; }
 
  private:
+  /// One event on a lane's queue: a unary call, or one step of a
+  /// streaming call's life cycle (the xRPC reader forwards stream frames
+  /// here so all per-stream state stays poller-thread-only).
   struct PendingCall {
-    const MethodEntry* method;
+    enum class Kind : uint8_t {
+      kCall,         ///< unary request (method/payload/respond)
+      kStreamOpen,   ///< method/respond/stream/stream_id
+      kStreamChunk,  ///< stream_id/payload
+      kStreamEnd,    ///< stream_id
+      kStreamAbort,  ///< stream_id/abort_code
+    };
+    Kind kind = Kind::kCall;
+    const MethodEntry* method = nullptr;
     Bytes payload;
     xrpc::Server::Responder respond;
+    std::shared_ptr<xrpc::ServerStream> stream;
+    uint32_t stream_id = 0;
+    Code abort_code = Code::kOk;
     /// Propagated request trace (inactive when the call is untraced) and
     /// the stamp it entered the lane queue — the lane-queue-wait span.
     trace::TraceContext trace;
@@ -117,6 +166,40 @@ class DpuProxy {
     trace::TraceContext trace;
   };
 
+  /// One inbound streaming call, owned by its lane's poller thread.
+  /// Lifecycle: created at kStreamOpen (grants the whole budget to the
+  /// client), accumulates chunk bytes into `carry`, cuts whole-record
+  /// pieces into kDecodeChunk jobs, reorders decoded pieces by sequence
+  /// in `ready`, forwards them in order to the host as prefixed
+  /// (fragmented) RPCs, re-grants credit per host ack, and — once the
+  /// end frame arrived and everything drained — sends the end marker
+  /// whose response becomes the final xRPC response. Destroying the
+  /// entry frees every held buffer; results still out with the pool are
+  /// dropped when their cookies pop.
+  struct ProxyStream {
+    const MethodEntry* method = nullptr;
+    std::shared_ptr<xrpc::ServerStream> stream;
+    std::shared_ptr<xrpc::Server::Responder> respond;
+    trace::TraceContext trace;
+    uint64_t open_ns = 0;  ///< kStreamTransfer start (reader enqueue stamp)
+    uint64_t end_ns = 0;   ///< end-frame arrival: transfer/drain boundary
+    /// Bytes received but not yet cut at a record boundary.
+    Bytes carry;
+    /// Decoded pieces (prefix hole + raw bytes) awaiting in-order forward.
+    std::map<uint32_t, Bytes> ready;
+    uint32_t next_piece_seq = 0;    ///< assigned at kDecodeChunk submit
+    uint32_t next_forward_seq = 0;  ///< next piece owed to the host
+    /// Budget accounting: bytes inside the proxy (carry + cut pieces)
+    /// until the host acks them; the client got exactly
+    /// per_stream_budget of credit up front, so this never exceeds it.
+    uint64_t held_bytes = 0;
+    uint64_t total_bytes = 0;
+    size_t decodes_in_pool = 0;
+    size_t rpcs_in_flight = 0;
+    bool ended = false;
+    bool end_sent = false;
+  };
+
   /// One connection + its dedicated poller (§III.C).
   struct Lane {
     Lane(rdmarpc::Connection* c, size_t i) : conn(c), client(c), index(i) {}
@@ -134,9 +217,43 @@ class DpuProxy {
     size_t outstanding = 0;
     std::unordered_map<uint64_t, PendingDecode> pending;
     std::unordered_map<uint64_t, PendingEncode> pending_encodes;
+    /// Live streams owned by this lane, keyed by proxy-wide stream id.
+    std::unordered_map<uint32_t, std::unique_ptr<ProxyStream>> streams;
+    /// kDecodeChunk cookie → (stream id, piece sequence). Kept separate
+    /// from the stream entry so a result whose stream already died still
+    /// retires its pool-budget slot (and its buffers free right here).
+    std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> pending_chunks;
   };
 
   void poller_loop(Lane& lane);
+  /// xRPC reader thread: route a CallContext to a lane (unary call or
+  /// stream open + per-frame events).
+  void handle_call(xrpc::CallContext ctx);
+  /// Poller: one lane-queue event. Non-ok only on unrecoverable datapath
+  /// failure (per-stream failures fail only that stream).
+  Status dispatch_event(Lane& lane, PendingCall event);
+  void open_stream(Lane& lane, PendingCall event);
+  void stream_chunk(Lane& lane, PendingCall event);
+  void stream_end(Lane& lane, PendingCall event);
+  void stream_abort(Lane& lane, uint32_t stream_id);
+  /// Cut whole-record pieces out of the stream's carry buffer and submit
+  /// them to the pool as kDecodeChunk jobs (inline-validate spill when
+  /// the ring/budget is full). Non-ok fails the stream, not the lane.
+  Status scan_and_submit(Lane& lane, uint32_t stream_id);
+  /// Completion of a kDecodeChunk job: stage the piece in `ready` and
+  /// forward everything now in order.
+  void chunk_decoded(Lane& lane, dpu::CodecResult result);
+  /// Forward in-order ready pieces to the host (call_fragmented); each
+  /// host ack releases budget and re-grants client credit.
+  void forward_ready(Lane& lane, uint32_t stream_id);
+  /// Host acked one forwarded piece (RPC continuation, poller thread).
+  void stream_chunk_acked(Lane& lane, uint32_t stream_id,
+                          uint64_t payload_bytes, const Status& rpc_result);
+  /// Everything drained after the end frame → send the end marker; its
+  /// response completes the xRPC call.
+  void maybe_finish_stream(Lane& lane, uint32_t stream_id);
+  /// Fail the stream to the client and drop every held buffer.
+  void fail_stream(Lane& lane, uint32_t stream_id, const Status& why);
   /// Hand a call's decode to the pool (or decode inline when the ring is
   /// full). Returns non-ok only on unrecoverable datapath failure.
   Status submit_decode(Lane& lane, PendingCall call);
@@ -170,7 +287,12 @@ class DpuProxy {
   adt::ObjectSerializer serializer_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::unique_ptr<dpu::CodecPool> pool_;
+  StreamOptions stream_options_;
   std::atomic<uint64_t> next_lane_{0};
+  /// Stream ids are assigned on the xRPC reader thread (they key the
+  /// per-frame events) from one proxy-wide counter, so they are unique
+  /// across lanes and never zero.
+  std::atomic<uint64_t> next_stream_id_{0};
   std::unique_ptr<xrpc::Server> xrpc_server_;
   std::atomic<bool> stopping_{false};
   DpuProxyStats stats_;

@@ -33,27 +33,48 @@ class HostEnginePool {
 
   /// Register on every engine (the same business logic serves every
   /// connection, like a normal multi-threaded RPC server).
-  Status register_method(std::string_view full_name, HostEngine::Method method) {
+  Status register_unary(std::string_view full_name, HostEngine::Method method) {
     for (auto& e : engines_) {
-      DPURPC_RETURN_IF_ERROR(e->register_method(full_name, method));
+      DPURPC_RETURN_IF_ERROR(e->register_unary(full_name, method));
     }
     return Status::ok();
   }
 
-  Status register_method_inplace(std::string_view full_name,
-                                 HostEngine::InPlaceMethod method) {
-    for (auto& e : engines_) {
-      DPURPC_RETURN_IF_ERROR(e->register_method_inplace(full_name, method));
-    }
-    return Status::ok();
-  }
-
-  Status register_method_object(std::string_view full_name,
+  Status register_unary_inplace(std::string_view full_name,
                                 HostEngine::InPlaceMethod method) {
     for (auto& e : engines_) {
-      DPURPC_RETURN_IF_ERROR(e->register_method_object(full_name, method));
+      DPURPC_RETURN_IF_ERROR(e->register_unary_inplace(full_name, method));
     }
     return Status::ok();
+  }
+
+  Status register_unary_object(std::string_view full_name,
+                               HostEngine::InPlaceMethod method) {
+    for (auto& e : engines_) {
+      DPURPC_RETURN_IF_ERROR(e->register_unary_object(full_name, method));
+    }
+    return Status::ok();
+  }
+
+  Status register_stream(std::string_view full_name,
+                         HostEngine::StreamMethod method) {
+    for (auto& e : engines_) {
+      DPURPC_RETURN_IF_ERROR(e->register_stream(full_name, method));
+    }
+    return Status::ok();
+  }
+
+  /// DEPRECATED shims (removal next PR) — use the register_unary* names.
+  Status register_method(std::string_view full_name, HostEngine::Method method) {
+    return register_unary(full_name, std::move(method));
+  }
+  Status register_method_inplace(std::string_view full_name,
+                                 HostEngine::InPlaceMethod method) {
+    return register_unary_inplace(full_name, std::move(method));
+  }
+  Status register_method_object(std::string_view full_name,
+                                HostEngine::InPlaceMethod method) {
+    return register_unary_object(full_name, std::move(method));
   }
 
   rdmarpc::ServerPoller& poller() noexcept { return poller_; }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "grpccompat/stream_wire.hpp"
+
 namespace dpurpc::grpccompat {
 
 namespace {
@@ -29,7 +31,7 @@ HostEngine::HostEngine(rdmarpc::Connection* conn, const OffloadManifest* manifes
       deserializer_(&manifest->adt(), options),
       offload_object_responses_(offload_object_responses) {}
 
-Status HostEngine::register_method(std::string_view full_name, Method method) {
+Status HostEngine::register_unary(std::string_view full_name, Method method) {
   const MethodEntry* entry = manifest_->find_by_name(full_name);
   if (entry == nullptr) {
     return Status(Code::kNotFound,
@@ -65,7 +67,7 @@ Status HostEngine::register_method(std::string_view full_name, Method method) {
   return Status::ok();
 }
 
-Status HostEngine::register_method_inplace(std::string_view full_name,
+Status HostEngine::register_unary_inplace(std::string_view full_name,
                                            InPlaceMethod method) {
   const MethodEntry* entry = manifest_->find_by_name(full_name);
   if (entry == nullptr) {
@@ -98,7 +100,7 @@ Status HostEngine::register_method_inplace(std::string_view full_name,
   return Status::ok();
 }
 
-Status HostEngine::register_method_object(std::string_view full_name,
+Status HostEngine::register_unary_object(std::string_view full_name,
                                           InPlaceMethod method) {
   const MethodEntry* entry = manifest_->find_by_name(full_name);
   if (entry == nullptr) {
@@ -175,6 +177,65 @@ Status HostEngine::register_method_object(std::string_view full_name,
         *payload_size = static_cast<uint32_t>(response_arena.used());
         *class_index = static_cast<uint16_t>(output_class);
         return Status::ok();
+      });
+  return Status::ok();
+}
+
+Status HostEngine::register_stream(std::string_view full_name,
+                                   StreamMethod method) {
+  const MethodEntry* entry = manifest_->find_by_name(full_name);
+  if (entry == nullptr) {
+    return Status(Code::kNotFound,
+                  "method not in offload manifest: " + std::string(full_name));
+  }
+  uint16_t method_id = entry->method_id;
+
+  server_.register_handler(
+      entry->method_id,
+      [this, method = std::move(method), method_id](
+          const rdmarpc::RequestView& req, Bytes& response_bytes) -> Status {
+        StreamPrefix prefix;
+        if (!read_stream_prefix(req.payload, &prefix)) {
+          return Status(Code::kInvalidArgument, "bad stream chunk prefix");
+        }
+        ByteSpan chunk = req.payload.subspan(kStreamPrefixSize);
+        auto it = stream_progress_.find(prefix.stream_id);
+        if (it == stream_progress_.end()) {
+          if (prefix.chunk_seq != 0) {
+            return Status(Code::kDataLoss, "stream opened mid-sequence");
+          }
+          it = stream_progress_
+                   .emplace(prefix.stream_id, StreamProgress{method_id, 0, 0})
+                   .first;
+        }
+        if (it->second.method_id != method_id) {
+          stream_progress_.erase(it);
+          return Status(Code::kInvalidArgument, "stream id crossed methods");
+        }
+        if (prefix.chunk_seq != it->second.next_seq) {
+          // The proxy forwards strictly in order; a gap means the stream
+          // is unrecoverable — drop its state so a retry starts clean.
+          stream_progress_.erase(it);
+          return Status(Code::kDataLoss, "stream chunk out of order");
+        }
+        ++it->second.next_seq;
+        ServerContext ctx;  // null gRPC context (§V.D)
+        if ((prefix.stream_flags & kStreamPrefixEnd) != 0) {
+          if (!chunk.empty()) {
+            stream_progress_.erase(it);
+            return Status(Code::kInvalidArgument,
+                          "stream end marker carries payload");
+          }
+          stream_progress_.erase(it);
+          return method(ctx, prefix.stream_id, ByteSpan(), /*end=*/true,
+                        response_bytes);
+        }
+        it->second.bytes += chunk.size();
+        Status st = method(ctx, prefix.stream_id, chunk, /*end=*/false,
+                           response_bytes);
+        if (!st.is_ok()) stream_progress_.erase(prefix.stream_id);
+        // OK chunks ack with the (empty) response_bytes as-is.
+        return st;
       });
   return Status::ok();
 }

@@ -7,18 +7,25 @@
 // LayoutView over the in-place object (generated-class deployments would
 // static_cast to the real type instead). Responses come in three flavors:
 //
-//   * register_method          — handler fills a DynamicMessage; the host
+//   * register_unary           — handler fills a DynamicMessage; the host
 //     serializes it with the reference WireCodec (the paper's baseline:
 //     response serialization not offloaded, §III.A).
-//   * register_method_object   — handler builds the response *object* with
+//   * register_unary_object    — handler builds the response *object* with
 //     a LayoutBuilder in per-thread scratch; by default the object is
 //     copied into the RDMA send block and the *DPU* serializes it (host
 //     codec cost ≈ 0 in both directions). With offloading disabled the
 //     host serializes through the compiled plan instead — the middle rung
 //     fig10_roundtrip measures against.
-//   * register_method_inplace  — handler builds the response object
+//   * register_unary_inplace   — handler builds the response object
 //     directly into the RDMA send block; the DPU serializes it (§III.A
 //     extension).
+//   * register_stream          — bulk-transfer requests: the proxy ships
+//     the stream as prefixed chunks (stream_wire.hpp), each decoded on
+//     the DPU pool first; the handler sees raw chunk bytes in order and
+//     produces the final response when the end marker arrives.
+//
+// The register_method* names are deprecated shims over the unary trio
+// (DESIGN.md §3.18 release note); they disappear next PR.
 //
 // The gRPC context is mocked as a null pointer, exactly as the paper does
 // (§V.D).
@@ -62,7 +69,7 @@ class HostEngine {
 
   /// Bind business logic to "pkg.Service/Method". NOT_FOUND if the
   /// manifest does not know the method.
-  Status register_method(std::string_view full_name, Method method);
+  Status register_unary(std::string_view full_name, Method method);
 
   /// Offloaded-response variant (§III.A extension): the handler builds the
   /// response *object* through a LayoutBuilder; the host never serializes
@@ -70,16 +77,40 @@ class HostEngine {
   using InPlaceMethod = std::function<Status(const ServerContext&,
                                              const adt::LayoutView& request,
                                              adt::LayoutBuilder& response)>;
-  Status register_method_inplace(std::string_view full_name, InPlaceMethod method);
+  Status register_unary_inplace(std::string_view full_name, InPlaceMethod method);
 
-  /// Typed-object variant: same handler shape as register_method_inplace,
+  /// Typed-object variant: same handler shape as register_unary_inplace,
   /// but the response object is built into per-thread scratch first —
   /// handlers never see block-arena backpressure, and the engine is safe
   /// to drive from multiple threads or engines. The finished object is
   /// then either copied+relocated into the send block for DPU-side
   /// serialization (default) or serialized on the host through the
   /// compiled plan (offload_object_responses = false).
-  Status register_method_object(std::string_view full_name, InPlaceMethod method);
+  Status register_unary_object(std::string_view full_name, InPlaceMethod method);
+
+  /// Streaming bulk-transfer handler. Invoked once per chunk with the raw
+  /// (already DPU-validated) wire bytes and end == false — the chunk is
+  /// acked with an empty-OK response, `final_response` must stay empty —
+  /// and once more with an empty chunk and end == true, where the handler
+  /// fills `final_response` (the stream's final xRPC payload). The engine
+  /// peels the StreamPrefix and rejects out-of-order or cross-method
+  /// chunks before the handler runs. Chunks of one stream arrive strictly
+  /// in sequence; distinct streams may interleave.
+  using StreamMethod = std::function<Status(const ServerContext&,
+                                            uint32_t stream_id, ByteSpan chunk,
+                                            bool end, Bytes& final_response)>;
+  Status register_stream(std::string_view full_name, StreamMethod method);
+
+  /// DEPRECATED shims (removal next PR) — use the register_unary* names.
+  Status register_method(std::string_view full_name, Method method) {
+    return register_unary(full_name, std::move(method));
+  }
+  Status register_method_inplace(std::string_view full_name, InPlaceMethod method) {
+    return register_unary_inplace(full_name, std::move(method));
+  }
+  Status register_method_object(std::string_view full_name, InPlaceMethod method) {
+    return register_unary_object(full_name, std::move(method));
+  }
 
   /// Pump the underlying RPC over RDMA server (§III.D event loop).
   StatusOr<uint32_t> event_loop_once() { return server_.event_loop_once(); }
@@ -93,9 +124,20 @@ class HostEngine {
   const OffloadManifest* manifest_;
   const proto::DescriptorPool* pool_;
   adt::ObjectSerializer serializer_;
-  /// Relocation walks for register_method_object's copy-into-block path.
+  /// Relocation walks for register_unary_object's copy-into-block path.
   adt::ArenaDeserializer deserializer_;
   bool offload_object_responses_;
+  /// Per-stream sequencing state for register_stream, keyed by the
+  /// proxy-assigned stream id. Touched only from handler context (the
+  /// thread pumping this engine's event loop). Entries leave on the end
+  /// marker or on a sequencing error; an abandoned stream's entry (a few
+  /// ints) lives until the engine does — the proxy never replays its id.
+  struct StreamProgress {
+    uint16_t method_id = 0;
+    uint32_t next_seq = 0;
+    uint64_t bytes = 0;
+  };
+  std::map<uint32_t, StreamProgress> stream_progress_;
 };
 
 }  // namespace dpurpc::grpccompat

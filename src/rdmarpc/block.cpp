@@ -43,6 +43,20 @@ StatusOr<InMessage> BlockReader::next() noexcept {
     m.payload_addr += kWireTraceSize;
     m.payload = ByteSpan(m.payload_addr, m.header.payload_size - kWireTraceSize);
   }
+  if (m.header.flags & kFlagFragment) {
+    if (m.payload.size() < kFragHeaderSize) {
+      return Status(Code::kDataLoss, "fragment shorter than its header");
+    }
+    // Peel the FragHeader (it sits after any WireTrace prefix) so payload
+    // covers exactly the fragment bytes the receiver scatters into its
+    // reassembly buffer.
+    std::memcpy(&m.frag, m.payload_addr, kFragHeaderSize);
+    if (m.frag.reserved != 0) {
+      return Status(Code::kDataLoss, "nonzero reserved fragment bits");
+    }
+    m.payload_addr += kFragHeaderSize;
+    m.payload = ByteSpan(m.payload_addr, m.payload.size() - kFragHeaderSize);
+  }
   cursor_ = cursor_ + message_slot_size(m.header.payload_size);
   ++consumed_;
   return m;

@@ -146,11 +146,21 @@ class BlockWriter {
 /// Zero-copy view over one received message. For kFlagTraced messages the
 /// WireTrace prefix has been peeled off: `trace` holds it and
 /// payload/payload_addr point past it (at the in-place object root).
+/// Likewise for kFlagFragment messages the FragHeader (which follows any
+/// WireTrace prefix) is peeled into `frag`, and payload covers only the
+/// fragment bytes.
 struct InMessage {
   MsgHeader header;
   ByteSpan payload;             ///< borrowed from the receive buffer
   const std::byte* payload_addr;///< receive-buffer address (in-place objects)
   WireTrace trace{0, 0, 0};     ///< zero trace_id when untraced
+  FragHeader frag{0, 0, 0, 0, 0};  ///< valid when header.flags has kFlagFragment
+  bool is_fragment() const noexcept {
+    return (header.flags & kFlagFragment) != 0;
+  }
+  bool is_last_fragment() const noexcept {
+    return is_fragment() && (frag.frag_flags & kFragLast) != 0;
+  }
 };
 
 class BlockReader {

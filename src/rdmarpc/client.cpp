@@ -140,6 +140,83 @@ Status RpcClient::call_inplace(uint16_t method_id, uint16_t class_index,
                 "request payload does not fit in a maximum-size block");
 }
 
+Status RpcClient::call_fragmented(uint16_t method_id, ByteSpan payload,
+                                  Continuation done, trace::TraceContext tctx) {
+  if (payload.size() + kWireTraceSize <= kMaxPayloadSize) {
+    return call(method_id, payload, std::move(done), tctx);
+  }
+  if (payload.size() > UINT32_MAX) {
+    return Status(Code::kOutOfRange, "fragmented payload exceeds 4 GiB");
+  }
+  if (id_pool_.available() <= open_block_requests_.size()) {
+    return Status(Code::kResourceExhausted, "request ID pool exhausted");
+  }
+  if (!trace::enabled()) tctx = {};
+  uint64_t t0 = tctx.active() ? WallTimer::now() : 0;
+  const uint32_t stream_id = next_frag_stream_++;
+  const uint32_t total = static_cast<uint32_t>(payload.size());
+  // One chunk size for every fragment, conservatively leaving room for the
+  // WireTrace prefix even though only the final fragment carries it.
+  constexpr uint32_t kFragBytes =
+      kMaxPayloadSize - kFragHeaderSize - kWireTraceSize;
+  uint32_t off = 0;
+  while (off < total) {
+    const uint32_t frag_bytes = std::min(kFragBytes, total - off);
+    const bool last = off + frag_bytes == total;
+    const uint32_t extra = (last && tctx.active()) ? kWireTraceSize : 0;
+    const uint32_t msg_bytes = extra + kFragHeaderSize + frag_bytes;
+    std::byte* dst = nullptr;
+    for (int attempt = 0;; ++attempt) {
+      auto d = conn_->begin_message(msg_bytes);
+      if (d.is_ok()) {
+        dst = *d;
+        break;
+      }
+      if (d.status().code() != Code::kUnavailable) return d.status();
+      if (off == 0) return d.status();  // nothing committed: caller retries
+      // Fragments are already on the wire, so backpressure cannot surface
+      // to the caller — pump the event loop until the peer frees credit.
+      // Continuations of earlier requests may run here (documented).
+      if (attempt > 100000) {
+        return Status(Code::kUnavailable,
+                      "peer never freed space for remaining fragments");
+      }
+      auto pumped = event_loop_once();
+      if (!pumped.is_ok()) return pumped.status();
+      if (*pumped == 0) conn_->wait(1);
+    }
+    uint32_t woff = 0;
+    if (extra != 0) {
+      WireTrace wt{tctx.trace_id, tctx.parent_span_id, 0};  // stamped at flush
+      std::memcpy(dst, &wt, sizeof(wt));
+      woff += kWireTraceSize;
+    }
+    FragHeader fh;
+    fh.stream_id = stream_id;
+    fh.frag_offset = off;
+    fh.total_bytes = total;
+    fh.frag_flags = last ? kFragLast : uint16_t{0};
+    fh.reserved = 0;
+    std::memcpy(dst + woff, &fh, sizeof(fh));
+    woff += kFragHeaderSize;
+    std::memcpy(dst + woff, payload.data() + off, frag_bytes);
+    uint16_t flags = kFlagFragment;
+    if (extra != 0) flags |= kFlagTraced;
+    DPURPC_RETURN_IF_ERROR(conn_->commit_message(msg_bytes, method_id, flags));
+    off += frag_bytes;
+    if (last) {
+      uint64_t commit_ns = 0;
+      if (tctx.active()) {
+        commit_ns = WallTimer::now();
+        trace::Tracer::instance().record(trace::Stage::kBlockBuild, tctx, t0,
+                                         commit_ns, total);
+      }
+      open_block_requests_.push_back({std::move(done), tctx, commit_ns});
+    }
+  }
+  return Status::ok();
+}
+
 Status RpcClient::flush_open_block() {
   if (open_block_requests_.empty()) {
     // Nothing outgoing: deliver accumulated acks with a resource-free

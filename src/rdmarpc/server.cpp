@@ -1,6 +1,7 @@
 #include "rdmarpc/server.hpp"
 
 #include "common/cpu_timer.hpp"
+#include "common/hot_path.hpp"
 
 namespace dpurpc::rdmarpc {
 
@@ -53,6 +54,14 @@ void RpcServer::background_worker() {
 }
 
 RpcServer::RpcServer(Connection* conn) : conn_(conn) {
+  if (conn_->config().registry != nullptr) {
+    hint_retries_ = &conn_->config()
+                         .registry
+                         ->counter_family(
+                             "dpurpc_block_hint_retries_total",
+                             "write_response_inplace block-hint ladder retries")
+                         .counter({{"role", "server"}});
+  }
   // Every flushed response block contributes one FIFO entry of answered
   // request IDs; the entry is retired — and its IDs released — when the
   // client's piggybacked ack counter covers it. This mirrors the client's
@@ -121,6 +130,7 @@ Status RpcServer::write_response_inplace(uint16_t request_id, const RequestView&
         conn_->abort_message();
         if (hint < kMaxPayloadSize) {
           hint = kMaxPayloadSize;
+          note_hint_retry();
           continue;
         }
         return write_response(request_id,
@@ -151,6 +161,7 @@ Status RpcServer::write_response_inplace(uint16_t request_id, const RequestView&
       // single-message blocks right-sized — a 64 KiB block per response
       // would exhaust the send buffer under a burst of large replies.
       hint = std::min(std::max(hint * 2, 4096u), kMaxPayloadSize);
+      note_hint_retry();
       continue;
     }
     // Handler error: fall back to an error response.
@@ -232,6 +243,13 @@ Status RpcServer::process_request_block(const Connection::ReceivedBlock& rb) {
   while (!reader.done()) {
     auto msg = reader.next();
     if (!msg.is_ok()) return msg.status();
+    if (msg->is_fragment()) {
+      // Fragments copy into an owned reassembly buffer, so the block acks
+      // normally; only the final fragment participates in the ID
+      // discipline (handled inside, at this message's in-block position).
+      DPURPC_RETURN_IF_ERROR(accept_fragment(*msg));
+      continue;
+    }
     auto id = id_pool_.allocate();
     if (!id.has_value()) {
       return Status(Code::kDataLoss, "request ID pool desynchronized");
@@ -284,44 +302,123 @@ Status RpcServer::process_request_block(const Connection::ReceivedBlock& rb) {
       continue;
     }
 
-    if (auto ip = inplace_handlers_.find(req.method_id);
-        ip != inplace_handlers_.end()) {
-      // Offloaded-response path: the handler builds the object in place.
-      // Dispatch and serialize are one fused act here (the handler *is*
-      // the serializer), recorded as host dispatch.
-      DPURPC_RETURN_IF_ERROR(write_response_inplace(*id, req, ip->second));
-      if (req.trace.active()) {
-        trace::Tracer::instance().record(trace::Stage::kHostDispatch,
-                                         req.trace, recv_ns, WallTimer::now());
-      }
-      ++requests_served_;
-      continue;
-    }
-    auto handler = handlers_.find(req.method_id);
-    Status result;
-    response_scratch_.clear();
-    if (handler == handlers_.end()) {
-      result = Status(Code::kNotFound, "no handler for method");
-    } else {
-      result = handler->second(req, response_scratch_);  // foreground (§III.D)
-    }
-    uint64_t handled_ns = 0;
-    if (req.trace.active()) {
-      handled_ns = WallTimer::now();
-      trace::Tracer::instance().record(trace::Stage::kHostDispatch, req.trace,
-                                       recv_ns, handled_ns);
-    }
-    DPURPC_RETURN_IF_ERROR(
-        write_response(*id, result, ByteSpan(response_scratch_), req.trace));
-    if (req.trace.active()) {
-      trace::Tracer::instance().record(trace::Stage::kHostSerialize, req.trace,
-                                       handled_ns, WallTimer::now());
-    }
-    ++requests_served_;
+    DPURPC_RETURN_IF_ERROR(dispatch_foreground(req, recv_ns));
   }
   tracker->iterated = true;
   advance_ack_order();
   return Status::ok();
+}
+
+// Foreground dispatch shared by directly-received and reassembled
+// (fragmented) requests: in-place handlers first, then copy-path handlers.
+// Background-registered methods only reach the fallback here for
+// reassembled requests — their payload lives in the reassembly buffer,
+// whose lifetime ends with this dispatch, so they degrade to foreground.
+Status RpcServer::dispatch_foreground(const RequestView& req, uint64_t recv_ns) {
+  if (auto ip = inplace_handlers_.find(req.method_id);
+      ip != inplace_handlers_.end()) {
+    // Offloaded-response path: the handler builds the object in place.
+    // Dispatch and serialize are one fused act here (the handler *is*
+    // the serializer), recorded as host dispatch.
+    DPURPC_RETURN_IF_ERROR(write_response_inplace(req.request_id, req, ip->second));
+    if (req.trace.active()) {
+      trace::Tracer::instance().record(trace::Stage::kHostDispatch,
+                                       req.trace, recv_ns, WallTimer::now());
+    }
+    ++requests_served_;
+    return Status::ok();
+  }
+  const Handler* h = nullptr;
+  if (auto it = handlers_.find(req.method_id); it != handlers_.end()) {
+    h = &it->second;
+  } else if (auto bg = background_handlers_.find(req.method_id);
+             bg != background_handlers_.end()) {
+    h = &bg->second;
+  }
+  Status result;
+  response_scratch_.clear();
+  if (h == nullptr) {
+    result = Status(Code::kNotFound, "no handler for method");
+  } else {
+    result = (*h)(req, response_scratch_);  // foreground (§III.D)
+  }
+  uint64_t handled_ns = 0;
+  if (req.trace.active()) {
+    handled_ns = WallTimer::now();
+    trace::Tracer::instance().record(trace::Stage::kHostDispatch, req.trace,
+                                     recv_ns, handled_ns);
+  }
+  DPURPC_RETURN_IF_ERROR(write_response(req.request_id, result,
+                                        ByteSpan(response_scratch_), req.trace));
+  if (req.trace.active()) {
+    trace::Tracer::instance().record(trace::Stage::kHostSerialize, req.trace,
+                                     handled_ns, WallTimer::now());
+  }
+  ++requests_served_;
+  return Status::ok();
+}
+
+DPURPC_HOT_PATH Status RpcServer::accept_fragment(const InMessage& msg) {
+  const FragHeader& fh = msg.frag;
+  if (fh.total_bytes == 0 || fh.total_bytes > max_fragmented_payload_) {
+    return Status(Code::kDataLoss, "fragment total size out of bounds");
+  }
+  if (static_cast<uint64_t>(fh.frag_offset) + msg.payload.size() >
+      fh.total_bytes) {
+    return Status(Code::kDataLoss, "fragment overruns its message");
+  }
+  FragBuffer& fb = reassembly_[fh.stream_id];
+  // dpulint: allow(hot-path): the one designed allocation on the
+  // reassembly path — the full-message buffer, sized once per stream on
+  // its first fragment; every later fragment is memcpy-only.
+  if (fb.data.empty()) fb.data.resize(fh.total_bytes);
+  if (fb.data.size() != fh.total_bytes) {
+    reassembly_.erase(fh.stream_id);
+    return Status(Code::kDataLoss, "fragment total size changed mid-stream");
+  }
+  std::memcpy(fb.data.data() + fh.frag_offset, msg.payload.data(),
+              msg.payload.size());
+  fb.received += msg.payload.size();
+  if (fb.received > fb.data.size()) {
+    reassembly_.erase(fh.stream_id);
+    return Status(Code::kDataLoss, "overlapping fragments");
+  }
+  if (msg.is_last_fragment()) {
+    // The final fragment *is* the request for the ID discipline (§IV.D):
+    // allocate at its in-block position — not at reassembly completion —
+    // so the pools stay in sync even when completion is deferred by a
+    // not-yet-arrived earlier fragment.
+    auto id = id_pool_.allocate();
+    if (!id.has_value()) {
+      return Status(Code::kDataLoss, "request ID pool desynchronized");
+    }
+    fb.has_id = true;
+    fb.request_id = *id;
+    fb.method_id = msg.header.id_or_method;
+    if (trace::enabled() && msg.trace.trace_id != 0) {
+      fb.trace = {msg.trace.trace_id, msg.trace.parent_span_id};
+      fb.recv_ns = WallTimer::now();
+      trace::Tracer::instance().record(trace::Stage::kRdmaInbound, fb.trace,
+                                       msg.trace.send_ns, fb.recv_ns,
+                                       fh.total_bytes);
+    }
+  }
+  if (!fb.has_id || fb.received < fb.data.size()) return Status::ok();
+  // Complete: move the buffer out and dispatch (always foreground — the
+  // payload is owned bytes, never an in-place object, since relocation
+  // would invalidate a fragmented object's pointers).
+  FragBuffer ready = std::move(fb);
+  reassembly_.erase(fh.stream_id);
+  RequestView req;
+  req.method_id = ready.method_id;
+  req.request_id = ready.request_id;
+  req.payload = ByteSpan(ready.data);
+  req.trace = ready.trace;
+  // dpulint: allow(hot-path): completion edge — dispatch runs the user
+  // handler and response serialization, the same cold tail every unary
+  // request takes; the reassembly hot loop ends here.
+  return dispatch_foreground(
+      req, ready.recv_ns != 0 ? ready.recv_ns : WallTimer::now());
 }
 
 void RpcServer::advance_ack_order() {

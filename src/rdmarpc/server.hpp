@@ -26,6 +26,7 @@
 
 #include "common/bounded_queue.hpp"
 #include "common/relaxed.hpp"
+#include "metrics/metrics.hpp"
 #include "rdmarpc/connection.hpp"
 #include "rdmarpc/id_pool.hpp"
 #include "trace/trace.hpp"
@@ -101,6 +102,18 @@ class RpcServer {
   }
   Connection& connection() noexcept { return *conn_; }
 
+  /// Cap on the reassembled size of a fragmented request (kFlagFragment);
+  /// larger totals fail the connection with kDataLoss. Default 64 MiB.
+  void set_max_fragmented_payload(uint64_t bytes) noexcept {
+    max_fragmented_payload_ = bytes;
+  }
+  /// Fragmented requests with at least one fragment received but not yet
+  /// dispatched (reassembly in flight).
+  size_t reassembly_streams() const noexcept { return reassembly_.size(); }
+  /// Times the write_response_inplace block-hint ladder re-ran the handler
+  /// in a bigger block (mirrors dpurpc_block_hint_retries_total).
+  uint64_t block_hint_retries() const noexcept { return hint_retries_count_; }
+
  private:
   /// Per received block: how many background requests are still running
   /// and whether the poller finished iterating its messages. The block is
@@ -129,13 +142,32 @@ class RpcServer {
     uint64_t commit_ns;
   };
 
+  /// Reassembly state for one fragmented request (docs/PROTOCOL.md §8).
+  /// Fragments scatter into `data` by frag_offset; the request dispatches
+  /// once every byte arrived AND the final fragment assigned the ID.
+  struct FragBuffer {
+    Bytes data;
+    uint64_t received = 0;
+    bool has_id = false;
+    uint16_t request_id = 0;
+    uint16_t method_id = 0;
+    trace::TraceContext trace;
+    uint64_t recv_ns = 0;
+  };
+
   Status process_request_block(const Connection::ReceivedBlock& rb);
+  Status accept_fragment(const InMessage& msg);
+  Status dispatch_foreground(const RequestView& req, uint64_t recv_ns);
   Status write_response(uint16_t request_id, const Status& handler_status,
                         ByteSpan payload,
                         trace::TraceContext tctx = trace::TraceContext());
   Status write_response_inplace(uint16_t request_id, const RequestView& req,
                                 const InPlaceHandler& handler);
   Status pump_for_space();
+  void note_hint_retry() noexcept {
+    ++hint_retries_count_;
+    if (hint_retries_ != nullptr) hint_retries_->inc();
+  }
   void advance_ack_order();
   Status drain_background_results();
   void background_worker();
@@ -155,6 +187,11 @@ class RpcServer {
   std::vector<Connection::ReceivedBlock> poll_scratch_;
   uint64_t requests_served_ = 0;
   Bytes response_scratch_;
+  /// stream_id -> in-flight reassembly (fragmented requests, §8).
+  std::map<uint32_t, FragBuffer> reassembly_;
+  uint64_t max_fragmented_payload_ = 64ull << 20;
+  metrics::Counter* hint_retries_ = nullptr;
+  uint64_t hint_retries_count_ = 0;
 
   // Background execution (§III.D extension).
   std::map<uint16_t, Handler> background_handlers_;

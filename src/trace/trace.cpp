@@ -26,6 +26,10 @@ const char* stage_name(Stage s) noexcept {
     case Stage::kComplete: return "complete";
     case Stage::kXrpcOutbound: return "xrpc_outbound";
     case Stage::kSimverbsWrite: return "simverbs_write";
+    case Stage::kStreamTransfer: return "stream_transfer";
+    case Stage::kStreamDrainWait: return "stream_drain_wait";
+    case Stage::kWorkerDecodeChunk: return "worker_decode_chunk";
+    case Stage::kStreamChunkForward: return "stream_chunk_forward";
     case Stage::kStageCount: break;
   }
   return "unknown";

@@ -61,6 +61,14 @@ enum class Stage : uint8_t {
   kComplete,          ///< proxy continuation: finished reply → xrpc responder
   kXrpcOutbound,      ///< xrpc wire (DPU → client)
   kSimverbsWrite,     ///< global (per-block, not per-trace) link transfer
+  // Streaming stages (DESIGN.md streaming section). The per-trace chain
+  // of a streamed call is: transfer (first chunk → end frame) then drain
+  // (end frame → last chunk forwarded); per-chunk work is recorded as
+  // global events so the stream trace still tiles its e2e root.
+  kStreamTransfer,     ///< stream open/first chunk → end frame received
+  kStreamDrainWait,    ///< end frame → last chunk result forwarded
+  kWorkerDecodeChunk,  ///< global: chunk decode on a pool worker
+  kStreamChunkForward, ///< global: decoded chunk → host fragment call
   kStageCount
 };
 

@@ -1,0 +1,53 @@
+// The unified call surface (DESIGN.md §3.16).
+//
+// Every way a request enters the system — a unary xRPC dispatch, a
+// streaming open, a grpccompat engine — now presents one typed context
+// instead of the three historical ad-hoc shapes (raw (method, payload)
+// callbacks, HostEngine register_method* signatures, DpuProxy responder
+// plumbing). The legacy entry points survive one more release as
+// deprecated shims built on this type.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "trace/trace.hpp"
+
+namespace dpurpc::xrpc {
+
+class ServerStream;
+
+/// Completes one call; thread-safe, callable once per request. For a
+/// streaming call this sends the *final* response, after the stream ends.
+using Responder = std::function<void(Code, ByteSpan payload)>;
+
+struct CallContext {
+  /// Full method name, "pkg.Service/Method".
+  std::string method;
+  /// Unary request payload; empty for streaming calls (their bytes arrive
+  /// through `stream`).
+  Bytes payload;
+  /// Tenant-ready key/value metadata (the gRPC-metadata analogue). Empty
+  /// today — the wire does not carry it yet — but handlers written against
+  /// CallContext keep working when it does.
+  std::vector<std::pair<std::string, std::string>> metadata;
+  /// Propagated trace context (inactive when the client did not trace).
+  trace::TraceContext trace;
+  Responder respond;
+  /// Non-null for streaming calls: install chunk/end/abort callbacks on it
+  /// before the handler returns (frames cannot arrive earlier).
+  std::shared_ptr<ServerStream> stream;
+
+  bool is_stream() const noexcept { return stream != nullptr; }
+};
+
+/// Handler for the unified surface: invoked on the connection's reader
+/// thread for every call, unary or streaming.
+using CallHandler = std::function<void(CallContext ctx)>;
+
+}  // namespace dpurpc::xrpc

@@ -16,6 +16,7 @@
 #include "common/thread_annotations.hpp"
 #include "trace/trace.hpp"
 #include "xrpc/frame.hpp"
+#include "xrpc/stream.hpp"
 
 namespace dpurpc::xrpc {
 
@@ -41,12 +42,22 @@ class Channel {
   StatusOr<Bytes> call(std::string_view method, ByteSpan payload,
                        int timeout_ms = 5000);
 
+  /// Open a streaming call (DESIGN.md streaming section): write chunks
+  /// under the server-granted credit window, then finish() for the final
+  /// response. The stream must not outlive the channel. Streaming calls
+  /// are trace entry points exactly like call_async.
+  StatusOr<std::unique_ptr<ClientStream>> open_stream(std::string_view method);
+
   size_t outstanding() const;
   void close();
 
  private:
+  friend class ClientStream;
   explicit Channel(Fd fd);
   void reader_loop();
+  /// Final kResponse routed to a stream (reader thread).
+  void finish_stream(const std::shared_ptr<StreamState>& st,
+                     ResponseFrame&& resp);
 
   Fd fd_;
   // Lock order: write_mu_ (frame writes) before mu_ (call bookkeeping) —
@@ -61,6 +72,8 @@ class Channel {
   lockdep::Mutex write_mu_{"xrpc.Channel.write_mu"};
   mutable lockdep::Mutex mu_{"xrpc.Channel.mu"};
   std::map<uint32_t, PendingCall> pending_ DPURPC_GUARDED_BY(mu_);
+  /// Open streaming calls; entries leave on final response, abort, close.
+  std::map<uint32_t, std::shared_ptr<StreamState>> streams_ DPURPC_GUARDED_BY(mu_);
   uint32_t next_call_id_ DPURPC_GUARDED_BY(mu_) = 1;
   std::thread reader_;
   bool closed_ DPURPC_GUARDED_BY(mu_) = false;

@@ -62,6 +62,65 @@ Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payl
   return write_all(fd, frame.data(), frame.size());
 }
 
+namespace {
+
+/// Shared writer for the fixed-shape stream frames: header + `tail` bytes.
+Status write_stream_frame(const Fd& fd, FrameType type, uint32_t call_id,
+                          ByteSpan tail, const FrameTrace* trace = nullptr) {
+  bool traced = trace != nullptr && trace->active();
+  uint32_t extra = traced ? kFrameTraceSize : 0;
+  uint32_t body = static_cast<uint32_t>(1 + 4 + extra + tail.size());
+  Bytes frame(4 + body);
+  auto* p = reinterpret_cast<uint8_t*>(frame.data());
+  store_le<uint32_t>(p, body);
+  p += 4;
+  *p++ = static_cast<uint8_t>(type) | (traced ? kFrameTracedBit : 0);
+  store_le<uint32_t>(p, call_id);
+  p += 4;
+  if (traced) p = put_trace(p, *trace);
+  if (!tail.empty()) std::memcpy(p, tail.data(), tail.size());
+  return write_all(fd, frame.data(), frame.size());
+}
+
+}  // namespace
+
+Status write_stream_open(const Fd& fd, uint32_t call_id, std::string_view method,
+                         const FrameTrace* trace) {
+  if (method.size() > UINT16_MAX) {
+    return Status(Code::kInvalidArgument, "method name too long");
+  }
+  Bytes tail(2 + method.size());
+  store_le<uint16_t>(reinterpret_cast<uint8_t*>(tail.data()),
+                     static_cast<uint16_t>(method.size()));
+  std::memcpy(tail.data() + 2, method.data(), method.size());
+  return write_stream_frame(fd, FrameType::kStreamOpen, call_id, ByteSpan(tail),
+                            trace);
+}
+
+Status write_stream_chunk(const Fd& fd, uint32_t call_id, ByteSpan chunk) {
+  if (chunk.size() + 5 > kMaxFrameBody) {
+    return Status(Code::kInvalidArgument, "stream chunk exceeds frame limit");
+  }
+  return write_stream_frame(fd, FrameType::kStreamChunk, call_id, chunk);
+}
+
+Status write_stream_end(const Fd& fd, uint32_t call_id) {
+  return write_stream_frame(fd, FrameType::kStreamEnd, call_id, {});
+}
+
+Status write_stream_credit(const Fd& fd, uint32_t call_id, uint32_t bytes) {
+  uint8_t tail[4];
+  store_le<uint32_t>(tail, bytes);
+  return write_stream_frame(fd, FrameType::kStreamCredit, call_id,
+                            ByteSpan(reinterpret_cast<const std::byte*>(tail), 4));
+}
+
+Status write_stream_abort(const Fd& fd, uint32_t call_id, Code code) {
+  std::byte tail{static_cast<uint8_t>(code)};
+  return write_stream_frame(fd, FrameType::kStreamAbort, call_id,
+                            ByteSpan(&tail, 1));
+}
+
 StatusOr<AnyFrame> read_frame(const Fd& fd) {
   uint8_t len_buf[4];
   DPURPC_RETURN_IF_ERROR(read_all(fd, len_buf, 4));
@@ -114,6 +173,53 @@ StatusOr<AnyFrame> read_frame(const Fd& fd) {
     out.response.status = static_cast<Code>(code);
     out.response.payload.assign(reinterpret_cast<const std::byte*>(p),
                                 reinterpret_cast<const std::byte*>(end));
+  } else if (type >= static_cast<uint8_t>(FrameType::kStreamOpen) &&
+             type <= static_cast<uint8_t>(FrameType::kStreamAbort)) {
+    out.type = static_cast<FrameType>(type);
+    out.stream.call_id = call_id;
+    out.stream.trace = trace;
+    switch (out.type) {
+      case FrameType::kStreamOpen: {
+        if (end - p < 2) {
+          return Status(Code::kDataLoss, "truncated stream-open frame");
+        }
+        uint16_t name_len = load_le<uint16_t>(p);
+        p += 2;
+        if (end - p != name_len) {
+          return Status(Code::kDataLoss, "stream-open length mismatch");
+        }
+        out.stream.method.assign(reinterpret_cast<const char*>(p), name_len);
+        break;
+      }
+      case FrameType::kStreamChunk:
+        out.stream.payload.assign(reinterpret_cast<const std::byte*>(p),
+                                  reinterpret_cast<const std::byte*>(end));
+        break;
+      case FrameType::kStreamEnd:
+        if (end != p) {
+          return Status(Code::kDataLoss, "stream-end frame carries bytes");
+        }
+        break;
+      case FrameType::kStreamCredit:
+        if (end - p != 4) {
+          return Status(Code::kDataLoss, "bad stream-credit frame length");
+        }
+        out.stream.credit = load_le<uint32_t>(p);
+        break;
+      case FrameType::kStreamAbort: {
+        if (end - p != 1) {
+          return Status(Code::kDataLoss, "bad stream-abort frame length");
+        }
+        uint8_t code = *p;
+        if (code > static_cast<uint8_t>(Code::kAborted)) {
+          return Status(Code::kDataLoss, "invalid status code");
+        }
+        out.stream.status = static_cast<Code>(code);
+        break;
+      }
+      default:
+        break;  // unreachable: range-checked above
+    }
   } else {
     return Status(Code::kDataLoss, "unknown xrpc frame type");
   }

@@ -1,14 +1,22 @@
 // xRPC wire framing.
 //
-// Unary calls only (the paper's compat layer scope). Every frame:
+// Every frame:
 //
 //   u32 body_len | u8 type | u32 call_id | [trace] | body
 //
-// request body:  u16 method_len | method name | payload
-// response body: u8 status code | payload
+// request body:       u16 method_len | method name | payload
+// response body:      u8 status code | payload
+// stream-open body:   u16 method_len | method name
+// stream-chunk body:  raw chunk bytes
+// stream-end body:    empty
+// stream-credit body: u32 granted bytes (receiver -> sender flow control)
+// stream-abort body:  u8 status code
 //
 // call_id multiplexes concurrent outstanding calls over one TCP
-// connection, like HTTP/2 stream ids under gRPC.
+// connection, like HTTP/2 stream ids under gRPC. A streaming call opens
+// with kStreamOpen, ships kStreamChunk frames under the credit window,
+// closes with kStreamEnd, and completes with an ordinary kResponse
+// carrying the final status/payload (DESIGN.md streaming section).
 //
 // Tracing rides in the type byte's high bit (kFrameTracedBit): when set,
 // a 24-byte FrameTrace follows the call_id. Untraced frames are
@@ -23,7 +31,15 @@
 
 namespace dpurpc::xrpc {
 
-enum class FrameType : uint8_t { kRequest = 0, kResponse = 1 };
+enum class FrameType : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+  kStreamOpen = 2,
+  kStreamChunk = 3,
+  kStreamEnd = 4,
+  kStreamCredit = 5,
+  kStreamAbort = 6,
+};
 
 /// High bit of the type byte: frame carries a FrameTrace after call_id.
 inline constexpr uint8_t kFrameTracedBit = 0x80;
@@ -55,16 +71,33 @@ struct ResponseFrame {
   FrameTrace trace;
 };
 
+/// One inbound stream-control frame (open/chunk/end/credit/abort).
+struct StreamFrame {
+  uint32_t call_id = 0;
+  std::string method;   ///< kStreamOpen only
+  Bytes payload;        ///< kStreamChunk only
+  uint32_t credit = 0;  ///< kStreamCredit only
+  Code status = Code::kOk;  ///< kStreamAbort only
+  FrameTrace trace;
+};
+
 Status write_request(const Fd& fd, uint32_t call_id, std::string_view method,
                      ByteSpan payload, const FrameTrace* trace = nullptr);
 Status write_response(const Fd& fd, uint32_t call_id, Code status, ByteSpan payload,
                       const FrameTrace* trace = nullptr);
+Status write_stream_open(const Fd& fd, uint32_t call_id, std::string_view method,
+                         const FrameTrace* trace = nullptr);
+Status write_stream_chunk(const Fd& fd, uint32_t call_id, ByteSpan chunk);
+Status write_stream_end(const Fd& fd, uint32_t call_id);
+Status write_stream_credit(const Fd& fd, uint32_t call_id, uint32_t bytes);
+Status write_stream_abort(const Fd& fd, uint32_t call_id, Code code);
 
 /// Either kind of inbound frame.
 struct AnyFrame {
   FrameType type = FrameType::kRequest;
   RequestFrame request;
   ResponseFrame response;
+  StreamFrame stream;  ///< valid for the kStream* types
 };
 
 /// Blocking read of the next frame; kUnavailable on clean close.

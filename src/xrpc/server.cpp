@@ -1,20 +1,37 @@
 #include "xrpc/server.hpp"
 
+#include <map>
+
 #include "common/cpu_timer.hpp"
 
 namespace dpurpc::xrpc {
 
-StatusOr<std::unique_ptr<Server>> Server::start(Dispatch dispatch,
+StatusOr<std::unique_ptr<Server>> Server::start(Handler handler,
                                                 metrics::Registry* metrics) {
   auto listener = Listener::create();
   if (!listener.is_ok()) return listener.status();
   return std::unique_ptr<Server>(
-      new Server(std::move(*listener), std::move(dispatch), metrics));
+      new Server(std::move(*listener), std::move(handler), metrics));
 }
 
-Server::Server(Listener listener, Dispatch dispatch, metrics::Registry* metrics)
+StatusOr<std::unique_ptr<Server>> Server::start(Dispatch dispatch,
+                                                metrics::Registry* metrics) {
+  // Deprecated shim (removal next PR): wrap the legacy 4-argument shape.
+  return start(
+      Handler([dispatch = std::move(dispatch)](CallContext ctx) {
+        if (ctx.is_stream()) {
+          ctx.respond(Code::kUnimplemented, {});
+          return;
+        }
+        dispatch(ctx.method, std::move(ctx.payload), ctx.trace,
+                 std::move(ctx.respond));
+      }),
+      metrics);
+}
+
+Server::Server(Listener listener, Handler handler, metrics::Registry* metrics)
     : listener_(std::move(listener)),
-      dispatch_(std::move(dispatch)),
+      handler_(std::move(handler)),
       metrics_(metrics) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -61,45 +78,116 @@ void Server::accept_loop() {
   }
 }
 
+namespace {
+
+/// Inbound span + propagated context for a request/stream-open frame.
+trace::TraceContext note_inbound(const FrameTrace& ft, size_t wire_bytes) {
+  trace::TraceContext tctx;
+  if (trace::enabled() && ft.active()) {
+    tctx = {ft.trace_id, ft.span_id};
+    // TCP wire + this reader's dispatch, from the client's send stamp.
+    trace::Tracer::instance().record(trace::Stage::kXrpcInbound, tctx,
+                                     ft.send_ns, WallTimer::now(), wire_bytes);
+  }
+  return tctx;
+}
+
+/// The responder owns a reference to the connection so late async
+/// responses still have a live socket. It echoes the trace context so
+/// the client can attribute the response wire span.
+Responder make_responder(std::shared_ptr<ConnState> conn, uint32_t call_id,
+                         trace::TraceContext tctx) {
+  return [conn = std::move(conn), call_id, tctx](Code status, ByteSpan payload) {
+    lockdep::ScopedLock wl(conn->write_mu);
+    if (tctx.active()) {
+      FrameTrace ft{tctx.trace_id, tctx.parent_span_id, WallTimer::now()};
+      (void)write_response(conn->fd, call_id, status, payload, &ft);
+    } else {
+      (void)write_response(conn->fd, call_id, status, payload);
+    }
+  };
+}
+
+}  // namespace
+
 void Server::connection_loop(std::shared_ptr<ConnState> conn) {
+  // call_id -> live inbound stream. Reader-thread-only: every stream
+  // frame for this connection flows through this loop, in TCP order.
+  std::map<uint32_t, std::shared_ptr<ServerStream>> streams;
   while (!relaxed::load(stopping_)) {
     auto frame = read_frame(conn->fd);
-    if (!frame.is_ok()) return;  // closed or broken: drop the connection
-    if (frame->type != FrameType::kRequest) return;
-    relaxed::add(requests_accepted_, 1);
-    uint32_t call_id = frame->request.call_id;
-    trace::TraceContext tctx;
-    if (trace::enabled() && frame->request.trace.active()) {
-      tctx = {frame->request.trace.trace_id, frame->request.trace.span_id};
-      // TCP wire + this reader's dispatch, from the client's send stamp.
-      trace::Tracer::instance().record(trace::Stage::kXrpcInbound, tctx,
-                                       frame->request.trace.send_ns,
-                                       WallTimer::now(),
-                                       frame->request.payload.size());
-    }
-    // The responder owns a reference to the connection so late async
-    // responses still have a live socket. It echoes the trace context so
-    // the client can attribute the response wire span.
-    Responder respond = [conn, call_id, tctx](Code status, ByteSpan payload) {
-      lockdep::ScopedLock wl(conn->write_mu);
-      if (tctx.active()) {
-        FrameTrace ft{tctx.trace_id, tctx.parent_span_id, WallTimer::now()};
-        (void)write_response(conn->fd, call_id, status, payload, &ft);
-      } else {
-        (void)write_response(conn->fd, call_id, status, payload);
+    if (!frame.is_ok()) break;  // closed or broken: drop the connection
+    switch (frame->type) {
+      case FrameType::kRequest: {
+        relaxed::add(requests_accepted_, 1);
+        uint32_t call_id = frame->request.call_id;
+        trace::TraceContext tctx =
+            note_inbound(frame->request.trace, frame->request.payload.size());
+        Responder respond = make_responder(conn, call_id, tctx);
+        if (metrics_ != nullptr && frame->request.method == kMetricsMethod) {
+          // Built-in scrape endpoint: answer inline, never reaches the
+          // handler.
+          std::string text = metrics_->expose_text();
+          respond(Code::kOk,
+                  ByteSpan(reinterpret_cast<const std::byte*>(text.data()),
+                           text.size()));
+          continue;
+        }
+        CallContext ctx;
+        ctx.method = std::move(frame->request.method);
+        ctx.payload = std::move(frame->request.payload);
+        ctx.trace = tctx;
+        ctx.respond = std::move(respond);
+        handler_(std::move(ctx));
+        break;
       }
-    };
-    if (metrics_ != nullptr && frame->request.method == kMetricsMethod) {
-      // Built-in scrape endpoint: answer inline, never reaches dispatch.
-      std::string text = metrics_->expose_text();
-      respond(Code::kOk,
-              ByteSpan(reinterpret_cast<const std::byte*>(text.data()),
-                       text.size()));
-      continue;
+      case FrameType::kStreamOpen: {
+        relaxed::add(requests_accepted_, 1);
+        uint32_t call_id = frame->stream.call_id;
+        trace::TraceContext tctx =
+            note_inbound(frame->stream.trace, frame->stream.method.size());
+        auto stream = std::make_shared<ServerStream>(conn, call_id);
+        streams[call_id] = stream;
+        CallContext ctx;
+        ctx.method = std::move(frame->stream.method);
+        ctx.trace = tctx;
+        ctx.respond = make_responder(conn, call_id, tctx);
+        ctx.stream = std::move(stream);
+        handler_(std::move(ctx));
+        break;
+      }
+      case FrameType::kStreamChunk: {
+        auto it = streams.find(frame->stream.call_id);
+        if (it != streams.end()) {
+          it->second->deliver_chunk(std::move(frame->stream.payload));
+        }
+        break;
+      }
+      case FrameType::kStreamEnd: {
+        auto it = streams.find(frame->stream.call_id);
+        if (it != streams.end()) {
+          auto stream = std::move(it->second);
+          streams.erase(it);
+          stream->deliver_end();
+        }
+        break;
+      }
+      case FrameType::kStreamAbort: {
+        auto it = streams.find(frame->stream.call_id);
+        if (it != streams.end()) {
+          auto stream = std::move(it->second);
+          streams.erase(it);
+          stream->deliver_abort(frame->stream.status);
+        }
+        break;
+      }
+      default:
+        return;  // kResponse / kStreamCredit at the server: protocol error
     }
-    dispatch_(frame->request.method, std::move(frame->request.payload), tctx,
-              std::move(respond));
   }
+  // Connection died with streams still in flight: tell their owners so
+  // every downstream resource (pool jobs, budgets) drains.
+  for (auto& [id, stream] : streams) stream->deliver_abort(Code::kUnavailable);
 }
 
 }  // namespace dpurpc::xrpc

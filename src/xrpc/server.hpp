@@ -21,7 +21,9 @@
 #include "common/thread_annotations.hpp"
 #include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
+#include "xrpc/call_context.hpp"
 #include "xrpc/frame.hpp"
+#include "xrpc/stream.hpp"
 
 namespace dpurpc::xrpc {
 
@@ -33,20 +35,28 @@ inline constexpr std::string_view kMetricsMethod = "dpurpc.Metrics/Scrape";
 class Server {
  public:
   /// Completes one call; thread-safe, callable once per request.
-  using Responder = std::function<void(Code, ByteSpan payload)>;
+  using Responder = xrpc::Responder;
 
-  /// Invoked on the connection's reader thread for every request. The
-  /// handler may respond inline or stash the responder and answer later.
-  /// `trace` is the request's propagated context (inactive when the
-  /// client did not trace this call); pass it through to downstream
-  /// engines so their spans join the same tree.
+  /// The unified surface: invoked on the connection's reader thread for
+  /// every call — unary (ctx.payload, respond inline or stash the
+  /// responder) or streaming (ctx.stream non-null; install its callbacks
+  /// before returning). See call_context.hpp.
+  using Handler = CallHandler;
+
+  /// DEPRECATED legacy dispatch shape (removal next PR): unary calls
+  /// only, unpacked arguments. Streaming calls reaching a server started
+  /// with this shim are answered kUnimplemented.
   using Dispatch = std::function<void(const std::string& method, Bytes payload,
                                       trace::TraceContext trace,
                                       Responder respond)>;
 
   /// Listen on an OS-assigned loopback port and serve until shutdown().
   /// A non-null `metrics` enables the built-in kMetricsMethod handler
-  /// (answered before dispatch ever sees the call).
+  /// (answered before the handler ever sees the call).
+  static StatusOr<std::unique_ptr<Server>> start(
+      Handler handler, metrics::Registry* metrics = nullptr);
+
+  /// DEPRECATED shim over the Handler form; slated for removal next PR.
   static StatusOr<std::unique_ptr<Server>> start(
       Dispatch dispatch, metrics::Registry* metrics = nullptr);
 
@@ -62,12 +72,12 @@ class Server {
   }
 
  private:
-  Server(Listener listener, Dispatch dispatch, metrics::Registry* metrics);
+  Server(Listener listener, Handler handler, metrics::Registry* metrics);
   void accept_loop();
-  void connection_loop(std::shared_ptr<struct ConnState> conn);
+  void connection_loop(std::shared_ptr<ConnState> conn);
 
   Listener listener_;
-  Dispatch dispatch_;
+  Handler handler_;
   metrics::Registry* metrics_;
   std::thread accept_thread_;
   lockdep::Mutex mu_{"xrpc.Server.mu"};
@@ -79,16 +89,9 @@ class Server {
   // shutdown()'s sweep) or never spawned; no thread can be created after
   // the sweep and escape it. Only then are accept/conn threads joined.
   std::vector<std::thread> conn_threads_ DPURPC_GUARDED_BY(mu_);
-  std::vector<std::weak_ptr<struct ConnState>> conns_ DPURPC_GUARDED_BY(mu_);
+  std::vector<std::weak_ptr<ConnState>> conns_ DPURPC_GUARDED_BY(mu_);
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_accepted_{0};
-};
-
-/// One live TCP connection: the fd plus a write lock so concurrent
-/// responders interleave whole frames.
-struct ConnState {
-  Fd fd;
-  lockdep::Mutex write_mu{"xrpc.ConnState.write_mu"};
 };
 
 }  // namespace dpurpc::xrpc

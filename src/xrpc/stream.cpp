@@ -1,0 +1,10 @@
+#include "xrpc/stream.hpp"
+
+namespace dpurpc::xrpc {
+
+Status ServerStream::grant(uint32_t bytes) {
+  lockdep::ScopedLock wl(conn_->write_mu);
+  return write_stream_credit(conn_->fd, call_id_, bytes);
+}
+
+}  // namespace dpurpc::xrpc

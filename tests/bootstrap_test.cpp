@@ -152,7 +152,7 @@ TEST(Bootstrap, EndToEndDeploymentFromFetchedConfig) {
   ASSERT_TRUE(rdmarpc::Connection::connect(dpu_conn, host_conn).is_ok());
 
   HostEngine host(&host_conn, &host_manifest, &pool);
-  ASSERT_TRUE(host.register_method(
+  ASSERT_TRUE(host.register_unary(
                       "bs.Pinger/Ping_",
                       [](const ServerContext&, const adt::LayoutView& req,
                          proto::DynamicMessage& resp) {

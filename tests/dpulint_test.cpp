@@ -175,6 +175,10 @@ TEST(DpulintRealTree, RequiredHotRootsAnnotated) {
            "dpurpc::trace::Tracer::record",
            "dpurpc::adt::Adt::plans",
            "dpurpc::rdmarpc::BlockWriter::finalize",
+           // Streaming additions: fragment reassembly pop on the server
+           // and the chunk-cut/submit loop on the proxy's lane thread.
+           "dpurpc::rdmarpc::RpcServer::accept_fragment",
+           "dpurpc::grpccompat::DpuProxy::scan_and_submit",
        }) {
     EXPECT_EQ(std::count(hot.begin(), hot.end(), std::string(required)), 1)
         << "missing hot annotation: " << required;

@@ -73,7 +73,7 @@ TEST(EndToEndStress, EverythingAtOnce) {
     host_bytes_seen.fetch_add(data.size(), std::memory_order_relaxed);
   };
 
-  ASSERT_TRUE(host.register_method(
+  ASSERT_TRUE(host.register_unary(
                       "st.Stress/EchoSum",
                       [&](const ServerContext&, const adt::LayoutView& req,
                           proto::DynamicMessage& resp) {
@@ -84,7 +84,7 @@ TEST(EndToEndStress, EverythingAtOnce) {
                         return Status::ok();
                       })
                   .is_ok());
-  ASSERT_TRUE(host.register_method_inplace(
+  ASSERT_TRUE(host.register_unary_inplace(
                       "st.Stress/FastSum",
                       [&](const ServerContext&, const adt::LayoutView& req,
                           adt::LayoutBuilder& resp) {
@@ -111,7 +111,7 @@ TEST(EndToEndStress, EverythingAtOnce) {
                         return Status::ok();
                       })
                   .is_ok());
-  ASSERT_TRUE(host.register_method(
+  ASSERT_TRUE(host.register_unary(
                       "st.Stress/AlwaysFail",
                       [](const ServerContext&, const adt::LayoutView&,
                          proto::DynamicMessage&) {

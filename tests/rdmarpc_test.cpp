@@ -513,6 +513,9 @@ TEST(Integration, OversizedInPlaceResponseGetsItsOwnBlock) {
                   .is_ok());
   ASSERT_TRUE(f.pump_until(1).is_ok());
   EXPECT_TRUE(checked);
+  // Regression: every doubling of the block hint must be counted — both
+  // here and in dpurpc_block_hint_retries_total (same counter feeds both).
+  EXPECT_GT(f.server.block_hint_retries(), 0u);
 }
 
 TEST(Integration, CreditsAndBuffersFullyReclaimedAtQuiescence) {
@@ -691,6 +694,135 @@ TEST(Integration, LatencyHistogramPopulatedWhenInstrumented) {
       snap.find("rdmarpc_request_latency_seconds_sum", {{"role", "client"}});
   ASSERT_NE(sum, nullptr);
   EXPECT_GT(sum->value, 0.0);
+}
+
+// ---------------------------------------------------------- fragmentation
+
+uint64_t fnv1a(ByteSpan data) {
+  uint64_t h = 1469598103934665603ull;
+  for (std::byte b : data) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Responses cannot be fragmented (the request path owns kFlagFragment), so
+// the handler answers with an 8-byte digest instead of echoing.
+void register_digest(RpcServer& server) {
+  server.register_handler(kEcho, [](const RequestView& req, Bytes& out) {
+    out.resize(8);
+    store_le(out.data(), fnv1a(req.payload));
+    return Status::ok();
+  });
+}
+
+TEST(Fragmentation, OneByteOverSingleBlockSplitsAndReassembles) {
+  Fabric f;
+  register_digest(f.server);
+  std::mt19937_64 rng(kDefaultSeed);
+  // Around the delegation boundary: the largest payload that still fits a
+  // single block (a plain call), then one byte more (two fragments, the
+  // second carrying a single chunk byte), then one over the block payload
+  // field itself.
+  const size_t kSizes[] = {kMaxPayloadSize - kWireTraceSize,
+                           kMaxPayloadSize - kWireTraceSize + 1,
+                           kMaxPayloadSize + 1};
+  uint64_t done = 0;
+  for (size_t size : kSizes) {
+    std::string payload = random_ascii(rng, size);
+    const uint64_t want = fnv1a(ByteSpan(as_bytes_view(payload)));
+    bool checked = false;
+    ASSERT_TRUE(f.client
+                    .call_fragmented(kEcho, as_bytes_view(payload),
+                                     [&](const Status& st, const InMessage& resp) {
+                                       ASSERT_TRUE(st.is_ok()) << st.to_string();
+                                       ASSERT_EQ(resp.payload.size(), 8u);
+                                       EXPECT_EQ(load_le<uint64_t>(resp.payload_addr),
+                                                 want);
+                                       checked = true;
+                                     })
+                    .is_ok());
+    ASSERT_TRUE(f.pump_until(++done).is_ok());
+    EXPECT_TRUE(checked) << "size " << size;
+  }
+  EXPECT_EQ(f.server.reassembly_streams(), 0u);
+  EXPECT_EQ(f.client.in_flight(), 0u);
+}
+
+TEST(Fragmentation, OutOfOrderFragmentsReassemble) {
+  // The simverbs reorder knob swaps the *processing* order of consecutive
+  // blocks at the receiver. Only blocks carrying non-final fragments may
+  // swap: the final fragment is the request for the ID discipline (§IV.D),
+  // so moving it would legitimately desynchronize the ID pools.
+  Fabric f;
+  register_digest(f.server);
+  std::mt19937_64 rng(kDefaultSeed);
+
+  // 200000 bytes -> 4 fragments; holding the first delivers it after the
+  // second (swap of two non-final fragments).
+  {
+    std::string payload = random_ascii(rng, 200000);
+    const uint64_t want = fnv1a(ByteSpan(as_bytes_view(payload)));
+    f.client_conn.queue_pair().faults().reorder_next_recvs.store(1);
+    bool checked = false;
+    ASSERT_TRUE(f.client
+                    .call_fragmented(kEcho, as_bytes_view(payload),
+                                     [&](const Status& st, const InMessage& resp) {
+                                       ASSERT_TRUE(st.is_ok()) << st.to_string();
+                                       EXPECT_EQ(load_le<uint64_t>(resp.payload_addr),
+                                                 want);
+                                       checked = true;
+                                     })
+                    .is_ok());
+    ASSERT_TRUE(f.pump_until(1).is_ok());
+    EXPECT_TRUE(checked);
+  }
+
+  // 280000 bytes -> 5 fragments; holding the first two delivers them after
+  // the third (a deeper swap, still only non-final fragments moved).
+  {
+    std::string payload = random_ascii(rng, 280000);
+    const uint64_t want = fnv1a(ByteSpan(as_bytes_view(payload)));
+    f.client_conn.queue_pair().faults().reorder_next_recvs.store(2);
+    bool checked = false;
+    ASSERT_TRUE(f.client
+                    .call_fragmented(kEcho, as_bytes_view(payload),
+                                     [&](const Status& st, const InMessage& resp) {
+                                       ASSERT_TRUE(st.is_ok()) << st.to_string();
+                                       EXPECT_EQ(load_le<uint64_t>(resp.payload_addr),
+                                                 want);
+                                       checked = true;
+                                     })
+                    .is_ok());
+    ASSERT_TRUE(f.pump_until(2).is_ok());
+    EXPECT_TRUE(checked);
+  }
+  EXPECT_EQ(f.server.reassembly_streams(), 0u);
+  EXPECT_EQ(f.client.in_flight(), 0u);
+}
+
+TEST(Fragmentation, TotalOverReassemblyCapIsProtocolFatal) {
+  // A declared total above the server's reassembly cap is indistinguishable
+  // from a resource-exhaustion attack; the server treats it as a protocol
+  // violation (kDataLoss surfaces from its event loop) rather than buffer it.
+  Fabric f;
+  register_digest(f.server);
+  f.server.set_max_fragmented_payload(100 * 1024);
+  std::mt19937_64 rng(kDefaultSeed);
+  std::string payload = random_ascii(rng, 200000);
+  ASSERT_TRUE(f.client.call_fragmented(kEcho, as_bytes_view(payload), nullptr)
+                  .is_ok());
+  Status st;
+  for (int i = 0; i < 200; ++i) {
+    (void)f.client.event_loop_once();
+    auto s = f.server.event_loop_once();
+    if (!s.is_ok()) {
+      st = s.status();
+      break;
+    }
+  }
+  EXPECT_EQ(st.code(), Code::kDataLoss);
 }
 
 TEST(Integration, LostBlockStallsButDoesNotCorrupt) {

@@ -102,7 +102,7 @@ TEST_F(ResponseOffloadFixture, FullyOffloadedRoundTrip) {
   // Host handler: reads the in-place request, BUILDS the in-place response
   // — zero host-side (de)serialization in either direction.
   ASSERT_TRUE(host_
-                  ->register_method_inplace(
+                  ->register_unary_inplace(
                       "ro.Search/Find",
                       [](const ServerContext&, const adt::LayoutView& req,
                          adt::LayoutBuilder& resp) {
@@ -156,7 +156,7 @@ TEST_F(ResponseOffloadFixture, FullyOffloadedRoundTrip) {
 // response content, not one lucky shape.
 TEST_F(ResponseOffloadFixture, PoolSerializedBytesMatchWireCodecOracle) {
   ASSERT_TRUE(host_
-                  ->register_method_inplace(
+                  ->register_unary_inplace(
                       "ro.Search/Find",
                       [](const ServerContext&, const adt::LayoutView& req,
                          adt::LayoutBuilder& resp) {
@@ -228,7 +228,7 @@ TEST_F(ResponseOffloadFixture, PoolSerializedBytesMatchWireCodecOracle) {
 
 TEST_F(ResponseOffloadFixture, ManyCallsStayConsistent) {
   ASSERT_TRUE(host_
-                  ->register_method_inplace(
+                  ->register_unary_inplace(
                       "ro.Search/Find",
                       [](const ServerContext&, const adt::LayoutView& req,
                          adt::LayoutBuilder& resp) {
@@ -261,7 +261,7 @@ TEST_F(ResponseOffloadFixture, ManyCallsStayConsistent) {
 
 TEST_F(ResponseOffloadFixture, HandlerErrorFallsBackToErrorResponse) {
   ASSERT_TRUE(host_
-                  ->register_method_inplace(
+                  ->register_unary_inplace(
                       "ro.Search/Find",
                       [](const ServerContext&, const adt::LayoutView&,
                          adt::LayoutBuilder&) {

@@ -205,9 +205,9 @@ TEST(Fuzz, ManifestDeserializeSurvivesCorruption) {
 
 TEST(Fuzz, XrpcServerSurvivesGarbageBytes) {
   auto server = xrpc::Server::start(
-      [](const std::string&, Bytes payload, trace::TraceContext, xrpc::Server::Responder respond) {
-        respond(Code::kOk, ByteSpan(payload));
-      });
+      xrpc::CallHandler([](xrpc::CallContext ctx) {
+        ctx.respond(Code::kOk, ByteSpan(ctx.payload));
+      }));
   ASSERT_TRUE(server.is_ok());
 
   std::mt19937_64 rng(kDefaultSeed);
@@ -234,6 +234,9 @@ TEST(Fuzz, XrpcServerSurvivesGarbageBytes) {
 }
 
 TEST(Fuzz, XrpcRejectsOversizeFrameDeclaration) {
+  // Deliberately the legacy Dispatch shape: the deprecated Server::start
+  // shim's only remaining first-party use (compile coverage until its
+  // removal next PR).
   auto server = xrpc::Server::start(
       [](const std::string&, Bytes, trace::TraceContext, xrpc::Server::Responder respond) {
         respond(Code::kOk, {});

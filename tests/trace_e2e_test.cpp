@@ -101,7 +101,7 @@ TEST_F(TraceE2eFixture, EveryStageRecordsExactlyOnce) {
 
   std::map<std::string, std::string> store;
   ASSERT_TRUE(host_
-                  ->register_method(
+                  ->register_unary(
                       "kv.KvStore/Put",
                       [&store](const ServerContext&, const adt::LayoutView& req,
                                proto::DynamicMessage& resp) {
@@ -217,7 +217,7 @@ TEST_F(TraceE2eFixture, OffloadedReplyStagesRecordExactlyOnce) {
   trace::TraceCollector collector(copts);
 
   ASSERT_TRUE(host_
-                  ->register_method_object(
+                  ->register_unary_object(
                       "kv.KvStore/Put",
                       [](const ServerContext&, const adt::LayoutView&,
                          adt::LayoutBuilder& resp) {

@@ -14,16 +14,38 @@ namespace dpurpc::xrpc {
 namespace {
 
 std::unique_ptr<Server> echo_server() {
-  auto server = Server::start(
-      [](const std::string& method, Bytes payload, trace::TraceContext, Server::Responder respond) {
-        if (method == "test.Echo/Echo") {
-          respond(Code::kOk, ByteSpan(payload));
-        } else if (method == "test.Echo/Fail") {
+  auto server = Server::start(CallHandler([](CallContext ctx) {
+    if (ctx.is_stream()) {
+      // Streaming echo: accumulate chunks, answer with the concatenation.
+      // Raw pointer on purpose — capturing the shared_ptr inside the
+      // stream's own callbacks would be a self-cycle (leak); callbacks
+      // only ever run while the server still owns the stream.
+      ServerStream* stream = ctx.stream.get();
+      auto acc = std::make_shared<Bytes>();
+      auto respond = std::move(ctx.respond);
+      const bool fail = ctx.method == "test.Echo/Fail";
+      stream->on_chunk([acc, stream](Bytes chunk) {
+        acc->insert(acc->end(), chunk.begin(), chunk.end());
+        (void)stream->grant(static_cast<uint32_t>(chunk.size()));
+      });
+      stream->on_end([acc, respond, fail] {
+        if (fail) {
           respond(Code::kInvalidArgument, {});
         } else {
-          respond(Code::kNotFound, {});
+          respond(Code::kOk, ByteSpan(*acc));
         }
       });
+      (void)stream->grant(1u << 16);
+      return;
+    }
+    if (ctx.method == "test.Echo/Echo") {
+      ctx.respond(Code::kOk, ByteSpan(ctx.payload));
+    } else if (ctx.method == "test.Echo/Fail") {
+      ctx.respond(Code::kInvalidArgument, {});
+    } else {
+      ctx.respond(Code::kNotFound, {});
+    }
+  }));
   EXPECT_TRUE(server.is_ok()) << server.status().to_string();
   return std::move(*server);
 }
@@ -125,7 +147,7 @@ TEST(Xrpc, MultipleClientsOneServer) {
 
 TEST(Xrpc, ServerShutdownFailsInFlightCalls) {
   auto server = Server::start(
-      [](const std::string&, Bytes, trace::TraceContext, Server::Responder) { /* never responds */ });
+      CallHandler([](CallContext) { /* never responds */ }));
   ASSERT_TRUE(server.is_ok());
   auto chan = Channel::connect((*server)->port());
   ASSERT_TRUE(chan.is_ok());
@@ -237,8 +259,7 @@ TEST(Xrpc, MetricsScrapeEndpoint) {
       .histogram()
       .observe(0.005);
   auto server = Server::start(
-      [](const std::string&, Bytes, trace::TraceContext,
-         Server::Responder respond) { respond(Code::kNotFound, {}); },
+      CallHandler([](CallContext ctx) { ctx.respond(Code::kNotFound, {}); }),
       &reg);
   ASSERT_TRUE(server.is_ok()) << server.status().to_string();
   auto chan = Channel::connect((*server)->port());
@@ -251,6 +272,119 @@ TEST(Xrpc, MetricsScrapeEndpoint) {
   EXPECT_NE(text.find("xrpc_scrape_demo_seconds_p95"), std::string::npos);
   // The built-in endpoint never reaches the dispatch (which would have
   // answered kNotFound).
+}
+
+// ------------------------------------------------------------ streaming
+
+TEST(XrpcStream, EchoRoundTrip) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto stream = (*chan)->open_stream("test.Echo/Echo");
+  ASSERT_TRUE(stream.is_ok()) << stream.status().to_string();
+  std::mt19937_64 rng(kDefaultSeed);
+  std::string data = random_bytes(rng, 300 * 1024);
+  // Odd chunk size so the last chunk is a partial one.
+  constexpr size_t kChunk = 7001;
+  for (size_t off = 0; off < data.size(); off += kChunk) {
+    size_t n = std::min(kChunk, data.size() - off);
+    ASSERT_TRUE((*stream)
+                    ->write(ByteSpan(as_bytes_view(data).subspan(off, n)))
+                    .is_ok());
+  }
+  auto resp = (*stream)->finish();
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(as_string_view(ByteSpan(*resp)), data);
+}
+
+TEST(XrpcStream, EmptyStreamRoundTrip) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto stream = (*chan)->open_stream("test.Echo/Echo");
+  ASSERT_TRUE(stream.is_ok());
+  auto resp = (*stream)->finish();
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_TRUE(resp->empty());
+}
+
+TEST(XrpcStream, ErrorStatusOnFinish) {
+  auto server = echo_server();
+  auto chan = Channel::connect(server->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto stream = (*chan)->open_stream("test.Echo/Fail");
+  ASSERT_TRUE(stream.is_ok());
+  ASSERT_TRUE((*stream)->write(as_bytes_view("x")).is_ok());
+  auto resp = (*stream)->finish();
+  EXPECT_EQ(resp.status().code(), Code::kInvalidArgument);
+}
+
+TEST(XrpcStream, CreditWindowStallsWriter) {
+  // A receiver that grants slowly must stall the sender at the xRPC edge:
+  // initial window = one chunk, each further grant delayed past the
+  // client's next write() attempt.
+  constexpr uint32_t kChunk = 8 * 1024;
+  auto server = Server::start(CallHandler([](CallContext ctx) {
+    ServerStream* stream = ctx.stream.get();
+    auto respond = std::move(ctx.respond);
+    auto total = std::make_shared<uint64_t>(0);
+    stream->on_chunk([total, stream](Bytes chunk) {
+      *total += chunk.size();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      (void)stream->grant(static_cast<uint32_t>(chunk.size()));
+    });
+    stream->on_end([total, respond] {
+      Bytes out = to_bytes(std::to_string(*total));
+      respond(Code::kOk, ByteSpan(out));
+    });
+    (void)stream->grant(kChunk);
+  }));
+  ASSERT_TRUE(server.is_ok());
+  auto chan = Channel::connect((*server)->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto stream = (*chan)->open_stream("test.Slow/Sink");
+  ASSERT_TRUE(stream.is_ok());
+  std::mt19937_64 rng(kDefaultSeed);
+  std::string data = random_bytes(rng, kChunk);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*stream)->write(as_bytes_view(data)).is_ok());
+  }
+  auto resp = (*stream)->finish();
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(as_string_view(ByteSpan(*resp)), std::to_string(4 * kChunk));
+  // Every write after the first had to wait for a delayed grant.
+  EXPECT_GE((*stream)->credit_stalls(), 1u);
+}
+
+TEST(XrpcStream, AbortReachesServer) {
+  std::atomic<bool> aborted{false};
+  std::atomic<Code> abort_code{Code::kOk};
+  auto server = Server::start(CallHandler([&](CallContext ctx) {
+    ServerStream* stream = ctx.stream.get();
+    stream->on_chunk([](Bytes) {});
+    stream->on_end([] {});
+    stream->on_abort([&](Code code) {
+      abort_code = code;
+      aborted = true;
+    });
+    (void)stream->grant(1u << 16);
+    // Responder intentionally dropped: an aborted stream never answers.
+  }));
+  ASSERT_TRUE(server.is_ok());
+  auto chan = Channel::connect((*server)->port());
+  ASSERT_TRUE(chan.is_ok());
+  auto stream = (*chan)->open_stream("test.Abort/Me");
+  ASSERT_TRUE(stream.is_ok());
+  ASSERT_TRUE((*stream)->write(as_bytes_view("partial")).is_ok());
+  (*stream)->abort(Code::kDataLoss);
+  for (int i = 0; i < 500 && !aborted.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(aborted.load());
+  EXPECT_EQ(abort_code.load(), Code::kDataLoss);
+  // finish() after abort reports the abort, not a hang.
+  auto resp = (*stream)->finish(2000);
+  EXPECT_FALSE(resp.is_ok());
 }
 
 // Without a registry, the scrape method is just another dispatched call.

@@ -33,7 +33,7 @@
 #                     counts): proves every harness still sets up, measures
 #                     and reports without crashing (ablation_trace rides in
 #                     via the glob). Numbers are meaningless. The figure
-#                     harnesses (fig8/fig9/fig10) additionally run with
+#                     harnesses (fig8/fig9/fig10/fig11) additionally run with
 #                     --json; their outputs are combined into
 #                     <prefix>-plain/BENCH_6.json for the workflow artifact.
 #
@@ -124,7 +124,7 @@ pass_bench_smoke() {
     # into BENCH_6.json below (archived as a workflow artifact).
     local extra=()
     case "$name" in
-      fig8_datapath|fig9_scaling|fig10_roundtrip)
+      fig8_datapath|fig9_scaling|fig10_roundtrip|fig11_shuffle)
         extra=(--json "$json_dir/$name.json") ;;
     esac
     if ! DPURPC_BENCH_SMOKE=1 "$bench" "${extra[@]}" >/dev/null; then
@@ -137,7 +137,7 @@ pass_bench_smoke() {
   local out="$prefix-plain/BENCH_6.json" first=1
   {
     echo "{"
-    for name in fig8_datapath fig9_scaling fig10_roundtrip; do
+    for name in fig8_datapath fig9_scaling fig10_roundtrip fig11_shuffle; do
       [ -s "$json_dir/$name.json" ] || continue
       [ "$first" -eq 1 ] || echo ","
       first=0
