@@ -1,0 +1,465 @@
+// Fig. 12: open-loop tail latency vs. offered load over the full offload
+// datapath (xRPC client → DPU proxy with full-duplex CodecPool → RPC over
+// RDMA → host compat layer → back).
+//
+// A closed-loop bench self-paces — a slow system makes the bench issue
+// fewer requests — so it can never show the latency-vs-offered-load
+// knee. This harness drives src/loadgen's open-loop generator instead:
+// arrivals fire on a Poisson (or bursty on-off MMPP) schedule independent
+// of completions, latency is charged from the *scheduled* arrival (no
+// coordinated omission), and arrivals the datapath cannot absorb count as
+// drops. The sweep calibrates the saturation rate closed-loop, then walks
+// offered load from 10% to 150% of it, printing p50/p95/p99 per point and
+// the detected knee — the first point whose p99 blows past a multiple of
+// the unloaded p99 or which sheds a meaningful share of its arrivals.
+//
+// Workload: the paper's three synthetic messages mixed per request
+// (Small 60%, x512 Ints 30%, x8000 Chars 10%), each a real unary call
+// through the proxy's offloaded decode and DPU-side response serialize.
+// --background-stream additionally runs a continuous streaming bulk
+// transfer through the same proxy during every point, so the unary tail
+// is measured while the chunked-decode pipeline competes for the pool.
+//
+// In-bench acceptance gates (exit 3 on violation, full runs only):
+//   - the curve has >= 5 points and the unloaded (lightest) p99 is finite;
+//   - the knee is detected strictly below the heaviest point — the sweep
+//     must actually reach saturation, or the curve is meaningless.
+//
+// Usage: fig12_openloop [--quick] [--json <path>] [--bursty]
+//                       [--background-stream] [--points N]
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "grpccompat/dpu_proxy.hpp"
+#include "grpccompat/host_service.hpp"
+#include "grpccompat/manifest.hpp"
+#include "loadgen/sweep.hpp"
+#include "proto/schema_parser.hpp"
+#include "xrpc/channel.hpp"
+
+namespace {
+
+using namespace dpurpc;
+
+// The paper's three synthetic unary shapes plus a bulk-stream method for
+// the optional background flow. `Ack` keeps responses small so the tail
+// under load is queueing, not response serialization.
+constexpr std::string_view kSchema = R"(
+syntax = "proto3";
+package ol;
+message Small { int32 id = 1; bool flag = 2; float score = 3; uint64 stamp = 4; }
+message IntArray { repeated uint32 values = 1; }
+message CharArray { string data = 1; }
+message Row { uint64 row_id = 1; bytes cells = 2; }
+message Ack { uint64 stamp = 1; }
+service OpenLoop {
+  rpc Tiny (Small) returns (Ack);
+  rpc Ints (IntArray) returns (Ack);
+  rpc Chars (CharArray) returns (Ack);
+  rpc Bulk (Row) returns (Ack);
+}
+)";
+
+struct MixEntry {
+  const char* name;
+  const char* method;
+  double weight;
+  Bytes wire;
+};
+
+struct Deployment {
+  proto::DescriptorPool pool;
+  std::unique_ptr<grpccompat::OffloadManifest> manifest;
+  std::unique_ptr<simverbs::ProtectionDomain> dpu_pd, host_pd;
+  std::unique_ptr<rdmarpc::Connection> dpu_conn, host_conn;
+  std::unique_ptr<grpccompat::HostEngine> host;
+  std::unique_ptr<grpccompat::DpuProxy> proxy;
+  std::thread host_thread;
+  std::atomic<bool> stop{false};
+  uint16_t port = 0;
+
+  ~Deployment() {
+    if (proxy) proxy->stop();
+    stop.store(true);
+    if (host_conn) host_conn->interrupt();
+    if (host_thread.joinable()) host_thread.join();
+  }
+};
+
+bool setup(Deployment& d) {
+  proto::SchemaParser parser(d.pool);
+  if (!parser.parse_and_link(kSchema).is_ok()) return false;
+  auto built = grpccompat::OffloadManifest::build(d.pool,
+                                                  arena::StdLibFlavor::kLibstdcpp);
+  if (!built.is_ok()) return false;
+  d.manifest = std::make_unique<grpccompat::OffloadManifest>(std::move(*built));
+
+  d.dpu_pd = std::make_unique<simverbs::ProtectionDomain>("dpu");
+  d.host_pd = std::make_unique<simverbs::ProtectionDomain>("host");
+  d.dpu_conn = std::make_unique<rdmarpc::Connection>(rdmarpc::Role::kClient,
+                                                     d.dpu_pd.get(),
+                                                     rdmarpc::ConnectionConfig{});
+  d.host_conn = std::make_unique<rdmarpc::Connection>(rdmarpc::Role::kServer,
+                                                      d.host_pd.get(),
+                                                      rdmarpc::ConnectionConfig{});
+  if (!rdmarpc::Connection::connect(*d.dpu_conn, *d.host_conn).is_ok()) {
+    return false;
+  }
+  d.host = std::make_unique<grpccompat::HostEngine>(d.host_conn.get(),
+                                                    d.manifest.get(), &d.pool);
+
+  // Handlers: object-response flavor, so the DPU serializes the Ack and
+  // the host performs zero codec work in either direction — the offload
+  // configuration whose tail the figure characterizes. Business logic is a
+  // single field read, per the paper's empty-logic scenarios.
+  auto ack_stamp = [](const grpccompat::ServerContext&,
+                      const adt::LayoutView& req,
+                      adt::LayoutBuilder& resp) {
+    return resp.set_uint64(1, req.get_uint64(4));
+  };
+  if (!d.host->register_unary_object("ol.OpenLoop/Tiny", ack_stamp).is_ok()) {
+    return false;
+  }
+  if (!d.host
+           ->register_unary_object(
+               "ol.OpenLoop/Ints",
+               [](const grpccompat::ServerContext&, const adt::LayoutView& req,
+                  adt::LayoutBuilder& resp) {
+                 return resp.set_uint64(1, req.repeated_size(1));
+               })
+           .is_ok()) {
+    return false;
+  }
+  if (!d.host
+           ->register_unary_object(
+               "ol.OpenLoop/Chars",
+               [](const grpccompat::ServerContext&, const adt::LayoutView& req,
+                  adt::LayoutBuilder& resp) {
+                 return resp.set_uint64(1, req.get_string(1).size());
+               })
+           .is_ok()) {
+    return false;
+  }
+  // Background bulk-transfer sink: count bytes, ack with the total.
+  if (!d.host
+           ->register_stream(
+               "ol.OpenLoop/Bulk",
+               [&d](const grpccompat::ServerContext&, uint32_t, ByteSpan chunk,
+                    bool end, Bytes& final_response) -> Status {
+                 static thread_local uint64_t bytes = 0;
+                 if (end) {
+                   const auto* ack = d.pool.find_message("ol.Ack");
+                   proto::DynamicMessage m(ack);
+                   m.set_uint64(ack->field_by_name("stamp"), bytes);
+                   final_response = proto::WireCodec::serialize(m);
+                   bytes = 0;
+                   return Status::ok();
+                 }
+                 bytes += chunk.size();
+                 return Status::ok();
+               })
+           .is_ok()) {
+    return false;
+  }
+
+  d.host_thread = std::thread([&d] {
+    while (!d.stop.load(std::memory_order_relaxed)) {
+      auto n = d.host->event_loop_once();
+      if (!n.is_ok()) return;
+      if (*n == 0) d.host->wait(1);
+    }
+  });
+
+  d.proxy = std::make_unique<grpccompat::DpuProxy>(d.dpu_conn.get(),
+                                                   d.manifest.get());
+  auto port = d.proxy->start();
+  if (!port.is_ok()) return false;
+  d.port = *port;
+  return true;
+}
+
+// The paper's synthetic request wires, built against the ol.* schema.
+std::vector<MixEntry> make_mix(const proto::DescriptorPool& pool) {
+  std::mt19937_64 rng(kDefaultSeed);
+  std::vector<MixEntry> mix;
+
+  const auto* small = pool.find_message("ol.Small");
+  proto::DynamicMessage s(small);
+  s.set_int64(small->field_by_name("id"), 4711);
+  s.set_uint64(small->field_by_name("flag"), 1);
+  s.set_float(small->field_by_name("score"), 1.5f);
+  s.set_uint64(small->field_by_name("stamp"), 99);
+  mix.push_back({"Small", "ol.OpenLoop/Tiny", 0.6,
+                 proto::WireCodec::serialize(s)});
+
+  const auto* ints = pool.find_message("ol.IntArray");
+  proto::DynamicMessage iv(ints);
+  SkewedVarintDistribution dist;
+  for (int i = 0; i < 512; ++i) {
+    iv.add_uint64(ints->field_by_name("values"), dist(rng));
+  }
+  mix.push_back({"x512 Ints", "ol.OpenLoop/Ints", 0.3,
+                 proto::WireCodec::serialize(iv)});
+
+  const auto* chars = pool.find_message("ol.CharArray");
+  proto::DynamicMessage cv(chars);
+  cv.set_string(chars->field_by_name("data"), random_ascii(rng, 8000));
+  mix.push_back({"x8000 Chars", "ol.OpenLoop/Chars", 0.1,
+                 proto::WireCodec::serialize(cv)});
+  return mix;
+}
+
+// Continuous streaming bulk transfer through the same proxy: competes
+// with the unary datapath for pool workers and the host link for the
+// duration of the sweep.
+class BackgroundStream {
+ public:
+  BackgroundStream(uint16_t port, const proto::DescriptorPool& pool) {
+    std::mt19937_64 rng(kDefaultSeed ^ 0xb16b00b5ull);
+    const auto* row = pool.find_message("ol.Row");
+    while (payload_.size() < 512 * 1024) {
+      proto::DynamicMessage m(row);
+      m.set_uint64(row->field_by_name("row_id"), payload_.size());
+      m.set_string(row->field_by_name("cells"),
+                   random_ascii(rng, 256 + rng() % 1024));
+      Bytes wire = proto::WireCodec::serialize(m);
+      payload_.insert(payload_.end(), wire.begin(), wire.end());
+    }
+    thread_ = std::thread([this, port] { loop(port); });
+  }
+
+  ~BackgroundStream() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint64_t streams_completed() const { return streams_.load(); }
+
+ private:
+  void loop(uint16_t port) {
+    auto chan = xrpc::Channel::connect(port);
+    if (!chan.is_ok()) return;
+    while (!stop_.load()) {
+      auto stream = (*chan)->open_stream("ol.OpenLoop/Bulk");
+      if (!stream.is_ok()) return;
+      constexpr size_t kWrite = 32 * 1024;
+      for (size_t off = 0; off < payload_.size() && !stop_.load();
+           off += kWrite) {
+        size_t n = std::min(kWrite, payload_.size() - off);
+        if (!(*stream)->write(ByteSpan(payload_.data() + off, n), 30000)
+                 .is_ok()) {
+          return;
+        }
+      }
+      if (stop_.load()) {
+        (*stream)->abort(Code::kAborted);
+        return;
+      }
+      if (!(*stream)->finish(30000).is_ok()) return;
+      streams_.fetch_add(1);
+    }
+  }
+
+  Bytes payload_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> streams_{0};
+  std::thread thread_;
+};
+
+void json_escape_free_run(FILE* f, const loadgen::RunResult& r) {
+  std::fprintf(f,
+               "\"scheduled\": %" PRIu64 ", \"launched\": %" PRIu64
+               ", \"dropped\": %" PRIu64 ", \"completed\": %" PRIu64
+               ", \"errors\": %" PRIu64 ", \"timeouts\": %" PRIu64
+               ", \"offered_rps\": %.1f, \"achieved_rps\": %.1f, "
+               "\"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f, "
+               "\"mean_us\": %.2f",
+               r.scheduled, r.launched, r.dropped, r.completed, r.errors,
+               r.timeouts, r.offered_rps, r.achieved_rps, r.p50_us, r.p95_us,
+               r.p99_us, r.mean_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::smoke_mode();
+  bool bursty = false;
+  bool background_stream = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--bursty") {
+      bursty = true;
+    } else if (arg == "--background-stream") {
+      background_stream = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  Deployment d;
+  if (!setup(d)) {
+    std::fprintf(stderr, "fig12: deployment setup failed\n");
+    return 1;
+  }
+
+  std::vector<MixEntry> mix = make_mix(d.pool);
+
+  loadgen::SweepConfig sc;
+  sc.process = bursty ? loadgen::ArrivalProcess::kBursty
+                      : loadgen::ArrivalProcess::kPoisson;
+  sc.mix_weights.clear();
+  for (const MixEntry& m : mix) sc.mix_weights.push_back(m.weight);
+  if (quick) {
+    // Smoke: prove the sweep calibrates, walks >= 5 points, and reports —
+    // the numbers are meaningless at these durations.
+    sc.fractions = {0.20, 0.50, 0.80, 1.00, 1.40};
+    sc.point_seconds = 0.12;
+    sc.min_requests = 40;
+    sc.max_requests = 20'000;
+    sc.calibrate_seconds = 0.15;
+    sc.timeout_ns = 500'000'000;
+  }
+
+  std::printf("Fig. 12 — open-loop tail latency vs. offered load "
+              "(%s arrivals%s)\n",
+              loadgen::arrival_process_name(sc.process),
+              background_stream ? ", background bulk stream" : "");
+  std::printf("Mix: Small %.0f%% / x512 Ints %.0f%% / x8000 Chars %.0f%%; "
+              "full xRPC->DPU->host datapath\n\n",
+              mix[0].weight * 100, mix[1].weight * 100, mix[2].weight * 100);
+
+  // Channels are rebuilt per sweep phase so a saturated point's overload
+  // queue cannot bleed into the next; completed phases' channels stay
+  // alive until exit so straggler completions land on live sockets.
+  std::vector<std::shared_ptr<xrpc::Channel>> channels;
+  std::unique_ptr<BackgroundStream> bg;
+  if (background_stream) {
+    bg = std::make_unique<BackgroundStream>(d.port, d.pool);
+  }
+
+  auto factory = [&](int point) -> loadgen::SubmitFn {
+    auto chan = xrpc::Channel::connect(d.port);
+    if (!chan.is_ok()) {
+      std::fprintf(stderr, "fig12: connect (point %d): %s\n", point,
+                   chan.status().to_string().c_str());
+      return [](size_t, loadgen::CompletionFn) { return false; };
+    }
+    std::shared_ptr<xrpc::Channel> shared = std::move(*chan);
+    channels.push_back(shared);
+    return [shared, &mix](size_t mix_index, loadgen::CompletionFn done) {
+      const MixEntry& m = mix[std::min(mix_index, mix.size() - 1)];
+      auto cb = std::make_shared<loadgen::CompletionFn>(std::move(done));
+      Status st = shared->call_async(
+          m.method, ByteSpan(m.wire),
+          [cb](Code c, Bytes) { (*cb)(c == Code::kOk); });
+      return st.is_ok();
+    };
+  };
+
+  loadgen::SweepResult res = loadgen::run_sweep(sc, factory);
+  if (res.calibrated_max_rps <= 0) {
+    std::fprintf(stderr, "fig12: calibration completed zero requests\n");
+    return 1;
+  }
+  bg.reset();  // stop the background flow before reporting
+
+  std::printf("calibrated saturation: %.0f rps (closed loop, %zu in flight)\n\n",
+              res.calibrated_max_rps, sc.calibrate_concurrency);
+  std::printf("%-7s %11s %11s %9s %9s %9s %8s %8s\n", "load", "offered",
+              "achieved", "p50_us", "p95_us", "p99_us", "drops", "timeouts");
+  for (size_t i = 0; i < res.points.size(); ++i) {
+    const loadgen::SweepPoint& p = res.points[i];
+    std::printf("%-7s %11.0f %11.0f %9.1f %9.1f %9.1f %8" PRIu64 " %8" PRIu64
+                "%s\n",
+                p.label.c_str(), p.run.offered_rps, p.run.achieved_rps,
+                p.run.p50_us, p.run.p95_us, p.run.p99_us, p.run.dropped,
+                p.run.timeouts,
+                static_cast<int>(i) == res.knee_index ? "   <-- knee" : "");
+  }
+  if (res.knee_index >= 0) {
+    std::printf("\nknee: %s offered (%.0f rps) — p99 %.1f us vs unloaded "
+                "%.1f us\n",
+                res.points[static_cast<size_t>(res.knee_index)].label.c_str(),
+                res.knee_offered_rps(),
+                res.points[static_cast<size_t>(res.knee_index)].run.p99_us,
+                res.unloaded_p99_us);
+  } else {
+    std::printf("\nknee: not detected — the ladder never saturated the "
+                "datapath\n");
+  }
+
+  // ---- acceptance gates (full runs only: smoke points are too short
+  // for the knee detector to be meaningful) ------------------------------
+  bool failed = false;
+  if (!quick) {
+    if (res.points.size() < 5) {
+      std::fprintf(stderr, "FAIL: curve has %zu points, need >= 5\n",
+                   res.points.size());
+      failed = true;
+    }
+    if (!(res.unloaded_p99_us > 0) || !std::isfinite(res.unloaded_p99_us)) {
+      std::fprintf(stderr,
+                   "FAIL: unloaded p99 is not finite/positive (%.2f us)\n",
+                   res.unloaded_p99_us);
+      failed = true;
+    }
+    if (res.knee_index < 0 ||
+        res.knee_index >= static_cast<int>(res.points.size()) - 1) {
+      std::fprintf(stderr,
+                   "FAIL: knee %s — the sweep must saturate strictly below "
+                   "its heaviest point\n",
+                   res.knee_index < 0 ? "not detected"
+                                      : "only at the heaviest point");
+      failed = true;
+    }
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::perror("fig12_openloop: --json open");
+      return 65;
+    }
+    std::fprintf(f,
+                 "{\n  \"benchmark\": \"fig12_openloop\",\n"
+                 "  \"process\": \"%s\",\n  \"smoke\": %s,\n"
+                 "  \"background_stream\": %s,\n"
+                 "  \"calibrated_max_rps\": %.1f,\n"
+                 "  \"unloaded_p99_us\": %.2f,\n"
+                 "  \"knee_detected\": %s,\n"
+                 "  \"knee_fraction\": %.2f,\n"
+                 "  \"knee_offered_rps\": %.1f,\n"
+                 "  \"points\": [\n",
+                 loadgen::arrival_process_name(sc.process),
+                 quick ? "true" : "false",
+                 background_stream ? "true" : "false", res.calibrated_max_rps,
+                 res.unloaded_p99_us, res.knee_index >= 0 ? "true" : "false",
+                 res.knee_index >= 0
+                     ? res.points[static_cast<size_t>(res.knee_index)].fraction
+                     : 0.0,
+                 res.knee_offered_rps());
+    for (size_t i = 0; i < res.points.size(); ++i) {
+      const loadgen::SweepPoint& p = res.points[i];
+      std::fprintf(f, "    {\"label\": \"%s\", \"fraction\": %.2f, ",
+                   p.label.c_str(), p.fraction);
+      json_escape_free_run(f, p.run);
+      std::fprintf(f, "}%s\n", i + 1 < res.points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (failed) return 3;
+  return 0;
+}

@@ -64,19 +64,6 @@ class HostEnginePool {
     return Status::ok();
   }
 
-  /// DEPRECATED shims (removal next PR) — use the register_unary* names.
-  Status register_method(std::string_view full_name, HostEngine::Method method) {
-    return register_unary(full_name, std::move(method));
-  }
-  Status register_method_inplace(std::string_view full_name,
-                                 HostEngine::InPlaceMethod method) {
-    return register_unary_inplace(full_name, std::move(method));
-  }
-  Status register_method_object(std::string_view full_name,
-                                HostEngine::InPlaceMethod method) {
-    return register_unary_object(full_name, std::move(method));
-  }
-
   rdmarpc::ServerPoller& poller() noexcept { return poller_; }
 
   StatusOr<uint32_t> event_loop_once() { return poller_.event_loop_once(); }

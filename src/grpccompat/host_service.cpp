@@ -7,7 +7,7 @@
 namespace dpurpc::grpccompat {
 
 namespace {
-/// Scratch-arena capacity for register_method_object responses; matches
+/// Scratch-arena capacity for register_unary_object responses; matches
 /// the largest payload the RPC over RDMA layer will carry anyway.
 constexpr size_t kObjectScratchCapacity = 1u << 20;
 

@@ -24,9 +24,6 @@
 //     the DPU pool first; the handler sees raw chunk bytes in order and
 //     produces the final response when the end marker arrives.
 //
-// The register_method* names are deprecated shims over the unary trio
-// (DESIGN.md §3.18 release note); they disappear next PR.
-//
 // The gRPC context is mocked as a null pointer, exactly as the paper does
 // (§V.D).
 #pragma once
@@ -59,7 +56,7 @@ class HostEngine {
   /// `pool` must contain the response message types (same pool the
   /// manifest was built from). `options` governs the engine's own codec
   /// work (the plan serializer and the relocation walk behind
-  /// register_method_object). `offload_object_responses` picks that
+  /// register_unary_object). `offload_object_responses` picks that
   /// method's response path: true (default) ships the object to the DPU
   /// for serialization; false serializes on the host — the comparison
   /// baseline for fig10_roundtrip and the codec-parity tests.
@@ -100,17 +97,6 @@ class HostEngine {
                                             uint32_t stream_id, ByteSpan chunk,
                                             bool end, Bytes& final_response)>;
   Status register_stream(std::string_view full_name, StreamMethod method);
-
-  /// DEPRECATED shims (removal next PR) — use the register_unary* names.
-  Status register_method(std::string_view full_name, Method method) {
-    return register_unary(full_name, std::move(method));
-  }
-  Status register_method_inplace(std::string_view full_name, InPlaceMethod method) {
-    return register_unary_inplace(full_name, std::move(method));
-  }
-  Status register_method_object(std::string_view full_name, InPlaceMethod method) {
-    return register_unary_object(full_name, std::move(method));
-  }
 
   /// Pump the underlying RPC over RDMA server (§III.D event loop).
   StatusOr<uint32_t> event_loop_once() { return server_.event_loop_once(); }

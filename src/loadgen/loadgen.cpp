@@ -1,0 +1,271 @@
+#include "loadgen/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/cpu_timer.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dpurpc::loadgen {
+
+namespace {
+
+/// Spin below this remainder, sleep above it: sleep_for wakes late by
+/// ~50–100 µs on a loaded box, which would smear the arrival process.
+constexpr uint64_t kSpinBelowNs = 150'000;
+
+/// Extra drain slack past the per-request timeout before stragglers are
+/// declared timed out.
+constexpr uint64_t kDrainSlackNs = 250'000'000;
+
+void wait_until(uint64_t deadline_ns) {
+  for (;;) {
+    uint64_t now = WallTimer::now();
+    if (now >= deadline_ns) return;
+    uint64_t left = deadline_ns - now;
+    if (left > kSpinBelowNs) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(left - kSpinBelowNs));
+    }
+    // else: spin out the remainder.
+  }
+}
+
+/// Draws a mix index from cumulative weights; deterministic per seed.
+class MixDraw {
+ public:
+  MixDraw(const std::vector<double>& weights, uint64_t seed)
+      : rng_(seed ^ 0x9e3779b97f4a7c15ull) {
+    double total = 0;
+    for (double w : weights) total += std::max(w, 0.0);
+    if (total <= 0 || weights.empty()) {
+      cum_.push_back(1.0);
+      return;
+    }
+    double acc = 0;
+    for (double w : weights) {
+      acc += std::max(w, 0.0) / total;
+      cum_.push_back(acc);
+    }
+    cum_.back() = 1.0;  // guard against rounding
+  }
+
+  size_t operator()() {
+    double u = std::generate_canonical<double, 53>(rng_);
+    for (size_t i = 0; i < cum_.size(); ++i) {
+      if (u < cum_[i]) return i;
+    }
+    return cum_.size() - 1;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::vector<double> cum_;
+};
+
+/// Shared between the driver and the completion callbacks. Held by
+/// shared_ptr in every CompletionFn so completions that straggle in after
+/// run_open_loop returned touch live memory (they were already counted as
+/// timeouts and only decrement `outstanding`).
+struct RunState {
+  metrics::Histogram* latency;  ///< registry-owned, process lifetime
+  uint64_t epoch_ns = 0;        ///< schedule epoch
+  uint64_t timeout_ns = 0;
+  std::atomic<uint64_t> outstanding{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> timeouts{0};
+  /// Set at the drain deadline: stragglers are accounted as timeouts by
+  /// the driver's counter arithmetic and must not count themselves.
+  std::atomic<bool> closed{false};
+
+  void on_completion(uint64_t arrival_ns, bool ok) {
+    if (closed.load()) {
+      outstanding.fetch_sub(1);
+      return;
+    }
+    uint64_t now = WallTimer::now();
+    uint64_t scheduled_at = epoch_ns + arrival_ns;
+    uint64_t lat_ns = now > scheduled_at ? now - scheduled_at : 0;
+    if (!ok) {
+      errors.fetch_add(1);
+    } else if (lat_ns > timeout_ns) {
+      timeouts.fetch_add(1);
+    } else {
+      latency->observe(static_cast<double>(lat_ns) * 1e-9);
+      completed.fetch_add(1);
+    }
+    outstanding.fetch_sub(1);
+  }
+};
+
+struct LoadgenMetrics {
+  metrics::Histogram* latency;
+  metrics::Counter* scheduled;
+  metrics::Counter* dropped;
+  metrics::Counter* timeouts;
+  metrics::Counter* errors;
+};
+
+LoadgenMetrics& loadgen_metrics() {
+  static LoadgenMetrics m = [] {
+    auto& reg = metrics::default_registry();
+    LoadgenMetrics lm{};
+    lm.latency =
+        &reg.histogram_family(
+                "dpurpc_loadgen_latency_seconds",
+                "Open-loop request latency from scheduled arrival to completion",
+                latency_bounds_seconds())
+             .histogram();
+    lm.scheduled = &reg.counter_family("dpurpc_loadgen_scheduled_total",
+                                       "Arrivals fired by the open-loop schedule")
+                        .counter();
+    lm.dropped = &reg.counter_family(
+                        "dpurpc_loadgen_dropped_total",
+                        "Arrivals the system could not absorb (cap/backpressure)")
+                      .counter();
+    lm.timeouts = &reg.counter_family("dpurpc_loadgen_timeouts_total",
+                                      "Requests completing past the timeout, or never")
+                       .counter();
+    lm.errors = &reg.counter_family("dpurpc_loadgen_errors_total",
+                                    "Requests completing with a non-ok status")
+                     .counter();
+    return lm;
+  }();
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> latency_bounds_seconds() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 20.0; b *= 1.3) bounds.push_back(b);
+  return bounds;
+}
+
+RunResult run_open_loop(const RunConfig& config, const SubmitFn& submit) {
+  LoadgenMetrics& lm = loadgen_metrics();
+  auto state = std::make_shared<RunState>();
+  state->latency = lm.latency;
+  state->timeout_ns = config.timeout_ns;
+
+  ArrivalSchedule schedule(config.schedule);
+  MixDraw mix(config.mix_weights, config.schedule.seed);
+
+  RunResult res;
+  metrics::HistogramSnapshot before = lm.latency->snapshot();
+  state->epoch_ns = WallTimer::now();
+  uint64_t last_arrival_ns = 0;
+
+  for (uint64_t i = 0; i < config.requests; ++i) {
+    uint64_t arrival_ns = schedule.next_arrival_ns();
+    last_arrival_ns = arrival_ns;
+    wait_until(state->epoch_ns + arrival_ns);
+    ++res.scheduled;
+    lm.scheduled->inc();
+    // The open-loop decision point: this arrival happened, whatever the
+    // system's state. If it cannot be absorbed it is a drop, never a
+    // re-paced retry.
+    if (state->outstanding.load() >= config.max_outstanding) {
+      ++res.dropped;
+      lm.dropped->inc();
+      continue;
+    }
+    size_t mix_index = mix();
+    state->outstanding.fetch_add(1);
+    CompletionFn done = [state, arrival_ns](bool ok) {
+      state->on_completion(arrival_ns, ok);
+    };
+    if (!submit(mix_index, std::move(done))) {
+      state->outstanding.fetch_sub(1);
+      ++res.dropped;
+      lm.dropped->inc();
+      continue;
+    }
+    ++res.launched;
+  }
+
+  // Drain the in-flight tail: anything older than the timeout (plus
+  // slack) is a timeout.
+  uint64_t drain_deadline =
+      WallTimer::now() + config.timeout_ns + kDrainSlackNs;
+  while (state->outstanding.load() != 0 && WallTimer::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  state->closed.store(true);
+  // Grace for completions that passed the closed check but have not
+  // bumped their counters yet; afterwards the arithmetic below is stable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  res.completed = state->completed.load();
+  res.errors = state->errors.load();
+  uint64_t late = state->timeouts.load();
+  uint64_t resolved = res.completed + res.errors + late;
+  uint64_t stragglers = res.launched > resolved ? res.launched - resolved : 0;
+  res.timeouts = late + stragglers;
+  lm.timeouts->inc(res.timeouts);
+  lm.errors->inc(res.errors);
+
+  res.wall_s =
+      static_cast<double>(WallTimer::now() - state->epoch_ns) * 1e-9;
+  res.offered_rps = last_arrival_ns == 0
+                        ? 0.0
+                        : static_cast<double>(res.scheduled) /
+                              (static_cast<double>(last_arrival_ns) * 1e-9);
+  res.achieved_rps =
+      res.wall_s <= 0 ? 0.0 : static_cast<double>(res.completed) / res.wall_s;
+
+  metrics::HistogramSnapshot d = lm.latency->snapshot().delta(before);
+  res.p50_us = d.quantile(0.50) * 1e6;
+  res.p95_us = d.quantile(0.95) * 1e6;
+  res.p99_us = d.quantile(0.99) * 1e6;
+  res.mean_us = d.mean() * 1e6;
+  return res;
+}
+
+double calibrate_max_rps(const SubmitFn& submit, double seconds,
+                         size_t concurrency,
+                         const std::vector<double>& mix_weights,
+                         uint64_t seed) {
+  auto state = std::make_shared<RunState>();
+  LoadgenMetrics& lm = loadgen_metrics();
+  state->latency = lm.latency;
+  state->timeout_ns = UINT64_MAX;  // calibration never times requests out
+  state->epoch_ns = WallTimer::now();
+  MixDraw mix(mix_weights, seed);
+
+  const uint64_t end_ns =
+      state->epoch_ns + static_cast<uint64_t>(seconds * 1e9);
+  uint64_t now;
+  while ((now = WallTimer::now()) < end_ns) {
+    if (state->outstanding.load() >= concurrency) {
+      std::this_thread::yield();
+      continue;
+    }
+    uint64_t arrival_ns = now - state->epoch_ns;
+    state->outstanding.fetch_add(1);
+    CompletionFn done = [state, arrival_ns](bool ok) {
+      state->on_completion(arrival_ns, ok);
+    };
+    if (!submit(mix(), std::move(done))) {
+      state->outstanding.fetch_sub(1);
+      std::this_thread::yield();
+    }
+  }
+  double window_s =
+      static_cast<double>(WallTimer::now() - state->epoch_ns) * 1e-9;
+  double rate = window_s <= 0
+                    ? 0.0
+                    : static_cast<double>(state->completed.load()) / window_s;
+  // Drain so late completions land on live (shared) state, then detach.
+  uint64_t drain_deadline = WallTimer::now() + 2'000'000'000ull;
+  while (state->outstanding.load() != 0 && WallTimer::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  state->closed.store(true);
+  return rate;
+}
+
+}  // namespace dpurpc::loadgen

@@ -1,0 +1,88 @@
+// Open-loop load generator (DESIGN.md §3.19).
+//
+// The driver fires arrivals on an ArrivalSchedule *independent of
+// completions* — a stalled system changes what completes, never what
+// arrives. Latency is measured from the request's scheduled arrival
+// stamp, not from the instant the bytes left the client, so send-side
+// queueing is charged to the system under test (the standard fix for
+// coordinated omission). Arrivals the system cannot absorb — the
+// outstanding cap is hit, or the submit callable refuses — are counted
+// as drops instead of silently re-paced.
+//
+// Latencies land in the default metrics registry's
+// `dpurpc_loadgen_latency_seconds` histogram; per-run quantiles are read
+// through metrics::HistogramSnapshot deltas (Histogram::quantile's
+// estimator over just this run's observations), so a sweep can share one
+// cumulative histogram across points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "loadgen/schedule.hpp"
+
+namespace dpurpc::loadgen {
+
+/// Completion callback bound to one request. The system under test must
+/// invoke it exactly once — from any thread — when the response arrives;
+/// `ok` false counts the completion as an error.
+using CompletionFn = std::function<void(bool ok)>;
+
+/// Issue one request asynchronously. `mix_index` selects the message
+/// class (drawn per request from RunConfig::mix_weights). Return false
+/// when the request could not even be enqueued (client-edge
+/// backpressure); the driver counts a drop and `done` must NOT run.
+using SubmitFn = std::function<bool(size_t mix_index, CompletionFn done)>;
+
+struct RunConfig {
+  ScheduleConfig schedule;
+  /// Arrivals to schedule (the open-loop property: all of them fire,
+  /// whatever the system does).
+  uint64_t requests = 1000;
+  /// A completion later than this after its scheduled arrival counts as
+  /// a timeout, not toward the latency quantiles; the post-run drain also
+  /// waits this long (plus slack) before declaring stragglers timed out.
+  uint64_t timeout_ns = 2'000'000'000;
+  /// Arrivals while this many requests are in flight are drops — the
+  /// system could not absorb the offered load.
+  size_t max_outstanding = 4096;
+  /// Relative weights of the message classes; the draw's mix_index is
+  /// handed to the SubmitFn. Defaults to a single class.
+  std::vector<double> mix_weights = {1.0};
+};
+
+struct RunResult {
+  uint64_t scheduled = 0;  ///< arrivals the schedule fired
+  uint64_t launched = 0;   ///< of which reached the SubmitFn
+  uint64_t dropped = 0;    ///< cap hit or submit refused
+  uint64_t completed = 0;  ///< ok completions within the timeout
+  uint64_t errors = 0;     ///< non-ok completions
+  uint64_t timeouts = 0;   ///< late completions + never-completed
+  double wall_s = 0;       ///< first arrival to drain end
+  double offered_rps = 0;  ///< scheduled / schedule span
+  double achieved_rps = 0; ///< completed / wall_s
+  double p50_us = 0, p95_us = 0, p99_us = 0, mean_us = 0;
+};
+
+/// Histogram bounds used for `dpurpc_loadgen_latency_seconds`:
+/// log-spaced 1 µs → ~20 s, ~1.3× per bucket (quantile interpolation
+/// error stays well under the knee detector's factor).
+std::vector<double> latency_bounds_seconds();
+
+/// One open-loop run. Blocks until every scheduled arrival fired and the
+/// in-flight tail drained (or timed out). Completions may arrive from
+/// other threads; stragglers past the drain deadline are counted as
+/// timeouts and safely ignored when they eventually land.
+RunResult run_open_loop(const RunConfig& config, const SubmitFn& submit);
+
+/// Closed-loop calibration: keep `concurrency` requests in flight for
+/// `seconds` and return the achieved completion rate — the sweep's
+/// estimate of the saturation throughput that its offered-load fractions
+/// scale against.
+double calibrate_max_rps(const SubmitFn& submit, double seconds,
+                         size_t concurrency,
+                         const std::vector<double>& mix_weights = {1.0},
+                         uint64_t seed = kDefaultSeed);
+
+}  // namespace dpurpc::loadgen

@@ -1,0 +1,60 @@
+// Arrival schedules for the open-loop load generator.
+//
+// An open-loop generator launches requests at times drawn *in advance*
+// from an arrival process, independent of when earlier requests complete
+// (nanoPU's framing: tail latency under open-loop arrivals is the metric
+// that matters for RPC systems — a closed-loop bench self-paces and can
+// never show the latency-vs-offered-load knee). This header provides the
+// arrival processes; loadgen.hpp provides the driver that fires them.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/rng.hpp"
+
+namespace dpurpc::loadgen {
+
+enum class ArrivalProcess {
+  /// Memoryless arrivals: exponential inter-arrival times at `rate_rps`.
+  kPoisson,
+  /// Two-state on-off MMPP: exponentially-distributed ON and OFF holding
+  /// times; during ON, Poisson arrivals at the rate that keeps the
+  /// *long-run* mean equal to `rate_rps` (rate_rps / duty-cycle); during
+  /// OFF, silence. Models bursty front-end traffic.
+  kBursty,
+};
+
+inline const char* arrival_process_name(ArrivalProcess p) noexcept {
+  return p == ArrivalProcess::kPoisson ? "poisson" : "bursty";
+}
+
+struct ScheduleConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Long-run mean offered rate, requests per second. Must be > 0.
+  double rate_rps = 1000.0;
+  uint64_t seed = kDefaultSeed;
+  /// Bursty only: mean ON / OFF state holding times, seconds.
+  double on_mean_s = 0.020;
+  double off_mean_s = 0.020;
+};
+
+/// Deterministic arrival-time generator: same config → same sequence.
+/// Not thread-safe; one instance per driver thread.
+class ArrivalSchedule {
+ public:
+  explicit ArrivalSchedule(const ScheduleConfig& config);
+
+  /// Nanosecond offset of the next arrival, measured from the schedule's
+  /// epoch (the driver's start instant). Non-decreasing.
+  uint64_t next_arrival_ns();
+
+ private:
+  ScheduleConfig config_;
+  std::mt19937_64 rng_;
+  double now_s_ = 0;       ///< virtual clock, seconds since epoch
+  double on_until_s_ = 0;  ///< bursty: end of the current ON state
+  double exp_s(double mean_s);
+};
+
+}  // namespace dpurpc::loadgen

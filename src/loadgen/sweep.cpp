@@ -1,0 +1,76 @@
+#include "loadgen/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dpurpc::loadgen {
+
+namespace {
+
+std::string fraction_label(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", f);
+  return buf;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepConfig& config, const SubmitFactory& factory) {
+  SweepResult res;
+  {
+    SubmitFn submit = factory(-1);
+    res.calibrated_max_rps =
+        calibrate_max_rps(submit, config.calibrate_seconds,
+                          config.calibrate_concurrency, config.mix_weights,
+                          config.seed);
+  }
+  if (res.calibrated_max_rps <= 0) return res;
+
+  for (size_t i = 0; i < config.fractions.size(); ++i) {
+    const double fraction = config.fractions[i];
+    RunConfig rc;
+    rc.schedule.process = config.process;
+    rc.schedule.rate_rps = std::max(1.0, res.calibrated_max_rps * fraction);
+    // Decorrelate points, deterministically: the same seed at every point
+    // would replay one arrival pattern across the whole ladder.
+    rc.schedule.seed = config.seed + i;
+    rc.schedule.on_mean_s = config.on_mean_s;
+    rc.schedule.off_mean_s = config.off_mean_s;
+    rc.requests = std::clamp(
+        static_cast<uint64_t>(rc.schedule.rate_rps * config.point_seconds),
+        config.min_requests, config.max_requests);
+    rc.timeout_ns = config.timeout_ns;
+    rc.max_outstanding = config.max_outstanding;
+    rc.mix_weights = config.mix_weights;
+
+    SubmitFn submit = factory(static_cast<int>(i));
+    SweepPoint point;
+    point.label = fraction_label(fraction);
+    point.fraction = fraction;
+    point.run = run_open_loop(rc, submit);
+    res.points.push_back(std::move(point));
+  }
+
+  if (!res.points.empty()) {
+    res.unloaded_p99_us = res.points.front().run.p99_us;
+    for (size_t i = 0; i < res.points.size(); ++i) {
+      const RunResult& r = res.points[i].run;
+      double shed = r.scheduled == 0
+                        ? 0.0
+                        : static_cast<double>(r.dropped + r.timeouts) /
+                              static_cast<double>(r.scheduled);
+      bool tail_blown = i > 0 && res.unloaded_p99_us > 0 &&
+                        r.p99_us > config.knee_factor * res.unloaded_p99_us;
+      // A point that completed almost nothing has a meaningless p99; the
+      // shed share catches it.
+      if (tail_blown || shed > config.shed_fraction) {
+        res.knee_index = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace dpurpc::loadgen

@@ -1,0 +1,80 @@
+// Offered-load sweep driver: the latency-vs-offered-load curve.
+//
+// Calibrates the saturation throughput closed-loop, then walks an
+// open-loop rate ladder from light load to past saturation and records
+// p50/p95/p99 (via metrics::HistogramSnapshot deltas), drop/timeout
+// counts, and the achieved rate at every point. The knee — the product of
+// a tail-latency evaluation — is the first load point whose p99 exceeds a
+// configurable multiple of the unloaded p99, or whose drop+timeout share
+// crosses a threshold (a system that sheds load has saturated even if the
+// survivors stay fast).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.hpp"
+
+namespace dpurpc::loadgen {
+
+struct SweepConfig {
+  /// Offered-load ladder as fractions of the calibrated saturation rate;
+  /// must end past 1.0 so the curve shows the knee.
+  std::vector<double> fractions = {0.10, 0.25, 0.40, 0.55, 0.70,
+                                   0.85, 1.00, 1.20, 1.50};
+  /// Target wall-clock span of each point's schedule, seconds.
+  double point_seconds = 1.0;
+  /// Floor/ceiling on arrivals per point (smoke mode shrinks via these).
+  uint64_t min_requests = 200;
+  uint64_t max_requests = 2'000'000;
+  /// Knee: first point with p99 > knee_factor × the lightest point's p99…
+  double knee_factor = 3.0;
+  /// …or with (drops+timeouts)/scheduled above this share.
+  double shed_fraction = 0.01;
+  /// Closed-loop calibration window and concurrency.
+  double calibrate_seconds = 0.5;
+  size_t calibrate_concurrency = 256;
+
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  uint64_t seed = kDefaultSeed;
+  uint64_t timeout_ns = 2'000'000'000;
+  size_t max_outstanding = 4096;
+  std::vector<double> mix_weights = {1.0};
+  /// Bursty-mode state holding times (see ScheduleConfig).
+  double on_mean_s = 0.020;
+  double off_mean_s = 0.020;
+};
+
+struct SweepPoint {
+  /// Stable per-point label ("0.25x") — bench JSON row identity, so
+  /// bench_diff.py can match points across runs whose absolute rates
+  /// differ.
+  std::string label;
+  double fraction = 0;
+  RunResult run;
+};
+
+struct SweepResult {
+  double calibrated_max_rps = 0;
+  double unloaded_p99_us = 0;  ///< p99 of the lightest point
+  /// Index into points of the detected knee; -1 when no point qualified.
+  int knee_index = -1;
+  std::vector<SweepPoint> points;
+
+  double knee_offered_rps() const {
+    return knee_index < 0 ? 0.0
+                          : points[static_cast<size_t>(knee_index)].run.offered_rps;
+  }
+};
+
+/// Builds the SubmitFn for one sweep phase. Called once before
+/// calibration (`point` == -1) and once per load point (`point` >= 0), so
+/// the harness can stand up a fresh client per phase — overload queues
+/// from a saturated point must not bleed into the next.
+using SubmitFactory = std::function<SubmitFn(int point)>;
+
+SweepResult run_sweep(const SweepConfig& config, const SubmitFactory& factory);
+
+}  // namespace dpurpc::loadgen

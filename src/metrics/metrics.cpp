@@ -33,29 +33,82 @@ uint64_t Histogram::bucket_count(size_t i) const noexcept {
   return total;
 }
 
-double Histogram::quantile(double q) const noexcept {
-  uint64_t n = count_.load(std::memory_order_relaxed);
-  if (n == 0 || bounds_.empty()) return 0.0;
+namespace {
+
+// The shared estimator behind Histogram::quantile and
+// HistogramSnapshot::quantile: linear interpolation within the bucket
+// holding the rank-⌈q·n⌉ observation. `bucket_at(i)` reads the i-th
+// non-cumulative bucket (an atomic load for the live histogram, a plain
+// read for a snapshot); allocation-free so the noexcept callers hold.
+template <typename BucketAt>
+double quantile_over(const std::vector<double>& bounds, size_t n_buckets,
+                     uint64_t n, double q, BucketAt&& bucket_at) noexcept {
+  if (n == 0 || bounds.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the target observation, 1-based.
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   uint64_t cum = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n_buckets; ++i) {
+    uint64_t b = bucket_at(i);
     cum += b;
     if (cum < rank) continue;
-    if (i == bounds_.size()) {
+    if (i == bounds.size()) {
       // Overflow bucket has no upper bound; clamp to the largest finite
       // bound (what histogram_quantile does for +Inf).
-      return bounds_.back();
+      return bounds.back();
     }
-    double lo = i == 0 ? 0.0 : bounds_[i - 1];
-    double hi = bounds_[i];
+    double lo = i == 0 ? 0.0 : bounds[i - 1];
+    double hi = bounds[i];
     double frac = static_cast<double>(rank - (cum - b)) / static_cast<double>(b);
     return lo + (hi - lo) * frac;
   }
-  return bounds_.back();  // unreachable unless counts tore mid-walk
+  return bounds.back();  // unreachable unless counts tore mid-walk
+}
+
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  return quantile_over(bounds, buckets.size(), count, q,
+                       [this](size_t i) { return buckets[i]; });
+}
+
+HistogramSnapshot HistogramSnapshot::delta(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  if (bounds != earlier.bounds || buckets.size() != earlier.buckets.size() ||
+      count < earlier.count) {
+    return d;  // not two snapshots of the same histogram, in order
+  }
+  d.bounds = bounds;
+  d.buckets.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    // Per-bucket counts can tear against a concurrent observe (bucket
+    // bumped before count); clamp rather than wrap.
+    d.buckets[i] = buckets[i] >= earlier.buckets[i] ? buckets[i] - earlier.buckets[i] : 0;
+  }
+  d.count = count - earlier.count;
+  d.sum = sum - earlier.sum;
+  return d;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.buckets.resize(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  return quantile_over(bounds_, buckets_.size(),
+                       count_.load(std::memory_order_relaxed), q,
+                       [this](size_t i) {
+                         return buckets_[i].load(std::memory_order_relaxed);
+                       });
 }
 
 Family::Family(std::string name, std::string help, MetricKind kind,

@@ -50,6 +50,28 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// Point-in-time copy of one histogram's state. Sweep harnesses (the
+/// open-loop load generator, src/loadgen) snapshot the cumulative
+/// histogram at each load point and read quantiles from the *delta*
+/// between two snapshots — the Prometheus-rate analogue of per-interval
+/// latency quantiles, without resetting the live histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;     ///< strictly increasing, as the source's
+  std::vector<uint64_t> buckets;  ///< per-bucket (non-cumulative); bounds.size()+1
+  uint64_t count = 0;
+  double sum = 0;
+
+  /// Same estimator as Histogram::quantile, over this snapshot's counts.
+  double quantile(double q) const noexcept;
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Observations made after `earlier` was taken: this minus earlier,
+  /// bucket by bucket. Snapshots of different histograms (mismatched
+  /// bounds) or out-of-order snapshots return an empty snapshot.
+  HistogramSnapshot delta(const HistogramSnapshot& earlier) const;
+};
+
 /// Fixed-bucket histogram (cumulative, Prometheus semantics).
 class Histogram {
  public:
@@ -70,6 +92,10 @@ class Histogram {
   /// on an empty histogram. Concurrent observe() calls can tear the
   /// per-bucket counts slightly — fine for monitoring.
   double quantile(double q) const noexcept;
+
+  /// Copy the live counts into a HistogramSnapshot (relaxed reads; the
+  /// usual scrape-precision caveats apply).
+  HistogramSnapshot snapshot() const;
 
  private:
   std::vector<double> bounds_;                       // strictly increasing

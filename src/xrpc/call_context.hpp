@@ -3,9 +3,10 @@
 // Every way a request enters the system — a unary xRPC dispatch, a
 // streaming open, a grpccompat engine — now presents one typed context
 // instead of the three historical ad-hoc shapes (raw (method, payload)
-// callbacks, HostEngine register_method* signatures, DpuProxy responder
-// plumbing). The legacy entry points survive one more release as
-// deprecated shims built on this type.
+// callbacks, ad-hoc HostEngine registration signatures, DpuProxy
+// responder plumbing). The deprecated register_method* shims that
+// bridged one release are gone; register_unary*/register_stream are
+// the only entry points.
 #pragma once
 
 #include <functional>

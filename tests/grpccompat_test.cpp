@@ -111,13 +111,9 @@ TEST_F(OffloadFixture, RegisterUnknownMethodFails) {
   EXPECT_EQ(host_->register_unary("kv.KvStore/Nope", nullptr).code(), Code::kNotFound);
   EXPECT_EQ(host_->register_stream("kv.KvStore/Nope", nullptr).code(),
             Code::kNotFound);
-  // Deprecated register_method* shims (removal next PR): compile-tested
-  // here, exercised nowhere else — every first-party call site migrated.
-  EXPECT_EQ(host_->register_method("kv.KvStore/Nope", nullptr).code(),
+  EXPECT_EQ(host_->register_unary_inplace("kv.KvStore/Nope", nullptr).code(),
             Code::kNotFound);
-  EXPECT_EQ(host_->register_method_inplace("kv.KvStore/Nope", nullptr).code(),
-            Code::kNotFound);
-  EXPECT_EQ(host_->register_method_object("kv.KvStore/Nope", nullptr).code(),
+  EXPECT_EQ(host_->register_unary_object("kv.KvStore/Nope", nullptr).code(),
             Code::kNotFound);
 }
 

@@ -1,0 +1,240 @@
+// Tests for the open-loop load generator (DESIGN.md §3.19): the arrival
+// processes' statistics and determinism, and the driver's open-loop
+// invariant — a stalled system changes what completes, never what
+// arrives or how much is offered.
+#include "loadgen/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "loadgen/schedule.hpp"
+
+namespace dpurpc::loadgen {
+namespace {
+
+std::vector<uint64_t> draw_arrivals(const ScheduleConfig& config, size_t n) {
+  ArrivalSchedule s(config);
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(s.next_arrival_ns());
+  return out;
+}
+
+/// Mean and coefficient of variation of the inter-arrival gaps.
+struct GapStats {
+  double mean_ns = 0;
+  double cv = 0;
+};
+
+GapStats gap_stats(const std::vector<uint64_t>& arrivals) {
+  GapStats g;
+  if (arrivals.size() < 2) return g;
+  std::vector<double> gaps;
+  gaps.reserve(arrivals.size() - 1);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(static_cast<double>(arrivals[i] - arrivals[i - 1]));
+  }
+  double sum = 0;
+  for (double d : gaps) sum += d;
+  g.mean_ns = sum / static_cast<double>(gaps.size());
+  double var = 0;
+  for (double d : gaps) var += (d - g.mean_ns) * (d - g.mean_ns);
+  var /= static_cast<double>(gaps.size());
+  g.cv = g.mean_ns > 0 ? std::sqrt(var) / g.mean_ns : 0;
+  return g;
+}
+
+/// Index of dispersion of counts: variance/mean of per-window arrival
+/// counts. ~1 for Poisson; >> 1 for bursty processes at window sizes
+/// comparable to the burst holding times.
+double dispersion(const std::vector<uint64_t>& arrivals, uint64_t window_ns) {
+  std::vector<uint64_t> counts((arrivals.back() / window_ns) + 1, 0);
+  for (uint64_t a : arrivals) ++counts[a / window_ns];
+  double mean = static_cast<double>(arrivals.size()) /
+                static_cast<double>(counts.size());
+  double var = 0;
+  for (uint64_t c : counts) {
+    double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(counts.size());
+  return mean > 0 ? var / mean : 0;
+}
+
+TEST(ArrivalSchedule, SameSeedSameSequence) {
+  ScheduleConfig config;
+  config.rate_rps = 50'000;
+  config.seed = 1234;
+  EXPECT_EQ(draw_arrivals(config, 5000), draw_arrivals(config, 5000));
+
+  config.process = ArrivalProcess::kBursty;
+  EXPECT_EQ(draw_arrivals(config, 5000), draw_arrivals(config, 5000));
+}
+
+TEST(ArrivalSchedule, DifferentSeedDifferentSequence) {
+  ScheduleConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(draw_arrivals(a, 100), draw_arrivals(b, 100));
+}
+
+TEST(ArrivalSchedule, ArrivalsAreNonDecreasing) {
+  for (ArrivalProcess p : {ArrivalProcess::kPoisson, ArrivalProcess::kBursty}) {
+    ScheduleConfig config;
+    config.process = p;
+    config.rate_rps = 200'000;
+    auto arrivals = draw_arrivals(config, 20'000);
+    EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()))
+        << arrival_process_name(p);
+  }
+}
+
+TEST(ArrivalSchedule, PoissonMatchesRateAndIsMemoryless) {
+  ScheduleConfig config;
+  config.rate_rps = 100'000;  // 10 µs mean gap
+  config.seed = 42;
+  auto arrivals = draw_arrivals(config, 50'000);
+  GapStats g = gap_stats(arrivals);
+  // Mean inter-arrival = 1/rate within sampling noise.
+  EXPECT_NEAR(g.mean_ns, 10'000.0, 500.0);
+  // Exponential gaps: coefficient of variation 1.
+  EXPECT_NEAR(g.cv, 1.0, 0.05);
+  // Counts in fixed windows are Poisson: dispersion index ~1.
+  EXPECT_LT(dispersion(arrivals, 1'000'000), 1.5);
+}
+
+TEST(ArrivalSchedule, BurstyKeepsLongRunRateButOverdisperses) {
+  ScheduleConfig config;
+  config.process = ArrivalProcess::kBursty;
+  config.rate_rps = 100'000;
+  config.on_mean_s = 0.002;
+  config.off_mean_s = 0.002;
+  config.seed = 42;
+  auto arrivals = draw_arrivals(config, 50'000);
+  // Long-run offered rate stays the configured one (the ON-state rate is
+  // scaled up by the duty cycle to compensate for the silences).
+  double span_s = static_cast<double>(arrivals.back()) * 1e-9;
+  double rate = static_cast<double>(arrivals.size()) / span_s;
+  EXPECT_NEAR(rate, 100'000.0, 15'000.0);
+  // At windows comparable to the holding times, on-off traffic is far
+  // burstier than Poisson at the same mean rate.
+  EXPECT_GT(dispersion(arrivals, 1'000'000), 3.0);
+}
+
+TEST(LoadgenRun, CompletionsAreCountedAndQuantilesFinite) {
+  RunConfig config;
+  config.schedule.rate_rps = 100'000;
+  config.requests = 2000;
+  RunResult r = run_open_loop(config, [](size_t, CompletionFn done) {
+    done(true);
+    return true;
+  });
+  EXPECT_EQ(r.scheduled, 2000u);
+  EXPECT_EQ(r.launched, 2000u);
+  EXPECT_EQ(r.completed, 2000u);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_GT(r.offered_rps, 0.0);
+  EXPECT_GT(r.achieved_rps, 0.0);
+  EXPECT_TRUE(std::isfinite(r.p99_us));
+  EXPECT_LE(r.p50_us, r.p95_us);
+  EXPECT_LE(r.p95_us, r.p99_us);
+}
+
+TEST(LoadgenRun, ErrorsAreNotLatencySamples) {
+  RunConfig config;
+  config.schedule.rate_rps = 200'000;
+  config.requests = 500;
+  RunResult r = run_open_loop(config, [](size_t, CompletionFn done) {
+    done(false);
+    return true;
+  });
+  EXPECT_EQ(r.errors, 500u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+}
+
+TEST(LoadgenRun, RefusedSubmitIsADropAndNeverCompletes) {
+  RunConfig config;
+  config.schedule.rate_rps = 200'000;
+  config.requests = 300;
+  RunResult r = run_open_loop(config, [](size_t, CompletionFn) {
+    return false;  // client-edge backpressure on every arrival
+  });
+  EXPECT_EQ(r.scheduled, 300u);
+  EXPECT_EQ(r.launched, 0u);
+  EXPECT_EQ(r.dropped, 300u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+}
+
+// The open-loop invariant: a system that never completes anything still
+// sees every scheduled arrival — the schedule does not self-pace. The
+// outstanding cap converts the unabsorbable arrivals into drops, and the
+// in-flight requests into timeouts at drain.
+TEST(LoadgenRun, StalledSystemGetsFullOfferedLoad) {
+  RunConfig config;
+  config.schedule.rate_rps = 200'000;
+  config.requests = 100;
+  config.max_outstanding = 8;
+  config.timeout_ns = 20'000'000;  // keep the drain wait short
+  std::vector<CompletionFn> parked;
+  std::mutex mu;
+  RunResult r = run_open_loop(config, [&](size_t, CompletionFn done) {
+    std::lock_guard<std::mutex> lock(mu);
+    parked.push_back(std::move(done));
+    return true;
+  });
+  EXPECT_EQ(r.scheduled, 100u);
+  EXPECT_EQ(r.launched, 8u);
+  EXPECT_EQ(r.dropped, 92u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.timeouts, 8u);
+  // Stragglers completing after the run ended must be safe no-ops (the
+  // callbacks hold the run state alive) and not disturb the accounting.
+  for (auto& done : parked) done(true);
+}
+
+TEST(LoadgenRun, MixDrawHonorsZeroWeights) {
+  RunConfig config;
+  config.schedule.rate_rps = 200'000;
+  config.requests = 400;
+  config.mix_weights = {0.0, 1.0, 0.0};
+  std::atomic<uint64_t> wrong{0};
+  RunResult r = run_open_loop(config, [&](size_t mix_index, CompletionFn done) {
+    if (mix_index != 1) wrong.fetch_add(1);
+    done(true);
+    return true;
+  });
+  EXPECT_EQ(r.completed, 400u);
+  EXPECT_EQ(wrong.load(), 0u);
+}
+
+TEST(LoadgenCalibrate, InstantCompletionsYieldPositiveRate) {
+  double rate = calibrate_max_rps(
+      [](size_t, CompletionFn done) {
+        done(true);
+        return true;
+      },
+      /*seconds=*/0.05, /*concurrency=*/16);
+  EXPECT_GT(rate, 0.0);
+}
+
+TEST(LoadgenBounds, LatencyBucketsAreStrictlyIncreasing) {
+  auto bounds = latency_bounds_seconds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_NEAR(bounds.front(), 1e-6, 1e-9);
+  EXPECT_GE(bounds.back(), 10.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace dpurpc::loadgen

@@ -270,6 +270,60 @@ TEST(Registry, ConcurrentScrapeDuringIncrements) {
   registrar.join();
 }
 
+TEST(HistogramSnapshot, MatchesLiveHistogram) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5 + i * 0.07);
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, h.total_count());
+  EXPECT_DOUBLE_EQ(s.sum, h.sum());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), h.quantile(q)) << q;
+  }
+  EXPECT_NEAR(s.mean(), h.sum() / 100.0, 1e-12);
+}
+
+TEST(HistogramSnapshot, DeltaIsolatesTheInterval) {
+  // The sweep pattern: one cumulative histogram, per-point quantiles from
+  // snapshot deltas. The second interval's quantiles must see only the
+  // second interval's observations.
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);  // first interval: all small
+  HistogramSnapshot before = h.snapshot();
+  for (int i = 0; i < 50; ++i) h.observe(6.0);  // second: all in (4, 8]
+  HistogramSnapshot d = h.snapshot().delta(before);
+  EXPECT_EQ(d.count, 50u);
+  EXPECT_DOUBLE_EQ(d.sum, 300.0);
+  // Every delta observation is in the (4, 8] bucket; the cumulative
+  // histogram's p50 would still sit in the first bucket.
+  EXPECT_GT(d.quantile(0.5), 4.0);
+  EXPECT_LE(h.quantile(0.5), 1.0);
+}
+
+TEST(HistogramSnapshot, DeltaRejectsMismatchedOrBackwards) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  a.observe(0.5);
+  b.observe(0.5);
+  HistogramSnapshot mism = a.snapshot().delta(b.snapshot());
+  EXPECT_EQ(mism.count, 0u);
+  EXPECT_EQ(mism.quantile(0.5), 0.0);
+
+  HistogramSnapshot later = a.snapshot();
+  a.observe(0.5);
+  HistogramSnapshot backwards = later.delta(a.snapshot());
+  EXPECT_EQ(backwards.count, 0u);
+}
+
+TEST(HistogramSnapshot, EmptyDeltaQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  HistogramSnapshot s = h.snapshot();
+  HistogramSnapshot d = h.snapshot().delta(s);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.quantile(0.99), 0.0);
+  EXPECT_EQ(d.mean(), 0.0);
+}
+
 TEST(Snapshot, FindHonorsLabels) {
   Snapshot s;
   s.samples.push_back({"m", {{"a", "1"}}, 10});

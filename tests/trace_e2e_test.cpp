@@ -193,7 +193,7 @@ TEST_F(TraceE2eFixture, EveryStageRecordsExactlyOnce) {
   EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
 }
 
-// The response-offload variant: handlers built with register_method_object
+// The response-offload variant: handlers built with register_unary_object
 // reply with an in-place *object* that the codec pool serializes on the
 // DPU. The host-serialize span disappears and the two response-side pool
 // stages appear — each exactly once per reply.

@@ -21,9 +21,19 @@ import json
 import sys
 
 # Direction heuristics by name fragment: which way is "better"?
-HIGHER_IS_BETTER = ("rps", "gbps", "hits", "reduction", "requests")
+# "knee" covers fig12's knee_fraction / knee_offered_rps (a knee that
+# moves toward heavier load means the datapath saturates later); "mib_s"
+# is checked on the higher side BEFORE the "_s" duration suffix below so
+# throughput rates (stream_mib_s) never read as latencies.
+HIGHER_IS_BETTER = ("rps", "gbps", "mib_s", "hits", "reduction", "requests",
+                    "knee")
 LOWER_IS_BETTER = ("ns", "ms", "cores", "steals", "dropped", "overflow",
-                   "mutex", "rebuilds", "bytes")
+                   "mutex", "rebuilds", "bytes", "p50", "p95", "p99",
+                   "latency", "timeout", "stall", "errors")
+# Unit suffixes: a leaf measured in (micro/nano/milli)seconds is a
+# latency/duration — lower is better. Suffix-only so "status" or
+# "bonus" can never match a bare "us"/"s" fragment.
+LOWER_IS_BETTER_SUFFIXES = ("_us", "_ns", "_ms", "_s")
 
 
 def direction(path):
@@ -34,6 +44,9 @@ def direction(path):
             return 1
     for frag in LOWER_IS_BETTER:
         if frag in leaf:
+            return -1
+    for suffix in LOWER_IS_BETTER_SUFFIXES:
+        if leaf.endswith(suffix):
             return -1
     return 0
 

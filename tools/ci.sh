@@ -33,11 +33,17 @@
 #                     counts): proves every harness still sets up, measures
 #                     and reports without crashing (ablation_trace rides in
 #                     via the glob). Numbers are meaningless. The figure
-#                     harnesses (fig8/fig9/fig10/fig11) additionally run with
-#                     --json; their outputs are combined into
+#                     harnesses (fig8/fig9/fig10/fig11/fig12) additionally
+#                     run with --json; their outputs are combined into
 #                     <prefix>-plain/BENCH_6.json for the workflow artifact.
+#   perf            — the scheduled perf-trajectory lane: runs the figure
+#                     harnesses at FULL iteration counts (no smoke env) and
+#                     assembles the same BENCH_6.json document with real
+#                     numbers, suitable for a strict bench_diff.py gate
+#                     against a cached baseline. Minutes, not seconds — not
+#                     part of `all`.
 #
-# Usage: tools/ci.sh [--pass plain|asan|tsan|lint|trace|bench-smoke|all] [build-dir-prefix]
+# Usage: tools/ci.sh [--pass plain|asan|tsan|lint|trace|bench-smoke|perf|all] [build-dir-prefix]
 #   default pass is `all` (plain, asan, tsan, trace, then lint); default
 #   prefix is build-ci. A per-pass wall-clock summary prints at the end
 #   either way.
@@ -111,6 +117,32 @@ pass_trace() {
   DPURPC_TRACE_FORCE=full ctest --test-dir "$prefix-plain" --output-on-failure -j "$jobs"
 }
 
+# The figure harnesses whose --json outputs land in BENCH_6.json.
+fig_benches="fig8_datapath fig9_scaling fig10_roundtrip fig11_shuffle fig12_openloop"
+
+# Combine per-figure JSON from $1 into $2 as one document:
+# {"fig8_datapath": {...}, "fig9_scaling": {...}, ...}. Fails (returns 1)
+# when nothing was collected.
+assemble_bench_json() {
+  local json_dir="$1" out="$2" name first=1
+  {
+    echo "{"
+    for name in $fig_benches; do
+      [ -s "$json_dir/$name.json" ] || continue
+      [ "$first" -eq 1 ] || echo ","
+      first=0
+      printf '"%s": ' "$name"
+      cat "$json_dir/$name.json"
+    done
+    echo "}"
+  } > "$out"
+  if [ "$first" -eq 1 ]; then
+    echo "ci: no bench JSON collected for $out" >&2
+    return 1
+  fi
+  echo "ci: bench results collected in $out" >&2
+}
+
 pass_bench_smoke() {
   build_dir "$prefix-plain"
   local bench name failed=0
@@ -123,35 +155,36 @@ pass_bench_smoke() {
     # The figure harnesses emit machine-readable results; collect them
     # into BENCH_6.json below (archived as a workflow artifact).
     local extra=()
-    case "$name" in
-      fig8_datapath|fig9_scaling|fig10_roundtrip|fig11_shuffle)
-        extra=(--json "$json_dir/$name.json") ;;
+    case " $fig_benches " in
+      *" $name "*) extra=(--json "$json_dir/$name.json") ;;
     esac
     if ! DPURPC_BENCH_SMOKE=1 "$bench" "${extra[@]}" >/dev/null; then
       echo "ci: bench smoke FAILED: $name" >&2
       failed=1
     fi
   done
-  # One combined document: {"fig8_datapath": {...}, "fig9_scaling": {...},
-  # "fig10_roundtrip": {...}} — smoke-mode numbers, shape checks only.
-  local out="$prefix-plain/BENCH_6.json" first=1
-  {
-    echo "{"
-    for name in fig8_datapath fig9_scaling fig10_roundtrip fig11_shuffle; do
-      [ -s "$json_dir/$name.json" ] || continue
-      [ "$first" -eq 1 ] || echo ","
-      first=0
-      printf '"%s": ' "$name"
-      cat "$json_dir/$name.json"
-    done
-    echo "}"
-  } > "$out"
-  if [ "$first" -eq 1 ]; then
-    echo "ci: no bench JSON collected for $out" >&2
-    failed=1
-  else
-    echo "ci: bench results collected in $out" >&2
-  fi
+  # Smoke-mode numbers: shape checks only, never diffed strictly.
+  assemble_bench_json "$json_dir" "$prefix-plain/BENCH_6.json" || failed=1
+  return "$failed"
+}
+
+# Full-length figure runs for the perf-trajectory lane. Only the fig*
+# harnesses run (the ablations are relative A/B checks with their own
+# in-bench gates); each contributes real numbers to BENCH_6.json.
+pass_perf() {
+  build_dir "$prefix-plain"
+  local name failed=0
+  local json_dir="$prefix-plain/bench-json"
+  mkdir -p "$json_dir"
+  for name in $fig_benches; do
+    [ -x "$prefix-plain/bench/$name" ] || { echo "ci: missing bench $name" >&2; failed=1; continue; }
+    echo "=== perf $name" >&2
+    if ! "$prefix-plain/bench/$name" --json "$json_dir/$name.json" >/dev/null; then
+      echo "ci: perf bench FAILED: $name" >&2
+      failed=1
+    fi
+  done
+  assemble_bench_json "$json_dir" "$prefix-plain/BENCH_6.json" || failed=1
   return "$failed"
 }
 
@@ -162,6 +195,7 @@ case "$pass" in
   lint)        timed lint pass_lint ;;
   trace)       timed trace pass_trace ;;
   bench-smoke) timed bench-smoke pass_bench_smoke ;;
+  perf)        timed perf pass_perf ;;
   all)
     timed plain pass_plain
     timed asan pass_asan
@@ -170,7 +204,7 @@ case "$pass" in
     timed lint pass_lint
     ;;
   *)
-    echo "ci: unknown pass '$pass' (plain|asan|tsan|lint|trace|bench-smoke|all)" >&2
+    echo "ci: unknown pass '$pass' (plain|asan|tsan|lint|trace|bench-smoke|perf|all)" >&2
     exit 64 ;;
 esac
 
