@@ -1,12 +1,14 @@
 // Ablation: what does the tracing subsystem cost the datapath?
 //
 // Runs the same offloaded rdmarpc loop (in-place deserialize, empty
-// handler, empty response — the Fig. 8 Small shape) under four tracer
+// handler, empty response — the Fig. 8 Small shape) under five tracer
 // configurations and reports ns/request:
 //
 //   off      runtime gate closed (Mode::kOff) — the shipping default
 //   off2     the same again: the run-to-run noise floor
 //   sampled  head sampling 1-in-64 (the production-monitoring setting)
+//   rec      sampled + flight recorder on the collector (the tail-forensics
+//            deployment shape: every completed tree trigger-checked)
 //   full     every request traced, collector draining each loop turn
 //
 // The off/off2 pair is the regression check: tracing compiled in but
@@ -30,6 +32,7 @@
 #include "rdmarpc/connection.hpp"
 #include "rdmarpc/server.hpp"
 #include "trace/collector.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -129,6 +132,15 @@ int main(int argc, char** argv) {
   copts.registry = &reg;
   trace::TraceCollector collector(copts);
 
+  // The rec mode's deployment shape: a second collector with a flight
+  // recorder attached, so every finalized tree pays the trigger check
+  // (rolling-quantile compare) and every collect() pays the watch poll.
+  trace::FlightRecorder::Options ropts;
+  ropts.registry = &reg;
+  trace::FlightRecorder recorder(ropts);
+  trace::TraceCollector rec_collector(copts);
+  rec_collector.set_flight_recorder(&recorder);
+
   configure(trace::Mode::kOff);
   (void)run_pass(env, wire, std::max<uint64_t>(1000, requests / 10), nullptr);  // warmup
 
@@ -137,7 +149,7 @@ int main(int argc, char** argv) {
   // least disturbed by it — the right statistic for an overhead bound.
   const int reps = smoke ? 1 : 5;
   double off_ns = 1e300, off2_ns = 1e300, sampled_ns = 1e300,
-         full_ns = 1e300;
+         rec_ns = 1e300, full_ns = 1e300;
   for (int r = 0; r < reps; ++r) {
     configure(trace::Mode::kOff);
     off_ns = std::min(off_ns, run_pass(env, wire, requests, nullptr));
@@ -145,6 +157,8 @@ int main(int argc, char** argv) {
     off2_ns = std::min(off2_ns, run_pass(env, wire, requests, nullptr));
     configure(trace::Mode::kSampled);
     sampled_ns = std::min(sampled_ns, run_pass(env, wire, requests, &collector));
+    configure(trace::Mode::kSampled);
+    rec_ns = std::min(rec_ns, run_pass(env, wire, requests, &rec_collector));
     configure(trace::Mode::kFull);
     full_ns = std::min(full_ns, run_pass(env, wire, requests, &collector));
   }
@@ -153,16 +167,21 @@ int main(int argc, char** argv) {
   double off_base = std::min(off_ns, off2_ns);
   double off_delta = std::abs(off_ns - off2_ns) / off_base;
   double sampled_over = sampled_ns / off_base - 1.0;
+  double rec_over = rec_ns / off_base - 1.0;
+  double recorder_over = rec_ns / sampled_ns - 1.0;  // the recorder itself
   double full_over = full_ns / off_base - 1.0;
 
   if (json) {
     std::printf("{\"requests\":%" PRIu64
                 ",\"off_ns\":%.1f,\"off2_ns\":%.1f,\"sampled_ns\":%.1f,"
-                "\"full_ns\":%.1f,\"off_delta\":%.4f,"
-                "\"sampled_overhead\":%.4f,\"full_overhead\":%.4f,"
-                "\"traces_completed\":%" PRIu64 ",\"ring_drops\":%" PRIu64 "}\n",
-                requests, off_ns, off2_ns, sampled_ns, full_ns, off_delta,
-                sampled_over, full_over, collector.traces_completed(),
+                "\"rec_ns\":%.1f,\"full_ns\":%.1f,\"off_delta\":%.4f,"
+                "\"sampled_overhead\":%.4f,\"recorder_overhead\":%.4f,"
+                "\"full_overhead\":%.4f,"
+                "\"recorder_offered\":%" PRIu64
+                ",\"traces_completed\":%" PRIu64 ",\"ring_drops\":%" PRIu64 "}\n",
+                requests, off_ns, off2_ns, sampled_ns, rec_ns, full_ns,
+                off_delta, sampled_over, recorder_over, full_over,
+                recorder.offered_total(), collector.traces_completed(),
                 trace::Tracer::instance().dropped_total());
   } else {
     std::printf("Tracing overhead ablation (%s Small requests per mode)\n",
@@ -172,9 +191,11 @@ int main(int argc, char** argv) {
     std::printf("  %-8s %10.1f %13.1f%%\n", "off2", off2_ns, off_delta * 100);
     std::printf("  %-8s %10.1f %13.1f%%\n", "sampled", sampled_ns,
                 sampled_over * 100);
+    std::printf("  %-8s %10.1f %13.1f%%\n", "rec", rec_ns, rec_over * 100);
     std::printf("  %-8s %10.1f %13.1f%%\n", "full", full_ns, full_over * 100);
-    std::printf("  traces completed %" PRIu64 ", ring drops %" PRIu64 "\n",
-                collector.traces_completed(),
+    std::printf("  traces completed %" PRIu64 ", recorder offered %" PRIu64
+                ", ring drops %" PRIu64 "\n",
+                collector.traces_completed(), recorder.offered_total(),
                 trace::Tracer::instance().dropped_total());
   }
 
@@ -185,6 +206,15 @@ int main(int argc, char** argv) {
                  "FAIL: off-mode runs differ by %.1f%% (>25%%): tracing-off "
                  "overhead is not in the noise\n",
                  off_delta * 100);
+    return 2;
+  }
+  // The flight recorder rides the sampled deployment shape; its trigger
+  // check + watch polls must stay inside that mode's noise envelope.
+  if (!smoke && rec_ns > sampled_ns * 1.25) {
+    std::fprintf(stderr,
+                 "FAIL: recorder-on sampled run costs %.1f ns/req vs %.1f "
+                 "without (>25%% over): the trigger check is not cheap\n",
+                 rec_ns, sampled_ns);
     return 2;
   }
   return 0;

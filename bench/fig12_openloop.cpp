@@ -20,13 +20,36 @@
 // transfer through the same proxy during every point, so the unary tail
 // is measured while the chunked-decode pipeline competes for the pool.
 //
+// --knee-forensics explains the knee instead of just locating it. The
+// sweep runs under sampled tracing with a live collector, and per-stage
+// share-of-e2e is attributed at every ladder point from the stage
+// histogram deltas — which stage's share *grows* toward the knee is the
+// bottleneck. Then the knee point is re-run with the flight recorder
+// armed (latency / drop / timeout / credit-stall triggers), the resource
+// sampler snapshotting lane rings, worker busy fractions, rdma credits
+// and stream holds, and full tracing on: --trace-out gets a Perfetto
+// timeline with span tracks tiled over the resource counter tracks, and
+// --exemplars-out gets the captured tail-exemplar dump.
+//
 // In-bench acceptance gates (exit 3 on violation, full runs only):
 //   - the curve has >= 5 points and the unloaded (lightest) p99 is finite;
 //   - the knee is detected strictly below the heaviest point — the sweep
-//     must actually reach saturation, or the curve is meaningless.
+//     must actually reach saturation, or the curve is meaningless;
+//   - with --knee-forensics: the timeline carries >= 4 counter tracks
+//     (>= 2 samples each), at least one captured exemplar's stage spans
+//     tile its end-to-end time (sum/e2e in [0.5, 1.05]), the dominant
+//     stage's share strictly grows from the unloaded point to the knee,
+//     and the re-run loses nothing (no orphaned traces, no ring drops).
 //
 // Usage: fig12_openloop [--quick] [--json <path>] [--bursty]
 //                       [--background-stream] [--points N]
+//                       [--knee-forensics] [--forensics-json <path>]
+//                       [--trace-out <path>] [--exemplars-out <path>]
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -37,11 +60,17 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "common/cpu_timer.hpp"
 #include "grpccompat/dpu_proxy.hpp"
 #include "grpccompat/host_service.hpp"
 #include "grpccompat/manifest.hpp"
 #include "loadgen/sweep.hpp"
+#include "metrics/metrics.hpp"
 #include "proto/schema_parser.hpp"
+#include "trace/collector.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/resource_sampler.hpp"
+#include "trace/trace.hpp"
 #include "xrpc/channel.hpp"
 
 namespace {
@@ -273,6 +302,99 @@ class BackgroundStream {
   std::thread thread_;
 };
 
+// ------------------------------------------------------ knee forensics
+
+constexpr size_t kNumStages = static_cast<size_t>(trace::Stage::kStageCount);
+
+// Per-point attribution row: each stage's share of the end-to-end time
+// observed during that ladder point, from stage-histogram deltas.
+struct StageShares {
+  std::string label;
+  uint64_t e2e_count = 0;   ///< traced requests the deltas cover
+  double e2e_sum_s = 0;
+  std::array<double, kNumStages> share{};
+};
+
+using StageSnaps = std::array<metrics::HistogramSnapshot, kNumStages>;
+
+StageSnaps snapshot_stages(const trace::TraceCollector& c) {
+  StageSnaps snaps;
+  for (size_t s = 0; s < kNumStages; ++s) {
+    snaps[s] = c.stage_histogram(static_cast<trace::Stage>(s))->snapshot();
+  }
+  return snaps;
+}
+
+StageShares shares_between(const StageSnaps& before, const StageSnaps& after,
+                           std::string label) {
+  StageShares out;
+  out.label = std::move(label);
+  constexpr size_t kRoot = static_cast<size_t>(trace::Stage::kRequest);
+  metrics::HistogramSnapshot e2e = after[kRoot].delta(before[kRoot]);
+  out.e2e_count = e2e.count;
+  out.e2e_sum_s = e2e.sum;
+  if (!(e2e.sum > 0)) return out;  // nothing traced at this point
+  for (size_t s = 0; s < kNumStages; ++s) {
+    if (s == kRoot) continue;
+    out.share[s] = after[s].delta(before[s]).sum / e2e.sum;
+  }
+  return out;
+}
+
+// Background collect() pump: keeps the per-thread span rings drained
+// while a load phase runs so ring drops stay at zero.
+class CollectPump {
+ public:
+  explicit CollectPump(trace::TraceCollector& collector)
+      : collector_(collector), thread_([this] {
+          while (!stop_.load()) {
+            collector_.collect();
+            // 2ms between passes: at full-trace knee rates the 64Ki rings
+            // hold far more than 2ms of spans, and fewer wakeups matter on
+            // small hosts where the pump competes with the datapath.
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        }) {}
+
+  /// Join, then finish draining on the calling thread (the join is the
+  /// happens-before edge that makes main-thread collect() safe). Loops
+  /// until no trace is still waiting for its root span, bounded by the
+  /// deadline — stragglers' responses may land after the run returns.
+  void stop_and_drain(double deadline_s) {
+    if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+    uint64_t deadline =
+        WallTimer::now() + static_cast<uint64_t>(deadline_s * 1e9);
+    do {
+      collector_.collect();
+      if (collector_.pending_traces() == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } while (WallTimer::now() < deadline);
+  }
+
+  ~CollectPump() {
+    if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+  }
+
+ private:
+  trace::TraceCollector& collector_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig12_openloop: %s open: %s\n", what,
+                 std::strerror(errno));
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 void json_escape_free_run(FILE* f, const loadgen::RunResult& r) {
   std::fprintf(f,
                "\"scheduled\": %" PRIu64 ", \"launched\": %" PRIu64
@@ -292,7 +414,8 @@ int main(int argc, char** argv) {
   bool quick = bench::smoke_mode();
   bool bursty = false;
   bool background_stream = false;
-  std::string json_path;
+  bool forensics = false;
+  std::string json_path, forensics_json_path, trace_out_path, exemplars_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--quick") {
@@ -301,8 +424,16 @@ int main(int argc, char** argv) {
       bursty = true;
     } else if (arg == "--background-stream") {
       background_stream = true;
+    } else if (arg == "--knee-forensics") {
+      forensics = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--forensics-json" && i + 1 < argc) {
+      forensics_json_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_path = argv[++i];
+    } else if (arg == "--exemplars-out" && i + 1 < argc) {
+      exemplars_path = argv[++i];
     }
   }
 
@@ -366,10 +497,176 @@ int main(int argc, char** argv) {
     };
   };
 
+  // Knee-forensics phase A: sampled tracing across the whole sweep, a
+  // live collector feeding the per-stage histograms, and histogram
+  // snapshots bracketing every ladder point — the deltas attribute each
+  // point's e2e time to stages, so the curve comes with a breakdown.
+  std::unique_ptr<trace::TraceCollector> sweep_collector;
+  std::unique_ptr<CollectPump> sweep_pump;
+  std::vector<StageShares> shares;
+  StageSnaps point_begin_snaps;
+  const int settle_ms = quick ? 40 : 150;
+  const double drain_deadline_s = quick ? 1.0 : 3.0;
+  if (forensics) {
+    trace::TraceConfig tc;
+    tc.mode = trace::Mode::kSampled;
+    // 1-in-4: the attribution needs enough traced requests per ladder
+    // point for stable share estimates; the recorder exists precisely
+    // because outliers would not survive a sparser head sample.
+    tc.head_sample_every = 4;
+    // Sized before any traced thread exists — configure() only applies
+    // the capacity to rings created afterwards.
+    tc.ring_capacity = 1 << 16;
+    trace::Tracer::instance().configure(tc);
+
+    trace::TraceCollector::Options co;
+    co.tail_keep_quantile = 0.99;
+    // Stragglers finish well after their point; never age them out as
+    // orphans mid-sweep.
+    co.orphan_max_age = 1u << 30;
+    sweep_collector = std::make_unique<trace::TraceCollector>(co);
+    sweep_pump = std::make_unique<CollectPump>(*sweep_collector);
+
+    sc.on_point_begin = [&](int) {
+      // Let the previous point's stragglers land before the baseline
+      // snapshot, so their spans charge to the point that issued them.
+      std::this_thread::sleep_for(std::chrono::milliseconds(settle_ms));
+      point_begin_snaps = snapshot_stages(*sweep_collector);
+    };
+    sc.on_point_end = [&](int point, const loadgen::RunResult&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(settle_ms));
+      char label[32];
+      std::snprintf(label, sizeof label, "%.2fx",
+                    sc.fractions[static_cast<size_t>(point)]);
+      shares.push_back(shares_between(
+          point_begin_snaps, snapshot_stages(*sweep_collector), label));
+    };
+  }
+
   loadgen::SweepResult res = loadgen::run_sweep(sc, factory);
   if (res.calibrated_max_rps <= 0) {
     std::fprintf(stderr, "fig12: calibration completed zero requests\n");
     return 1;
+  }
+
+  // Knee-forensics phase B: re-run the knee point (fallback: the heaviest
+  // point) with the full forensic kit armed — every request traced, the
+  // flight recorder watching loadgen drops/timeouts and xRPC credit
+  // stalls, and the resource sampler snapshotting the proxy's queues.
+  int target_index = -1;
+  loadgen::RunResult rerun;
+  std::unique_ptr<trace::TraceCollector> knee_collector;
+  std::unique_ptr<trace::FlightRecorder> recorder;
+  std::unique_ptr<trace::ResourceSampler> sampler;
+  std::vector<trace::CounterSeries> counter_series;
+  size_t counter_tracks = 0;
+  size_t tiling_exemplars = 0;
+  uint64_t rerun_ring_drops = 0;
+  uint64_t rerun_orphans = 0;
+  size_t rerun_pending = 0;
+  if (forensics && !res.points.empty()) {
+    // Finish phase A before phase B drains: one collector at a time.
+    sweep_pump->stop_and_drain(drain_deadline_s);
+    sweep_pump.reset();
+
+    target_index = res.knee_index >= 0
+                       ? res.knee_index
+                       : static_cast<int>(res.points.size()) - 1;
+    const loadgen::SweepPoint& target =
+        res.points[static_cast<size_t>(target_index)];
+
+    trace::TraceCollector::Options co;
+    co.tail_keep_every = 8;  // thin the timeline; tail + captures still kept
+    co.orphan_max_age = 1u << 30;
+    knee_collector = std::make_unique<trace::TraceCollector>(co);
+
+    // More sensitive than the library defaults: a shed-free knee keeps a
+    // compact latency distribution (p99 and the extreme tail are the same
+    // queueing mode), so 3x rolling p99 would never fire — 1.5x still
+    // singles out the top fraction of a percent.
+    trace::FlightRecorder::Options ro;
+    ro.latency_factor = 1.5;
+    ro.min_history = 32;
+    recorder = std::make_unique<trace::FlightRecorder>(ro);
+    recorder->watch_counter(
+        trace::TriggerKind::kDrop, "dpurpc_loadgen_dropped_total", [] {
+          return metrics::default_counter("dpurpc_loadgen_dropped_total", "")
+              .value();
+        });
+    recorder->watch_counter(
+        trace::TriggerKind::kTimeout, "dpurpc_loadgen_timeouts_total", [] {
+          return metrics::default_counter("dpurpc_loadgen_timeouts_total", "")
+              .value();
+        });
+    recorder->watch_counter(
+        trace::TriggerKind::kCreditStall, "dpurpc_xrpc_credit_stalls_total",
+        [] {
+          return metrics::default_counter(
+                     "dpurpc_xrpc_credit_stalls_total",
+                     "Client stream writes that blocked on the byte-credit "
+                     "window")
+              .value();
+        });
+    knee_collector->set_flight_recorder(recorder.get());
+
+    sampler = std::make_unique<trace::ResourceSampler>();
+    d.proxy->register_resource_probes(*sampler);
+
+    trace::TraceConfig tc;
+    tc.mode = trace::Mode::kFull;
+    tc.ring_capacity = 1 << 16;
+    trace::Tracer::instance().configure(tc);
+    uint64_t ring_drops_before = trace::Tracer::instance().dropped_total();
+
+    // The knee point's RunConfig, rebuilt exactly as the sweep built it
+    // (fresh seed: same arrival law, decorrelated pattern).
+    loadgen::RunConfig rc;
+    rc.schedule.process = sc.process;
+    rc.schedule.rate_rps =
+        std::max(1.0, res.calibrated_max_rps * target.fraction);
+    rc.schedule.seed = sc.seed + 10'000;
+    rc.schedule.on_mean_s = sc.on_mean_s;
+    rc.schedule.off_mean_s = sc.off_mean_s;
+    // Floor of 400 (full runs): the rolling-quantile trigger needs history
+    // (min_history) plus enough post-warmup tail samples to fire at least
+    // once; a low-rate knee point alone would offer too few trees.
+    rc.requests = std::clamp(
+        static_cast<uint64_t>(rc.schedule.rate_rps * sc.point_seconds),
+        quick ? sc.min_requests : std::max<uint64_t>(sc.min_requests, 400),
+        sc.max_requests);
+    rc.timeout_ns = sc.timeout_ns;
+    rc.max_outstanding = sc.max_outstanding;
+    rc.mix_weights = sc.mix_weights;
+
+    std::printf("\nknee forensics: re-running %s (%.0f rps offered) with the "
+                "recorder armed\n",
+                target.label.c_str(), rc.schedule.rate_rps);
+
+    sampler->start();
+    {
+      CollectPump pump(*knee_collector);
+      loadgen::SubmitFn submit = factory(1000 + target_index);
+      rerun = loadgen::run_open_loop(rc, submit);
+      sampler->stop();
+      pump.stop_and_drain(drain_deadline_s);
+    }
+    trace::Tracer::instance().configure(trace::TraceConfig{});  // off
+
+    rerun_ring_drops =
+        trace::Tracer::instance().dropped_total() - ring_drops_before;
+    rerun_orphans = knee_collector->orphans_dropped();
+    rerun_pending = knee_collector->pending_traces();
+    counter_series = sampler->series();
+    for (const trace::CounterSeries& s : counter_series) {
+      if (s.points.size() >= 2) ++counter_tracks;
+    }
+    for (const trace::TailExemplar& ex : recorder->exemplars()) {
+      double ratio = ex.e2e_ns == 0
+                         ? 0.0
+                         : static_cast<double>(ex.tree.stage_sum_ns()) /
+                               static_cast<double>(ex.e2e_ns);
+      if (ratio >= 0.5 && ratio <= 1.05) ++tiling_exemplars;
+    }
   }
   bg.reset();  // stop the background flow before reporting
 
@@ -398,6 +695,75 @@ int main(int argc, char** argv) {
                 "datapath\n");
   }
 
+  // ---- knee attribution report -----------------------------------------
+  size_t dominant_stage = 0;  // kRequest (share always 0) until found
+  double dominant_unloaded = 0, dominant_target = 0;
+  // The knee driver: the stage whose e2e share *grew* the most from the
+  // unloaded point — under saturation that's the queueing stage that
+  // explains the knee, regardless of which stage is largest in absolute
+  // terms at light load.
+  size_t driver_stage = 0;
+  double driver_unloaded = 0, driver_target = 0;
+  if (forensics && !shares.empty() && target_index >= 0) {
+    const StageShares& tgt = shares[std::min(
+        static_cast<size_t>(target_index), shares.size() - 1)];
+    std::array<size_t, kNumStages> order{};
+    for (size_t s = 0; s < kNumStages; ++s) order[s] = s;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return tgt.share[a] > tgt.share[b];
+    });
+    size_t ncols = 0;
+    while (ncols < 5 && tgt.share[order[ncols]] > 0) ++ncols;
+
+    std::printf("\nper-stage share of e2e (sampled traces; top stages at "
+                "%s):\n",
+                tgt.label.c_str());
+    std::printf("%-7s %7s", "load", "traces");
+    for (size_t c = 0; c < ncols; ++c) {
+      std::printf(" %16s",
+                  trace::stage_name(static_cast<trace::Stage>(order[c])));
+    }
+    std::printf("\n");
+    for (const StageShares& row : shares) {
+      std::printf("%-7s %7" PRIu64, row.label.c_str(), row.e2e_count);
+      for (size_t c = 0; c < ncols; ++c) {
+        std::printf(" %15.1f%%", row.share[order[c]] * 100);
+      }
+      std::printf("%s\n", &row == &tgt ? "   <-- forensics target" : "");
+    }
+    if (ncols > 0) {
+      dominant_stage = order[0];
+      dominant_target = tgt.share[dominant_stage];
+      dominant_unloaded = shares.front().share[dominant_stage];
+      for (size_t s = 0; s < kNumStages; ++s) {
+        if (s == static_cast<size_t>(trace::Stage::kRequest)) continue;
+        double growth = tgt.share[s] - shares.front().share[s];
+        if (growth > tgt.share[driver_stage] - shares.front().share[driver_stage] ||
+            driver_stage == 0) {
+          driver_stage = s;
+          driver_unloaded = shares.front().share[s];
+          driver_target = tgt.share[s];
+        }
+      }
+      std::printf("\ndominant stage at %s: %s — %.1f%% of e2e vs %.1f%% "
+                  "unloaded\n",
+                  tgt.label.c_str(),
+                  trace::stage_name(static_cast<trace::Stage>(dominant_stage)),
+                  dominant_target * 100, dominant_unloaded * 100);
+      std::printf("knee driver (largest share growth): %s — %.1f%% -> %.1f%% "
+                  "of e2e\n",
+                  trace::stage_name(static_cast<trace::Stage>(driver_stage)),
+                  driver_unloaded * 100, driver_target * 100);
+    }
+    std::printf("knee re-run: %" PRIu64 " completed, p99 %.1f us; recorder "
+                "captured %" PRIu64 " of %" PRIu64 " trees (%zu tiling), "
+                "%zu counter tracks, %" PRIu64 " orphans, %" PRIu64
+                " ring drops, %zu pending at drain\n",
+                rerun.completed, rerun.p99_us, recorder->captured_total(),
+                recorder->offered_total(), tiling_exemplars, counter_tracks,
+                rerun_orphans, rerun_ring_drops, rerun_pending);
+  }
+
   // ---- acceptance gates (full runs only: smoke points are too short
   // for the knee detector to be meaningful) ------------------------------
   bool failed = false;
@@ -421,6 +787,117 @@ int main(int argc, char** argv) {
                    res.knee_index < 0 ? "not detected"
                                       : "only at the heaviest point");
       failed = true;
+    }
+    if (forensics) {
+      if (counter_tracks < 4) {
+        std::fprintf(stderr,
+                     "FAIL: forensics timeline has %zu counter tracks with "
+                     ">= 2 samples, need >= 4\n",
+                     counter_tracks);
+        failed = true;
+      }
+      if (recorder == nullptr || recorder->captured_total() == 0 ||
+          tiling_exemplars == 0) {
+        std::fprintf(stderr,
+                     "FAIL: no captured tail exemplar whose stage spans tile "
+                     "its e2e time (sum/e2e in [0.5, 1.05])\n");
+        failed = true;
+      }
+      if (rerun_orphans != 0 || rerun_ring_drops != 0) {
+        std::fprintf(stderr,
+                     "FAIL: knee re-run lost data — %" PRIu64
+                     " orphaned traces, %" PRIu64 " span-ring drops\n",
+                     rerun_orphans, rerun_ring_drops);
+        failed = true;
+      }
+      if (rerun_pending != 0) {
+        // Warn only: the drain deadline bounds the wait for stragglers;
+        // the exemplar/counter gates above are the real evidence check.
+        std::fprintf(stderr,
+                     "warn: %zu traces still pending at the drain deadline\n",
+                     rerun_pending);
+      }
+      // Growth gate only when a real knee exists: without saturation there
+      // is no queueing stage to grow, and the knee-detection gate above
+      // already failed the run.
+      if (res.knee_index > 0 &&
+          (shares.empty() || !(driver_target > driver_unloaded))) {
+        std::fprintf(stderr,
+                     "FAIL: attribution did not identify a dominant stage "
+                     "whose e2e share grows from the unloaded point to the "
+                     "knee\n");
+        failed = true;
+      }
+    }
+  }
+
+  // Forensics artifacts are written even when a gate failed — a failing
+  // run is exactly when the timeline and exemplars are wanted.
+  if (forensics && knee_collector != nullptr) {
+    if (!trace_out_path.empty() &&
+        !write_text_file(trace_out_path,
+                         trace::TraceCollector::to_chrome_json(
+                             knee_collector->retained(),
+                             knee_collector->global_events(), counter_series),
+                         "--trace-out")) {
+      return 65;
+    }
+    if (!exemplars_path.empty() &&
+        !write_text_file(exemplars_path, recorder->to_json(),
+                         "--exemplars-out")) {
+      return 65;
+    }
+    if (!forensics_json_path.empty()) {
+      FILE* f = std::fopen(forensics_json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::perror("fig12_openloop: --forensics-json open");
+        return 65;
+      }
+      // Leaf naming matters: *_share / counter-track counts are
+      // informational leaves for bench_diff.py — attribution shifting
+      // between stages is the datapath's shape, not a regression.
+      std::fprintf(f,
+                   "{\n  \"benchmark\": \"fig12_forensics\",\n"
+                   "  \"smoke\": %s,\n"
+                   "  \"target_label\": \"%s\",\n"
+                   "  \"dominant_stage\": \"%s\",\n"
+                   "  \"dominant_share_unloaded\": %.4f,\n"
+                   "  \"dominant_share_knee\": %.4f,\n"
+                   "  \"driver_stage\": \"%s\",\n"
+                   "  \"driver_share_unloaded\": %.4f,\n"
+                   "  \"driver_share_knee\": %.4f,\n"
+                   "  \"counter_tracks\": %zu,\n"
+                   "  \"exemplars_captured\": %" PRIu64 ",\n"
+                   "  \"tiling_exemplars\": %zu,\n"
+                   "  \"orphaned_traces\": %" PRIu64 ",\n"
+                   "  \"span_ring_drop_events\": %" PRIu64 ",\n"
+                   "  \"pending_at_drain\": %zu,\n"
+                   "  \"points\": [\n",
+                   quick ? "true" : "false",
+                   target_index >= 0
+                       ? res.points[static_cast<size_t>(target_index)]
+                             .label.c_str()
+                       : "",
+                   trace::stage_name(static_cast<trace::Stage>(dominant_stage)),
+                   dominant_unloaded, dominant_target,
+                   trace::stage_name(static_cast<trace::Stage>(driver_stage)),
+                   driver_unloaded, driver_target, counter_tracks,
+                   recorder->captured_total(), tiling_exemplars, rerun_orphans,
+                   rerun_ring_drops, rerun_pending);
+      for (size_t i = 0; i < shares.size(); ++i) {
+        const StageShares& row = shares[i];
+        std::fprintf(f, "    {\"label\": \"%s\"", row.label.c_str());
+        for (size_t s = 0; s < kNumStages; ++s) {
+          if (s == static_cast<size_t>(trace::Stage::kRequest)) continue;
+          std::fprintf(f, ", \"%s_share\": %.4f",
+                       trace::stage_name(static_cast<trace::Stage>(s)),
+                       row.share[s]);
+        }
+        std::fprintf(f, "}%s\n", i + 1 < shares.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", forensics_json_path.c_str());
     }
   }
 

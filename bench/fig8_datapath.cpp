@@ -455,6 +455,17 @@ int run_traced(BenchEnv& env, const Workload& w, const std::string& out_path,
                  mean_ratio);
     return 2;
   }
+  // Collector health: a traced pass that silently lost spans (ring
+  // overflow) or whole requests (roots that never arrived) produced a
+  // timeline that cannot be trusted. Full runs only — smoke durations are
+  // too short to guarantee the drain keeps up.
+  if (!quick && (collector.orphans_dropped() != 0 || dropped_spans != 0)) {
+    std::fprintf(stderr,
+                 "FAIL: traced pass lost data — %" PRIu64
+                 " orphaned traces, %" PRIu64 " span-ring drops\n",
+                 collector.orphans_dropped(), dropped_spans);
+    return 2;
+  }
   return 0;
 }
 

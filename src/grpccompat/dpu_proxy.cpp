@@ -7,6 +7,7 @@
 #include "common/cpu_timer.hpp"
 #include "common/hot_path.hpp"
 #include "metrics/metrics.hpp"
+#include "trace/resource_sampler.hpp"
 
 namespace dpurpc::grpccompat {
 
@@ -266,6 +267,7 @@ void DpuProxy::stream_chunk(Lane& lane, PendingCall event) {
   ProxyStream& ps = *it->second;
   ps.held_bytes += event.payload.size();
   ps.total_bytes += event.payload.size();
+  relaxed::add(stats_.stream_held_bytes, event.payload.size());
   note_peak(stats_.stream_peak_bytes, ps.held_bytes);
   ps.carry.insert(ps.carry.end(), event.payload.begin(), event.payload.end());
   event.payload = Bytes();
@@ -303,7 +305,15 @@ void DpuProxy::stream_abort(Lane& lane, uint32_t stream_id) {
   // Client aborted (or its connection died): no response owed. Dropping
   // the entry frees carry/ready; chunk jobs still out with the pool are
   // dropped when their cookies pop in chunk_decoded.
-  lane.streams.erase(stream_id);
+  auto it = lane.streams.find(stream_id);
+  if (it == lane.streams.end()) return;
+  retire_stream_hold(*it->second);
+  lane.streams.erase(it);
+}
+
+void DpuProxy::retire_stream_hold(ProxyStream& ps) noexcept {
+  relaxed::sub(stats_.stream_held_bytes, ps.held_bytes);
+  ps.held_bytes = 0;
 }
 
 DPURPC_HOT_PATH Status DpuProxy::scan_and_submit(Lane& lane, uint32_t stream_id) {
@@ -354,10 +364,10 @@ DPURPC_HOT_PATH Status DpuProxy::scan_and_submit(Lane& lane, uint32_t stream_id)
     job.cookie = ++lane.next_cookie;
     job.wire = std::move(buf);
     job.wire_offset = kStreamPrefixSize;
-    if (lane.outstanding < kMaxOutstandingJobs &&
+    if (relaxed::load(lane.outstanding) < kMaxOutstandingJobs &&
         pool_->submit(lane.index, job)) {
       lane.pending_chunks.emplace(job.cookie, std::make_pair(stream_id, seq));
-      ++lane.outstanding;
+      relaxed::add(lane.outstanding, 1);
       ++ps.decodes_in_pool;
       continue;
     }
@@ -391,7 +401,7 @@ void DpuProxy::chunk_decoded(Lane& lane, dpu::CodecResult result) {
   if (cit == lane.pending_chunks.end()) return;
   auto [stream_id, seq] = cit->second;
   lane.pending_chunks.erase(cit);
-  --lane.outstanding;
+  relaxed::sub(lane.outstanding, 1);
   auto sit = lane.streams.find(stream_id);
   if (sit == lane.streams.end()) return;  // stream died: buffers free here
   ProxyStream& ps = *sit->second;
@@ -485,7 +495,9 @@ void DpuProxy::stream_chunk_acked(Lane& lane, uint32_t stream_id,
   }
   // The host consumed the piece: release its budget and hand the freed
   // window back to the client — the grant that keeps the sender moving.
-  ps.held_bytes -= std::min<uint64_t>(ps.held_bytes, payload_bytes);
+  uint64_t released = std::min<uint64_t>(ps.held_bytes, payload_bytes);
+  ps.held_bytes -= released;
+  relaxed::sub(stats_.stream_held_bytes, released);
   (void)ps.stream->grant(static_cast<uint32_t>(
       std::min<uint64_t>(payload_bytes, UINT32_MAX)));
   maybe_finish_stream(lane, stream_id);
@@ -523,7 +535,11 @@ void DpuProxy::maybe_finish_stream(Lane& lane, uint32_t stream_id) {
         method_id, ByteSpan(marker),
         [this, lane = &lane, stream_id, respond, tctx](
             const Status& rpc_result, const rdmarpc::InMessage& resp) {
-          lane->streams.erase(stream_id);
+          auto sit = lane->streams.find(stream_id);
+          if (sit != lane->streams.end()) {
+            retire_stream_hold(*sit->second);
+            lane->streams.erase(sit);
+          }
           complete_response(*lane, respond, tctx, rpc_result, resp);
         },
         tctx);
@@ -542,7 +558,11 @@ void DpuProxy::maybe_finish_stream(Lane& lane, uint32_t stream_id) {
     if (lane.streams.find(stream_id) == lane.streams.end()) return;
   }
   if (!st.is_ok()) {
-    lane.streams.erase(stream_id);
+    auto sit = lane.streams.find(stream_id);
+    if (sit != lane.streams.end()) {
+      retire_stream_hold(*sit->second);
+      lane.streams.erase(sit);
+    }
     relaxed::add(stats_.stream_aborts, 1);
     // dpulint: allow(trace-pairing): end-marker send failure — the stream
     // never completed a datapath traversal, so no kComplete span exists.
@@ -554,6 +574,7 @@ void DpuProxy::fail_stream(Lane& lane, uint32_t stream_id, const Status& why) {
   auto it = lane.streams.find(stream_id);
   if (it == lane.streams.end()) return;
   auto respond = it->second->respond;
+  retire_stream_hold(*it->second);
   lane.streams.erase(it);
   relaxed::add(stats_.stream_aborts, 1);
   // dpulint: allow(trace-pairing): failed stream — dropped before
@@ -576,11 +597,12 @@ Status DpuProxy::submit_decode(Lane& lane, PendingCall call) {
   job.wire = std::move(call.payload);
   job.trace = call.trace;
   job.submit_ns = call.enqueue_ns;
-  if (lane.outstanding < kMaxOutstandingJobs && pool_->submit(lane.index, job)) {
+  if (relaxed::load(lane.outstanding) < kMaxOutstandingJobs &&
+      pool_->submit(lane.index, job)) {
     lane.pending.emplace(
         job.cookie,
         PendingDecode{call.method, std::move(call.respond), call.trace});
-    ++lane.outstanding;
+    relaxed::add(lane.outstanding, 1);
     return Status::ok();
   }
   // Ring full (or shutting down): spill to the lane thread rather than
@@ -637,7 +659,7 @@ bool DpuProxy::submit_encode(
     Lane& lane, const std::shared_ptr<xrpc::Server::Responder>& respond,
     const trace::TraceContext& tctx, const rdmarpc::InMessage& resp,
     uint64_t submit_ns) {
-  if (lane.outstanding >= kMaxOutstandingJobs) return false;
+  if (relaxed::load(lane.outstanding) >= kMaxOutstandingJobs) return false;
   const size_t bytes = resp.payload.size();
   dpu::ScratchSlice slice = dpu::ScratchSlice::allocate(bytes);
   if (!slice) return false;
@@ -665,7 +687,7 @@ bool DpuProxy::submit_encode(
   job.submit_ns = submit_ns;
   if (!pool_->submit(lane.index, job)) return false;
   lane.pending_encodes.emplace(job.cookie, PendingEncode{respond, tctx});
-  ++lane.outstanding;
+  relaxed::add(lane.outstanding, 1);
   return true;
 }
 
@@ -675,7 +697,7 @@ void DpuProxy::finish_encoded(Lane& lane, dpu::CodecResult result) {
   if (it == lane.pending_encodes.end()) return;  // failed out already
   PendingEncode pending = std::move(it->second);
   lane.pending_encodes.erase(it);
-  --lane.outstanding;
+  relaxed::sub(lane.outstanding, 1);
 
   if (pending.trace.active()) {
     // Completion-ring pop + pending-map retirement for a pool-serialized
@@ -698,7 +720,7 @@ Status DpuProxy::forward_decoded(Lane& lane, dpu::CodecResult result) {
   if (it == lane.pending.end()) return Status::ok();  // failed out already
   PendingDecode pending = std::move(it->second);
   lane.pending.erase(it);
-  --lane.outstanding;
+  relaxed::sub(lane.outstanding, 1);
 
   if (!result.status.is_ok()) {
     // Per-request decode failure (malformed payload, oversized message):
@@ -828,6 +850,7 @@ void DpuProxy::fail_pending(Lane& lane) {
     lane.pending_chunks.erase(result.cookie);
   }
   for (auto& [sid, ps] : lane.streams) {
+    retire_stream_hold(*ps);
     // dpulint: allow(trace-pairing): shutdown path — live streams are
     // failed wholesale; their traces are abandoned, not completed.
     (*ps->respond)(Code::kUnavailable, {});
@@ -844,7 +867,7 @@ void DpuProxy::fail_pending(Lane& lane) {
     (*pending.respond)(Code::kUnavailable, {});
   }
   lane.pending_encodes.clear();
-  lane.outstanding = 0;
+  relaxed::store(lane.outstanding, 0);
 }
 
 void DpuProxy::poller_loop(Lane& lane) {
@@ -854,7 +877,7 @@ void DpuProxy::poller_loop(Lane& lane) {
   // then block briefly when idle.
   while (!relaxed::load(stopping_)) {
     bool did_work = false;
-    while (lane.outstanding < kMaxOutstandingJobs) {
+    while (relaxed::load(lane.outstanding) < kMaxOutstandingJobs) {
       auto call = lane.queue.try_pop();
       if (!call.has_value()) break;
       did_work = true;
@@ -895,7 +918,7 @@ void DpuProxy::poller_loop(Lane& lane) {
       // codec completions interrupt() us out of it.
       lane.conn->wait(1);
       if (lane.queue.size() == 0 && lane.client.in_flight() == 0 &&
-          lane.outstanding == 0) {
+          relaxed::load(lane.outstanding) == 0) {
         // Fully idle: sleep on the queue; stop() closes it to wake us.
         auto call = lane.queue.pop();
         if (!call.has_value()) break;  // queue closed: shutting down
@@ -908,6 +931,47 @@ void DpuProxy::poller_loop(Lane& lane) {
     }
   }
   fail_pending(lane);
+}
+
+void DpuProxy::register_resource_probes(trace::ResourceSampler& sampler) const {
+  // Everything read here is an atomic the datapath already maintains —
+  // probing costs the datapath nothing and the sampler thread never takes
+  // a lock. Names become counter-track titles and probe= gauge labels.
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    std::string prefix = "lane" + std::to_string(i);
+    sampler.add_probe(prefix + "_outstanding_jobs", [this, i] {
+      return static_cast<double>(lane_outstanding(i));
+    });
+    sampler.add_probe(prefix + "_codec_ring_depth", [this, i] {
+      return static_cast<double>(pool_->lane_queue_depth(i));
+    });
+    const rdmarpc::Connection* conn = lanes_[i]->conn;
+    sampler.add_probe(prefix + "_rdma_credits", [conn] {
+      return static_cast<double>(conn->credits_available());
+    });
+  }
+  for (size_t w = 0; w < pool_->worker_count(); ++w) {
+    // Busy fraction over the sampling interval: Δbusy_ns / Δwall_ns,
+    // clamped to [0,1]. State lives in the closure (one per probe; the
+    // sampler calls each probe from one thread).
+    auto prev = std::make_shared<std::pair<uint64_t, uint64_t>>(
+        pool_->worker_stats(w).busy_ns, WallTimer::now());
+    sampler.add_probe("worker" + std::to_string(w) + "_busy_fraction",
+                      [this, w, prev] {
+                        uint64_t busy = pool_->worker_stats(w).busy_ns;
+                        uint64_t now = WallTimer::now();
+                        uint64_t dwall = now - prev->second;
+                        double frac =
+                            dwall == 0 ? 0.0
+                                       : static_cast<double>(busy - prev->first) /
+                                             static_cast<double>(dwall);
+                        *prev = {busy, now};
+                        return std::clamp(frac, 0.0, 1.0);
+                      });
+  }
+  sampler.add_probe("stream_held_bytes", [this] {
+    return static_cast<double>(relaxed::load(stats_.stream_held_bytes));
+  });
 }
 
 }  // namespace dpurpc::grpccompat

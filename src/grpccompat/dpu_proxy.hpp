@@ -45,6 +45,10 @@
 #include "trace/trace.hpp"
 #include "xrpc/server.hpp"
 
+namespace dpurpc::trace {
+class ResourceSampler;
+}
+
 namespace dpurpc::grpccompat {
 
 struct DpuProxyStats {
@@ -66,6 +70,10 @@ struct DpuProxyStats {
   std::atomic<uint64_t> stream_chunks{0};
   std::atomic<uint64_t> stream_bytes{0};
   std::atomic<uint64_t> stream_peak_bytes{0};
+  /// Bytes currently held inside the proxy across all streams (carry +
+  /// pieces awaiting host ack) — the live value whose per-stream peak is
+  /// stream_peak_bytes. A resource-sampler probe tracks it over time.
+  std::atomic<uint64_t> stream_held_bytes{0};
   /// Streams dropped before completion: client aborts, connection loss,
   /// malformed chunks, decode failures.
   std::atomic<uint64_t> stream_aborts{0};
@@ -124,8 +132,23 @@ class DpuProxy {
   uint64_t lane_requests(size_t i) const noexcept {
     return i < lanes_.size() ? relaxed::load(lanes_[i]->forwarded) : 0;
   }
+  /// Codec jobs lane `i` currently has out with the pool (its share of
+  /// the outstanding budget). Same monitor-read contract as
+  /// lane_requests: racy, out-of-range reads as zero.
+  uint64_t lane_outstanding(size_t i) const noexcept {
+    return i < lanes_.size()
+               ? static_cast<uint64_t>(relaxed::load(lanes_[i]->outstanding))
+               : 0;
+  }
   /// The codec pool (per-worker stats; see CodecPool::worker_stats).
   const dpu::CodecPool& codec_pool() const noexcept { return *pool_; }
+
+  /// Register this proxy's occupancy probes (per-lane outstanding codec
+  /// jobs, codec-ring depths, RDMA credit occupancy, per-worker busy
+  /// fractions, stream-budget holds) on a resource sampler. Probes read
+  /// atomics only and stay valid until the proxy is destroyed; the
+  /// sampler must stop before that.
+  void register_resource_probes(trace::ResourceSampler& sampler) const;
 
  private:
   /// One event on a lane's queue: a unary call, or one step of a
@@ -212,9 +235,10 @@ class DpuProxy {
     // Poller-thread-only state (submission and completion both happen on
     // the lane's poller; the pool only sees opaque cookies). `outstanding`
     // counts both kinds together — the budget that keeps the shared
-    // completion ring drainable.
+    // completion ring drainable. Atomic (single writer: the poller) only
+    // so the resource sampler can watch it from outside the lane.
     uint64_t next_cookie = 0;
-    size_t outstanding = 0;
+    std::atomic<size_t> outstanding{0};
     std::unordered_map<uint64_t, PendingDecode> pending;
     std::unordered_map<uint64_t, PendingEncode> pending_encodes;
     /// Live streams owned by this lane, keyed by proxy-wide stream id.
@@ -254,6 +278,10 @@ class DpuProxy {
   void maybe_finish_stream(Lane& lane, uint32_t stream_id);
   /// Fail the stream to the client and drop every held buffer.
   void fail_stream(Lane& lane, uint32_t stream_id, const Status& why);
+  /// Retire a dying stream's held bytes from stats_.stream_held_bytes.
+  /// Every path that erases a ProxyStream must pass through this, or the
+  /// proxy-wide gauge leaks the stream's unacked bytes forever.
+  void retire_stream_hold(ProxyStream& ps) noexcept;
   /// Hand a call's decode to the pool (or decode inline when the ring is
   /// full). Returns non-ok only on unrecoverable datapath failure.
   Status submit_decode(Lane& lane, PendingCall call);

@@ -48,7 +48,9 @@ SweepResult run_sweep(const SweepConfig& config, const SubmitFactory& factory) {
     SweepPoint point;
     point.label = fraction_label(fraction);
     point.fraction = fraction;
+    if (config.on_point_begin) config.on_point_begin(static_cast<int>(i));
     point.run = run_open_loop(rc, submit);
+    if (config.on_point_end) config.on_point_end(static_cast<int>(i), point.run);
     res.points.push_back(std::move(point));
   }
 

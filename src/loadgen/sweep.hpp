@@ -45,6 +45,13 @@ struct SweepConfig {
   /// Bursty-mode state holding times (see ScheduleConfig).
   double on_mean_s = 0.020;
   double off_mean_s = 0.020;
+
+  /// Per-point observation hooks (forensics: per-stage share attribution
+  /// snapshots histograms around each point). Called on the sweep thread,
+  /// immediately before/after run_open_loop for each ladder point — not
+  /// for the calibration phase. Either may be null.
+  std::function<void(int point)> on_point_begin;
+  std::function<void(int point, const RunResult& run)> on_point_end;
 };
 
 struct SweepPoint {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/cpu_timer.hpp"
@@ -10,7 +11,10 @@
 namespace dpurpc::metrics {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      ex_ids_(bounds_.size() + 1),
+      ex_values_(bounds_.size() + 1) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 
@@ -22,6 +26,23 @@ void Histogram::observe(double v) noexcept {
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::put_exemplar(double v, uint64_t trace_id) noexcept {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());
+  // Value first, id second: a reader keying off a nonzero id sees a value
+  // that is at worst one exemplar stale, never uninitialized.
+  ex_values_[idx].store(v, std::memory_order_relaxed);
+  ex_ids_[idx].store(trace_id, std::memory_order_relaxed);
+}
+
+Histogram::Exemplar Histogram::exemplar_at(size_t bucket) const noexcept {
+  Exemplar e;
+  if (bucket >= ex_ids_.size()) return e;
+  e.trace_id = ex_ids_[bucket].load(std::memory_order_relaxed);
+  e.value = ex_values_[bucket].load(std::memory_order_relaxed);
+  return e;
 }
 
 uint64_t Histogram::bucket_count(size_t i) const noexcept {
@@ -250,6 +271,19 @@ void append_labels(std::ostringstream& out, const Labels& labels) {
   out << '}';
 }
 
+// OpenMetrics exemplar suffix for a bucket line: the trace id of the
+// last flight-recorder capture that landed in the bucket, linking the
+// scrape directly to a retained Perfetto trace. Silent when unset, so
+// histograms without a recorder expose byte-identical text as before.
+void append_exemplar(std::ostringstream& out, const Histogram& h, size_t bucket) {
+  Histogram::Exemplar e = h.exemplar_at(bucket);
+  if (e.trace_id == 0) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " # {trace_id=\"%016llx\"} %g",
+                static_cast<unsigned long long>(e.trace_id), e.value);
+  out << buf;
+}
+
 }  // namespace
 
 std::string Registry::expose_text() const {
@@ -281,13 +315,17 @@ std::string Registry::expose_text() const {
             bl["le"] = std::to_string(h.bounds()[i]);
             out << f->name() << "_bucket";
             append_labels(out, bl);
-            out << ' ' << h.bucket_count(i) << '\n';
+            out << ' ' << h.bucket_count(i);
+            append_exemplar(out, h, i);
+            out << '\n';
           }
           Labels inf = labels;
           inf["le"] = "+Inf";
           out << f->name() << "_bucket";
           append_labels(out, inf);
-          out << ' ' << h.total_count() << '\n';
+          out << ' ' << h.total_count();
+          append_exemplar(out, h, h.bounds().size());
+          out << '\n';
           out << f->name() << "_sum";
           append_labels(out, labels);
           out << ' ' << h.sum() << '\n';

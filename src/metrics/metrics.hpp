@@ -97,9 +97,27 @@ class Histogram {
   /// usual scrape-precision caveats apply).
   HistogramSnapshot snapshot() const;
 
+  /// OpenMetrics-style exemplar: the last outlier trace that landed in a
+  /// bucket. trace_id == 0 means "no exemplar yet" (the tracer never
+  /// issues id 0).
+  struct Exemplar {
+    uint64_t trace_id = 0;
+    double value = 0;
+  };
+
+  /// Attach an exemplar to the bucket `v` falls in (same bucketing as
+  /// observe; the overflow bucket is slot bounds().size()). Last writer
+  /// wins; the id/value pair can tear under concurrent writers — fine for
+  /// forensics pointers. Does NOT count as an observation.
+  void put_exemplar(double v, uint64_t trace_id) noexcept;
+  /// The exemplar on bucket i (i in [0, bounds().size()]), id 0 if none.
+  Exemplar exemplar_at(size_t bucket) const noexcept;
+
  private:
   std::vector<double> bounds_;                       // strictly increasing
   std::vector<std::atomic<uint64_t>> buckets_;       // per-bucket (non-cumulative)
+  std::vector<std::atomic<uint64_t>> ex_ids_;        // per-bucket exemplar ids
+  std::vector<std::atomic<double>> ex_values_;       // ...and their values
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "trace/flight_recorder.hpp"
+
 namespace dpurpc::trace {
 
 namespace {
@@ -65,11 +67,24 @@ TraceCollector::TraceCollector(Options options) : options_(options) {
                           "dpurpc_trace_ring_dropped_total",
                           "Span records dropped because a thread ring was full")
                        .counter();
+  orphan_counter_ =
+      &reg->counter_family(
+              "dpurpc_trace_orphans_dropped_total",
+              "Pending traces discarded because their root span never arrived")
+           .counter();
+  evict_counter_ = &reg->counter_family(
+                           "dpurpc_trace_retained_evicted_total",
+                           "Retained span trees evicted past max_retained")
+                        .counter();
 }
 
 void TraceCollector::collect() {
   ++collect_count_;
   Tracer& tracer = Tracer::instance();
+
+  // Poll the recorder's counter watches first so an anomaly seen now arms
+  // the capture window for the trees this very pass finalizes.
+  if (recorder_ != nullptr) recorder_->poll_watches();
 
   scratch_.clear();
   tracer.drain_into(scratch_);
@@ -110,6 +125,7 @@ void TraceCollector::collect() {
                options_.orphan_max_age) {
       // Root never arrived (dropped to a full ring, or the request died).
       orphans_dropped_ += 1;
+      orphan_counter_->inc();
       it = pending_.erase(it);
     } else {
       ++it;
@@ -131,11 +147,21 @@ void TraceCollector::finalize(uint64_t trace_id, PendingTrace&& pending) {
   tree.trace_id = trace_id;
   tree.spans = std::move(pending.spans);
 
+  // The flight recorder sees every completed tree, sampled or not; a
+  // capture forces retention (the whole point: outliers survive 1-in-N)
+  // and links the e2e histogram bucket to this trace via an exemplar.
+  bool captured = recorder_ != nullptr && recorder_->offer(tree);
+  if (captured) {
+    request_hist_->put_exemplar(static_cast<double>(tree.duration_ns()) / 1e9,
+                                trace_id);
+  }
+
   // `1 % every` (not a literal 1) so every=1 means "keep everything" and
   // larger N still keeps the first completed trace.
-  bool keep = options_.tail_keep_every != 0 &&
-              traces_completed_ % options_.tail_keep_every ==
-                  1 % options_.tail_keep_every;
+  bool keep = captured ||
+              (options_.tail_keep_every != 0 &&
+               traces_completed_ % options_.tail_keep_every ==
+                   1 % options_.tail_keep_every);
   if (!keep) {
     // Tail sampling: keep trees slower than the rolling pX of end-to-end
     // latency. Needs a populated histogram to be meaningful; early on
@@ -153,6 +179,7 @@ void TraceCollector::finalize(uint64_t trace_id, PendingTrace&& pending) {
     retained_.erase(retained_.begin(),
                     retained_.begin() + static_cast<ptrdiff_t>(excess));
     traces_evicted_ += excess;
+    evict_counter_->inc(excess);
   }
 }
 
@@ -168,6 +195,12 @@ std::string TraceCollector::export_chrome_json() const {
 
 std::string TraceCollector::to_chrome_json(const std::vector<SpanTree>& trees,
                                            const std::vector<Span>& globals) {
+  return to_chrome_json(trees, globals, {});
+}
+
+std::string TraceCollector::to_chrome_json(
+    const std::vector<SpanTree>& trees, const std::vector<Span>& globals,
+    const std::vector<CounterSeries>& counters) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const SpanTree& t : trees) {
@@ -193,6 +226,20 @@ std::string TraceCollector::to_chrome_json(const std::vector<SpanTree>& trees,
     if (!first) out += ",";
     first = false;
     append_json_event(out, stage_name(s.stage), s, 0);
+  }
+  // Counter tracks: one ph:"C" series per probe, tiled under the span
+  // tracks (same pid, so Perfetto renders them in the same process group).
+  for (const CounterSeries& cs : counters) {
+    for (const auto& [t_ns, value] : cs.points) {
+      if (!first) out += ",";
+      first = false;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"cat\":\"resource\",\"ph\":\"C\","
+                    "\"ts\":%.3f,\"pid\":1,\"args\":{\"value\":%g}}",
+                    cs.name.c_str(), static_cast<double>(t_ns) / 1e3, value);
+      out += buf;
+    }
   }
   out += "],\"displayTimeUnit\":\"ns\"}";
   return out;

@@ -17,6 +17,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "metrics/metrics.hpp"
@@ -63,6 +64,16 @@ struct SpanTree {
   }
 };
 
+/// One resource-occupancy timeline (name + (mono_ns, value) samples),
+/// exported as a Perfetto counter track alongside the span tracks. The
+/// ResourceSampler produces these; to_chrome_json consumes them.
+struct CounterSeries {
+  std::string name;
+  std::vector<std::pair<uint64_t, double>> points;
+};
+
+class FlightRecorder;
+
 class TraceCollector {
  public:
   struct Options {
@@ -89,6 +100,15 @@ class TraceCollector {
   /// arrived, retain per the tail-sampling policy.
   void collect();
 
+  /// Attach a flight recorder: every finalized tree is offered to it
+  /// (before the tail-sampling keep decision — captured trees are always
+  /// retained), and its counter watches are polled once per collect().
+  /// The recorder must outlive the collector or be detached (nullptr).
+  /// Captures also land as OpenMetrics exemplars on the e2e histogram.
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
   /// Move out the retained trees (completed order).
   std::vector<SpanTree> take_retained();
   const std::vector<SpanTree>& retained() const noexcept { return retained_; }
@@ -98,6 +118,13 @@ class TraceCollector {
   uint64_t traces_retained() const noexcept { return traces_retained_; }
   uint64_t traces_evicted() const noexcept { return traces_evicted_; }
   uint64_t orphans_dropped() const noexcept { return orphans_dropped_; }
+  /// Traces still waiting for their root span (quiesce check).
+  size_t pending_traces() const noexcept { return pending_.size(); }
+
+  /// The live per-stage histogram (seconds); never null.
+  const metrics::Histogram* stage_histogram(Stage stage) const noexcept {
+    return stage_hist_[static_cast<size_t>(stage)];
+  }
 
   /// Chrome trace-event JSON ("traceEvents" of ph:"X" complete events,
   /// ts/dur in microseconds) for the currently retained trees + globals.
@@ -106,6 +133,13 @@ class TraceCollector {
   /// Same, for an explicit set (the exporter golden test uses this).
   static std::string to_chrome_json(const std::vector<SpanTree>& trees,
                                     const std::vector<Span>& globals = {});
+
+  /// Span tracks plus resource counter tracks (ph:"C" events, one track
+  /// per CounterSeries) tiled in the same timeline. With `counters`
+  /// empty the output is byte-identical to the two-argument overload.
+  static std::string to_chrome_json(const std::vector<SpanTree>& trees,
+                                    const std::vector<Span>& globals,
+                                    const std::vector<CounterSeries>& counters);
 
  private:
   struct PendingTrace {
@@ -119,7 +153,10 @@ class TraceCollector {
   metrics::Histogram* stage_hist_[static_cast<size_t>(Stage::kStageCount)] = {};
   metrics::Histogram* request_hist_ = nullptr;  ///< alias of kRequest's hist
   metrics::Counter* drop_counter_ = nullptr;
+  metrics::Counter* orphan_counter_ = nullptr;
+  metrics::Counter* evict_counter_ = nullptr;
   uint64_t drops_accounted_ = 0;
+  FlightRecorder* recorder_ = nullptr;
 
   std::vector<SpanRecord> scratch_;
   std::unordered_map<uint64_t, PendingTrace> pending_;

@@ -77,6 +77,7 @@ void Tracer::configure(const TraceConfig& config) {
   lockdep::ScopedLock lk(mu_);
   config_ = config;
   if (config_.head_sample_every == 0) config_.head_sample_every = 1;
+  relaxed::store(head_every_, config_.head_sample_every);  // dpulint: allow(relaxed-atomic): sampling-rate gate — a stale read only shifts which request is sampled
   relaxed::store(detail::g_mode, static_cast<uint8_t>(config_.mode));
 }
 
@@ -106,12 +107,12 @@ TraceContext Tracer::begin_trace() {
   if (mode == Mode::kOff) return {};
   if (mode == Mode::kSampled) {
     // Deterministic 1-in-N head sampling; the counter is shared across
-    // threads so the global rate is exact.
-    uint32_t every;
-    {
-      lockdep::ScopedLock lk(mu_);
-      every = config_.head_sample_every;
-    }
+    // threads so the global rate is exact. The rate comes from the atomic
+    // mirror, NOT config_ under mu_: a drain pass holds mu_ for as long as
+    // it takes to empty every ring, and blocking every request submission
+    // behind that serializes the datapath against its own observer.
+    uint32_t every = relaxed::load(head_every_);  // dpulint: allow(relaxed-atomic): sampling-rate gate — a stale read only shifts which request is sampled
+    if (every == 0) every = 1;
     if (relaxed::add(head_counter_, 1) % every != 0) {
       return {};
     }

@@ -224,6 +224,9 @@ class Tracer {
   mutable lockdep::Mutex mu_{"trace.Tracer.mu"};  // leaf lock (DESIGN §3.12)
   std::vector<std::unique_ptr<SpanRing>> rings_ DPURPC_GUARDED_BY(mu_);
   TraceConfig config_ DPURPC_GUARDED_BY(mu_);
+  /// Mirror of config_.head_sample_every: begin_trace reads it lock-free
+  /// so the submit path never waits behind a collector drain holding mu_.
+  std::atomic<uint32_t> head_every_{64};
   std::atomic<uint64_t> next_trace_id_{1};
   std::atomic<uint64_t> next_span_id_{1};
   std::atomic<uint64_t> head_counter_{0};

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/cpu_timer.hpp"
+#include "metrics/metrics.hpp"
 
 namespace dpurpc::xrpc {
 
@@ -255,6 +256,13 @@ Status ClientStream::write(ByteSpan chunk, int timeout_ms) {
       // Backpressure engages here, at the xRPC edge: the receiver's
       // grants pace the sender before any bytes enter the datapath.
       ++state_->stalls;
+      // Default-registry mirror: the flight recorder watches this to arm
+      // a capture window when backpressure bites. We're about to block on
+      // the cv anyway, so the one-time registration lock is immaterial.
+      static metrics::Counter& stall_counter = metrics::default_counter(
+          "dpurpc_xrpc_credit_stalls_total",
+          "Client stream writes that blocked on the byte-credit window");
+      stall_counter.inc();
       bool ok = state_->cv.wait_for(
           lk, std::chrono::milliseconds(timeout_ms), [&] {
             return state_->finished || state_->aborted ||

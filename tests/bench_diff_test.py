@@ -189,6 +189,51 @@ class DirectionHeuristics(unittest.TestCase):
         self.assertEqual(d("bonus"), 0)
         self.assertEqual(d("fraction"), 0)
 
+    def test_share_and_occupancy_leaves_are_informational(self):
+        # Attribution shares and occupancy snapshots describe *where* time
+        # or capacity went, not how much of it there was — either direction
+        # of movement is news, never a regression.
+        d = self.mod.direction
+        for leaf in ("worker_decode_share", "xrpc_inbound_share",
+                     "dominant_share_knee", "driver_share_unloaded",
+                     "ring_occupancy", "credit_occupancy"):
+            self.assertIsNone(d("points[0.25x].%s" % leaf), leaf)
+        # "flush_wait_share" must be INFO even though "wait"-ish stage
+        # names would otherwise smell like latency leaves.
+        self.assertIsNone(d("flush_wait_share"))
+        # The forensics health counters stay unknown-direction (CHANGED):
+        # they are gated inside the benchmark itself, not by the diff.
+        for leaf in ("counter_tracks", "exemplars_captured",
+                     "tiling_exemplars", "pending_at_drain"):
+            self.assertEqual(d(leaf), 0, leaf)
+
+
+class InformationalMarks(unittest.TestCase):
+    """fig12_forensics share leaves: reported as INFO, never gated."""
+
+    def test_share_moves_are_info_and_never_gate(self):
+        with tempfile.TemporaryDirectory() as td:
+            def doc(share):
+                return {"fig12_forensics": {
+                    "benchmark": "fig12_forensics",
+                    "dominant_stage": "xrpc_inbound",
+                    "points": [
+                        {"label": "0.10x", "worker_decode_share": 0.05},
+                        {"label": "1.00x", "worker_decode_share": share},
+                    ]}}
+            old_p = os.path.join(td, "old.json")
+            new_p = os.path.join(td, "new.json")
+            write_json(doc(0.10), old_p)
+            write_json(doc(0.40), new_p)  # +300%: adverse if it were gated
+            code, out = run_diff("--strict", old_p, new_p)
+            self.assertEqual(code, 0, out)
+            lines = out.splitlines()
+            hits = [l for l in lines
+                    if "points[1.00x].worker_decode_share" in l]
+            self.assertEqual(len(hits), 1, out)
+            self.assertIn("INFO", hits[0])
+            self.assertNotIn("REGRESSED", out)
+
 
 if __name__ == "__main__":
     unittest.main()

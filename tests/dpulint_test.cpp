@@ -179,6 +179,10 @@ TEST(DpulintRealTree, RequiredHotRootsAnnotated) {
            // and the chunk-cut/submit loop on the proxy's lane thread.
            "dpurpc::rdmarpc::RpcServer::accept_fragment",
            "dpurpc::grpccompat::DpuProxy::scan_and_submit",
+           // Tail forensics: the per-tree trigger check on the collector
+           // thread and the sampler's per-period read pass.
+           "dpurpc::trace::FlightRecorder::should_capture",
+           "dpurpc::trace::ResourceSampler::sample_once",
        }) {
     EXPECT_EQ(std::count(hot.begin(), hot.end(), std::string(required)), 1)
         << "missing hot annotation: " << required;

@@ -62,6 +62,39 @@ TEST(Histogram, BoundaryGoesToLowerBucket) {
   EXPECT_EQ(h.bucket_count(1), 2u);
 }
 
+TEST(Histogram, ExemplarLandsInObserveBucket) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.put_exemplar(5.0, 0xdeadbeef);           // bucket 1: (1, 10]
+  h.put_exemplar(500.0, 0xfeedface);         // overflow slot bounds.size()
+  EXPECT_EQ(h.exemplar_at(0).trace_id, 0u);  // untouched bucket: none
+  EXPECT_EQ(h.exemplar_at(1).trace_id, 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(h.exemplar_at(1).value, 5.0);
+  EXPECT_EQ(h.exemplar_at(3).trace_id, 0xfeedfaceu);
+  // Not an observation: counts and sum stay untouched.
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // Last writer wins within a bucket.
+  h.put_exemplar(6.0, 0xabad1dea);
+  EXPECT_EQ(h.exemplar_at(1).trace_id, 0xabad1deau);
+  // Out-of-range reads answer "none" instead of tripping.
+  EXPECT_EQ(h.exemplar_at(99).trace_id, 0u);
+}
+
+TEST(Histogram, ExemplarSurfacesInExposition) {
+  Registry reg;
+  auto& fam = reg.histogram_family("e2e_seconds", "", {0.001, 0.1});
+  Histogram& h = fam.histogram({});
+  h.observe(0.05);
+  std::string before = reg.expose_text();
+  EXPECT_EQ(before.find("# {trace_id"), std::string::npos)
+      << "no exemplar annotation before one is put";
+  h.put_exemplar(0.05, 0x123456789abcdef0ull);
+  std::string after = reg.expose_text();
+  EXPECT_NE(after.find(" # {trace_id=\"123456789abcdef0\"} 0.05"),
+            std::string::npos)
+      << after;
+}
+
 TEST(Family, LabelsCreateDistinctChildren) {
   Registry reg;
   auto& fam = reg.counter_family("rpc_requests_total", "requests");

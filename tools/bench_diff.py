@@ -21,6 +21,14 @@ import json
 import sys
 
 # Direction heuristics by name fragment: which way is "better"?
+# INFORMATIONAL is checked FIRST: per-stage share-of-e2e attribution and
+# resource-occupancy levels (the fig12 forensics leaves) describe *where*
+# time went, not how much — a share shifting between stages is the
+# datapath's shape changing, not a regression, and it must never trip the
+# strict perf-trajectory gate. The first-position check also means
+# "..._share"/"..._occupancy" wins over any fragment inside the stage
+# name ("flush_wait_share" is INFO, not a "stall"-style latency).
+INFORMATIONAL = ("share", "occupancy")
 # "knee" covers fig12's knee_fraction / knee_offered_rps (a knee that
 # moves toward heavier load means the datapath saturates later); "mib_s"
 # is checked on the higher side BEFORE the "_s" duration suffix below so
@@ -37,8 +45,12 @@ LOWER_IS_BETTER_SUFFIXES = ("_us", "_ns", "_ms", "_s")
 
 
 def direction(path):
-    """+1 higher-better, -1 lower-better, 0 unknown (any move is notable)."""
+    """+1 higher-better, -1 lower-better, 0 unknown (any move is notable),
+    None informational (reported, never a regression)."""
     leaf = path.rsplit(".", 1)[-1].lower()
+    for frag in INFORMATIONAL:
+        if frag in leaf:
+            return None
     for frag in HIGHER_IS_BETTER:
         if frag in leaf:
             return 1
@@ -101,7 +113,9 @@ def diff_figure(old, new, threshold, show_all):
         mark = ""
         if abs(pct) > threshold:
             d = direction(path)
-            if d == 0:
+            if d is None:
+                mark = "INFO"
+            elif d == 0:
                 mark = "CHANGED"
             elif pct * d < 0:
                 mark = "REGRESSED"

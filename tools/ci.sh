@@ -119,6 +119,9 @@ pass_trace() {
 
 # The figure harnesses whose --json outputs land in BENCH_6.json.
 fig_benches="fig8_datapath fig9_scaling fig10_roundtrip fig11_shuffle fig12_openloop"
+# Extra per-figure documents assembled alongside them (not separate
+# binaries): the knee-forensics attribution doc fig12 writes.
+bench_docs="$fig_benches fig12_forensics"
 
 # Combine per-figure JSON from $1 into $2 as one document:
 # {"fig8_datapath": {...}, "fig9_scaling": {...}, ...}. Fails (returns 1)
@@ -127,7 +130,7 @@ assemble_bench_json() {
   local json_dir="$1" out="$2" name first=1
   {
     echo "{"
-    for name in $fig_benches; do
+    for name in $bench_docs; do
       [ -s "$json_dir/$name.json" ] || continue
       [ "$first" -eq 1 ] || echo ","
       first=0
@@ -163,6 +166,18 @@ pass_bench_smoke() {
       failed=1
     fi
   done
+  # The knee-forensics path (recorder + sampler + counter-track export) in
+  # smoke shape: proves the re-run, the artifact writers and the JSON doc
+  # still work; the capture/attribution gates only apply at full length.
+  echo "=== smoke fig12_openloop --knee-forensics" >&2
+  if ! DPURPC_BENCH_SMOKE=1 "$prefix-plain/bench/fig12_openloop" \
+      --knee-forensics \
+      --forensics-json "$json_dir/fig12_forensics.json" \
+      --trace-out "$json_dir/fig12_knee_trace.json" \
+      --exemplars-out "$json_dir/fig12_tail_exemplars.json" >/dev/null; then
+    echo "ci: bench smoke FAILED: fig12_openloop --knee-forensics" >&2
+    failed=1
+  fi
   # Smoke-mode numbers: shape checks only, never diffed strictly.
   assemble_bench_json "$json_dir" "$prefix-plain/BENCH_6.json" || failed=1
   return "$failed"
@@ -179,7 +194,18 @@ pass_perf() {
   for name in $fig_benches; do
     [ -x "$prefix-plain/bench/$name" ] || { echo "ci: missing bench $name" >&2; failed=1; continue; }
     echo "=== perf $name" >&2
-    if ! "$prefix-plain/bench/$name" --json "$json_dir/$name.json" >/dev/null; then
+    # fig12 runs its knee-forensics pass in the same invocation: the
+    # recorder-armed re-run, the Perfetto timeline with counter tracks and
+    # the tail-exemplar dump ride the same sweep (all three archived as
+    # workflow artifacts; the attribution doc joins BENCH_6.json).
+    local extra=()
+    if [ "$name" = fig12_openloop ]; then
+      extra=(--knee-forensics
+             --forensics-json "$json_dir/fig12_forensics.json"
+             --trace-out "$json_dir/fig12_knee_trace.json"
+             --exemplars-out "$json_dir/fig12_tail_exemplars.json")
+    fi
+    if ! "$prefix-plain/bench/$name" --json "$json_dir/$name.json" "${extra[@]}" >/dev/null; then
       echo "ci: perf bench FAILED: $name" >&2
       failed=1
     fi
